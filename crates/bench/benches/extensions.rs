@@ -1,0 +1,30 @@
+//! Runs the extension experiments (harness = false): hop-count sweep,
+//! adaptive-vs-rigid playback, measurement-based admission control and the
+//! utilization sweep.
+
+use ispn_bench::extensions_config;
+use ispn_experiments::extensions::{admission, hops, playback, utilization};
+use ispn_experiments::report;
+
+fn main() {
+    let cfg = extensions_config();
+    let start = std::time::Instant::now();
+
+    let points = hops::run_sweep(&cfg, &[1, 2, 3, 4, 5, 6]);
+    println!("{}", report::render_hops(&points));
+
+    let pb = playback::run(&cfg);
+    println!("{}", report::render_playback(&pb));
+
+    let (controlled, uncontrolled) = admission::run_comparison(&cfg, 20);
+    println!("{}", report::render_admission(&controlled, &uncontrolled));
+
+    let util = utilization::run_sweep(&cfg, &[6, 8, 9, 10, 11]);
+    println!("{}", report::render_utilization(&util));
+
+    println!(
+        "[extensions bench] simulated {}s per run in {:.1}s wall-clock",
+        cfg.duration.as_secs_f64(),
+        start.elapsed().as_secs_f64()
+    );
+}

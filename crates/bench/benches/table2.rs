@@ -1,0 +1,16 @@
+//! Regenerates Table 2 of CSZ'92 at full length (harness = false).
+
+use ispn_bench::bench_config;
+use ispn_experiments::{report, table2};
+
+fn main() {
+    let cfg = bench_config();
+    let start = std::time::Instant::now();
+    let t = table2::run(&cfg);
+    println!("{}", report::render_table2(&t));
+    println!(
+        "[table2 bench] simulated {}s per discipline in {:.1}s wall-clock",
+        cfg.duration.as_secs_f64(),
+        start.elapsed().as_secs_f64()
+    );
+}

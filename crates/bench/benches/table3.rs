@@ -1,0 +1,16 @@
+//! Regenerates Table 3 of CSZ'92 at full length (harness = false).
+
+use ispn_bench::bench_config;
+use ispn_experiments::{report, table3};
+
+fn main() {
+    let cfg = bench_config();
+    let start = std::time::Instant::now();
+    let t = table3::run(&cfg);
+    println!("{}", report::render_table3(&t));
+    println!(
+        "[table3 bench] simulated {}s in {:.1}s wall-clock",
+        cfg.duration.as_secs_f64(),
+        start.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,55 @@
+//! # ispn-bench — benchmark harness
+//!
+//! Two kinds of bench targets live under `benches/`:
+//!
+//! * **table reproductions** (`table1`, `table2`, `table3`, `extensions`) —
+//!   plain `harness = false` binaries that run the corresponding
+//!   `ispn-experiments` scenario at the paper's full ten-minute simulated
+//!   duration and print the regenerated table next to the published values.
+//!   `cargo bench --workspace` therefore regenerates every table and figure
+//!   of the paper in one go.
+//! * **micro-benchmarks** (`sched_micro`, `engine_micro`) — Criterion
+//!   benchmarks of the per-packet cost of each scheduling discipline and of
+//!   the event queue, supporting the paper's Section-3 requirement that the
+//!   per-packet work "must not be so complex as to effect overall network
+//!   performance".
+//!
+//! This library crate only holds small shared helpers for those targets.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use ispn_experiments::config::PaperConfig;
+
+/// Choose the experiment configuration from the environment: set
+/// `ISPN_BENCH_FAST=1` to run shortened scenarios (used in CI smoke runs).
+pub fn bench_config() -> PaperConfig {
+    if std::env::var("ISPN_BENCH_FAST").map(|v| v == "1").unwrap_or(false) {
+        PaperConfig::fast()
+    } else {
+        PaperConfig::paper()
+    }
+}
+
+/// A medium-length configuration for the multi-run extension sweeps.
+pub fn extensions_config() -> PaperConfig {
+    if std::env::var("ISPN_BENCH_FAST").map(|v| v == "1").unwrap_or(false) {
+        PaperConfig::fast()
+    } else {
+        PaperConfig::medium()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_the_papers() {
+        // The environment variable is not set in unit tests.
+        let c = bench_config();
+        assert!(c.duration.as_secs_f64() >= 40.0);
+        let e = extensions_config();
+        assert!(e.duration <= c.duration);
+    }
+}

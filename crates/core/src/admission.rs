@@ -1,0 +1,482 @@
+//! Admission control (Section 9).
+//!
+//! The paper gives two criteria for deciding whether to admit another flow
+//! on a link of speed μ:
+//!
+//! 1. reserve no more than 90 % of the bandwidth for real-time traffic so
+//!    that datagram service "remains operational at all times", and
+//! 2. adding the flow must not push any predicted class's delay over its
+//!    target bound Dᵢ.
+//!
+//! The example criterion: a flow promising token bucket `(r, b)` can be
+//! admitted to priority level `i` if
+//!
+//! * `r + ν̂ < 0.9·μ`, and
+//! * `b < (Dⱼ − d̂ⱼ)(μ − ν̂ − r)` for every class `j` lower than or equal in
+//!   priority to `i`,
+//!
+//! where ν̂ is the *measured* post-facto bound on real-time utilization and
+//! d̂ⱼ the *measured* maximal delay of class `j` — both taken as
+//! "consistently conservative estimates" rather than averages.  Guaranteed
+//! flows count as higher priority than every predicted class for check (2),
+//! and their own admission is the worst-case rate check.
+
+use ispn_sim::SimTime;
+use ispn_stats::{WindowedMax, WindowedMean};
+
+use crate::token_bucket::TokenBucketSpec;
+
+/// Result of an admission request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// The flow may be admitted.
+    Accept,
+    /// The flow must be refused, with the failed criterion spelled out.
+    Reject {
+        /// Human-readable description of which criterion failed.
+        reason: String,
+    },
+}
+
+impl AdmissionDecision {
+    /// `true` if the decision is `Accept`.
+    pub fn is_accept(&self) -> bool {
+        matches!(self, AdmissionDecision::Accept)
+    }
+}
+
+/// A snapshot of the measured state of one link, as used by the
+/// measurement-based criterion.
+#[derive(Debug, Clone)]
+pub struct LinkMeasurement {
+    /// Measured real-time utilization ν̂ in bits per second (a conservative,
+    /// post-facto bound — not an average).
+    pub realtime_util_bps: f64,
+    /// Measured maximal queueing delay d̂ⱼ per predicted class, indexed by
+    /// priority (0 = highest).
+    pub class_delay: Vec<SimTime>,
+}
+
+/// Static configuration of the admission controller for one link.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Link speed μ in bits per second.
+    pub link_rate_bps: f64,
+    /// Fraction of the link that real-time traffic may occupy (the paper
+    /// suggests 0.9, leaving ≥10 % for datagram service).
+    pub realtime_quota: f64,
+    /// The widely-spaced per-class delay targets Dᵢ at this switch, indexed
+    /// by priority (0 = highest priority, smallest target).
+    pub class_targets: Vec<SimTime>,
+}
+
+impl AdmissionConfig {
+    /// Create a configuration; the quota must be in (0, 1].
+    pub fn new(link_rate_bps: f64, realtime_quota: f64, class_targets: Vec<SimTime>) -> Self {
+        assert!(link_rate_bps > 0.0);
+        assert!(realtime_quota > 0.0 && realtime_quota <= 1.0);
+        AdmissionConfig {
+            link_rate_bps,
+            realtime_quota,
+            class_targets,
+        }
+    }
+}
+
+/// The admission controller for one link: holds the configuration, the sum
+/// of guaranteed clock rates already reserved, and the measurement machinery
+/// that produces ν̂ and d̂ⱼ.
+#[derive(Debug)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    /// Sum of clock rates of guaranteed flows currently reserved.
+    reserved_guaranteed_bps: f64,
+    /// Windowed mean of measured real-time throughput (bits/s samples).
+    util_estimate: WindowedMean,
+    /// Safety factor applied to the measured utilization to keep it
+    /// conservative (ν̂ = factor × windowed mean, floored by reservations).
+    util_safety_factor: f64,
+    /// Windowed maximum of per-class queueing delays (seconds), one per
+    /// priority level.
+    delay_estimates: Vec<WindowedMax>,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl AdmissionController {
+    /// Create a controller with the given measurement window (seconds).
+    pub fn new(config: AdmissionConfig, measurement_window_secs: f64) -> Self {
+        let delay_estimates = config
+            .class_targets
+            .iter()
+            .map(|_| WindowedMax::new(measurement_window_secs))
+            .collect();
+        AdmissionController {
+            config,
+            reserved_guaranteed_bps: 0.0,
+            util_estimate: WindowedMean::new(measurement_window_secs),
+            util_safety_factor: 1.2,
+            delay_estimates,
+            accepted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Access the static configuration.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Set the multiplicative safety factor applied to measured utilization
+    /// (default 1.2; larger is more conservative).
+    pub fn set_util_safety_factor(&mut self, f: f64) {
+        assert!(f >= 1.0, "a safety factor below 1 is not conservative");
+        self.util_safety_factor = f;
+    }
+
+    /// Feed one measured sample of real-time throughput on the link
+    /// (bits per second averaged over the monitor's sampling interval).
+    pub fn observe_utilization(&mut self, now: SimTime, realtime_bps: f64) {
+        self.util_estimate.record(now.as_secs_f64(), realtime_bps);
+    }
+
+    /// Feed one measured per-packet queueing delay for a predicted class.
+    pub fn observe_class_delay(&mut self, now: SimTime, priority: u8, delay: SimTime) {
+        if let Some(w) = self.delay_estimates.get_mut(priority as usize) {
+            w.record(now.as_secs_f64(), delay.as_secs_f64());
+        }
+    }
+
+    /// The current conservative measurement snapshot.
+    ///
+    /// If no utilization samples have been observed recently the estimate
+    /// falls back to the sum of guaranteed reservations (the only traffic we
+    /// can be sure about); measured delays default to zero.
+    pub fn measurement(&mut self, now: SimTime) -> LinkMeasurement {
+        let t = now.as_secs_f64();
+        let measured = self.util_estimate.current(t, 0.0) * self.util_safety_factor;
+        let realtime_util_bps = measured.max(self.reserved_guaranteed_bps);
+        let class_delay = self
+            .delay_estimates
+            .iter_mut()
+            .map(|w| SimTime::from_secs_f64(w.current(t, 0.0)))
+            .collect();
+        LinkMeasurement {
+            realtime_util_bps,
+            class_delay,
+        }
+    }
+
+    /// Number of requests accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Number of requests rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Sum of clock rates currently reserved by guaranteed flows.
+    pub fn reserved_guaranteed_bps(&self) -> f64 {
+        self.reserved_guaranteed_bps
+    }
+
+    /// Request admission of a guaranteed flow with clock rate `rate_bps`.
+    ///
+    /// Guaranteed admission is a worst-case check: the sum of all guaranteed
+    /// clock rates (including the newcomer) must stay within the real-time
+    /// quota of the link so that datagram traffic keeps its share and the
+    /// Parekh–Gallager conditions hold.
+    pub fn request_guaranteed(&mut self, rate_bps: f64) -> AdmissionDecision {
+        assert!(rate_bps > 0.0);
+        let quota = self.config.realtime_quota * self.config.link_rate_bps;
+        if self.reserved_guaranteed_bps + rate_bps <= quota + 1e-9 {
+            self.reserved_guaranteed_bps += rate_bps;
+            self.accepted += 1;
+            AdmissionDecision::Accept
+        } else {
+            self.rejected += 1;
+            AdmissionDecision::Reject {
+                reason: format!(
+                    "guaranteed reservation {:.0} + requested {:.0} bps exceeds quota {:.0} bps",
+                    self.reserved_guaranteed_bps, rate_bps, quota
+                ),
+            }
+        }
+    }
+
+    /// Release a previously admitted guaranteed reservation.
+    pub fn release_guaranteed(&mut self, rate_bps: f64) {
+        self.reserved_guaranteed_bps = (self.reserved_guaranteed_bps - rate_bps).max(0.0);
+    }
+
+    /// Request admission of a predicted flow declaring token bucket `bucket`
+    /// at priority `priority`, using the Section 9 example criterion against
+    /// the current measurements.
+    pub fn request_predicted(
+        &mut self,
+        now: SimTime,
+        bucket: TokenBucketSpec,
+        priority: u8,
+    ) -> AdmissionDecision {
+        let meas = self.measurement(now);
+        let decision = admit_predicted(&self.config, &meas, bucket, priority);
+        match &decision {
+            AdmissionDecision::Accept => self.accepted += 1,
+            AdmissionDecision::Reject { .. } => self.rejected += 1,
+        }
+        decision
+    }
+}
+
+/// The pure Section-9 criterion, usable without the stateful controller
+/// (e.g. in tests or in a centralized reservation agent).
+pub fn admit_predicted(
+    config: &AdmissionConfig,
+    meas: &LinkMeasurement,
+    bucket: TokenBucketSpec,
+    priority: u8,
+) -> AdmissionDecision {
+    let mu = config.link_rate_bps;
+    let nu = meas.realtime_util_bps;
+    let r = bucket.rate_bps;
+    let b = bucket.depth_bits;
+
+    if priority as usize >= config.class_targets.len() {
+        return AdmissionDecision::Reject {
+            reason: format!(
+                "priority {} does not exist (only {} classes configured)",
+                priority,
+                config.class_targets.len()
+            ),
+        };
+    }
+
+    // Criterion 1: r + ν̂ < quota · μ
+    let quota = config.realtime_quota * mu;
+    if r + nu >= quota {
+        return AdmissionDecision::Reject {
+            reason: format!(
+                "rate check failed: r + ν̂ = {:.0} + {:.0} ≥ {:.0} bps (quota)",
+                r, nu, quota
+            ),
+        };
+    }
+
+    // Criterion 2: b < (Dⱼ − d̂ⱼ)(μ − ν̂ − r) for every class j at or below
+    // priority i (larger j = lower priority).
+    for (j, &target) in config.class_targets.iter().enumerate() {
+        if j < priority as usize {
+            continue; // strictly higher-priority classes are unaffected
+        }
+        let d_hat = meas
+            .class_delay
+            .get(j)
+            .copied()
+            .unwrap_or(SimTime::ZERO)
+            .as_secs_f64();
+        let headroom_secs = target.as_secs_f64() - d_hat;
+        if headroom_secs <= 0.0 {
+            return AdmissionDecision::Reject {
+                reason: format!(
+                    "class {} already at its delay target ({} measured vs {} target)",
+                    j,
+                    SimTime::from_secs_f64(d_hat),
+                    target
+                ),
+            };
+        }
+        let capacity_headroom = mu - nu - r;
+        if capacity_headroom <= 0.0 || b >= headroom_secs * capacity_headroom {
+            return AdmissionDecision::Reject {
+                reason: format!(
+                    "burst check failed for class {}: b = {:.0} bits ≥ ({:.4} s)({:.0} bps)",
+                    j, b, headroom_secs, capacity_headroom
+                ),
+            };
+        }
+    }
+
+    AdmissionDecision::Accept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINK: f64 = 1_000_000.0;
+
+    fn config() -> AdmissionConfig {
+        AdmissionConfig::new(
+            LINK,
+            0.9,
+            vec![SimTime::from_millis(10), SimTime::from_millis(100)],
+        )
+    }
+
+    fn idle_measurement() -> LinkMeasurement {
+        LinkMeasurement {
+            realtime_util_bps: 0.0,
+            class_delay: vec![SimTime::ZERO, SimTime::ZERO],
+        }
+    }
+
+    #[test]
+    fn empty_link_accepts_reasonable_flow() {
+        let bucket = TokenBucketSpec::per_packets(85.0, 5.0, 1000);
+        let d = admit_predicted(&config(), &idle_measurement(), bucket, 0);
+        assert!(d.is_accept());
+    }
+
+    #[test]
+    fn rate_check_rejects_when_quota_exceeded() {
+        let mut meas = idle_measurement();
+        meas.realtime_util_bps = 850_000.0;
+        let bucket = TokenBucketSpec::new(100_000.0, 5_000.0);
+        let d = admit_predicted(&config(), &meas, bucket, 0);
+        assert!(!d.is_accept());
+        match d {
+            AdmissionDecision::Reject { reason } => assert!(reason.contains("rate check")),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn burst_check_rejects_when_class_near_target() {
+        let mut meas = idle_measurement();
+        // Low-priority class is measured at 99 ms against a 100 ms target:
+        // only 1 ms of headroom, so a 50-packet burst cannot fit.
+        meas.class_delay[1] = SimTime::from_millis(99);
+        let bucket = TokenBucketSpec::per_packets(85.0, 50.0, 1000);
+        let d = admit_predicted(&config(), &meas, bucket, 0);
+        assert!(!d.is_accept());
+    }
+
+    #[test]
+    fn higher_priority_classes_are_not_checked() {
+        let mut meas = idle_measurement();
+        // The *high* priority class is saturated, but we are asking for the
+        // low-priority class, so only class 1's headroom matters.
+        meas.class_delay[0] = SimTime::from_millis(10);
+        let bucket = TokenBucketSpec::per_packets(10.0, 5.0, 1000);
+        let d = admit_predicted(&config(), &meas, bucket, 1);
+        assert!(d.is_accept(), "{d:?}");
+    }
+
+    #[test]
+    fn unknown_priority_rejected() {
+        let bucket = TokenBucketSpec::new(1000.0, 1000.0);
+        let d = admit_predicted(&config(), &idle_measurement(), bucket, 7);
+        assert!(!d.is_accept());
+    }
+
+    #[test]
+    fn guaranteed_reservations_respect_quota() {
+        let mut ac = AdmissionController::new(config(), 30.0);
+        // 0.9 Mbit/s quota: five 170 kbit/s reservations fit (850k), a sixth
+        // does not.
+        for _ in 0..5 {
+            assert!(ac.request_guaranteed(170_000.0).is_accept());
+        }
+        assert!(!ac.request_guaranteed(170_000.0).is_accept());
+        assert_eq!(ac.accepted(), 5);
+        assert_eq!(ac.rejected(), 1);
+        ac.release_guaranteed(170_000.0);
+        assert!(ac.request_guaranteed(100_000.0).is_accept());
+        assert!((ac.reserved_guaranteed_bps() - 780_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn controller_uses_measurements() {
+        let mut ac = AdmissionController::new(config(), 10.0);
+        let bucket = TokenBucketSpec::per_packets(85.0, 5.0, 1000);
+        // With no load measured, the flow is accepted.
+        assert!(ac
+            .request_predicted(SimTime::from_secs(1), bucket, 0)
+            .is_accept());
+        // Saturate the measured utilization: now it must be rejected.
+        for s in 0..10 {
+            ac.observe_utilization(SimTime::from_secs(s), 900_000.0);
+        }
+        assert!(!ac
+            .request_predicted(SimTime::from_secs(10), bucket, 0)
+            .is_accept());
+        // After a long quiet period the window empties and the measured
+        // utilization falls back to the guaranteed reservations (zero here),
+        // so admission succeeds again.
+        assert!(ac
+            .request_predicted(SimTime::from_secs(100), bucket, 0)
+            .is_accept());
+    }
+
+    #[test]
+    fn controller_tracks_class_delays() {
+        let mut ac = AdmissionController::new(config(), 10.0);
+        ac.observe_class_delay(SimTime::from_secs(1), 1, SimTime::from_millis(99));
+        let bucket = TokenBucketSpec::per_packets(85.0, 50.0, 1000);
+        let d = ac.request_predicted(SimTime::from_secs(2), bucket, 1);
+        assert!(!d.is_accept());
+        let meas = ac.measurement(SimTime::from_secs(2));
+        assert_eq!(meas.class_delay[1], SimTime::from_millis(99));
+    }
+
+    #[test]
+    fn safety_factor_must_be_conservative() {
+        let mut ac = AdmissionController::new(config(), 10.0);
+        ac.set_util_safety_factor(2.0);
+        ac.observe_utilization(SimTime::from_secs(1), 500_000.0);
+        // 2 × 500k = 1 Mbit/s measured: nothing fits any more.
+        let bucket = TokenBucketSpec::per_packets(10.0, 2.0, 1000);
+        assert!(!ac
+            .request_predicted(SimTime::from_secs(1), bucket, 0)
+            .is_accept());
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_conservative_safety_factor_panics() {
+        let mut ac = AdmissionController::new(config(), 10.0);
+        ac.set_util_safety_factor(0.5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Whatever the measurements, an accepted flow satisfies the paper's
+        /// two inequalities when re-checked directly.
+        #[test]
+        fn accept_implies_inequalities(
+            nu in 0.0f64..1_000_000.0,
+            d0 in 0.0f64..0.02,
+            d1 in 0.0f64..0.2,
+            r in 1_000.0f64..500_000.0,
+            b in 1_000.0f64..100_000.0,
+            pri in 0u8..2,
+        ) {
+            let config = AdmissionConfig::new(
+                1_000_000.0,
+                0.9,
+                vec![SimTime::from_millis(10), SimTime::from_millis(100)],
+            );
+            let meas = LinkMeasurement {
+                realtime_util_bps: nu,
+                class_delay: vec![SimTime::from_secs_f64(d0), SimTime::from_secs_f64(d1)],
+            };
+            let bucket = TokenBucketSpec::new(r, b);
+            if admit_predicted(&config, &meas, bucket, pri).is_accept() {
+                prop_assert!(r + nu < 0.9 * 1_000_000.0);
+                for (j, target) in [(0usize, 0.010f64), (1, 0.100)] {
+                    if j >= pri as usize {
+                        let d_hat = meas.class_delay[j].as_secs_f64();
+                        prop_assert!(b < (target - d_hat) * (1_000_000.0 - nu - r) + 1e-6);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Print and verify the Figure-1 topology and flow placement.
+//!
+//! Usage: `cargo run -p ispn-experiments --bin fig1`
+
+use ispn_experiments::config::PaperConfig;
+use ispn_experiments::fig1::{self, FlowKind};
+use ispn_stats::TextTable;
+
+fn main() {
+    let cfg = PaperConfig::paper();
+    let net = fig1::Fig1Network::build(&cfg);
+    println!(
+        "Figure 1: {} switches, {} forward links at {} bit/s, {}-packet buffers\n",
+        net.nodes.len(),
+        net.links.len(),
+        cfg.link_rate_bps,
+        cfg.buffer_packets
+    );
+
+    let placement = fig1::placement();
+    let mut flows = TextTable::new("Real-time flows (Table-3 classes shown; Table 2 ignores them)")
+        .header(["#", "class", "first link", "path length"]);
+    for (i, p) in placement.iter().enumerate() {
+        flows.row([
+            i.to_string(),
+            p.kind.label().to_string(),
+            format!("L{}", p.first_link + 1),
+            p.hops.to_string(),
+        ]);
+    }
+    println!("{}", flows.render());
+
+    let census = fig1::per_link_census(&placement);
+    let mut table = TextTable::new("Per-link census (paper: 2 G-Peak, 1 G-Avg, 3 P-High, 4 P-Low, 1 TCP)")
+        .header(["link", "G-Peak", "G-Avg", "P-High", "P-Low", "total", "TCP"]);
+    let tcp = fig1::tcp_placement();
+    for (i, link) in census.iter().enumerate() {
+        let get = |k| link.get(&k).copied().unwrap_or(0);
+        let tcp_here = tcp
+            .iter()
+            .filter(|(first, hops)| (*first..first + hops).contains(&i))
+            .count();
+        table.row([
+            format!("L{}", i + 1),
+            get(FlowKind::GuaranteedPeak).to_string(),
+            get(FlowKind::GuaranteedAverage).to_string(),
+            get(FlowKind::PredictedHigh).to_string(),
+            get(FlowKind::PredictedLow).to_string(),
+            link.values().sum::<usize>().to_string(),
+            tcp_here.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

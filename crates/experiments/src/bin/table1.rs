@@ -1,0 +1,20 @@
+//! Regenerate Table 1 of CSZ'92 (WFQ vs FIFO on a single shared link).
+//!
+//! Usage: `cargo run --release -p ispn-experiments --bin table1 [--fast]`
+
+use ispn_experiments::{config::PaperConfig, report, table1};
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let cfg = if fast {
+        PaperConfig::fast()
+    } else {
+        PaperConfig::paper()
+    };
+    eprintln!(
+        "running Table 1 ({} simulated seconds per discipline)...",
+        cfg.duration.as_secs_f64()
+    );
+    let t = table1::run(&cfg);
+    println!("{}", report::render_table1(&t));
+}

@@ -1,0 +1,20 @@
+//! Regenerate Table 2 of CSZ'92 (WFQ vs FIFO vs FIFO+ on the Figure-1 chain).
+//!
+//! Usage: `cargo run --release -p ispn-experiments --bin table2 [--fast]`
+
+use ispn_experiments::{config::PaperConfig, report, table2};
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let cfg = if fast {
+        PaperConfig::fast()
+    } else {
+        PaperConfig::paper()
+    };
+    eprintln!(
+        "running Table 2 ({} simulated seconds per discipline)...",
+        cfg.duration.as_secs_f64()
+    );
+    let t = table2::run(&cfg);
+    println!("{}", report::render_table2(&t));
+}

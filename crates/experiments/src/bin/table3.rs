@@ -1,0 +1,21 @@
+//! Regenerate Table 3 of CSZ'92 (the unified scheduler carrying guaranteed,
+//! predicted and datagram traffic on the Figure-1 chain).
+//!
+//! Usage: `cargo run --release -p ispn-experiments --bin table3 [--fast]`
+
+use ispn_experiments::{config::PaperConfig, report, table3};
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let cfg = if fast {
+        PaperConfig::fast()
+    } else {
+        PaperConfig::paper()
+    };
+    eprintln!(
+        "running Table 3 ({} simulated seconds)...",
+        cfg.duration.as_secs_f64()
+    );
+    let t = table3::run(&cfg);
+    println!("{}", report::render_table3(&t));
+}

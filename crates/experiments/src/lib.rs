@@ -1,0 +1,37 @@
+//! # ispn-experiments — reproducing the CSZ'92 evaluation
+//!
+//! One module per table or figure of the paper, plus the extension
+//! experiments listed in DESIGN.md:
+//!
+//! * [`config`] — the Appendix constants (1 Mbit/s links, 1000-bit packets,
+//!   200-packet buffers, 600-second runs, A = 85 pkt/s on/off sources),
+//! * [`fig1`] — the Figure-1 five-switch chain and the verified placement of
+//!   its 22 flows (and the Table-3 class assignment and TCP connections),
+//! * [`table1`] — WFQ vs FIFO on a single shared link (Table 1),
+//! * [`table2`] — WFQ vs FIFO vs FIFO+ across path lengths (Table 2),
+//! * [`table3`] — the unified scheduler carrying guaranteed, predicted and
+//!   datagram traffic together (Table 3),
+//! * [`extensions`] — hop-count sweeps, adaptive-vs-rigid playback,
+//!   measurement-based admission control, and utilization sweeps,
+//! * [`report`] — text rendering next to the paper's published numbers,
+//! * [`support`] — shared plumbing (discipline factory, source wiring).
+//!
+//! Every experiment takes a [`config::PaperConfig`] so tests can run
+//! shortened versions while the bench harness runs the full ten simulated
+//! minutes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod extensions;
+pub mod fig1;
+pub mod report;
+pub mod support;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+pub use config::PaperConfig;
+pub use fig1::{Fig1Network, FlowKind, FlowPlacement};
+pub use support::DisciplineKind;

@@ -1,0 +1,310 @@
+//! Rendering experiment results next to the paper's published numbers.
+//!
+//! We do not expect to match the absolute values (the original simulator and
+//! its random streams are not available); the point of printing them side by
+//! side is to check the *shape*: who wins, by roughly what factor, and where
+//! the qualitative crossovers fall.  EXPERIMENTS.md records one full run.
+
+use ispn_stats::TextTable;
+
+use crate::extensions::admission::AdmissionOutcome;
+use crate::extensions::hops::HopsPoint;
+use crate::extensions::playback::PlaybackComparison;
+use crate::extensions::utilization::UtilizationPoint;
+use crate::fig1::FlowKind;
+use crate::table1::Table1;
+use crate::table2::Table2;
+use crate::table3::Table3;
+
+/// The paper's Table 1 (scheduler, mean, 99.9th percentile).
+pub const PAPER_TABLE1: [(&str, f64, f64); 2] =
+    [("WFQ", 3.16, 53.86), ("FIFO", 3.17, 34.72)];
+
+/// The paper's Table 2: (scheduler, path length, mean, 99.9th percentile).
+pub const PAPER_TABLE2: [(&str, usize, f64, f64); 12] = [
+    ("WFQ", 1, 2.65, 45.31),
+    ("WFQ", 2, 4.74, 60.31),
+    ("WFQ", 3, 7.51, 65.86),
+    ("WFQ", 4, 9.64, 80.59),
+    ("FIFO", 1, 2.54, 30.49),
+    ("FIFO", 2, 4.73, 41.22),
+    ("FIFO", 3, 7.97, 52.36),
+    ("FIFO", 4, 10.33, 58.13),
+    ("FIFO+", 1, 2.71, 33.59),
+    ("FIFO+", 2, 4.69, 38.15),
+    ("FIFO+", 3, 7.76, 43.30),
+    ("FIFO+", 4, 10.11, 45.25),
+];
+
+/// The paper's Table 3: (class, path length, mean, 99.9th, max, P-G bound).
+pub const PAPER_TABLE3: [(&str, usize, f64, f64, f64, Option<f64>); 8] = [
+    ("Guaranteed-Peak", 4, 8.07, 14.41, 15.99, Some(23.53)),
+    ("Guaranteed-Peak", 2, 2.91, 8.12, 8.79, Some(11.76)),
+    ("Guaranteed-Average", 3, 56.44, 270.13, 296.23, Some(611.76)),
+    ("Guaranteed-Average", 1, 36.27, 206.75, 247.24, Some(588.24)),
+    ("Predicted-High", 4, 3.06, 8.20, 11.13, None),
+    ("Predicted-High", 2, 1.60, 5.83, 7.48, None),
+    ("Predicted-Low", 3, 19.22, 104.83, 148.70, None),
+    ("Predicted-Low", 1, 7.43, 79.57, 108.56, None),
+];
+
+fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// The paper's published value for a Table-2 cell.
+pub fn paper_table2_value(scheduler: &str, path_length: usize) -> Option<(f64, f64)> {
+    PAPER_TABLE2
+        .iter()
+        .find(|(s, p, _, _)| *s == scheduler && *p == path_length)
+        .map(|(_, _, mean, p999)| (*mean, *p999))
+}
+
+/// The paper's published row for a Table-3 class/path pair.
+pub fn paper_table3_value(kind: FlowKind, path_length: usize) -> Option<(f64, f64, f64)> {
+    PAPER_TABLE3
+        .iter()
+        .find(|(s, p, ..)| *s == kind.label() && *p == path_length)
+        .map(|(_, _, mean, p999, max, _)| (*mean, *p999, *max))
+}
+
+/// Render Table 1 with the paper's numbers alongside.
+pub fn render_table1(t: &Table1) -> String {
+    let mut table = TextTable::new(
+        "Table 1 — single link, 10 on/off flows, 83.5% utilization\n\
+         (queueing delay in packet transmission times; 'paper' columns are the published values)",
+    )
+    .header([
+        "scheduling",
+        "mean",
+        "99.9 %ile",
+        "paper mean",
+        "paper 99.9 %ile",
+        "utilization",
+    ]);
+    for row in &t.rows {
+        let paper = PAPER_TABLE1.iter().find(|(s, _, _)| *s == row.scheduler);
+        table.row([
+            row.scheduler.to_string(),
+            f2(row.mean),
+            f2(row.p999),
+            paper.map(|p| f2(p.1)).unwrap_or_default(),
+            paper.map(|p| f2(p.2)).unwrap_or_default(),
+            format!("{:.1}%", row.utilization * 100.0),
+        ]);
+    }
+    table.render()
+}
+
+/// Render Table 2 with the paper's numbers alongside.
+pub fn render_table2(t: &Table2) -> String {
+    let mut table = TextTable::new(
+        "Table 2 — Figure-1 chain, 22 on/off flows, 83.5% per-link utilization\n\
+         (queueing delay in packet transmission times; 'paper' columns are the published values)",
+    )
+    .header([
+        "scheduling",
+        "path",
+        "mean",
+        "99.9 %ile",
+        "paper mean",
+        "paper 99.9 %ile",
+    ]);
+    for cell in &t.cells {
+        let paper = paper_table2_value(cell.scheduler, cell.path_length);
+        table.row([
+            cell.scheduler.to_string(),
+            cell.path_length.to_string(),
+            f2(cell.mean),
+            f2(cell.p999),
+            paper.map(|p| f2(p.0)).unwrap_or_default(),
+            paper.map(|p| f2(p.1)).unwrap_or_default(),
+        ]);
+    }
+    let util: String = t
+        .utilization
+        .iter()
+        .map(|(s, u)| format!("{s} {:.1}%", u * 100.0))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{}\nmean link utilization: {util}\n", table.render())
+}
+
+/// Render Table 3 with the paper's numbers alongside.
+pub fn render_table3(t: &Table3) -> String {
+    let mut table = TextTable::new(
+        "Table 3 — unified scheduler on the Figure-1 chain (guaranteed + predicted + 2 TCP)\n\
+         (queueing delay in packet transmission times; 'paper' columns are the published values)",
+    )
+    .header([
+        "type", "path", "mean", "99.9 %ile", "max", "P-G bound", "paper mean", "paper max",
+    ]);
+    for row in &t.rows {
+        let paper = paper_table3_value(row.kind, row.path_length);
+        table.row([
+            row.kind.label().to_string(),
+            row.path_length.to_string(),
+            f2(row.mean),
+            f2(row.p999),
+            f2(row.max),
+            row.pg_bound.map(f2).unwrap_or_default(),
+            paper.map(|p| f2(p.0)).unwrap_or_default(),
+            paper.map(|p| f2(p.2)).unwrap_or_default(),
+        ]);
+    }
+    format!(
+        "{}\ndatagram drop rate: {:.3}%  (paper: ~0.1%)\n\
+         mean utilization: {:.1}%  (paper: >99%)   real-time share: {:.1}%  (paper: 83.5%)\n\
+         TCP goodput: {} packets/s\n",
+        table.render(),
+        t.datagram_drop_rate * 100.0,
+        t.mean_utilization * 100.0,
+        t.realtime_utilization * 100.0,
+        t.tcp_goodput_pps
+            .iter()
+            .map(|g| format!("{g:.0}"))
+            .collect::<Vec<_>>()
+            .join(" / "),
+    )
+}
+
+/// Render the hop-count sweep.
+pub fn render_hops(points: &[HopsPoint]) -> String {
+    let mut table = TextTable::new(
+        "Extension — 99.9th-percentile queueing delay vs path length (packet times)",
+    )
+    .header(["scheduling", "hops", "mean", "99.9 %ile"]);
+    for p in points {
+        table.row([
+            p.scheduler.to_string(),
+            p.hops.to_string(),
+            f2(p.mean),
+            f2(p.p999),
+        ]);
+    }
+    table.render()
+}
+
+/// Render the playback comparison.
+pub fn render_playback(c: &PlaybackComparison) -> String {
+    let mut table = TextTable::new(
+        "Extension — adaptive vs rigid play-back point over predicted service (packet times)",
+    )
+    .header(["client", "effective latency", "loss rate"]);
+    table.row([
+        "rigid (a-priori bound)".to_string(),
+        f2(c.rigid_latency),
+        format!("{:.3}%", c.rigid_loss * 100.0),
+    ]);
+    table.row([
+        "adaptive".to_string(),
+        f2(c.adaptive_latency),
+        format!("{:.3}%", c.adaptive_loss * 100.0),
+    ]);
+    format!(
+        "{}\nlatency saving from adaptation: {:.0}%  ({} samples)\n",
+        table.render(),
+        c.latency_saving() * 100.0,
+        c.samples
+    )
+}
+
+/// Render the admission-control comparison.
+pub fn render_admission(controlled: &AdmissionOutcome, uncontrolled: &AdmissionOutcome) -> String {
+    let mut table = TextTable::new(
+        "Extension — measurement-based admission control (Section 9 criterion) vs accept-all",
+    )
+    .header([
+        "policy",
+        "accepted",
+        "rejected",
+        "utilization",
+        "worst high-class delay",
+        "worst low-class delay",
+        "violations",
+    ]);
+    for o in [controlled, uncontrolled] {
+        table.row([
+            if o.controlled { "Section 9 criterion" } else { "accept everything" }.to_string(),
+            o.accepted.to_string(),
+            o.rejected.to_string(),
+            format!("{:.1}%", o.utilization * 100.0),
+            f2(o.worst_high_delay),
+            f2(o.worst_low_delay),
+            o.violations.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+/// Render the utilization sweep.
+pub fn render_utilization(points: &[UtilizationPoint]) -> String {
+    let mut table = TextTable::new(
+        "Extension — delay vs offered load on a single shared link (packet times)",
+    )
+    .header(["scheduling", "flows", "utilization", "mean", "99.9 %ile"]);
+    for p in points {
+        table.row([
+            p.scheduler.to_string(),
+            p.flows.to_string(),
+            format!("{:.1}%", p.utilization * 100.0),
+            f2(p.mean),
+            f2(p.p999),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_lookups() {
+        assert_eq!(paper_table2_value("FIFO+", 4), Some((10.11, 45.25)));
+        assert_eq!(paper_table2_value("FIFO", 9), None);
+        assert_eq!(
+            paper_table3_value(FlowKind::GuaranteedPeak, 4),
+            Some((8.07, 14.41, 15.99))
+        );
+        assert_eq!(paper_table3_value(FlowKind::PredictedLow, 4), None);
+    }
+
+    #[test]
+    fn paper_constants_are_consistent_with_the_text() {
+        // Table 1: FIFO's tail is far below WFQ's while means are equal-ish.
+        assert!(PAPER_TABLE1[1].2 < PAPER_TABLE1[0].2);
+        assert!((PAPER_TABLE1[0].1 - PAPER_TABLE1[1].1).abs() < 0.1);
+        // Table 2: FIFO+ grows slowest from 1 to 4 hops.
+        let growth = |s: &str| {
+            let one = paper_table2_value(s, 1).unwrap().1;
+            let four = paper_table2_value(s, 4).unwrap().1;
+            four - one
+        };
+        assert!(growth("FIFO+") < growth("FIFO"));
+        assert!(growth("FIFO") < growth("WFQ"));
+        // Table 3: every guaranteed max is below its P-G bound.
+        for (_, _, _, _, max, bound) in PAPER_TABLE3 {
+            if let Some(b) = bound {
+                assert!(max < b);
+            }
+        }
+    }
+
+    #[test]
+    fn rendering_smoke_test() {
+        let t1 = Table1 {
+            rows: vec![crate::table1::Table1Row {
+                scheduler: "FIFO",
+                mean: 3.0,
+                p999: 30.0,
+                all_flows_mean: 3.0,
+                all_flows_worst_p999: 31.0,
+                utilization: 0.83,
+            }],
+        };
+        let s = render_table1(&t1);
+        assert!(s.contains("FIFO"));
+        assert!(s.contains("34.72")); // paper value included
+    }
+}

@@ -1,0 +1,112 @@
+//! Shared plumbing for the experiment scenarios.
+
+use ispn_core::{FlowId, ServiceClass};
+use ispn_net::Network;
+use ispn_sched::{Averaging, Fifo, FifoPlus, QueueDiscipline, VirtualClock, Wfq};
+use ispn_traffic::{OnOffConfig, OnOffSource, SharedSourceStats};
+
+use crate::config::PaperConfig;
+
+/// The disciplines Tables 1 and 2 compare (plus VirtualClock for the
+/// ablation benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisciplineKind {
+    /// Plain FIFO.
+    Fifo,
+    /// Weighted Fair Queueing with equal clock rates.
+    Wfq,
+    /// FIFO+ (running-mean class average).
+    FifoPlus,
+    /// FIFO+ with an EWMA class average (ablation).
+    FifoPlusEwma,
+    /// VirtualClock with equal rates (ablation).
+    VirtualClock,
+}
+
+impl DisciplineKind {
+    /// The label used in experiment output (matches the paper's tables for
+    /// the three disciplines it names).
+    pub fn label(self) -> &'static str {
+        match self {
+            DisciplineKind::Fifo => "FIFO",
+            DisciplineKind::Wfq => "WFQ",
+            DisciplineKind::FifoPlus => "FIFO+",
+            DisciplineKind::FifoPlusEwma => "FIFO+ (EWMA)",
+            DisciplineKind::VirtualClock => "VirtualClock",
+        }
+    }
+
+    /// Construct a fresh discipline instance for one link shared by
+    /// `flows_on_link` equal flows.
+    pub fn build(self, cfg: &PaperConfig, flows_on_link: usize) -> Box<dyn QueueDiscipline> {
+        match self {
+            DisciplineKind::Fifo => Box::new(Fifo::new()),
+            DisciplineKind::Wfq => Box::new(Wfq::equal_share(cfg.link_rate_bps, flows_on_link)),
+            DisciplineKind::FifoPlus => Box::new(FifoPlus::new(Averaging::RunningMean)),
+            DisciplineKind::FifoPlusEwma => Box::new(FifoPlus::new(Averaging::Ewma(1.0 / 16.0))),
+            DisciplineKind::VirtualClock => Box::new(VirtualClock::new(
+                cfg.link_rate_bps / flows_on_link.max(1) as f64,
+            )),
+        }
+    }
+
+    /// The three disciplines Table 2 compares, in the paper's order.
+    pub fn table2_set() -> [DisciplineKind; 3] {
+        [
+            DisciplineKind::Wfq,
+            DisciplineKind::Fifo,
+            DisciplineKind::FifoPlus,
+        ]
+    }
+}
+
+/// Attach the Appendix's on/off source (rate A, peak 2A, burst 5, `(A, 50)`
+/// source policer) to an already-registered flow; returns the source's
+/// shared counters.
+pub fn attach_onoff(
+    net: &mut Network,
+    flow: FlowId,
+    cfg: &PaperConfig,
+    seed_index: u32,
+) -> SharedSourceStats {
+    let source = OnOffSource::new(flow, OnOffConfig::paper(cfg.avg_rate_pps, cfg.flow_seed(seed_index)));
+    let stats = source.stats();
+    net.add_agent(Box::new(source));
+    stats
+}
+
+/// The service class Tables 1 and 2 use for their undifferentiated
+/// real-time flows: a single predicted class (priority 0).  The choice only
+/// affects real-time-utilization bookkeeping — FIFO, WFQ and FIFO+ do not
+/// look at the class.
+pub fn realtime_class() -> ServiceClass {
+    ServiceClass::Predicted { priority: 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_cover_every_kind() {
+        for k in [
+            DisciplineKind::Fifo,
+            DisciplineKind::Wfq,
+            DisciplineKind::FifoPlus,
+            DisciplineKind::FifoPlusEwma,
+            DisciplineKind::VirtualClock,
+        ] {
+            assert!(!k.label().is_empty());
+            let d = k.build(&PaperConfig::paper(), 10);
+            assert!(d.is_empty());
+        }
+    }
+
+    #[test]
+    fn table2_set_is_the_papers_three() {
+        let set = DisciplineKind::table2_set();
+        assert_eq!(set[0].label(), "WFQ");
+        assert_eq!(set[1].label(), "FIFO");
+        assert_eq!(set[2].label(), "FIFO+");
+    }
+}

@@ -1,0 +1,145 @@
+//! Table 1: WFQ vs FIFO on a single shared link.
+//!
+//! "We consider a single link being utilized by 10 flows, each having the
+//! same statistical generation process.  In Table 1 we show the mean and
+//! 99.9'th percentile queueing delays for a sample flow (the data from the
+//! various flows are similar) under each of the two scheduling algorithms.
+//! Note that while the mean delays are about the same for the two
+//! algorithms, the 99.9'th percentile delays are significantly smaller under
+//! the FIFO algorithm."  The link runs at 83.5 % utilization.
+
+use ispn_core::FlowSpec;
+use ispn_net::{FlowConfig, Network, Topology};
+use ispn_sim::SimTime;
+
+use crate::config::PaperConfig;
+use crate::support::{attach_onoff, realtime_class, DisciplineKind};
+
+/// Number of flows sharing the single link.
+pub const NUM_FLOWS: usize = 10;
+
+/// One row of Table 1 (delays in packet transmission times).
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Scheduling discipline.
+    pub scheduler: &'static str,
+    /// Mean queueing delay of the sample flow.
+    pub mean: f64,
+    /// 99.9th-percentile queueing delay of the sample flow.
+    pub p999: f64,
+    /// Mean over all ten flows (not in the paper's table; reported for
+    /// completeness).
+    pub all_flows_mean: f64,
+    /// Largest per-flow 99.9th percentile over all ten flows.
+    pub all_flows_worst_p999: f64,
+    /// Measured link utilization.
+    pub utilization: f64,
+}
+
+/// Result of the Table-1 experiment.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// One row per scheduling discipline.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Run the single-link scenario under one discipline.
+pub fn run_single_link(cfg: &PaperConfig, discipline: DisciplineKind) -> Table1Row {
+    let (topo, _nodes, links) = Topology::chain(
+        2,
+        cfg.link_rate_bps,
+        SimTime::ZERO,
+        cfg.buffer_packets,
+    );
+    let link = links[0];
+    let mut net = Network::new(topo);
+    net.set_discipline(link, discipline.build(cfg, NUM_FLOWS));
+
+    let mut flows = Vec::with_capacity(NUM_FLOWS);
+    for i in 0..NUM_FLOWS {
+        let flow = net.add_flow(FlowConfig {
+            route: vec![link],
+            spec: FlowSpec::Datagram,
+            class: realtime_class(),
+            edge_policer: None,
+            sink: None,
+        });
+        attach_onoff(&mut net, flow, cfg, i as u32);
+        flows.push(flow);
+    }
+
+    net.run_until(cfg.duration);
+
+    let pt = cfg.packet_time().as_secs_f64();
+    let sample = net.monitor_mut().flow_report(flows[0]);
+    let mut mean_sum = 0.0;
+    let mut worst_p999: f64 = 0.0;
+    for &f in &flows {
+        let r = net.monitor_mut().flow_report(f);
+        mean_sum += r.mean_delay;
+        worst_p999 = worst_p999.max(r.p999_delay);
+    }
+    Table1Row {
+        scheduler: discipline.label(),
+        mean: sample.mean_delay / pt,
+        p999: sample.p999_delay / pt,
+        all_flows_mean: mean_sum / NUM_FLOWS as f64 / pt,
+        all_flows_worst_p999: worst_p999 / pt,
+        utilization: net.monitor().link_report(link.index()).utilization,
+    }
+}
+
+/// Run the full Table-1 comparison (WFQ and FIFO, in the paper's order).
+pub fn run(cfg: &PaperConfig) -> Table1 {
+    Table1 {
+        rows: vec![
+            run_single_link(cfg, DisciplineKind::Wfq),
+            run_single_link(cfg, DisciplineKind::Fifo),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shortened_run_reproduces_the_tables_shape() {
+        // 40 simulated seconds are enough for the qualitative claims: the
+        // means are comparable and FIFO's tail is no worse than WFQ's.
+        let cfg = PaperConfig::fast();
+        let t = run(&cfg);
+        assert_eq!(t.rows.len(), 2);
+        let wfq = &t.rows[0];
+        let fifo = &t.rows[1];
+        assert_eq!(wfq.scheduler, "WFQ");
+        assert_eq!(fifo.scheduler, "FIFO");
+        // The link really is loaded at roughly 83.5 %.
+        assert!(
+            (wfq.utilization - 0.835).abs() < 0.05,
+            "utilization {}",
+            wfq.utilization
+        );
+        // Delays are positive and the tail exceeds the mean.
+        for row in &t.rows {
+            assert!(row.mean > 0.5, "{row:?}");
+            assert!(row.p999 > row.mean, "{row:?}");
+        }
+        // Means within a factor of each other; FIFO tail not worse than WFQ.
+        assert!((wfq.mean - fifo.mean).abs() / wfq.mean < 0.5);
+        assert!(fifo.p999 <= wfq.p999 * 1.15, "FIFO {} vs WFQ {}", fifo.p999, wfq.p999);
+    }
+
+    #[test]
+    fn single_run_is_deterministic() {
+        let cfg = PaperConfig {
+            duration: SimTime::from_secs(20),
+            ..PaperConfig::paper()
+        };
+        let a = run_single_link(&cfg, DisciplineKind::Fifo);
+        let b = run_single_link(&cfg, DisciplineKind::Fifo);
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.p999, b.p999);
+        assert_eq!(a.utilization, b.utilization);
+    }
+}

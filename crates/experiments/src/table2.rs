@@ -1,0 +1,170 @@
+//! Table 2: WFQ vs FIFO vs FIFO+ on the Figure-1 chain.
+//!
+//! "Table 2 displays the mean and 99.9'th percentile queueing delays for a
+//! single sample flow for each path length (the data from the other flows
+//! are similar).  We compare the WFQ, FIFO, and FIFO+ algorithms (where we
+//! have used equal clock rates in the WFQ algorithm).  Note that the mean
+//! delays are comparable in all three cases.  While the 99.9'th percentile
+//! delays increase with path length for all three algorithms, the rate of
+//! growth is much smaller with the FIFO+ algorithm."
+
+use ispn_core::{FlowId, FlowSpec};
+use ispn_net::{FlowConfig, Network};
+
+use crate::config::PaperConfig;
+use crate::fig1::{self, Fig1Network, FlowPlacement, FLOWS_PER_LINK};
+use crate::support::{attach_onoff, realtime_class, DisciplineKind};
+
+/// One cell group of Table 2: the sample flow of one path length under one
+/// discipline (delays in packet transmission times).
+#[derive(Debug, Clone)]
+pub struct Table2Cell {
+    /// Scheduling discipline.
+    pub scheduler: &'static str,
+    /// Path length in inter-switch links (1–4).
+    pub path_length: usize,
+    /// Mean queueing delay of the sample flow.
+    pub mean: f64,
+    /// 99.9th-percentile queueing delay of the sample flow.
+    pub p999: f64,
+}
+
+/// The full Table-2 result: cells for every (discipline, path length) pair
+/// plus the measured per-link utilizations for the last discipline run.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// All cells, ordered by discipline then path length.
+    pub cells: Vec<Table2Cell>,
+    /// Mean utilization over the four inter-switch links (per discipline).
+    pub utilization: Vec<(&'static str, f64)>,
+}
+
+impl Table2 {
+    /// Look up a cell.
+    pub fn cell(&self, scheduler: &str, path_length: usize) -> Option<&Table2Cell> {
+        self.cells
+            .iter()
+            .find(|c| c.scheduler == scheduler && c.path_length == path_length)
+    }
+}
+
+/// Build the Figure-1 network with 22 identically distributed on/off flows
+/// (Table 2 ignores the Table-3 class assignment) under one discipline, run
+/// it, and return the registered flows alongside the network.
+pub fn run_chain(
+    cfg: &PaperConfig,
+    discipline: DisciplineKind,
+) -> (Network, Vec<(FlowPlacement, FlowId)>) {
+    let skeleton = Fig1Network::build(cfg);
+    let mut net = Network::new(skeleton.topology.clone());
+    for &link in &skeleton.links {
+        net.set_discipline(link, discipline.build(cfg, FLOWS_PER_LINK));
+    }
+    let mut flows = Vec::new();
+    for (i, p) in fig1::placement().into_iter().enumerate() {
+        let flow = net.add_flow(FlowConfig {
+            route: skeleton.route_for(&p),
+            spec: FlowSpec::Datagram,
+            class: realtime_class(),
+            edge_policer: None,
+            sink: None,
+        });
+        attach_onoff(&mut net, flow, cfg, i as u32);
+        flows.push((p, flow));
+    }
+    net.run_until(cfg.duration);
+    (net, flows)
+}
+
+/// Pick the sample flow the table reports for each path length: the flow of
+/// that length whose route starts earliest in the chain (deterministic and
+/// crosses the most-loaded prefix).
+fn sample_flow(flows: &[(FlowPlacement, FlowId)], path_length: usize) -> FlowId {
+    flows
+        .iter()
+        .filter(|(p, _)| p.hops == path_length)
+        .min_by_key(|(p, _)| p.first_link)
+        .map(|(_, f)| *f)
+        .expect("every path length 1-4 exists in the placement")
+}
+
+/// Run the full Table-2 comparison.
+pub fn run(cfg: &PaperConfig) -> Table2 {
+    let mut cells = Vec::new();
+    let mut utilization = Vec::new();
+    for discipline in DisciplineKind::table2_set() {
+        let (mut net, flows) = run_chain(cfg, discipline);
+        let pt = cfg.packet_time().as_secs_f64();
+        for path_length in 1..=4 {
+            let flow = sample_flow(&flows, path_length);
+            let r = net.monitor_mut().flow_report(flow);
+            cells.push(Table2Cell {
+                scheduler: discipline.label(),
+                path_length,
+                mean: r.mean_delay / pt,
+                p999: r.p999_delay / pt,
+            });
+        }
+        let util: f64 = (0..fig1::NUM_LINKS)
+            .map(|i| net.monitor().link_report(i).utilization)
+            .sum::<f64>()
+            / fig1::NUM_LINKS as f64;
+        utilization.push((discipline.label(), util));
+    }
+    Table2 {
+        cells,
+        utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shortened_run_reproduces_the_tables_shape() {
+        let cfg = PaperConfig::fast();
+        let t = run(&cfg);
+        assert_eq!(t.cells.len(), 12);
+        // Every discipline ran at roughly 83.5 % utilization.
+        for (name, util) in &t.utilization {
+            assert!((util - 0.835).abs() < 0.06, "{name} utilization {util}");
+        }
+        // Delays grow with path length for every discipline (means).
+        for d in ["WFQ", "FIFO", "FIFO+"] {
+            let m1 = t.cell(d, 1).unwrap().mean;
+            let m4 = t.cell(d, 4).unwrap().mean;
+            assert!(m4 > m1, "{d}: mean at 4 hops {m4} vs 1 hop {m1}");
+            for h in 1..=4 {
+                let c = t.cell(d, h).unwrap();
+                assert!(c.p999 >= c.mean);
+            }
+        }
+        // FIFO+ controls the long-path tail at least as well as FIFO, which
+        // in turn beats WFQ (a 40-second run is noisy, so allow 15 % slack).
+        let f4 = t.cell("FIFO", 4).unwrap().p999;
+        let fp4 = t.cell("FIFO+", 4).unwrap().p999;
+        let w4 = t.cell("WFQ", 4).unwrap().p999;
+        assert!(fp4 <= f4 * 1.15, "FIFO+ {fp4} vs FIFO {f4}");
+        assert!(fp4 <= w4 * 1.15, "FIFO+ {fp4} vs WFQ {w4}");
+    }
+
+    #[test]
+    fn sample_flows_prefer_earliest_entry() {
+        let cfg = PaperConfig::fast();
+        let skeleton = Fig1Network::build(&cfg);
+        let mut net = Network::new(skeleton.topology.clone());
+        let flows: Vec<(FlowPlacement, FlowId)> = fig1::placement()
+            .into_iter()
+            .map(|p| {
+                let f = net.add_flow(FlowConfig::datagram(skeleton.route_for(&p)));
+                (p, f)
+            })
+            .collect();
+        for h in 1..=4 {
+            let f = sample_flow(&flows, h);
+            let (p, _) = flows.iter().find(|(_, id)| *id == f).unwrap();
+            assert_eq!(p.hops, h);
+        }
+    }
+}

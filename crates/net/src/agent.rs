@@ -1,0 +1,138 @@
+//! Endpoint agents: the things that produce and consume packets.
+//!
+//! Traffic sources (`ispn-traffic`), the simplified TCP endpoints
+//! (`ispn-transport`) and play-back receivers all attach to the network as
+//! *agents*.  The network calls an agent when the simulation starts, when
+//! one of the agent's timers fires, and when a packet addressed to one of
+//! the agent's flows is delivered; the agent responds by queueing outbound
+//! packets and new timers on the [`AgentApi`], which the network applies
+//! after the call returns (a command pattern — agents never hold a mutable
+//! reference to the network, which keeps re-entrancy impossible by
+//! construction).
+
+use ispn_core::Packet;
+use ispn_sim::SimTime;
+
+/// Identifier of an agent registered with a network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AgentId(pub usize);
+
+/// A packet delivered to its destination, together with the delay
+/// decomposition the monitor computed for it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delivery {
+    /// The delivered packet.
+    pub packet: Packet,
+    /// End-to-end queueing (waiting) delay: total delay minus the fixed
+    /// transmission and propagation components along the route.
+    pub queueing_delay: SimTime,
+    /// Total delay from generation to delivery.
+    pub total_delay: SimTime,
+}
+
+/// The command buffer an agent fills during a callback.
+#[derive(Debug, Default)]
+pub struct AgentApi {
+    now: SimTime,
+    outbox: Vec<Packet>,
+    timers: Vec<(SimTime, u64)>,
+}
+
+impl AgentApi {
+    /// Create an API snapshot for a callback occurring at `now`.
+    ///
+    /// Public so downstream crates can unit-test their own agents by calling
+    /// the trait methods directly; inside a simulation the network creates
+    /// these for every callback.
+    pub fn new(now: SimTime) -> Self {
+        AgentApi {
+            now,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Send a packet.  The packet's flow must be registered with the
+    /// network; it is injected at the flow's first switch when the callback
+    /// returns.
+    pub fn send(&mut self, packet: Packet) {
+        self.outbox.push(packet);
+    }
+
+    /// Arrange for [`Agent::on_timer`] to be called `delay` from now with
+    /// the given token.
+    pub fn set_timer(&mut self, delay: SimTime, token: u64) {
+        self.timers.push((delay, token));
+    }
+
+    /// Number of packets queued for sending in this callback (used by
+    /// tests).
+    pub fn pending_sends(&self) -> usize {
+        self.outbox.len()
+    }
+
+    pub(crate) fn into_commands(self) -> (Vec<Packet>, Vec<(SimTime, u64)>) {
+        (self.outbox, self.timers)
+    }
+}
+
+/// An endpoint attached to the network.
+pub trait Agent {
+    /// Called once, at simulated time zero, before any events run.
+    fn start(&mut self, api: &mut AgentApi) {
+        let _ = api;
+    }
+
+    /// Called when a timer set through [`AgentApi::set_timer`] fires.
+    fn on_timer(&mut self, token: u64, api: &mut AgentApi) {
+        let _ = (token, api);
+    }
+
+    /// Called when a packet belonging to a flow whose sink is this agent is
+    /// delivered at its destination.
+    fn on_packet(&mut self, delivery: Delivery, api: &mut AgentApi) {
+        let _ = (delivery, api);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispn_core::FlowId;
+
+    #[test]
+    fn api_collects_commands() {
+        let mut api = AgentApi::new(SimTime::from_millis(5));
+        assert_eq!(api.now(), SimTime::from_millis(5));
+        api.send(Packet::data(FlowId(1), 0, 1000, api.now()));
+        api.set_timer(SimTime::from_millis(10), 42);
+        assert_eq!(api.pending_sends(), 1);
+        let (pkts, timers) = api.into_commands();
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(timers, vec![(SimTime::from_millis(10), 42)]);
+    }
+
+    #[test]
+    fn default_trait_methods_are_no_ops() {
+        struct Lazy;
+        impl Agent for Lazy {}
+        let mut l = Lazy;
+        let mut api = AgentApi::new(SimTime::ZERO);
+        l.start(&mut api);
+        l.on_timer(0, &mut api);
+        l.on_packet(
+            Delivery {
+                packet: Packet::data(FlowId(0), 0, 1000, SimTime::ZERO),
+                queueing_delay: SimTime::ZERO,
+                total_delay: SimTime::MILLISECOND,
+            },
+            &mut api,
+        );
+        assert_eq!(api.pending_sends(), 0);
+    }
+}

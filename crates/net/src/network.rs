@@ -1,0 +1,780 @@
+//! The network itself: switches, links, flows, agents and the event loop.
+//!
+//! The model is output-queued: every unidirectional link has, at its
+//! upstream switch, one queueing discipline and one finite packet buffer.
+//! Forwarding a packet means looking up the flow's next link at the current
+//! switch, applying edge policing if this is the flow's first switch,
+//! enqueueing into that link's discipline (or dropping if the buffer is
+//! full) and, whenever the link goes idle, asking the discipline for the
+//! next packet to transmit.
+
+use std::collections::HashMap;
+
+use ispn_core::{Conformance, FlowId, FlowSpec, Packet, ServiceClass, TokenBucket, TokenBucketSpec};
+use ispn_sched::{Fifo, QueueDiscipline, SchedContext};
+use ispn_sim::{EventQueue, SimTime};
+
+use crate::agent::{Agent, AgentApi, AgentId, Delivery};
+use crate::monitor::Monitor;
+use crate::topology::{LinkId, NodeId, Topology};
+
+/// What to do with packets that fail the edge conformance check
+/// (Section 8: "nonconforming packets are dropped or tagged").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoliceAction {
+    /// Discard the packet at the first switch.
+    Drop,
+    /// Forward the packet but mark it [`Conformance::Tagged`].
+    Tag,
+}
+
+/// Static description of one flow offered to the network.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// The sequence of links the flow traverses (must be a contiguous path).
+    pub route: Vec<LinkId>,
+    /// The service interface parameters the flow declared (Section 8).
+    pub spec: FlowSpec,
+    /// The scheduling class its packets receive at every switch.
+    pub class: ServiceClass,
+    /// Optional edge policer applied at the first switch.
+    pub edge_policer: Option<(TokenBucketSpec, PoliceAction)>,
+    /// Agent to notify when packets of this flow reach the destination.
+    pub sink: Option<AgentId>,
+}
+
+impl FlowConfig {
+    /// A datagram (best-effort) flow with no policing.
+    pub fn datagram(route: Vec<LinkId>) -> Self {
+        FlowConfig {
+            route,
+            spec: FlowSpec::Datagram,
+            class: ServiceClass::Datagram,
+            edge_policer: None,
+            sink: None,
+        }
+    }
+
+    /// A predicted-service flow at the given priority, policed at the edge.
+    pub fn predicted(
+        route: Vec<LinkId>,
+        priority: u8,
+        bucket: TokenBucketSpec,
+        target_delay: SimTime,
+        loss_rate: f64,
+        action: PoliceAction,
+    ) -> Self {
+        FlowConfig {
+            route,
+            spec: FlowSpec::predicted(bucket, target_delay, loss_rate),
+            class: ServiceClass::Predicted { priority },
+            edge_policer: Some((bucket, action)),
+            sink: None,
+        }
+    }
+
+    /// A guaranteed-service flow with the given WFQ clock rate.  The network
+    /// performs no conformance check on guaranteed flows (Section 8).
+    pub fn guaranteed(route: Vec<LinkId>, clock_rate_bps: f64) -> Self {
+        FlowConfig {
+            route,
+            spec: FlowSpec::guaranteed(clock_rate_bps),
+            class: ServiceClass::Guaranteed,
+            edge_policer: None,
+            sink: None,
+        }
+    }
+
+    /// Attach a sink agent.
+    pub fn with_sink(mut self, sink: AgentId) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+}
+
+struct FlowState {
+    config: FlowConfig,
+    policer: Option<TokenBucket>,
+    /// Index into `config.route` of the link leaving each on-path switch.
+    hop_at_node: HashMap<usize, usize>,
+    destination: NodeId,
+    /// Σ 1/rate over the route (seconds per bit of fixed serialization).
+    secs_per_bit: f64,
+    /// Σ propagation over the route.
+    total_propagation: SimTime,
+}
+
+struct Port {
+    discipline: Box<dyn QueueDiscipline>,
+    busy: bool,
+}
+
+enum NetEvent {
+    Timer { agent: AgentId, token: u64 },
+    TxComplete { link: LinkId },
+    Arrival { link: LinkId, packet: Packet },
+}
+
+/// A no-op agent used as a placeholder while a real agent is borrowed for a
+/// callback.
+struct NoopAgent;
+impl Agent for NoopAgent {}
+
+/// The simulated packet network.
+pub struct Network {
+    topo: Topology,
+    ports: Vec<Port>,
+    flows: Vec<FlowState>,
+    agents: Vec<Box<dyn Agent>>,
+    monitor: Monitor,
+    queue: EventQueue<NetEvent>,
+    now: SimTime,
+    started: bool,
+    /// Number of agents whose `start` callback has already run (agents may
+    /// be added mid-run, e.g. flows admitted by admission control; they are
+    /// started at the next `run_until`).
+    started_agents: usize,
+}
+
+impl Network {
+    /// Create a network over `topology`; every link starts with a FIFO
+    /// discipline, replaceable with [`set_discipline`].
+    ///
+    /// [`set_discipline`]: Network::set_discipline
+    pub fn new(topology: Topology) -> Self {
+        let ports = (0..topology.num_links())
+            .map(|_| Port {
+                discipline: Box::new(Fifo::new()) as Box<dyn QueueDiscipline>,
+                busy: false,
+            })
+            .collect();
+        let num_links = topology.num_links();
+        Network {
+            topo: topology,
+            ports,
+            flows: Vec::new(),
+            agents: Vec::new(),
+            monitor: Monitor::new(0, num_links),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            started: false,
+            started_agents: 0,
+        }
+    }
+
+    /// The topology this network runs over.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The measurement sink.
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// Mutable access to the measurement sink (e.g. to set a warm-up
+    /// period or pull reports that need sorting).
+    pub fn monitor_mut(&mut self) -> &mut Monitor {
+        &mut self.monitor
+    }
+
+    /// Replace the queueing discipline of a link's output port.
+    ///
+    /// # Panics
+    /// Panics if called after the simulation has started or if the port has
+    /// packets queued.
+    pub fn set_discipline(&mut self, link: LinkId, discipline: Box<dyn QueueDiscipline>) {
+        assert!(!self.started, "cannot swap disciplines after the run started");
+        assert!(
+            self.ports[link.index()].discipline.is_empty(),
+            "cannot swap a non-empty discipline"
+        );
+        self.ports[link.index()].discipline = discipline;
+    }
+
+    /// The name of the discipline installed on a link (for reports).
+    pub fn discipline_name(&self, link: LinkId) -> &'static str {
+        self.ports[link.index()].discipline.name()
+    }
+
+    /// Register an agent and return its id.
+    pub fn add_agent(&mut self, agent: Box<dyn Agent>) -> AgentId {
+        let id = AgentId(self.agents.len());
+        self.agents.push(agent);
+        id
+    }
+
+    /// Register a flow and return its id.
+    ///
+    /// # Panics
+    /// Panics if the route is not a contiguous path in the topology.
+    pub fn add_flow(&mut self, config: FlowConfig) -> FlowId {
+        assert!(
+            self.topo.validate_route(&config.route),
+            "flow route is not a contiguous path"
+        );
+        let mut hop_at_node = HashMap::new();
+        let mut secs_per_bit = 0.0;
+        let mut total_propagation = SimTime::ZERO;
+        for (i, link) in config.route.iter().enumerate() {
+            let params = self.topo.link(*link);
+            let prev = hop_at_node.insert(params.from.0, i);
+            assert!(prev.is_none(), "route visits switch {:?} twice", params.from);
+            secs_per_bit += 1.0 / params.rate_bps;
+            total_propagation += params.propagation;
+        }
+        let destination = self.topo.link(*config.route.last().expect("non-empty route")).to;
+        let policer = config
+            .edge_policer
+            .map(|(spec, _)| TokenBucket::new(spec));
+        let id = FlowId(self.flows.len() as u32);
+        self.flows.push(FlowState {
+            config,
+            policer,
+            hop_at_node,
+            destination,
+            secs_per_bit,
+            total_propagation,
+        });
+        self.monitor.ensure_flows(self.flows.len());
+        id
+    }
+
+    /// The configuration of a registered flow.
+    pub fn flow_config(&self, flow: FlowId) -> &FlowConfig {
+        &self.flows[flow.index()].config
+    }
+
+    /// Attach (or replace) the sink agent of a flow.
+    ///
+    /// Needed because flows and agents reference each other: transports
+    /// create their flows first, then their endpoint agents, then wire the
+    /// delivery callbacks up with this call.
+    pub fn set_flow_sink(&mut self, flow: FlowId, sink: AgentId) {
+        assert!(sink.0 < self.agents.len(), "unknown agent {sink:?}");
+        self.flows[flow.index()].config.sink = Some(sink);
+    }
+
+    /// Number of registered flows.
+    pub fn num_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// The fixed (non-queueing) delay a packet of `size_bits` experiences on
+    /// this flow's route: serialization at every hop plus propagation.
+    pub fn fixed_delay(&self, flow: FlowId, size_bits: u64) -> SimTime {
+        let f = &self.flows[flow.index()];
+        SimTime::from_secs_f64(size_bits as f64 * f.secs_per_bit) + f.total_propagation
+    }
+
+    /// Inject a packet directly (used by tests and by agent outboxes).  The
+    /// packet enters the network at its flow's first switch at the current
+    /// simulated time.
+    pub fn inject(&mut self, packet: Packet) {
+        assert!(
+            (packet.flow.index()) < self.flows.len(),
+            "packet for unregistered flow {}",
+            packet.flow
+        );
+        self.monitor.record_generated(packet.flow, self.now);
+        let entry = self.topo.link(self.flows[packet.flow.index()].config.route[0]).from;
+        self.forward(packet, entry);
+    }
+
+    /// Run the simulation until `horizon` (exclusive).  May be called
+    /// repeatedly with increasing horizons.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        self.started = true;
+        while self.started_agents < self.agents.len() {
+            let next = AgentId(self.started_agents);
+            self.started_agents += 1;
+            self.dispatch_start(next);
+        }
+        while let Some(t) = self.queue.peek_time() {
+            if t >= horizon {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event exists");
+            debug_assert!(t >= self.now, "event from the past");
+            self.now = t;
+            match ev {
+                NetEvent::Timer { agent, token } => self.dispatch_timer(agent, token),
+                NetEvent::TxComplete { link } => self.on_tx_complete(link),
+                NetEvent::Arrival { link, packet } => {
+                    let to = self.topo.link(link).to;
+                    self.forward(packet, to);
+                }
+            }
+        }
+        self.now = horizon;
+        self.monitor.advance_horizon(horizon);
+    }
+
+    // ----- agent dispatch -------------------------------------------------
+
+    fn apply_commands(&mut self, agent: AgentId, api: AgentApi) {
+        let (packets, timers) = api.into_commands();
+        for p in packets {
+            self.inject(p);
+        }
+        for (delay, token) in timers {
+            self.queue
+                .push(self.now + delay, NetEvent::Timer { agent, token });
+        }
+    }
+
+    fn dispatch_start(&mut self, id: AgentId) {
+        let mut api = AgentApi::new(self.now);
+        let mut agent = std::mem::replace(&mut self.agents[id.0], Box::new(NoopAgent));
+        agent.start(&mut api);
+        self.agents[id.0] = agent;
+        self.apply_commands(id, api);
+    }
+
+    fn dispatch_timer(&mut self, id: AgentId, token: u64) {
+        let mut api = AgentApi::new(self.now);
+        let mut agent = std::mem::replace(&mut self.agents[id.0], Box::new(NoopAgent));
+        agent.on_timer(token, &mut api);
+        self.agents[id.0] = agent;
+        self.apply_commands(id, api);
+    }
+
+    fn dispatch_delivery(&mut self, id: AgentId, delivery: Delivery) {
+        let mut api = AgentApi::new(self.now);
+        let mut agent = std::mem::replace(&mut self.agents[id.0], Box::new(NoopAgent));
+        agent.on_packet(delivery, &mut api);
+        self.agents[id.0] = agent;
+        self.apply_commands(id, api);
+    }
+
+    // ----- forwarding -----------------------------------------------------
+
+    fn forward(&mut self, mut packet: Packet, node: NodeId) {
+        let flow_idx = packet.flow.index();
+        let destination = self.flows[flow_idx].destination;
+        if node == destination {
+            self.deliver(packet);
+            return;
+        }
+        let hop = *self.flows[flow_idx]
+            .hop_at_node
+            .get(&node.0)
+            .unwrap_or_else(|| panic!("{} reached off-path switch {:?}", packet.flow, node));
+        let link = self.flows[flow_idx].config.route[hop];
+
+        // Edge policing at the flow's first switch only (Section 8: "After
+        // that initial check, conformance is never enforced at later
+        // switches").
+        if hop == 0 {
+            if let Some((_, action)) = self.flows[flow_idx].config.edge_policer {
+                let now = self.now;
+                let policer = self.flows[flow_idx]
+                    .policer
+                    .as_mut()
+                    .expect("policer exists when edge_policer configured");
+                match action {
+                    PoliceAction::Drop => {
+                        if !policer.offer(now, packet.size_bits) {
+                            self.monitor.record_edge_drop(packet.flow, now);
+                            return;
+                        }
+                    }
+                    PoliceAction::Tag => {
+                        // Non-conforming packets are forwarded but marked;
+                        // they do not consume tokens, so conforming traffic
+                        // keeps its share of the profile (srTCM-style
+                        // colouring rather than debt accounting).
+                        if !policer.offer(now, packet.size_bits) {
+                            packet.tag = Conformance::Tagged;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Buffer check, then enqueue.
+        let class = self.flows[flow_idx].config.class;
+        let buffer_limit = self.topo.link(link).buffer_packets;
+        let port = &mut self.ports[link.index()];
+        if port.discipline.len() >= buffer_limit {
+            self.monitor.record_buffer_drop(packet.flow, link.index(), self.now);
+            return;
+        }
+        port.discipline
+            .enqueue(self.now, packet, SchedContext::new(class, self.now));
+        if !port.busy {
+            self.start_transmission(link);
+        }
+    }
+
+    fn start_transmission(&mut self, link: LinkId) {
+        let params = *self.topo.link(link);
+        let port = &mut self.ports[link.index()];
+        debug_assert!(!port.busy);
+        let d = port
+            .discipline
+            .dequeue(self.now)
+            .expect("start_transmission called with a non-empty queue");
+        port.busy = true;
+        let waiting = d.queueing_delay(self.now);
+        let tx_time = ispn_sim::time::transmission_time(d.packet.size_bits, params.rate_bps);
+        self.monitor.record_transmission(
+            link.index(),
+            d.class,
+            waiting,
+            tx_time,
+            d.packet.size_bits,
+            self.now,
+        );
+        self.queue
+            .push(self.now + tx_time, NetEvent::TxComplete { link });
+        self.queue.push(
+            self.now + tx_time + params.propagation,
+            NetEvent::Arrival {
+                link,
+                packet: d.packet,
+            },
+        );
+    }
+
+    fn on_tx_complete(&mut self, link: LinkId) {
+        let port = &mut self.ports[link.index()];
+        port.busy = false;
+        if !port.discipline.is_empty() {
+            self.start_transmission(link);
+        }
+    }
+
+    fn deliver(&mut self, packet: Packet) {
+        let flow_idx = packet.flow.index();
+        let total_delay = self.now.saturating_sub(packet.created_at);
+        let fixed = self.fixed_delay(packet.flow, packet.size_bits);
+        let queueing_delay = total_delay.saturating_sub(fixed);
+        self.monitor
+            .record_delivery(packet.flow, queueing_delay, self.now);
+        if let Some(sink) = self.flows[flow_idx].config.sink {
+            self.dispatch_delivery(
+                sink,
+                Delivery {
+                    packet,
+                    queueing_delay,
+                    total_delay,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispn_sched::{Averaging, FifoPlus, StrictPriority, Unified, Wfq};
+
+    const MBIT: f64 = 1_000_000.0;
+    const PKT: u64 = 1000;
+
+    /// An agent that sends a fixed schedule of packets on one flow.
+    struct ScheduledSender {
+        flow: FlowId,
+        times: Vec<SimTime>,
+        next: usize,
+        seq: u64,
+    }
+
+    impl ScheduledSender {
+        fn new(flow: FlowId, times: Vec<SimTime>) -> Self {
+            ScheduledSender {
+                flow,
+                times,
+                next: 0,
+                seq: 0,
+            }
+        }
+        fn arm(&mut self, api: &mut AgentApi) {
+            if self.next < self.times.len() {
+                let delay = self.times[self.next].saturating_sub(api.now());
+                api.set_timer(delay, 0);
+            }
+        }
+    }
+
+    impl Agent for ScheduledSender {
+        fn start(&mut self, api: &mut AgentApi) {
+            self.arm(api);
+        }
+        fn on_timer(&mut self, _token: u64, api: &mut AgentApi) {
+            api.send(Packet::data(self.flow, self.seq, PKT, api.now()));
+            self.seq += 1;
+            self.next += 1;
+            self.arm(api);
+        }
+    }
+
+    /// A sink that records deliveries.
+    #[derive(Default)]
+    struct RecordingSink {
+        delivered: std::rc::Rc<std::cell::RefCell<Vec<Delivery>>>,
+    }
+
+    impl Agent for RecordingSink {
+        fn on_packet(&mut self, delivery: Delivery, _api: &mut AgentApi) {
+            self.delivered.borrow_mut().push(delivery);
+        }
+    }
+
+    fn two_switch_net() -> (Network, LinkId) {
+        let (topo, _nodes, links) = Topology::chain(2, MBIT, SimTime::ZERO, 200);
+        (Network::new(topo), links[0])
+    }
+
+    #[test]
+    fn single_packet_traverses_one_link_with_no_queueing() {
+        let (mut net, link) = two_switch_net();
+        let flow = net.add_flow(FlowConfig::datagram(vec![link]));
+        let agent = ScheduledSender::new(flow, vec![SimTime::from_millis(10)]);
+        net.add_agent(Box::new(agent));
+        net.run_until(SimTime::from_secs(1));
+        let report = net.monitor_mut().flow_report(flow);
+        assert_eq!(report.generated, 1);
+        assert_eq!(report.delivered, 1);
+        // No competing traffic: queueing delay is zero; total = 1 ms tx.
+        assert!(report.mean_delay < 1e-9);
+        assert_eq!(net.fixed_delay(flow, PKT), SimTime::MILLISECOND);
+    }
+
+    #[test]
+    fn back_to_back_packets_queue_behind_each_other() {
+        let (mut net, link) = two_switch_net();
+        let flow = net.add_flow(FlowConfig::datagram(vec![link]));
+        // Three packets at the same instant: queueing delays 0, 1, 2 ms.
+        let t = SimTime::from_millis(5);
+        let agent = ScheduledSender::new(flow, vec![t, t, t]);
+        net.add_agent(Box::new(agent));
+        net.run_until(SimTime::from_secs(1));
+        let report = net.monitor_mut().flow_report(flow);
+        assert_eq!(report.delivered, 3);
+        assert!((report.mean_delay - 0.001).abs() < 1e-9, "{}", report.mean_delay);
+        assert!((report.max_delay - 0.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queueing_delay_excludes_per_hop_transmission_on_long_paths() {
+        // Three hops, no competition: queueing delay must be ~0 even though
+        // total delay is 3 ms.
+        let (topo, _nodes, links) = Topology::chain(4, MBIT, SimTime::ZERO, 200);
+        let mut net = Network::new(topo);
+        let flow = net.add_flow(FlowConfig::datagram(links.clone()));
+        let agent = ScheduledSender::new(flow, vec![SimTime::from_millis(1)]);
+        net.add_agent(Box::new(agent));
+        net.run_until(SimTime::from_secs(1));
+        let report = net.monitor_mut().flow_report(flow);
+        assert_eq!(report.delivered, 1);
+        assert!(report.mean_delay < 1e-9);
+        assert_eq!(net.fixed_delay(flow, PKT), SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn propagation_delay_is_fixed_not_queueing() {
+        let mut topo = Topology::new();
+        let a = topo.add_node();
+        let b = topo.add_node();
+        let l = topo.add_link(a, b, MBIT, SimTime::from_millis(7), 200);
+        let mut net = Network::new(topo);
+        let flow = net.add_flow(FlowConfig::datagram(vec![l]));
+        let agent = ScheduledSender::new(flow, vec![SimTime::ZERO]);
+        net.add_agent(Box::new(agent));
+        net.run_until(SimTime::from_secs(1));
+        let report = net.monitor_mut().flow_report(flow);
+        assert!(report.mean_delay < 1e-9);
+        assert_eq!(net.fixed_delay(flow, PKT), SimTime::from_millis(8));
+    }
+
+    #[test]
+    fn buffer_overflow_drops_and_is_counted() {
+        let mut topo = Topology::new();
+        let a = topo.add_node();
+        let b = topo.add_node();
+        // Tiny buffer: 2 packets.
+        let l = topo.add_link(a, b, MBIT, SimTime::ZERO, 2);
+        let mut net = Network::new(topo);
+        let flow = net.add_flow(FlowConfig::datagram(vec![l]));
+        let t = SimTime::from_millis(1);
+        // 5 packets at once: 1 in transmission + 2 buffered, 2 dropped.
+        let agent = ScheduledSender::new(flow, vec![t, t, t, t, t]);
+        net.add_agent(Box::new(agent));
+        net.run_until(SimTime::from_secs(1));
+        let report = net.monitor_mut().flow_report(flow);
+        assert_eq!(report.generated, 5);
+        assert_eq!(report.delivered, 3);
+        assert_eq!(report.dropped_buffer, 2);
+        assert!((report.loss_rate() - 0.4).abs() < 1e-12);
+        let link_report = net.monitor().link_report(0);
+        assert_eq!(link_report.drops, 2);
+    }
+
+    #[test]
+    fn edge_policer_drops_nonconforming_packets() {
+        let (mut net, link) = two_switch_net();
+        // Bucket of depth 2 packets refilling slowly: a 5-packet burst loses 3.
+        let bucket = TokenBucketSpec::per_packets(1.0, 2.0, PKT);
+        let flow = net.add_flow(FlowConfig::predicted(
+            vec![link],
+            0,
+            bucket,
+            SimTime::from_millis(10),
+            0.01,
+            PoliceAction::Drop,
+        ));
+        let t = SimTime::from_millis(1);
+        let agent = ScheduledSender::new(flow, vec![t, t, t, t, t]);
+        net.add_agent(Box::new(agent));
+        net.run_until(SimTime::from_secs(1));
+        let report = net.monitor_mut().flow_report(flow);
+        assert_eq!(report.dropped_at_edge, 3);
+        assert_eq!(report.delivered, 2);
+    }
+
+    #[test]
+    fn edge_policer_tagging_forwards_but_marks() {
+        let (mut net, link) = two_switch_net();
+        let bucket = TokenBucketSpec::per_packets(1.0, 1.0, PKT);
+        let sink_record = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let sink = net.add_agent(Box::new(RecordingSink {
+            delivered: sink_record.clone(),
+        }));
+        let mut config = FlowConfig::predicted(
+            vec![link],
+            0,
+            bucket,
+            SimTime::from_millis(10),
+            0.01,
+            PoliceAction::Tag,
+        )
+        .with_sink(sink);
+        config.edge_policer = Some((bucket, PoliceAction::Tag));
+        let flow = net.add_flow(config);
+        let t = SimTime::from_millis(1);
+        let agent = ScheduledSender::new(flow, vec![t, t]);
+        net.add_agent(Box::new(agent));
+        net.run_until(SimTime::from_secs(1));
+        let report = net.monitor_mut().flow_report(flow);
+        assert_eq!(report.delivered, 2);
+        let deliveries = sink_record.borrow();
+        assert_eq!(deliveries.len(), 2);
+        assert_eq!(deliveries[0].packet.tag, Conformance::Conforming);
+        assert_eq!(deliveries[1].packet.tag, Conformance::Tagged);
+    }
+
+    #[test]
+    fn sink_agent_sees_correct_delay_decomposition() {
+        let (mut net, link) = two_switch_net();
+        let record = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let sink = net.add_agent(Box::new(RecordingSink {
+            delivered: record.clone(),
+        }));
+        let flow = net.add_flow(FlowConfig::datagram(vec![link]).with_sink(sink));
+        let t = SimTime::from_millis(5);
+        let agent = ScheduledSender::new(flow, vec![t, t]);
+        net.add_agent(Box::new(agent));
+        net.run_until(SimTime::from_secs(1));
+        let deliveries = record.borrow();
+        assert_eq!(deliveries.len(), 2);
+        assert_eq!(deliveries[0].total_delay, SimTime::MILLISECOND);
+        assert_eq!(deliveries[0].queueing_delay, SimTime::ZERO);
+        assert_eq!(deliveries[1].total_delay, SimTime::from_millis(2));
+        assert_eq!(deliveries[1].queueing_delay, SimTime::MILLISECOND);
+    }
+
+    #[test]
+    fn link_utilization_matches_offered_load() {
+        let (mut net, link) = two_switch_net();
+        let flow = net.add_flow(FlowConfig::datagram(vec![link]));
+        // 100 packets, one every 2 ms: the link is busy 50 % of the time.
+        let times: Vec<SimTime> = (0..100).map(|i| SimTime::from_millis(2 * i)).collect();
+        net.add_agent(Box::new(ScheduledSender::new(flow, times)));
+        net.run_until(SimTime::from_millis(200));
+        let lr = net.monitor().link_report(0);
+        assert!((lr.utilization - 0.5).abs() < 0.02, "{}", lr.utilization);
+        assert_eq!(lr.packets_sent, 100);
+        // Datagram traffic is not real-time.
+        assert_eq!(lr.realtime_utilization, 0.0);
+    }
+
+    #[test]
+    fn works_with_every_discipline_installed() {
+        for which in 0..4 {
+            let (topo, _nodes, links) = Topology::chain(3, MBIT, SimTime::ZERO, 200);
+            let mut net = Network::new(topo);
+            let disc: Box<dyn QueueDiscipline> = match which {
+                0 => Box::new(Wfq::equal_share(MBIT, 2)),
+                1 => Box::new(FifoPlus::new(Averaging::RunningMean)),
+                2 => Box::new(StrictPriority::<Fifo>::new(2)),
+                _ => {
+                    let mut u = Unified::new(MBIT, 2, Averaging::RunningMean);
+                    u.add_guaranteed_flow(FlowId(0), 200_000.0);
+                    Box::new(u)
+                }
+            };
+            net.set_discipline(links[0], disc);
+            let f0 = net.add_flow(FlowConfig::guaranteed(links.clone(), 200_000.0));
+            let f1 = net.add_flow(FlowConfig {
+                route: links.clone(),
+                spec: FlowSpec::Datagram,
+                class: ServiceClass::Predicted { priority: 0 },
+                edge_policer: None,
+                sink: None,
+            });
+            let t = SimTime::from_millis(1);
+            net.add_agent(Box::new(ScheduledSender::new(f0, vec![t, t, t])));
+            net.add_agent(Box::new(ScheduledSender::new(f1, vec![t, t, t])));
+            net.run_until(SimTime::from_secs(1));
+            assert_eq!(net.monitor_mut().flow_report(f0).delivered, 3);
+            assert_eq!(net.monitor_mut().flow_report(f1).delivered, 3);
+        }
+    }
+
+    #[test]
+    fn repeated_run_until_is_equivalent_to_single_run() {
+        let build = || {
+            let (mut net, link) = two_switch_net();
+            let flow = net.add_flow(FlowConfig::datagram(vec![link]));
+            let times: Vec<SimTime> = (0..50).map(|i| SimTime::from_millis(3 * i)).collect();
+            net.add_agent(Box::new(ScheduledSender::new(flow, times)));
+            (net, flow)
+        };
+        let (mut a, fa) = build();
+        a.run_until(SimTime::from_secs(1));
+        let (mut b, fb) = build();
+        for k in 1..=10 {
+            b.run_until(SimTime::from_millis(100 * k));
+        }
+        let ra = a.monitor_mut().flow_report(fa);
+        let rb = b.monitor_mut().flow_report(fb);
+        assert_eq!(ra.delivered, rb.delivered);
+        assert_eq!(ra.mean_delay, rb.mean_delay);
+        assert_eq!(ra.max_delay, rb.max_delay);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_route_rejected() {
+        let (topo, _nodes, links) = Topology::chain(4, MBIT, SimTime::ZERO, 200);
+        let mut net = Network::new(topo);
+        net.add_flow(FlowConfig::datagram(vec![links[0], links[2]]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn swapping_discipline_after_start_rejected() {
+        let (mut net, link) = two_switch_net();
+        let flow = net.add_flow(FlowConfig::datagram(vec![link]));
+        net.add_agent(Box::new(ScheduledSender::new(flow, vec![SimTime::ZERO])));
+        net.run_until(SimTime::from_millis(10));
+        net.set_discipline(link, Box::new(Fifo::new()));
+    }
+}

@@ -1,0 +1,114 @@
+//! The queue-discipline interface shared by every scheduler.
+//!
+//! A discipline owns the packets queued at one switch output port and
+//! decides, each time the link becomes free, which packet to transmit next.
+//! The switch (in `ispn-net`) handles everything else: routing, buffer
+//! limits, starting transmissions, and measurement.
+
+use ispn_core::{Packet, ServiceClass};
+use ispn_sim::SimTime;
+
+/// Per-packet context the switch hands to the discipline at enqueue time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedContext {
+    /// The service class this packet's flow receives *at this switch*
+    /// (a predicted flow may sit in different priority classes at different
+    /// switches — Section 7).
+    pub class: ServiceClass,
+    /// Arrival time at this output port.
+    pub arrival: SimTime,
+}
+
+impl SchedContext {
+    /// Convenience constructor.
+    pub fn new(class: ServiceClass, arrival: SimTime) -> Self {
+        SchedContext { class, arrival }
+    }
+
+    /// A datagram-class context (used widely in tests).
+    pub fn datagram(arrival: SimTime) -> Self {
+        SchedContext {
+            class: ServiceClass::Datagram,
+            arrival,
+        }
+    }
+}
+
+/// A packet handed back by [`QueueDiscipline::dequeue`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dequeued {
+    /// The packet to transmit next.  Disciplines may have updated mutable
+    /// header fields (FIFO+ updates the jitter offset here).
+    pub packet: Packet,
+    /// The packet's arrival time at this port (so the switch can compute the
+    /// queueing delay without keeping its own map).
+    pub arrival: SimTime,
+    /// The class under which the packet was queued.
+    pub class: ServiceClass,
+}
+
+impl Dequeued {
+    /// The queueing (waiting) delay this packet experienced at this port if
+    /// transmission starts at `now`.
+    pub fn queueing_delay(&self, now: SimTime) -> SimTime {
+        now.saturating_sub(self.arrival)
+    }
+}
+
+/// A packet scheduling discipline for one output port.
+///
+/// Contract (checked by [`crate::conformance`]):
+///
+/// * every packet enqueued is eventually dequeued exactly once (no loss —
+///   buffer management is the switch's job, not the discipline's),
+/// * the discipline is work-conserving: `dequeue` returns `Some` whenever
+///   `len() > 0`,
+/// * `now` arguments are non-decreasing across calls.
+pub trait QueueDiscipline {
+    /// Accept a packet into the queue.
+    fn enqueue(&mut self, now: SimTime, packet: Packet, ctx: SchedContext);
+
+    /// Select and remove the next packet to transmit.
+    fn dequeue(&mut self, now: SimTime) -> Option<Dequeued>;
+
+    /// Number of packets currently queued.
+    fn len(&self) -> usize;
+
+    /// `true` if nothing is queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A short human-readable name ("FIFO", "WFQ", …) used in experiment
+    /// output.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispn_core::FlowId;
+
+    #[test]
+    fn dequeued_reports_queueing_delay() {
+        let d = Dequeued {
+            packet: Packet::data(FlowId(0), 0, 1000, SimTime::ZERO),
+            arrival: SimTime::from_millis(10),
+            class: ServiceClass::Datagram,
+        };
+        assert_eq!(
+            d.queueing_delay(SimTime::from_millis(25)),
+            SimTime::from_millis(15)
+        );
+        // Clock weirdness saturates rather than panicking.
+        assert_eq!(d.queueing_delay(SimTime::from_millis(5)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn context_constructors() {
+        let c = SchedContext::datagram(SimTime::from_millis(1));
+        assert_eq!(c.class, ServiceClass::Datagram);
+        let c = SchedContext::new(ServiceClass::Guaranteed, SimTime::ZERO);
+        assert_eq!(c.class, ServiceClass::Guaranteed);
+    }
+}

@@ -1,0 +1,318 @@
+//! FIFO+ — multi-hop sharing (Section 6).
+//!
+//! "In FIFO+, we try to induce FIFO-style sharing (equal jitter for all
+//! sources in the aggregate class) across all the hops along the path to
+//! minimize jitter.  We do this as follows.  For each hop, we measure the
+//! average delay seen by packets in each priority class at that switch.  We
+//! then compute for each packet the difference between its particular delay
+//! and the class average.  We add (or subtract) this difference to a field
+//! in the header of the packet, which thus accumulates the total offset for
+//! this packet from the average for its class.  This field allows each
+//! switch to compute when the packet should have arrived if it were indeed
+//! given average service.  The switch then inserts the packet in the queue
+//! in the order as if it arrived at this expected time."
+//!
+//! Concretely, at each hop this discipline:
+//!
+//! 1. orders the queue by *expected arrival time* = actual arrival −
+//!    accumulated offset (ties broken by actual arrival order),
+//! 2. when a packet is selected for transmission, measures its queueing
+//!    delay at this hop, updates the class-average estimate, and adds
+//!    `delay − average` to the packet's offset field.
+
+use std::collections::BinaryHeap;
+
+use ispn_core::Packet;
+use ispn_sim::SimTime;
+
+use crate::disc::{Dequeued, QueueDiscipline, SchedContext};
+
+/// How the per-hop class-average delay is estimated.
+///
+/// The paper just says "we measure the average delay seen by packets in
+/// each priority class at that switch"; both a running mean over the whole
+/// run and an exponentially weighted moving average are reasonable
+/// readings, and the ablation benchmarks compare them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Averaging {
+    /// Running mean over every packet the class has sent at this hop.
+    RunningMean,
+    /// Exponentially weighted moving average with the given gain in (0, 1]
+    /// (e.g. 1/16); adapts faster when conditions change.
+    Ewma(f64),
+}
+
+#[derive(Debug, Clone)]
+struct DelayAverage {
+    kind: Averaging,
+    value_secs: f64,
+    count: u64,
+}
+
+impl DelayAverage {
+    fn new(kind: Averaging) -> Self {
+        if let Averaging::Ewma(g) = kind {
+            assert!(g > 0.0 && g <= 1.0, "EWMA gain must be in (0, 1]");
+        }
+        DelayAverage {
+            kind,
+            value_secs: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Current estimate of the class-average delay (seconds).
+    fn current(&self) -> f64 {
+        self.value_secs
+    }
+
+    fn update(&mut self, delay_secs: f64) {
+        self.count += 1;
+        match self.kind {
+            Averaging::RunningMean => {
+                self.value_secs += (delay_secs - self.value_secs) / self.count as f64;
+            }
+            Averaging::Ewma(g) => {
+                if self.count == 1 {
+                    self.value_secs = delay_secs;
+                } else {
+                    self.value_secs += g * (delay_secs - self.value_secs);
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    expected_arrival: SimTime,
+    seq: u64,
+    packet: Packet,
+    ctx: SchedContext,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.expected_arrival == other.expected_arrival && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest expected arrival
+        // (then earliest insertion) is popped first.
+        (other.expected_arrival, other.seq).cmp(&(self.expected_arrival, self.seq))
+    }
+}
+
+/// The FIFO+ discipline for a single class at a single hop.
+#[derive(Debug)]
+pub struct FifoPlus {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+    average: DelayAverage,
+    /// Whether to write the `delay − average` difference back into the
+    /// packet header.  Disabling this (while keeping expected-arrival
+    /// ordering) degrades FIFO+ to plain FIFO semantics for downstream hops
+    /// and is used by the ablation experiments.
+    update_offsets: bool,
+}
+
+impl Default for FifoPlus {
+    fn default() -> Self {
+        Self::new(Averaging::RunningMean)
+    }
+}
+
+impl FifoPlus {
+    /// Create a FIFO+ queue with the chosen averaging method.
+    pub fn new(averaging: Averaging) -> Self {
+        FifoPlus {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            average: DelayAverage::new(averaging),
+            update_offsets: true,
+        }
+    }
+
+    /// Enable or disable writing jitter offsets into departing packets.
+    pub fn set_update_offsets(&mut self, update: bool) {
+        self.update_offsets = update;
+    }
+
+    /// The current estimate of the class-average queueing delay at this hop.
+    pub fn average_delay(&self) -> SimTime {
+        SimTime::from_secs_f64(self.average.current().max(0.0))
+    }
+
+    /// Number of packets whose delay has been folded into the average.
+    pub fn measured_count(&self) -> u64 {
+        self.average.count
+    }
+}
+
+impl QueueDiscipline for FifoPlus {
+    fn enqueue(&mut self, _now: SimTime, packet: Packet, ctx: SchedContext) {
+        let expected_arrival = packet.expected_arrival(ctx.arrival);
+        self.heap.push(Entry {
+            expected_arrival,
+            seq: self.seq,
+            packet,
+            ctx,
+        });
+        self.seq += 1;
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Dequeued> {
+        let entry = self.heap.pop()?;
+        let mut packet = entry.packet;
+        let arrival = entry.ctx.arrival;
+        // Queueing delay experienced at this hop (waiting time before the
+        // link starts transmitting the packet).
+        let delay_secs = now.saturating_sub(arrival).as_secs_f64();
+        let avg_before = self.average.current();
+        self.average.update(delay_secs);
+        if self.update_offsets {
+            let diff_ns = ((delay_secs - avg_before) * 1e9).round() as i64;
+            packet.accumulate_offset(diff_ns);
+        }
+        Some(Dequeued {
+            packet,
+            arrival,
+            class: entry.ctx.class,
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "FIFO+"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispn_core::{FlowId, ServiceClass};
+
+    const PKT: u64 = 1000;
+
+    fn pkt(flow: u32, seq: u64) -> Packet {
+        Packet::data(FlowId(flow), seq, PKT, SimTime::ZERO)
+    }
+
+    fn ctx(t: SimTime) -> SchedContext {
+        SchedContext::new(ServiceClass::Predicted { priority: 0 }, t)
+    }
+
+    #[test]
+    fn zero_offset_packets_behave_like_fifo() {
+        let mut q = FifoPlus::default();
+        for (i, ms) in [1u64, 2, 3].iter().enumerate() {
+            let t = SimTime::from_millis(*ms);
+            q.enqueue(t, pkt(i as u32, 0), ctx(t));
+        }
+        let order: Vec<u32> = (0..3)
+            .map(|_| q.dequeue(SimTime::from_millis(5)).unwrap().packet.flow.0)
+            .collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn positive_offset_jumps_ahead() {
+        // A packet that has been unlucky upstream (positive offset) gets
+        // scheduled as if it had arrived earlier, overtaking a packet that
+        // actually arrived before it.
+        let mut q = FifoPlus::default();
+        let t1 = SimTime::from_millis(10);
+        q.enqueue(t1, pkt(1, 0), ctx(t1));
+        let t2 = SimTime::from_millis(11);
+        let mut unlucky = pkt(2, 0);
+        unlucky.jitter_offset_ns = 5_000_000; // 5 ms of accumulated bad luck
+        q.enqueue(t2, unlucky, ctx(t2));
+        let first = q.dequeue(SimTime::from_millis(12)).unwrap();
+        assert_eq!(first.packet.flow, FlowId(2));
+    }
+
+    #[test]
+    fn negative_offset_waits_its_turn() {
+        // A packet that has been lucky upstream (negative offset) yields to
+        // one that arrived slightly later.
+        let mut q = FifoPlus::default();
+        let t1 = SimTime::from_millis(10);
+        let mut lucky = pkt(1, 0);
+        lucky.jitter_offset_ns = -5_000_000;
+        q.enqueue(t1, lucky, ctx(t1));
+        let t2 = SimTime::from_millis(12);
+        q.enqueue(t2, pkt(2, 0), ctx(t2));
+        let first = q.dequeue(SimTime::from_millis(13)).unwrap();
+        assert_eq!(first.packet.flow, FlowId(2));
+    }
+
+    #[test]
+    fn offset_accumulates_delay_minus_average() {
+        let mut q = FifoPlus::new(Averaging::RunningMean);
+        // First packet: waits 4 ms; the average before it was 0, so its
+        // offset becomes +4 ms.
+        let t = SimTime::from_millis(0);
+        q.enqueue(t, pkt(1, 0), ctx(t));
+        let d = q.dequeue(SimTime::from_millis(4)).unwrap();
+        assert_eq!(d.packet.jitter_offset_ns, 4_000_000);
+        // Second packet: waits 1 ms; the average is now 4 ms, so its offset
+        // becomes 1 − 4 = −3 ms.
+        let t = SimTime::from_millis(10);
+        q.enqueue(t, pkt(1, 1), ctx(t));
+        let d = q.dequeue(SimTime::from_millis(11)).unwrap();
+        assert_eq!(d.packet.jitter_offset_ns, -3_000_000);
+        assert_eq!(q.measured_count(), 2);
+        // Running mean of 4 ms and 1 ms.
+        assert!((q.average_delay().as_millis_f64() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_tracks_recent_delays() {
+        let mut q = FifoPlus::new(Averaging::Ewma(0.5));
+        for i in 0..4u64 {
+            let t = SimTime::from_millis(10 * i);
+            q.enqueue(t, pkt(0, i), ctx(t));
+            let _ = q.dequeue(t + SimTime::from_millis(4)).unwrap();
+        }
+        assert!((q.average_delay().as_millis_f64() - 4.0).abs() < 1e-9);
+        // A sudden change moves the EWMA halfway.
+        let t = SimTime::from_millis(100);
+        q.enqueue(t, pkt(0, 9), ctx(t));
+        let _ = q.dequeue(t + SimTime::from_millis(8)).unwrap();
+        assert!((q.average_delay().as_millis_f64() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabling_offset_updates_keeps_headers_clean() {
+        let mut q = FifoPlus::default();
+        q.set_update_offsets(false);
+        let t = SimTime::ZERO;
+        q.enqueue(t, pkt(1, 0), ctx(t));
+        let d = q.dequeue(SimTime::from_millis(7)).unwrap();
+        assert_eq!(d.packet.jitter_offset_ns, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_ewma_gain_rejected() {
+        let _ = FifoPlus::new(Averaging::Ewma(0.0));
+    }
+
+    #[test]
+    fn empty_dequeue_is_none() {
+        let mut q = FifoPlus::default();
+        assert!(q.dequeue(SimTime::ZERO).is_none());
+        assert!(q.is_empty());
+        assert_eq!(q.name(), "FIFO+");
+    }
+}

@@ -1,0 +1,298 @@
+//! The fluid GPS reference system and its virtual clock.
+//!
+//! Packetized WFQ (PGPS) needs, for every arriving packet, the *virtual
+//! finishing time* the packet would have in the fluid Generalized Processor
+//! Sharing system in which every backlogged flow α drains at rate
+//! `rα / Σ_{β active} rβ` of the link (Section 4 of the paper gives exactly
+//! this fluid-flow model).  [`GpsClock`] tracks that virtual time exactly,
+//! using the classic "iterated deletion" algorithm: between packet events
+//! the virtual time advances at slope `μ / Σ_{active} rβ`, and whenever it
+//! crosses the last virtual finish of an active flow that flow leaves the
+//! active set and the slope steepens.
+//!
+//! The same clock is shared by [`crate::Wfq`] (every flow is its own GPS
+//! flow) and [`crate::Unified`] (guaranteed flows are GPS flows; all
+//! predicted and datagram traffic is aggregated into pseudo-flow 0).
+
+use std::collections::BTreeMap;
+
+use ispn_sim::SimTime;
+
+/// Identifier of a GPS flow inside one scheduler instance.
+///
+/// `u64` rather than `FlowId` so that schedulers can add pseudo-flows (the
+/// unified scheduler uses [`GpsClock::PSEUDO_FLOW`] for the predicted +
+/// datagram aggregate).
+pub type GpsFlowKey = u64;
+
+#[derive(Debug, Clone)]
+struct GpsFlow {
+    /// Clock rate rα in bits per second.
+    rate_bps: f64,
+    /// Virtual finish time of the flow's most recently arrived bit.
+    last_finish: f64,
+}
+
+/// Exact GPS virtual time for one link.
+#[derive(Debug, Clone)]
+pub struct GpsClock {
+    link_rate_bps: f64,
+    virtual_time: f64,
+    last_update: SimTime,
+    flows: BTreeMap<GpsFlowKey, GpsFlow>,
+}
+
+impl GpsClock {
+    /// The flow key the unified scheduler uses for the predicted/datagram
+    /// aggregate ("flow 0" in the paper's description).
+    pub const PSEUDO_FLOW: GpsFlowKey = u64::MAX;
+
+    /// Create a clock for a link of the given speed.
+    pub fn new(link_rate_bps: f64) -> Self {
+        assert!(link_rate_bps > 0.0, "link rate must be positive");
+        GpsClock {
+            link_rate_bps,
+            virtual_time: 0.0,
+            last_update: SimTime::ZERO,
+            flows: BTreeMap::new(),
+        }
+    }
+
+    /// Register a flow or update its clock rate.
+    ///
+    /// The Parekh–Gallager guarantee requires `Σ rα ≤ μ`; this is the
+    /// caller's responsibility (checked by admission control, not here),
+    /// but the rate itself must be positive.
+    pub fn set_rate(&mut self, key: GpsFlowKey, rate_bps: f64) {
+        assert!(rate_bps > 0.0, "clock rate must be positive");
+        self.flows
+            .entry(key)
+            .and_modify(|f| f.rate_bps = rate_bps)
+            .or_insert(GpsFlow {
+                rate_bps,
+                last_finish: 0.0,
+            });
+    }
+
+    /// The clock rate of a registered flow.
+    pub fn rate(&self, key: GpsFlowKey) -> Option<f64> {
+        self.flows.get(&key).map(|f| f.rate_bps)
+    }
+
+    /// Sum of the clock rates of all registered flows.
+    pub fn total_rate(&self) -> f64 {
+        self.flows.values().map(|f| f.rate_bps).sum()
+    }
+
+    /// The link rate this clock was built for.
+    pub fn link_rate_bps(&self) -> f64 {
+        self.link_rate_bps
+    }
+
+    /// The current virtual time (after the most recent [`advance`]).
+    ///
+    /// [`advance`]: GpsClock::advance
+    pub fn virtual_time(&self) -> f64 {
+        self.virtual_time
+    }
+
+    /// `true` if the fluid system currently has backlog.
+    pub fn busy(&self) -> bool {
+        self.flows
+            .values()
+            .any(|f| f.last_finish > self.virtual_time + 1e-15)
+    }
+
+    /// Advance the virtual time to real time `now`, performing iterated
+    /// deletion of flows that empty in the fluid system along the way.
+    pub fn advance(&mut self, now: SimTime) {
+        if now <= self.last_update {
+            return;
+        }
+        let mut remaining = (now - self.last_update).as_secs_f64();
+        self.last_update = now;
+
+        loop {
+            // Flows still backlogged in the fluid system.
+            let mut active_rate = 0.0;
+            let mut next_finish = f64::INFINITY;
+            for f in self.flows.values() {
+                if f.last_finish > self.virtual_time + 1e-15 {
+                    active_rate += f.rate_bps;
+                    if f.last_finish < next_finish {
+                        next_finish = f.last_finish;
+                    }
+                }
+            }
+            if active_rate == 0.0 {
+                // Fluid system idle: virtual time does not need to advance
+                // (new arrivals start from max(V, last_finish) anyway).
+                return;
+            }
+            let slope = self.link_rate_bps / active_rate;
+            let dv_to_next = next_finish - self.virtual_time;
+            let dt_to_next = dv_to_next / slope;
+            if dt_to_next <= remaining {
+                // The nearest flow empties within the interval; jump there
+                // and re-evaluate the active set.
+                self.virtual_time = next_finish;
+                remaining -= dt_to_next;
+                if remaining <= 0.0 {
+                    return;
+                }
+            } else {
+                self.virtual_time += remaining * slope;
+                return;
+            }
+        }
+    }
+
+    /// Record the arrival of `size_bits` of flow `key` at real time `now`
+    /// and return the packet's virtual finishing time
+    /// `F = max(V(now), F_prev) + L/rα`.
+    ///
+    /// # Panics
+    /// Panics if the flow has not been registered with [`set_rate`]
+    /// (callers decide their own policy for unknown flows).
+    ///
+    /// [`set_rate`]: GpsClock::set_rate
+    pub fn stamp(&mut self, key: GpsFlowKey, size_bits: u64, now: SimTime) -> f64 {
+        self.advance(now);
+        let v = self.virtual_time;
+        let flow = self
+            .flows
+            .get_mut(&key)
+            .expect("flow must be registered with set_rate before stamping");
+        let start = v.max(flow.last_finish);
+        let finish = start + size_bits as f64 / flow.rate_bps;
+        flow.last_finish = finish;
+        finish
+    }
+
+    /// Forget all per-flow backlog state but keep rates (used by tests).
+    pub fn reset(&mut self) {
+        self.virtual_time = 0.0;
+        self.last_update = SimTime::ZERO;
+        for f in self.flows.values_mut() {
+            f.last_finish = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MBIT: f64 = 1_000_000.0;
+
+    #[test]
+    fn single_flow_finish_times_accumulate_at_flow_rate() {
+        let mut gps = GpsClock::new(MBIT);
+        gps.set_rate(1, 100_000.0); // 100 kbit/s
+        // Two 1000-bit packets arriving back to back at t=0: finishes at
+        // 10 ms and 20 ms of *virtual* time (1000 bits / 100 kbit/s each).
+        let f1 = gps.stamp(1, 1000, SimTime::ZERO);
+        let f2 = gps.stamp(1, 1000, SimTime::ZERO);
+        assert!((f1 - 0.01).abs() < 1e-12);
+        assert!((f2 - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn virtual_time_advances_faster_when_few_flows_active() {
+        let mut gps = GpsClock::new(MBIT);
+        gps.set_rate(1, 500_000.0);
+        gps.set_rate(2, 500_000.0);
+        // Only flow 1 is backlogged: with Σ_active r = 0.5 Mbit/s the
+        // virtual clock runs at slope 2 (relative to real time).
+        let f1 = gps.stamp(1, 1000, SimTime::ZERO);
+        assert!((f1 - 0.002).abs() < 1e-12);
+        gps.advance(SimTime::from_micros(500));
+        // 500 µs of real time at slope 2 = 1 ms of virtual time.
+        assert!((gps.virtual_time() - 0.001).abs() < 1e-12);
+        assert!(gps.busy());
+        gps.advance(SimTime::from_millis(10));
+        // The flow emptied (at virtual 2 ms = real 1 ms); after that the
+        // clock stops advancing because the fluid system is idle.
+        assert!((gps.virtual_time() - 0.002).abs() < 1e-12);
+        assert!(!gps.busy());
+    }
+
+    #[test]
+    fn iterated_deletion_changes_slope() {
+        let mut gps = GpsClock::new(MBIT);
+        gps.set_rate(1, 250_000.0);
+        gps.set_rate(2, 750_000.0);
+        // Flow 1 gets one 1000-bit packet (virtual finish 4 ms), flow 2 gets
+        // three (virtual finish 4 ms as well: 3*1000/750k).
+        gps.stamp(1, 1000, SimTime::ZERO);
+        gps.stamp(2, 1000, SimTime::ZERO);
+        gps.stamp(2, 1000, SimTime::ZERO);
+        gps.stamp(2, 1000, SimTime::ZERO);
+        // Both flows are active; total active rate = link rate, slope 1.
+        // Everything finishes at virtual time 4 ms = real 4 ms.
+        gps.advance(SimTime::from_millis(4));
+        assert!((gps.virtual_time() - 0.004).abs() < 1e-9);
+        assert!(!gps.busy());
+    }
+
+    #[test]
+    fn idle_period_resumes_from_current_virtual_time() {
+        let mut gps = GpsClock::new(MBIT);
+        gps.set_rate(1, MBIT);
+        let f1 = gps.stamp(1, 1000, SimTime::ZERO);
+        assert!((f1 - 0.001).abs() < 1e-12);
+        // Long idle gap; a new packet starts from V (not from the stale
+        // last_finish) and V has stopped at 1 ms.
+        let f2 = gps.stamp(1, 1000, SimTime::from_secs(5));
+        assert!((f2 - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stamp_respects_backlog_ordering() {
+        let mut gps = GpsClock::new(MBIT);
+        gps.set_rate(1, 100_000.0);
+        gps.set_rate(2, 900_000.0);
+        let f_slow = gps.stamp(1, 1000, SimTime::ZERO);
+        let f_fast = gps.stamp(2, 1000, SimTime::ZERO);
+        // The fast flow's packet finishes earlier in the fluid system.
+        assert!(f_fast < f_slow);
+    }
+
+    #[test]
+    #[should_panic]
+    fn stamping_unregistered_flow_panics() {
+        let mut gps = GpsClock::new(MBIT);
+        let _ = gps.stamp(3, 1000, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_link_rate_rejected() {
+        let _ = GpsClock::new(0.0);
+    }
+
+    #[test]
+    fn total_rate_and_accessors() {
+        let mut gps = GpsClock::new(MBIT);
+        gps.set_rate(1, 100_000.0);
+        gps.set_rate(2, 200_000.0);
+        assert_eq!(gps.total_rate(), 300_000.0);
+        assert_eq!(gps.rate(1), Some(100_000.0));
+        assert_eq!(gps.rate(9), None);
+        assert_eq!(gps.link_rate_bps(), MBIT);
+        gps.set_rate(1, 150_000.0);
+        assert_eq!(gps.rate(1), Some(150_000.0));
+    }
+
+    #[test]
+    fn reset_clears_backlog() {
+        let mut gps = GpsClock::new(MBIT);
+        gps.set_rate(1, MBIT);
+        gps.stamp(1, 1000, SimTime::ZERO);
+        assert!(gps.busy());
+        gps.reset();
+        assert!(!gps.busy());
+        assert_eq!(gps.virtual_time(), 0.0);
+        assert_eq!(gps.rate(1), Some(MBIT));
+    }
+}

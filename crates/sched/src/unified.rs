@@ -1,0 +1,427 @@
+//! The unified scheduling algorithm (Section 7).
+//!
+//! "The basic idea is that we must isolate the traffic of guaranteed service
+//! class from that of predicted service class, as well as isolate guaranteed
+//! flows from each other.  Therefore we use the time-stamp based WFQ scheme
+//! as a framework into which we fit the other scheduling algorithms.  Each
+//! guaranteed service client α has a separate WFQ flow with some clock rate
+//! rα.  All of the predicted service and datagram service traffic is
+//! assigned to a pseudo WFQ flow, call it flow 0, with, at each link,
+//! r₀ = μ − Σ rα … Inside this flow 0, there are a number of strict
+//! priority classes, and within each priority class we operate the FIFO+
+//! algorithm."  Datagram traffic sits in the lowest priority class.
+//!
+//! Design note (also recorded in DESIGN.md): pseudo-flow-0 packets receive
+//! their WFQ virtual time stamps on arrival in aggregate-FIFO order; those
+//! stamps decide *when* flow 0 gets service relative to the guaranteed
+//! flows, while the inner priority/FIFO+ structure decides *which* flow-0
+//! packet is transmitted when flow 0 wins.  Guaranteed flows' own stamps are
+//! untouched, so the Parekh–Gallager isolation argument for them is
+//! unaffected by any reordering inside flow 0.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use ispn_core::{FlowId, Packet, ServiceClass};
+use ispn_sim::SimTime;
+
+use crate::disc::{Dequeued, QueueDiscipline, SchedContext};
+use crate::fifo::Fifo;
+use crate::fifo_plus::{Averaging, FifoPlus};
+use crate::gps::GpsClock;
+use crate::priority::StrictPriority;
+
+#[derive(Debug, Default)]
+struct GuaranteedQueue {
+    queue: VecDeque<(Packet, SchedContext, f64)>,
+}
+
+/// The unified scheduler: WFQ isolation around priority + FIFO+ sharing.
+pub struct Unified {
+    gps: GpsClock,
+    link_rate_bps: f64,
+    /// Sum of guaranteed clock rates; flow 0 gets the remainder.
+    guaranteed_rate_sum: f64,
+    guaranteed: BTreeMap<FlowId, GuaranteedQueue>,
+    /// Virtual finish stamps of flow-0 packets, in arrival order.
+    flow0_stamps: VecDeque<f64>,
+    /// The inner sharing structure of flow 0.
+    flow0: StrictPriority<FifoPlusOrFifo>,
+    len: usize,
+}
+
+/// Inner discipline used by the priority levels of flow 0: FIFO+ for the
+/// predicted classes and plain FIFO for the datagram class (offsets are
+/// meaningless for best-effort traffic).
+enum FifoPlusOrFifo {
+    Plus(FifoPlus),
+    Plain(Fifo),
+}
+
+impl Default for FifoPlusOrFifo {
+    fn default() -> Self {
+        FifoPlusOrFifo::Plus(FifoPlus::new(Averaging::RunningMean))
+    }
+}
+
+impl QueueDiscipline for FifoPlusOrFifo {
+    fn enqueue(&mut self, now: SimTime, packet: Packet, ctx: SchedContext) {
+        match self {
+            FifoPlusOrFifo::Plus(q) => q.enqueue(now, packet, ctx),
+            FifoPlusOrFifo::Plain(q) => q.enqueue(now, packet, ctx),
+        }
+    }
+    fn dequeue(&mut self, now: SimTime) -> Option<Dequeued> {
+        match self {
+            FifoPlusOrFifo::Plus(q) => q.dequeue(now),
+            FifoPlusOrFifo::Plain(q) => q.dequeue(now),
+        }
+    }
+    fn len(&self) -> usize {
+        match self {
+            FifoPlusOrFifo::Plus(q) => q.len(),
+            FifoPlusOrFifo::Plain(q) => q.len(),
+        }
+    }
+    fn name(&self) -> &'static str {
+        match self {
+            FifoPlusOrFifo::Plus(q) => q.name(),
+            FifoPlusOrFifo::Plain(q) => q.name(),
+        }
+    }
+}
+
+impl Unified {
+    /// Create a unified scheduler for a link of `link_rate_bps` with
+    /// `num_priorities` predicted-service priority classes (the paper's K),
+    /// each running FIFO+ with the given averaging method, above a FIFO
+    /// datagram class.
+    pub fn new(link_rate_bps: f64, num_priorities: usize, averaging: Averaging) -> Self {
+        assert!(link_rate_bps > 0.0);
+        let mut gps = GpsClock::new(link_rate_bps);
+        // Flow 0 initially owns the whole link.
+        gps.set_rate(GpsClock::PSEUDO_FLOW, link_rate_bps);
+        let levels = (0..num_priorities)
+            .map(|_| FifoPlusOrFifo::Plus(FifoPlus::new(averaging)))
+            .collect();
+        Unified {
+            gps,
+            link_rate_bps,
+            guaranteed_rate_sum: 0.0,
+            guaranteed: BTreeMap::new(),
+            flow0_stamps: VecDeque::new(),
+            flow0: StrictPriority::from_parts(levels, FifoPlusOrFifo::Plain(Fifo::new())),
+            len: 0,
+        }
+    }
+
+    /// Register a guaranteed flow with clock rate `rate_bps`, shrinking the
+    /// pseudo-flow-0 rate accordingly (r₀ = μ − Σ rα).
+    ///
+    /// # Panics
+    /// Panics if the guaranteed reservations would exceed the link rate —
+    /// admission control must prevent that situation before it reaches the
+    /// scheduler.
+    pub fn add_guaranteed_flow(&mut self, flow: FlowId, rate_bps: f64) {
+        assert!(rate_bps > 0.0);
+        assert!(
+            self.guaranteed_rate_sum + rate_bps < self.link_rate_bps,
+            "guaranteed reservations ({} + {} bps) exceed the link rate {}",
+            self.guaranteed_rate_sum,
+            rate_bps,
+            self.link_rate_bps
+        );
+        self.guaranteed_rate_sum += rate_bps;
+        self.gps.set_rate(flow.0 as u64, rate_bps);
+        self.gps.set_rate(
+            GpsClock::PSEUDO_FLOW,
+            self.link_rate_bps - self.guaranteed_rate_sum,
+        );
+        self.guaranteed.entry(flow).or_default();
+    }
+
+    /// The clock rate currently assigned to pseudo-flow 0.
+    pub fn flow0_rate_bps(&self) -> f64 {
+        self.link_rate_bps - self.guaranteed_rate_sum
+    }
+
+    /// The clock rate of a registered guaranteed flow.
+    pub fn guaranteed_rate(&self, flow: FlowId) -> Option<f64> {
+        if self.guaranteed.contains_key(&flow) {
+            self.gps.rate(flow.0 as u64)
+        } else {
+            None
+        }
+    }
+
+    /// Number of predicted priority classes.
+    pub fn num_priorities(&self) -> usize {
+        self.flow0.num_levels()
+    }
+
+    /// The FIFO+ class-average delay currently measured for a predicted
+    /// priority level at this hop (used by measurement-based admission
+    /// control).
+    pub fn class_average_delay(&self, priority: usize) -> Option<SimTime> {
+        match self.flow0.level(priority) {
+            Some(FifoPlusOrFifo::Plus(q)) => Some(q.average_delay()),
+            _ => None,
+        }
+    }
+}
+
+impl QueueDiscipline for Unified {
+    fn enqueue(&mut self, now: SimTime, packet: Packet, ctx: SchedContext) {
+        self.len += 1;
+        let is_guaranteed =
+            ctx.class == ServiceClass::Guaranteed && self.guaranteed.contains_key(&packet.flow);
+        if is_guaranteed {
+            let finish = self.gps.stamp(packet.flow.0 as u64, packet.size_bits, now);
+            self.guaranteed
+                .get_mut(&packet.flow)
+                .expect("guaranteed flow registered")
+                .queue
+                .push_back((packet, ctx, finish));
+        } else {
+            // Predicted, datagram, and any guaranteed-class packet whose
+            // flow was never registered all share pseudo-flow 0.
+            let finish = self
+                .gps
+                .stamp(GpsClock::PSEUDO_FLOW, packet.size_bits, now);
+            self.flow0_stamps.push_back(finish);
+            self.flow0.enqueue(now, packet, ctx);
+        }
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Dequeued> {
+        if self.len == 0 {
+            return None;
+        }
+        self.gps.advance(now);
+
+        // Find the guaranteed flow whose head packet carries the smallest
+        // virtual finish stamp.
+        let mut best: Option<(Option<FlowId>, f64)> = None;
+        for (&flow, gq) in &self.guaranteed {
+            if let Some(&(_, _, finish)) = gq.queue.front() {
+                match best {
+                    None => best = Some((Some(flow), finish)),
+                    Some((_, b)) if finish < b => best = Some((Some(flow), finish)),
+                    _ => {}
+                }
+            }
+        }
+        // Compare against the oldest flow-0 stamp (flow 0 is stamped in
+        // aggregate FIFO order, so its front stamp is its smallest).
+        if !self.flow0.is_empty() {
+            let finish = *self
+                .flow0_stamps
+                .front()
+                .expect("flow0 stamps track flow0 occupancy");
+            match best {
+                None => best = Some((None, finish)),
+                Some((_, b)) if finish < b => best = Some((None, finish)),
+                _ => {}
+            }
+        }
+
+        let (winner, _) = best?;
+        self.len -= 1;
+        match winner {
+            Some(flow) => {
+                let (packet, ctx, _) = self
+                    .guaranteed
+                    .get_mut(&flow)
+                    .expect("winner exists")
+                    .queue
+                    .pop_front()
+                    .expect("winner has a head packet");
+                Some(Dequeued {
+                    packet,
+                    arrival: ctx.arrival,
+                    class: ctx.class,
+                })
+            }
+            None => {
+                self.flow0_stamps.pop_front();
+                self.flow0.dequeue(now)
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn name(&self) -> &'static str {
+        "Unified"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MBIT: f64 = 1_000_000.0;
+    const PKT: u64 = 1000;
+
+    fn pkt(flow: u32, seq: u64) -> Packet {
+        Packet::data(FlowId(flow), seq, PKT, SimTime::ZERO)
+    }
+
+    fn guaranteed(t: SimTime) -> SchedContext {
+        SchedContext::new(ServiceClass::Guaranteed, t)
+    }
+
+    fn predicted(p: u8, t: SimTime) -> SchedContext {
+        SchedContext::new(ServiceClass::Predicted { priority: p }, t)
+    }
+
+    fn make() -> Unified {
+        let mut u = Unified::new(MBIT, 2, Averaging::RunningMean);
+        u.add_guaranteed_flow(FlowId(1), 170_000.0);
+        u.add_guaranteed_flow(FlowId(2), 85_000.0);
+        u
+    }
+
+    #[test]
+    fn flow0_rate_is_link_minus_guaranteed_reservations() {
+        let u = make();
+        assert!((u.flow0_rate_bps() - 745_000.0).abs() < 1e-6);
+        assert_eq!(u.guaranteed_rate(FlowId(1)), Some(170_000.0));
+        assert_eq!(u.guaranteed_rate(FlowId(2)), Some(85_000.0));
+        assert_eq!(u.guaranteed_rate(FlowId(9)), None);
+        assert_eq!(u.num_priorities(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn over_reservation_panics() {
+        let mut u = Unified::new(MBIT, 1, Averaging::RunningMean);
+        u.add_guaranteed_flow(FlowId(1), 600_000.0);
+        u.add_guaranteed_flow(FlowId(2), 600_000.0);
+    }
+
+    #[test]
+    fn guaranteed_flow_protected_from_predicted_burst() {
+        // A big burst of predicted traffic is queued; a guaranteed packet
+        // arriving right after must still be served near the front because
+        // its virtual finish time (at its reserved rate) is far smaller than
+        // the accumulated finish times of the flow-0 backlog.
+        let mut u = make();
+        let t = SimTime::ZERO;
+        for s in 0..50 {
+            u.enqueue(t, pkt(10, s), predicted(0, t));
+        }
+        u.enqueue(t, pkt(1, 0), guaranteed(t));
+        // The guaranteed packet's finish = 1000/170k ≈ 5.9 ms of virtual
+        // time; flow 0's 7th packet already has a larger stamp, so the
+        // guaranteed packet must appear within the first handful of
+        // transmissions.
+        let mut position = None;
+        for i in 0..51 {
+            let d = u.dequeue(t).unwrap();
+            if d.packet.flow == FlowId(1) {
+                position = Some(i);
+                break;
+            }
+        }
+        let position = position.expect("guaranteed packet served");
+        assert!(position <= 8, "served at position {position}");
+    }
+
+    #[test]
+    fn predicted_traffic_uses_leftover_bandwidth_in_priority_order() {
+        let mut u = make();
+        let t = SimTime::ZERO;
+        u.enqueue(t, pkt(20, 0), predicted(1, t));
+        u.enqueue(t, pkt(21, 0), predicted(0, t));
+        u.enqueue(t, pkt(22, 0), SchedContext::datagram(t));
+        // No guaranteed backlog: flow 0 drains, and within it priority 0
+        // goes first, datagram last.
+        let order: Vec<u32> = (0..3).map(|_| u.dequeue(t).unwrap().packet.flow.0).collect();
+        assert_eq!(order, vec![21, 20, 22]);
+    }
+
+    #[test]
+    fn unregistered_guaranteed_class_degrades_to_flow0() {
+        let mut u = make();
+        let t = SimTime::ZERO;
+        // Flow 99 claims guaranteed class but was never registered: it is
+        // carried, but inside flow 0's datagram queue rather than with a
+        // reserved rate.
+        u.enqueue(t, pkt(99, 0), guaranteed(t));
+        assert_eq!(u.len(), 1);
+        let d = u.dequeue(t).unwrap();
+        assert_eq!(d.packet.flow, FlowId(99));
+    }
+
+    #[test]
+    fn work_conserving_and_exhaustive() {
+        let mut u = make();
+        let t = SimTime::ZERO;
+        let mut total = 0;
+        for s in 0..10 {
+            u.enqueue(t, pkt(1, s), guaranteed(t));
+            u.enqueue(t, pkt(2, s), guaranteed(t));
+            u.enqueue(t, pkt(30, s), predicted(0, t));
+            u.enqueue(t, pkt(31, s), predicted(1, t));
+            u.enqueue(t, pkt(32, s), SchedContext::datagram(t));
+            total += 5;
+        }
+        assert_eq!(u.len(), total);
+        let mut served = 0;
+        while u.dequeue(t).is_some() {
+            served += 1;
+        }
+        assert_eq!(served, total);
+        assert!(u.is_empty());
+        assert!(u.dequeue(t).is_none());
+    }
+
+    #[test]
+    fn guaranteed_flows_share_by_clock_rate_between_themselves() {
+        let mut u = Unified::new(MBIT, 1, Averaging::RunningMean);
+        u.add_guaranteed_flow(FlowId(1), 400_000.0);
+        u.add_guaranteed_flow(FlowId(2), 200_000.0);
+        let t = SimTime::ZERO;
+        for s in 0..30 {
+            u.enqueue(t, pkt(1, s), guaranteed(t));
+            u.enqueue(t, pkt(2, s), guaranteed(t));
+        }
+        let mut first_fifteen = [0u32; 3];
+        for _ in 0..15 {
+            first_fifteen[u.dequeue(t).unwrap().packet.flow.0 as usize] += 1;
+        }
+        // Flow 1 has twice the rate, so roughly 10-of-15 vs 5-of-15.
+        assert!(first_fifteen[1] >= 9, "{first_fifteen:?}");
+        assert!(first_fifteen[2] >= 4, "{first_fifteen:?}");
+    }
+
+    #[test]
+    fn class_average_delay_exposed_for_admission_control() {
+        let mut u = make();
+        let t0 = SimTime::ZERO;
+        u.enqueue(t0, pkt(30, 0), predicted(0, t0));
+        let _ = u.dequeue(SimTime::from_millis(3)).unwrap();
+        let avg = u.class_average_delay(0).unwrap();
+        assert!((avg.as_millis_f64() - 3.0).abs() < 1e-9);
+        // The datagram queue has no FIFO+ average.
+        assert_eq!(u.class_average_delay(5), None);
+        assert_eq!(u.name(), "Unified");
+    }
+
+    #[test]
+    fn fifo_plus_offsets_written_for_predicted_but_not_datagram() {
+        let mut u = make();
+        let t = SimTime::ZERO;
+        u.enqueue(t, pkt(30, 0), predicted(0, t));
+        u.enqueue(t, pkt(40, 0), SchedContext::datagram(t));
+        let now = SimTime::from_millis(5);
+        let first = u.dequeue(now).unwrap();
+        let second = u.dequeue(now).unwrap();
+        // Predicted packet got a (positive) offset recorded; datagram stays 0.
+        assert_eq!(first.packet.flow, FlowId(30));
+        assert!(first.packet.jitter_offset_ns > 0);
+        assert_eq!(second.packet.jitter_offset_ns, 0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Weighted Fair Queueing / PGPS (Section 4).
+//!
+//! "The packetized version of WFQ is merely, at any time t when the next
+//! packet to be transmitted must be chosen, to select the packet with the
+//! minimal E(t)" — equivalently, to transmit packets in increasing order of
+//! the virtual finishing time they would have in the fluid GPS system.
+//! Parekh and Gallager proved that, when every switch gives a flow the same
+//! clock rate and the clock rates sum to no more than the link speed, this
+//! discipline delivers the `b(r)/r` worst-case queueing bound, independent
+//! of how every other flow behaves.  That isolation is exactly what the
+//! paper's guaranteed service relies on.
+//!
+//! The implementation keeps one FIFO of packets per flow plus a shared
+//! [`GpsClock`]; each arriving packet is stamped with its virtual finish
+//! time and dequeue picks the smallest stamp among the flows' head packets
+//! (per-flow stamps are non-decreasing so only heads need to be compared).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use ispn_core::{FlowId, Packet};
+use ispn_sim::SimTime;
+
+use crate::disc::{Dequeued, QueueDiscipline, SchedContext};
+use crate::gps::GpsClock;
+
+#[derive(Debug, Default)]
+struct FlowQueue {
+    queue: VecDeque<(Packet, SchedContext, f64)>,
+}
+
+/// Packetized Weighted Fair Queueing.
+#[derive(Debug)]
+pub struct Wfq {
+    gps: GpsClock,
+    /// Clock rate assigned to flows that were never explicitly registered.
+    default_rate_bps: f64,
+    flows: BTreeMap<FlowId, FlowQueue>,
+    len: usize,
+    /// Monotone counter used to break exact ties in virtual finish times
+    /// deterministically (first-stamped wins).
+    stamp_seq: u64,
+}
+
+impl Wfq {
+    /// Create a WFQ scheduler for a link of `link_rate_bps`.
+    ///
+    /// Flows that are not registered with [`set_rate`] before their first
+    /// packet arrives are given `default_rate_bps`.  For the plain Fair
+    /// Queueing of the paper's Tables 1 and 2 ("equal clock rates") simply
+    /// leave every flow on the same default.
+    ///
+    /// [`set_rate`]: Wfq::set_rate
+    pub fn new(link_rate_bps: f64, default_rate_bps: f64) -> Self {
+        assert!(default_rate_bps > 0.0);
+        Wfq {
+            gps: GpsClock::new(link_rate_bps),
+            default_rate_bps,
+            flows: BTreeMap::new(),
+            len: 0,
+            stamp_seq: 0,
+        }
+    }
+
+    /// Convenience constructor: equal-share Fair Queueing over an expected
+    /// number of flows.
+    pub fn equal_share(link_rate_bps: f64, expected_flows: usize) -> Self {
+        let n = expected_flows.max(1) as f64;
+        Wfq::new(link_rate_bps, link_rate_bps / n)
+    }
+
+    /// Assign flow `flow` the clock rate `rate_bps` (Section 4: "the clock
+    /// rate of a flow represents the relative share of the link bandwidth
+    /// this flow is entitled to").
+    pub fn set_rate(&mut self, flow: FlowId, rate_bps: f64) {
+        self.gps.set_rate(flow.0 as u64, rate_bps);
+    }
+
+    /// The clock rate currently assigned to `flow`, if registered.
+    pub fn rate(&self, flow: FlowId) -> Option<f64> {
+        self.gps.rate(flow.0 as u64)
+    }
+
+    /// Access the underlying GPS clock (used by tests and by the fluid
+    /// reference comparison).
+    pub fn gps(&self) -> &GpsClock {
+        &self.gps
+    }
+
+    fn ensure_registered(&mut self, flow: FlowId) {
+        if self.gps.rate(flow.0 as u64).is_none() {
+            self.gps.set_rate(flow.0 as u64, self.default_rate_bps);
+        }
+    }
+}
+
+impl QueueDiscipline for Wfq {
+    fn enqueue(&mut self, now: SimTime, packet: Packet, ctx: SchedContext) {
+        self.ensure_registered(packet.flow);
+        let finish = self.gps.stamp(packet.flow.0 as u64, packet.size_bits, now);
+        self.flows
+            .entry(packet.flow)
+            .or_default()
+            .queue
+            .push_back((packet, ctx, finish));
+        self.len += 1;
+        self.stamp_seq += 1;
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Dequeued> {
+        if self.len == 0 {
+            return None;
+        }
+        self.gps.advance(now);
+        // Pick the flow whose head packet has the smallest virtual finish
+        // time.  BTreeMap iteration order makes ties deterministic (lowest
+        // flow id wins).
+        let mut best: Option<(FlowId, f64)> = None;
+        for (&flow, fq) in &self.flows {
+            if let Some(&(_, _, finish)) = fq.queue.front() {
+                match best {
+                    None => best = Some((flow, finish)),
+                    Some((_, best_finish)) if finish < best_finish => {
+                        best = Some((flow, finish));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let (flow, _) = best?;
+        let (packet, ctx, _) = self
+            .flows
+            .get_mut(&flow)
+            .expect("selected flow exists")
+            .queue
+            .pop_front()
+            .expect("selected flow has a head packet");
+        self.len -= 1;
+        Some(Dequeued {
+            packet,
+            arrival: ctx.arrival,
+            class: ctx.class,
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn name(&self) -> &'static str {
+        "WFQ"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispn_core::ServiceClass;
+
+    const MBIT: f64 = 1_000_000.0;
+    const PKT: u64 = 1000;
+
+    fn pkt(flow: u32, seq: u64) -> Packet {
+        Packet::data(FlowId(flow), seq, PKT, SimTime::ZERO)
+    }
+
+    fn ctx(t: SimTime) -> SchedContext {
+        SchedContext::new(ServiceClass::Guaranteed, t)
+    }
+
+    #[test]
+    fn equal_rates_interleave_backlogged_flows() {
+        // Flow 1 dumps a burst of 4; flow 2 dumps a burst of 4 at the same
+        // instant.  With equal clock rates WFQ alternates between them
+        // instead of serving one burst first.
+        let mut q = Wfq::equal_share(MBIT, 2);
+        let t = SimTime::ZERO;
+        for seq in 0..4 {
+            q.enqueue(t, pkt(1, seq), ctx(t));
+        }
+        for seq in 0..4 {
+            q.enqueue(t, pkt(2, seq), ctx(t));
+        }
+        let order: Vec<u32> = (0..8).map(|_| q.dequeue(t).unwrap().packet.flow.0).collect();
+        assert_eq!(order, vec![1, 2, 1, 2, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn fifo_among_packets_of_one_flow() {
+        let mut q = Wfq::equal_share(MBIT, 1);
+        let t = SimTime::ZERO;
+        for seq in 0..5 {
+            q.enqueue(t, pkt(1, seq), ctx(t));
+        }
+        let seqs: Vec<u64> = (0..5).map(|_| q.dequeue(t).unwrap().packet.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn weights_bias_service_toward_higher_clock_rate() {
+        // Flow 1 has 3x the clock rate of flow 2; over a long backlog it
+        // should receive roughly 3x the service.
+        let mut q = Wfq::new(MBIT, 100_000.0);
+        q.set_rate(FlowId(1), 750_000.0);
+        q.set_rate(FlowId(2), 250_000.0);
+        let t = SimTime::ZERO;
+        for seq in 0..40 {
+            q.enqueue(t, pkt(1, seq), ctx(t));
+            q.enqueue(t, pkt(2, seq), ctx(t));
+        }
+        // Serve the first 20 packets and count per-flow service.
+        let mut served = [0u32; 3];
+        for _ in 0..20 {
+            let d = q.dequeue(t).unwrap();
+            served[d.packet.flow.0 as usize] += 1;
+        }
+        assert_eq!(served[1] + served[2], 20);
+        assert!(served[1] >= 14 && served[1] <= 16, "served {served:?}");
+    }
+
+    #[test]
+    fn isolation_a_burst_does_not_delay_a_paced_flow() {
+        // Flow 9 (the "misbehaving" source) dumps 50 packets at t=0.
+        // Flow 1 sends a single packet at t=0.  Under WFQ with equal rates,
+        // flow 1's packet is served within the first two transmissions.
+        let mut q = Wfq::equal_share(MBIT, 2);
+        let t = SimTime::ZERO;
+        for seq in 0..50 {
+            q.enqueue(t, pkt(9, seq), ctx(t));
+        }
+        q.enqueue(t, pkt(1, 0), ctx(t));
+        let first = q.dequeue(t).unwrap();
+        let second = q.dequeue(t).unwrap();
+        assert!(
+            first.packet.flow == FlowId(1) || second.packet.flow == FlowId(1),
+            "paced flow must be served among the first two packets"
+        );
+    }
+
+    #[test]
+    fn idle_flow_does_not_accumulate_credit() {
+        // A flow that was idle for a long time does not get to monopolize
+        // the link when it finally sends (its start time is max(V, F_prev)).
+        let mut q = Wfq::equal_share(MBIT, 2);
+        // Flow 1 keeps the link busy from t=0.
+        for seq in 0..10 {
+            q.enqueue(SimTime::ZERO, pkt(1, seq), ctx(SimTime::ZERO));
+        }
+        // Serve a few to advance virtual time.
+        let mut now = SimTime::ZERO;
+        for _ in 0..5 {
+            now += SimTime::MILLISECOND;
+            let _ = q.dequeue(now).unwrap();
+        }
+        // Flow 2 wakes up and sends 3 packets; it should share from now on,
+        // not claim the 5 ms of service it "missed".
+        for seq in 0..3 {
+            q.enqueue(now, pkt(2, seq), ctx(now));
+        }
+        let mut flow2_served = 0;
+        for _ in 0..4 {
+            now += SimTime::MILLISECOND;
+            if q.dequeue(now).unwrap().packet.flow == FlowId(2) {
+                flow2_served += 1;
+            }
+        }
+        // In 4 transmissions flow 2 gets roughly half, not all of them.
+        assert!(flow2_served >= 1 && flow2_served <= 3);
+    }
+
+    #[test]
+    fn work_conserving_across_flow_mix() {
+        let mut q = Wfq::equal_share(MBIT, 4);
+        let t = SimTime::ZERO;
+        for f in 0..4u32 {
+            for s in 0..3 {
+                q.enqueue(t, pkt(f, s), ctx(t));
+            }
+        }
+        let mut n = 0;
+        while q.dequeue(t).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 12);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn default_rate_applies_to_unregistered_flows() {
+        let mut q = Wfq::new(MBIT, 123_456.0);
+        q.enqueue(SimTime::ZERO, pkt(7, 0), ctx(SimTime::ZERO));
+        assert_eq!(q.rate(FlowId(7)), Some(123_456.0));
+        assert_eq!(q.rate(FlowId(8)), None);
+        assert_eq!(q.name(), "WFQ");
+        assert!(q.gps().busy());
+    }
+}

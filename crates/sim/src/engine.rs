@@ -1,0 +1,155 @@
+//! A minimal discrete-event executor.
+//!
+//! The network model in `ispn-net` owns all the mutable state (switches,
+//! links, sources); the executor only needs to pop the next event, advance
+//! the clock and hand the event to the world.  Keeping the loop here means
+//! that every crate that needs "run a world of events until time T" (the
+//! network, unit tests of schedulers driven by synthetic arrivals, the
+//! benchmark harness) shares the exact same semantics.
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// A simulated world: something that can react to its own events.
+///
+/// The world receives mutable access to the event queue so handling one
+/// event can schedule any number of future events.  Events may never be
+/// scheduled in the past; [`run`] checks this and panics, because a
+/// causality violation always indicates a modelling bug.
+pub trait World {
+    /// The type of events this world exchanges with itself.
+    type Event;
+
+    /// Handle one event occurring at time `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Outcome of a call to [`run_until`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepResult {
+    /// The event queue drained before the horizon was reached.
+    Drained {
+        /// Time of the last dispatched event (zero if none were dispatched).
+        last_event: SimTime,
+    },
+    /// The horizon was reached; events at or beyond it remain pending.
+    HorizonReached,
+}
+
+/// Run `world` until the event queue is empty.
+///
+/// Returns the timestamp of the final event, or `SimTime::ZERO` if the
+/// queue was empty to begin with.
+pub fn run<W: World>(world: &mut W, queue: &mut EventQueue<W::Event>) -> SimTime {
+    match run_until(world, queue, SimTime::MAX) {
+        StepResult::Drained { last_event } => last_event,
+        StepResult::HorizonReached => unreachable!("MAX horizon cannot be reached"),
+    }
+}
+
+/// Run `world` until the event queue is empty or the next event would occur
+/// at or after `horizon`.
+///
+/// Events timestamped exactly at the horizon are *not* dispatched; this
+/// makes `run_until(.., t)` followed by `run_until(.., t2)` equivalent to a
+/// single `run_until(.., t2)`.
+pub fn run_until<W: World>(
+    world: &mut W,
+    queue: &mut EventQueue<W::Event>,
+    horizon: SimTime,
+) -> StepResult {
+    let mut now = SimTime::ZERO;
+    loop {
+        match queue.peek_time() {
+            None => return StepResult::Drained { last_event: now },
+            Some(t) if t >= horizon => return StepResult::HorizonReached,
+            Some(t) => {
+                assert!(
+                    t >= now,
+                    "causality violation: event scheduled at {t} before current time {now}"
+                );
+                let (t, ev) = queue.pop().expect("peeked event must exist");
+                now = t;
+                world.handle(now, ev, queue);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy world: a ball bouncing every `interval` until `bounces` runs out.
+    struct Bouncer {
+        interval: SimTime,
+        remaining: u32,
+        observed: Vec<SimTime>,
+    }
+
+    enum Ev {
+        Bounce,
+    }
+
+    impl World for Bouncer {
+        type Event = Ev;
+        fn handle(&mut self, now: SimTime, _ev: Ev, queue: &mut EventQueue<Ev>) {
+            self.observed.push(now);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                queue.push(now + self.interval, Ev::Bounce);
+            }
+        }
+    }
+
+    #[test]
+    fn run_drains_queue() {
+        let mut world = Bouncer {
+            interval: SimTime::from_millis(10),
+            remaining: 5,
+            observed: vec![],
+        };
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, Ev::Bounce);
+        let end = run(&mut world, &mut q);
+        assert_eq!(world.observed.len(), 6);
+        assert_eq!(end, SimTime::from_millis(50));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon_and_resumes() {
+        let mut world = Bouncer {
+            interval: SimTime::from_millis(10),
+            remaining: 100,
+            observed: vec![],
+        };
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, Ev::Bounce);
+        let r = run_until(&mut world, &mut q, SimTime::from_millis(35));
+        assert_eq!(r, StepResult::HorizonReached);
+        // events at 0,10,20,30 dispatched; 40 pending
+        assert_eq!(world.observed.len(), 4);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(40)));
+        // Horizon boundary is exclusive: an event at exactly 40 is not run.
+        let r = run_until(&mut world, &mut q, SimTime::from_millis(40));
+        assert_eq!(r, StepResult::HorizonReached);
+        assert_eq!(world.observed.len(), 4);
+    }
+
+    #[test]
+    fn empty_queue_drains_immediately() {
+        let mut world = Bouncer {
+            interval: SimTime::MILLISECOND,
+            remaining: 0,
+            observed: vec![],
+        };
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        assert_eq!(
+            run_until(&mut world, &mut q, SimTime::from_secs(1)),
+            StepResult::Drained {
+                last_event: SimTime::ZERO
+            }
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! The pending-event set.
+//!
+//! A discrete-event simulator is, at its heart, a loop around a priority
+//! queue of `(time, event)` pairs.  The only subtlety worth engineering for
+//! is determinism: Rust's `BinaryHeap` is not stable for equal keys, and a
+//! packet simulator generates *many* simultaneous events (a transmission
+//! that completes at exactly the moment another source wakes up).  We
+//! therefore key the heap by `(time, sequence-number)` so that events
+//! scheduled earlier pop earlier when times tie, making every run a pure
+//! function of the initial seed.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A deterministic min-priority queue of timestamped events.
+///
+/// Events with equal timestamps are returned in the order they were pushed.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+    popped: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Create an empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at absolute simulated time `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| {
+            self.popped += 1;
+            (e.time, e.event)
+        })
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_count(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Total number of events ever dispatched (popped) from this queue.
+    pub fn dispatched_count(&self) -> u64 {
+        self.popped
+    }
+
+    /// Drop every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(5), "c");
+        q.push(SimTime::from_millis(1), "a");
+        q.push(SimTime::from_millis(3), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_millis(1), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(3), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(5), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(7);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn peek_and_counters() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_secs(1), ());
+        q.push(SimTime::from_secs(2), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_count(), 2);
+        q.pop();
+        assert_eq!(q.dispatched_count(), 1);
+        q.clear();
+        assert!(q.is_empty());
+        // counters survive a clear
+        assert_eq!(q.scheduled_count(), 2);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(10), 10u32);
+        q.push(SimTime::from_millis(30), 30);
+        assert_eq!(q.pop().unwrap().1, 10);
+        q.push(SimTime::from_millis(20), 20);
+        q.push(SimTime::from_millis(5), 5);
+        assert_eq!(q.pop().unwrap().1, 5);
+        assert_eq!(q.pop().unwrap().1, 20);
+        assert_eq!(q.pop().unwrap().1, 30);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Popping everything from the queue yields a non-decreasing time
+        /// sequence regardless of insertion order.
+        #[test]
+        fn pop_order_is_monotone(times in proptest::collection::vec(0u64..1_000_000, 0..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.push(SimTime::from_nanos(*t), i);
+            }
+            let mut last = SimTime::ZERO;
+            while let Some((t, _)) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+            }
+        }
+
+        /// Events that share a timestamp preserve their insertion order.
+        #[test]
+        fn ties_preserve_fifo(groups in proptest::collection::vec((0u64..1000, 1usize..5), 1..50)) {
+            let mut q = EventQueue::new();
+            let mut counter = 0usize;
+            for (t, n) in &groups {
+                for _ in 0..*n {
+                    q.push(SimTime::from_millis(*t), counter);
+                    counter += 1;
+                }
+            }
+            // Collect pops grouped by timestamp and check each group's ids
+            // are increasing (insertion order).
+            let mut prev: Option<(SimTime, usize)> = None;
+            while let Some((t, id)) = q.pop() {
+                if let Some((pt, pid)) = prev {
+                    if pt == t {
+                        prop_assert!(id > pid);
+                    }
+                }
+                prev = Some((t, id));
+            }
+        }
+    }
+}

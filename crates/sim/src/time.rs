@@ -1,0 +1,262 @@
+//! Simulated time.
+//!
+//! Time is kept as an integer number of nanoseconds since the start of the
+//! simulation.  Integer time keeps event ordering exact: the paper's link
+//! speed (1 Mbit/s) and packet size (1000 bits) give a per-packet
+//! transmission time of exactly 1 ms, which is representable without
+//! rounding, and repeated additions never drift the way `f64` arithmetic
+//! would.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in simulated time, in nanoseconds since simulation start.
+///
+/// `SimTime` is also used for durations (the paper never needs dates); the
+/// arithmetic operators saturate at zero rather than wrapping so that a
+/// spurious negative duration cannot silently corrupt the event queue.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero — the start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time (used as an "infinite" horizon).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// One nanosecond.
+    pub const NANOSECOND: SimTime = SimTime(1);
+    /// One microsecond.
+    pub const MICROSECOND: SimTime = SimTime(1_000);
+    /// One millisecond — the per-packet transmission time of the paper's
+    /// evaluation (1000-bit packets over 1 Mbit/s links) and therefore the
+    /// unit in which all of the paper's delay tables are expressed.
+    pub const MILLISECOND: SimTime = SimTime(1_000_000);
+    /// One second.
+    pub const SECOND: SimTime = SimTime(1_000_000_000);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest
+    /// nanosecond.  Negative and non-finite inputs clamp to zero.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((s * 1e9).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time as fractional milliseconds.  Since one packet transmission time
+    /// in the paper's configuration is 1 ms, this is the "packet time" unit
+    /// used by Tables 1–3 when the default configuration is in force.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction: `self - other`, or zero if `other > self`.
+    #[inline]
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked subtraction.
+    #[inline]
+    pub fn checked_sub(self, other: SimTime) -> Option<SimTime> {
+        self.0.checked_sub(other.0).map(SimTime)
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(other.0))
+    }
+
+    /// Multiply a duration by an integer factor (saturating).
+    #[inline]
+    pub fn saturating_mul(self, k: u64) -> SimTime {
+        SimTime(self.0.saturating_mul(k))
+    }
+
+    /// Scale a duration by a floating-point factor (e.g. "1.5 packet
+    /// times"); clamps negative results to zero.
+    #[inline]
+    pub fn mul_f64(self, k: f64) -> SimTime {
+        SimTime::from_secs_f64(self.as_secs_f64() * k)
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Is this time zero?
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// Panics in debug builds on underflow; use [`SimTime::saturating_sub`]
+    /// when the operands may legitimately be out of order.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// Convert a transmission rate in bits per second and a size in bits into
+/// the time needed to serialize that many bits onto the link.
+///
+/// This is the single conversion the packet model uses everywhere, so the
+/// rounding convention (round to nearest nanosecond) lives in one place.
+#[inline]
+pub fn transmission_time(bits: u64, rate_bps: f64) -> SimTime {
+    assert!(rate_bps > 0.0, "link rate must be positive");
+    SimTime::from_secs_f64(bits as f64 / rate_bps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors_round_trip() {
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_secs(2).as_millis_f64(), 2000.0);
+        assert_eq!(SimTime::from_micros(7).as_nanos(), 7_000);
+        assert!((SimTime::from_secs_f64(1.5).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_or_nan_seconds_clamp_to_zero() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NEG_INFINITY), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = SimTime::from_millis(5);
+        let b = SimTime::from_millis(2);
+        assert_eq!(a + b, SimTime::from_millis(7));
+        assert_eq!(a - b, SimTime::from_millis(3));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a.saturating_mul(3), SimTime::from_millis(15));
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn paper_packet_time_is_one_millisecond() {
+        // 1000-bit packets over a 1 Mbit/s link: exactly 1 ms.
+        assert_eq!(transmission_time(1000, 1_000_000.0), SimTime::MILLISECOND);
+    }
+
+    #[test]
+    fn mul_f64_scales() {
+        assert_eq!(
+            SimTime::from_millis(10).mul_f64(2.5),
+            SimTime::from_millis(25)
+        );
+        assert_eq!(SimTime::from_millis(10).mul_f64(-1.0), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_transmission_panics() {
+        let _ = transmission_time(1000, 0.0);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(SimTime::from_nanos(1) < SimTime::from_nanos(2));
+        assert!(SimTime::MAX > SimTime::from_secs(1_000_000));
+    }
+}

@@ -1,0 +1,169 @@
+//! Fixed-bin histograms of delay samples.
+
+/// A histogram with uniform-width bins over `[lo, hi)` plus overflow and
+/// underflow counters.
+///
+/// Used by the extension experiments to plot full delay distributions (the
+/// paper only reports summary statistics, but the distributions make the
+/// FIFO-vs-WFQ jitter argument of Section 5 visible).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Create a histogram spanning `[lo, hi)` with `bins` uniform bins.
+    ///
+    /// # Panics
+    /// Panics if `hi <= lo` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Record a sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total number of samples recorded (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The `(low, high)` bounds of bin `i`.
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+    }
+
+    /// Fraction of in-range samples at or below the upper edge of bin `i`
+    /// (an empirical CDF evaluated at bin boundaries).
+    pub fn cdf_at_bin(&self, i: usize) -> f64 {
+        let in_range: u64 = self.bins.iter().sum();
+        if in_range == 0 {
+            return 0.0;
+        }
+        let cum: u64 = self.bins[..=i].iter().sum();
+        cum as f64 / in_range as f64
+    }
+
+    /// Render a small ASCII bar chart (one line per bin), useful in example
+    /// binaries.
+    pub fn ascii(&self, max_width: usize) -> String {
+        let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_bounds(i);
+            let w = (c as f64 / peak as f64 * max_width as f64).round() as usize;
+            out.push_str(&format!(
+                "[{lo:8.2},{hi:8.2}) {c:8} {}\n",
+                "#".repeat(w)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.5);
+        h.record(1.5);
+        h.record(9.99);
+        h.record(-1.0);
+        h.record(10.0);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[1], 1);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn bin_bounds_tile_the_range() {
+        let h = Histogram::new(2.0, 12.0, 5);
+        assert_eq!(h.bin_bounds(0), (2.0, 4.0));
+        assert_eq!(h.bin_bounds(4), (10.0, 12.0));
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_reaches_one() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        let mut last = 0.0;
+        for i in 0..10 {
+            let c = h.cdf_at_bin(i);
+            assert!(c >= last);
+            last = c;
+        }
+        assert!((last - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ascii_has_one_line_per_bin() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.record(1.0);
+        h.record(1.2);
+        h.record(3.0);
+        let art = h.ascii(20);
+        assert_eq!(art.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_range_panics() {
+        let _ = Histogram::new(5.0, 5.0, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

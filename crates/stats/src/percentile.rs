@@ -1,0 +1,403 @@
+//! Percentiles: exact (stored samples) and streaming (P² estimator).
+//!
+//! The paper's headline jitter metric is the 99.9th-percentile queueing
+//! delay of a flow over a ten-minute run — a deep-tail quantile, so the
+//! table-generating experiments store every end-to-end delay sample and
+//! compute it exactly with [`SampleSet`].  Long-running monitors inside the
+//! network (e.g. the measurement module feeding admission control) cannot
+//! store every sample, so [`P2Quantile`] provides the classic Jain &
+//! Chlamtac P² estimator as a constant-memory alternative.
+
+/// A bag of stored samples with exact order statistics.
+#[derive(Debug, Clone, Default)]
+pub struct SampleSet {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl SampleSet {
+    /// Create an empty sample set.
+    pub fn new() -> Self {
+        SampleSet {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Create an empty sample set with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        SampleSet {
+            samples: Vec::with_capacity(cap),
+            sorted: true,
+        }
+    }
+
+    /// Add one sample.
+    pub fn record(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if no samples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Largest sample, or 0.0 if empty.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(0.0)
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample recorded"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) using linear interpolation between order
+    /// statistics; 0.0 if the set is empty.
+    ///
+    /// `quantile(0.999)` is the "99.9 %ile" column of the paper's tables.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        self.ensure_sorted();
+        let n = self.samples.len();
+        if n == 1 {
+            return self.samples[0];
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            self.samples[lo]
+        } else {
+            let frac = pos - lo as f64;
+            self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac
+        }
+    }
+
+    /// Convenience: the 99.9th percentile.
+    pub fn p999(&mut self) -> f64 {
+        self.quantile(0.999)
+    }
+
+    /// Convenience: the median.
+    pub fn median(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Fraction of samples strictly greater than `threshold` — the
+    /// post-facto loss rate of a play-back application whose play-back point
+    /// is set at `threshold`.
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let above = self.samples.iter().filter(|&&x| x > threshold).count();
+        above as f64 / self.samples.len() as f64
+    }
+
+    /// Borrow the raw samples (unsorted order not guaranteed).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// The P² (piecewise-parabolic) streaming quantile estimator of Jain &
+/// Chlamtac (1985): tracks a single quantile with five markers and no
+/// stored samples.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based sample counts).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments.
+    increments: [f64; 5],
+    count: usize,
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Create an estimator for quantile `q` (e.g. 0.999).
+    pub fn new(q: f64) -> Self {
+        let q = q.clamp(0.0, 1.0);
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// Add one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            if self.initial.len() == 5 {
+                self.initial
+                    .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+                for i in 0..5 {
+                    self.heights[i] = self.initial[i];
+                }
+            }
+            return;
+        }
+
+        // Find the cell k such that heights[k] <= x < heights[k+1].
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if self.heights[i] <= x && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            if (d >= 1.0 && self.positions[i + 1] - self.positions[i] > 1.0)
+                || (d <= -1.0 && self.positions[i - 1] - self.positions[i] < -1.0)
+            {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                    self.heights[i] = candidate;
+                } else {
+                    self.heights[i] = self.linear(i, d);
+                }
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        h[i] + d * (h[j] - h[i]) / (p[j] - p[i])
+    }
+
+    /// Current estimate of the tracked quantile.
+    ///
+    /// With fewer than five samples the estimate falls back to the exact
+    /// quantile of what has been seen.
+    pub fn estimate(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.initial.len() < 5 {
+            let mut v = self.initial.clone();
+            v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            let pos = (self.q * (v.len() - 1) as f64).round() as usize;
+            return v[pos.min(v.len() - 1)];
+        }
+        self.heights[2]
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The quantile this estimator tracks.
+    pub fn quantile(&self) -> f64 {
+        self.q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_is_zero() {
+        let mut s = SampleSet::new();
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn exact_quantiles_of_known_data() {
+        let mut s = SampleSet::with_capacity(101);
+        for i in 0..=100 {
+            s.record(i as f64);
+        }
+        assert_eq!(s.len(), 101);
+        assert_eq!(s.median(), 50.0);
+        assert_eq!(s.quantile(0.0), 0.0);
+        assert_eq!(s.quantile(1.0), 100.0);
+        assert!((s.quantile(0.25) - 25.0).abs() < 1e-9);
+        assert!((s.p999() - 99.9).abs() < 1e-9);
+        assert_eq!(s.max(), 100.0);
+        assert!((s.mean() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let mut s = SampleSet::new();
+        s.record(10.0);
+        s.record(20.0);
+        assert!((s.quantile(0.5) - 15.0).abs() < 1e-9);
+        assert!((s.quantile(0.75) - 17.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_quantile() {
+        let mut s = SampleSet::new();
+        s.record(42.0);
+        assert_eq!(s.quantile(0.1), 42.0);
+        assert_eq!(s.quantile(0.999), 42.0);
+    }
+
+    #[test]
+    fn fraction_above_counts_strictly_greater() {
+        let mut s = SampleSet::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.record(x);
+        }
+        assert_eq!(s.fraction_above(2.0), 0.5);
+        assert_eq!(s.fraction_above(0.0), 1.0);
+        assert_eq!(s.fraction_above(4.0), 0.0);
+    }
+
+    #[test]
+    fn record_after_quantile_keeps_correctness() {
+        let mut s = SampleSet::new();
+        for x in [5.0, 1.0, 3.0] {
+            s.record(x);
+        }
+        assert_eq!(s.median(), 3.0);
+        s.record(10.0);
+        s.record(0.0);
+        assert_eq!(s.median(), 3.0);
+        assert_eq!(s.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn p2_tracks_median_of_uniform() {
+        let mut p2 = P2Quantile::new(0.5);
+        // deterministic pseudo-uniform ramp
+        for i in 0..10_000 {
+            let x = (i * 37 % 1000) as f64 / 1000.0;
+            p2.record(x);
+        }
+        assert!((p2.estimate() - 0.5).abs() < 0.05, "{}", p2.estimate());
+        assert_eq!(p2.count(), 10_000);
+        assert_eq!(p2.quantile(), 0.5);
+    }
+
+    #[test]
+    fn p2_tracks_high_quantile_against_exact() {
+        let mut p2 = P2Quantile::new(0.95);
+        let mut exact = SampleSet::new();
+        // A mildly skewed sequence.
+        for i in 0..20_000u32 {
+            let x = ((i * 7919 % 10007) as f64 / 10007.0).powi(2) * 100.0;
+            p2.record(x);
+            exact.record(x);
+        }
+        let e = exact.quantile(0.95);
+        assert!(
+            (p2.estimate() - e).abs() / e < 0.05,
+            "p2 {} exact {}",
+            p2.estimate(),
+            e
+        );
+    }
+
+    #[test]
+    fn p2_few_samples_fall_back_to_exact() {
+        let mut p2 = P2Quantile::new(0.9);
+        assert_eq!(p2.estimate(), 0.0);
+        p2.record(3.0);
+        p2.record(1.0);
+        assert!(p2.estimate() >= 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Quantiles are monotone in q and bounded by the sample extremes.
+        #[test]
+        fn quantiles_monotone(xs in proptest::collection::vec(0.0f64..1e6, 1..300)) {
+            let mut s = SampleSet::new();
+            for &x in &xs { s.record(x); }
+            let q25 = s.quantile(0.25);
+            let q50 = s.quantile(0.50);
+            let q99 = s.quantile(0.99);
+            let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(q25 <= q50 + 1e-9);
+            prop_assert!(q50 <= q99 + 1e-9);
+            prop_assert!(q25 >= min - 1e-9);
+            prop_assert!(q99 <= max + 1e-9);
+        }
+
+        /// The P² estimate always stays within the observed range.
+        #[test]
+        fn p2_within_range(xs in proptest::collection::vec(0.0f64..1e3, 5..500), q in 0.01f64..0.99) {
+            let mut p2 = P2Quantile::new(q);
+            for &x in &xs { p2.record(x); }
+            let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(p2.estimate() >= min - 1e-9);
+            prop_assert!(p2.estimate() <= max + 1e-9);
+        }
+    }
+}

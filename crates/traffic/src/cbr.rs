@@ -1,0 +1,111 @@
+//! Constant-bit-rate source.
+//!
+//! The archetypal "rigid" real-time source (Section 2.2 notes the common
+//! misconception that real-time sources *must* look like this); used by the
+//! guaranteed-service examples and as a well-behaved control in tests.
+
+use ispn_core::{FlowId, Packet};
+use ispn_net::{Agent, AgentApi};
+use ispn_sim::SimTime;
+
+use crate::stats::{shared, SharedSourceStats};
+
+/// A source that emits one fixed-size packet every `interval`.
+pub struct CbrSource {
+    flow: FlowId,
+    packet_bits: u64,
+    interval: SimTime,
+    start_offset: SimTime,
+    seq: u64,
+    stats: SharedSourceStats,
+}
+
+impl CbrSource {
+    /// Create a CBR source emitting `rate_pps` packets per second.
+    pub fn new(flow: FlowId, rate_pps: f64, packet_bits: u64) -> Self {
+        assert!(rate_pps > 0.0);
+        assert!(packet_bits > 0);
+        CbrSource {
+            flow,
+            packet_bits,
+            interval: SimTime::from_secs_f64(1.0 / rate_pps),
+            start_offset: SimTime::ZERO,
+            seq: 0,
+            stats: shared(),
+        }
+    }
+
+    /// Delay the first packet by `offset` (to de-synchronize several CBR
+    /// sources).
+    pub fn with_start_offset(mut self, offset: SimTime) -> Self {
+        self.start_offset = offset;
+        self
+    }
+
+    /// Shared counter handle.
+    pub fn stats(&self) -> SharedSourceStats {
+        self.stats.clone()
+    }
+}
+
+impl Agent for CbrSource {
+    fn start(&mut self, api: &mut AgentApi) {
+        api.set_timer(self.start_offset, 0);
+    }
+
+    fn on_timer(&mut self, _token: u64, api: &mut AgentApi) {
+        let now = api.now();
+        api.send(Packet::data(self.flow, self.seq, self.packet_bits, now));
+        self.seq += 1;
+        {
+            let mut st = self.stats.borrow_mut();
+            st.generated += 1;
+            st.submitted += 1;
+            st.bits_submitted += self.packet_bits;
+        }
+        api.set_timer(self.interval, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispn_net::{FlowConfig, Network, Topology};
+
+    #[test]
+    fn emits_at_the_configured_rate() {
+        let (topo, _nodes, links) = Topology::chain(2, 1_000_000.0, SimTime::ZERO, 200);
+        let mut net = Network::new(topo);
+        let flow = net.add_flow(FlowConfig::datagram(vec![links[0]]));
+        let src = CbrSource::new(flow, 100.0, 1000);
+        let stats = src.stats();
+        net.add_agent(Box::new(src));
+        net.run_until(SimTime::from_secs(10));
+        // 100 pps for 10 s = roughly 1000 packets (first at t=0).
+        let n = stats.borrow().submitted;
+        assert!((990..=1001).contains(&n), "submitted {n}");
+        let report = net.monitor_mut().flow_report(flow);
+        assert_eq!(report.delivered, n);
+        // A lone CBR source sees no queueing at all.
+        assert!(report.max_delay < 1e-9);
+    }
+
+    #[test]
+    fn start_offset_shifts_the_first_packet() {
+        let (topo, _nodes, links) = Topology::chain(2, 1_000_000.0, SimTime::ZERO, 200);
+        let mut net = Network::new(topo);
+        let flow = net.add_flow(FlowConfig::datagram(vec![links[0]]));
+        let src =
+            CbrSource::new(flow, 10.0, 1000).with_start_offset(SimTime::from_millis(950));
+        let stats = src.stats();
+        net.add_agent(Box::new(src));
+        net.run_until(SimTime::from_secs(1));
+        assert_eq!(stats.borrow().submitted, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_rejected() {
+        let _ = CbrSource::new(FlowId(0), 0.0, 1000);
+    }
+}

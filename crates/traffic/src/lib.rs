@@ -1,0 +1,30 @@
+//! # ispn-traffic — traffic sources
+//!
+//! The Appendix of CSZ'92 drives every real-time flow from the same source
+//! model: a two-state Markov process that emits geometrically distributed
+//! bursts (mean `B = 5` packets) at a peak rate `P`, separated by
+//! exponentially distributed idle periods, with the average rate `A` given
+//! by `1/A = I/B + 1/P` and `P = 2A`; each source is then policed by an
+//! `(A, 50-packet)` token bucket that drops ≈2 % of its packets.
+//! [`OnOffSource`] implements exactly that model as a network
+//! [`Agent`](ispn_net::Agent).
+//!
+//! The crate also provides the simpler sources used by examples, extension
+//! experiments and tests: constant-bit-rate ([`CbrSource`]), Poisson
+//! ([`PoissonSource`]) and trace-replay ([`TraceSource`]) sources, all
+//! sharing the same [`SourceStats`] accounting.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cbr;
+pub mod onoff;
+pub mod poisson;
+pub mod stats;
+pub mod trace;
+
+pub use cbr::CbrSource;
+pub use onoff::{OnOffConfig, OnOffSource};
+pub use poisson::PoissonSource;
+pub use stats::{SharedSourceStats, SourceStats};
+pub use trace::TraceSource;

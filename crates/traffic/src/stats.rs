@@ -1,0 +1,76 @@
+//! Shared source-side accounting.
+//!
+//! Agents are moved into the network when registered, so experiments keep a
+//! cheap shared handle to each source's counters instead (single-threaded
+//! `Rc<RefCell<…>>` — the simulator is deliberately sequential).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Counters a source updates as it runs.
+#[derive(Debug, Default, Clone)]
+pub struct SourceStats {
+    /// Packets the generation process produced.
+    pub generated: u64,
+    /// Packets actually submitted to the network (after source policing).
+    pub submitted: u64,
+    /// Packets dropped by the source's own token-bucket policer.
+    pub policer_drops: u64,
+    /// Total bits submitted.
+    pub bits_submitted: u64,
+    /// Number of bursts started (on/off sources only).
+    pub bursts: u64,
+}
+
+impl SourceStats {
+    /// Fraction of generated packets dropped by the source policer.
+    pub fn drop_rate(&self) -> f64 {
+        if self.generated == 0 {
+            0.0
+        } else {
+            self.policer_drops as f64 / self.generated as f64
+        }
+    }
+
+    /// Mean burst length in packets (generated packets per burst).
+    pub fn mean_burst(&self) -> f64 {
+        if self.bursts == 0 {
+            0.0
+        } else {
+            self.generated as f64 / self.bursts as f64
+        }
+    }
+}
+
+/// A shared, clonable handle to a source's counters.
+pub type SharedSourceStats = Rc<RefCell<SourceStats>>;
+
+/// Create a fresh shared counter handle.
+pub fn shared() -> SharedSourceStats {
+    Rc::new(RefCell::new(SourceStats::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let mut s = SourceStats::default();
+        assert_eq!(s.drop_rate(), 0.0);
+        assert_eq!(s.mean_burst(), 0.0);
+        s.generated = 100;
+        s.policer_drops = 2;
+        s.bursts = 20;
+        assert!((s.drop_rate() - 0.02).abs() < 1e-12);
+        assert!((s.mean_burst() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_handle_is_shared() {
+        let h = shared();
+        let h2 = h.clone();
+        h.borrow_mut().generated = 7;
+        assert_eq!(h2.borrow().generated, 7);
+    }
+}

@@ -1,0 +1,21 @@
+//! # ispn-transport — the datagram transport substrate
+//!
+//! Table 3 of CSZ'92 adds "2 datagram TCP connections" to the real-time
+//! load so that the network runs at over 99 % utilization while the
+//! datagram class absorbs whatever bandwidth the real-time classes leave
+//! over, experiencing a small (≈0.1 %) drop rate.  This crate provides that
+//! substrate: a simplified, window-based TCP (greedy sender, slow start,
+//! congestion avoidance, fast retransmit on triple duplicate ACKs, and a
+//! retransmission timeout with Jacobson/Karels RTT estimation) running as a
+//! pair of datagram-class flows (data forward, ACKs on a reverse route).
+//!
+//! The goal is behavioural fidelity at the level the paper relies on —
+//! elastic load that fills residual capacity and backs off under loss — not
+//! byte-level RFC 793 compliance.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod tcp;
+
+pub use tcp::{install_tcp, SharedTcpStats, TcpConfig, TcpHandles, TcpReceiver, TcpSender, TcpStats};

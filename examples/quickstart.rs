@@ -1,0 +1,86 @@
+//! Quickstart: build a two-switch network, give one flow a guaranteed-service
+//! reservation under the unified scheduler, let a bursty best-effort flow
+//! compete with it, and look at the delays each one receives.
+//!
+//! Run with: `cargo run -p ispn-examples --bin quickstart`
+
+use ispn_core::bounds::pg_queueing_bound;
+use ispn_core::{FlowId, TokenBucketSpec};
+use ispn_net::{FlowConfig, Network, Topology};
+use ispn_sched::{Averaging, Unified};
+use ispn_sim::SimTime;
+use ispn_traffic::{CbrSource, OnOffConfig, OnOffSource};
+
+fn main() {
+    // 1. A topology: two switches joined by a 1 Mbit/s link with a
+    //    200-packet output buffer.
+    let mut topo = Topology::new();
+    let a = topo.add_node();
+    let b = topo.add_node();
+    let link = topo.add_link(a, b, 1_000_000.0, SimTime::ZERO, 200);
+    let mut net = Network::new(topo);
+
+    // 2. Flows: a 100-packet/s constant-rate "voice" flow asking for
+    //    guaranteed service with a 150 kbit/s clock rate, and a bursty
+    //    best-effort flow with an average rate of 600 packets/s.
+    let voice = net.add_flow(FlowConfig::guaranteed(vec![link], 150_000.0));
+    let noise = net.add_flow(FlowConfig::datagram(vec![link]));
+
+    // 3. The switch runs the unified scheduler: WFQ isolation for the
+    //    guaranteed flow, FIFO+/priority sharing for everything else.
+    let mut unified = Unified::new(1_000_000.0, 2, Averaging::RunningMean);
+    unified.add_guaranteed_flow(voice, 150_000.0);
+    net.set_discipline(link, Box::new(unified));
+
+    // 4. Traffic sources.
+    net.add_agent(Box::new(CbrSource::new(voice, 100.0, 1000)));
+    net.add_agent(Box::new(OnOffSource::new(
+        noise,
+        OnOffConfig {
+            avg_rate_pps: 600.0,
+            peak_rate_pps: 1200.0,
+            mean_burst_pkts: 20.0,
+            packet_bits: 1000,
+            policer: None,
+            start_offset: SimTime::ZERO,
+            seed: 7,
+        },
+    )));
+
+    // 5. Run ten simulated minutes.
+    net.run_until(SimTime::from_secs(600));
+
+    // 6. Reports.
+    let pg = pg_queueing_bound(
+        TokenBucketSpec::per_packets(100.0, 2.0, 1000),
+        150_000.0,
+        1,
+        1000,
+    );
+    println!("guaranteed voice flow (clock rate 150 kbit/s):");
+    print_flow(&mut net, voice);
+    println!(
+        "  Parekh-Gallager queueing bound: {:.2} ms",
+        pg.as_millis_f64()
+    );
+    println!("\nbursty best-effort flow (no commitment):");
+    print_flow(&mut net, noise);
+    let lr = net.monitor().link_report(link.index());
+    println!(
+        "\nlink utilization {:.1}% ({} packets, {} drops)",
+        lr.utilization * 100.0,
+        lr.packets_sent,
+        lr.drops
+    );
+}
+
+fn print_flow(net: &mut Network, flow: FlowId) {
+    let r = net.monitor_mut().flow_report(flow);
+    println!(
+        "  delivered {} packets; queueing delay mean {:.2} ms, 99.9th percentile {:.2} ms, max {:.2} ms",
+        r.delivered,
+        r.mean_delay * 1e3,
+        r.p999_delay * 1e3,
+        r.max_delay * 1e3
+    );
+}

@@ -1,0 +1,46 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The integration tests deliberately assemble scenarios from the low-level
+//! crates (`ispn-net`, `ispn-sched`, `ispn-traffic`, …) rather than through
+//! `ispn-experiments`, so they exercise the public API the way a downstream
+//! user would.
+
+use ispn_core::{FlowId, FlowSpec, ServiceClass};
+use ispn_net::{FlowConfig, LinkId, Network, Topology};
+use ispn_sim::SimTime;
+use ispn_traffic::{OnOffConfig, OnOffSource};
+
+/// The paper's link rate.
+pub const LINK_RATE: f64 = 1_000_000.0;
+/// The paper's packet size.
+pub const PACKET_BITS: u64 = 1000;
+/// The paper's switch buffer.
+pub const BUFFER: usize = 200;
+
+/// Build a chain of `switches` switches with paper-parameter links.
+pub fn chain(switches: usize) -> (Topology, Vec<LinkId>) {
+    let (topo, _nodes, links) = Topology::chain(switches, LINK_RATE, SimTime::ZERO, BUFFER);
+    (topo, links)
+}
+
+/// Add a best-effort flow carried in the single predicted class, fed by the
+/// paper's on/off source (A = 85 pkt/s, `(A, 50)` source policer).
+pub fn add_paper_flow(net: &mut Network, route: Vec<LinkId>, seed: u64) -> FlowId {
+    let flow = net.add_flow(FlowConfig {
+        route,
+        spec: FlowSpec::Datagram,
+        class: ServiceClass::Predicted { priority: 0 },
+        edge_policer: None,
+        sink: None,
+    });
+    net.add_agent(Box::new(OnOffSource::new(
+        flow,
+        OnOffConfig::paper(85.0, seed),
+    )));
+    flow
+}
+
+/// Convert a delay in seconds into packet transmission times (1 ms).
+pub fn packet_times(delay_secs: f64) -> f64 {
+    delay_secs * 1000.0
+}

@@ -1,0 +1,136 @@
+//! Integration: adaptive play-back applications riding on predicted service
+//! (Sections 2 and 3), driven by live deliveries from the network rather
+//! than recorded traces.
+
+use ispn_core::playback::{AdaptivePlayback, PlaybackOutcome, RigidPlayback};
+use ispn_core::{FlowSpec, ServiceClass};
+use ispn_integration_tests::{add_paper_flow, chain, PACKET_BITS};
+use ispn_net::{Agent, AgentApi, Delivery, FlowConfig, Network};
+use ispn_sched::{Averaging, FifoPlus};
+use ispn_sim::SimTime;
+use ispn_traffic::CbrSource;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A sink driving both a rigid and an adaptive client from the same packets,
+/// so they are compared under identical conditions.
+struct DualPlaybackSink {
+    state: Rc<RefCell<(RigidPlayback, AdaptivePlayback, u64)>>,
+}
+
+impl Agent for DualPlaybackSink {
+    fn on_packet(&mut self, delivery: Delivery, _api: &mut AgentApi) {
+        let mut s = self.state.borrow_mut();
+        let d = delivery.total_delay;
+        s.0.on_packet(d);
+        if s.1.on_packet(d) == PlaybackOutcome::Late {
+            s.2 += 1;
+        }
+    }
+}
+
+#[test]
+fn adaptive_client_on_a_real_network_beats_the_rigid_one() {
+    let (topo, links) = chain(2);
+    let mut net = Network::new(topo);
+    net.set_discipline(links[0], Box::new(FifoPlus::new(Averaging::RunningMean)));
+
+    let advertised = SimTime::from_millis(80);
+    let state = Rc::new(RefCell::new((
+        RigidPlayback::new(advertised),
+        AdaptivePlayback::new(advertised, 100, 0.99, 1.25),
+        0u64,
+    )));
+    let sink = net.add_agent(Box::new(DualPlaybackSink {
+        state: state.clone(),
+    }));
+
+    // The voice flow whose receiver adapts.
+    let voice = net.add_flow(
+        FlowConfig {
+            route: vec![links[0]],
+            spec: FlowSpec::Datagram,
+            class: ServiceClass::Predicted { priority: 0 },
+            edge_policer: None,
+            sink: None,
+        }
+        .with_sink(sink),
+    );
+    net.add_agent(Box::new(CbrSource::new(voice, 64.0, PACKET_BITS)));
+    // Nine bursty competitors.
+    for i in 0..9 {
+        add_paper_flow(&mut net, vec![links[0]], 300 + i);
+    }
+    net.run_until(SimTime::from_secs(60));
+
+    let s = state.borrow();
+    let rigid = s.0.stats();
+    let adaptive = s.1.stats();
+    assert!(rigid.played() + rigid.late() > 3000, "enough packets flowed");
+    // The rigid client at the a-priori bound loses essentially nothing…
+    assert!(rigid.loss_rate() < 0.001, "rigid loss {}", rigid.loss_rate());
+    // …and the adaptive one stays close to its ~1% design target…
+    assert!(adaptive.loss_rate() < 0.02, "adaptive loss {}", adaptive.loss_rate());
+    // …but the adaptive client's effective latency is far lower.
+    assert!(
+        adaptive.playback_point().mean() < 0.5 * rigid.playback_point().mean(),
+        "adaptive {:.4}s vs rigid {:.4}s",
+        adaptive.playback_point().mean(),
+        rigid.playback_point().mean()
+    );
+}
+
+#[test]
+fn adaptive_client_rides_out_a_load_change_with_transient_loss_only() {
+    // Start with a lightly loaded link, then add heavy competition halfway
+    // through: the adaptive client must absorb the change (some transient
+    // late packets, then recover) without the delivered loss rate exploding.
+    let (topo, links) = chain(2);
+    let mut net = Network::new(topo);
+    net.set_discipline(links[0], Box::new(FifoPlus::new(Averaging::RunningMean)));
+
+    let state = Rc::new(RefCell::new((
+        RigidPlayback::new(SimTime::from_millis(80)),
+        AdaptivePlayback::new(SimTime::from_millis(80), 100, 0.99, 1.25),
+        0u64,
+    )));
+    let sink = net.add_agent(Box::new(DualPlaybackSink {
+        state: state.clone(),
+    }));
+    let voice = net.add_flow(
+        FlowConfig {
+            route: vec![links[0]],
+            spec: FlowSpec::Datagram,
+            class: ServiceClass::Predicted { priority: 0 },
+            edge_policer: None,
+            sink: None,
+        }
+        .with_sink(sink),
+    );
+    net.add_agent(Box::new(CbrSource::new(voice, 64.0, PACKET_BITS)));
+    // Two competitors at the start.
+    for i in 0..2 {
+        add_paper_flow(&mut net, vec![links[0]], 400 + i);
+    }
+    net.run_until(SimTime::from_secs(30));
+    let point_before = state.borrow().1.playback_point();
+
+    // Conditions change: seven more bursty sources join.
+    for i in 0..7 {
+        add_paper_flow(&mut net, vec![links[0]], 500 + i);
+    }
+    net.run_until(SimTime::from_secs(90));
+
+    let s = state.borrow();
+    let adaptive = &s.1;
+    assert!(
+        adaptive.playback_point() > point_before,
+        "the play-back point must move out when load rises"
+    );
+    assert!(
+        adaptive.stats().loss_rate() < 0.02,
+        "overall adaptive loss stays small: {}",
+        adaptive.stats().loss_rate()
+    );
+    assert!(adaptive.readjustments() > 10);
+}

@@ -1,0 +1,144 @@
+//! Integration: multi-hop sharing (Section 6) — FIFO+ keeps the jitter of
+//! long paths under control, and its header offsets behave sensibly.
+
+use ispn_core::{FlowSpec, ServiceClass};
+use ispn_integration_tests::{add_paper_flow, chain, packet_times};
+use ispn_net::{Agent, AgentApi, Delivery, FlowConfig, Network};
+use ispn_sched::{Averaging, Fifo, FifoPlus, QueueDiscipline};
+use ispn_sim::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const DURATION: SimTime = SimTime::from_secs(40);
+const HOPS: usize = 4;
+
+/// Build the 4-hop chain with ten flows per link (two end-to-end flows plus
+/// one-hop cross traffic), run it, and return (mean, p999) of an end-to-end
+/// flow in packet times.
+fn run_chain<F>(make: F) -> (f64, f64)
+where
+    F: Fn() -> Box<dyn QueueDiscipline>,
+{
+    let (topo, links) = chain(HOPS + 1);
+    let mut net = Network::new(topo);
+    for &l in &links {
+        net.set_discipline(l, make());
+    }
+    let mut seed = 0u64;
+    let long_a = add_paper_flow(&mut net, links.clone(), seed);
+    seed += 1;
+    let _long_b = add_paper_flow(&mut net, links.clone(), seed);
+    seed += 1;
+    for &l in &links {
+        for _ in 0..8 {
+            add_paper_flow(&mut net, vec![l], seed);
+            seed += 1;
+        }
+    }
+    net.run_until(DURATION);
+    let r = net.monitor_mut().flow_report(long_a);
+    (packet_times(r.mean_delay), packet_times(r.p999_delay))
+}
+
+#[test]
+fn fifo_plus_controls_the_long_path_tail_at_least_as_well_as_fifo() {
+    let (fifo_mean, fifo_p999) = run_chain(|| Box::new(Fifo::new()));
+    let (plus_mean, plus_p999) = run_chain(|| Box::new(FifoPlus::new(Averaging::RunningMean)));
+    // Means comparable (the paper: "the mean delays are comparable in all
+    // three cases", FIFO+ slightly shifting delay between path lengths).
+    assert!(
+        (fifo_mean - plus_mean).abs() / fifo_mean < 0.3,
+        "means: FIFO {fifo_mean:.2} vs FIFO+ {plus_mean:.2}"
+    );
+    // The 4-hop tail under FIFO+ is no worse than under FIFO.
+    assert!(
+        plus_p999 <= fifo_p999 * 1.05,
+        "4-hop p999: FIFO+ {plus_p999:.2} vs FIFO {fifo_p999:.2}"
+    );
+}
+
+/// A sink that records the jitter offsets carried by delivered packets.
+#[derive(Default)]
+struct OffsetRecorder {
+    offsets: Rc<RefCell<Vec<i64>>>,
+}
+
+impl Agent for OffsetRecorder {
+    fn on_packet(&mut self, delivery: Delivery, _api: &mut AgentApi) {
+        self.offsets
+            .borrow_mut()
+            .push(delivery.packet.jitter_offset_ns);
+    }
+}
+
+#[test]
+fn fifo_plus_offsets_accumulate_and_average_near_zero() {
+    let (topo, links) = chain(HOPS + 1);
+    let mut net = Network::new(topo);
+    for &l in &links {
+        net.set_discipline(l, Box::new(FifoPlus::new(Averaging::RunningMean)));
+    }
+    let recorder = OffsetRecorder::default();
+    let offsets = recorder.offsets.clone();
+    let sink = net.add_agent(Box::new(recorder));
+    // The measured end-to-end flow, with its deliveries recorded.
+    let measured = net.add_flow(
+        FlowConfig {
+            route: links.clone(),
+            spec: FlowSpec::Datagram,
+            class: ServiceClass::Predicted { priority: 0 },
+            edge_policer: None,
+            sink: None,
+        }
+        .with_sink(sink),
+    );
+    net.add_agent(Box::new(ispn_traffic::OnOffSource::new(
+        measured,
+        ispn_traffic::OnOffConfig::paper(85.0, 500),
+    )));
+    let mut seed = 0;
+    for &l in &links {
+        for _ in 0..9 {
+            add_paper_flow(&mut net, vec![l], seed);
+            seed += 1;
+        }
+    }
+    net.run_until(DURATION);
+
+    let offsets = offsets.borrow();
+    assert!(offsets.len() > 1000, "need a meaningful sample ({})", offsets.len());
+    // Offsets are signed: some packets were luckier than average, some
+    // unluckier.
+    assert!(offsets.iter().any(|&o| o > 0));
+    assert!(offsets.iter().any(|&o| o < 0));
+    // The average offset (difference from the class average, accumulated
+    // over the path) stays small compared to the delays themselves: the
+    // mechanism redistributes jitter, it does not add delay.
+    let mean_ms = offsets.iter().map(|&o| o as f64).sum::<f64>() / offsets.len() as f64 / 1e6;
+    assert!(mean_ms.abs() < 5.0, "mean offset {mean_ms:.2} ms");
+}
+
+#[test]
+fn jitter_grows_with_hops_under_every_discipline() {
+    // Sanity check of the simulator itself: longer paths always see more
+    // queueing (this is the premise of Section 6, before FIFO+ fixes the
+    // growth *rate*).
+    for make in [
+        (|| Box::new(Fifo::new()) as Box<dyn QueueDiscipline>) as fn() -> Box<dyn QueueDiscipline>,
+        || Box::new(FifoPlus::new(Averaging::RunningMean)),
+    ] {
+        let (topo, links) = chain(2);
+        let mut net = Network::new(topo);
+        net.set_discipline(links[0], make());
+        let one_hop = add_paper_flow(&mut net, vec![links[0]], 77);
+        for s in 0..9 {
+            add_paper_flow(&mut net, vec![links[0]], 100 + s);
+        }
+        net.run_until(DURATION);
+        let one = net.monitor_mut().flow_report(one_hop);
+
+        let (mean4, p9994) = run_chain(|| make());
+        assert!(mean4 > packet_times(one.mean_delay));
+        assert!(p9994 > packet_times(one.p999_delay) * 0.9);
+    }
+}

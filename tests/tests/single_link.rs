@@ -1,0 +1,98 @@
+//! Integration: the Table-1 situation rebuilt from the low-level crates —
+//! ten bursty sources sharing one link under different disciplines.
+
+use ispn_integration_tests::{add_paper_flow, chain, packet_times};
+use ispn_net::Network;
+use ispn_sched::{Averaging, Fifo, FifoPlus, QueueDiscipline, VirtualClock, Wfq};
+use ispn_sim::SimTime;
+
+const DURATION: SimTime = SimTime::from_secs(40);
+
+fn run_with(discipline: Box<dyn QueueDiscipline>) -> (Vec<f64>, Vec<f64>, f64) {
+    let (topo, links) = chain(2);
+    let mut net = Network::new(topo);
+    net.set_discipline(links[0], discipline);
+    let flows: Vec<_> = (0..10)
+        .map(|i| add_paper_flow(&mut net, vec![links[0]], i))
+        .collect();
+    net.run_until(DURATION);
+    let mut means = Vec::new();
+    let mut tails = Vec::new();
+    for f in flows {
+        let r = net.monitor_mut().flow_report(f);
+        means.push(packet_times(r.mean_delay));
+        tails.push(packet_times(r.p999_delay));
+    }
+    let util = net.monitor().link_report(0).utilization;
+    (means, tails, util)
+}
+
+#[test]
+fn ten_flows_load_the_link_to_about_eighty_three_percent() {
+    let (_, _, util) = run_with(Box::new(Fifo::new()));
+    assert!((util - 0.835).abs() < 0.05, "utilization {util}");
+}
+
+#[test]
+fn every_flow_gets_comparable_mean_delay_under_fifo() {
+    let (means, _, _) = run_with(Box::new(Fifo::new()));
+    let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = means.iter().cloned().fold(0.0f64, f64::max);
+    assert!(lo > 0.3, "every flow queues at 83% load ({means:?})");
+    assert!(hi / lo < 2.5, "FIFO shares delay roughly evenly ({means:?})");
+}
+
+#[test]
+fn fifo_tail_beats_wfq_tail_on_shared_bursty_traffic() {
+    // The Table-1 claim: means comparable, FIFO 99.9th percentile smaller.
+    let (fifo_means, fifo_tails, _) = run_with(Box::new(Fifo::new()));
+    let (wfq_means, wfq_tails, _) = run_with(Box::new(Wfq::equal_share(1_000_000.0, 10)));
+    let avg = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+    let fifo_mean = avg(&fifo_means);
+    let wfq_mean = avg(&wfq_means);
+    assert!(
+        (fifo_mean - wfq_mean).abs() / wfq_mean < 0.35,
+        "means comparable: FIFO {fifo_mean:.2} vs WFQ {wfq_mean:.2}"
+    );
+    let fifo_tail = avg(&fifo_tails);
+    let wfq_tail = avg(&wfq_tails);
+    assert!(
+        fifo_tail < wfq_tail,
+        "FIFO tail {fifo_tail:.2} should be below WFQ tail {wfq_tail:.2}"
+    );
+}
+
+#[test]
+fn all_reasonable_disciplines_deliver_everything_without_drops() {
+    for disc in [
+        Box::new(Fifo::new()) as Box<dyn QueueDiscipline>,
+        Box::new(Wfq::equal_share(1_000_000.0, 10)),
+        Box::new(FifoPlus::new(Averaging::RunningMean)),
+        Box::new(VirtualClock::new(100_000.0)),
+    ] {
+        let (topo, links) = chain(2);
+        let mut net = Network::new(topo);
+        net.set_discipline(links[0], disc);
+        let flows: Vec<_> = (0..10)
+            .map(|i| add_paper_flow(&mut net, vec![links[0]], i))
+            .collect();
+        net.run_until(DURATION);
+        for f in flows {
+            let r = net.monitor_mut().flow_report(f);
+            assert!(r.generated > 0);
+            assert_eq!(r.dropped_buffer, 0, "no loss at 83% load");
+            // Packets still queued when the horizon cuts the run off are the
+            // only permitted shortfall.
+            assert!(r.delivered + 10 >= r.generated, "{r:?}");
+        }
+    }
+}
+
+#[test]
+fn identical_seeds_give_bitwise_identical_results() {
+    let (a_means, a_tails, a_util) = run_with(Box::new(Fifo::new()));
+    let (b_means, b_tails, b_util) = run_with(Box::new(Fifo::new()));
+    assert_eq!(a_means, b_means);
+    assert_eq!(a_tails, b_tails);
+    assert_eq!(a_util, b_util);
+}
