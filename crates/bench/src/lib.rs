@@ -24,7 +24,10 @@ use ispn_experiments::config::PaperConfig;
 /// Choose the experiment configuration from the environment: set
 /// `ISPN_BENCH_FAST=1` to run shortened scenarios (used in CI smoke runs).
 pub fn bench_config() -> PaperConfig {
-    if std::env::var("ISPN_BENCH_FAST").map(|v| v == "1").unwrap_or(false) {
+    if std::env::var("ISPN_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
         PaperConfig::fast()
     } else {
         PaperConfig::paper()
@@ -33,7 +36,10 @@ pub fn bench_config() -> PaperConfig {
 
 /// A medium-length configuration for the multi-run extension sweeps.
 pub fn extensions_config() -> PaperConfig {
-    if std::env::var("ISPN_BENCH_FAST").map(|v| v == "1").unwrap_or(false) {
+    if std::env::var("ISPN_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
         PaperConfig::fast()
     } else {
         PaperConfig::medium()

@@ -439,6 +439,97 @@ mod tests {
         let mut ac = AdmissionController::new(config(), 10.0);
         ac.set_util_safety_factor(0.5);
     }
+
+    // ----- edge cases of the Section-9 criterion -------------------------
+
+    #[test]
+    fn rate_check_is_strict_at_the_exact_quota_boundary() {
+        // r + ν̂ == 0.9·μ exactly: the paper's criterion is a strict
+        // inequality, so the flow on the boundary is refused.
+        let mut meas = idle_measurement();
+        meas.realtime_util_bps = 800_000.0;
+        let boundary = TokenBucketSpec::new(100_000.0, 1_000.0);
+        let d = admit_predicted(&config(), &meas, boundary, 0);
+        assert!(!d.is_accept(), "{d:?}");
+        // One bit per second under the boundary passes the rate check (and
+        // the tiny burst passes the burst check).
+        let under = TokenBucketSpec::new(99_999.0, 1_000.0);
+        assert!(admit_predicted(&config(), &meas, under, 0).is_accept());
+    }
+
+    #[test]
+    fn zero_headroom_class_rejects_everything() {
+        // (Dⱼ − d̂ⱼ) == 0: class 1 is measured exactly at its target, so no
+        // burst — however small — can be squeezed in at priority ≤ 1.
+        let mut meas = idle_measurement();
+        meas.class_delay[1] = SimTime::from_millis(100);
+        let tiny = TokenBucketSpec::new(1_000.0, 1.0);
+        let d = admit_predicted(&config(), &meas, tiny, 1);
+        match d {
+            AdmissionDecision::Reject { reason } => {
+                assert!(reason.contains("delay target"), "{reason}");
+            }
+            AdmissionDecision::Accept => panic!("zero headroom must reject"),
+        }
+        // The same holds when the measured delay *exceeds* the target.
+        meas.class_delay[1] = SimTime::from_millis(150);
+        assert!(!admit_predicted(&config(), &meas, tiny, 1).is_accept());
+        // A high-priority request is also caught: class 1 is at or below
+        // priority 0 in the ordering, so its exhausted headroom vetoes the
+        // newcomer that would add load above it.
+        assert!(!admit_predicted(&config(), &meas, tiny, 0).is_accept());
+    }
+
+    #[test]
+    fn empty_class_delay_measurement_defaults_to_zero() {
+        // A controller that has never observed a delay sample reports an
+        // empty/zero measurement vector; the criterion must treat missing
+        // classes as unloaded rather than panic or reject.
+        let meas = LinkMeasurement {
+            realtime_util_bps: 0.0,
+            class_delay: Vec::new(),
+        };
+        let bucket = TokenBucketSpec::per_packets(85.0, 5.0, 1000);
+        assert!(admit_predicted(&config(), &meas, bucket, 0).is_accept());
+        assert!(admit_predicted(&config(), &meas, bucket, 1).is_accept());
+    }
+
+    #[test]
+    fn guaranteed_worst_case_check_at_the_exact_boundary() {
+        // Guaranteed admission is a worst-case rate check against the
+        // quota; filling it exactly is allowed, one more bit/s is not.
+        let mut ac = AdmissionController::new(config(), 10.0);
+        assert!(ac.request_guaranteed(900_000.0).is_accept());
+        assert!((ac.reserved_guaranteed_bps() - 900_000.0).abs() < 1e-9);
+        let d = ac.request_guaranteed(1.0);
+        assert!(!d.is_accept(), "{d:?}");
+        // A failed request must not leak into the reserved sum.
+        assert!((ac.reserved_guaranteed_bps() - 900_000.0).abs() < 1e-9);
+        // Releasing frees the quota again.
+        ac.release_guaranteed(900_000.0);
+        assert_eq!(ac.reserved_guaranteed_bps(), 0.0);
+        assert!(ac.request_guaranteed(900_000.0).is_accept());
+    }
+
+    #[test]
+    fn release_never_underflows_below_zero() {
+        let mut ac = AdmissionController::new(config(), 10.0);
+        assert!(ac.request_guaranteed(100_000.0).is_accept());
+        ac.release_guaranteed(500_000.0);
+        assert_eq!(ac.reserved_guaranteed_bps(), 0.0);
+    }
+
+    #[test]
+    fn guaranteed_reservations_floor_the_utilization_estimate() {
+        // With no recent utilization samples, ν̂ falls back to the sum of
+        // guaranteed reservations — so guaranteed load admitted but not yet
+        // transmitting still counts against predicted admission.
+        let mut ac = AdmissionController::new(config(), 10.0);
+        assert!(ac.request_guaranteed(880_000.0).is_accept());
+        let bucket = TokenBucketSpec::new(50_000.0, 1_000.0);
+        let d = ac.request_predicted(SimTime::from_secs(1), bucket, 0);
+        assert!(!d.is_accept(), "{d:?}");
+    }
 }
 
 #[cfg(test)]

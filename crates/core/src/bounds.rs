@@ -102,8 +102,16 @@ mod tests {
         let peak_rate = 170.0 * PKT as f64;
         let b4 = pg_queueing_bound(peak_bucket, peak_rate, 4, PKT);
         let b2 = pg_queueing_bound(peak_bucket, peak_rate, 2, PKT);
-        assert!((in_packet_times(b4) - 23.53).abs() < 0.01, "{}", in_packet_times(b4));
-        assert!((in_packet_times(b2) - 11.76).abs() < 0.01, "{}", in_packet_times(b2));
+        assert!(
+            (in_packet_times(b4) - 23.53).abs() < 0.01,
+            "{}",
+            in_packet_times(b4)
+        );
+        assert!(
+            (in_packet_times(b2) - 11.76).abs() < 0.01,
+            "{}",
+            in_packet_times(b2)
+        );
 
         // Guaranteed-Average flows: clock rate = average rate = 85 pkt/s,
         // token bucket depth = 50 packets (the Appendix's (A, 50) filter).
@@ -111,8 +119,16 @@ mod tests {
         let avg_rate = 85.0 * PKT as f64;
         let b3 = pg_queueing_bound(avg_bucket, avg_rate, 3, PKT);
         let b1 = pg_queueing_bound(avg_bucket, avg_rate, 1, PKT);
-        assert!((in_packet_times(b3) - 611.76).abs() < 0.05, "{}", in_packet_times(b3));
-        assert!((in_packet_times(b1) - 588.24).abs() < 0.05, "{}", in_packet_times(b1));
+        assert!(
+            (in_packet_times(b3) - 611.76).abs() < 0.05,
+            "{}",
+            in_packet_times(b3)
+        );
+        assert!(
+            (in_packet_times(b1) - 588.24).abs() < 0.05,
+            "{}",
+            in_packet_times(b1)
+        );
     }
 
     #[test]

@@ -203,11 +203,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn silly_loss_rate_rejected() {
-        let _ = FlowSpec::predicted(
-            TokenBucketSpec::new(1.0, 1.0),
-            SimTime::from_millis(1),
-            1.5,
-        );
+        let _ = FlowSpec::predicted(TokenBucketSpec::new(1.0, 1.0), SimTime::from_millis(1), 1.5);
     }
 
     #[test]

@@ -229,9 +229,18 @@ mod tests {
     #[test]
     fn rigid_counts_late_packets() {
         let mut app = RigidPlayback::new(SimTime::from_millis(100));
-        assert_eq!(app.on_packet(SimTime::from_millis(50)), PlaybackOutcome::Played);
-        assert_eq!(app.on_packet(SimTime::from_millis(100)), PlaybackOutcome::Played);
-        assert_eq!(app.on_packet(SimTime::from_millis(150)), PlaybackOutcome::Late);
+        assert_eq!(
+            app.on_packet(SimTime::from_millis(50)),
+            PlaybackOutcome::Played
+        );
+        assert_eq!(
+            app.on_packet(SimTime::from_millis(100)),
+            PlaybackOutcome::Played
+        );
+        assert_eq!(
+            app.on_packet(SimTime::from_millis(150)),
+            PlaybackOutcome::Late
+        );
         assert_eq!(app.stats().played(), 2);
         assert_eq!(app.stats().late(), 1);
         assert!((app.stats().loss_rate() - 1.0 / 3.0).abs() < 1e-12);

@@ -104,6 +104,18 @@ impl TokenBucket {
         self.tokens
     }
 
+    /// Switch the filter to a new `(r, b)` in place (a renegotiated
+    /// traffic contract, Section 8).
+    ///
+    /// The accumulated token level carries over, clamped to the new depth —
+    /// renegotiating must never mint a free burst the way constructing a
+    /// fresh (full) bucket would.
+    pub fn reconfigure(&mut self, now: SimTime, spec: TokenBucketSpec) {
+        self.refill(now);
+        self.spec = spec;
+        self.tokens = self.tokens.min(spec.depth_bits);
+    }
+
     /// Would a packet of `size_bits` generated at `now` conform?  Does not
     /// change the bucket state beyond refilling.
     pub fn conforms(&mut self, now: SimTime, size_bits: u64) -> bool {
@@ -282,6 +294,26 @@ mod tests {
     }
 
     #[test]
+    fn reconfigure_carries_the_token_level_over() {
+        // Drain a (85, 5-packet) bucket completely …
+        let mut tb = TokenBucket::new(TokenBucketSpec::per_packets(85.0, 5.0, PKT));
+        let t = SimTime::ZERO;
+        for _ in 0..5 {
+            assert!(tb.offer(t, PKT));
+        }
+        assert!(tb.level(t) < 1.0);
+        // … then "renegotiate" to a much deeper profile: the level must
+        // carry over, not snap to the new (full) depth.
+        tb.reconfigure(t, TokenBucketSpec::per_packets(85.0, 50.0, PKT));
+        assert!(tb.level(t) < 1.0, "no free burst from renegotiation");
+        assert!(!tb.offer(t, PKT));
+        // Shrinking clamps an over-full level down to the new depth.
+        let mut tb = TokenBucket::new(TokenBucketSpec::per_packets(85.0, 50.0, PKT));
+        tb.reconfigure(t, TokenBucketSpec::per_packets(85.0, 5.0, PKT));
+        assert!((tb.level(t) - 5_000.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn full_bucket_admits_burst_up_to_depth() {
         let mut tb = TokenBucket::new(TokenBucketSpec::per_packets(85.0, 5.0, PKT));
         let t = SimTime::ZERO;
@@ -387,7 +419,10 @@ mod tests {
         ];
         let rate = 2.0 * PKT as f64; // 2 packets/sec
         let b = minimal_depth_for_rate(&pkts, rate);
-        assert!(sequence_conforms(&pkts, TokenBucketSpec::new(rate, b.max(1.0))));
+        assert!(sequence_conforms(
+            &pkts,
+            TokenBucketSpec::new(rate, b.max(1.0))
+        ));
     }
 
     #[test]

@@ -31,8 +31,9 @@ fn main() {
     println!("{}", flows.render());
 
     let census = fig1::per_link_census(&placement);
-    let mut table = TextTable::new("Per-link census (paper: 2 G-Peak, 1 G-Avg, 3 P-High, 4 P-Low, 1 TCP)")
-        .header(["link", "G-Peak", "G-Avg", "P-High", "P-Low", "total", "TCP"]);
+    let mut table =
+        TextTable::new("Per-link census (paper: 2 G-Peak, 1 G-Avg, 3 P-High, 4 P-Low, 1 TCP)")
+            .header(["link", "G-Peak", "G-Avg", "P-High", "P-Low", "total", "TCP"]);
     let tcp = fig1::tcp_placement();
     for (i, link) in census.iter().enumerate() {
         let get = |k| link.get(&k).copied().unwrap_or(0);

@@ -1,0 +1,381 @@
+//! Flow churn under dynamic signaling: the Sections 8–9 service interface
+//! exercised end to end.
+//!
+//! Flows arrive as a Poisson process and hold their reservation for an
+//! exponentially distributed time, on the Appendix's five-switch chain
+//! (Figure 1).  Every inter-switch link runs the unified scheduler of
+//! Section 7 under a measurement-based admission controller (Section 9)
+//! that `ispn-net` feeds live; each setup traverses its route hop by hop
+//! through `ispn-signal`, so a refusal anywhere rolls partial reservations
+//! back.  The experiment reports the classic connection-admission-control
+//! quantities: blocking probability versus offered load, carried
+//! utilization, and whether any admitted predicted flow ever exceeded the
+//! a-priori bound (the sum of its per-hop class targets Dᵢ) it was sold.
+
+use std::collections::HashMap;
+
+use ispn_core::admission::{AdmissionConfig, AdmissionController};
+use ispn_core::{FlowId, TokenBucketSpec};
+use ispn_net::{FlowConfig, Network, PoliceAction};
+use ispn_sched::{Averaging, Unified};
+use ispn_signal::{Lease, LeasedSource, SignalEvent, Signaling};
+use ispn_sim::{EventQueue, Pcg64, SimTime};
+use ispn_traffic::{OnOffConfig, OnOffSource};
+
+use crate::config::PaperConfig;
+use crate::extensions::admission::{HIGH_TARGET_PKT, LOW_TARGET_PKT};
+use crate::fig1::{Fig1Network, NUM_LINKS};
+
+/// Parameters of one churn run.
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// The Appendix constants (link speed, packet size, source model, seed).
+    pub paper: PaperConfig,
+    /// Poisson flow-arrival rate λ (new setup requests per second).
+    pub arrivals_per_sec: f64,
+    /// Mean exponential holding time 1/μ of an admitted flow, seconds.
+    pub mean_holding_secs: f64,
+    /// Fraction of requests asking for guaranteed service (clock rate = the
+    /// source's peak rate, the paper's Guaranteed-Peak configuration); the
+    /// rest ask for predicted service, split evenly between the two
+    /// priority classes.
+    pub guaranteed_fraction: f64,
+}
+
+impl ChurnConfig {
+    /// A churn configuration with the given offered dynamics.
+    pub fn new(paper: PaperConfig, arrivals_per_sec: f64, mean_holding_secs: f64) -> Self {
+        assert!(arrivals_per_sec > 0.0);
+        assert!(mean_holding_secs > 0.0);
+        ChurnConfig {
+            paper,
+            arrivals_per_sec,
+            mean_holding_secs,
+            guaranteed_fraction: 0.25,
+        }
+    }
+
+    /// Offered load in erlangs: the mean number of flows that would be in
+    /// the system if none were blocked (λ/μ).
+    pub fn offered_erlangs(&self) -> f64 {
+        self.arrivals_per_sec * self.mean_holding_secs
+    }
+}
+
+/// What one churn run produced.
+#[derive(Debug, Clone)]
+pub struct ChurnOutcome {
+    /// Offered load in erlangs (λ/μ).
+    pub offered_erlangs: f64,
+    /// Setup requests that completed (accepted + rejected).
+    pub offered: usize,
+    /// Setups admitted on every hop.
+    pub accepted: usize,
+    /// Setups refused by some hop.
+    pub rejected: usize,
+    /// Chronological accept/reject sequence (for determinism checks).
+    pub decisions: Vec<bool>,
+    /// Mean utilization over the four inter-switch links.
+    pub mean_utilization: f64,
+    /// Utilization of the busiest link.
+    pub worst_utilization: f64,
+    /// Admitted predicted flows whose measured maximum queueing delay
+    /// exceeded the advertised bound (Σ per-hop Dᵢ along their path).
+    pub violations: usize,
+    /// The largest fraction of its advertised bound any admitted predicted
+    /// flow consumed (1.0 = exactly at the bound).
+    pub worst_bound_fraction: f64,
+    /// Guaranteed bandwidth still reserved on any link after every flow was
+    /// torn down and the control plane drained — must be zero if rejected
+    /// and released setups leave no residue.
+    pub residual_reserved_bps: f64,
+}
+
+impl ChurnOutcome {
+    /// Fraction of setup requests refused.
+    pub fn blocking_probability(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / self.offered as f64
+        }
+    }
+}
+
+enum DriverEvent {
+    Arrival,
+    Departure { flow: FlowId },
+}
+
+struct AdmittedFlow {
+    /// `Some(priority)` for predicted flows, `None` for guaranteed.
+    priority: Option<u8>,
+    hops: usize,
+    lease: Option<Lease>,
+}
+
+/// The per-hop delay target of a predicted priority class, in packet times.
+fn class_target_pkt(priority: u8) -> f64 {
+    if priority == 0 {
+        HIGH_TARGET_PKT
+    } else {
+        LOW_TARGET_PKT
+    }
+}
+
+/// Run one churn scenario.
+pub fn run(cfg: &ChurnConfig) -> ChurnOutcome {
+    let paper = &cfg.paper;
+    let fig1 = Fig1Network::build(paper);
+    let mut net = Network::new(fig1.topology.clone());
+    let pt = paper.packet_time();
+    let targets = vec![pt.mul_f64(HIGH_TARGET_PKT), pt.mul_f64(LOW_TARGET_PKT)];
+    for &link in &fig1.links {
+        net.set_discipline(
+            link,
+            Box::new(Unified::new(paper.link_rate_bps, 2, Averaging::RunningMean)),
+        );
+        let mut controller = AdmissionController::new(
+            AdmissionConfig::new(paper.link_rate_bps, 0.9, targets.clone()),
+            10.0,
+        );
+        // Under churn many flows can be admitted within one measurement
+        // window, before any of them shows up in ν̂; a stiffer safety factor
+        // keeps the "consistently conservative estimate" property (Section
+        // 9) honest in that regime so admitted flows stay within bound.
+        controller.set_util_safety_factor(1.6);
+        net.enable_admission(link, controller, SimTime::SECOND);
+    }
+
+    let mut sig = Signaling::default();
+    let mut rng = Pcg64::new(paper.seed ^ 0xC4E2_2024);
+    let mut driver: EventQueue<DriverEvent> = EventQueue::new();
+    let arrival_gap =
+        |rng: &mut Pcg64| SimTime::from_secs_f64(rng.exponential(1.0 / cfg.arrivals_per_sec));
+    driver.push(arrival_gap(&mut rng), DriverEvent::Arrival);
+
+    // A client asking for the tight (30-packet-time) class must declare a
+    // burst that can fit inside that headroom — the Section-9 criterion
+    // rejects b ≥ Dⱼ·(μ − ν̂ − r) outright, and the paper's 50-packet bucket
+    // is bigger than 30 packet-times of line rate.  Low-priority clients
+    // declare the Appendix's (A, 50).
+    let bucket_for = |priority: u8| {
+        let depth_pkts = if priority == 0 { 20.0 } else { 50.0 };
+        TokenBucketSpec::per_packets(paper.avg_rate_pps, depth_pkts, paper.packet_bits)
+    };
+    let peak_rate_bps = 2.0 * paper.avg_rate_pps * paper.packet_bits as f64;
+    let mut admitted: HashMap<FlowId, AdmittedFlow> = HashMap::new();
+    let mut requested: HashMap<FlowId, (Option<u8>, usize)> = HashMap::new();
+    let mut source_seq: u32 = 0;
+
+    // Step the data plane, the control plane and the churn driver in
+    // 10 ms slices so admitted sources come alive promptly after their
+    // confirmation and measurements stay current.
+    let slice = SimTime::from_millis(10);
+    let mut now = SimTime::ZERO;
+    while now < paper.duration {
+        // Handle every driver event that is due.
+        while driver.peek_time().is_some_and(|t| t <= now) {
+            let (_, ev) = driver.pop().expect("peeked driver event");
+            match ev {
+                DriverEvent::Arrival => {
+                    let first = rng.next_below(NUM_LINKS as u64) as usize;
+                    let hops = 1 + rng.next_below((NUM_LINKS - first) as u64) as usize;
+                    let route = fig1.route_span(first, hops);
+                    let (config, priority) = if rng.bernoulli(cfg.guaranteed_fraction) {
+                        (FlowConfig::guaranteed(route, peak_rate_bps), None)
+                    } else {
+                        let priority = u8::from(rng.bernoulli(0.5));
+                        let bound = pt.mul_f64(class_target_pkt(priority) * hops as f64);
+                        (
+                            FlowConfig::predicted(
+                                route,
+                                priority,
+                                bucket_for(priority),
+                                bound,
+                                0.001,
+                                PoliceAction::Drop,
+                            ),
+                            Some(priority),
+                        )
+                    };
+                    let (_req, flow) = sig.submit(&mut net, config);
+                    requested.insert(flow, (priority, hops));
+                    driver.push(now + arrival_gap(&mut rng), DriverEvent::Arrival);
+                }
+                DriverEvent::Departure { flow } => {
+                    if let Some(record) = admitted.get_mut(&flow) {
+                        if let Some(lease) = record.lease.take() {
+                            lease.revoke();
+                            sig.teardown(&mut net, flow);
+                        }
+                    }
+                }
+            }
+        }
+        // Advance data and control plane to the next point of interest.
+        let next_driver = driver.peek_time().unwrap_or(SimTime::MAX);
+        debug_assert!(next_driver > now, "due driver events were just drained");
+        let target = (now + slice).min(paper.duration).min(next_driver);
+        for event in sig.process_until(&mut net, target) {
+            match event {
+                SignalEvent::Accepted { flow, at, .. } => {
+                    let (priority, hops) = requested.remove(&flow).expect("known request");
+                    let source = OnOffSource::new(
+                        flow,
+                        OnOffConfig::paper(paper.avg_rate_pps, paper.flow_seed(source_seq)),
+                    );
+                    source_seq += 1;
+                    let (leased, lease) = LeasedSource::new(source);
+                    net.add_agent(Box::new(leased));
+                    let hold = SimTime::from_secs_f64(rng.exponential(cfg.mean_holding_secs));
+                    driver.push(at + hold, DriverEvent::Departure { flow });
+                    admitted.insert(
+                        flow,
+                        AdmittedFlow {
+                            priority,
+                            hops,
+                            lease: Some(lease),
+                        },
+                    );
+                }
+                SignalEvent::Rejected { flow, .. } => {
+                    requested.remove(&flow);
+                }
+                _ => {}
+            }
+        }
+        now = target;
+    }
+
+    // Measure bound compliance over the flows' lifetimes before draining.
+    let pt_secs = pt.as_secs_f64();
+    let mut violations = 0;
+    let mut worst_bound_fraction: f64 = 0.0;
+    for (&flow, record) in &admitted {
+        let Some(priority) = record.priority else {
+            continue;
+        };
+        let report = net.monitor_mut().flow_report(flow);
+        if report.delivered == 0 {
+            continue;
+        }
+        let bound_secs = class_target_pkt(priority) * record.hops as f64 * pt_secs;
+        let fraction = report.max_delay / bound_secs;
+        worst_bound_fraction = worst_bound_fraction.max(fraction);
+        if fraction > 1.0 {
+            violations += 1;
+        }
+    }
+
+    let mut mean_utilization = 0.0;
+    let mut worst_utilization: f64 = 0.0;
+    for &link in &fig1.links {
+        let u = net.monitor().link_report(link.index()).utilization;
+        mean_utilization += u / NUM_LINKS as f64;
+        worst_utilization = worst_utilization.max(u);
+    }
+
+    // Drain: tear every remaining flow down, let the control plane finish,
+    // and verify that no reservation survives anywhere.
+    for (&flow, record) in &mut admitted {
+        if let Some(lease) = record.lease.take() {
+            lease.revoke();
+            sig.teardown(&mut net, flow);
+        }
+    }
+    let drain_until = paper.duration + SimTime::from_secs(1);
+    sig.process_until(&mut net, drain_until);
+    let residual_reserved_bps = fig1
+        .links
+        .iter()
+        .map(|&l| {
+            net.admission(l)
+                .expect("admission enabled")
+                .reserved_guaranteed_bps()
+        })
+        .sum();
+
+    let decisions: Vec<bool> = sig.decision_log().iter().map(|&(_, a)| a).collect();
+    let accepted = decisions.iter().filter(|&&a| a).count();
+    let rejected = decisions.len() - accepted;
+    ChurnOutcome {
+        offered_erlangs: cfg.offered_erlangs(),
+        offered: decisions.len(),
+        accepted,
+        rejected,
+        decisions,
+        mean_utilization,
+        worst_utilization,
+        violations,
+        worst_bound_fraction,
+        residual_reserved_bps,
+    }
+}
+
+/// Run the experiment at several offered loads (same holding time, rising
+/// arrival rate), the sweep the `churn` binary prints.
+pub fn sweep(
+    paper: &PaperConfig,
+    arrival_rates: &[f64],
+    mean_holding_secs: f64,
+) -> Vec<ChurnOutcome> {
+    arrival_rates
+        .iter()
+        .map(|&lambda| run(&ChurnConfig::new(paper.clone(), lambda, mean_holding_secs)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast(arrivals_per_sec: f64) -> ChurnConfig {
+        ChurnConfig::new(PaperConfig::fast(), arrivals_per_sec, 15.0)
+    }
+
+    #[test]
+    fn churn_offers_accepts_and_rejects() {
+        let out = run(&fast(1.0));
+        assert!(out.offered > 10, "{out:?}");
+        assert_eq!(out.offered, out.accepted + out.rejected);
+        assert!(out.accepted > 0, "{out:?}");
+        // 15 erlangs of mixed flows against 4 links × 0.9 Mbit/s must turn
+        // some requests away.
+        assert!(out.rejected > 0, "{out:?}");
+        assert_eq!(out.decisions.len(), out.offered);
+    }
+
+    #[test]
+    fn no_residual_reservations_after_drain() {
+        let out = run(&fast(0.8));
+        assert_eq!(out.residual_reserved_bps, 0.0, "{out:?}");
+    }
+
+    #[test]
+    fn admitted_predicted_flows_meet_their_bounds() {
+        let out = run(&fast(0.6));
+        assert_eq!(out.violations, 0, "{out:?}");
+        assert!(out.worst_bound_fraction < 1.0, "{out:?}");
+    }
+
+    #[test]
+    fn same_seed_same_decision_sequence() {
+        let a = run(&fast(1.0));
+        let b = run(&fast(1.0));
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.accepted, b.accepted);
+        assert!((a.mean_utilization - b.mean_utilization).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocking_rises_with_offered_load() {
+        let low = run(&fast(0.3));
+        let high = run(&fast(2.0));
+        assert!(
+            low.blocking_probability() <= high.blocking_probability(),
+            "low {low:?} vs high {high:?}"
+        );
+        assert!(high.blocking_probability() > 0.0);
+    }
+}

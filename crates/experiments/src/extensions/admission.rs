@@ -45,21 +45,14 @@ pub struct AdmissionOutcome {
 
 /// The dynamic-arrival experiment.
 pub fn run(cfg: &PaperConfig, controlled: bool, offered_flows: usize) -> AdmissionOutcome {
-    let (topo, _nodes, links) = Topology::chain(
-        2,
-        cfg.link_rate_bps,
-        SimTime::ZERO,
-        cfg.buffer_packets,
-    );
+    let (topo, _nodes, links) =
+        Topology::chain(2, cfg.link_rate_bps, SimTime::ZERO, cfg.buffer_packets);
     let link = links[0];
     let mut net = Network::new(topo);
     net.set_discipline(link, Box::new(StrictPriority::<FifoPlus>::new(2)));
 
     let pt = cfg.packet_time();
-    let targets = vec![
-        pt.mul_f64(HIGH_TARGET_PKT),
-        pt.mul_f64(LOW_TARGET_PKT),
-    ];
+    let targets = vec![pt.mul_f64(HIGH_TARGET_PKT), pt.mul_f64(LOW_TARGET_PKT)];
     let mut controller = AdmissionController::new(
         AdmissionConfig::new(cfg.link_rate_bps, 0.9, targets.clone()),
         10.0,
@@ -152,8 +145,14 @@ pub fn run(cfg: &PaperConfig, controlled: bool, offered_flows: usize) -> Admissi
 }
 
 /// Run both the controlled and the uncontrolled variant.
-pub fn run_comparison(cfg: &PaperConfig, offered_flows: usize) -> (AdmissionOutcome, AdmissionOutcome) {
-    (run(cfg, true, offered_flows), run(cfg, false, offered_flows))
+pub fn run_comparison(
+    cfg: &PaperConfig,
+    offered_flows: usize,
+) -> (AdmissionOutcome, AdmissionOutcome) {
+    (
+        run(cfg, true, offered_flows),
+        run(cfg, false, offered_flows),
+    )
 }
 
 #[cfg(test)]
@@ -195,6 +194,9 @@ mod tests {
         // And the controlled run keeps violations rare (the criterion is a
         // heuristic, so allow a stray one in a short run).
         assert!(controlled.violations <= 1, "{controlled:?}");
-        assert!(uncontrolled.violations > controlled.violations, "{uncontrolled:?}");
+        assert!(
+            uncontrolled.violations > controlled.violations,
+            "{uncontrolled:?}"
+        );
     }
 }

@@ -111,8 +111,14 @@ mod tests {
                 .clone()
         };
         for d in ["WFQ", "FIFO", "FIFO+"] {
-            assert!(get(d, 3).mean > get(d, 1).mean, "{d} mean must grow with hops");
-            assert!(get(d, 3).p999 > get(d, 1).p999, "{d} p999 must grow with hops");
+            assert!(
+                get(d, 3).mean > get(d, 1).mean,
+                "{d} mean must grow with hops"
+            );
+            assert!(
+                get(d, 3).p999 > get(d, 1).p999,
+                "{d} p999 must grow with hops"
+            );
         }
         // At 3 hops FIFO+ has the smallest tail of the three (small slack
         // for the shortened run).

@@ -56,12 +56,8 @@ pub const ADVERTISED_PER_HOP_PKT: f64 = 60.0;
 /// Run the comparison.
 pub fn run(cfg: &PaperConfig) -> PlaybackComparison {
     // Table-1 style single link, FIFO+ discipline.
-    let (topo, _nodes, links) = Topology::chain(
-        2,
-        cfg.link_rate_bps,
-        SimTime::ZERO,
-        cfg.buffer_packets,
-    );
+    let (topo, _nodes, links) =
+        Topology::chain(2, cfg.link_rate_bps, SimTime::ZERO, cfg.buffer_packets);
     let mut net = Network::new(topo);
     net.set_discipline(links[0], DisciplineKind::FifoPlus.build(cfg, 10));
     let mut flows = Vec::new();

@@ -30,12 +30,8 @@ pub struct UtilizationPoint {
 
 /// Run one point.
 pub fn run_point(cfg: &PaperConfig, discipline: DisciplineKind, flows: usize) -> UtilizationPoint {
-    let (topo, _nodes, links) = Topology::chain(
-        2,
-        cfg.link_rate_bps,
-        SimTime::ZERO,
-        cfg.buffer_packets,
-    );
+    let (topo, _nodes, links) =
+        Topology::chain(2, cfg.link_rate_bps, SimTime::ZERO, cfg.buffer_packets);
     let mut net = Network::new(topo);
     net.set_discipline(links[0], discipline.build(cfg, flows));
     let mut ids = Vec::new();

@@ -257,7 +257,10 @@ mod tests {
     #[test]
     fn placements_stay_inside_the_chain() {
         for f in placement() {
-            assert!(f.first_link + f.hops <= NUM_LINKS, "{f:?} runs off the chain");
+            assert!(
+                f.first_link + f.hops <= NUM_LINKS,
+                "{f:?} runs off the chain"
+            );
             assert!(f.hops >= 1);
         }
     }
@@ -266,8 +269,8 @@ mod tests {
     fn tcp_connections_cover_each_link_once() {
         let mut per_link = [0usize; NUM_LINKS];
         for (first, hops) in tcp_placement() {
-            for l in first..first + hops {
-                per_link[l] += 1;
+            for count in per_link.iter_mut().skip(first).take(hops) {
+                *count += 1;
             }
         }
         assert_eq!(per_link, [1, 1, 1, 1]);

@@ -13,6 +13,9 @@
 //!   datagram traffic together (Table 3),
 //! * [`extensions`] — hop-count sweeps, adaptive-vs-rigid playback,
 //!   measurement-based admission control, and utilization sweeps,
+//! * [`churn`] — dynamic flow signaling under Poisson arrivals and
+//!   exponential holding times (`ispn-signal` exercised end to end):
+//!   blocking probability and bound compliance versus offered load,
 //! * [`report`] — text rendering next to the paper's published numbers,
 //! * [`support`] — shared plumbing (discipline factory, source wiring).
 //!
@@ -23,6 +26,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod churn;
 pub mod config;
 pub mod extensions;
 pub mod fig1;

@@ -7,6 +7,7 @@
 
 use ispn_stats::TextTable;
 
+use crate::churn::ChurnOutcome;
 use crate::extensions::admission::AdmissionOutcome;
 use crate::extensions::hops::HopsPoint;
 use crate::extensions::playback::PlaybackComparison;
@@ -17,8 +18,7 @@ use crate::table2::Table2;
 use crate::table3::Table3;
 
 /// The paper's Table 1 (scheduler, mean, 99.9th percentile).
-pub const PAPER_TABLE1: [(&str, f64, f64); 2] =
-    [("WFQ", 3.16, 53.86), ("FIFO", 3.17, 34.72)];
+pub const PAPER_TABLE1: [(&str, f64, f64); 2] = [("WFQ", 3.16, 53.86), ("FIFO", 3.17, 34.72)];
 
 /// The paper's Table 2: (scheduler, path length, mean, 99.9th percentile).
 pub const PAPER_TABLE2: [(&str, usize, f64, f64); 12] = [
@@ -36,8 +36,12 @@ pub const PAPER_TABLE2: [(&str, usize, f64, f64); 12] = [
     ("FIFO+", 4, 10.11, 45.25),
 ];
 
-/// The paper's Table 3: (class, path length, mean, 99.9th, max, P-G bound).
-pub const PAPER_TABLE3: [(&str, usize, f64, f64, f64, Option<f64>); 8] = [
+/// One published Table-3 row: (class, path length, mean, 99.9th, max,
+/// Parekh–Gallager bound where one applies).
+pub type PaperTable3Row = (&'static str, usize, f64, f64, f64, Option<f64>);
+
+/// The paper's Table 3.
+pub const PAPER_TABLE3: [PaperTable3Row; 8] = [
     ("Guaranteed-Peak", 4, 8.07, 14.41, 15.99, Some(23.53)),
     ("Guaranteed-Peak", 2, 2.91, 8.12, 8.79, Some(11.76)),
     ("Guaranteed-Average", 3, 56.44, 270.13, 296.23, Some(611.76)),
@@ -137,7 +141,14 @@ pub fn render_table3(t: &Table3) -> String {
          (queueing delay in packet transmission times; 'paper' columns are the published values)",
     )
     .header([
-        "type", "path", "mean", "99.9 %ile", "max", "P-G bound", "paper mean", "paper max",
+        "type",
+        "path",
+        "mean",
+        "99.9 %ile",
+        "max",
+        "P-G bound",
+        "paper mean",
+        "paper max",
     ]);
     for row in &t.rows {
         let paper = paper_table3_value(row.kind, row.path_length);
@@ -225,7 +236,12 @@ pub fn render_admission(controlled: &AdmissionOutcome, uncontrolled: &AdmissionO
     ]);
     for o in [controlled, uncontrolled] {
         table.row([
-            if o.controlled { "Section 9 criterion" } else { "accept everything" }.to_string(),
+            if o.controlled {
+                "Section 9 criterion"
+            } else {
+                "accept everything"
+            }
+            .to_string(),
             o.accepted.to_string(),
             o.rejected.to_string(),
             format!("{:.1}%", o.utilization * 100.0),
@@ -237,12 +253,45 @@ pub fn render_admission(controlled: &AdmissionOutcome, uncontrolled: &AdmissionO
     table.render()
 }
 
+/// Render the churn sweep: blocking probability and bound compliance as
+/// offered load rises.
+pub fn render_churn(points: &[ChurnOutcome]) -> String {
+    let mut table = TextTable::new(
+        "Churn — dynamic signaling on the Figure-1 chain\n\
+         (Poisson arrivals, exponential holding times, Section-9 admission per link)",
+    )
+    .header([
+        "offered (erl)",
+        "requests",
+        "accepted",
+        "rejected",
+        "blocking",
+        "mean util",
+        "worst util",
+        "bound violations",
+        "worst bound use",
+    ]);
+    for o in points {
+        table.row([
+            format!("{:.1}", o.offered_erlangs),
+            o.offered.to_string(),
+            o.accepted.to_string(),
+            o.rejected.to_string(),
+            format!("{:.1}%", o.blocking_probability() * 100.0),
+            format!("{:.1}%", o.mean_utilization * 100.0),
+            format!("{:.1}%", o.worst_utilization * 100.0),
+            o.violations.to_string(),
+            format!("{:.0}%", o.worst_bound_fraction * 100.0),
+        ]);
+    }
+    table.render()
+}
+
 /// Render the utilization sweep.
 pub fn render_utilization(points: &[UtilizationPoint]) -> String {
-    let mut table = TextTable::new(
-        "Extension — delay vs offered load on a single shared link (packet times)",
-    )
-    .header(["scheduling", "flows", "utilization", "mean", "99.9 %ile"]);
+    let mut table =
+        TextTable::new("Extension — delay vs offered load on a single shared link (packet times)")
+            .header(["scheduling", "flows", "utilization", "mean", "99.9 %ile"]);
     for p in points {
         table.row([
             p.scheduler.to_string(),

@@ -69,7 +69,10 @@ pub fn attach_onoff(
     cfg: &PaperConfig,
     seed_index: u32,
 ) -> SharedSourceStats {
-    let source = OnOffSource::new(flow, OnOffConfig::paper(cfg.avg_rate_pps, cfg.flow_seed(seed_index)));
+    let source = OnOffSource::new(
+        flow,
+        OnOffConfig::paper(cfg.avg_rate_pps, cfg.flow_seed(seed_index)),
+    );
     let stats = source.stats();
     net.add_agent(Box::new(source));
     stats

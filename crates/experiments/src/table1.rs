@@ -45,12 +45,8 @@ pub struct Table1 {
 
 /// Run the single-link scenario under one discipline.
 pub fn run_single_link(cfg: &PaperConfig, discipline: DisciplineKind) -> Table1Row {
-    let (topo, _nodes, links) = Topology::chain(
-        2,
-        cfg.link_rate_bps,
-        SimTime::ZERO,
-        cfg.buffer_packets,
-    );
+    let (topo, _nodes, links) =
+        Topology::chain(2, cfg.link_rate_bps, SimTime::ZERO, cfg.buffer_packets);
     let link = links[0];
     let mut net = Network::new(topo);
     net.set_discipline(link, discipline.build(cfg, NUM_FLOWS));
@@ -127,7 +123,12 @@ mod tests {
         }
         // Means within a factor of each other; FIFO tail not worse than WFQ.
         assert!((wfq.mean - fifo.mean).abs() / wfq.mean < 0.5);
-        assert!(fifo.p999 <= wfq.p999 * 1.15, "FIFO {} vs WFQ {}", fifo.p999, wfq.p999);
+        assert!(
+            fifo.p999 <= wfq.p999 * 1.15,
+            "FIFO {} vs WFQ {}",
+            fifo.p999,
+            wfq.p999
+        );
     }
 
     #[test]

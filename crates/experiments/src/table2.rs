@@ -111,10 +111,7 @@ pub fn run(cfg: &PaperConfig) -> Table2 {
             / fig1::NUM_LINKS as f64;
         utilization.push((discipline.label(), util));
     }
-    Table2 {
-        cells,
-        utilization,
-    }
+    Table2 { cells, utilization }
 }
 
 #[cfg(test)]

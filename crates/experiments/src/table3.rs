@@ -313,10 +313,7 @@ mod tests {
         assert_eq!(scenario.tcp_stats.len(), 2);
         // Every forward link runs the unified scheduler.
         for i in 0..fig1::NUM_LINKS {
-            assert_eq!(
-                scenario.net.discipline_name(ispn_net::LinkId(i)),
-                "Unified"
-            );
+            assert_eq!(scenario.net.discipline_name(ispn_net::LinkId(i)), "Unified");
         }
         // Guaranteed flows carry the Guaranteed class, predicted flows their
         // priorities.
@@ -370,7 +367,10 @@ mod tests {
         // per class is noisy in 40 s, so compare means of the short paths).
         let high2 = t.row(FlowKind::PredictedHigh, 2).unwrap().mean;
         let low3 = t.row(FlowKind::PredictedLow, 3).unwrap().mean;
-        assert!(high2 < low3, "P-High(2) {high2} should be below P-Low(3) {low3}");
+        assert!(
+            high2 < low3,
+            "P-High(2) {high2} should be below P-Low(3) {low3}"
+        );
 
         // The TCP background pushes utilization well above the 83.5 % the
         // real-time flows alone would produce.
@@ -385,8 +385,16 @@ mod tests {
             t.realtime_utilization
         );
         // Datagram drops exist but stay small.
-        assert!(t.datagram_drop_rate < 0.05, "drop rate {}", t.datagram_drop_rate);
+        assert!(
+            t.datagram_drop_rate < 0.05,
+            "drop rate {}",
+            t.datagram_drop_rate
+        );
         // Both TCP connections move traffic.
-        assert!(t.tcp_goodput_pps.iter().all(|&g| g > 10.0), "{:?}", t.tcp_goodput_pps);
+        assert!(
+            t.tcp_goodput_pps.iter().all(|&g| g > 10.0),
+            "{:?}",
+            t.tcp_goodput_pps
+        );
     }
 }

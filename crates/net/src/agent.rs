@@ -10,8 +10,10 @@
 //! reference to the network, which keeps re-entrancy impossible by
 //! construction).
 
-use ispn_core::Packet;
+use ispn_core::{FlowId, Packet};
 use ispn_sim::SimTime;
+
+use crate::network::{FlowConfig, SetupError};
 
 /// Identifier of an agent registered with a network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -36,6 +38,17 @@ pub struct AgentApi {
     now: SimTime,
     outbox: Vec<Packet>,
     timers: Vec<(SimTime, u64)>,
+    setups: Vec<(FlowConfig, u64)>,
+    releases: Vec<FlowId>,
+}
+
+/// Everything an agent asked for during one callback.
+#[derive(Debug, Default)]
+pub(crate) struct AgentCommands {
+    pub packets: Vec<Packet>,
+    pub timers: Vec<(SimTime, u64)>,
+    pub setups: Vec<(FlowConfig, u64)>,
+    pub releases: Vec<FlowId>,
 }
 
 impl AgentApi {
@@ -49,6 +62,8 @@ impl AgentApi {
             now,
             outbox: Vec::new(),
             timers: Vec::new(),
+            setups: Vec::new(),
+            releases: Vec::new(),
         }
     }
 
@@ -70,14 +85,32 @@ impl AgentApi {
         self.timers.push((delay, token));
     }
 
+    /// Ask the network to set up a new flow at the current event time
+    /// (hop-by-hop admission control runs when the callback returns).  The
+    /// outcome arrives through [`Agent::on_setup`] with the same token.
+    pub fn request_flow(&mut self, config: FlowConfig, token: u64) {
+        self.setups.push((config, token));
+    }
+
+    /// Ask the network to tear down a flow's reservations when the callback
+    /// returns.
+    pub fn release_flow(&mut self, flow: FlowId) {
+        self.releases.push(flow);
+    }
+
     /// Number of packets queued for sending in this callback (used by
     /// tests).
     pub fn pending_sends(&self) -> usize {
         self.outbox.len()
     }
 
-    pub(crate) fn into_commands(self) -> (Vec<Packet>, Vec<(SimTime, u64)>) {
-        (self.outbox, self.timers)
+    pub(crate) fn into_commands(self) -> AgentCommands {
+        AgentCommands {
+            packets: self.outbox,
+            timers: self.timers,
+            setups: self.setups,
+            releases: self.releases,
+        }
     }
 }
 
@@ -98,6 +131,12 @@ pub trait Agent {
     fn on_packet(&mut self, delivery: Delivery, api: &mut AgentApi) {
         let _ = (delivery, api);
     }
+
+    /// Called with the outcome of a flow setup this agent requested through
+    /// [`AgentApi::request_flow`], echoing the request's token.
+    fn on_setup(&mut self, token: u64, result: Result<FlowId, SetupError>, api: &mut AgentApi) {
+        let _ = (token, result, api);
+    }
 }
 
 #[cfg(test)]
@@ -111,10 +150,13 @@ mod tests {
         assert_eq!(api.now(), SimTime::from_millis(5));
         api.send(Packet::data(FlowId(1), 0, 1000, api.now()));
         api.set_timer(SimTime::from_millis(10), 42);
+        api.release_flow(FlowId(3));
         assert_eq!(api.pending_sends(), 1);
-        let (pkts, timers) = api.into_commands();
-        assert_eq!(pkts.len(), 1);
-        assert_eq!(timers, vec![(SimTime::from_millis(10), 42)]);
+        let cmds = api.into_commands();
+        assert_eq!(cmds.packets.len(), 1);
+        assert_eq!(cmds.timers, vec![(SimTime::from_millis(10), 42)]);
+        assert_eq!(cmds.releases, vec![FlowId(3)]);
+        assert!(cmds.setups.is_empty());
     }
 
     #[test]

@@ -33,5 +33,5 @@ pub mod topology;
 
 pub use agent::{Agent, AgentApi, AgentId, Delivery};
 pub use monitor::{FlowReport, LinkReport, Monitor};
-pub use network::{FlowConfig, Network, PoliceAction};
+pub use network::{FlowConfig, Network, PoliceAction, SetupError};
 pub use topology::{LinkId, LinkParams, NodeId, Topology};

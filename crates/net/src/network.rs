@@ -10,8 +10,11 @@
 
 use std::collections::HashMap;
 
-use ispn_core::{Conformance, FlowId, FlowSpec, Packet, ServiceClass, TokenBucket, TokenBucketSpec};
-use ispn_sched::{Fifo, QueueDiscipline, SchedContext};
+use ispn_core::admission::{AdmissionController, AdmissionDecision};
+use ispn_core::{
+    Conformance, FlowId, FlowSpec, Packet, ServiceClass, TokenBucket, TokenBucketSpec,
+};
+use ispn_sched::{Fifo, GuaranteedInstall, QueueDiscipline, SchedContext};
 use ispn_sim::{EventQueue, SimTime};
 
 use crate::agent::{Agent, AgentApi, AgentId, Delivery};
@@ -92,6 +95,31 @@ impl FlowConfig {
     }
 }
 
+/// Why a dynamic flow-setup request failed (one hop's admission verdict).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetupError {
+    /// The flow id allocated to the request; it stays registered but
+    /// inactive, so the caller may retry the setup later with
+    /// [`Network::admit_flow_on_link`] / [`Network::activate_flow`].
+    pub flow: FlowId,
+    /// Index into the route of the hop that refused the flow.
+    pub hop: usize,
+    /// The link whose admission controller refused the flow.
+    pub link: LinkId,
+    /// The failed criterion, as reported by the controller.
+    pub reason: String,
+}
+
+impl std::fmt::Display for SetupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} refused at hop {} ({:?}): {}",
+            self.flow, self.hop, self.link, self.reason
+        )
+    }
+}
+
 struct FlowState {
     config: FlowConfig,
     policer: Option<TokenBucket>,
@@ -102,17 +130,55 @@ struct FlowState {
     secs_per_bit: f64,
     /// Σ propagation over the route.
     total_propagation: SimTime,
+    /// Whether the flow may currently inject packets.  Statically
+    /// provisioned flows are born active; dynamically signalled flows stay
+    /// inactive until every hop has admitted them, and return to inactive
+    /// on release.
+    active: bool,
+    /// Links where reservation state (admission and/or scheduler) has been
+    /// installed for this flow and must be released on teardown.
+    installed_links: Vec<LinkId>,
+}
+
+/// Per-link admission-control state: the Section-9 controller plus the
+/// sampling bookkeeping that feeds it live utilization measurements.
+struct AdmissionState {
+    controller: AdmissionController,
+    sample_interval: SimTime,
+    last_sample: SimTime,
+    last_rt_bits: u64,
 }
 
 struct Port {
     discipline: Box<dyn QueueDiscipline>,
     busy: bool,
+    admission: Option<AdmissionState>,
 }
 
 enum NetEvent {
-    Timer { agent: AgentId, token: u64 },
-    TxComplete { link: LinkId },
-    Arrival { link: LinkId, packet: Packet },
+    Timer {
+        agent: AgentId,
+        token: u64,
+    },
+    TxComplete {
+        link: LinkId,
+    },
+    Arrival {
+        link: LinkId,
+        packet: Packet,
+    },
+    AdmissionSample {
+        link: LinkId,
+    },
+    /// Outcome of an agent-requested flow setup, delivered through the
+    /// event queue (same timestamp, next dispatch) rather than by direct
+    /// recursion — an agent that retries from `on_setup` must not be able
+    /// to grow the call stack.
+    SetupResult {
+        agent: AgentId,
+        token: u64,
+        result: Result<FlowId, SetupError>,
+    },
 }
 
 /// A no-op agent used as a placeholder while a real agent is borrowed for a
@@ -146,6 +212,7 @@ impl Network {
             .map(|_| Port {
                 discipline: Box::new(Fifo::new()) as Box<dyn QueueDiscipline>,
                 busy: false,
+                admission: None,
             })
             .collect();
         let num_links = topology.num_links();
@@ -189,7 +256,10 @@ impl Network {
     /// Panics if called after the simulation has started or if the port has
     /// packets queued.
     pub fn set_discipline(&mut self, link: LinkId, discipline: Box<dyn QueueDiscipline>) {
-        assert!(!self.started, "cannot swap disciplines after the run started");
+        assert!(
+            !self.started,
+            "cannot swap disciplines after the run started"
+        );
         assert!(
             self.ports[link.index()].discipline.is_empty(),
             "cannot swap a non-empty discipline"
@@ -209,11 +279,26 @@ impl Network {
         id
     }
 
-    /// Register a flow and return its id.
+    /// Register a flow and return its id.  The flow is immediately active
+    /// (static provisioning — no admission control is consulted).
     ///
     /// # Panics
     /// Panics if the route is not a contiguous path in the topology.
     pub fn add_flow(&mut self, config: FlowConfig) -> FlowId {
+        self.register_flow(config, true)
+    }
+
+    /// Register a flow without activating it: packets injected for it are
+    /// discarded (and counted) until [`activate_flow`] is called.  This is
+    /// the first step of dynamic flow setup — the signaling layer allocates
+    /// the identity, then installs per-hop reservations, then activates.
+    ///
+    /// [`activate_flow`]: Network::activate_flow
+    pub fn add_flow_inactive(&mut self, config: FlowConfig) -> FlowId {
+        self.register_flow(config, false)
+    }
+
+    fn register_flow(&mut self, config: FlowConfig, active: bool) -> FlowId {
         assert!(
             self.topo.validate_route(&config.route),
             "flow route is not a contiguous path"
@@ -224,14 +309,19 @@ impl Network {
         for (i, link) in config.route.iter().enumerate() {
             let params = self.topo.link(*link);
             let prev = hop_at_node.insert(params.from.0, i);
-            assert!(prev.is_none(), "route visits switch {:?} twice", params.from);
+            assert!(
+                prev.is_none(),
+                "route visits switch {:?} twice",
+                params.from
+            );
             secs_per_bit += 1.0 / params.rate_bps;
             total_propagation += params.propagation;
         }
-        let destination = self.topo.link(*config.route.last().expect("non-empty route")).to;
-        let policer = config
-            .edge_policer
-            .map(|(spec, _)| TokenBucket::new(spec));
+        let destination = self
+            .topo
+            .link(*config.route.last().expect("non-empty route"))
+            .to;
+        let policer = config.edge_policer.map(|(spec, _)| TokenBucket::new(spec));
         let id = FlowId(self.flows.len() as u32);
         self.flows.push(FlowState {
             config,
@@ -240,6 +330,8 @@ impl Network {
             destination,
             secs_per_bit,
             total_propagation,
+            active,
+            installed_links: Vec::new(),
         });
         self.monitor.ensure_flows(self.flows.len());
         id
@@ -265,6 +357,244 @@ impl Network {
         self.flows.len()
     }
 
+    // ----- dynamic flow signaling (control plane) -------------------------
+
+    /// Put a link under measurement-based admission control.
+    ///
+    /// The controller is fed live from this point on: every transmitted
+    /// predicted-class packet reports its per-hop queueing delay to d̂ⱼ, and
+    /// every `sample_interval` the real-time throughput since the previous
+    /// sample becomes one ν̂ utilization sample.
+    pub fn enable_admission(
+        &mut self,
+        link: LinkId,
+        controller: AdmissionController,
+        sample_interval: SimTime,
+    ) {
+        assert!(
+            sample_interval > SimTime::ZERO,
+            "sampling needs a positive interval"
+        );
+        self.ports[link.index()].admission = Some(AdmissionState {
+            controller,
+            sample_interval,
+            last_sample: self.now,
+            last_rt_bits: self.monitor.link_realtime_bits_sent(link.index()),
+        });
+        self.queue.push(
+            self.now + sample_interval,
+            NetEvent::AdmissionSample { link },
+        );
+    }
+
+    /// The admission controller of a link, if one was installed.
+    pub fn admission(&self, link: LinkId) -> Option<&AdmissionController> {
+        self.ports[link.index()]
+            .admission
+            .as_ref()
+            .map(|a| &a.controller)
+    }
+
+    /// Mutable access to a link's admission controller (e.g. for the
+    /// signaling layer's renegotiation bookkeeping, or to tune the safety
+    /// factor).
+    pub fn admission_mut(&mut self, link: LinkId) -> Option<&mut AdmissionController> {
+        self.ports[link.index()]
+            .admission
+            .as_mut()
+            .map(|a| &mut a.controller)
+    }
+
+    /// Whether a flow is currently allowed to inject packets.
+    pub fn flow_active(&self, flow: FlowId) -> bool {
+        self.flows[flow.index()].active
+    }
+
+    /// Activate a flow whose per-hop reservations are in place.
+    pub fn activate_flow(&mut self, flow: FlowId) {
+        self.flows[flow.index()].active = true;
+    }
+
+    /// Deactivate a flow without touching its reservations (used by the
+    /// signaling layer when a teardown starts: the source is silenced at
+    /// once while the release message still travels hop by hop).
+    pub fn deactivate_flow(&mut self, flow: FlowId) {
+        self.flows[flow.index()].active = false;
+    }
+
+    /// The links on which reservation state is currently installed for a
+    /// flow (in installation order).
+    pub fn installed_links(&self, flow: FlowId) -> &[LinkId] {
+        &self.flows[flow.index()].installed_links
+    }
+
+    /// Ask one link to admit `flow` at the current simulated time, and on
+    /// acceptance install the reservation state (admission-controller
+    /// bookkeeping plus per-flow scheduler state for guaranteed flows).
+    ///
+    /// Links without an admission controller accept everything — but still
+    /// receive scheduler installs, so statically over-provisioned setups
+    /// keep working.
+    pub fn admit_flow_on_link(&mut self, flow: FlowId, link: LinkId) -> AdmissionDecision {
+        let spec = self.flows[flow.index()].config.spec.clone();
+        let priority = self.flows[flow.index()].config.class.priority();
+        let now = self.now;
+        let port = &mut self.ports[link.index()];
+        let decision = match (&spec, port.admission.as_mut()) {
+            (_, None) => AdmissionDecision::Accept,
+            (FlowSpec::Guaranteed { clock_rate_bps }, Some(ad)) => {
+                ad.controller.request_guaranteed(*clock_rate_bps)
+            }
+            (FlowSpec::Predicted { bucket, .. }, Some(ad)) => {
+                ad.controller
+                    .request_predicted(now, *bucket, priority.unwrap_or(0))
+            }
+            (FlowSpec::Datagram, Some(_)) => AdmissionDecision::Accept,
+        };
+        if decision.is_accept() {
+            if let FlowSpec::Guaranteed { clock_rate_bps } = spec {
+                // A refusing scheduler vetoes the admission even when the
+                // controller (or the absence of one) said yes — otherwise
+                // the flow would be activated with no isolation at all.
+                if port.discipline.install_guaranteed(flow, clock_rate_bps)
+                    == GuaranteedInstall::Refused
+                {
+                    if let Some(ad) = port.admission.as_mut() {
+                        ad.controller.release_guaranteed(clock_rate_bps);
+                    }
+                    return AdmissionDecision::Reject {
+                        reason: format!(
+                            "scheduler refused guaranteed rate {clock_rate_bps:.0} bps \
+                             (per-flow reservations exhausted)"
+                        ),
+                    };
+                }
+            }
+            self.flows[flow.index()].installed_links.push(link);
+        }
+        decision
+    }
+
+    /// Release the reservation state `flow` holds on one link.  Returns
+    /// `false` if nothing was installed there.
+    pub fn release_flow_on_link(&mut self, flow: FlowId, link: LinkId) -> bool {
+        let state = &mut self.flows[flow.index()];
+        let Some(pos) = state.installed_links.iter().position(|&l| l == link) else {
+            return false;
+        };
+        state.installed_links.swap_remove(pos);
+        let spec = state.config.spec.clone();
+        let now = self.now;
+        let port = &mut self.ports[link.index()];
+        if let FlowSpec::Guaranteed { clock_rate_bps } = spec {
+            if let Some(ad) = port.admission.as_mut() {
+                ad.controller.release_guaranteed(clock_rate_bps);
+            }
+            port.discipline.remove_flow(now, flow);
+        }
+        true
+    }
+
+    /// Set up a flow end to end at the current simulated time: register it,
+    /// run hop-by-hop admission along its route, and activate it.
+    ///
+    /// On the first rejection every reservation installed so far is rolled
+    /// back and the flow is left registered but inactive (its id is in the
+    /// returned [`SetupError`], so a caller may re-try later).  This is the
+    /// synchronous setup path; `ispn-signal` layers per-hop control-packet
+    /// latency on top of the same per-link primitives.
+    pub fn request_flow(&mut self, config: FlowConfig) -> Result<FlowId, SetupError> {
+        let flow = self.add_flow_inactive(config);
+        let route = self.flows[flow.index()].config.route.clone();
+        for (hop, &link) in route.iter().enumerate() {
+            match self.admit_flow_on_link(flow, link) {
+                AdmissionDecision::Accept => {}
+                AdmissionDecision::Reject { reason } => {
+                    for &installed in route[..hop].iter() {
+                        self.release_flow_on_link(flow, installed);
+                    }
+                    return Err(SetupError {
+                        flow,
+                        hop,
+                        link,
+                        reason,
+                    });
+                }
+            }
+        }
+        self.activate_flow(flow);
+        Ok(flow)
+    }
+
+    /// Tear down a flow at the current simulated time: release every
+    /// reservation it holds and deactivate it.  Packets of the flow already
+    /// inside the network are still delivered; new injections are discarded.
+    pub fn release_flow(&mut self, flow: FlowId) {
+        let links = std::mem::take(&mut self.flows[flow.index()].installed_links);
+        for link in links {
+            // Re-insert so release_flow_on_link's bookkeeping stays in one
+            // place, then release.
+            self.flows[flow.index()].installed_links.push(link);
+            self.release_flow_on_link(flow, link);
+        }
+        self.deactivate_flow(flow);
+    }
+
+    /// Replace the declared token bucket of a predicted flow (successful
+    /// renegotiation): the spec and the edge policer both switch to the new
+    /// `(r, b)`.  The caller is responsible for having re-run admission on
+    /// every hop first.
+    ///
+    /// # Panics
+    /// Panics if the flow is not predicted-service.
+    pub fn update_flow_bucket(&mut self, flow: FlowId, bucket: TokenBucketSpec) {
+        let now = self.now;
+        let state = &mut self.flows[flow.index()];
+        match &mut state.config.spec {
+            FlowSpec::Predicted { bucket: b, .. } => *b = bucket,
+            other => panic!("cannot renegotiate a bucket on {other:?}"),
+        }
+        if let Some((spec, _)) = &mut state.config.edge_policer {
+            *spec = bucket;
+            // Carry the current token level into the new profile — a fresh
+            // (full) bucket would hand the flow a free burst of depth_bits
+            // on every renegotiation.
+            match state.policer.as_mut() {
+                Some(policer) => policer.reconfigure(now, bucket),
+                None => state.policer = Some(TokenBucket::new(bucket)),
+            }
+        }
+    }
+
+    /// Change the clock rate a guaranteed flow's spec declares (successful
+    /// guaranteed renegotiation).  The caller must have applied the rate
+    /// change on every hop's controller and scheduler first, so that
+    /// subsequent releases stay consistent with the recorded spec.
+    ///
+    /// # Panics
+    /// Panics if the flow is not guaranteed-service.
+    pub fn update_flow_clock_rate(&mut self, flow: FlowId, rate_bps: f64) {
+        assert!(rate_bps > 0.0);
+        match &mut self.flows[flow.index()].config.spec {
+            FlowSpec::Guaranteed { clock_rate_bps } => *clock_rate_bps = rate_bps,
+            other => panic!("cannot renegotiate a clock rate on {other:?}"),
+        }
+    }
+
+    /// Install (or update) per-flow guaranteed scheduler state on one link
+    /// without touching the admission controller — the renegotiation path,
+    /// where the controller's delta accounting is done by the caller.
+    pub fn install_guaranteed_rate(
+        &mut self,
+        link: LinkId,
+        flow: FlowId,
+        rate_bps: f64,
+    ) -> GuaranteedInstall {
+        self.ports[link.index()]
+            .discipline
+            .install_guaranteed(flow, rate_bps)
+    }
+
     /// The fixed (non-queueing) delay a packet of `size_bits` experiences on
     /// this flow's route: serialization at every hop plus propagation.
     pub fn fixed_delay(&self, flow: FlowId, size_bits: u64) -> SimTime {
@@ -281,8 +611,18 @@ impl Network {
             "packet for unregistered flow {}",
             packet.flow
         );
+        if !self.flows[packet.flow.index()].active {
+            // The flow has no (or no longer any) reservation: its packets
+            // never enter the network.  Tracked separately from loss so a
+            // torn-down flow's delay statistics stay clean.
+            self.monitor.record_inactive_drop(packet.flow, self.now);
+            return;
+        }
         self.monitor.record_generated(packet.flow, self.now);
-        let entry = self.topo.link(self.flows[packet.flow.index()].config.route[0]).from;
+        let entry = self
+            .topo
+            .link(self.flows[packet.flow.index()].config.route[0])
+            .from;
         self.forward(packet, entry);
     }
 
@@ -309,6 +649,12 @@ impl Network {
                     let to = self.topo.link(link).to;
                     self.forward(packet, to);
                 }
+                NetEvent::AdmissionSample { link } => self.on_admission_sample(link),
+                NetEvent::SetupResult {
+                    agent,
+                    token,
+                    result,
+                } => self.dispatch_setup(agent, token, result),
             }
         }
         self.now = horizon;
@@ -318,13 +664,27 @@ impl Network {
     // ----- agent dispatch -------------------------------------------------
 
     fn apply_commands(&mut self, agent: AgentId, api: AgentApi) {
-        let (packets, timers) = api.into_commands();
-        for p in packets {
+        let commands = api.into_commands();
+        for p in commands.packets {
             self.inject(p);
         }
-        for (delay, token) in timers {
+        for (delay, token) in commands.timers {
             self.queue
                 .push(self.now + delay, NetEvent::Timer { agent, token });
+        }
+        for flow in commands.releases {
+            self.release_flow(flow);
+        }
+        for (config, token) in commands.setups {
+            let result = self.request_flow(config);
+            self.queue.push(
+                self.now,
+                NetEvent::SetupResult {
+                    agent,
+                    token,
+                    result,
+                },
+            );
         }
     }
 
@@ -340,6 +700,14 @@ impl Network {
         let mut api = AgentApi::new(self.now);
         let mut agent = std::mem::replace(&mut self.agents[id.0], Box::new(NoopAgent));
         agent.on_timer(token, &mut api);
+        self.agents[id.0] = agent;
+        self.apply_commands(id, api);
+    }
+
+    fn dispatch_setup(&mut self, id: AgentId, token: u64, result: Result<FlowId, SetupError>) {
+        let mut api = AgentApi::new(self.now);
+        let mut agent = std::mem::replace(&mut self.agents[id.0], Box::new(NoopAgent));
+        agent.on_setup(token, result, &mut api);
         self.agents[id.0] = agent;
         self.apply_commands(id, api);
     }
@@ -402,7 +770,8 @@ impl Network {
         let buffer_limit = self.topo.link(link).buffer_packets;
         let port = &mut self.ports[link.index()];
         if port.discipline.len() >= buffer_limit {
-            self.monitor.record_buffer_drop(packet.flow, link.index(), self.now);
+            self.monitor
+                .record_buffer_drop(packet.flow, link.index(), self.now);
             return;
         }
         port.discipline
@@ -423,6 +792,15 @@ impl Network {
         port.busy = true;
         let waiting = d.queueing_delay(self.now);
         let tx_time = ispn_sim::time::transmission_time(d.packet.size_bits, params.rate_bps);
+        // Live measurement feedback: a transmitted predicted-class packet
+        // reports its per-hop queueing delay to this link's admission
+        // controller (the d̂ⱼ of Section 9).
+        if let Some(ad) = port.admission.as_mut() {
+            if let ServiceClass::Predicted { priority } = d.class {
+                ad.controller
+                    .observe_class_delay(self.now, priority, waiting);
+            }
+        }
         self.monitor.record_transmission(
             link.index(),
             d.class,
@@ -440,6 +818,23 @@ impl Network {
                 packet: d.packet,
             },
         );
+    }
+
+    fn on_admission_sample(&mut self, link: LinkId) {
+        let rt_bits = self.monitor.link_realtime_bits_sent(link.index());
+        let now = self.now;
+        let Some(ad) = self.ports[link.index()].admission.as_mut() else {
+            return;
+        };
+        let dt = now.saturating_sub(ad.last_sample).as_secs_f64();
+        if dt > 0.0 {
+            let bps = rt_bits.saturating_sub(ad.last_rt_bits) as f64 / dt;
+            ad.controller.observe_utilization(now, bps);
+        }
+        ad.last_rt_bits = rt_bits;
+        ad.last_sample = now;
+        let next = now + ad.sample_interval;
+        self.queue.push(next, NetEvent::AdmissionSample { link });
     }
 
     fn on_tx_complete(&mut self, link: LinkId) {
@@ -558,7 +953,11 @@ mod tests {
         net.run_until(SimTime::from_secs(1));
         let report = net.monitor_mut().flow_report(flow);
         assert_eq!(report.delivered, 3);
-        assert!((report.mean_delay - 0.001).abs() < 1e-9, "{}", report.mean_delay);
+        assert!(
+            (report.mean_delay - 0.001).abs() < 1e-9,
+            "{}",
+            report.mean_delay
+        );
         assert!((report.max_delay - 0.002).abs() < 1e-9);
     }
 
@@ -758,6 +1157,163 @@ mod tests {
         assert_eq!(ra.delivered, rb.delivered);
         assert_eq!(ra.mean_delay, rb.mean_delay);
         assert_eq!(ra.max_delay, rb.max_delay);
+    }
+
+    use ispn_core::admission::{AdmissionConfig, AdmissionController};
+
+    fn controller(rate: f64) -> AdmissionController {
+        AdmissionController::new(
+            AdmissionConfig::new(rate, 0.9, vec![SimTime::from_millis(100)]),
+            10.0,
+        )
+    }
+
+    #[test]
+    fn request_flow_reserves_and_release_frees() {
+        let (topo, _nodes, links) = Topology::chain(3, MBIT, SimTime::ZERO, 200);
+        let mut net = Network::new(topo);
+        for &l in &links {
+            net.set_discipline(l, Box::new(Unified::new(MBIT, 1, Averaging::RunningMean)));
+            net.enable_admission(l, controller(MBIT), SimTime::SECOND);
+        }
+        let flow = net
+            .request_flow(FlowConfig::guaranteed(links.clone(), 400_000.0))
+            .expect("empty network admits");
+        assert!(net.flow_active(flow));
+        assert_eq!(net.installed_links(flow).len(), 2);
+        for &l in &links {
+            let ad = net.admission(l).unwrap();
+            assert!((ad.reserved_guaranteed_bps() - 400_000.0).abs() < 1e-6);
+            assert_eq!(ad.accepted(), 1);
+        }
+        net.release_flow(flow);
+        assert!(!net.flow_active(flow));
+        assert!(net.installed_links(flow).is_empty());
+        for &l in &links {
+            assert_eq!(net.admission(l).unwrap().reserved_guaranteed_bps(), 0.0);
+        }
+    }
+
+    #[test]
+    fn rejected_setup_rolls_back_upstream_reservations() {
+        let (topo, _nodes, links) = Topology::chain(3, MBIT, SimTime::ZERO, 200);
+        let mut net = Network::new(topo);
+        for &l in &links {
+            net.enable_admission(l, controller(MBIT), SimTime::SECOND);
+        }
+        // Saturate the second link so multi-hop setups fail at hop 1.
+        let hog = net
+            .request_flow(FlowConfig::guaranteed(vec![links[1]], 800_000.0))
+            .unwrap();
+        let err = net
+            .request_flow(FlowConfig::guaranteed(links.clone(), 200_000.0))
+            .expect_err("second link is full");
+        assert_eq!(err.hop, 1);
+        assert_eq!(err.link, links[1]);
+        assert!(err.reason.contains("quota"));
+        // The first link's partial reservation was rolled back.
+        assert_eq!(
+            net.admission(links[0]).unwrap().reserved_guaranteed_bps(),
+            0.0
+        );
+        assert!(!net.flow_active(err.flow));
+        assert!(net.installed_links(err.flow).is_empty());
+        let _ = hog;
+    }
+
+    #[test]
+    fn inactive_flow_injections_are_discarded_and_counted() {
+        let (mut net, link) = two_switch_net();
+        let flow = net.add_flow_inactive(FlowConfig::datagram(vec![link]));
+        let t = SimTime::from_millis(1);
+        net.add_agent(Box::new(ScheduledSender::new(flow, vec![t, t])));
+        net.run_until(SimTime::from_millis(50));
+        let r = net.monitor_mut().flow_report(flow);
+        assert_eq!(r.generated, 0);
+        assert_eq!(r.delivered, 0);
+        assert_eq!(r.dropped_inactive, 2);
+        // Activation opens the gate.
+        net.activate_flow(flow);
+        net.add_agent(Box::new(ScheduledSender::new(
+            flow,
+            vec![SimTime::from_millis(60)],
+        )));
+        net.run_until(SimTime::from_millis(100));
+        let r = net.monitor_mut().flow_report(flow);
+        assert_eq!(r.delivered, 1);
+        assert_eq!(r.dropped_inactive, 2);
+    }
+
+    #[test]
+    fn admission_sampling_feeds_live_utilization() {
+        let (mut net, link) = two_switch_net();
+        net.enable_admission(link, controller(MBIT), SimTime::SECOND);
+        let flow = net.add_flow(FlowConfig {
+            route: vec![link],
+            spec: FlowSpec::Datagram,
+            class: ServiceClass::Predicted { priority: 0 },
+            edge_policer: None,
+            sink: None,
+        });
+        // 500 packets back to back: the link carries 500 kbit over 1 s.
+        let times: Vec<SimTime> = (0..500).map(|_| SimTime::ZERO).collect();
+        net.add_agent(Box::new(ScheduledSender::new(flow, times)));
+        net.run_until(SimTime::from_secs(3));
+        let meas = net
+            .admission_mut(link)
+            .unwrap()
+            .measurement(SimTime::from_secs(3));
+        // The windowed mean saw ≈500 kbit/s samples; with the 1.2 safety
+        // factor the conservative estimate lands well above zero.
+        assert!(
+            meas.realtime_util_bps > 100_000.0,
+            "ν̂ = {}",
+            meas.realtime_util_bps
+        );
+        // Per-hop waiting times of the predicted class reached d̂ⱼ.
+        assert!(meas.class_delay[0] > SimTime::ZERO);
+    }
+
+    #[test]
+    fn agent_driven_setup_and_release_at_event_time() {
+        struct Requester {
+            link: LinkId,
+            got: std::rc::Rc<std::cell::RefCell<Vec<Result<FlowId, SetupError>>>>,
+        }
+        impl Agent for Requester {
+            fn start(&mut self, api: &mut AgentApi) {
+                api.set_timer(SimTime::from_millis(5), 0);
+            }
+            fn on_timer(&mut self, _token: u64, api: &mut AgentApi) {
+                api.request_flow(FlowConfig::guaranteed(vec![self.link], 500_000.0), 7);
+            }
+            fn on_setup(
+                &mut self,
+                token: u64,
+                result: Result<FlowId, SetupError>,
+                api: &mut AgentApi,
+            ) {
+                assert_eq!(token, 7);
+                if let Ok(flow) = &result {
+                    api.release_flow(*flow);
+                }
+                self.got.borrow_mut().push(result);
+            }
+        }
+        let (mut net, link) = two_switch_net();
+        net.enable_admission(link, controller(MBIT), SimTime::SECOND);
+        let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        net.add_agent(Box::new(Requester {
+            link,
+            got: got.clone(),
+        }));
+        net.run_until(SimTime::from_millis(50));
+        let got = got.borrow();
+        assert_eq!(got.len(), 1);
+        let flow = *got[0].as_ref().expect("admitted");
+        // The agent released it inside on_setup.
+        assert!(!net.flow_active(flow));
+        assert_eq!(net.admission(link).unwrap().reserved_guaranteed_bps(), 0.0);
     }
 
     #[test]

@@ -186,7 +186,13 @@ impl Topology {
         let nodes = topo.add_nodes(n);
         let mut links = Vec::new();
         for i in 0..n - 1 {
-            links.push(topo.add_link(nodes[i], nodes[i + 1], rate_bps, propagation, buffer_packets));
+            links.push(topo.add_link(
+                nodes[i],
+                nodes[i + 1],
+                rate_bps,
+                propagation,
+                buffer_packets,
+            ));
         }
         (topo, nodes, links)
     }

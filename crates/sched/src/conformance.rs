@@ -18,7 +18,11 @@ use crate::disc::{QueueDiscipline, SchedContext};
 /// `n_flows` flows with pseudo-random arrival gaps.  Every flow keeps one
 /// service class for its lifetime (as a real reservation would), chosen
 /// pseudo-randomly per flow.
-pub fn synthetic_workload(seed: u64, n_flows: u32, n_packets: usize) -> Vec<(SimTime, Packet, SchedContext)> {
+pub fn synthetic_workload(
+    seed: u64,
+    n_flows: u32,
+    n_packets: usize,
+) -> Vec<(SimTime, Packet, SchedContext)> {
     let mut rng = Pcg64::new(seed);
     let classes: Vec<ServiceClass> = (0..n_flows)
         .map(|_| match rng.next_below(4) {
@@ -84,11 +88,15 @@ pub fn assert_no_loss_no_duplication(
     served: &[Packet],
 ) {
     assert_eq!(workload.len(), served.len(), "packet count mismatch");
-    let mut expected: Vec<(u32, u64)> = workload.iter().map(|(_, p, _)| (p.flow.0, p.seq)).collect();
+    let mut expected: Vec<(u32, u64)> =
+        workload.iter().map(|(_, p, _)| (p.flow.0, p.seq)).collect();
     let mut got: Vec<(u32, u64)> = served.iter().map(|p| (p.flow.0, p.seq)).collect();
     expected.sort_unstable();
     got.sort_unstable();
-    assert_eq!(expected, got, "served packets are not a permutation of offered packets");
+    assert_eq!(
+        expected, got,
+        "served packets are not a permutation of offered packets"
+    );
 }
 
 /// Assert per-flow FIFO order: within a flow, sequence numbers leave in
@@ -202,7 +210,7 @@ mod jitter_property_tests {
     fn bursty_delays<D: QueueDiscipline>(disc: &mut D, seed: u64) -> SampleSet {
         let mut rng = Pcg64::new(seed);
         let mut arrivals: Vec<(SimTime, Packet, SchedContext)> = Vec::new();
-        let mut seq = vec![0u64; 8];
+        let mut seq = [0u64; 8];
         for flow in 0..8u32 {
             let mut t = SimTime::from_micros(rng.next_below(10_000));
             while t < SimTime::from_secs(2) {

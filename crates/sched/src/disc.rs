@@ -34,6 +34,21 @@ impl SchedContext {
     }
 }
 
+/// Outcome of [`QueueDiscipline::install_guaranteed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuaranteedInstall {
+    /// Per-flow reservation state was installed (or updated).
+    Installed,
+    /// The discipline keeps no per-flow guaranteed state (class-based
+    /// disciplines like FIFO and FIFO+); nothing needed doing.  The switch
+    /// may still carry the flow, it just cannot isolate it.
+    Unsupported,
+    /// The discipline refused: installing this rate would break its
+    /// invariants (e.g. guaranteed reservations reaching the link rate).
+    /// Callers must treat this as an admission failure.
+    Refused,
+}
+
 /// A packet handed back by [`QueueDiscipline::dequeue`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Dequeued {
@@ -82,6 +97,27 @@ pub trait QueueDiscipline {
     /// A short human-readable name ("FIFO", "WFQ", …) used in experiment
     /// output.
     fn name(&self) -> &'static str;
+
+    /// Install per-flow reservation state for a guaranteed flow with the
+    /// given WFQ clock rate (Section 8: a guaranteed flow "only needs to
+    /// specify the needed clock rate r").
+    ///
+    /// The default (for class-based disciplines, which have no per-flow
+    /// state) reports [`GuaranteedInstall::Unsupported`]; disciplines that
+    /// do track per-flow rates answer `Installed` or `Refused`, and a
+    /// refusal must fail the admission that requested it.
+    fn install_guaranteed(&mut self, flow: ispn_core::FlowId, rate_bps: f64) -> GuaranteedInstall {
+        let _ = (flow, rate_bps);
+        GuaranteedInstall::Unsupported
+    }
+
+    /// Remove per-flow reservation state installed by
+    /// [`install_guaranteed`](QueueDiscipline::install_guaranteed)
+    /// (reservation teardown).  Returns `true` if state was removed.
+    fn remove_flow(&mut self, now: SimTime, flow: ispn_core::FlowId) -> bool {
+        let _ = (now, flow);
+        false
+    }
 }
 
 #[cfg(test)]

@@ -88,7 +88,10 @@ mod tests {
             SchedContext::datagram(SimTime::from_millis(3)),
         );
         let d = q.dequeue(SimTime::from_millis(9)).unwrap();
-        assert_eq!(d.queueing_delay(SimTime::from_millis(9)), SimTime::from_millis(6));
+        assert_eq!(
+            d.queueing_delay(SimTime::from_millis(9)),
+            SimTime::from_millis(6)
+        );
     }
 
     #[test]

@@ -79,6 +79,16 @@ impl GpsClock {
         self.flows.get(&key).map(|f| f.rate_bps)
     }
 
+    /// Deregister a flow, returning its clock rate if it was registered.
+    ///
+    /// Intended for reservation teardown: the caller should only remove a
+    /// flow whose packets have drained (its backlog, if any, simply leaves
+    /// the fluid system, which makes the remaining flows' service strictly
+    /// better — never worse — so existing guarantees still hold).
+    pub fn remove(&mut self, key: GpsFlowKey) -> Option<f64> {
+        self.flows.remove(&key).map(|f| f.rate_bps)
+    }
+
     /// Sum of the clock rates of all registered flows.
     pub fn total_rate(&self) -> f64 {
         self.flows.values().map(|f| f.rate_bps).sum()
@@ -189,8 +199,8 @@ mod tests {
     fn single_flow_finish_times_accumulate_at_flow_rate() {
         let mut gps = GpsClock::new(MBIT);
         gps.set_rate(1, 100_000.0); // 100 kbit/s
-        // Two 1000-bit packets arriving back to back at t=0: finishes at
-        // 10 ms and 20 ms of *virtual* time (1000 bits / 100 kbit/s each).
+                                    // Two 1000-bit packets arriving back to back at t=0: finishes at
+                                    // 10 ms and 20 ms of *virtual* time (1000 bits / 100 kbit/s each).
         let f1 = gps.stamp(1, 1000, SimTime::ZERO);
         let f2 = gps.stamp(1, 1000, SimTime::ZERO);
         assert!((f1 - 0.01).abs() < 1e-12);

@@ -40,7 +40,7 @@ pub mod unified;
 pub mod virtual_clock;
 pub mod wfq;
 
-pub use disc::{Dequeued, QueueDiscipline, SchedContext};
+pub use disc::{Dequeued, GuaranteedInstall, QueueDiscipline, SchedContext};
 pub use fifo::Fifo;
 pub use fifo_plus::{Averaging, FifoPlus};
 pub use gps::GpsClock;

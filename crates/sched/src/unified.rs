@@ -24,7 +24,7 @@ use std::collections::{BTreeMap, VecDeque};
 use ispn_core::{FlowId, Packet, ServiceClass};
 use ispn_sim::SimTime;
 
-use crate::disc::{Dequeued, QueueDiscipline, SchedContext};
+use crate::disc::{Dequeued, GuaranteedInstall, QueueDiscipline, SchedContext};
 use crate::fifo::Fifo;
 use crate::fifo_plus::{Averaging, FifoPlus};
 use crate::gps::GpsClock;
@@ -139,6 +139,60 @@ impl Unified {
         self.guaranteed.entry(flow).or_default();
     }
 
+    /// Change the clock rate of an already-registered guaranteed flow (the
+    /// Section-8 renegotiation path: "the client can request the network to
+    /// change the reservation").
+    ///
+    /// Returns `false` (leaving the old rate in force) if the new total
+    /// would reach the link rate; admission control normally prevents that.
+    pub fn set_guaranteed_rate(&mut self, flow: FlowId, rate_bps: f64) -> bool {
+        assert!(rate_bps > 0.0);
+        let Some(old) = self.guaranteed_rate(flow) else {
+            return false;
+        };
+        let new_sum = self.guaranteed_rate_sum - old + rate_bps;
+        if new_sum >= self.link_rate_bps {
+            return false;
+        }
+        self.guaranteed_rate_sum = new_sum;
+        self.gps.set_rate(flow.0 as u64, rate_bps);
+        self.gps
+            .set_rate(GpsClock::PSEUDO_FLOW, self.link_rate_bps - new_sum);
+        true
+    }
+
+    /// Tear down a guaranteed flow's reservation, returning its pseudo-flow-0
+    /// rate to the shared pool (r₀ = μ − Σ rα).
+    ///
+    /// Packets of the flow still queued lose their reserved service and are
+    /// re-queued at the tail of flow 0 (they are carried, like any traffic
+    /// without a matching reservation, in the datagram class).  Returns
+    /// `false` if the flow was not registered.
+    pub fn remove_guaranteed_flow(&mut self, flow: FlowId, now: SimTime) -> bool {
+        let Some(gq) = self.guaranteed.remove(&flow) else {
+            return false;
+        };
+        let rate = self
+            .gps
+            .remove(flow.0 as u64)
+            .expect("registered guaranteed flow has a GPS rate");
+        self.guaranteed_rate_sum -= rate;
+        self.gps.set_rate(
+            GpsClock::PSEUDO_FLOW,
+            self.link_rate_bps - self.guaranteed_rate_sum,
+        );
+        for (packet, ctx, _) in gq.queue {
+            // Demote to flow 0; the packet keeps its original arrival time
+            // but is stamped (and therefore served) like a fresh datagram
+            // arrival, matching its now-unreserved status.
+            let finish = self.gps.stamp(GpsClock::PSEUDO_FLOW, packet.size_bits, now);
+            self.flow0_stamps.push_back(finish);
+            let demoted = SchedContext::new(ServiceClass::Datagram, ctx.arrival);
+            self.flow0.enqueue(now, packet, demoted);
+        }
+        true
+    }
+
     /// The clock rate currently assigned to pseudo-flow 0.
     pub fn flow0_rate_bps(&self) -> f64 {
         self.link_rate_bps - self.guaranteed_rate_sum
@@ -184,9 +238,7 @@ impl QueueDiscipline for Unified {
         } else {
             // Predicted, datagram, and any guaranteed-class packet whose
             // flow was never registered all share pseudo-flow 0.
-            let finish = self
-                .gps
-                .stamp(GpsClock::PSEUDO_FLOW, packet.size_bits, now);
+            let finish = self.gps.stamp(GpsClock::PSEUDO_FLOW, packet.size_bits, now);
             self.flow0_stamps.push_back(finish);
             self.flow0.enqueue(now, packet, ctx);
         }
@@ -254,6 +306,28 @@ impl QueueDiscipline for Unified {
 
     fn name(&self) -> &'static str {
         "Unified"
+    }
+
+    fn install_guaranteed(&mut self, flow: FlowId, rate_bps: f64) -> GuaranteedInstall {
+        if rate_bps <= 0.0 {
+            return GuaranteedInstall::Refused;
+        }
+        if self.guaranteed.contains_key(&flow) {
+            return if self.set_guaranteed_rate(flow, rate_bps) {
+                GuaranteedInstall::Installed
+            } else {
+                GuaranteedInstall::Refused
+            };
+        }
+        if self.guaranteed_rate_sum + rate_bps >= self.link_rate_bps {
+            return GuaranteedInstall::Refused;
+        }
+        self.add_guaranteed_flow(flow, rate_bps);
+        GuaranteedInstall::Installed
+    }
+
+    fn remove_flow(&mut self, now: SimTime, flow: FlowId) -> bool {
+        self.remove_guaranteed_flow(flow, now)
     }
 }
 
@@ -338,7 +412,9 @@ mod tests {
         u.enqueue(t, pkt(22, 0), SchedContext::datagram(t));
         // No guaranteed backlog: flow 0 drains, and within it priority 0
         // goes first, datagram last.
-        let order: Vec<u32> = (0..3).map(|_| u.dequeue(t).unwrap().packet.flow.0).collect();
+        let order: Vec<u32> = (0..3)
+            .map(|_| u.dequeue(t).unwrap().packet.flow.0)
+            .collect();
         assert_eq!(order, vec![21, 20, 22]);
     }
 
@@ -408,6 +484,66 @@ mod tests {
         // The datagram queue has no FIFO+ average.
         assert_eq!(u.class_average_delay(5), None);
         assert_eq!(u.name(), "Unified");
+    }
+
+    #[test]
+    fn remove_guaranteed_flow_returns_rate_to_flow0() {
+        let mut u = make();
+        assert!((u.flow0_rate_bps() - 745_000.0).abs() < 1e-6);
+        assert!(u.remove_guaranteed_flow(FlowId(1), SimTime::ZERO));
+        assert!((u.flow0_rate_bps() - 915_000.0).abs() < 1e-6);
+        assert_eq!(u.guaranteed_rate(FlowId(1)), None);
+        // Removing again is a no-op.
+        assert!(!u.remove_guaranteed_flow(FlowId(1), SimTime::ZERO));
+    }
+
+    #[test]
+    fn remove_guaranteed_flow_demotes_queued_packets() {
+        let mut u = make();
+        let t = SimTime::ZERO;
+        u.enqueue(t, pkt(1, 0), guaranteed(t));
+        u.enqueue(t, pkt(1, 1), guaranteed(t));
+        assert_eq!(u.len(), 2);
+        assert!(u.remove_guaranteed_flow(FlowId(1), t));
+        // The packets are still carried (now in flow 0) and drain fully.
+        assert_eq!(u.len(), 2);
+        let a = u.dequeue(t).unwrap();
+        let b = u.dequeue(t).unwrap();
+        assert_eq!(a.packet.flow, FlowId(1));
+        assert_eq!(b.packet.flow, FlowId(1));
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn set_guaranteed_rate_adjusts_the_split() {
+        let mut u = make();
+        assert!(u.set_guaranteed_rate(FlowId(1), 300_000.0));
+        assert_eq!(u.guaranteed_rate(FlowId(1)), Some(300_000.0));
+        assert!((u.flow0_rate_bps() - 615_000.0).abs() < 1e-6);
+        // Unknown flow or an over-reservation is refused.
+        assert!(!u.set_guaranteed_rate(FlowId(9), 100_000.0));
+        assert!(!u.set_guaranteed_rate(FlowId(1), 1_000_000.0));
+        assert_eq!(u.guaranteed_rate(FlowId(1)), Some(300_000.0));
+    }
+
+    #[test]
+    fn discipline_trait_install_and_remove() {
+        let mut u = Unified::new(MBIT, 2, Averaging::RunningMean);
+        let d: &mut dyn QueueDiscipline = &mut u;
+        assert_eq!(
+            d.install_guaranteed(FlowId(5), 200_000.0),
+            GuaranteedInstall::Installed
+        );
+        assert_eq!(
+            d.install_guaranteed(FlowId(5), 250_000.0), // update
+            GuaranteedInstall::Installed
+        );
+        assert_eq!(
+            d.install_guaranteed(FlowId(6), 900_000.0), // would overflow
+            GuaranteedInstall::Refused
+        );
+        assert!(d.remove_flow(SimTime::ZERO, FlowId(5)));
+        assert!(!d.remove_flow(SimTime::ZERO, FlowId(5)));
     }
 
     #[test]

@@ -79,7 +79,8 @@ impl QueueDiscipline for VirtualClock {
             queue: VecDeque::new(),
         });
         // auxVC = max(now, auxVC) + L / r
-        flow.aux_clock = flow.aux_clock.max(now.as_secs_f64()) + packet.size_bits as f64 / flow.rate_bps;
+        flow.aux_clock =
+            flow.aux_clock.max(now.as_secs_f64()) + packet.size_bits as f64 / flow.rate_bps;
         let stamp = flow.aux_clock;
         flow.queue.push_back((packet, ctx, stamp));
         self.len += 1;
@@ -141,7 +142,9 @@ mod tests {
             q.enqueue(t, pkt(1, s), ctx(t));
             q.enqueue(t, pkt(2, s), ctx(t));
         }
-        let order: Vec<u32> = (0..6).map(|_| q.dequeue(t).unwrap().packet.flow.0).collect();
+        let order: Vec<u32> = (0..6)
+            .map(|_| q.dequeue(t).unwrap().packet.flow.0)
+            .collect();
         // Perfect alternation (ties broken by flow id).
         assert_eq!(order, vec![1, 2, 1, 2, 1, 2]);
     }
@@ -170,8 +173,16 @@ mod tests {
         // relative to `now`, not relative to the stale auxiliary clock.
         q.enqueue(SimTime::ZERO, pkt(1, 0), ctx(SimTime::ZERO));
         let _ = q.dequeue(SimTime::ZERO);
-        q.enqueue(SimTime::from_secs(10), pkt(1, 1), ctx(SimTime::from_secs(10)));
-        q.enqueue(SimTime::from_secs(10), pkt(2, 0), ctx(SimTime::from_secs(10)));
+        q.enqueue(
+            SimTime::from_secs(10),
+            pkt(1, 1),
+            ctx(SimTime::from_secs(10)),
+        );
+        q.enqueue(
+            SimTime::from_secs(10),
+            pkt(2, 0),
+            ctx(SimTime::from_secs(10)),
+        );
         // Flow 2's very first packet gets stamp 10.001 as well; tie broken
         // by flow id, so flow 1 first — the point is flow 1 is not stamped
         // at 0.002 (which would always win) nor punished into the future.

@@ -20,7 +20,7 @@ use std::collections::{BTreeMap, VecDeque};
 use ispn_core::{FlowId, Packet};
 use ispn_sim::SimTime;
 
-use crate::disc::{Dequeued, QueueDiscipline, SchedContext};
+use crate::disc::{Dequeued, GuaranteedInstall, QueueDiscipline, SchedContext};
 use crate::gps::GpsClock;
 
 #[derive(Debug, Default)]
@@ -78,6 +78,18 @@ impl Wfq {
     /// The clock rate currently assigned to `flow`, if registered.
     pub fn rate(&self, flow: FlowId) -> Option<f64> {
         self.gps.rate(flow.0 as u64)
+    }
+
+    /// Deregister a flow (reservation teardown), returning its clock rate.
+    ///
+    /// Any packets of the flow still queued are served at their existing
+    /// virtual-time stamps; if the flow sends again later it is treated as
+    /// unregistered (and re-enters at the default clock rate).
+    pub fn remove_flow_rate(&mut self, flow: FlowId) -> Option<f64> {
+        if self.flows.get(&flow).is_some_and(|fq| fq.queue.is_empty()) {
+            self.flows.remove(&flow);
+        }
+        self.gps.remove(flow.0 as u64)
     }
 
     /// Access the underlying GPS clock (used by tests and by the fluid
@@ -149,6 +161,18 @@ impl QueueDiscipline for Wfq {
     fn name(&self) -> &'static str {
         "WFQ"
     }
+
+    fn install_guaranteed(&mut self, flow: FlowId, rate_bps: f64) -> GuaranteedInstall {
+        if rate_bps <= 0.0 {
+            return GuaranteedInstall::Refused;
+        }
+        self.set_rate(flow, rate_bps);
+        GuaranteedInstall::Installed
+    }
+
+    fn remove_flow(&mut self, _now: SimTime, flow: FlowId) -> bool {
+        self.remove_flow_rate(flow).is_some()
+    }
 }
 
 #[cfg(test)]
@@ -180,7 +204,9 @@ mod tests {
         for seq in 0..4 {
             q.enqueue(t, pkt(2, seq), ctx(t));
         }
-        let order: Vec<u32> = (0..8).map(|_| q.dequeue(t).unwrap().packet.flow.0).collect();
+        let order: Vec<u32> = (0..8)
+            .map(|_| q.dequeue(t).unwrap().packet.flow.0)
+            .collect();
         assert_eq!(order, vec![1, 2, 1, 2, 1, 2, 1, 2]);
     }
 
@@ -264,7 +290,7 @@ mod tests {
             }
         }
         // In 4 transmissions flow 2 gets roughly half, not all of them.
-        assert!(flow2_served >= 1 && flow2_served <= 3);
+        assert!((1..=3).contains(&flow2_served));
     }
 
     #[test]
@@ -282,6 +308,26 @@ mod tests {
         }
         assert_eq!(n, 12);
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn remove_flow_rate_deregisters() {
+        let mut q = Wfq::new(MBIT, 100_000.0);
+        q.set_rate(FlowId(1), 400_000.0);
+        assert_eq!(q.remove_flow_rate(FlowId(1)), Some(400_000.0));
+        assert_eq!(q.rate(FlowId(1)), None);
+        assert_eq!(q.remove_flow_rate(FlowId(1)), None);
+        // Via the trait: install then remove.
+        let d: &mut dyn QueueDiscipline = &mut q;
+        assert_eq!(
+            d.install_guaranteed(FlowId(2), 250_000.0),
+            GuaranteedInstall::Installed
+        );
+        assert!(d.remove_flow(SimTime::ZERO, FlowId(2)));
+        // Queued packets of a removed flow still drain.
+        q.enqueue(SimTime::ZERO, pkt(3, 0), ctx(SimTime::ZERO));
+        q.remove_flow_rate(FlowId(3));
+        assert_eq!(q.dequeue(SimTime::ZERO).unwrap().packet.flow, FlowId(3));
     }
 
     #[test]

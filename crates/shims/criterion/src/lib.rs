@@ -1,0 +1,170 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace's micro-benchmarks (`cargo bench`) use the familiar
+//! criterion surface — [`Criterion::bench_function`], benchmark groups,
+//! `criterion_group!` / `criterion_main!` — but this shim implements them
+//! with a plain wall-clock harness so no external dependency is needed:
+//! each benchmark is warmed up, then timed over enough iterations to fill a
+//! short measurement window, and the mean per-iteration time is printed.
+//! There are no statistical refinements (outlier rejection, regression
+//! detection); for those, swap this path dependency for the real crate.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const MEASURE_WINDOW: Duration = Duration::from_millis(500);
+/// Warm-up time per benchmark.
+const WARMUP_WINDOW: Duration = Duration::from_millis(100);
+
+/// Timing loop handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record the mean per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up window has elapsed.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP_WINDOW {
+            std::hint::black_box(routine());
+        }
+        // Measure.
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            if start.elapsed() >= MEASURE_WINDOW {
+                break;
+            }
+        }
+        self.iterations = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    fn report(&self, name: &str) {
+        if self.iterations == 0 {
+            println!("{name:<40} (no measurement)");
+            return;
+        }
+        let per_iter = self.elapsed.as_secs_f64() / self.iterations as f64;
+        println!(
+            "{name:<40} {:>12}/iter   ({} iterations)",
+            format_time(per_iter),
+            self.iterations
+        );
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// The top-level harness handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks (prefixes its name to each member).
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the requested sample count (accepted for API compatibility; the
+    /// shim's fixed measurement window ignores it).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{name}", self.name));
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export of `std::hint::black_box` under criterion's historical name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a group runner (compatible subset of
+/// criterion's macro: the plain `criterion_group!(name, target…)` form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit a `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert!(b.iterations > 0);
+        assert!(b.elapsed >= MEASURE_WINDOW);
+    }
+
+    #[test]
+    fn format_time_scales() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" µs"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

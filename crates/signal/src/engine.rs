@@ -1,0 +1,867 @@
+//! The hop-by-hop signaling engine.
+//!
+//! Control traffic is modelled the way the Appendix models data traffic: a
+//! setup, release or renegotiate message crossing a link costs one
+//! control-packet transmission time plus the link's propagation delay (plus
+//! an optional per-switch processing time).  The engine keeps its own
+//! deterministic event queue of in-flight control messages and interleaves
+//! them with the network's data-plane events, so admission decisions at
+//! each hop see exactly the measurement state of that simulated instant.
+
+use std::collections::HashMap;
+
+use ispn_core::admission::AdmissionDecision;
+use ispn_core::{FlowId, FlowSpec, TokenBucketSpec};
+use ispn_net::{FlowConfig, LinkId, Network};
+use ispn_sim::{EventQueue, SimTime};
+
+use crate::messages::{RequestId, SignalEvent};
+
+/// Timing parameters of the control plane.
+#[derive(Debug, Clone, Copy)]
+pub struct SignalConfig {
+    /// Size of a control packet in bits (setup/release/renegotiate all use
+    /// the same size; the paper's data packets are 1000 bits and control
+    /// messages are comparable).
+    pub control_packet_bits: u64,
+    /// Extra processing time a switch spends on a control message before
+    /// forwarding it.
+    pub hop_processing: SimTime,
+}
+
+impl Default for SignalConfig {
+    fn default() -> Self {
+        SignalConfig {
+            control_packet_bits: 1000,
+            hop_processing: SimTime::ZERO,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum RenegKind {
+    /// Re-run the Section-9 criterion for a new `(r, b)` declaration.
+    Predicted { new_bucket: TokenBucketSpec },
+    /// Change a guaranteed clock rate.  Increases are admitted (and
+    /// installed) hop by hop; decreases commit only at confirmation so a
+    /// failed renegotiation never loses the old reservation.
+    Guaranteed { old_rate: f64, new_rate: f64 },
+}
+
+#[derive(Debug, Clone)]
+struct PendingSetup {
+    flow: FlowId,
+    route: Vec<LinkId>,
+    /// Set when a teardown arrives while the setup is still in flight: the
+    /// setup stops installing further hops and its confirmation must not
+    /// activate the flow (the teardown wave, always behind the setup wave,
+    /// releases whatever was installed).
+    cancelled: bool,
+}
+
+#[derive(Debug, Clone)]
+struct PendingReneg {
+    flow: FlowId,
+    route: Vec<LinkId>,
+    priority: u8,
+    kind: RenegKind,
+    /// Hops on which a guaranteed rate *increase* has been reserved so far
+    /// (so a teardown that cancels the renegotiation can give the deltas
+    /// back).
+    applied_hops: usize,
+}
+
+enum ControlEvent {
+    /// A setup message arrives at the switch feeding `route[hop]`.
+    Setup { req: RequestId, hop: usize },
+    /// A rejection travels upstream, releasing `route[hop]`.
+    Rollback { req: RequestId, hop: usize },
+    /// The setup message reached the destination: activate.
+    Confirm { req: RequestId },
+    /// A release message arrives at the switch feeding `route[hop]`.
+    Teardown { flow: FlowId, hop: usize },
+    /// A renegotiate message arrives at the switch feeding `route[hop]`.
+    Renegotiate { req: RequestId, hop: usize },
+    /// A renegotiation rejection travels upstream, undoing `route[hop]`.
+    RenegotiateRollback { req: RequestId, hop: usize },
+    /// The renegotiate message cleared every hop: commit.
+    RenegotiateCommit { req: RequestId },
+}
+
+/// The signaling engine: owns all in-flight control messages for one
+/// [`Network`] and drives them interleaved with the data plane.
+///
+/// The engine does not own the network — drivers call
+/// [`process_until`](Signaling::process_until) with the network they are
+/// stepping, which keeps the data plane usable exactly as before for
+/// static scenarios.
+#[derive(Default)]
+pub struct Signaling {
+    cfg: SignalConfig,
+    queue: EventQueue<ControlEvent>,
+    setups: HashMap<RequestId, PendingSetup>,
+    renegs: HashMap<RequestId, PendingReneg>,
+    events: Vec<SignalEvent>,
+    /// Chronological accept/reject record of every completed setup, kept
+    /// for blocking-probability accounting and determinism checks.
+    decision_log: Vec<(RequestId, bool)>,
+    next_id: u64,
+}
+
+impl Signaling {
+    /// An engine with explicit control-plane timing.
+    pub fn new(cfg: SignalConfig) -> Self {
+        Signaling {
+            cfg,
+            ..Signaling::default()
+        }
+    }
+
+    fn fresh_id(&mut self) -> RequestId {
+        self.next_id += 1;
+        RequestId(self.next_id)
+    }
+
+    /// One hop's control-message latency across `link`.
+    fn hop_delay(&self, net: &Network, link: LinkId) -> SimTime {
+        let params = net.topology().link(link);
+        ispn_sim::time::transmission_time(self.cfg.control_packet_bits, params.rate_bps)
+            + params.propagation
+            + self.cfg.hop_processing
+    }
+
+    /// Number of signaling transactions still in flight.
+    pub fn pending(&self) -> usize {
+        self.setups.len() + self.renegs.len()
+    }
+
+    /// The chronological accept/reject record of completed setups.
+    pub fn decision_log(&self) -> &[(RequestId, bool)] {
+        &self.decision_log
+    }
+
+    /// Begin a hop-by-hop flow setup.  The flow is registered immediately
+    /// (inactive) so its id is known; the admission outcome arrives as a
+    /// [`SignalEvent::Accepted`] / [`SignalEvent::Rejected`] from
+    /// [`process_until`](Signaling::process_until).
+    pub fn submit(&mut self, net: &mut Network, config: FlowConfig) -> (RequestId, FlowId) {
+        let req = self.fresh_id();
+        let route = config.route.clone();
+        assert!(!route.is_empty(), "a setup needs a route");
+        let flow = net.add_flow_inactive(config);
+        self.setups.insert(
+            req,
+            PendingSetup {
+                flow,
+                route,
+                cancelled: false,
+            },
+        );
+        // The source's host-to-switch link is infinitely fast (Appendix), so
+        // the setup message reaches the first switch after processing only.
+        self.queue.push(
+            net.now() + self.cfg.hop_processing,
+            ControlEvent::Setup { req, hop: 0 },
+        );
+        (req, flow)
+    }
+
+    /// Begin a teardown: the source is silenced immediately (its packets
+    /// stop entering the network) and each hop's reservation is released
+    /// when the release message reaches it.
+    pub fn teardown(&mut self, net: &mut Network, flow: FlowId) {
+        net.deactivate_flow(flow);
+        // Cancel any setup still in flight for this flow: it stops
+        // installing further hops and its confirmation will not activate.
+        // (Such a setup never reaches the decision log — the caller
+        // withdrew it before the network finished answering.)
+        for setup in self.setups.values_mut() {
+            if setup.flow == flow {
+                setup.cancelled = true;
+            }
+        }
+        // Cancel in-flight renegotiations, returning any rate increases
+        // they had already reserved (the teardown wave releases the *old*
+        // per-hop reservation, so the deltas would otherwise leak).
+        let cancelled: Vec<RequestId> = self
+            .renegs
+            .iter()
+            .filter(|(_, r)| r.flow == flow)
+            .map(|(&req, _)| req)
+            .collect();
+        for req in cancelled {
+            let r = self.renegs.remove(&req).expect("collected above");
+            if let RenegKind::Guaranteed { old_rate, new_rate } = r.kind {
+                let delta = new_rate - old_rate;
+                if delta > 0.0 {
+                    for &link in &r.route[..r.applied_hops] {
+                        if let Some(ctl) = net.admission_mut(link) {
+                            ctl.release_guaranteed(delta);
+                        }
+                    }
+                }
+            }
+        }
+        self.queue.push(
+            net.now() + self.cfg.hop_processing,
+            ControlEvent::Teardown { flow, hop: 0 },
+        );
+    }
+
+    /// Begin renegotiating a predicted flow's declared `(r, b)` token
+    /// bucket (the adaptive-application path of Section 2): every hop
+    /// re-runs the Section-9 criterion against the new declaration, and on
+    /// success the flow's spec and edge policer switch over.
+    ///
+    /// # Panics
+    /// Panics if the flow is not predicted-service.
+    pub fn renegotiate_bucket(
+        &mut self,
+        net: &mut Network,
+        flow: FlowId,
+        new_bucket: TokenBucketSpec,
+    ) -> RequestId {
+        let config = net.flow_config(flow);
+        assert!(
+            matches!(config.spec, FlowSpec::Predicted { .. }),
+            "renegotiate_bucket needs a predicted flow"
+        );
+        let req = self.fresh_id();
+        let pending = PendingReneg {
+            flow,
+            route: config.route.clone(),
+            priority: config.class.priority().unwrap_or(0),
+            kind: RenegKind::Predicted { new_bucket },
+            applied_hops: 0,
+        };
+        self.renegs.insert(req, pending);
+        self.queue.push(
+            net.now() + self.cfg.hop_processing,
+            ControlEvent::Renegotiate { req, hop: 0 },
+        );
+        req
+    }
+
+    /// Begin renegotiating a guaranteed flow's clock rate.  Rate increases
+    /// are reserved hop by hop (and rolled back upstream if any hop
+    /// refuses); decreases are applied only once every hop has agreed, so
+    /// the old reservation survives a failed request.
+    ///
+    /// # Panics
+    /// Panics if the flow is not guaranteed-service or `new_rate_bps` is
+    /// not positive.
+    pub fn renegotiate_clock_rate(
+        &mut self,
+        net: &mut Network,
+        flow: FlowId,
+        new_rate_bps: f64,
+    ) -> RequestId {
+        assert!(new_rate_bps > 0.0);
+        let config = net.flow_config(flow);
+        let FlowSpec::Guaranteed { clock_rate_bps } = config.spec else {
+            panic!("renegotiate_clock_rate needs a guaranteed flow");
+        };
+        let req = self.fresh_id();
+        let pending = PendingReneg {
+            flow,
+            route: config.route.clone(),
+            priority: 0,
+            kind: RenegKind::Guaranteed {
+                old_rate: clock_rate_bps,
+                new_rate: new_rate_bps,
+            },
+            applied_hops: 0,
+        };
+        self.renegs.insert(req, pending);
+        self.queue.push(
+            net.now() + self.cfg.hop_processing,
+            ControlEvent::Renegotiate { req, hop: 0 },
+        );
+        req
+    }
+
+    /// Run the network and the control plane, interleaved in timestamp
+    /// order, until `horizon`; returns the signaling transactions that
+    /// completed in that window, in completion order.
+    pub fn process_until(&mut self, net: &mut Network, horizon: SimTime) -> Vec<SignalEvent> {
+        while let Some(t) = self.queue.peek_time() {
+            if t >= horizon {
+                break;
+            }
+            // Bring the data plane (and with it every admission
+            // controller's measurements) up to the control message's time.
+            net.run_until(t);
+            let (at, ev) = self.queue.pop().expect("peeked event exists");
+            self.handle(net, at, ev);
+        }
+        net.run_until(horizon);
+        std::mem::take(&mut self.events)
+    }
+
+    fn handle(&mut self, net: &mut Network, at: SimTime, ev: ControlEvent) {
+        match ev {
+            ControlEvent::Setup { req, hop } => {
+                let (flow, link, last_hop) = {
+                    let s = &self.setups[&req];
+                    if s.cancelled {
+                        // Withdrawn mid-setup: stop here; the teardown wave
+                        // (always behind this message) releases the hops
+                        // already installed.
+                        self.setups.remove(&req);
+                        return;
+                    }
+                    (s.flow, s.route[hop], hop + 1 == s.route.len())
+                };
+                match net.admit_flow_on_link(flow, link) {
+                    AdmissionDecision::Accept => {
+                        let next_at = at + self.hop_delay(net, link);
+                        let next = if last_hop {
+                            ControlEvent::Confirm { req }
+                        } else {
+                            ControlEvent::Setup { req, hop: hop + 1 }
+                        };
+                        self.queue.push(next_at, next);
+                    }
+                    AdmissionDecision::Reject { reason } => {
+                        self.decision_log.push((req, false));
+                        self.events.push(SignalEvent::Rejected {
+                            request: req,
+                            flow,
+                            hop,
+                            link,
+                            reason,
+                            at,
+                        });
+                        if hop > 0 {
+                            // The rejection travels back over the upstream
+                            // link, releasing reservations as it goes.
+                            let back = self.setups[&req].route[hop - 1];
+                            self.queue.push(
+                                at + self.hop_delay(net, back),
+                                ControlEvent::Rollback { req, hop: hop - 1 },
+                            );
+                        } else {
+                            self.setups.remove(&req);
+                        }
+                    }
+                }
+            }
+            ControlEvent::Rollback { req, hop } => {
+                let (flow, link) = {
+                    let s = &self.setups[&req];
+                    (s.flow, s.route[hop])
+                };
+                net.release_flow_on_link(flow, link);
+                if hop > 0 {
+                    let back = self.setups[&req].route[hop - 1];
+                    self.queue.push(
+                        at + self.hop_delay(net, back),
+                        ControlEvent::Rollback { req, hop: hop - 1 },
+                    );
+                } else {
+                    self.setups.remove(&req);
+                }
+            }
+            ControlEvent::Confirm { req } => {
+                let s = self
+                    .setups
+                    .remove(&req)
+                    .expect("pending setup confirms once");
+                net.activate_flow(s.flow);
+                self.decision_log.push((req, true));
+                self.events.push(SignalEvent::Accepted {
+                    request: req,
+                    flow: s.flow,
+                    at,
+                });
+            }
+            ControlEvent::Teardown { flow, hop } => {
+                let route = net.flow_config(flow).route.clone();
+                let link = route[hop];
+                net.release_flow_on_link(flow, link);
+                if hop + 1 < route.len() {
+                    self.queue.push(
+                        at + self.hop_delay(net, link),
+                        ControlEvent::Teardown { flow, hop: hop + 1 },
+                    );
+                } else {
+                    self.events.push(SignalEvent::TornDown { flow, at });
+                }
+            }
+            ControlEvent::Renegotiate { req, hop } => self.reneg_at(net, at, req, hop),
+            ControlEvent::RenegotiateRollback { req, hop } => {
+                let Some(r) = self.renegs.get(&req) else {
+                    return; // cancelled by a teardown
+                };
+                let link = r.route[hop];
+                let flow = r.flow;
+                if let RenegKind::Guaranteed { old_rate, new_rate } = r.kind {
+                    let delta = new_rate - old_rate;
+                    if delta > 0.0 {
+                        if let Some(ctl) = net.admission_mut(link) {
+                            ctl.release_guaranteed(delta);
+                        }
+                        net.install_guaranteed_rate(link, flow, old_rate);
+                    }
+                }
+                // Hops ≥ `hop` are now rolled back; keep the applied count
+                // in step so a teardown that cancels the rest of this
+                // rollback does not release the same hops again.
+                self.renegs
+                    .get_mut(&req)
+                    .expect("pending reneg exists while its rollback is in flight")
+                    .applied_hops = hop;
+                if hop > 0 {
+                    let back = self.renegs[&req].route[hop - 1];
+                    self.queue.push(
+                        at + self.hop_delay(net, back),
+                        ControlEvent::RenegotiateRollback { req, hop: hop - 1 },
+                    );
+                } else {
+                    self.renegs.remove(&req);
+                }
+            }
+            ControlEvent::RenegotiateCommit { req } => {
+                let r = self
+                    .renegs
+                    .remove(&req)
+                    .expect("pending reneg confirms once");
+                match r.kind {
+                    RenegKind::Predicted { new_bucket } => {
+                        net.update_flow_bucket(r.flow, new_bucket);
+                    }
+                    RenegKind::Guaranteed { old_rate, new_rate } => {
+                        // Commit deferred decreases (increases were already
+                        // installed on the way out).
+                        if new_rate < old_rate {
+                            for &link in &r.route {
+                                if let Some(ctl) = net.admission_mut(link) {
+                                    ctl.release_guaranteed(old_rate - new_rate);
+                                }
+                                net.install_guaranteed_rate(link, r.flow, new_rate);
+                            }
+                        }
+                        net.update_flow_clock_rate(r.flow, new_rate);
+                    }
+                }
+                self.events.push(SignalEvent::Renegotiated {
+                    request: req,
+                    flow: r.flow,
+                    at,
+                });
+            }
+        }
+    }
+
+    fn reneg_at(&mut self, net: &mut Network, at: SimTime, req: RequestId, hop: usize) {
+        let (flow, link, last_hop, priority, kind) = {
+            let Some(r) = self.renegs.get(&req) else {
+                return; // cancelled by a teardown
+            };
+            (
+                r.flow,
+                r.route[hop],
+                hop + 1 == r.route.len(),
+                r.priority,
+                r.kind.clone(),
+            )
+        };
+        let decision = match kind {
+            RenegKind::Predicted { new_bucket } => match net.admission_mut(link) {
+                // The new declaration faces the same criterion a fresh
+                // request would; predicted service holds no controller-side
+                // reservation, so nothing needs installing here.
+                Some(ctl) => ctl.request_predicted(at, new_bucket, priority),
+                None => AdmissionDecision::Accept,
+            },
+            RenegKind::Guaranteed { old_rate, new_rate } => {
+                let delta = new_rate - old_rate;
+                if delta > 0.0 {
+                    let d = match net.admission_mut(link) {
+                        Some(ctl) => ctl.request_guaranteed(delta),
+                        None => AdmissionDecision::Accept,
+                    };
+                    if d.is_accept() {
+                        net.install_guaranteed_rate(link, flow, new_rate);
+                        self.renegs
+                            .get_mut(&req)
+                            .expect("pending reneg exists while its message is in flight")
+                            .applied_hops = hop + 1;
+                    }
+                    d
+                } else {
+                    // Shrinking always fits; committed at confirmation.
+                    AdmissionDecision::Accept
+                }
+            }
+        };
+        match decision {
+            AdmissionDecision::Accept => {
+                let next_at = at + self.hop_delay(net, link);
+                let next = if last_hop {
+                    ControlEvent::RenegotiateCommit { req }
+                } else {
+                    ControlEvent::Renegotiate { req, hop: hop + 1 }
+                };
+                self.queue.push(next_at, next);
+            }
+            AdmissionDecision::Reject { reason } => {
+                self.events.push(SignalEvent::RenegotiationRejected {
+                    request: req,
+                    flow,
+                    hop,
+                    reason,
+                    at,
+                });
+                if hop > 0 {
+                    let back = self.renegs[&req].route[hop - 1];
+                    self.queue.push(
+                        at + self.hop_delay(net, back),
+                        ControlEvent::RenegotiateRollback { req, hop: hop - 1 },
+                    );
+                } else {
+                    self.renegs.remove(&req);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispn_core::admission::{AdmissionConfig, AdmissionController};
+    use ispn_net::Topology;
+    use ispn_sched::{Averaging, Unified};
+
+    const MBIT: f64 = 1_000_000.0;
+
+    fn controller() -> AdmissionController {
+        AdmissionController::new(
+            AdmissionConfig::new(MBIT, 0.9, vec![SimTime::from_millis(100)]),
+            10.0,
+        )
+    }
+
+    /// Three switches, two 1 Mbit/s links with 1 ms propagation, Unified
+    /// scheduling and admission control on both links.
+    fn net() -> (Network, Vec<LinkId>) {
+        let (topo, _nodes, links) = Topology::chain(3, MBIT, SimTime::MILLISECOND, 200);
+        let mut net = Network::new(topo);
+        for &l in &links {
+            net.set_discipline(l, Box::new(Unified::new(MBIT, 1, Averaging::RunningMean)));
+            net.enable_admission(l, controller(), SimTime::SECOND);
+        }
+        (net, links)
+    }
+
+    #[test]
+    fn setup_confirms_with_per_hop_latency() {
+        let (mut net, links) = net();
+        let mut sig = Signaling::default();
+        let (req, flow) = sig.submit(&mut net, FlowConfig::guaranteed(links.clone(), 300_000.0));
+        assert!(!net.flow_active(flow));
+        let events = sig.process_until(&mut net, SimTime::from_secs(1));
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            SignalEvent::Accepted {
+                request,
+                flow: f,
+                at,
+            } => {
+                assert_eq!(*request, req);
+                assert_eq!(*f, flow);
+                // Two hops to install plus the final link to the
+                // destination: the confirmation lands after the setup
+                // message crossed both links (1 ms tx + 1 ms propagation
+                // each), i.e. at 4 ms.
+                assert_eq!(*at, SimTime::from_millis(4));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(net.flow_active(flow));
+        assert_eq!(sig.pending(), 0);
+        assert_eq!(sig.decision_log(), &[(req, true)]);
+        for &l in &links {
+            assert!((net.admission(l).unwrap().reserved_guaranteed_bps() - 300_000.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rejection_rolls_back_upstream_reservations() {
+        let (mut net, links) = net();
+        // Fill the second link almost to quota so a wide setup fails there.
+        let hog = net
+            .request_flow(FlowConfig::guaranteed(vec![links[1]], 800_000.0))
+            .unwrap();
+        let mut sig = Signaling::default();
+        let (req, flow) = sig.submit(&mut net, FlowConfig::guaranteed(links.clone(), 200_000.0));
+        let events = sig.process_until(&mut net, SimTime::from_secs(1));
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            SignalEvent::Rejected {
+                request, hop, link, ..
+            } => {
+                assert_eq!(*request, req);
+                assert_eq!(*hop, 1);
+                assert_eq!(*link, links[1]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // After the rejection has travelled back, the first link holds no
+        // residue from the failed setup.
+        assert_eq!(sig.pending(), 0);
+        assert_eq!(
+            net.admission(links[0]).unwrap().reserved_guaranteed_bps(),
+            0.0
+        );
+        assert!(
+            (net.admission(links[1]).unwrap().reserved_guaranteed_bps() - 800_000.0).abs() < 1e-6
+        );
+        assert!(!net.flow_active(flow));
+        assert!(net.installed_links(flow).is_empty());
+        let _ = hog;
+    }
+
+    #[test]
+    fn rollback_takes_time_to_travel_upstream() {
+        let (mut net, links) = net();
+        net.request_flow(FlowConfig::guaranteed(vec![links[1]], 800_000.0))
+            .unwrap();
+        let mut sig = Signaling::default();
+        let (_req, flow) = sig.submit(&mut net, FlowConfig::guaranteed(links.clone(), 200_000.0));
+        // The rejection happens at hop 1 (t = 2 ms) but the upstream release
+        // only lands at t = 4 ms; just after the rejection the first link
+        // still holds the partial reservation.
+        sig.process_until(&mut net, SimTime::from_micros(2500));
+        assert!(
+            (net.admission(links[0]).unwrap().reserved_guaranteed_bps() - 200_000.0).abs() < 1e-6
+        );
+        sig.process_until(&mut net, SimTime::from_secs(1));
+        assert_eq!(
+            net.admission(links[0]).unwrap().reserved_guaranteed_bps(),
+            0.0
+        );
+        assert!(!net.flow_active(flow));
+    }
+
+    #[test]
+    fn teardown_releases_every_hop() {
+        let (mut net, links) = net();
+        let mut sig = Signaling::default();
+        let (_req, flow) = sig.submit(&mut net, FlowConfig::guaranteed(links.clone(), 400_000.0));
+        sig.process_until(&mut net, SimTime::from_secs(1));
+        assert!(net.flow_active(flow));
+        sig.teardown(&mut net, flow);
+        assert!(!net.flow_active(flow), "source silenced immediately");
+        let events = sig.process_until(&mut net, SimTime::from_secs(2));
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], SignalEvent::TornDown { flow: f, .. } if f == flow));
+        for &l in &links {
+            assert_eq!(net.admission(l).unwrap().reserved_guaranteed_bps(), 0.0);
+        }
+        assert!(net.installed_links(flow).is_empty());
+    }
+
+    #[test]
+    fn predicted_renegotiation_swaps_the_bucket() {
+        let (mut net, links) = net();
+        let mut sig = Signaling::default();
+        let bucket = TokenBucketSpec::per_packets(85.0, 50.0, 1000);
+        let (_r, flow) = sig.submit(
+            &mut net,
+            FlowConfig::predicted(
+                links.clone(),
+                0,
+                bucket,
+                SimTime::from_millis(100),
+                0.001,
+                ispn_net::PoliceAction::Drop,
+            ),
+        );
+        sig.process_until(&mut net, SimTime::from_secs(1));
+        assert!(net.flow_active(flow));
+
+        let bigger = TokenBucketSpec::per_packets(120.0, 60.0, 1000);
+        let req = sig.renegotiate_bucket(&mut net, flow, bigger);
+        let events = sig.process_until(&mut net, SimTime::from_secs(2));
+        assert_eq!(events.len(), 1);
+        assert!(matches!(&events[0], SignalEvent::Renegotiated { request, .. } if *request == req));
+        assert_eq!(net.flow_config(flow).spec.bucket(), Some(bigger));
+        assert_eq!(net.flow_config(flow).edge_policer.unwrap().0, bigger);
+    }
+
+    #[test]
+    fn predicted_renegotiation_refused_keeps_old_bucket() {
+        let (mut net, links) = net();
+        let mut sig = Signaling::default();
+        let bucket = TokenBucketSpec::per_packets(85.0, 50.0, 1000);
+        let (_r, flow) = sig.submit(
+            &mut net,
+            FlowConfig::predicted(
+                links.clone(),
+                0,
+                bucket,
+                SimTime::from_millis(100),
+                0.001,
+                ispn_net::PoliceAction::Drop,
+            ),
+        );
+        sig.process_until(&mut net, SimTime::from_secs(1));
+
+        // An absurd request: more than the real-time quota.
+        let absurd = TokenBucketSpec::new(950_000.0, 50_000.0);
+        let req = sig.renegotiate_bucket(&mut net, flow, absurd);
+        let events = sig.process_until(&mut net, SimTime::from_secs(2));
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            &events[0],
+            SignalEvent::RenegotiationRejected { request, hop: 0, .. } if *request == req
+        ));
+        assert_eq!(net.flow_config(flow).spec.bucket(), Some(bucket));
+        assert!(net.flow_active(flow), "the flow keeps its old service");
+    }
+
+    #[test]
+    fn guaranteed_renegotiation_up_and_down() {
+        let (mut net, links) = net();
+        let mut sig = Signaling::default();
+        let (_r, flow) = sig.submit(&mut net, FlowConfig::guaranteed(links.clone(), 200_000.0));
+        sig.process_until(&mut net, SimTime::from_secs(1));
+
+        // Up: 200k -> 500k.
+        sig.renegotiate_clock_rate(&mut net, flow, 500_000.0);
+        let events = sig.process_until(&mut net, SimTime::from_secs(2));
+        assert!(matches!(events[0], SignalEvent::Renegotiated { .. }));
+        assert_eq!(net.flow_config(flow).spec.clock_rate_bps(), Some(500_000.0));
+        for &l in &links {
+            assert!((net.admission(l).unwrap().reserved_guaranteed_bps() - 500_000.0).abs() < 1e-6);
+        }
+
+        // Down: 500k -> 100k.
+        sig.renegotiate_clock_rate(&mut net, flow, 100_000.0);
+        let events = sig.process_until(&mut net, SimTime::from_secs(3));
+        assert!(matches!(events[0], SignalEvent::Renegotiated { .. }));
+        for &l in &links {
+            assert!((net.admission(l).unwrap().reserved_guaranteed_bps() - 100_000.0).abs() < 1e-6);
+        }
+
+        // Teardown after renegotiation releases the *new* rate exactly.
+        sig.teardown(&mut net, flow);
+        sig.process_until(&mut net, SimTime::from_secs(4));
+        for &l in &links {
+            assert_eq!(net.admission(l).unwrap().reserved_guaranteed_bps(), 0.0);
+        }
+    }
+
+    #[test]
+    fn failed_guaranteed_increase_restores_old_rate() {
+        let (mut net, links) = net();
+        // Leave only a sliver of quota on link 1.
+        net.request_flow(FlowConfig::guaranteed(vec![links[1]], 600_000.0))
+            .unwrap();
+        let mut sig = Signaling::default();
+        let (_r, flow) = sig.submit(&mut net, FlowConfig::guaranteed(links.clone(), 200_000.0));
+        sig.process_until(&mut net, SimTime::from_secs(1));
+
+        // 200k -> 400k: fits on link 0, not on link 1 (600k + 400k > 900k).
+        let req = sig.renegotiate_clock_rate(&mut net, flow, 400_000.0);
+        let events = sig.process_until(&mut net, SimTime::from_secs(2));
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            &events[0],
+            SignalEvent::RenegotiationRejected { request, hop: 1, .. } if *request == req
+        ));
+        // Old reservation intact everywhere.
+        assert_eq!(net.flow_config(flow).spec.clock_rate_bps(), Some(200_000.0));
+        assert!(
+            (net.admission(links[0]).unwrap().reserved_guaranteed_bps() - 200_000.0).abs() < 1e-6
+        );
+        assert!(
+            (net.admission(links[1]).unwrap().reserved_guaranteed_bps() - 800_000.0).abs() < 1e-6
+        );
+        assert!(net.flow_active(flow));
+    }
+
+    #[test]
+    fn teardown_during_inflight_setup_cancels_it_cleanly() {
+        let (mut net, links) = net();
+        let mut sig = Signaling::default();
+        let (_req, flow) = sig.submit(&mut net, FlowConfig::guaranteed(links.clone(), 300_000.0));
+        // Let the setup install hop 0 (t = 0) but tear down before the
+        // confirmation (t = 4 ms) can activate the flow.
+        sig.process_until(&mut net, SimTime::MILLISECOND);
+        sig.teardown(&mut net, flow);
+        sig.process_until(&mut net, SimTime::from_secs(1));
+        assert!(!net.flow_active(flow), "cancelled setup must not activate");
+        assert!(net.installed_links(flow).is_empty());
+        for &l in &links {
+            assert_eq!(net.admission(l).unwrap().reserved_guaranteed_bps(), 0.0);
+        }
+        assert_eq!(sig.pending(), 0);
+        // The withdrawn setup never completed, so it is not in the log.
+        assert!(sig.decision_log().is_empty());
+    }
+
+    #[test]
+    fn teardown_during_inflight_renegotiation_leaks_nothing() {
+        let (mut net, links) = net();
+        let mut sig = Signaling::default();
+        let (_r, flow) = sig.submit(&mut net, FlowConfig::guaranteed(links.clone(), 200_000.0));
+        sig.process_until(&mut net, SimTime::from_secs(1));
+        // Start growing 200k -> 500k, then tear down while the increase has
+        // been applied on hop 0 but the message is still in flight.
+        sig.renegotiate_clock_rate(&mut net, flow, 500_000.0);
+        sig.process_until(&mut net, SimTime::from_secs(1) + SimTime::MILLISECOND);
+        sig.teardown(&mut net, flow);
+        sig.process_until(&mut net, SimTime::from_secs(2));
+        assert_eq!(sig.pending(), 0);
+        for &l in &links {
+            assert_eq!(
+                net.admission(l).unwrap().reserved_guaranteed_bps(),
+                0.0,
+                "neither the old rate nor the applied delta may survive"
+            );
+        }
+    }
+
+    #[test]
+    fn scheduler_refusal_vetoes_admission_without_a_controller() {
+        // No admission controller at all: the quota says yes to anything,
+        // but the unified scheduler cannot reserve the whole link, and that
+        // refusal must surface as a rejection, not a silent no-op.
+        let (topo, _nodes, links) = Topology::chain(2, MBIT, SimTime::ZERO, 200);
+        let mut net = Network::new(topo);
+        net.set_discipline(
+            links[0],
+            Box::new(Unified::new(MBIT, 1, Averaging::RunningMean)),
+        );
+        let err = net
+            .request_flow(FlowConfig::guaranteed(vec![links[0]], MBIT))
+            .expect_err("the scheduler cannot hold a full-link reservation");
+        assert!(err.reason.contains("scheduler refused"), "{err:?}");
+        assert!(!net.flow_active(err.flow));
+        // A sane rate still goes through.
+        assert!(net
+            .request_flow(FlowConfig::guaranteed(vec![links[0]], 500_000.0))
+            .is_ok());
+    }
+
+    #[test]
+    fn interleaved_setups_are_serialized_by_event_time() {
+        let (mut net, links) = net();
+        let mut sig = Signaling::default();
+        // Two setups racing for the same quota: both fit individually, but
+        // not together.  The one submitted first wins deterministically.
+        let (ra, fa) = sig.submit(&mut net, FlowConfig::guaranteed(vec![links[0]], 500_000.0));
+        let (rb, fb) = sig.submit(&mut net, FlowConfig::guaranteed(vec![links[0]], 500_000.0));
+        let events = sig.process_until(&mut net, SimTime::from_secs(1));
+        assert_eq!(events.len(), 2);
+        assert_eq!(sig.decision_log().len(), 2);
+        let accepted: Vec<_> = sig.decision_log().iter().filter(|(_, a)| *a).collect();
+        assert_eq!(accepted, vec![&(ra, true)]);
+        assert!(net.flow_active(fa));
+        assert!(!net.flow_active(fb));
+        let _ = rb;
+    }
+}

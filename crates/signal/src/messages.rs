@@ -1,0 +1,103 @@
+//! The vocabulary of the signaling protocol: request identities and the
+//! events the engine reports back to its driver.
+
+use ispn_core::FlowId;
+use ispn_net::LinkId;
+use ispn_sim::SimTime;
+
+/// Identity of one signaling transaction (a setup or a renegotiation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// A completed signaling transaction, reported by
+/// [`Signaling::process_until`](crate::Signaling::process_until) in event
+/// order (and therefore deterministically for a given seed).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SignalEvent {
+    /// Every hop admitted the setup; the flow is now active.
+    Accepted {
+        /// The setup transaction.
+        request: RequestId,
+        /// The admitted flow.
+        flow: FlowId,
+        /// When the confirmation reached the destination.
+        at: SimTime,
+    },
+    /// A hop refused the setup; all upstream reservations were (or are
+    /// being) rolled back and the flow stays inactive.
+    Rejected {
+        /// The setup transaction.
+        request: RequestId,
+        /// The flow id that had been allocated to the request.
+        flow: FlowId,
+        /// Index of the refusing hop along the route.
+        hop: usize,
+        /// The link whose controller refused.
+        link: LinkId,
+        /// The failed admission criterion.
+        reason: String,
+        /// When the refusing hop made its decision.
+        at: SimTime,
+    },
+    /// A teardown finished: the release message has visited every hop.
+    TornDown {
+        /// The flow whose reservations are gone.
+        flow: FlowId,
+        /// When the last hop released its state.
+        at: SimTime,
+    },
+    /// A renegotiation succeeded on every hop; the flow's spec (and edge
+    /// policer, for predicted flows) now reflects the new parameters.
+    Renegotiated {
+        /// The renegotiation transaction.
+        request: RequestId,
+        /// The renegotiated flow.
+        flow: FlowId,
+        /// When the change committed.
+        at: SimTime,
+    },
+    /// A hop refused the renegotiation; the previous parameters remain in
+    /// force on every hop.
+    RenegotiationRejected {
+        /// The renegotiation transaction.
+        request: RequestId,
+        /// The flow that keeps its old service.
+        flow: FlowId,
+        /// Index of the refusing hop along the route.
+        hop: usize,
+        /// The failed admission criterion.
+        reason: String,
+        /// When the refusing hop made its decision.
+        at: SimTime,
+    },
+}
+
+impl SignalEvent {
+    /// The flow the event concerns.
+    pub fn flow(&self) -> FlowId {
+        match self {
+            SignalEvent::Accepted { flow, .. }
+            | SignalEvent::Rejected { flow, .. }
+            | SignalEvent::TornDown { flow, .. }
+            | SignalEvent::Renegotiated { flow, .. }
+            | SignalEvent::RenegotiationRejected { flow, .. } => *flow,
+        }
+    }
+
+    /// When the event happened.
+    pub fn at(&self) -> SimTime {
+        match self {
+            SignalEvent::Accepted { at, .. }
+            | SignalEvent::Rejected { at, .. }
+            | SignalEvent::TornDown { at, .. }
+            | SignalEvent::Renegotiated { at, .. }
+            | SignalEvent::RenegotiationRejected { at, .. } => *at,
+        }
+    }
+}

@@ -94,10 +94,7 @@ impl Histogram {
         for (i, &c) in self.bins.iter().enumerate() {
             let (lo, hi) = self.bin_bounds(i);
             let w = (c as f64 / peak as f64 * max_width as f64).round() as usize;
-            out.push_str(&format!(
-                "[{lo:8.2},{hi:8.2}) {c:8} {}\n",
-                "#".repeat(w)
-            ));
+            out.push_str(&format!("[{lo:8.2},{hi:8.2}) {c:8} {}\n", "#".repeat(w)));
         }
         out
     }

@@ -59,7 +59,11 @@ impl SampleSet {
 
     /// Largest sample, or 0.0 if empty.
     pub fn max(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(0.0)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(0.0)
     }
 
     fn ensure_sorted(&mut self) {

@@ -87,7 +87,11 @@ impl TextTable {
         };
         if !self.header.is_empty() {
             render_row(&self.header, &widths, &mut out);
-            let total: usize = widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2);
+            let total: usize = widths
+                .iter()
+                .map(|w| w + 2)
+                .sum::<usize>()
+                .saturating_sub(2);
             let _ = writeln!(out, "{}", "-".repeat(total));
         }
         for row in &self.rows {
@@ -147,7 +151,7 @@ mod tests {
 
     #[test]
     fn fmt2_rounds() {
-        assert_eq!(fmt2(3.14159), "3.14");
+        assert_eq!(fmt2(1.23456), "1.23");
         assert_eq!(fmt2(2.0), "2.00");
     }
 

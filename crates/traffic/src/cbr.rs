@@ -95,8 +95,7 @@ mod tests {
         let (topo, _nodes, links) = Topology::chain(2, 1_000_000.0, SimTime::ZERO, 200);
         let mut net = Network::new(topo);
         let flow = net.add_flow(FlowConfig::datagram(vec![links[0]]));
-        let src =
-            CbrSource::new(flow, 10.0, 1000).with_start_offset(SimTime::from_millis(950));
+        let src = CbrSource::new(flow, 10.0, 1000).with_start_offset(SimTime::from_millis(950));
         let stats = src.stats();
         net.add_agent(Box::new(src));
         net.run_until(SimTime::from_secs(1));

@@ -54,7 +54,11 @@ impl OnOffConfig {
             peak_rate_pps: 2.0 * avg_rate_pps,
             mean_burst_pkts: 5.0,
             packet_bits,
-            policer: Some(TokenBucketSpec::per_packets(avg_rate_pps, 50.0, packet_bits)),
+            policer: Some(TokenBucketSpec::per_packets(
+                avg_rate_pps,
+                50.0,
+                packet_bits,
+            )),
             start_offset,
             seed,
         }
@@ -127,7 +131,12 @@ impl OnOffSource {
             st.submitted += 1;
             st.bits_submitted += self.config.packet_bits;
             drop(st);
-            api.send(Packet::data(self.flow, self.seq, self.config.packet_bits, now));
+            api.send(Packet::data(
+                self.flow,
+                self.seq,
+                self.config.packet_bits,
+                now,
+            ));
         } else {
             st.policer_drops += 1;
         }
@@ -209,10 +218,16 @@ mod tests {
             (gen_rate - 85.0).abs() / 85.0 < 0.05,
             "generated rate {gen_rate}"
         );
-        assert!(sub_rate > 0.90 * 85.0 && sub_rate < 85.0, "submitted rate {sub_rate}");
+        assert!(
+            sub_rate > 0.90 * 85.0 && sub_rate < 85.0,
+            "submitted rate {sub_rate}"
+        );
         // Policer drop rate in the low single-digit percent.
         assert!(st.drop_rate() < 0.08, "drop rate {}", st.drop_rate());
-        assert!(st.drop_rate() > 0.0, "the (A,50) policer should drop something");
+        assert!(
+            st.drop_rate() > 0.0,
+            "the (A,50) policer should drop something"
+        );
         assert_eq!(delivered, st.submitted);
     }
 

@@ -18,4 +18,6 @@
 
 pub mod tcp;
 
-pub use tcp::{install_tcp, SharedTcpStats, TcpConfig, TcpHandles, TcpReceiver, TcpSender, TcpStats};
+pub use tcp::{
+    install_tcp, SharedTcpStats, TcpConfig, TcpHandles, TcpReceiver, TcpSender, TcpStats,
+};

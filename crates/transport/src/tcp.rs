@@ -5,8 +5,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use ispn_core::{FlowId, Packet, PacketKind};
-use ispn_net::{Agent, AgentApi, AgentId, Delivery, FlowConfig, Network};
 use ispn_net::topology::LinkId;
+use ispn_net::{Agent, AgentApi, AgentId, Delivery, FlowConfig, Network};
 use ispn_sim::SimTime;
 
 /// Static transport parameters.
@@ -211,11 +211,7 @@ impl TcpSender {
         let newly_acked = ack - self.snd_una;
         // RTT sample from the highest newly acked, never-retransmitted
         // segment (Karn's rule is enforced by removal on retransmission).
-        let sampled: Vec<u64> = self
-            .send_times
-            .range(..ack)
-            .map(|(&s, _)| s)
-            .collect();
+        let sampled: Vec<u64> = self.send_times.range(..ack).map(|(&s, _)| s).collect();
         if let Some(&last) = sampled.last() {
             let sent = self.send_times[&last];
             let sample = api.now().saturating_sub(sent).as_secs_f64();
@@ -363,7 +359,13 @@ impl Agent for TcpReceiver {
         } else if seq > self.rcv_next {
             self.out_of_order.insert(seq);
         }
-        let ack = Packet::ack(self.ack_flow, self.ack_seq, self.rcv_next, self.ack_bits, api.now());
+        let ack = Packet::ack(
+            self.ack_flow,
+            self.ack_seq,
+            self.rcv_next,
+            self.ack_bits,
+            api.now(),
+        );
         self.ack_seq += 1;
         self.stats.borrow_mut().acks_sent += 1;
         api.send(ack);
@@ -456,7 +458,10 @@ mod tests {
         let tcp = install_tcp(&mut net, vec![fwd], vec![rev], TcpConfig::default());
         net.run_until(SimTime::from_secs(20));
         let stats = tcp.stats.borrow();
-        assert!(stats.retransmissions > 0, "expected losses with a 5-packet buffer");
+        assert!(
+            stats.retransmissions > 0,
+            "expected losses with a 5-packet buffer"
+        );
         assert!(
             stats.acked > 10_000,
             "connection should keep making progress, acked {}",

@@ -66,18 +66,27 @@ fn main() {
             edge_policer: None,
             sink: None,
         });
-        net.add_agent(Box::new(OnOffSource::new(f, OnOffConfig::paper(85.0, 100 + i))));
+        net.add_agent(Box::new(OnOffSource::new(
+            f,
+            OnOffConfig::paper(85.0, 100 + i),
+        )));
     }
 
     net.run_until(SimTime::from_secs(300));
 
-    println!("advertised a-priori bound: {:.1} ms\n", advertised.as_millis_f64());
+    println!(
+        "advertised a-priori bound: {:.1} ms\n",
+        advertised.as_millis_f64()
+    );
     report("rigid receiver   ", &rigid_handle.borrow());
     report("adaptive receiver", &adaptive_handle.borrow());
     let saving = 1.0
         - adaptive_handle.borrow().stats().playback_point().mean()
             / rigid_handle.borrow().stats().playback_point().mean();
-    println!("\nadaptation cut the effective latency by {:.0}%", saving * 100.0);
+    println!(
+        "\nadaptation cut the effective latency by {:.0}%",
+        saving * 100.0
+    );
 }
 
 fn report(name: &str, app: &PlaybackKind) {

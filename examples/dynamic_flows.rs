@@ -1,0 +1,130 @@
+//! Dynamic flows: set up, renegotiate and tear down reservations while the
+//! network runs — the Sections 8–9 service interface end to end.
+//!
+//! A three-switch chain runs the unified scheduler with measurement-based
+//! admission control on both links.  Flows then arrive *during* the run:
+//! each setup message walks its route hop by hop through `ispn-signal`,
+//! every switch consults its live measurements, and the last request is
+//! refused — demonstrating the rollback of partial reservations.
+//!
+//! Run with: `cargo run -p ispn-examples --example dynamic_flows`
+
+use ispn_core::admission::{AdmissionConfig, AdmissionController};
+use ispn_core::TokenBucketSpec;
+use ispn_net::{FlowConfig, Network, PoliceAction, Topology};
+use ispn_sched::{Averaging, Unified};
+use ispn_signal::{LeasedSource, SignalEvent, Signaling};
+use ispn_sim::SimTime;
+use ispn_traffic::{OnOffConfig, OnOffSource};
+
+const MBIT: f64 = 1_000_000.0;
+
+fn main() {
+    // A chain of three switches: two 1 Mbit/s links, unified scheduling,
+    // Section-9 admission control fed live by the network's monitor.
+    let (topo, _nodes, links) = Topology::chain(3, MBIT, SimTime::ZERO, 200);
+    let mut net = Network::new(topo);
+    for &l in &links {
+        net.set_discipline(l, Box::new(Unified::new(MBIT, 2, Averaging::RunningMean)));
+        net.enable_admission(
+            l,
+            AdmissionController::new(
+                AdmissionConfig::new(
+                    MBIT,
+                    0.9,
+                    vec![SimTime::from_millis(30), SimTime::from_millis(300)],
+                ),
+                10.0,
+            ),
+            SimTime::SECOND,
+        );
+    }
+    let mut sig = Signaling::default();
+
+    // t = 0 s: a guaranteed "video" flow asks for 500 kbit/s end to end.
+    let (_r1, video) = sig.submit(&mut net, FlowConfig::guaranteed(links.clone(), 500_000.0));
+    // t = 0 s: an adaptive predicted "voice" flow declares a small bucket.
+    let small = TokenBucketSpec::per_packets(40.0, 10.0, 1000);
+    let (_r2, voice) = sig.submit(
+        &mut net,
+        FlowConfig::predicted(
+            links.clone(),
+            1,
+            small,
+            SimTime::from_millis(600),
+            0.001,
+            PoliceAction::Drop,
+        ),
+    );
+    for e in sig.process_until(&mut net, SimTime::from_millis(100)) {
+        announce(&e);
+    }
+    for (flow, seed, rate) in [(video, 1u64, 170.0), (voice, 2, 40.0)] {
+        let (source, _lease) =
+            LeasedSource::new(OnOffSource::new(flow, OnOffConfig::paper(rate, seed)));
+        net.add_agent(Box::new(source));
+    }
+
+    // t = 5 s: the adaptive voice client widens its declaration to the
+    // paper's (85 pkt/s, 50 pkt) — every hop re-runs the criterion.
+    sig.process_until(&mut net, SimTime::from_secs(5));
+    let roomy = TokenBucketSpec::per_packets(85.0, 50.0, 1000);
+    sig.renegotiate_bucket(&mut net, voice, roomy);
+
+    // t = 10 s: a greedy 600 kbit/s guaranteed request must be refused —
+    // 500 k (video) + 600 k exceeds the 900 k real-time quota — and its
+    // partial reservation on the first link rolls back.
+    for e in sig.process_until(&mut net, SimTime::from_secs(10)) {
+        announce(&e);
+    }
+    let (_r3, _greedy) = sig.submit(&mut net, FlowConfig::guaranteed(links.clone(), 600_000.0));
+
+    // t = 20 s: the video flow hangs up; its capacity is free again.
+    for e in sig.process_until(&mut net, SimTime::from_secs(20)) {
+        announce(&e);
+    }
+    sig.teardown(&mut net, video);
+    for e in sig.process_until(&mut net, SimTime::from_secs(30)) {
+        announce(&e);
+    }
+
+    println!("\nafter 30 simulated seconds:");
+    for (name, flow) in [("video", video), ("voice", voice)] {
+        let r = net.monitor_mut().flow_report(flow);
+        println!(
+            "  {name:>5}: {} delivered, mean queueing delay {:.2} ms, max {:.2} ms",
+            r.delivered,
+            r.mean_delay * 1e3,
+            r.max_delay * 1e3
+        );
+    }
+    for &l in &links {
+        println!(
+            "  {:?}: {:.0} bps still reserved",
+            l,
+            net.admission(l)
+                .expect("admission enabled")
+                .reserved_guaranteed_bps()
+        );
+    }
+}
+
+fn announce(event: &SignalEvent) {
+    match event {
+        SignalEvent::Accepted { flow, at, .. } => println!("[{at}] {flow} admitted"),
+        SignalEvent::Rejected {
+            flow,
+            hop,
+            reason,
+            at,
+            ..
+        } => println!("[{at}] {flow} refused at hop {hop}: {reason}"),
+        SignalEvent::TornDown { flow, at } => println!("[{at}] {flow} torn down"),
+        SignalEvent::Renegotiated { flow, at, .. } => {
+            println!("[{at}] {flow} renegotiated its traffic declaration")
+        }
+        SignalEvent::RenegotiationRejected {
+            flow, reason, at, ..
+        } => println!("[{at}] {flow} renegotiation refused: {reason}"),
+    }
+}

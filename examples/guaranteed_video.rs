@@ -26,7 +26,10 @@ const LINK: f64 = 1_000_000.0;
 fn main() {
     // --- 1. Record a sample of the video source and characterize it. ------
     let trace = record_video_trace(120.0, 42);
-    println!("recorded {} packets of the video source (120 pkt/s average, bursty)", trace.len());
+    println!(
+        "recorded {} packets of the video source (120 pkt/s average, bursty)",
+        trace.len()
+    );
     println!("\n   clock rate r      b(r)            3-hop P-G bound");
     let mut chosen = None;
     for rate_pps in [150.0, 200.0, 240.0, 300.0] {
@@ -49,7 +52,10 @@ fn main() {
     }
     let (clock_rate, depth) = chosen.expect("240 pkt/s is in the sweep");
     let bound = pg_queueing_bound(TokenBucketSpec::new(clock_rate, depth), clock_rate, 3, PKT);
-    println!("\nreserving r = 240 pkt/s; advertised queueing bound {:.2} ms\n", bound.as_millis_f64());
+    println!(
+        "\nreserving r = 240 pkt/s; advertised queueing bound {:.2} ms\n",
+        bound.as_millis_f64()
+    );
 
     // --- 2. Build a 3-hop path and reserve the rate at every switch. -------
     let (topo, _nodes, links) = Topology::chain(4, LINK, SimTime::ZERO, 200);

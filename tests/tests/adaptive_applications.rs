@@ -66,11 +66,22 @@ fn adaptive_client_on_a_real_network_beats_the_rigid_one() {
     let s = state.borrow();
     let rigid = s.0.stats();
     let adaptive = s.1.stats();
-    assert!(rigid.played() + rigid.late() > 3000, "enough packets flowed");
+    assert!(
+        rigid.played() + rigid.late() > 3000,
+        "enough packets flowed"
+    );
     // The rigid client at the a-priori bound loses essentially nothing…
-    assert!(rigid.loss_rate() < 0.001, "rigid loss {}", rigid.loss_rate());
+    assert!(
+        rigid.loss_rate() < 0.001,
+        "rigid loss {}",
+        rigid.loss_rate()
+    );
     // …and the adaptive one stays close to its ~1% design target…
-    assert!(adaptive.loss_rate() < 0.02, "adaptive loss {}", adaptive.loss_rate());
+    assert!(
+        adaptive.loss_rate() < 0.02,
+        "adaptive loss {}",
+        adaptive.loss_rate()
+    );
     // …but the adaptive client's effective latency is far lower.
     assert!(
         adaptive.playback_point().mean() < 0.5 * rigid.playback_point().mean(),

@@ -42,9 +42,18 @@ fn check_isolation_over(hops: usize) {
         u.add_guaranteed_flow(protected, clock_rate);
         net.set_discipline(l, Box::new(u));
     }
-    net.add_agent(Box::new(CbrSource::new(protected, cbr_rate_pps, PACKET_BITS)));
+    net.add_agent(Box::new(CbrSource::new(
+        protected,
+        cbr_rate_pps,
+        PACKET_BITS,
+    )));
     for (i, &f) in floods.iter().enumerate() {
-        net.add_agent(Box::new(PoissonSource::new(f, 850.0, PACKET_BITS, 99 + i as u64)));
+        net.add_agent(Box::new(PoissonSource::new(
+            f,
+            850.0,
+            PACKET_BITS,
+            99 + i as u64,
+        )));
     }
 
     net.run_until(DURATION);
@@ -57,7 +66,11 @@ fn check_isolation_over(hops: usize) {
         PACKET_BITS,
     );
     let r = net.monitor_mut().flow_report(protected);
-    assert!(r.delivered > 2000, "protected flow delivered {}", r.delivered);
+    assert!(
+        r.delivered > 2000,
+        "protected flow delivered {}",
+        r.delivered
+    );
     assert_eq!(r.dropped_buffer, 0, "a reserved flow must not be dropped");
     assert!(
         r.max_delay <= bound.as_secs_f64() + 1e-6,
@@ -68,7 +81,11 @@ fn check_isolation_over(hops: usize) {
     // The flood really did load the links heavily.
     for i in 0..hops {
         let lr = net.monitor().link_report(i);
-        assert!(lr.utilization > 0.90, "link {i} utilization {}", lr.utilization);
+        assert!(
+            lr.utilization > 0.90,
+            "link {i} utilization {}",
+            lr.utilization
+        );
     }
 }
 
@@ -121,7 +138,11 @@ fn guaranteed_flows_share_between_themselves_by_clock_rate() {
     u.add_guaranteed_flow(slow, 300_000.0);
     net.set_discipline(links[0], Box::new(u));
     let schedule: Vec<SimTime> = (0..90u64).map(|i| SimTime::from_nanos(10 * i)).collect();
-    net.add_agent(Box::new(TraceSource::uniform(fast, schedule.clone(), PACKET_BITS)));
+    net.add_agent(Box::new(TraceSource::uniform(
+        fast,
+        schedule.clone(),
+        PACKET_BITS,
+    )));
     net.add_agent(Box::new(TraceSource::uniform(slow, schedule, PACKET_BITS)));
     net.run_until(SimTime::from_secs(5));
     let rf = net.monitor_mut().flow_report(fast);
@@ -177,7 +198,11 @@ fn predicted_class_does_not_destroy_guaranteed_service_class_isolation() {
     // The guaranteed CBR flow (clocked at 200 pkt/s, i.e. above its 150
     // pkt/s rate) keeps its single-hop P-G bound of one packet time at the
     // clock rate (5 ms), whatever the other classes do.
-    assert!(rg.max_delay <= 0.005 + 1e-9, "guaranteed max {}", rg.max_delay);
+    assert!(
+        rg.max_delay <= 0.005 + 1e-9,
+        "guaranteed max {}",
+        rg.max_delay
+    );
     // Within flow 0, the predicted class is served ahead of datagram traffic.
     assert!(rp.mean_delay <= rd.mean_delay);
 }

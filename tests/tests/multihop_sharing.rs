@@ -106,7 +106,11 @@ fn fifo_plus_offsets_accumulate_and_average_near_zero() {
     net.run_until(DURATION);
 
     let offsets = offsets.borrow();
-    assert!(offsets.len() > 1000, "need a meaningful sample ({})", offsets.len());
+    assert!(
+        offsets.len() > 1000,
+        "need a meaningful sample ({})",
+        offsets.len()
+    );
     // Offsets are signed: some packets were luckier than average, some
     // unluckier.
     assert!(offsets.iter().any(|&o| o > 0));

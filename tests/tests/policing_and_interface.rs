@@ -30,7 +30,10 @@ fn self_policed_sources_pass_the_edge_check_untouched() {
     net.add_agent(Box::new(source));
     net.run_until(SimTime::from_secs(60));
     let r = net.monitor_mut().flow_report(flow);
-    assert!(stats.borrow().policer_drops > 0, "the source policer does work");
+    assert!(
+        stats.borrow().policer_drops > 0,
+        "the source policer does work"
+    );
     assert_eq!(r.dropped_at_edge, 0, "the edge never needs to drop");
     assert_eq!(r.delivered, r.generated);
 }
@@ -133,7 +136,10 @@ fn flow_spec_accessors_reflect_registration() {
     );
     assert_eq!(net.flow_config(g).class, ServiceClass::Guaranteed);
     assert_eq!(net.flow_config(p).spec.bucket(), Some(bucket));
-    assert_eq!(net.flow_config(p).class, ServiceClass::Predicted { priority: 1 });
+    assert_eq!(
+        net.flow_config(p).class,
+        ServiceClass::Predicted { priority: 1 }
+    );
     assert_eq!(net.flow_config(d).spec, FlowSpec::Datagram);
     // Fixed delay accounts for per-hop serialization along the route.
     assert_eq!(net.fixed_delay(g, PACKET_BITS), SimTime::from_millis(2));

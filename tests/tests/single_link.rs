@@ -39,7 +39,10 @@ fn every_flow_gets_comparable_mean_delay_under_fifo() {
     let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = means.iter().cloned().fold(0.0f64, f64::max);
     assert!(lo > 0.3, "every flow queues at 83% load ({means:?})");
-    assert!(hi / lo < 2.5, "FIFO shares delay roughly evenly ({means:?})");
+    assert!(
+        hi / lo < 2.5,
+        "FIFO shares delay roughly evenly ({means:?})"
+    );
 }
 
 #[test]

@@ -60,7 +60,11 @@ fn datagram_tcp_fills_the_leftover_capacity_with_small_loss() {
         t.mean_utilization,
         t.realtime_utilization
     );
-    assert!(t.datagram_drop_rate < 0.05, "drop rate {}", t.datagram_drop_rate);
+    assert!(
+        t.datagram_drop_rate < 0.05,
+        "drop rate {}",
+        t.datagram_drop_rate
+    );
     assert_eq!(t.tcp_goodput_pps.len(), 2);
     for g in &t.tcp_goodput_pps {
         assert!(*g > 20.0, "TCP goodput {g}");
