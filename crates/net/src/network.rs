@@ -453,26 +453,44 @@ impl Network {
         };
         if decision.is_accept() {
             if let FlowSpec::Guaranteed { clock_rate_bps } = spec {
-                // A refusing scheduler vetoes the admission even when the
-                // controller (or the absence of one) said yes — otherwise
-                // the flow would be activated with no isolation at all.
-                if port.discipline.install_guaranteed(flow, clock_rate_bps)
-                    == GuaranteedInstall::Refused
-                {
-                    if let Some(ad) = port.admission.as_mut() {
-                        ad.controller.release_guaranteed(clock_rate_bps);
-                    }
-                    return AdmissionDecision::Reject {
-                        reason: format!(
-                            "scheduler refused guaranteed rate {clock_rate_bps:.0} bps \
-                             (per-flow reservations exhausted)"
-                        ),
-                    };
+                let veto =
+                    self.install_guaranteed_or_veto(link, flow, clock_rate_bps, clock_rate_bps);
+                if !veto.is_accept() {
+                    return veto;
                 }
             }
             self.flows[flow.index()].installed_links.push(link);
         }
         decision
+    }
+
+    /// Install per-flow guaranteed scheduler state on one link, letting the
+    /// scheduler veto: a refusing scheduler overrides an accepting
+    /// controller (or the absence of one) — otherwise the flow would run
+    /// with no isolation at all.  On refusal `controller_release_bps` is
+    /// handed back to the link's admission controller (the rate the caller
+    /// had just reserved: the full clock rate on setup, the delta on a
+    /// renegotiated increase) and a `Reject` is returned.
+    pub fn install_guaranteed_or_veto(
+        &mut self,
+        link: LinkId,
+        flow: FlowId,
+        rate_bps: f64,
+        controller_release_bps: f64,
+    ) -> AdmissionDecision {
+        let port = &mut self.ports[link.index()];
+        if port.discipline.install_guaranteed(flow, rate_bps) == GuaranteedInstall::Refused {
+            if let Some(ad) = port.admission.as_mut() {
+                ad.controller.release_guaranteed(controller_release_bps);
+            }
+            return AdmissionDecision::Reject {
+                reason: format!(
+                    "scheduler refused guaranteed rate {rate_bps:.0} bps \
+                     (per-flow reservations exhausted)"
+                ),
+            };
+        }
+        AdmissionDecision::Accept
     }
 
     /// Release the reservation state `flow` holds on one link.  Returns

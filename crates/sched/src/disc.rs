@@ -106,6 +106,13 @@ pub trait QueueDiscipline {
     /// state) reports [`GuaranteedInstall::Unsupported`]; disciplines that
     /// do track per-flow rates answer `Installed` or `Refused`, and a
     /// refusal must fail the admission that requested it.
+    ///
+    /// A refusal must also leave any rate previously installed for the
+    /// flow fully intact: renegotiation re-installs an already-reserved
+    /// flow at a new rate, and on `Refused` the caller keeps running the
+    /// flow against its old reservation.  A discipline that cleared or
+    /// partially applied state before refusing would desynchronize the
+    /// flow's spec from the scheduler.
     fn install_guaranteed(&mut self, flow: ispn_core::FlowId, rate_bps: f64) -> GuaranteedInstall {
         let _ = (flow, rate_bps);
         GuaranteedInstall::Unsupported

@@ -32,9 +32,22 @@ struct FlowQueue {
 #[derive(Debug)]
 pub struct Wfq {
     gps: GpsClock,
+    link_rate_bps: f64,
     /// Clock rate assigned to flows that were never explicitly registered.
     default_rate_bps: f64,
     flows: BTreeMap<FlowId, FlowQueue>,
+    /// Clock rates installed through the reservation path
+    /// ([`install_guaranteed`]): their sum must stay below the link rate so
+    /// a link without an admission controller still refuses oversubscribed
+    /// guaranteed reservations, like [`Unified`](crate::Unified) does.
+    /// Rates assigned directly with [`set_rate`](Wfq::set_rate) (the static
+    /// relative-share path) are not counted.
+    ///
+    /// [`install_guaranteed`]: crate::QueueDiscipline::install_guaranteed
+    guaranteed: BTreeMap<FlowId, f64>,
+    /// Running Σ of `guaranteed` values (kept in step on install/remove,
+    /// like `Unified::guaranteed_rate_sum`).
+    guaranteed_rate_sum: f64,
     len: usize,
     /// Monotone counter used to break exact ties in virtual finish times
     /// deterministically (first-stamped wins).
@@ -54,8 +67,11 @@ impl Wfq {
         assert!(default_rate_bps > 0.0);
         Wfq {
             gps: GpsClock::new(link_rate_bps),
+            link_rate_bps,
             default_rate_bps,
             flows: BTreeMap::new(),
+            guaranteed: BTreeMap::new(),
+            guaranteed_rate_sum: 0.0,
             len: 0,
             stamp_seq: 0,
         }
@@ -86,6 +102,9 @@ impl Wfq {
     /// virtual-time stamps; if the flow sends again later it is treated as
     /// unregistered (and re-enters at the default clock rate).
     pub fn remove_flow_rate(&mut self, flow: FlowId) -> Option<f64> {
+        if let Some(rate) = self.guaranteed.remove(&flow) {
+            self.guaranteed_rate_sum -= rate;
+        }
         if self.flows.get(&flow).is_some_and(|fq| fq.queue.is_empty()) {
             self.flows.remove(&flow);
         }
@@ -166,6 +185,17 @@ impl QueueDiscipline for Wfq {
         if rate_bps <= 0.0 {
             return GuaranteedInstall::Refused;
         }
+        // Parekh–Gallager needs the guaranteed clock rates to sum below the
+        // link speed; refuse reservations that would break that, so the
+        // admission veto in `Network::admit_flow_on_link` holds on WFQ
+        // links with no admission controller too.
+        let old = self.guaranteed.get(&flow).copied().unwrap_or(0.0);
+        let new_sum = self.guaranteed_rate_sum - old + rate_bps;
+        if new_sum >= self.link_rate_bps {
+            return GuaranteedInstall::Refused;
+        }
+        self.guaranteed_rate_sum = new_sum;
+        self.guaranteed.insert(flow, rate_bps);
         self.set_rate(flow, rate_bps);
         GuaranteedInstall::Installed
     }
@@ -328,6 +358,43 @@ mod tests {
         q.enqueue(SimTime::ZERO, pkt(3, 0), ctx(SimTime::ZERO));
         q.remove_flow_rate(FlowId(3));
         assert_eq!(q.dequeue(SimTime::ZERO).unwrap().packet.flow, FlowId(3));
+    }
+
+    #[test]
+    fn install_guaranteed_refuses_oversubscription() {
+        let mut q = Wfq::new(MBIT, 100_000.0);
+        assert_eq!(
+            q.install_guaranteed(FlowId(1), 600_000.0),
+            GuaranteedInstall::Installed
+        );
+        // 600k + 400k would reach the link rate: refused, rate untouched.
+        assert_eq!(
+            q.install_guaranteed(FlowId(2), 400_000.0),
+            GuaranteedInstall::Refused
+        );
+        assert_eq!(q.rate(FlowId(2)), None);
+        // Updating an existing reservation accounts for its old rate.
+        assert_eq!(
+            q.install_guaranteed(FlowId(1), 500_000.0),
+            GuaranteedInstall::Installed
+        );
+        assert_eq!(
+            q.install_guaranteed(FlowId(2), 400_000.0),
+            GuaranteedInstall::Installed
+        );
+        // Removal returns headroom.
+        assert!(q.remove_flow(SimTime::ZERO, FlowId(2)));
+        assert_eq!(
+            q.install_guaranteed(FlowId(3), 400_000.0),
+            GuaranteedInstall::Installed
+        );
+        // Rates set directly (static shares) are not counted against the
+        // reservation budget.
+        q.set_rate(FlowId(9), 900_000.0);
+        assert_eq!(
+            q.install_guaranteed(FlowId(3), 450_000.0),
+            GuaranteedInstall::Installed
+        );
     }
 
     #[test]

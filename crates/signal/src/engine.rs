@@ -367,6 +367,12 @@ impl Signaling {
                     .setups
                     .remove(&req)
                     .expect("pending setup confirms once");
+                if s.cancelled {
+                    // Withdrawn mid-setup: the teardown wave (always behind
+                    // this message) releases whatever was installed, and the
+                    // flow must not come back to life.
+                    return;
+                }
                 net.activate_flow(s.flow);
                 self.decision_log.push((req, true));
                 self.events.push(SignalEvent::Accepted {
@@ -422,10 +428,9 @@ impl Signaling {
                 }
             }
             ControlEvent::RenegotiateCommit { req } => {
-                let r = self
-                    .renegs
-                    .remove(&req)
-                    .expect("pending reneg confirms once");
+                let Some(r) = self.renegs.remove(&req) else {
+                    return; // cancelled by a teardown
+                };
                 match r.kind {
                     RenegKind::Predicted { new_bucket } => {
                         net.update_flow_bucket(r.flow, new_bucket);
@@ -477,16 +482,22 @@ impl Signaling {
             RenegKind::Guaranteed { old_rate, new_rate } => {
                 let delta = new_rate - old_rate;
                 if delta > 0.0 {
-                    let d = match net.admission_mut(link) {
+                    let mut d = match net.admission_mut(link) {
                         Some(ctl) => ctl.request_guaranteed(delta),
                         None => AdmissionDecision::Accept,
                     };
                     if d.is_accept() {
-                        net.install_guaranteed_rate(link, flow, new_rate);
-                        self.renegs
-                            .get_mut(&req)
-                            .expect("pending reneg exists while its message is in flight")
-                            .applied_hops = hop + 1;
+                        // The scheduler can refuse the larger reservation
+                        // even when the quota said yes; the veto gives the
+                        // controller its delta back so accounting stays in
+                        // step.
+                        d = net.install_guaranteed_or_veto(link, flow, new_rate, delta);
+                        if d.is_accept() {
+                            self.renegs
+                                .get_mut(&req)
+                                .expect("pending reneg exists while its message is in flight")
+                                .applied_hops = hop + 1;
+                        }
                     }
                     d
                 } else {
@@ -801,6 +812,125 @@ mod tests {
         assert_eq!(sig.pending(), 0);
         // The withdrawn setup never completed, so it is not in the log.
         assert!(sig.decision_log().is_empty());
+    }
+
+    #[test]
+    fn teardown_after_last_hop_admission_does_not_reactivate() {
+        let (mut net, links) = net();
+        let mut sig = Signaling::default();
+        let (_req, flow) = sig.submit(&mut net, FlowConfig::guaranteed(links.clone(), 300_000.0));
+        // Both hops admit (t = 0 and t = 2 ms) but the confirmation only
+        // lands at t = 4 ms; the teardown arrives in between, so the
+        // confirm of the withdrawn setup must not bring the flow back.
+        sig.process_until(&mut net, SimTime::from_millis(3));
+        sig.teardown(&mut net, flow);
+        let events = sig.process_until(&mut net, SimTime::from_secs(1));
+        assert!(!net.flow_active(flow), "cancelled setup must not activate");
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, SignalEvent::Accepted { .. })),
+            "a withdrawn setup must not report acceptance"
+        );
+        assert!(net.installed_links(flow).is_empty());
+        for &l in &links {
+            assert_eq!(net.admission(l).unwrap().reserved_guaranteed_bps(), 0.0);
+        }
+        assert_eq!(sig.pending(), 0);
+        assert!(sig.decision_log().is_empty());
+    }
+
+    #[test]
+    fn teardown_after_reneg_cleared_every_hop_does_not_commit() {
+        let (mut net, links) = net();
+        let mut sig = Signaling::default();
+        let (_r, flow) = sig.submit(&mut net, FlowConfig::guaranteed(links.clone(), 200_000.0));
+        sig.process_until(&mut net, SimTime::from_secs(1));
+        // Grow 200k -> 500k; both hops accept and the commit message is
+        // queued (t = 1 s + 4 ms).  Tear down before it lands: the commit
+        // must be a no-op, not a panic or a spec change.
+        sig.renegotiate_clock_rate(&mut net, flow, 500_000.0);
+        sig.process_until(&mut net, SimTime::from_secs(1) + SimTime::from_millis(3));
+        sig.teardown(&mut net, flow);
+        let events = sig.process_until(&mut net, SimTime::from_secs(2));
+        assert_eq!(sig.pending(), 0);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SignalEvent::TornDown { flow: f, .. } if *f == flow)));
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, SignalEvent::Renegotiated { .. })),
+            "a cancelled renegotiation must not commit"
+        );
+        assert_eq!(net.flow_config(flow).spec.clock_rate_bps(), Some(200_000.0));
+        for &l in &links {
+            assert_eq!(net.admission(l).unwrap().reserved_guaranteed_bps(), 0.0);
+        }
+    }
+
+    #[test]
+    fn guaranteed_increase_vetoed_by_scheduler() {
+        // One link, Unified scheduling, no admission controller: only the
+        // scheduler can refuse the increase, and that refusal must fail the
+        // renegotiation instead of desynchronizing spec and scheduler.
+        let (topo, _nodes, links) = Topology::chain(2, MBIT, SimTime::MILLISECOND, 200);
+        let mut net = Network::new(topo);
+        net.set_discipline(
+            links[0],
+            Box::new(Unified::new(MBIT, 1, Averaging::RunningMean)),
+        );
+        let mut sig = Signaling::default();
+        let (_r, flow) = sig.submit(&mut net, FlowConfig::guaranteed(vec![links[0]], 600_000.0));
+        sig.process_until(&mut net, SimTime::from_secs(1));
+        assert!(net.flow_active(flow));
+
+        let req = sig.renegotiate_clock_rate(&mut net, flow, 1_200_000.0);
+        let events = sig.process_until(&mut net, SimTime::from_secs(2));
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            &events[0],
+            SignalEvent::RenegotiationRejected { request, hop: 0, .. } if *request == req
+        ));
+        assert_eq!(net.flow_config(flow).spec.clock_rate_bps(), Some(600_000.0));
+        assert!(net.flow_active(flow), "the flow keeps its old reservation");
+    }
+
+    #[test]
+    fn scheduler_veto_during_reneg_undoes_controller_delta() {
+        // A controller with a 100 % quota says yes to a full-link rate, but
+        // the Unified scheduler refuses (Σ rates must stay strictly below
+        // the link speed); the controller's delta must be given back.
+        let (topo, _nodes, links) = Topology::chain(2, MBIT, SimTime::MILLISECOND, 200);
+        let mut net = Network::new(topo);
+        net.set_discipline(
+            links[0],
+            Box::new(Unified::new(MBIT, 1, Averaging::RunningMean)),
+        );
+        net.enable_admission(
+            links[0],
+            AdmissionController::new(
+                AdmissionConfig::new(MBIT, 1.0, vec![SimTime::from_millis(100)]),
+                10.0,
+            ),
+            SimTime::SECOND,
+        );
+        let mut sig = Signaling::default();
+        let (_r, flow) = sig.submit(&mut net, FlowConfig::guaranteed(vec![links[0]], 600_000.0));
+        sig.process_until(&mut net, SimTime::from_secs(1));
+
+        let req = sig.renegotiate_clock_rate(&mut net, flow, 1_000_000.0);
+        let events = sig.process_until(&mut net, SimTime::from_secs(2));
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            &events[0],
+            SignalEvent::RenegotiationRejected { request, hop: 0, .. } if *request == req
+        ));
+        assert_eq!(net.flow_config(flow).spec.clock_rate_bps(), Some(600_000.0));
+        assert!(
+            (net.admission(links[0]).unwrap().reserved_guaranteed_bps() - 600_000.0).abs() < 1e-6,
+            "the refused delta must be released from the controller"
+        );
     }
 
     #[test]
