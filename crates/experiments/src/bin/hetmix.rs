@@ -1,0 +1,31 @@
+//! Run the heterogeneous-mix sweep: per-class delay and jitter versus
+//! offered load for a CBR + on/off + Poisson mix under FIFO, FIFO+, WFQ
+//! and the unified scheduler.  `ISPN_FAST=1` runs a shortened sweep (the
+//! CI smoke configuration).
+
+use ispn_experiments::config::PaperConfig;
+use ispn_experiments::{hetmix, report};
+
+fn main() {
+    let fast = std::env::var("ISPN_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let (cfg, levels): (PaperConfig, &[usize]) = if fast {
+        (
+            PaperConfig {
+                duration: ispn_sim::SimTime::from_secs(20),
+                ..PaperConfig::paper()
+            },
+            &[1, 3],
+        )
+    } else {
+        (PaperConfig::medium(), &[1, 2, 3])
+    };
+    eprintln!(
+        "running {} heterogeneous-mix points of {} simulated seconds each …",
+        4 * levels.len(),
+        cfg.duration.as_secs_f64()
+    );
+    let points = hetmix::sweep(&cfg, levels);
+    println!("{}", report::render_hetmix(&points));
+}

@@ -11,15 +11,26 @@
 //! quantities: blocking probability versus offered load, carried
 //! utilization, and whether any admitted predicted flow ever exceeded the
 //! a-priori bound (the sum of its per-hop class targets Dᵢ) it was sold.
+//!
+//! The driver is built on the `ispn-scenario` [`Sim`] facade: arrivals and
+//! departures are scheduled actions, admitted flows get their source the
+//! instant the confirmation lands (the facade delivers signal events at
+//! their exact event time — no more manual 10 ms polling slices), and the
+//! whole run is a pure function of the seed regardless of how coarsely the
+//! caller steps the simulation.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 
-use ispn_core::admission::{AdmissionConfig, AdmissionController};
 use ispn_core::{FlowId, TokenBucketSpec};
-use ispn_net::{FlowConfig, Network, PoliceAction};
-use ispn_sched::{Averaging, Unified};
-use ispn_signal::{Lease, LeasedSource, SignalEvent, Signaling};
-use ispn_sim::{EventQueue, Pcg64, SimTime};
+use ispn_net::{FlowConfig, LinkId, PoliceAction};
+use ispn_scenario::{
+    AdmissionSpec, DisciplineMatrix, DisciplineSpec, ScenarioBuilder, Sim, TopologySpec,
+};
+use ispn_sched::Averaging;
+use ispn_signal::{Lease, LeasedSource, SignalEvent};
+use ispn_sim::{Pcg64, SimTime};
 use ispn_traffic::{OnOffConfig, OnOffSource};
 
 use crate::config::PaperConfig;
@@ -102,16 +113,23 @@ impl ChurnOutcome {
     }
 }
 
-enum DriverEvent {
-    Arrival,
-    Departure { flow: FlowId },
-}
-
 struct AdmittedFlow {
     /// `Some(priority)` for predicted flows, `None` for guaranteed.
     priority: Option<u8>,
     hops: usize,
     lease: Option<Lease>,
+}
+
+/// Shared driver state threaded through the scheduled actions and the
+/// signal-event handler.
+struct ChurnState {
+    rng: Pcg64,
+    admitted: HashMap<FlowId, AdmittedFlow>,
+    requested: HashMap<FlowId, (Option<u8>, usize)>,
+    source_seq: u32,
+    /// Set while draining: in-flight completions must no longer spawn
+    /// sources or departures.
+    draining: bool,
 }
 
 /// The per-hop delay target of a predicted priority class, in packet times.
@@ -123,180 +141,242 @@ fn class_target_pkt(priority: u8) -> f64 {
     }
 }
 
+/// The declared token bucket of a predicted churn request: a client asking
+/// for the tight class must declare a burst that fits inside the headroom
+/// the Section-9 criterion checks; low-priority clients declare the
+/// Appendix's `(A, 50)`.
+fn bucket_for(paper: &PaperConfig, priority: u8) -> TokenBucketSpec {
+    let depth_pkts = if priority == 0 { 20.0 } else { 50.0 };
+    TokenBucketSpec::per_packets(paper.avg_rate_pps, depth_pkts, paper.packet_bits)
+}
+
+/// Build the churn scenario: the Figure-1 duplex chain with the unified
+/// scheduler and a stiffened Section-9 admission controller on every
+/// forward link.
+fn build_sim(paper: &PaperConfig) -> Sim {
+    let pt = paper.packet_time();
+    let forward: Vec<LinkId> = (0..NUM_LINKS).map(LinkId).collect();
+    // Under churn many flows can be admitted within one measurement window,
+    // before any of them shows up in ν̂; a stiffer safety factor keeps the
+    // "consistently conservative estimate" property (Section 9) honest in
+    // that regime so admitted flows stay within bound.
+    let admission = AdmissionSpec {
+        realtime_quota: 0.9,
+        class_targets: vec![pt.mul_f64(HIGH_TARGET_PKT), pt.mul_f64(LOW_TARGET_PKT)],
+        measurement_window_secs: 10.0,
+        util_safety_factor: Some(1.6),
+        sample_interval: SimTime::SECOND,
+    };
+    ScenarioBuilder::new(TopologySpec::chain_duplex(5))
+        .link_profile(Fig1Network::link_profile(paper))
+        .disciplines(DisciplineMatrix::default().with_links(
+            &forward,
+            DisciplineSpec::Unified {
+                priority_classes: 2,
+                averaging: Averaging::RunningMean,
+            },
+        ))
+        .admission_on(forward, admission)
+        .build()
+        .expect("the churn scenario is valid")
+}
+
+/// The self-rescheduling arrival action.
+fn arrival_action(state: Rc<RefCell<ChurnState>>, cfg: ChurnConfig) -> impl FnOnce(&mut Sim) {
+    move |sim: &mut Sim| {
+        let paper = &cfg.paper;
+        let pt = paper.packet_time();
+        let mut s = state.borrow_mut();
+        let first = s.rng.next_below(NUM_LINKS as u64) as usize;
+        let hops = 1 + s.rng.next_below((NUM_LINKS - first) as u64) as usize;
+        let route = sim
+            .built()
+            .span(first, hops)
+            .expect("arrival spans stay inside the chain");
+        let (config, priority) = if s.rng.bernoulli(cfg.guaranteed_fraction) {
+            let peak_rate_bps = 2.0 * paper.avg_rate_pps * paper.packet_bits as f64;
+            (FlowConfig::guaranteed(route, peak_rate_bps), None)
+        } else {
+            let priority = u8::from(s.rng.bernoulli(0.5));
+            let bound = pt.mul_f64(class_target_pkt(priority) * hops as f64);
+            (
+                FlowConfig::predicted(
+                    route,
+                    priority,
+                    bucket_for(paper, priority),
+                    bound,
+                    0.001,
+                    PoliceAction::Drop,
+                ),
+                Some(priority),
+            )
+        };
+        let gap = SimTime::from_secs_f64(s.rng.exponential(1.0 / cfg.arrivals_per_sec));
+        drop(s);
+        let (_req, flow) = sim.submit(config);
+        state.borrow_mut().requested.insert(flow, (priority, hops));
+        let next = sim.now() + gap;
+        sim.schedule_at(next, arrival_action(state.clone(), cfg));
+    }
+}
+
+/// The departure action of one admitted flow.
+fn departure_action(state: Rc<RefCell<ChurnState>>, flow: FlowId) -> impl FnOnce(&mut Sim) {
+    move |sim: &mut Sim| {
+        let lease = state
+            .borrow_mut()
+            .admitted
+            .get_mut(&flow)
+            .and_then(|record| record.lease.take());
+        if let Some(lease) = lease {
+            lease.revoke();
+            sim.teardown(flow);
+        }
+    }
+}
+
 /// Run one churn scenario.
 pub fn run(cfg: &ChurnConfig) -> ChurnOutcome {
-    let paper = &cfg.paper;
-    let fig1 = Fig1Network::build(paper);
-    let mut net = Network::new(fig1.topology.clone());
-    let pt = paper.packet_time();
-    let targets = vec![pt.mul_f64(HIGH_TARGET_PKT), pt.mul_f64(LOW_TARGET_PKT)];
-    for &link in &fig1.links {
-        net.set_discipline(
-            link,
-            Box::new(Unified::new(paper.link_rate_bps, 2, Averaging::RunningMean)),
-        );
-        let mut controller = AdmissionController::new(
-            AdmissionConfig::new(paper.link_rate_bps, 0.9, targets.clone()),
-            10.0,
-        );
-        // Under churn many flows can be admitted within one measurement
-        // window, before any of them shows up in ν̂; a stiffer safety factor
-        // keeps the "consistently conservative estimate" property (Section
-        // 9) honest in that regime so admitted flows stay within bound.
-        controller.set_util_safety_factor(1.6);
-        net.enable_admission(link, controller, SimTime::SECOND);
-    }
+    let paper = cfg.paper.clone();
+    let mut sim = build_sim(&paper);
+    let state = Rc::new(RefCell::new(ChurnState {
+        rng: Pcg64::new(paper.seed ^ 0xC4E2_2024),
+        admitted: HashMap::new(),
+        requested: HashMap::new(),
+        source_seq: 0,
+        draining: false,
+    }));
 
-    let mut sig = Signaling::default();
-    let mut rng = Pcg64::new(paper.seed ^ 0xC4E2_2024);
-    let mut driver: EventQueue<DriverEvent> = EventQueue::new();
-    let arrival_gap =
-        |rng: &mut Pcg64| SimTime::from_secs_f64(rng.exponential(1.0 / cfg.arrivals_per_sec));
-    driver.push(arrival_gap(&mut rng), DriverEvent::Arrival);
-
-    // A client asking for the tight (30-packet-time) class must declare a
-    // burst that can fit inside that headroom — the Section-9 criterion
-    // rejects b ≥ Dⱼ·(μ − ν̂ − r) outright, and the paper's 50-packet bucket
-    // is bigger than 30 packet-times of line rate.  Low-priority clients
-    // declare the Appendix's (A, 50).
-    let bucket_for = |priority: u8| {
-        let depth_pkts = if priority == 0 { 20.0 } else { 50.0 };
-        TokenBucketSpec::per_packets(paper.avg_rate_pps, depth_pkts, paper.packet_bits)
-    };
-    let peak_rate_bps = 2.0 * paper.avg_rate_pps * paper.packet_bits as f64;
-    let mut admitted: HashMap<FlowId, AdmittedFlow> = HashMap::new();
-    let mut requested: HashMap<FlowId, (Option<u8>, usize)> = HashMap::new();
-    let mut source_seq: u32 = 0;
-
-    // Step the data plane, the control plane and the churn driver in
-    // 10 ms slices so admitted sources come alive promptly after their
-    // confirmation and measurements stay current.
-    let slice = SimTime::from_millis(10);
-    let mut now = SimTime::ZERO;
-    while now < paper.duration {
-        // Handle every driver event that is due.
-        while driver.peek_time().is_some_and(|t| t <= now) {
-            let (_, ev) = driver.pop().expect("peeked driver event");
-            match ev {
-                DriverEvent::Arrival => {
-                    let first = rng.next_below(NUM_LINKS as u64) as usize;
-                    let hops = 1 + rng.next_below((NUM_LINKS - first) as u64) as usize;
-                    let route = fig1.route_span(first, hops);
-                    let (config, priority) = if rng.bernoulli(cfg.guaranteed_fraction) {
-                        (FlowConfig::guaranteed(route, peak_rate_bps), None)
-                    } else {
-                        let priority = u8::from(rng.bernoulli(0.5));
-                        let bound = pt.mul_f64(class_target_pkt(priority) * hops as f64);
-                        (
-                            FlowConfig::predicted(
-                                route,
-                                priority,
-                                bucket_for(priority),
-                                bound,
-                                0.001,
-                                PoliceAction::Drop,
-                            ),
-                            Some(priority),
-                        )
-                    };
-                    let (_req, flow) = sig.submit(&mut net, config);
-                    requested.insert(flow, (priority, hops));
-                    driver.push(now + arrival_gap(&mut rng), DriverEvent::Arrival);
-                }
-                DriverEvent::Departure { flow } => {
-                    if let Some(record) = admitted.get_mut(&flow) {
-                        if let Some(lease) = record.lease.take() {
-                            lease.revoke();
-                            sig.teardown(&mut net, flow);
-                        }
-                    }
-                }
-            }
+    // Admitted flows come alive the instant their confirmation lands: the
+    // handler runs at the exact event time, attaches a leased source and
+    // schedules the departure.
+    let handler_state = state.clone();
+    let handler_paper = paper.clone();
+    let mean_holding = cfg.mean_holding_secs;
+    sim.on_signal(move |event, sim| {
+        if handler_state.borrow().draining {
+            return;
         }
-        // Advance data and control plane to the next point of interest.
-        let next_driver = driver.peek_time().unwrap_or(SimTime::MAX);
-        debug_assert!(next_driver > now, "due driver events were just drained");
-        let target = (now + slice).min(paper.duration).min(next_driver);
-        for event in sig.process_until(&mut net, target) {
-            match event {
-                SignalEvent::Accepted { flow, at, .. } => {
-                    let (priority, hops) = requested.remove(&flow).expect("known request");
-                    let source = OnOffSource::new(
-                        flow,
-                        OnOffConfig::paper(paper.avg_rate_pps, paper.flow_seed(source_seq)),
-                    );
-                    source_seq += 1;
-                    let (leased, lease) = LeasedSource::new(source);
-                    net.add_agent(Box::new(leased));
-                    let hold = SimTime::from_secs_f64(rng.exponential(cfg.mean_holding_secs));
-                    driver.push(at + hold, DriverEvent::Departure { flow });
-                    admitted.insert(
-                        flow,
-                        AdmittedFlow {
-                            priority,
-                            hops,
-                            lease: Some(lease),
-                        },
-                    );
-                }
-                SignalEvent::Rejected { flow, .. } => {
-                    requested.remove(&flow);
-                }
-                _ => {}
+        match event {
+            SignalEvent::Accepted { flow, at, .. } => {
+                let mut s = handler_state.borrow_mut();
+                let (priority, hops) = s.requested.remove(flow).expect("known request");
+                let source = OnOffSource::new(
+                    *flow,
+                    OnOffConfig::paper(
+                        handler_paper.avg_rate_pps,
+                        handler_paper.flow_seed(s.source_seq),
+                    ),
+                );
+                s.source_seq += 1;
+                let (leased, lease) = LeasedSource::new(source);
+                let hold = SimTime::from_secs_f64(s.rng.exponential(mean_holding));
+                s.admitted.insert(
+                    *flow,
+                    AdmittedFlow {
+                        priority,
+                        hops,
+                        lease: Some(lease),
+                    },
+                );
+                drop(s);
+                sim.network_mut().add_agent(Box::new(leased));
+                sim.schedule_at(*at + hold, departure_action(handler_state.clone(), *flow));
             }
+            SignalEvent::Rejected { flow, .. } => {
+                handler_state.borrow_mut().requested.remove(flow);
+            }
+            _ => {}
         }
-        now = target;
+    });
+
+    // First arrival, then run the whole horizon in one call — the facade
+    // interleaves arrivals, departures, control messages and the data plane
+    // in global event-time order.
+    {
+        let mut s = state.borrow_mut();
+        let gap = SimTime::from_secs_f64(s.rng.exponential(1.0 / cfg.arrivals_per_sec));
+        drop(s);
+        sim.schedule_at(gap, arrival_action(state.clone(), cfg.clone()));
     }
+    sim.run_until(paper.duration);
 
     // Measure bound compliance over the flows' lifetimes before draining.
-    let pt_secs = pt.as_secs_f64();
+    let pt_secs = paper.packet_time().as_secs_f64();
     let mut violations = 0;
     let mut worst_bound_fraction: f64 = 0.0;
-    for (&flow, record) in &admitted {
-        let Some(priority) = record.priority else {
-            continue;
-        };
-        let report = net.monitor_mut().flow_report(flow);
-        if report.delivered == 0 {
-            continue;
-        }
-        let bound_secs = class_target_pkt(priority) * record.hops as f64 * pt_secs;
-        let fraction = report.max_delay / bound_secs;
-        worst_bound_fraction = worst_bound_fraction.max(fraction);
-        if fraction > 1.0 {
-            violations += 1;
+    {
+        let s = state.borrow();
+        let net = sim.network_mut();
+        for (&flow, record) in &s.admitted {
+            let Some(priority) = record.priority else {
+                continue;
+            };
+            let report = net.monitor_mut().flow_report(flow);
+            if report.delivered == 0 {
+                continue;
+            }
+            let bound_secs = class_target_pkt(priority) * record.hops as f64 * pt_secs;
+            let fraction = report.max_delay / bound_secs;
+            worst_bound_fraction = worst_bound_fraction.max(fraction);
+            if fraction > 1.0 {
+                violations += 1;
+            }
         }
     }
 
+    let forward: Vec<LinkId> = (0..NUM_LINKS).map(LinkId).collect();
     let mut mean_utilization = 0.0;
     let mut worst_utilization: f64 = 0.0;
-    for &link in &fig1.links {
-        let u = net.monitor().link_report(link.index()).utilization;
+    for &link in &forward {
+        let u = sim
+            .network()
+            .monitor()
+            .link_report(link.index())
+            .utilization;
         mean_utilization += u / NUM_LINKS as f64;
         worst_utilization = worst_utilization.max(u);
     }
 
-    // Drain: tear every remaining flow down, let the control plane finish,
-    // and verify that no reservation survives anywhere.
-    for (&flow, record) in &mut admitted {
-        if let Some(lease) = record.lease.take() {
-            lease.revoke();
-            sig.teardown(&mut net, flow);
-        }
+    // Drain: stop the arrival process, tear every remaining flow down, let
+    // the control plane finish, and verify no reservation survives.
+    state.borrow_mut().draining = true;
+    sim.cancel_scheduled();
+    let to_tear: Vec<(FlowId, Lease)> = {
+        let mut s = state.borrow_mut();
+        let mut pairs: Vec<(FlowId, Lease)> = s
+            .admitted
+            .iter_mut()
+            .filter_map(|(&flow, record)| record.lease.take().map(|l| (flow, l)))
+            .collect();
+        // HashMap iteration order is not deterministic across runs of the
+        // same binary only if the hasher is randomized; FlowId teardown
+        // order does not affect the outcome, but sort anyway so the drain
+        // is reproducible by construction.
+        pairs.sort_by_key(|(flow, _)| *flow);
+        pairs
+    };
+    for (flow, lease) in to_tear {
+        lease.revoke();
+        sim.teardown(flow);
     }
-    let drain_until = paper.duration + SimTime::from_secs(1);
-    sig.process_until(&mut net, drain_until);
-    let residual_reserved_bps = fig1
-        .links
+    sim.run_until(paper.duration + SimTime::from_secs(1));
+    let residual_reserved_bps = forward
         .iter()
         .map(|&l| {
-            net.admission(l)
+            sim.network()
+                .admission(l)
                 .expect("admission enabled")
                 .reserved_guaranteed_bps()
         })
         .sum();
 
-    let decisions: Vec<bool> = sig.decision_log().iter().map(|&(_, a)| a).collect();
+    let decisions: Vec<bool> = sim
+        .signaling()
+        .decision_log()
+        .iter()
+        .map(|&(_, a)| a)
+        .collect();
     let accepted = decisions.iter().filter(|&&a| a).count();
     let rejected = decisions.len() - accepted;
     ChurnOutcome {

@@ -14,6 +14,7 @@
 //! and the tests in this module verify it.
 
 use ispn_net::{LinkId, NodeId, Topology};
+use ispn_scenario::{LinkProfile, TopologySpec};
 use ispn_sim::SimTime;
 
 use crate::config::PaperConfig;
@@ -140,35 +141,26 @@ pub struct Fig1Network {
 }
 
 impl Fig1Network {
-    /// Build the Figure-1 topology with the configured link parameters.
+    /// The scenario link profile Figure 1 uses (the Appendix parameters).
+    pub fn link_profile(cfg: &PaperConfig) -> LinkProfile {
+        LinkProfile {
+            rate_bps: cfg.link_rate_bps,
+            propagation: SimTime::ZERO,
+            buffer_packets: cfg.buffer_packets,
+        }
+    }
+
+    /// Build the Figure-1 topology with the configured link parameters —
+    /// a duplex five-switch chain, via the scenario preset.
     pub fn build(cfg: &PaperConfig) -> Self {
-        let mut topology = Topology::new();
-        let nodes = topology.add_nodes(5);
-        let mut links = Vec::with_capacity(NUM_LINKS);
-        let mut reverse_links = Vec::with_capacity(NUM_LINKS);
-        for i in 0..NUM_LINKS {
-            links.push(topology.add_link(
-                nodes[i],
-                nodes[i + 1],
-                cfg.link_rate_bps,
-                SimTime::ZERO,
-                cfg.buffer_packets,
-            ));
-        }
-        for i in 0..NUM_LINKS {
-            reverse_links.push(topology.add_link(
-                nodes[i + 1],
-                nodes[i],
-                cfg.link_rate_bps,
-                SimTime::ZERO,
-                cfg.buffer_packets,
-            ));
-        }
+        let built = TopologySpec::chain_duplex(5)
+            .build(&Self::link_profile(cfg))
+            .expect("the Figure-1 chain is a valid preset");
         Fig1Network {
-            topology,
-            nodes,
-            links,
-            reverse_links,
+            topology: built.topology,
+            nodes: built.nodes,
+            links: built.forward,
+            reverse_links: built.reverse,
         }
     }
 

@@ -1,0 +1,214 @@
+//! Heterogeneous-mix sweep: per-class delay and jitter versus offered load
+//! across all four disciplines.
+//!
+//! The paper compares disciplines on a homogeneous population of on/off
+//! sources; the second scenario the declarative API unlocks mixes source
+//! models the way a real integrated-services link would see them — CBR
+//! "voice" circuits on guaranteed service, bursty on/off "video" on
+//! Predicted-High, Poisson "transaction" traffic on Predicted-Low and a
+//! greedy Poisson datagram background — and sweeps the number of flows per
+//! class (the offered-load knob) under FIFO, FIFO+, WFQ and the unified
+//! scheduler.  The interesting read-outs are the per-class *jitter* (CBR
+//! circuits care about delay variance far more than mean) and how each
+//! discipline splits the pain as the link saturates.
+
+use ispn_core::TokenBucketSpec;
+use ispn_net::PoliceAction;
+use ispn_scenario::{
+    DisciplineSpec, FlowDef, MeasurementPlan, RouteSpec, ScenarioBuilder, ServiceSpec, SourceSpec,
+};
+use ispn_sched::Averaging;
+
+use crate::config::PaperConfig;
+use crate::mesh::{aggregate_class, ClassStats};
+use crate::table3::{HIGH_PRIORITY_TARGET_PKT, LOW_PRIORITY_TARGET_PKT};
+
+/// The four disciplines the sweep compares.
+pub fn discipline_set() -> [DisciplineSpec; 4] {
+    [
+        DisciplineSpec::Fifo,
+        DisciplineSpec::FifoPlus(Averaging::RunningMean),
+        DisciplineSpec::Wfq,
+        DisciplineSpec::Unified {
+            priority_classes: 2,
+            averaging: Averaging::RunningMean,
+        },
+    ]
+}
+
+/// One sweep point: one discipline at one load level.
+#[derive(Debug, Clone)]
+pub struct HetMixPoint {
+    /// Discipline label.
+    pub scheduler: &'static str,
+    /// Flows per class.
+    pub level: usize,
+    /// Measured link utilization.
+    pub utilization: f64,
+    /// Per-class aggregates: Guaranteed-CBR, Predicted-High (on/off),
+    /// Predicted-Low (Poisson), Datagram.
+    pub classes: Vec<ClassStats>,
+}
+
+/// Run one (discipline, level) point: a single shared link carrying
+/// `level` flows of each real-time class plus the datagram background.
+pub fn run_point(cfg: &PaperConfig, spec: DisciplineSpec, level: usize) -> HetMixPoint {
+    assert!(level >= 1);
+    let pt = cfg.packet_time();
+    let a = cfg.avg_rate_pps;
+    let bucket = TokenBucketSpec::per_packets(a, 50.0, cfg.packet_bits);
+    // A CBR circuit is not bursty: a clock rate 10 % above its constant
+    // rate keeps the reservation honest without hoarding the link.
+    let cbr_clock_bps = 1.1 * a * cfg.packet_bits as f64;
+
+    let mut builder = ScenarioBuilder::chain(2)
+        .link_profile(crate::fig1::Fig1Network::link_profile(cfg))
+        .discipline(spec);
+    // Guaranteed CBR circuits.
+    for _ in 0..level {
+        builder = builder.flow(
+            FlowDef::new(
+                RouteSpec::Span { first: 0, hops: 1 },
+                ServiceSpec::Guaranteed {
+                    clock_rate_bps: cbr_clock_bps,
+                },
+            )
+            .source(SourceSpec::cbr(a, cfg.packet_bits)),
+        );
+    }
+    // Predicted-High on/off video.
+    for i in 0..level {
+        builder = builder.flow(
+            FlowDef::new(
+                RouteSpec::Span { first: 0, hops: 1 },
+                ServiceSpec::Predicted {
+                    priority: 0,
+                    bucket,
+                    target_delay: pt.mul_f64(HIGH_PRIORITY_TARGET_PKT),
+                    loss_rate: 0.001,
+                    police: PoliceAction::Drop,
+                },
+            )
+            .source(SourceSpec::onoff_paper(a, cfg.flow_seed(i as u32))),
+        );
+    }
+    // Predicted-Low Poisson transactions.
+    for i in 0..level {
+        builder = builder.flow(
+            FlowDef::new(
+                RouteSpec::Span { first: 0, hops: 1 },
+                ServiceSpec::Predicted {
+                    priority: 1,
+                    bucket,
+                    target_delay: pt.mul_f64(LOW_PRIORITY_TARGET_PKT),
+                    loss_rate: 0.001,
+                    police: PoliceAction::Drop,
+                },
+            )
+            .source(SourceSpec::poisson(
+                a,
+                cfg.packet_bits,
+                cfg.flow_seed(1000 + i as u32),
+            )),
+        );
+    }
+    // The datagram background: a greedy Poisson source at twice the
+    // per-flow rate.
+    builder = builder.flow(
+        FlowDef::new(RouteSpec::Span { first: 0, hops: 1 }, ServiceSpec::Datagram).source(
+            SourceSpec::poisson(2.0 * a, cfg.packet_bits, cfg.flow_seed(2000)),
+        ),
+    );
+
+    let mut sim = builder.build().expect("the mix scenario is valid");
+    sim.run_until(cfg.duration);
+    let report = sim.report(&MeasurementPlan::default());
+
+    let classes = vec![
+        aggregate_class(&report.flows[0..level], cfg, "Guaranteed-CBR"),
+        aggregate_class(&report.flows[level..2 * level], cfg, "Predicted-High"),
+        aggregate_class(&report.flows[2 * level..3 * level], cfg, "Predicted-Low"),
+        aggregate_class(&report.flows[3 * level..], cfg, "Datagram"),
+    ];
+    HetMixPoint {
+        scheduler: spec.label(),
+        level,
+        utilization: report.links[0].utilization,
+        classes,
+    }
+}
+
+/// The full sweep: every discipline at every load level.
+pub fn sweep(cfg: &PaperConfig, levels: &[usize]) -> Vec<HetMixPoint> {
+    let mut out = Vec::new();
+    for spec in discipline_set() {
+        for &level in levels {
+            out.push(run_point(cfg, spec, level));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispn_sim::SimTime;
+
+    fn short() -> PaperConfig {
+        PaperConfig {
+            duration: SimTime::from_secs(20),
+            ..PaperConfig::paper()
+        }
+    }
+
+    #[test]
+    fn load_rises_with_level() {
+        let cfg = short();
+        let light = run_point(&cfg, DisciplineSpec::Fifo, 1);
+        let heavy = run_point(&cfg, DisciplineSpec::Fifo, 3);
+        assert!(
+            heavy.utilization > light.utilization + 0.2,
+            "{} vs {}",
+            heavy.utilization,
+            light.utilization
+        );
+        assert_eq!(light.classes.len(), 4);
+        assert_eq!(light.classes[3].flows, 1);
+    }
+
+    #[test]
+    fn unified_protects_cbr_jitter_under_load() {
+        let cfg = short();
+        let fifo = run_point(&cfg, DisciplineSpec::Fifo, 3);
+        let unified = run_point(
+            &cfg,
+            DisciplineSpec::Unified {
+                priority_classes: 2,
+                averaging: Averaging::RunningMean,
+            },
+            3,
+        );
+        let cbr = |p: &HetMixPoint| p.classes[0].jitter;
+        // Under FIFO the CBR circuits inherit the bursts of everyone else;
+        // the unified scheduler isolates them.
+        assert!(
+            cbr(&unified) < cbr(&fifo),
+            "unified {} vs fifo {}",
+            cbr(&unified),
+            cbr(&fifo)
+        );
+    }
+
+    #[test]
+    fn sweep_covers_every_discipline_and_level() {
+        let cfg = PaperConfig {
+            duration: SimTime::from_secs(5),
+            ..PaperConfig::paper()
+        };
+        let points = sweep(&cfg, &[1, 2]);
+        assert_eq!(points.len(), 8);
+        let schedulers: std::collections::BTreeSet<&str> =
+            points.iter().map(|p| p.scheduler).collect();
+        assert_eq!(schedulers.len(), 4);
+    }
+}

@@ -14,8 +14,14 @@
 //! * [`extensions`] — hop-count sweeps, adaptive-vs-rigid playback,
 //!   measurement-based admission control, and utilization sweeps,
 //! * [`churn`] — dynamic flow signaling under Poisson arrivals and
-//!   exponential holding times (`ispn-signal` exercised end to end):
-//!   blocking probability and bound compliance versus offered load,
+//!   exponential holding times (`ispn-signal` exercised end to end through
+//!   the `ispn-scenario` facade): blocking probability and bound
+//!   compliance versus offered load,
+//! * [`mesh`] — guaranteed + predicted + datagram cross-traffic on the
+//!   shared interior links of a 3×3 grid (scenario-API study),
+//! * [`hetmix`] — per-class delay/jitter versus offered load for a
+//!   heterogeneous CBR / on-off / Poisson mix across all four disciplines
+//!   (scenario-API study),
 //! * [`report`] — text rendering next to the paper's published numbers,
 //! * [`support`] — shared plumbing (discipline factory, source wiring).
 //!
@@ -30,6 +36,8 @@ pub mod churn;
 pub mod config;
 pub mod extensions;
 pub mod fig1;
+pub mod hetmix;
+pub mod mesh;
 pub mod report;
 pub mod support;
 pub mod table1;

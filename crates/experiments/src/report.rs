@@ -13,6 +13,8 @@ use crate::extensions::hops::HopsPoint;
 use crate::extensions::playback::PlaybackComparison;
 use crate::extensions::utilization::UtilizationPoint;
 use crate::fig1::FlowKind;
+use crate::hetmix::HetMixPoint;
+use crate::mesh::MeshOutcome;
 use crate::table1::Table1;
 use crate::table2::Table2;
 use crate::table3::Table3;
@@ -283,6 +285,82 @@ pub fn render_churn(points: &[ChurnOutcome]) -> String {
             o.violations.to_string(),
             format!("{:.0}%", o.worst_bound_fraction * 100.0),
         ]);
+    }
+    table.render()
+}
+
+/// Render the mesh cross-traffic study.
+pub fn render_mesh(points: &[MeshOutcome]) -> String {
+    let mut table = TextTable::new(
+        "Mesh — cross-traffic on the 3×3 grid's interior links, unified scheduler\n\
+         (delays in packet times; 'cross' = Predicted-Low flows per row)",
+    )
+    .header([
+        "cross",
+        "class",
+        "flows",
+        "mean",
+        "worst 99.9 %ile",
+        "worst max",
+        "jitter",
+        "loss",
+    ]);
+    for o in points {
+        for c in &o.classes {
+            table.row([
+                o.cross_flows_per_row.to_string(),
+                c.class.to_string(),
+                c.flows.to_string(),
+                f2(c.mean),
+                f2(c.worst_p999),
+                f2(c.worst_max),
+                f2(c.jitter),
+                format!("{:.3}%", c.loss_rate * 100.0),
+            ]);
+        }
+    }
+    let mut out = table.render();
+    for o in points {
+        out.push_str(&format!(
+            "cross {}: interior links {:.1}% busy ({} drops), edge links {:.1}%\n",
+            o.cross_flows_per_row,
+            o.interior_utilization * 100.0,
+            o.interior_drops,
+            o.edge_utilization * 100.0,
+        ));
+    }
+    out
+}
+
+/// Render the heterogeneous-mix sweep.
+pub fn render_hetmix(points: &[HetMixPoint]) -> String {
+    let mut table = TextTable::new(
+        "Heterogeneous mix — CBR + on/off + Poisson per class on one link\n\
+         (delays in packet times; 'level' = flows per class)",
+    )
+    .header([
+        "scheduling",
+        "level",
+        "utilization",
+        "class",
+        "mean",
+        "worst 99.9 %ile",
+        "jitter",
+        "loss",
+    ]);
+    for p in points {
+        for c in &p.classes {
+            table.row([
+                p.scheduler.to_string(),
+                p.level.to_string(),
+                format!("{:.1}%", p.utilization * 100.0),
+                c.class.to_string(),
+                f2(c.mean),
+                f2(c.worst_p999),
+                f2(c.jitter),
+                format!("{:.3}%", c.loss_rate * 100.0),
+            ]);
+        }
     }
     table.render()
 }

@@ -36,6 +36,20 @@ impl DisciplineKind {
         }
     }
 
+    /// The scenario-API recipe for this discipline (the declarative
+    /// counterpart of [`build`](DisciplineKind::build); the builder fills
+    /// in per-link context like the equal-share flow count).
+    pub fn spec(self) -> ispn_scenario::DisciplineSpec {
+        use ispn_scenario::DisciplineSpec;
+        match self {
+            DisciplineKind::Fifo => DisciplineSpec::Fifo,
+            DisciplineKind::Wfq => DisciplineSpec::Wfq,
+            DisciplineKind::FifoPlus => DisciplineSpec::FifoPlus(Averaging::RunningMean),
+            DisciplineKind::FifoPlusEwma => DisciplineSpec::FifoPlus(Averaging::Ewma(1.0 / 16.0)),
+            DisciplineKind::VirtualClock => DisciplineSpec::VirtualClock,
+        }
+    }
+
     /// Construct a fresh discipline instance for one link shared by
     /// `flows_on_link` equal flows.
     pub fn build(self, cfg: &PaperConfig, flows_on_link: usize) -> Box<dyn QueueDiscipline> {

@@ -8,12 +8,11 @@
 //! algorithms, the 99.9'th percentile delays are significantly smaller under
 //! the FIFO algorithm."  The link runs at 83.5 % utilization.
 
-use ispn_core::FlowSpec;
-use ispn_net::{FlowConfig, Network, Topology};
+use ispn_scenario::{FlowDef, LinkProfile, ScenarioBuilder, SourceSpec};
 use ispn_sim::SimTime;
 
 use crate::config::PaperConfig;
-use crate::support::{attach_onoff, realtime_class, DisciplineKind};
+use crate::support::DisciplineKind;
 
 /// Number of flows sharing the single link.
 pub const NUM_FLOWS: usize = 10;
@@ -43,30 +42,31 @@ pub struct Table1 {
     pub rows: Vec<Table1Row>,
 }
 
-/// Run the single-link scenario under one discipline.
+/// Run the single-link scenario under one discipline — a two-switch chain
+/// with ten identically distributed on/off flows, declared through the
+/// scenario API.
 pub fn run_single_link(cfg: &PaperConfig, discipline: DisciplineKind) -> Table1Row {
-    let (topo, _nodes, links) =
-        Topology::chain(2, cfg.link_rate_bps, SimTime::ZERO, cfg.buffer_packets);
-    let link = links[0];
-    let mut net = Network::new(topo);
-    net.set_discipline(link, discipline.build(cfg, NUM_FLOWS));
+    let mut sim = ScenarioBuilder::chain(2)
+        .link_profile(LinkProfile {
+            rate_bps: cfg.link_rate_bps,
+            propagation: SimTime::ZERO,
+            buffer_packets: cfg.buffer_packets,
+        })
+        .discipline(discipline.spec())
+        .flows((0..NUM_FLOWS).map(|i| {
+            FlowDef::best_effort_realtime(0, 1).source(SourceSpec::onoff_paper(
+                cfg.avg_rate_pps,
+                cfg.flow_seed(i as u32),
+            ))
+        }))
+        .build()
+        .expect("the Table-1 scenario is valid");
 
-    let mut flows = Vec::with_capacity(NUM_FLOWS);
-    for i in 0..NUM_FLOWS {
-        let flow = net.add_flow(FlowConfig {
-            route: vec![link],
-            spec: FlowSpec::Datagram,
-            class: realtime_class(),
-            edge_policer: None,
-            sink: None,
-        });
-        attach_onoff(&mut net, flow, cfg, i as u32);
-        flows.push(flow);
-    }
-
-    net.run_until(cfg.duration);
+    sim.run_until(cfg.duration);
 
     let pt = cfg.packet_time().as_secs_f64();
+    let flows = sim.flows().to_vec();
+    let net = sim.network_mut();
     let sample = net.monitor_mut().flow_report(flows[0]);
     let mut mean_sum = 0.0;
     let mut worst_p999: f64 = 0.0;
@@ -81,7 +81,7 @@ pub fn run_single_link(cfg: &PaperConfig, discipline: DisciplineKind) -> Table1R
         p999: sample.p999_delay / pt,
         all_flows_mean: mean_sum / NUM_FLOWS as f64 / pt,
         all_flows_worst_p999: worst_p999 / pt,
-        utilization: net.monitor().link_report(link.index()).utilization,
+        utilization: net.monitor().link_report(0).utilization,
     }
 }
 

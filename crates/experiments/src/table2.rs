@@ -8,12 +8,12 @@
 //! delays increase with path length for all three algorithms, the rate of
 //! growth is much smaller with the FIFO+ algorithm."
 
-use ispn_core::{FlowId, FlowSpec};
-use ispn_net::{FlowConfig, Network};
+use ispn_core::FlowId;
+use ispn_scenario::{FlowDef, ScenarioBuilder, Sim, SourceSpec, TopologySpec};
 
 use crate::config::PaperConfig;
-use crate::fig1::{self, Fig1Network, FlowPlacement, FLOWS_PER_LINK};
-use crate::support::{attach_onoff, realtime_class, DisciplineKind};
+use crate::fig1::{self, Fig1Network, FlowPlacement};
+use crate::support::DisciplineKind;
 
 /// One cell group of Table 2: the sample flow of one path length under one
 /// discipline (delays in packet transmission times).
@@ -49,31 +49,26 @@ impl Table2 {
 }
 
 /// Build the Figure-1 network with 22 identically distributed on/off flows
-/// (Table 2 ignores the Table-3 class assignment) under one discipline, run
-/// it, and return the registered flows alongside the network.
+/// (Table 2 ignores the Table-3 class assignment) under one discipline,
+/// declared through the scenario API, run it, and return the simulation
+/// alongside the placed flows.
 pub fn run_chain(
     cfg: &PaperConfig,
     discipline: DisciplineKind,
-) -> (Network, Vec<(FlowPlacement, FlowId)>) {
-    let skeleton = Fig1Network::build(cfg);
-    let mut net = Network::new(skeleton.topology.clone());
-    for &link in &skeleton.links {
-        net.set_discipline(link, discipline.build(cfg, FLOWS_PER_LINK));
+) -> (Sim, Vec<(FlowPlacement, FlowId)>) {
+    let placements = fig1::placement();
+    let mut builder = ScenarioBuilder::new(TopologySpec::chain_duplex(5))
+        .link_profile(Fig1Network::link_profile(cfg))
+        .discipline(discipline.spec());
+    for (i, p) in placements.iter().enumerate() {
+        builder = builder.flow(FlowDef::best_effort_realtime(p.first_link, p.hops).source(
+            SourceSpec::onoff_paper(cfg.avg_rate_pps, cfg.flow_seed(i as u32)),
+        ));
     }
-    let mut flows = Vec::new();
-    for (i, p) in fig1::placement().into_iter().enumerate() {
-        let flow = net.add_flow(FlowConfig {
-            route: skeleton.route_for(&p),
-            spec: FlowSpec::Datagram,
-            class: realtime_class(),
-            edge_policer: None,
-            sink: None,
-        });
-        attach_onoff(&mut net, flow, cfg, i as u32);
-        flows.push((p, flow));
-    }
-    net.run_until(cfg.duration);
-    (net, flows)
+    let mut sim = builder.build().expect("the Table-2 scenario is valid");
+    let flows = placements.into_iter().zip(sim.flows().to_vec()).collect();
+    sim.run_until(cfg.duration);
+    (sim, flows)
 }
 
 /// Pick the sample flow the table reports for each path length: the flow of
@@ -93,7 +88,8 @@ pub fn run(cfg: &PaperConfig) -> Table2 {
     let mut cells = Vec::new();
     let mut utilization = Vec::new();
     for discipline in DisciplineKind::table2_set() {
-        let (mut net, flows) = run_chain(cfg, discipline);
+        let (mut sim, flows) = run_chain(cfg, discipline);
+        let net = sim.network_mut();
         let pt = cfg.packet_time().as_secs_f64();
         for path_length in 1..=4 {
             let flow = sample_flow(&flows, path_length);
@@ -148,15 +144,10 @@ mod tests {
 
     #[test]
     fn sample_flows_prefer_earliest_entry() {
-        let cfg = PaperConfig::fast();
-        let skeleton = Fig1Network::build(&cfg);
-        let mut net = Network::new(skeleton.topology.clone());
         let flows: Vec<(FlowPlacement, FlowId)> = fig1::placement()
             .into_iter()
-            .map(|p| {
-                let f = net.add_flow(FlowConfig::datagram(skeleton.route_for(&p)));
-                (p, f)
-            })
+            .enumerate()
+            .map(|(i, p)| (p, FlowId(i as u32)))
             .collect();
         for h in 1..=4 {
             let f = sample_flow(&flows, h);

@@ -14,13 +14,16 @@
 
 use ispn_core::bounds::pg_queueing_bound;
 use ispn_core::{FlowId, TokenBucketSpec};
-use ispn_net::{FlowConfig, Network, PoliceAction};
-use ispn_sched::{Averaging, Unified};
-use ispn_transport::{install_tcp, SharedTcpStats, TcpConfig};
+use ispn_net::{LinkId, PoliceAction};
+use ispn_scenario::{
+    DisciplineMatrix, DisciplineSpec, FlowDef, RouteSpec, ScenarioBuilder, ServiceSpec, Sim,
+    SourceSpec, TcpDef, TopologySpec,
+};
+use ispn_sched::Averaging;
+use ispn_transport::SharedTcpStats;
 
 use crate::config::PaperConfig;
 use crate::fig1::{self, Fig1Network, FlowKind, FlowPlacement};
-use crate::support::attach_onoff;
 
 /// Per-hop delay targets for the two predicted classes (the paper asks for
 /// "widely spaced" targets; an order of magnitude apart, in packet times).
@@ -97,8 +100,8 @@ pub fn pg_bucket(cfg: &PaperConfig, kind: FlowKind) -> TokenBucketSpec {
 /// Everything the scenario constructs, exposed so tests, examples and the
 /// admission-control extension can reuse the wiring.
 pub struct Table3Scenario {
-    /// The network, ready to run.
-    pub net: Network,
+    /// The simulation (network + control plane), ready to run.
+    pub sim: Sim,
     /// The 22 real-time flows with their placements.
     pub flows: Vec<(FlowPlacement, FlowId)>,
     /// The TCP connections' shared statistics.
@@ -107,76 +110,71 @@ pub struct Table3Scenario {
     pub tcp_data_flows: Vec<FlowId>,
 }
 
-/// Build the Table-3 scenario (does not run it).
-pub fn build(cfg: &PaperConfig) -> Table3Scenario {
-    let skeleton = Fig1Network::build(cfg);
-    let mut net = Network::new(skeleton.topology.clone());
-    let placements = fig1::placement();
-
-    // Register the 22 real-time flows.
+/// The declarative flow definition of one Table-3 placement.
+pub fn flow_def(cfg: &PaperConfig, p: &FlowPlacement, seed_index: u32) -> FlowDef {
     let source_bucket = TokenBucketSpec::per_packets(cfg.avg_rate_pps, 50.0, cfg.packet_bits);
     let pt = cfg.packet_time();
-    let mut flows = Vec::new();
-    for p in &placements {
-        let route = skeleton.route_for(p);
-        let config = match p.kind {
-            FlowKind::GuaranteedPeak | FlowKind::GuaranteedAverage => {
-                FlowConfig::guaranteed(route, clock_rate_bps(cfg, p.kind))
-            }
-            FlowKind::PredictedHigh => FlowConfig::predicted(
-                route,
-                0,
-                source_bucket,
-                pt.mul_f64(HIGH_PRIORITY_TARGET_PKT * p.hops as f64),
-                0.001,
-                PoliceAction::Drop,
-            ),
-            FlowKind::PredictedLow => FlowConfig::predicted(
-                route,
-                1,
-                source_bucket,
-                pt.mul_f64(LOW_PRIORITY_TARGET_PKT * p.hops as f64),
-                0.001,
-                PoliceAction::Drop,
-            ),
-        };
-        let id = net.add_flow(config);
-        flows.push((*p, id));
-    }
+    let service = match p.kind {
+        FlowKind::GuaranteedPeak | FlowKind::GuaranteedAverage => ServiceSpec::Guaranteed {
+            clock_rate_bps: clock_rate_bps(cfg, p.kind),
+        },
+        FlowKind::PredictedHigh => ServiceSpec::Predicted {
+            priority: 0,
+            bucket: source_bucket,
+            target_delay: pt.mul_f64(HIGH_PRIORITY_TARGET_PKT * p.hops as f64),
+            loss_rate: 0.001,
+            police: PoliceAction::Drop,
+        },
+        FlowKind::PredictedLow => ServiceSpec::Predicted {
+            priority: 1,
+            bucket: source_bucket,
+            target_delay: pt.mul_f64(LOW_PRIORITY_TARGET_PKT * p.hops as f64),
+            loss_rate: 0.001,
+            police: PoliceAction::Drop,
+        },
+    };
+    FlowDef::new(
+        RouteSpec::Span {
+            first: p.first_link,
+            hops: p.hops,
+        },
+        service,
+    )
+    .source(SourceSpec::onoff_paper(
+        cfg.avg_rate_pps,
+        cfg.flow_seed(seed_index),
+    ))
+}
 
-    // Install the unified scheduler on every forward link, registering the
-    // guaranteed flows that cross it with their clock rates.
-    for (link_idx, &link) in skeleton.links.iter().enumerate() {
-        let mut unified = Unified::new(cfg.link_rate_bps, 2, Averaging::RunningMean);
-        for (p, id) in &flows {
-            if p.kind.is_guaranteed() && p.link_indices().contains(&link_idx) {
-                unified.add_guaranteed_flow(*id, clock_rate_bps(cfg, p.kind));
-            }
-        }
-        net.set_discipline(link, Box::new(unified));
+/// Build the Table-3 scenario (does not run it): the Figure-1 duplex
+/// chain, the unified scheduler on every forward link, the 22 classed
+/// flows and the two TCP connections — all declared through the scenario
+/// API.
+pub fn build(cfg: &PaperConfig) -> Table3Scenario {
+    let placements = fig1::placement();
+    let forward: Vec<LinkId> = (0..fig1::NUM_LINKS).map(LinkId).collect();
+    let mut builder = ScenarioBuilder::new(TopologySpec::chain_duplex(5))
+        .link_profile(Fig1Network::link_profile(cfg))
+        .disciplines(DisciplineMatrix::default().with_links(
+            &forward,
+            DisciplineSpec::Unified {
+                priority_classes: 2,
+                averaging: Averaging::RunningMean,
+            },
+        ));
+    for (i, p) in placements.iter().enumerate() {
+        builder = builder.flow(flow_def(cfg, p, i as u32));
     }
-
-    // Attach the on/off sources.
-    for (i, (_, id)) in flows.iter().enumerate() {
-        attach_onoff(&mut net, *id, cfg, i as u32);
-    }
-
-    // The two datagram TCP connections.
-    let mut tcp_stats = Vec::new();
-    let mut tcp_data_flows = Vec::new();
     for (first, hops) in fig1::tcp_placement() {
-        let handles = install_tcp(
-            &mut net,
-            skeleton.route_span(first, hops),
-            skeleton.reverse_route_span(first, hops),
-            TcpConfig::default(),
-        );
-        tcp_stats.push(handles.stats);
-        tcp_data_flows.push(handles.data_flow);
+        builder = builder.tcp(TcpDef::over_span(first, hops));
     }
+    let sim = builder.build().expect("the Table-3 scenario is valid");
 
+    let flows = placements.into_iter().zip(sim.flows().to_vec()).collect();
+    let tcp_stats = sim.tcp().iter().map(|h| h.stats.clone()).collect();
+    let tcp_data_flows = sim.tcp().iter().map(|h| h.data_flow).collect();
     Table3Scenario {
-        net,
+        sim,
         flows,
         tcp_stats,
         tcp_data_flows,
@@ -198,7 +196,7 @@ fn sample_flow(
 /// Run the Table-3 scenario and summarize it in the paper's format.
 pub fn run(cfg: &PaperConfig) -> Table3 {
     let mut scenario = build(cfg);
-    scenario.net.run_until(cfg.duration);
+    scenario.sim.run_until(cfg.duration);
     summarize(cfg, &mut scenario)
 }
 
@@ -219,7 +217,7 @@ pub fn summarize(cfg: &PaperConfig, scenario: &mut Table3Scenario) -> Table3 {
     for (kind, hops) in samples {
         let flow = sample_flow(&scenario.flows, kind, hops)
             .expect("the placement provides every sample row");
-        let r = scenario.net.monitor_mut().flow_report(flow);
+        let r = scenario.sim.network_mut().monitor_mut().flow_report(flow);
         let pg_bound = kind.is_guaranteed().then(|| {
             pg_queueing_bound(
                 pg_bucket(cfg, kind),
@@ -245,7 +243,7 @@ pub fn summarize(cfg: &PaperConfig, scenario: &mut Table3Scenario) -> Table3 {
     let mut generated = 0u64;
     let mut dropped = 0u64;
     for &f in &scenario.tcp_data_flows {
-        let r = scenario.net.monitor_mut().flow_report(f);
+        let r = scenario.sim.network_mut().monitor_mut().flow_report(f);
         generated += r.generated;
         dropped += r.dropped_buffer;
     }
@@ -258,7 +256,7 @@ pub fn summarize(cfg: &PaperConfig, scenario: &mut Table3Scenario) -> Table3 {
     let mut util = 0.0;
     let mut rt_util = 0.0;
     for i in 0..fig1::NUM_LINKS {
-        let lr = scenario.net.monitor().link_report(i);
+        let lr = scenario.sim.network().monitor().link_report(i);
         util += lr.utilization;
         rt_util += lr.realtime_utilization;
     }
@@ -308,17 +306,20 @@ mod tests {
         let cfg = PaperConfig::fast();
         let scenario = build(&cfg);
         // 22 real-time flows + 2 TCP data flows + 2 TCP ack flows.
-        assert_eq!(scenario.net.num_flows(), 26);
+        assert_eq!(scenario.sim.network().num_flows(), 26);
         assert_eq!(scenario.flows.len(), 22);
         assert_eq!(scenario.tcp_stats.len(), 2);
         // Every forward link runs the unified scheduler.
         for i in 0..fig1::NUM_LINKS {
-            assert_eq!(scenario.net.discipline_name(ispn_net::LinkId(i)), "Unified");
+            assert_eq!(
+                scenario.sim.network().discipline_name(ispn_net::LinkId(i)),
+                "Unified"
+            );
         }
         // Guaranteed flows carry the Guaranteed class, predicted flows their
         // priorities.
         for (p, id) in &scenario.flows {
-            let class = scenario.net.flow_config(*id).class;
+            let class = scenario.sim.network().flow_config(*id).class;
             match p.kind {
                 FlowKind::GuaranteedPeak | FlowKind::GuaranteedAverage => {
                     assert_eq!(class, ServiceClass::Guaranteed)

@@ -120,6 +120,8 @@ impl std::fmt::Display for SetupError {
     }
 }
 
+impl std::error::Error for SetupError {}
+
 struct FlowState {
     config: FlowConfig,
     policer: Option<TokenBucket>,

@@ -1,0 +1,401 @@
+//! Measurement plans and the structured scenario report.
+//!
+//! A [`MeasurementPlan`] selects what to collect; [`ScenarioReport`] is the
+//! structured result, serializable to JSON (hand-rolled — this workspace
+//! builds offline, so no serde) and renderable as text for quick reading.
+
+use ispn_core::FlowId;
+use ispn_net::Network;
+use ispn_signal::Signaling;
+use ispn_stats::TextTable;
+
+/// What a scenario run should collect into its report.
+#[derive(Debug, Clone)]
+pub struct MeasurementPlan {
+    /// Collect per-flow delay and loss statistics.
+    pub flow_stats: bool,
+    /// Collect per-link utilization and drop statistics.
+    pub link_stats: bool,
+    /// Collect the signaling decision record (accepted/rejected setups).
+    pub signaling_stats: bool,
+}
+
+impl Default for MeasurementPlan {
+    /// Everything on.
+    fn default() -> Self {
+        MeasurementPlan {
+            flow_stats: true,
+            link_stats: true,
+            signaling_stats: true,
+        }
+    }
+}
+
+impl MeasurementPlan {
+    /// Only per-flow statistics.
+    pub fn flows_only() -> Self {
+        MeasurementPlan {
+            flow_stats: true,
+            link_stats: false,
+            signaling_stats: false,
+        }
+    }
+}
+
+/// Per-flow summary (delays in seconds).
+#[derive(Debug, Clone)]
+pub struct FlowSummary {
+    /// Numeric flow id.
+    pub flow: u32,
+    /// Packets the source submitted.
+    pub generated: u64,
+    /// Packets delivered end to end.
+    pub delivered: u64,
+    /// Packets dropped to full buffers.
+    pub dropped_buffer: u64,
+    /// Packets dropped by edge policing.
+    pub dropped_at_edge: u64,
+    /// Packets discarded while the flow held no reservation.
+    pub dropped_inactive: u64,
+    /// Mean queueing delay.
+    pub mean_delay_s: f64,
+    /// 99.9th-percentile queueing delay.
+    pub p999_delay_s: f64,
+    /// Maximum queueing delay.
+    pub max_delay_s: f64,
+    /// Delay jitter: the standard deviation of the queueing delay.
+    pub jitter_s: f64,
+}
+
+/// Per-link summary.
+#[derive(Debug, Clone)]
+pub struct LinkSummary {
+    /// Numeric link id.
+    pub link: usize,
+    /// Fraction of the run the link was transmitting.
+    pub utilization: f64,
+    /// Fraction of the run spent on real-time traffic.
+    pub realtime_utilization: f64,
+    /// Packets dropped at this link's buffer.
+    pub drops: u64,
+    /// Packets transmitted.
+    pub packets_sent: u64,
+}
+
+/// Signaling summary: the decision record of completed setups.
+#[derive(Debug, Clone)]
+pub struct SignalingSummary {
+    /// Setups admitted on every hop.
+    pub accepted: usize,
+    /// Setups refused by some hop.
+    pub rejected: usize,
+    /// Chronological accept/reject sequence.
+    pub decisions: Vec<bool>,
+    /// Transactions still in flight when the report was taken.
+    pub pending: usize,
+}
+
+/// The structured result of a scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// End of the measured interval, in seconds of simulated time.
+    pub horizon_s: f64,
+    /// Per-flow summaries, for the flows the builder declared (in
+    /// declaration order) — empty if the plan skipped flow stats.
+    pub flows: Vec<FlowSummary>,
+    /// Per-link summaries for every link — empty if skipped.
+    pub links: Vec<LinkSummary>,
+    /// Signaling summary, if the plan asked for one.
+    pub signaling: Option<SignalingSummary>,
+}
+
+fn stddev(samples: &[f64]) -> f64 {
+    let n = samples.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+    var.sqrt()
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl ScenarioReport {
+    /// Collect a report from a run network (the facade's
+    /// [`Sim::report`](crate::Sim::report) calls this).
+    pub fn collect(
+        plan: &MeasurementPlan,
+        net: &mut Network,
+        sig: &Signaling,
+        flows: &[FlowId],
+    ) -> ScenarioReport {
+        let horizon_s = net.monitor().horizon().as_secs_f64();
+        let flow_summaries = if plan.flow_stats {
+            flows
+                .iter()
+                .map(|&f| {
+                    let jitter_s = stddev(net.monitor().flow_delays(f).samples());
+                    let r = net.monitor_mut().flow_report(f);
+                    FlowSummary {
+                        flow: f.0,
+                        generated: r.generated,
+                        delivered: r.delivered,
+                        dropped_buffer: r.dropped_buffer,
+                        dropped_at_edge: r.dropped_at_edge,
+                        dropped_inactive: r.dropped_inactive,
+                        mean_delay_s: r.mean_delay,
+                        p999_delay_s: r.p999_delay,
+                        max_delay_s: r.max_delay,
+                        jitter_s,
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let link_summaries = if plan.link_stats {
+            (0..net.monitor().num_links())
+                .map(|i| {
+                    let r = net.monitor().link_report(i);
+                    LinkSummary {
+                        link: i,
+                        utilization: r.utilization,
+                        realtime_utilization: r.realtime_utilization,
+                        drops: r.drops,
+                        packets_sent: r.packets_sent,
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let signaling = plan.signaling_stats.then(|| {
+            let decisions: Vec<bool> = sig.decision_log().iter().map(|&(_, a)| a).collect();
+            let accepted = decisions.iter().filter(|&&a| a).count();
+            SignalingSummary {
+                accepted,
+                rejected: decisions.len() - accepted,
+                decisions,
+                pending: sig.pending(),
+            }
+        });
+        ScenarioReport {
+            horizon_s,
+            flows: flow_summaries,
+            links: link_summaries,
+            signaling,
+        }
+    }
+
+    /// Serialize the report as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!("{{\"horizon_s\":{},", json_f64(self.horizon_s)));
+        out.push_str("\"flows\":[");
+        for (i, f) in self.flows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"flow\":{},\"generated\":{},\"delivered\":{},\
+                 \"dropped_buffer\":{},\"dropped_at_edge\":{},\"dropped_inactive\":{},\
+                 \"mean_delay_s\":{},\"p999_delay_s\":{},\"max_delay_s\":{},\"jitter_s\":{}}}",
+                f.flow,
+                f.generated,
+                f.delivered,
+                f.dropped_buffer,
+                f.dropped_at_edge,
+                f.dropped_inactive,
+                json_f64(f.mean_delay_s),
+                json_f64(f.p999_delay_s),
+                json_f64(f.max_delay_s),
+                json_f64(f.jitter_s),
+            ));
+        }
+        out.push_str("],\"links\":[");
+        for (i, l) in self.links.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"link\":{},\"utilization\":{},\"realtime_utilization\":{},\
+                 \"drops\":{},\"packets_sent\":{}}}",
+                l.link,
+                json_f64(l.utilization),
+                json_f64(l.realtime_utilization),
+                l.drops,
+                l.packets_sent,
+            ));
+        }
+        out.push(']');
+        match &self.signaling {
+            Some(s) => {
+                let decisions: String = s
+                    .decisions
+                    .iter()
+                    .map(|&a| if a { "true" } else { "false" })
+                    .collect::<Vec<_>>()
+                    .join(",");
+                out.push_str(&format!(
+                    ",\"signaling\":{{\"accepted\":{},\"rejected\":{},\
+                     \"pending\":{},\"decisions\":[{decisions}]}}",
+                    s.accepted, s.rejected, s.pending,
+                ));
+            }
+            None => out.push_str(",\"signaling\":null"),
+        }
+        out.push('}');
+        out
+    }
+
+    /// Render the report as a text table (for bins and quick inspection).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.flows.is_empty() {
+            let mut table = TextTable::new(format!(
+                "Scenario flows ({:.0} s measured; delays in ms)",
+                self.horizon_s
+            ))
+            .header([
+                "flow",
+                "generated",
+                "delivered",
+                "lost",
+                "mean",
+                "99.9 %ile",
+                "max",
+                "jitter",
+            ]);
+            for f in &self.flows {
+                table.row([
+                    format!("{}", f.flow),
+                    f.generated.to_string(),
+                    f.delivered.to_string(),
+                    (f.dropped_buffer + f.dropped_at_edge).to_string(),
+                    format!("{:.3}", f.mean_delay_s * 1e3),
+                    format!("{:.3}", f.p999_delay_s * 1e3),
+                    format!("{:.3}", f.max_delay_s * 1e3),
+                    format!("{:.3}", f.jitter_s * 1e3),
+                ]);
+            }
+            out.push_str(&table.render());
+        }
+        if !self.links.is_empty() {
+            let mut table = TextTable::new("Scenario links").header([
+                "link",
+                "utilization",
+                "real-time",
+                "drops",
+                "packets",
+            ]);
+            for l in &self.links {
+                table.row([
+                    format!("L{}", l.link),
+                    format!("{:.1}%", l.utilization * 100.0),
+                    format!("{:.1}%", l.realtime_utilization * 100.0),
+                    l.drops.to_string(),
+                    l.packets_sent.to_string(),
+                ]);
+            }
+            out.push('\n');
+            out.push_str(&table.render());
+        }
+        if let Some(s) = &self.signaling {
+            out.push_str(&format!(
+                "\nsignaling: {} accepted, {} rejected, {} pending\n",
+                s.accepted, s.rejected, s.pending
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> ScenarioReport {
+        ScenarioReport {
+            horizon_s: 40.0,
+            flows: vec![FlowSummary {
+                flow: 0,
+                generated: 100,
+                delivered: 98,
+                dropped_buffer: 2,
+                dropped_at_edge: 0,
+                dropped_inactive: 0,
+                mean_delay_s: 0.003,
+                p999_delay_s: 0.05,
+                max_delay_s: 0.06,
+                jitter_s: 0.004,
+            }],
+            links: vec![LinkSummary {
+                link: 0,
+                utilization: 0.83,
+                realtime_utilization: 0.8,
+                drops: 2,
+                packets_sent: 98,
+            }],
+            signaling: Some(SignalingSummary {
+                accepted: 3,
+                rejected: 1,
+                decisions: vec![true, true, false, true],
+                pending: 0,
+            }),
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let json = sample_report().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "\"horizon_s\":40.0",
+            "\"flows\":[{\"flow\":0",
+            "\"delivered\":98",
+            "\"mean_delay_s\":0.003",
+            "\"links\":[{\"link\":0",
+            "\"utilization\":0.83",
+            "\"signaling\":{\"accepted\":3",
+            "\"decisions\":[true,true,false,true]",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn nonfinite_values_serialize_as_null() {
+        let mut r = sample_report();
+        r.flows[0].p999_delay_s = f64::NAN;
+        assert!(r.to_json().contains("\"p999_delay_s\":null"));
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let text = sample_report().render();
+        assert!(text.contains("Scenario flows"));
+        assert!(text.contains("Scenario links"));
+        assert!(text.contains("3 accepted, 1 rejected"));
+    }
+
+    #[test]
+    fn stddev_of_degenerate_inputs_is_zero() {
+        assert_eq!(stddev(&[]), 0.0);
+        assert_eq!(stddev(&[1.0]), 0.0);
+        assert!((stddev(&[1.0, 3.0]) - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+}

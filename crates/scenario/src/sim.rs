@@ -1,0 +1,404 @@
+//! The `Sim` facade: one object owning data plane, control plane and
+//! scheduled driver actions, stepped in global event-time order.
+//!
+//! Before this facade existed, every dynamic caller interleaved
+//! [`Signaling::process_until`] with [`Network::run_until`] by hand —
+//! typically in fixed-size slices, which meant completed signaling
+//! transactions were only *observed* at slice boundaries: a source admitted
+//! at `t` came alive at the next multiple of the slice, and the results
+//! depended on the slice width.  `Sim` removes that wart: control messages,
+//! data-plane events and user-scheduled actions are merged into one global
+//! timeline, handlers run at the exact simulated instant their event
+//! completes, and stepping granularity (`run_until` called once or a
+//! thousand times) cannot change any outcome.
+//!
+//! Ordering at equal timestamps is deterministic and documented:
+//! user-scheduled actions run before control messages due at the same
+//! instant, and control messages run before data-plane events at their
+//! instant (the engine's own convention).
+
+use ispn_core::{FlowId, TokenBucketSpec};
+use ispn_net::{FlowConfig, Network};
+use ispn_signal::{RequestId, SignalEvent, Signaling};
+use ispn_sim::{EventQueue, SimTime};
+use ispn_transport::TcpHandles;
+
+use crate::report::{MeasurementPlan, ScenarioReport};
+use crate::topology::BuiltTopology;
+
+/// A deferred driver action, run with exclusive access to the simulation at
+/// its scheduled instant.
+type Action = Box<dyn FnOnce(&mut Sim)>;
+
+/// A callback observing completed signaling transactions at their exact
+/// event time.
+type SignalHandler = Box<dyn FnMut(&SignalEvent, &mut Sim)>;
+
+/// The scenario simulation: network, signaling engine, scheduled actions
+/// and the signal-event handler, advanced together.
+pub struct Sim {
+    net: Network,
+    sig: Signaling,
+    actions: EventQueue<Action>,
+    handler: Option<SignalHandler>,
+    /// Set by [`clear_signal_handler`](Sim::clear_signal_handler) so a
+    /// clear issued *from inside* the handler (whose box is temporarily
+    /// taken out of `handler` during dispatch) is not undone by the
+    /// restore.
+    handler_cleared: bool,
+    /// Reentrancy guard: [`run_until`](Sim::run_until) must not be called
+    /// from inside a scheduled action or signal handler.
+    running: bool,
+    collected: Vec<SignalEvent>,
+    flows: Vec<FlowId>,
+    tcp: Vec<TcpHandles>,
+    built: BuiltTopology,
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.net.now())
+            .field("flows", &self.flows.len())
+            .field("tcp", &self.tcp.len())
+            .field("pending_actions", &self.actions.len())
+            .field("pending_signaling", &self.sig.pending())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Sim {
+    /// Assemble a simulation from already-wired parts (the builder's job;
+    /// prefer [`ScenarioBuilder`](crate::ScenarioBuilder)).
+    pub fn from_parts(
+        net: Network,
+        sig: Signaling,
+        flows: Vec<FlowId>,
+        tcp: Vec<TcpHandles>,
+        built: BuiltTopology,
+    ) -> Self {
+        Sim {
+            net,
+            sig,
+            actions: EventQueue::new(),
+            handler: None,
+            handler_cleared: false,
+            running: false,
+            collected: Vec::new(),
+            flows,
+            tcp,
+            built,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// The data plane.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Mutable access to the data plane (attach agents, pull reports).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// The control plane.
+    pub fn signaling(&self) -> &Signaling {
+        &self.sig
+    }
+
+    /// The flows declared through the builder, in declaration order.
+    pub fn flows(&self) -> &[FlowId] {
+        &self.flows
+    }
+
+    /// The TCP connections declared through the builder, in declaration
+    /// order.
+    pub fn tcp(&self) -> &[TcpHandles] {
+        &self.tcp
+    }
+
+    /// The built topology (preset link bookkeeping included).
+    pub fn built(&self) -> &BuiltTopology {
+        &self.built
+    }
+
+    /// Install the signal-event handler.  The handler runs at the exact
+    /// simulated instant each transaction completes, with full mutable
+    /// access to the simulation (add agents, schedule actions, submit or
+    /// tear down flows) — except [`run_until`](Sim::run_until), which must
+    /// not be re-entered.  Installing a handler replaces the previous one.
+    pub fn on_signal(&mut self, handler: impl FnMut(&SignalEvent, &mut Sim) + 'static) {
+        self.handler = Some(Box::new(handler));
+        self.handler_cleared = false;
+    }
+
+    /// Remove the signal-event handler (completed transactions are then
+    /// only collected and returned by [`run_until`](Sim::run_until)).
+    /// Also effective when called from inside the handler itself — a
+    /// one-shot handler may deregister on its first event.
+    pub fn clear_signal_handler(&mut self) {
+        self.handler = None;
+        self.handler_cleared = true;
+    }
+
+    /// Schedule an action at absolute simulated time `at` (clamped to the
+    /// current time if already past).
+    pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Sim) + 'static) {
+        let at = at.max(self.now());
+        self.actions.push(at, Box::new(action));
+    }
+
+    /// Schedule an action `delay` from now.
+    pub fn schedule_in(&mut self, delay: SimTime, action: impl FnOnce(&mut Sim) + 'static) {
+        self.schedule_at(self.now() + delay, action);
+    }
+
+    /// Drop every scheduled action that has not yet run (e.g. to stop an
+    /// arrival process before draining a churn scenario).
+    pub fn cancel_scheduled(&mut self) {
+        self.actions.clear();
+    }
+
+    /// Begin a hop-by-hop flow setup (see [`Signaling::submit`]).
+    pub fn submit(&mut self, config: FlowConfig) -> (RequestId, FlowId) {
+        self.sig.submit(&mut self.net, config)
+    }
+
+    /// Begin a teardown (see [`Signaling::teardown`]).
+    pub fn teardown(&mut self, flow: FlowId) {
+        self.sig.teardown(&mut self.net, flow);
+    }
+
+    /// Begin renegotiating a predicted flow's `(r, b)` declaration.
+    pub fn renegotiate_bucket(&mut self, flow: FlowId, new_bucket: TokenBucketSpec) -> RequestId {
+        self.sig.renegotiate_bucket(&mut self.net, flow, new_bucket)
+    }
+
+    /// Begin renegotiating a guaranteed flow's clock rate.
+    pub fn renegotiate_clock_rate(&mut self, flow: FlowId, new_rate_bps: f64) -> RequestId {
+        self.sig
+            .renegotiate_clock_rate(&mut self.net, flow, new_rate_bps)
+    }
+
+    fn dispatch(&mut self, events: Vec<SignalEvent>) {
+        for event in events {
+            if let Some(mut handler) = self.handler.take() {
+                self.handler_cleared = false;
+                handler(&event, self);
+                // Keep the handler unless the callback installed a new one
+                // or explicitly deregistered.
+                if self.handler.is_none() && !self.handler_cleared {
+                    self.handler = Some(handler);
+                }
+            }
+            self.collected.push(event);
+        }
+    }
+
+    /// Advance the simulation to `horizon`, stepping data-plane events,
+    /// control messages and scheduled actions in global event-time order.
+    /// Returns every signaling transaction that completed in the window,
+    /// in completion order (they were also delivered to the handler at
+    /// their exact times).  May be called repeatedly with increasing
+    /// horizons; the stepping granularity does not affect any outcome.
+    ///
+    /// # Panics
+    /// Panics if called from inside a scheduled action or signal handler:
+    /// those run *within* a `run_until` step, and a nested call would
+    /// steal the outer call's collected events and bypass the handler.
+    /// The simulation keeps advancing after the callback returns — there
+    /// is never a reason to pump it from inside one.
+    pub fn run_until(&mut self, horizon: SimTime) -> Vec<SignalEvent> {
+        assert!(
+            !self.running,
+            "Sim::run_until must not be re-entered from a scheduled action \
+             or signal handler"
+        );
+        self.running = true;
+        loop {
+            let next_control = self.sig.peek_time().unwrap_or(SimTime::MAX);
+            let next_action = self.actions.peek_time().unwrap_or(SimTime::MAX);
+            if next_control.min(next_action) >= horizon {
+                break;
+            }
+            if next_action <= next_control {
+                // Bring both planes exactly to the action's instant (no
+                // control message is due before it), then run it.
+                let events = self.sig.process_until(&mut self.net, next_action);
+                self.dispatch(events);
+                let (_, action) = self.actions.pop().expect("peeked action exists");
+                action(self);
+            } else {
+                // Process every control message at the next control
+                // instant, delivering completions at that exact time.
+                let events = self.sig.process_next(&mut self.net);
+                self.dispatch(events);
+            }
+        }
+        let events = self.sig.process_until(&mut self.net, horizon);
+        self.dispatch(events);
+        self.running = false;
+        std::mem::take(&mut self.collected)
+    }
+
+    /// Collect a structured report of the statistics the plan selects.
+    pub fn report(&mut self, plan: &MeasurementPlan) -> ScenarioReport {
+        ScenarioReport::collect(plan, &mut self.net, &self.sig, &self.flows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispn_core::admission::{AdmissionConfig, AdmissionController};
+    use ispn_net::Topology;
+    use ispn_sched::{Averaging, Unified};
+    use ispn_signal::SignalConfig;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    const MBIT: f64 = 1_000_000.0;
+
+    fn simple_sim() -> Sim {
+        let (topo, _nodes, links) = Topology::chain(3, MBIT, SimTime::MILLISECOND, 200);
+        let built = crate::topology::TopologySpec::custom(topo.clone())
+            .build(&crate::topology::LinkProfile::default())
+            .unwrap();
+        let mut net = Network::new(topo);
+        for &l in &links {
+            net.set_discipline(l, Box::new(Unified::new(MBIT, 1, Averaging::RunningMean)));
+            net.enable_admission(
+                l,
+                AdmissionController::new(
+                    AdmissionConfig::new(MBIT, 0.9, vec![SimTime::from_millis(100)]),
+                    10.0,
+                ),
+                SimTime::SECOND,
+            );
+        }
+        Sim::from_parts(
+            net,
+            Signaling::new(SignalConfig::default()),
+            Vec::new(),
+            Vec::new(),
+            built,
+        )
+    }
+
+    #[test]
+    fn handler_runs_at_the_exact_completion_instant() {
+        let mut sim = simple_sim();
+        let links = sim.built().forward.clone();
+        let seen: Rc<RefCell<Vec<(SimTime, SimTime)>>> = Rc::default();
+        let seen2 = seen.clone();
+        sim.on_signal(move |e, sim| {
+            seen2.borrow_mut().push((e.at(), sim.now()));
+        });
+        sim.submit(FlowConfig::guaranteed(links, 300_000.0));
+        sim.run_until(SimTime::from_secs(1));
+        let seen = seen.borrow();
+        assert_eq!(seen.len(), 1);
+        // Two 1 Mbit/s links with 1 ms propagation: the confirmation lands
+        // at exactly 4 ms, and the handler observed the network *at* 4 ms,
+        // not at some later polling boundary.
+        assert_eq!(seen[0].0, SimTime::from_millis(4));
+        assert_eq!(seen[0].1, SimTime::from_millis(4));
+    }
+
+    #[test]
+    fn actions_run_before_control_events_due_at_the_same_instant() {
+        let mut sim = simple_sim();
+        let links = sim.built().forward.clone();
+        let order: Rc<RefCell<Vec<&'static str>>> = Rc::default();
+        let o1 = order.clone();
+        sim.on_signal(move |_, _| o1.borrow_mut().push("control"));
+        sim.submit(FlowConfig::guaranteed(links, 300_000.0));
+        // The confirmation completes at exactly 4 ms; an action at 4 ms
+        // must run first (documented tie-break).
+        let o2 = order.clone();
+        sim.schedule_at(SimTime::from_millis(4), move |_| {
+            o2.borrow_mut().push("action")
+        });
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(*order.borrow(), vec!["action", "control"]);
+    }
+
+    #[test]
+    fn scheduled_actions_fire_in_order_and_can_reschedule() {
+        let mut sim = simple_sim();
+        let ticks: Rc<RefCell<Vec<SimTime>>> = Rc::default();
+        fn tick(ticks: Rc<RefCell<Vec<SimTime>>>, left: u32) -> impl FnOnce(&mut Sim) + 'static {
+            move |sim: &mut Sim| {
+                ticks.borrow_mut().push(sim.now());
+                if left > 0 {
+                    let t = ticks.clone();
+                    sim.schedule_in(SimTime::from_millis(10), tick(t, left - 1));
+                }
+            }
+        }
+        sim.schedule_at(SimTime::from_millis(5), tick(ticks.clone(), 3));
+        sim.run_until(SimTime::from_millis(26));
+        assert_eq!(
+            *ticks.borrow(),
+            vec![
+                SimTime::from_millis(5),
+                SimTime::from_millis(15),
+                SimTime::from_millis(25)
+            ]
+        );
+        // The last rescheduled tick (t = 35 ms) is beyond the horizon and
+        // still pending; cancel_scheduled drops it.
+        sim.cancel_scheduled();
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(ticks.borrow().len(), 3);
+    }
+
+    #[test]
+    fn handler_can_deregister_itself_from_inside_the_callback() {
+        let mut sim = simple_sim();
+        let links = sim.built().forward.clone();
+        let calls: Rc<RefCell<u32>> = Rc::default();
+        let calls2 = calls.clone();
+        sim.on_signal(move |_, sim| {
+            *calls2.borrow_mut() += 1;
+            sim.clear_signal_handler();
+        });
+        // Two setups, two completions: a one-shot handler must only see
+        // the first.
+        sim.submit(FlowConfig::guaranteed(vec![links[0]], 200_000.0));
+        sim.submit(FlowConfig::guaranteed(vec![links[1]], 200_000.0));
+        let events = sim.run_until(SimTime::from_secs(1));
+        assert_eq!(events.len(), 2, "both completions are still returned");
+        assert_eq!(
+            *calls.borrow(),
+            1,
+            "the cleared handler must not fire again"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be re-entered")]
+    fn run_until_rejects_reentrant_calls_from_actions() {
+        let mut sim = simple_sim();
+        sim.schedule_at(SimTime::from_millis(5), |sim: &mut Sim| {
+            sim.run_until(SimTime::from_secs(1));
+        });
+        sim.run_until(SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn run_until_returns_the_events_the_handler_saw() {
+        let mut sim = simple_sim();
+        let links = sim.built().forward.clone();
+        let (req, flow) = sim.submit(FlowConfig::guaranteed(links, 300_000.0));
+        let events = sim.run_until(SimTime::from_secs(1));
+        assert_eq!(events.len(), 1);
+        assert!(matches!(&events[0], SignalEvent::Accepted { request, .. } if *request == req));
+        assert!(sim.network().flow_active(flow));
+    }
+}

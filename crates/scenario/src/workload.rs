@@ -1,0 +1,351 @@
+//! Declarative workloads: routes, service classes, traffic sources, TCP
+//! connections and admission control.
+
+use ispn_core::TokenBucketSpec;
+use ispn_net::{FlowConfig, LinkId, NodeId, PoliceAction};
+use ispn_sim::SimTime;
+use ispn_traffic::OnOffConfig;
+use ispn_transport::TcpConfig;
+
+/// How a flow's path through the topology is described.
+#[derive(Debug, Clone)]
+pub enum RouteSpec {
+    /// An explicit list of links (must form a contiguous path).
+    Links(Vec<LinkId>),
+    /// The forward-link span `[first, first + hops)` of a chain preset.
+    Span {
+        /// Index of the first forward link.
+        first: usize,
+        /// Number of consecutive forward links.
+        hops: usize,
+    },
+    /// The reverse route matching a forward span (acknowledgement paths on
+    /// duplex presets).
+    ReverseSpan {
+        /// Index of the first forward link of the matching forward span.
+        first: usize,
+        /// Number of consecutive links.
+        hops: usize,
+    },
+    /// The shortest path between two switches (deterministic tie-break).
+    Path {
+        /// Entry switch.
+        from: NodeId,
+        /// Exit switch.
+        to: NodeId,
+    },
+}
+
+/// The service a flow requests from the network (Section 8's interface).
+#[derive(Debug, Clone)]
+pub enum ServiceSpec {
+    /// Best-effort datagram service.
+    Datagram,
+    /// Datagram-spec packets scheduled in a predicted class — the
+    /// undifferentiated "real-time flow" Tables 1 and 2 use (the class only
+    /// affects real-time-utilization bookkeeping under FIFO/WFQ/FIFO+).
+    RealtimeBestEffort {
+        /// Predicted priority class (0 = highest).
+        priority: u8,
+    },
+    /// Predicted service with an `(r, b)` declaration and edge policing.
+    Predicted {
+        /// Priority class (0 = highest).
+        priority: u8,
+        /// Declared token bucket.
+        bucket: TokenBucketSpec,
+        /// Advertised end-to-end delay target.
+        target_delay: SimTime,
+        /// Acceptable loss rate.
+        loss_rate: f64,
+        /// What the edge does with nonconforming packets.
+        police: PoliceAction,
+    },
+    /// Guaranteed service with a WFQ clock rate.
+    Guaranteed {
+        /// Reserved clock rate in bits per second.
+        clock_rate_bps: f64,
+    },
+}
+
+impl ServiceSpec {
+    /// The clock rate of a guaranteed service, if this is one.
+    pub fn clock_rate_bps(&self) -> Option<f64> {
+        match self {
+            ServiceSpec::Guaranteed { clock_rate_bps } => Some(*clock_rate_bps),
+            _ => None,
+        }
+    }
+
+    /// Turn the service into a [`FlowConfig`] over a resolved route.
+    pub fn flow_config(&self, route: Vec<LinkId>) -> FlowConfig {
+        match self {
+            ServiceSpec::Datagram => FlowConfig::datagram(route),
+            ServiceSpec::RealtimeBestEffort { priority } => {
+                let mut config = FlowConfig::datagram(route);
+                config.class = ispn_core::ServiceClass::Predicted {
+                    priority: *priority,
+                };
+                config
+            }
+            ServiceSpec::Predicted {
+                priority,
+                bucket,
+                target_delay,
+                loss_rate,
+                police,
+            } => FlowConfig::predicted(
+                route,
+                *priority,
+                *bucket,
+                *target_delay,
+                *loss_rate,
+                *police,
+            ),
+            ServiceSpec::Guaranteed { clock_rate_bps } => {
+                FlowConfig::guaranteed(route, *clock_rate_bps)
+            }
+        }
+    }
+}
+
+/// The traffic source attached to a flow.
+#[derive(Debug, Clone)]
+pub enum SourceSpec {
+    /// No source: the flow is registered but driven externally (tests, or
+    /// transports installed separately).
+    None,
+    /// The Appendix's two-state Markov on/off source.
+    OnOff(OnOffConfig),
+    /// Constant bit rate.
+    Cbr {
+        /// Packets per second.
+        rate_pps: f64,
+        /// Packet size in bits.
+        packet_bits: u64,
+    },
+    /// Poisson arrivals.
+    Poisson {
+        /// Mean packets per second.
+        rate_pps: f64,
+        /// Packet size in bits.
+        packet_bits: u64,
+        /// Seed of the source's private random stream.
+        seed: u64,
+    },
+    /// Replay an explicit `(time, size_bits)` schedule.
+    Trace {
+        /// The packet schedule.
+        schedule: Vec<(SimTime, u64)>,
+    },
+}
+
+impl SourceSpec {
+    /// The paper's on/off source at average rate `avg_rate_pps` (peak `2A`,
+    /// burst 5, `(A, 50)` source policer) with the given seed.
+    pub fn onoff_paper(avg_rate_pps: f64, seed: u64) -> Self {
+        SourceSpec::OnOff(OnOffConfig::paper(avg_rate_pps, seed))
+    }
+
+    /// A constant-bit-rate source.
+    pub fn cbr(rate_pps: f64, packet_bits: u64) -> Self {
+        SourceSpec::Cbr {
+            rate_pps,
+            packet_bits,
+        }
+    }
+
+    /// A Poisson source.
+    pub fn poisson(rate_pps: f64, packet_bits: u64, seed: u64) -> Self {
+        SourceSpec::Poisson {
+            rate_pps,
+            packet_bits,
+            seed,
+        }
+    }
+}
+
+/// One declared flow: a route, the service it asks for and the source that
+/// drives it.
+#[derive(Debug, Clone)]
+pub struct FlowDef {
+    /// Where the flow goes.
+    pub route: RouteSpec,
+    /// What service it receives.
+    pub service: ServiceSpec,
+    /// What traffic drives it.
+    pub source: SourceSpec,
+}
+
+impl FlowDef {
+    /// A flow with the given route and service and no source yet.
+    pub fn new(route: RouteSpec, service: ServiceSpec) -> Self {
+        FlowDef {
+            route,
+            service,
+            source: SourceSpec::None,
+        }
+    }
+
+    /// A datagram flow over a forward span.
+    pub fn datagram(first: usize, hops: usize) -> Self {
+        FlowDef::new(RouteSpec::Span { first, hops }, ServiceSpec::Datagram)
+    }
+
+    /// An undifferentiated real-time flow (Tables 1–2) over a forward span.
+    pub fn best_effort_realtime(first: usize, hops: usize) -> Self {
+        FlowDef::new(
+            RouteSpec::Span { first, hops },
+            ServiceSpec::RealtimeBestEffort { priority: 0 },
+        )
+    }
+
+    /// A guaranteed flow over a forward span.
+    pub fn guaranteed(first: usize, hops: usize, clock_rate_bps: f64) -> Self {
+        FlowDef::new(
+            RouteSpec::Span { first, hops },
+            ServiceSpec::Guaranteed { clock_rate_bps },
+        )
+    }
+
+    /// Attach a source (builder style).
+    pub fn source(mut self, source: SourceSpec) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// Replace the route (builder style).
+    pub fn route(mut self, route: RouteSpec) -> Self {
+        self.route = route;
+        self
+    }
+}
+
+/// A greedy TCP connection: a datagram data flow forward and an
+/// acknowledgement flow back.
+#[derive(Debug, Clone)]
+pub struct TcpDef {
+    /// Route of the data flow.
+    pub forward: RouteSpec,
+    /// Route of the acknowledgement flow.
+    pub reverse: RouteSpec,
+    /// Transport parameters.
+    pub config: TcpConfig,
+}
+
+impl TcpDef {
+    /// A TCP connection over a forward span of a duplex preset, with the
+    /// matching reverse span carrying the acknowledgements.
+    pub fn over_span(first: usize, hops: usize) -> Self {
+        TcpDef {
+            forward: RouteSpec::Span { first, hops },
+            reverse: RouteSpec::ReverseSpan { first, hops },
+            config: TcpConfig::default(),
+        }
+    }
+}
+
+/// Put links under the Section-9 measurement-based admission controller.
+#[derive(Debug, Clone)]
+pub struct AdmissionSpec {
+    /// Fraction of each link real-time traffic may occupy (the paper
+    /// suggests 0.9).
+    pub realtime_quota: f64,
+    /// Per-class delay targets Dᵢ, indexed by priority.
+    pub class_targets: Vec<SimTime>,
+    /// Length of the measurement window feeding ν̂ and d̂ⱼ, in seconds.
+    pub measurement_window_secs: f64,
+    /// Override of the utilization safety factor (`None` keeps the
+    /// controller's default).
+    pub util_safety_factor: Option<f64>,
+    /// How often the network samples real-time throughput into ν̂.
+    pub sample_interval: SimTime,
+}
+
+impl AdmissionSpec {
+    /// The controller the paper's Section-9 example suggests: 90 % quota
+    /// and a ten-second measurement window, sampled once per second.
+    pub fn paper(class_targets: Vec<SimTime>) -> Self {
+        AdmissionSpec {
+            realtime_quota: 0.9,
+            class_targets,
+            measurement_window_secs: 10.0,
+            util_safety_factor: None,
+            sample_interval: SimTime::SECOND,
+        }
+    }
+
+    /// Override the utilization safety factor (builder style).
+    pub fn with_util_safety_factor(mut self, factor: f64) -> Self {
+        self.util_safety_factor = Some(factor);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispn_core::{FlowSpec, ServiceClass};
+
+    #[test]
+    fn service_specs_produce_the_expected_flow_configs() {
+        let route = vec![LinkId(0)];
+        let c = ServiceSpec::Datagram.flow_config(route.clone());
+        assert_eq!(c.class, ServiceClass::Datagram);
+        assert!(c.edge_policer.is_none());
+
+        let c = ServiceSpec::RealtimeBestEffort { priority: 1 }.flow_config(route.clone());
+        assert!(matches!(c.spec, FlowSpec::Datagram));
+        assert_eq!(c.class, ServiceClass::Predicted { priority: 1 });
+
+        let bucket = TokenBucketSpec::per_packets(85.0, 50.0, 1000);
+        let c = ServiceSpec::Predicted {
+            priority: 0,
+            bucket,
+            target_delay: SimTime::from_millis(30),
+            loss_rate: 0.001,
+            police: PoliceAction::Drop,
+        }
+        .flow_config(route.clone());
+        assert!(matches!(c.spec, FlowSpec::Predicted { .. }));
+        assert!(c.edge_policer.is_some());
+
+        let c = ServiceSpec::Guaranteed {
+            clock_rate_bps: 170_000.0,
+        }
+        .flow_config(route);
+        assert_eq!(c.spec.clock_rate_bps(), Some(170_000.0));
+        assert_eq!(
+            ServiceSpec::Guaranteed {
+                clock_rate_bps: 170_000.0
+            }
+            .clock_rate_bps(),
+            Some(170_000.0)
+        );
+        assert_eq!(ServiceSpec::Datagram.clock_rate_bps(), None);
+    }
+
+    #[test]
+    fn flow_def_builders_compose() {
+        let def = FlowDef::guaranteed(1, 2, 250_000.0).source(SourceSpec::cbr(100.0, 1000));
+        assert!(matches!(def.route, RouteSpec::Span { first: 1, hops: 2 }));
+        assert!(matches!(def.source, SourceSpec::Cbr { .. }));
+        let def = def.route(RouteSpec::Path {
+            from: NodeId(0),
+            to: NodeId(2),
+        });
+        assert!(matches!(def.route, RouteSpec::Path { .. }));
+    }
+
+    #[test]
+    fn admission_spec_defaults_match_the_paper() {
+        let spec = AdmissionSpec::paper(vec![SimTime::from_millis(30)]);
+        assert_eq!(spec.realtime_quota, 0.9);
+        assert_eq!(spec.sample_interval, SimTime::SECOND);
+        assert!(spec.util_safety_factor.is_none());
+        assert_eq!(
+            spec.with_util_safety_factor(1.6).util_safety_factor,
+            Some(1.6)
+        );
+    }
+}

@@ -280,6 +280,35 @@ impl Signaling {
         req
     }
 
+    /// The timestamp of the earliest in-flight control message, if any.
+    ///
+    /// Drivers that interleave the control plane with other event sources
+    /// (the `ispn-scenario` `Sim` facade, most notably) use this to find
+    /// the next point in global event time at which the control plane needs
+    /// the network.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Advance the network exactly to the next control message's timestamp,
+    /// process every control message due at that instant, and return the
+    /// transactions that completed.  Does nothing (and returns no events)
+    /// when no control message is in flight.
+    ///
+    /// Unlike [`process_until`](Signaling::process_until) this never runs
+    /// the data plane past the control event, so a caller can interleave
+    /// its own event sources at exact timestamps between control messages.
+    pub fn process_next(&mut self, net: &mut Network) -> Vec<SignalEvent> {
+        if let Some(t) = self.queue.peek_time() {
+            net.run_until(t);
+            while self.queue.peek_time() == Some(t) {
+                let (at, ev) = self.queue.pop().expect("peeked event exists");
+                self.handle(net, at, ev);
+            }
+        }
+        std::mem::take(&mut self.events)
+    }
+
     /// Run the network and the control plane, interleaved in timestamp
     /// order, until `horizon`; returns the signaling transactions that
     /// completed in that window, in completion order.

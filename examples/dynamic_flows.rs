@@ -7,90 +7,88 @@
 //! every switch consults its live measurements, and the last request is
 //! refused — demonstrating the rollback of partial reservations.
 //!
+//! The whole scenario is declared through `ispn-scenario`: the builder
+//! assembles topology, disciplines and admission control, and the [`Sim`]
+//! facade steps control and data plane in global event-time order — the
+//! mid-run actions below are scheduled at their exact simulated instants
+//! instead of being wedged between manual `process_until` calls.
+//!
 //! Run with: `cargo run -p ispn-examples --example dynamic_flows`
 
-use ispn_core::admission::{AdmissionConfig, AdmissionController};
 use ispn_core::TokenBucketSpec;
-use ispn_net::{FlowConfig, Network, PoliceAction, Topology};
-use ispn_sched::{Averaging, Unified};
-use ispn_signal::{LeasedSource, SignalEvent, Signaling};
+use ispn_net::{FlowConfig, PoliceAction};
+use ispn_scenario::{AdmissionSpec, DisciplineSpec, ScenarioBuilder, Sim};
+use ispn_sched::Averaging;
+use ispn_signal::{LeasedSource, SignalEvent};
 use ispn_sim::SimTime;
 use ispn_traffic::{OnOffConfig, OnOffSource};
-
-const MBIT: f64 = 1_000_000.0;
 
 fn main() {
     // A chain of three switches: two 1 Mbit/s links, unified scheduling,
     // Section-9 admission control fed live by the network's monitor.
-    let (topo, _nodes, links) = Topology::chain(3, MBIT, SimTime::ZERO, 200);
-    let mut net = Network::new(topo);
-    for &l in &links {
-        net.set_discipline(l, Box::new(Unified::new(MBIT, 2, Averaging::RunningMean)));
-        net.enable_admission(
-            l,
-            AdmissionController::new(
-                AdmissionConfig::new(
-                    MBIT,
-                    0.9,
-                    vec![SimTime::from_millis(30), SimTime::from_millis(300)],
-                ),
-                10.0,
-            ),
-            SimTime::SECOND,
-        );
-    }
-    let mut sig = Signaling::default();
+    let mut sim = ScenarioBuilder::chain(3)
+        .discipline(DisciplineSpec::Unified {
+            priority_classes: 2,
+            averaging: Averaging::RunningMean,
+        })
+        .admission(AdmissionSpec::paper(vec![
+            SimTime::from_millis(30),
+            SimTime::from_millis(300),
+        ]))
+        .build()
+        .expect("valid scenario");
+    let links = sim.built().forward.clone();
+
+    // Completed transactions are announced the instant they happen.
+    sim.on_signal(|event, _| announce(event));
 
     // t = 0 s: a guaranteed "video" flow asks for 500 kbit/s end to end.
-    let (_r1, video) = sig.submit(&mut net, FlowConfig::guaranteed(links.clone(), 500_000.0));
+    let (_r1, video) = sim.submit(FlowConfig::guaranteed(links.clone(), 500_000.0));
     // t = 0 s: an adaptive predicted "voice" flow declares a small bucket.
     let small = TokenBucketSpec::per_packets(40.0, 10.0, 1000);
-    let (_r2, voice) = sig.submit(
-        &mut net,
-        FlowConfig::predicted(
-            links.clone(),
-            1,
-            small,
-            SimTime::from_millis(600),
-            0.001,
-            PoliceAction::Drop,
-        ),
-    );
-    for e in sig.process_until(&mut net, SimTime::from_millis(100)) {
-        announce(&e);
-    }
-    for (flow, seed, rate) in [(video, 1u64, 170.0), (voice, 2, 40.0)] {
-        let (source, _lease) =
-            LeasedSource::new(OnOffSource::new(flow, OnOffConfig::paper(rate, seed)));
-        net.add_agent(Box::new(source));
-    }
+    let (_r2, voice) = sim.submit(FlowConfig::predicted(
+        links.clone(),
+        1,
+        small,
+        SimTime::from_millis(600),
+        0.001,
+        PoliceAction::Drop,
+    ));
+
+    // t = 100 ms: both setups have confirmed; attach the leased sources.
+    sim.schedule_at(SimTime::from_millis(100), move |sim: &mut Sim| {
+        for (flow, seed, rate) in [(video, 1u64, 170.0), (voice, 2, 40.0)] {
+            let (source, _lease) =
+                LeasedSource::new(OnOffSource::new(flow, OnOffConfig::paper(rate, seed)));
+            sim.network_mut().add_agent(Box::new(source));
+        }
+    });
 
     // t = 5 s: the adaptive voice client widens its declaration to the
     // paper's (85 pkt/s, 50 pkt) — every hop re-runs the criterion.
-    sig.process_until(&mut net, SimTime::from_secs(5));
-    let roomy = TokenBucketSpec::per_packets(85.0, 50.0, 1000);
-    sig.renegotiate_bucket(&mut net, voice, roomy);
+    sim.schedule_at(SimTime::from_secs(5), move |sim: &mut Sim| {
+        let roomy = TokenBucketSpec::per_packets(85.0, 50.0, 1000);
+        sim.renegotiate_bucket(voice, roomy);
+    });
 
     // t = 10 s: a greedy 600 kbit/s guaranteed request must be refused —
     // 500 k (video) + 600 k exceeds the 900 k real-time quota — and its
     // partial reservation on the first link rolls back.
-    for e in sig.process_until(&mut net, SimTime::from_secs(10)) {
-        announce(&e);
-    }
-    let (_r3, _greedy) = sig.submit(&mut net, FlowConfig::guaranteed(links.clone(), 600_000.0));
+    let greedy_route = links.clone();
+    sim.schedule_at(SimTime::from_secs(10), move |sim: &mut Sim| {
+        let (_r3, _greedy) = sim.submit(FlowConfig::guaranteed(greedy_route, 600_000.0));
+    });
 
     // t = 20 s: the video flow hangs up; its capacity is free again.
-    for e in sig.process_until(&mut net, SimTime::from_secs(20)) {
-        announce(&e);
-    }
-    sig.teardown(&mut net, video);
-    for e in sig.process_until(&mut net, SimTime::from_secs(30)) {
-        announce(&e);
-    }
+    sim.schedule_at(SimTime::from_secs(20), move |sim: &mut Sim| {
+        sim.teardown(video);
+    });
+
+    sim.run_until(SimTime::from_secs(30));
 
     println!("\nafter 30 simulated seconds:");
     for (name, flow) in [("video", video), ("voice", voice)] {
-        let r = net.monitor_mut().flow_report(flow);
+        let r = sim.network_mut().monitor_mut().flow_report(flow);
         println!(
             "  {name:>5}: {} delivered, mean queueing delay {:.2} ms, max {:.2} ms",
             r.delivered,
@@ -102,7 +100,8 @@ fn main() {
         println!(
             "  {:?}: {:.0} bps still reserved",
             l,
-            net.admission(l)
+            sim.network()
+                .admission(l)
                 .expect("admission enabled")
                 .reserved_guaranteed_bps()
         );
