@@ -4,6 +4,7 @@
 
 use ispn_experiments::config::PaperConfig;
 use ispn_experiments::{churn, report};
+use ispn_scenario::SweepRunner;
 
 fn main() {
     let fast = std::env::var("ISPN_FAST")
@@ -16,12 +17,14 @@ fn main() {
     };
     let holding_secs = 15.0;
     let arrival_rates = [0.2, 0.5, 1.0, 2.0, 4.0];
+    let runner = SweepRunner::max_parallel();
     eprintln!(
-        "running {} churn scenarios of {}s simulated time each …",
+        "running {} churn scenarios of {}s simulated time each on {} threads …",
         arrival_rates.len(),
-        paper.duration.as_secs_f64()
+        paper.duration.as_secs_f64(),
+        runner.threads()
     );
-    let outcomes = churn::sweep(&paper, &arrival_rates, holding_secs);
+    let outcomes = churn::sweep_with(&paper, &arrival_rates, holding_secs, &runner);
     println!("{}", report::render_churn(&outcomes));
     for o in &outcomes {
         assert_eq!(

@@ -5,6 +5,7 @@
 
 use ispn_experiments::config::PaperConfig;
 use ispn_experiments::{hetmix, report};
+use ispn_scenario::SweepRunner;
 
 fn main() {
     let fast = std::env::var("ISPN_FAST")
@@ -21,11 +22,13 @@ fn main() {
     } else {
         (PaperConfig::medium(), &[1, 2, 3])
     };
+    let runner = SweepRunner::max_parallel();
     eprintln!(
-        "running {} heterogeneous-mix points of {} simulated seconds each …",
+        "running {} heterogeneous-mix points of {} simulated seconds each on {} threads …",
         4 * levels.len(),
-        cfg.duration.as_secs_f64()
+        cfg.duration.as_secs_f64(),
+        runner.threads()
     );
-    let points = hetmix::sweep(&cfg, levels);
+    let points = hetmix::sweep_with(&cfg, levels, &runner);
     println!("{}", report::render_hetmix(&points));
 }

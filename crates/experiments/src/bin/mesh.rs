@@ -5,6 +5,7 @@
 
 use ispn_experiments::config::PaperConfig;
 use ispn_experiments::{mesh, report};
+use ispn_scenario::SweepRunner;
 
 fn main() {
     let fast = std::env::var("ISPN_FAST")
@@ -21,12 +22,14 @@ fn main() {
     } else {
         (PaperConfig::medium(), &[1, 3, 6])
     };
+    let runner = SweepRunner::max_parallel();
     eprintln!(
-        "running {} mesh scenarios of {} simulated seconds each …",
+        "running {} mesh scenarios of {} simulated seconds each on {} threads …",
         levels.len(),
-        cfg.duration.as_secs_f64()
+        cfg.duration.as_secs_f64(),
+        runner.threads()
     );
-    let outcomes = mesh::sweep(&cfg, levels);
+    let outcomes = mesh::sweep_with(&cfg, levels, &runner);
     println!("{}", report::render_mesh(&outcomes));
     for o in &outcomes {
         assert_eq!(

@@ -3,6 +3,7 @@
 //! Usage: `cargo run --release -p ispn-experiments --bin table2 [--fast]`
 
 use ispn_experiments::{config::PaperConfig, report, table2};
+use ispn_scenario::SweepRunner;
 
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
@@ -11,10 +12,12 @@ fn main() {
     } else {
         PaperConfig::paper()
     };
+    let runner = SweepRunner::max_parallel();
     eprintln!(
-        "running Table 2 ({} simulated seconds per discipline)...",
-        cfg.duration.as_secs_f64()
+        "running Table 2 ({} simulated seconds per discipline, {} threads)...",
+        cfg.duration.as_secs_f64(),
+        runner.threads()
     );
-    let t = table2::run(&cfg);
+    let t = table2::run_with(&cfg, &runner);
     println!("{}", report::render_table2(&t));
 }

@@ -1,21 +1,52 @@
 //! Regenerate Table 3 of CSZ'92 (the unified scheduler carrying guaranteed,
 //! predicted and datagram traffic on the Figure-1 chain).
 //!
-//! Usage: `cargo run --release -p ispn-experiments --bin table3 [--fast]`
+//! Usage: `cargo run --release -p ispn-experiments --bin table3 [--fast] [--seeds N]`
+//!
+//! `--seeds N` replicates the table across `N` derived seeds (a seed-axis
+//! sweep fanned across threads) and prints each replication — the paper
+//! reports one random run; the sweep shows how much the sample rows move.
 
 use ispn_experiments::{config::PaperConfig, report, table3};
+use ispn_scenario::SweepRunner;
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let args: Vec<String> = std::env::args().collect();
+    let fast = args.iter().any(|a| a == "--fast");
     let cfg = if fast {
         PaperConfig::fast()
     } else {
         PaperConfig::paper()
     };
+    let seeds = match args.iter().position(|a| a == "--seeds") {
+        None => 1,
+        Some(i) => match args.get(i + 1).map(|n| n.parse::<u64>()) {
+            Some(Ok(n)) if n >= 1 => n,
+            _ => {
+                eprintln!("--seeds needs a positive integer, e.g. `table3 --seeds 5`");
+                std::process::exit(2);
+            }
+        },
+    };
+    if seeds <= 1 {
+        eprintln!(
+            "running Table 3 ({} simulated seconds)...",
+            cfg.duration.as_secs_f64()
+        );
+        let t = table3::run(&cfg);
+        println!("{}", report::render_table3(&t));
+        return;
+    }
+    let runner = SweepRunner::max_parallel();
+    let seed_axis: Vec<u64> = (0..seeds).map(|i| cfg.seed.wrapping_add(i)).collect();
     eprintln!(
-        "running Table 3 ({} simulated seconds)...",
-        cfg.duration.as_secs_f64()
+        "running Table 3 across {} seeds ({} simulated seconds each, {} threads)...",
+        seeds,
+        cfg.duration.as_secs_f64(),
+        runner.threads()
     );
-    let t = table3::run(&cfg);
-    println!("{}", report::render_table3(&t));
+    for (seed, t) in table3::run_seeds(&cfg, &seed_axis, &runner) {
+        println!("seed {seed:#x}:");
+        println!("{}", report::render_table3(&t));
+    }
 }

@@ -12,26 +12,21 @@
 //! utilization, and whether any admitted predicted flow ever exceeded the
 //! a-priori bound (the sum of its per-hop class targets Dᵢ) it was sold.
 //!
-//! The driver is built on the `ispn-scenario` [`Sim`] facade: arrivals and
-//! departures are scheduled actions, admitted flows get their source the
-//! instant the confirmation lands (the facade delivers signal events at
-//! their exact event time — no more manual 10 ms polling slices), and the
-//! whole run is a pure function of the seed regardless of how coarsely the
-//! caller steps the simulation.
+//! The churn *process* itself is no longer driven here: it is the
+//! first-class [`WorkloadSpec::Churn`] workload of `ispn-scenario`, so this
+//! module only declares the scenario (topology, disciplines, admission,
+//! churn parameters), runs it, and summarizes — and the offered-load sweep
+//! is a [`ScenarioSet`] fanned across a [`SweepRunner`].  The promoted
+//! driver reproduces the pre-promotion decision sequence bit-exactly
+//! (pinned in `tests/tests/scenario.rs`).
 
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::rc::Rc;
-
-use ispn_core::{FlowId, TokenBucketSpec};
-use ispn_net::{FlowConfig, LinkId, PoliceAction};
+use ispn_net::{LinkId, PoliceAction};
 use ispn_scenario::{
-    AdmissionSpec, DisciplineMatrix, DisciplineSpec, ScenarioBuilder, Sim, TopologySpec,
+    AdmissionSpec, ChurnClass, ChurnSourceSpec, ChurnWorkload, DisciplineMatrix, DisciplineSpec,
+    ScenarioBuilder, ScenarioSet, Sim, SweepRunner, TopologySpec, WorkloadSpec,
 };
 use ispn_sched::Averaging;
-use ispn_signal::{Lease, LeasedSource, SignalEvent};
-use ispn_sim::{Pcg64, SimTime};
-use ispn_traffic::{OnOffConfig, OnOffSource};
+use ispn_sim::SimTime;
 
 use crate::config::PaperConfig;
 use crate::extensions::admission::{HIGH_TARGET_PKT, LOW_TARGET_PKT};
@@ -70,6 +65,45 @@ impl ChurnConfig {
     /// the system if none were blocked (λ/μ).
     pub fn offered_erlangs(&self) -> f64 {
         self.arrivals_per_sec * self.mean_holding_secs
+    }
+
+    /// The declarative churn workload this configuration describes.
+    pub fn workload(&self) -> ChurnWorkload {
+        let paper = &self.paper;
+        let pt = paper.packet_time();
+        ChurnWorkload {
+            arrivals_per_sec: self.arrivals_per_sec,
+            mean_holding_secs: self.mean_holding_secs,
+            // The driver's stream is derived from the base seed exactly as
+            // the pre-promotion experiment derived it.
+            seed: paper.seed ^ 0xC4E2_2024,
+            guaranteed_fraction: self.guaranteed_fraction,
+            guaranteed_rate_bps: 2.0 * paper.avg_rate_pps * paper.packet_bits as f64,
+            classes: vec![
+                // A client asking for the tight class must declare a burst
+                // that fits inside the headroom the Section-9 criterion
+                // checks; low-priority clients declare the Appendix's
+                // `(A, 50)`.
+                ChurnClass {
+                    priority: 0,
+                    bucket: bucket_for(paper, 0),
+                    per_hop_target: pt.mul_f64(HIGH_TARGET_PKT),
+                    loss_rate: 0.001,
+                    police: PoliceAction::Drop,
+                },
+                ChurnClass {
+                    priority: 1,
+                    bucket: bucket_for(paper, 1),
+                    per_hop_target: pt.mul_f64(LOW_TARGET_PKT),
+                    loss_rate: 0.001,
+                    police: PoliceAction::Drop,
+                },
+            ],
+            source: ChurnSourceSpec {
+                avg_rate_pps: paper.avg_rate_pps,
+                seed_base: paper.seed,
+            },
+        }
     }
 }
 
@@ -113,25 +147,6 @@ impl ChurnOutcome {
     }
 }
 
-struct AdmittedFlow {
-    /// `Some(priority)` for predicted flows, `None` for guaranteed.
-    priority: Option<u8>,
-    hops: usize,
-    lease: Option<Lease>,
-}
-
-/// Shared driver state threaded through the scheduled actions and the
-/// signal-event handler.
-struct ChurnState {
-    rng: Pcg64,
-    admitted: HashMap<FlowId, AdmittedFlow>,
-    requested: HashMap<FlowId, (Option<u8>, usize)>,
-    source_seq: u32,
-    /// Set while draining: in-flight completions must no longer spawn
-    /// sources or departures.
-    draining: bool,
-}
-
 /// The per-hop delay target of a predicted priority class, in packet times.
 fn class_target_pkt(priority: u8) -> f64 {
     if priority == 0 {
@@ -145,15 +160,16 @@ fn class_target_pkt(priority: u8) -> f64 {
 /// for the tight class must declare a burst that fits inside the headroom
 /// the Section-9 criterion checks; low-priority clients declare the
 /// Appendix's `(A, 50)`.
-fn bucket_for(paper: &PaperConfig, priority: u8) -> TokenBucketSpec {
+fn bucket_for(paper: &PaperConfig, priority: u8) -> ispn_core::TokenBucketSpec {
     let depth_pkts = if priority == 0 { 20.0 } else { 50.0 };
-    TokenBucketSpec::per_packets(paper.avg_rate_pps, depth_pkts, paper.packet_bits)
+    ispn_core::TokenBucketSpec::per_packets(paper.avg_rate_pps, depth_pkts, paper.packet_bits)
 }
 
 /// Build the churn scenario: the Figure-1 duplex chain with the unified
 /// scheduler and a stiffened Section-9 admission controller on every
-/// forward link.
-fn build_sim(paper: &PaperConfig) -> Sim {
+/// forward link, carrying the declarative churn workload.
+fn build_sim(cfg: &ChurnConfig) -> Sim {
+    let paper = &cfg.paper;
     let pt = paper.packet_time();
     let forward: Vec<LinkId> = (0..NUM_LINKS).map(LinkId).collect();
     // Under churn many flows can be admitted within one measurement window,
@@ -177,151 +193,38 @@ fn build_sim(paper: &PaperConfig) -> Sim {
             },
         ))
         .admission_on(forward, admission)
+        .workload(WorkloadSpec::Churn(cfg.workload()))
         .build()
         .expect("the churn scenario is valid")
-}
-
-/// The self-rescheduling arrival action.
-fn arrival_action(state: Rc<RefCell<ChurnState>>, cfg: ChurnConfig) -> impl FnOnce(&mut Sim) {
-    move |sim: &mut Sim| {
-        let paper = &cfg.paper;
-        let pt = paper.packet_time();
-        let mut s = state.borrow_mut();
-        let first = s.rng.next_below(NUM_LINKS as u64) as usize;
-        let hops = 1 + s.rng.next_below((NUM_LINKS - first) as u64) as usize;
-        let route = sim
-            .built()
-            .span(first, hops)
-            .expect("arrival spans stay inside the chain");
-        let (config, priority) = if s.rng.bernoulli(cfg.guaranteed_fraction) {
-            let peak_rate_bps = 2.0 * paper.avg_rate_pps * paper.packet_bits as f64;
-            (FlowConfig::guaranteed(route, peak_rate_bps), None)
-        } else {
-            let priority = u8::from(s.rng.bernoulli(0.5));
-            let bound = pt.mul_f64(class_target_pkt(priority) * hops as f64);
-            (
-                FlowConfig::predicted(
-                    route,
-                    priority,
-                    bucket_for(paper, priority),
-                    bound,
-                    0.001,
-                    PoliceAction::Drop,
-                ),
-                Some(priority),
-            )
-        };
-        let gap = SimTime::from_secs_f64(s.rng.exponential(1.0 / cfg.arrivals_per_sec));
-        drop(s);
-        let (_req, flow) = sim.submit(config);
-        state.borrow_mut().requested.insert(flow, (priority, hops));
-        let next = sim.now() + gap;
-        sim.schedule_at(next, arrival_action(state.clone(), cfg));
-    }
-}
-
-/// The departure action of one admitted flow.
-fn departure_action(state: Rc<RefCell<ChurnState>>, flow: FlowId) -> impl FnOnce(&mut Sim) {
-    move |sim: &mut Sim| {
-        let lease = state
-            .borrow_mut()
-            .admitted
-            .get_mut(&flow)
-            .and_then(|record| record.lease.take());
-        if let Some(lease) = lease {
-            lease.revoke();
-            sim.teardown(flow);
-        }
-    }
 }
 
 /// Run one churn scenario.
 pub fn run(cfg: &ChurnConfig) -> ChurnOutcome {
     let paper = cfg.paper.clone();
-    let mut sim = build_sim(&paper);
-    let state = Rc::new(RefCell::new(ChurnState {
-        rng: Pcg64::new(paper.seed ^ 0xC4E2_2024),
-        admitted: HashMap::new(),
-        requested: HashMap::new(),
-        source_seq: 0,
-        draining: false,
-    }));
+    let mut sim = build_sim(cfg);
 
-    // Admitted flows come alive the instant their confirmation lands: the
-    // handler runs at the exact event time, attaches a leased source and
-    // schedules the departure.
-    let handler_state = state.clone();
-    let handler_paper = paper.clone();
-    let mean_holding = cfg.mean_holding_secs;
-    sim.on_signal(move |event, sim| {
-        if handler_state.borrow().draining {
-            return;
-        }
-        match event {
-            SignalEvent::Accepted { flow, at, .. } => {
-                let mut s = handler_state.borrow_mut();
-                let (priority, hops) = s.requested.remove(flow).expect("known request");
-                let source = OnOffSource::new(
-                    *flow,
-                    OnOffConfig::paper(
-                        handler_paper.avg_rate_pps,
-                        handler_paper.flow_seed(s.source_seq),
-                    ),
-                );
-                s.source_seq += 1;
-                let (leased, lease) = LeasedSource::new(source);
-                let hold = SimTime::from_secs_f64(s.rng.exponential(mean_holding));
-                s.admitted.insert(
-                    *flow,
-                    AdmittedFlow {
-                        priority,
-                        hops,
-                        lease: Some(lease),
-                    },
-                );
-                drop(s);
-                sim.network_mut().add_agent(Box::new(leased));
-                sim.schedule_at(*at + hold, departure_action(handler_state.clone(), *flow));
-            }
-            SignalEvent::Rejected { flow, .. } => {
-                handler_state.borrow_mut().requested.remove(flow);
-            }
-            _ => {}
-        }
-    });
-
-    // First arrival, then run the whole horizon in one call — the facade
-    // interleaves arrivals, departures, control messages and the data plane
-    // in global event-time order.
-    {
-        let mut s = state.borrow_mut();
-        let gap = SimTime::from_secs_f64(s.rng.exponential(1.0 / cfg.arrivals_per_sec));
-        drop(s);
-        sim.schedule_at(gap, arrival_action(state.clone(), cfg.clone()));
-    }
+    // The facade owns the whole dynamic workload: arrivals, departures,
+    // control messages and the data plane interleave in global event-time
+    // order inside this one call.
     sim.run_until(paper.duration);
 
     // Measure bound compliance over the flows' lifetimes before draining.
     let pt_secs = paper.packet_time().as_secs_f64();
     let mut violations = 0;
     let mut worst_bound_fraction: f64 = 0.0;
-    {
-        let s = state.borrow();
-        let net = sim.network_mut();
-        for (&flow, record) in &s.admitted {
-            let Some(priority) = record.priority else {
-                continue;
-            };
-            let report = net.monitor_mut().flow_report(flow);
-            if report.delivered == 0 {
-                continue;
-            }
-            let bound_secs = class_target_pkt(priority) * record.hops as f64 * pt_secs;
-            let fraction = report.max_delay / bound_secs;
-            worst_bound_fraction = worst_bound_fraction.max(fraction);
-            if fraction > 1.0 {
-                violations += 1;
-            }
+    for record in sim.churn_admitted() {
+        let Some(priority) = record.priority else {
+            continue;
+        };
+        let report = sim.network_mut().monitor_mut().flow_report(record.flow);
+        if report.delivered == 0 {
+            continue;
+        }
+        let bound_secs = class_target_pkt(priority) * record.hops as f64 * pt_secs;
+        let fraction = report.max_delay / bound_secs;
+        worst_bound_fraction = worst_bound_fraction.max(fraction);
+        if fraction > 1.0 {
+            violations += 1;
         }
     }
 
@@ -340,26 +243,7 @@ pub fn run(cfg: &ChurnConfig) -> ChurnOutcome {
 
     // Drain: stop the arrival process, tear every remaining flow down, let
     // the control plane finish, and verify no reservation survives.
-    state.borrow_mut().draining = true;
-    sim.cancel_scheduled();
-    let to_tear: Vec<(FlowId, Lease)> = {
-        let mut s = state.borrow_mut();
-        let mut pairs: Vec<(FlowId, Lease)> = s
-            .admitted
-            .iter_mut()
-            .filter_map(|(&flow, record)| record.lease.take().map(|l| (flow, l)))
-            .collect();
-        // HashMap iteration order is not deterministic across runs of the
-        // same binary only if the hasher is randomized; FlowId teardown
-        // order does not affect the outcome, but sort anyway so the drain
-        // is reproducible by construction.
-        pairs.sort_by_key(|(flow, _)| *flow);
-        pairs
-    };
-    for (flow, lease) in to_tear {
-        lease.revoke();
-        sim.teardown(flow);
-    }
+    sim.drain_churn();
     sim.run_until(paper.duration + SimTime::from_secs(1));
     let residual_reserved_bps = forward
         .iter()
@@ -394,16 +278,38 @@ pub fn run(cfg: &ChurnConfig) -> ChurnOutcome {
 }
 
 /// Run the experiment at several offered loads (same holding time, rising
-/// arrival rate), the sweep the `churn` binary prints.
+/// arrival rate) through the given runner — each load point is a
+/// self-contained scenario, so the sweep parallelizes freely and returns
+/// its outcomes in load order whatever the thread count.
+pub fn sweep_with(
+    paper: &PaperConfig,
+    arrival_rates: &[f64],
+    mean_holding_secs: f64,
+    runner: &SweepRunner,
+) -> Vec<ChurnOutcome> {
+    let set = ScenarioSet::over("load", arrival_rates.to_vec());
+    runner
+        .run(&set, |&(lambda,)| {
+            run(&ChurnConfig::new(paper.clone(), lambda, mean_holding_secs))
+        })
+        .into_iter()
+        .map(|r| r.result)
+        .collect()
+}
+
+/// Run the offered-load sweep serially (the historical entry point; the
+/// `churn` binary fans it across threads).
 pub fn sweep(
     paper: &PaperConfig,
     arrival_rates: &[f64],
     mean_holding_secs: f64,
 ) -> Vec<ChurnOutcome> {
-    arrival_rates
-        .iter()
-        .map(|&lambda| run(&ChurnConfig::new(paper.clone(), lambda, mean_holding_secs)))
-        .collect()
+    sweep_with(
+        paper,
+        arrival_rates,
+        mean_holding_secs,
+        &SweepRunner::serial(),
+    )
 }
 
 #[cfg(test)]
@@ -457,5 +363,22 @@ mod tests {
             "low {low:?} vs high {high:?}"
         );
         assert!(high.blocking_probability() > 0.0);
+    }
+
+    #[test]
+    fn parallel_sweep_equals_serial_sweep() {
+        let paper = PaperConfig {
+            duration: SimTime::from_secs(20),
+            ..PaperConfig::fast()
+        };
+        let rates = [0.5, 1.0];
+        let serial = sweep_with(&paper, &rates, 15.0, &SweepRunner::serial());
+        let parallel = sweep_with(&paper, &rates, 15.0, &SweepRunner::parallel(2));
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.decisions, p.decisions);
+            assert_eq!(s.mean_utilization, p.mean_utilization);
+            assert_eq!(s.worst_bound_fraction, p.worst_bound_fraction);
+        }
     }
 }

@@ -15,7 +15,8 @@
 use ispn_core::TokenBucketSpec;
 use ispn_net::PoliceAction;
 use ispn_scenario::{
-    DisciplineSpec, FlowDef, MeasurementPlan, RouteSpec, ScenarioBuilder, ServiceSpec, SourceSpec,
+    DisciplineSpec, FlowDef, MeasurementPlan, RouteSpec, ScenarioBuilder, ScenarioSet, ServiceSpec,
+    SourceSpec, SweepRunner,
 };
 use ispn_sched::Averaging;
 
@@ -138,15 +139,28 @@ pub fn run_point(cfg: &PaperConfig, spec: DisciplineSpec, level: usize) -> HetMi
     }
 }
 
-/// The full sweep: every discipline at every load level.
+/// The cartesian (discipline × level) axis set of the sweep.
+pub fn scenario_set(levels: &[usize]) -> ScenarioSet<(DisciplineSpec, usize)> {
+    ScenarioSet::over("discipline", discipline_set()).by("level", levels.to_vec())
+}
+
+/// The full sweep through the given runner: every discipline at every load
+/// level (discipline outer, level inner), each point a self-contained
+/// scenario fanned across the runner's threads.
+pub fn sweep_with(cfg: &PaperConfig, levels: &[usize], runner: &SweepRunner) -> Vec<HetMixPoint> {
+    runner
+        .run(&scenario_set(levels), |&(spec, level)| {
+            run_point(cfg, spec, level)
+        })
+        .into_iter()
+        .map(|r| r.result)
+        .collect()
+}
+
+/// The full sweep, run serially (the historical entry point; the `hetmix`
+/// binary fans it across threads).
 pub fn sweep(cfg: &PaperConfig, levels: &[usize]) -> Vec<HetMixPoint> {
-    let mut out = Vec::new();
-    for spec in discipline_set() {
-        for &level in levels {
-            out.push(run_point(cfg, spec, level));
-        }
-    }
-    out
+    sweep_with(cfg, levels, &SweepRunner::serial())
 }
 
 #[cfg(test)]

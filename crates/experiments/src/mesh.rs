@@ -16,7 +16,7 @@ use ispn_net::PoliceAction;
 use ispn_net::{LinkId, NodeId};
 use ispn_scenario::{
     DisciplineSpec, FlowDef, MeasurementPlan, RouteSpec, ScenarioBuilder, ScenarioReport,
-    ServiceSpec, SourceSpec,
+    ScenarioSet, ServiceSpec, SourceSpec, SweepRunner,
 };
 use ispn_sched::Averaging;
 
@@ -237,9 +237,20 @@ pub fn run(cfg: &PaperConfig, cross_flows_per_row: usize) -> MeshOutcome {
     }
 }
 
-/// Sweep the Predicted-Low cross-traffic level (the `mesh` binary's run).
+/// Sweep the Predicted-Low cross-traffic level through the given runner.
+pub fn sweep_with(cfg: &PaperConfig, levels: &[usize], runner: &SweepRunner) -> Vec<MeshOutcome> {
+    let set = ScenarioSet::over("cross", levels.to_vec());
+    runner
+        .run(&set, |&(level,)| run(cfg, level))
+        .into_iter()
+        .map(|r| r.result)
+        .collect()
+}
+
+/// Sweep the Predicted-Low cross-traffic level serially (the `mesh`
+/// binary fans it across threads).
 pub fn sweep(cfg: &PaperConfig, levels: &[usize]) -> Vec<MeshOutcome> {
-    levels.iter().map(|&l| run(cfg, l)).collect()
+    sweep_with(cfg, levels, &SweepRunner::serial())
 }
 
 #[cfg(test)]

@@ -23,6 +23,13 @@ pub enum DisciplineKind {
     VirtualClock,
 }
 
+impl ispn_scenario::AxisValue for DisciplineKind {
+    /// Discipline axes tag sweep points with the printed label.
+    fn axis_label(&self) -> String {
+        self.label().to_string()
+    }
+}
+
 impl DisciplineKind {
     /// The label used in experiment output (matches the paper's tables for
     /// the three disciplines it names).

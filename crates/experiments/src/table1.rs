@@ -8,7 +8,7 @@
 //! algorithms, the 99.9'th percentile delays are significantly smaller under
 //! the FIFO algorithm."  The link runs at 83.5 % utilization.
 
-use ispn_scenario::{FlowDef, LinkProfile, ScenarioBuilder, SourceSpec};
+use ispn_scenario::{FlowDef, LinkProfile, ScenarioBuilder, ScenarioSet, SourceSpec, SweepRunner};
 use ispn_sim::SimTime;
 
 use crate::config::PaperConfig;
@@ -85,14 +85,31 @@ pub fn run_single_link(cfg: &PaperConfig, discipline: DisciplineKind) -> Table1R
     }
 }
 
-/// Run the full Table-1 comparison (WFQ and FIFO, in the paper's order).
-pub fn run(cfg: &PaperConfig) -> Table1 {
+/// The discipline axis of the Table-1 sweep (WFQ and FIFO, in the paper's
+/// order).
+pub fn scenario_set() -> ScenarioSet<(DisciplineKind,)> {
+    ScenarioSet::over("discipline", [DisciplineKind::Wfq, DisciplineKind::Fifo])
+}
+
+/// Run the full Table-1 comparison through the given sweep runner; each
+/// discipline is a self-contained scenario point, so the two runs
+/// parallelize and the rows come back in the paper's order regardless of
+/// thread count.
+pub fn run_with(cfg: &PaperConfig, runner: &SweepRunner) -> Table1 {
     Table1 {
-        rows: vec![
-            run_single_link(cfg, DisciplineKind::Wfq),
-            run_single_link(cfg, DisciplineKind::Fifo),
-        ],
+        rows: runner
+            .run(&scenario_set(), |&(discipline,)| {
+                run_single_link(cfg, discipline)
+            })
+            .into_iter()
+            .map(|r| r.result)
+            .collect(),
     }
+}
+
+/// Run the full Table-1 comparison serially.
+pub fn run(cfg: &PaperConfig) -> Table1 {
+    run_with(cfg, &SweepRunner::serial())
 }
 
 #[cfg(test)]

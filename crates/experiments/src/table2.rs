@@ -9,7 +9,9 @@
 //! growth is much smaller with the FIFO+ algorithm."
 
 use ispn_core::FlowId;
-use ispn_scenario::{FlowDef, ScenarioBuilder, Sim, SourceSpec, TopologySpec};
+use ispn_scenario::{
+    FlowDef, ScenarioBuilder, ScenarioSet, Sim, SourceSpec, SweepRunner, TopologySpec,
+};
 
 use crate::config::PaperConfig;
 use crate::fig1::{self, Fig1Network, FlowPlacement};
@@ -83,31 +85,46 @@ fn sample_flow(flows: &[(FlowPlacement, FlowId)], path_length: usize) -> FlowId 
         .expect("every path length 1-4 exists in the placement")
 }
 
-/// Run the full Table-2 comparison.
-pub fn run(cfg: &PaperConfig) -> Table2 {
-    let mut cells = Vec::new();
-    let mut utilization = Vec::new();
-    for discipline in DisciplineKind::table2_set() {
+/// Run the full Table-2 comparison through the given sweep runner: one
+/// scenario point per discipline, fanned across threads, folded back in
+/// the paper's discipline order.
+pub fn run_with(cfg: &PaperConfig, runner: &SweepRunner) -> Table2 {
+    let set = ScenarioSet::over("discipline", DisciplineKind::table2_set());
+    let points = runner.run(&set, |&(discipline,)| {
         let (mut sim, flows) = run_chain(cfg, discipline);
         let net = sim.network_mut();
         let pt = cfg.packet_time().as_secs_f64();
-        for path_length in 1..=4 {
-            let flow = sample_flow(&flows, path_length);
-            let r = net.monitor_mut().flow_report(flow);
-            cells.push(Table2Cell {
-                scheduler: discipline.label(),
-                path_length,
-                mean: r.mean_delay / pt,
-                p999: r.p999_delay / pt,
-            });
-        }
+        let cells: Vec<Table2Cell> = (1..=4)
+            .map(|path_length| {
+                let flow = sample_flow(&flows, path_length);
+                let r = net.monitor_mut().flow_report(flow);
+                Table2Cell {
+                    scheduler: discipline.label(),
+                    path_length,
+                    mean: r.mean_delay / pt,
+                    p999: r.p999_delay / pt,
+                }
+            })
+            .collect();
         let util: f64 = (0..fig1::NUM_LINKS)
             .map(|i| net.monitor().link_report(i).utilization)
             .sum::<f64>()
             / fig1::NUM_LINKS as f64;
-        utilization.push((discipline.label(), util));
+        (cells, (discipline.label(), util))
+    });
+    let mut cells = Vec::new();
+    let mut utilization = Vec::new();
+    for report in points {
+        let (point_cells, point_util) = report.result;
+        cells.extend(point_cells);
+        utilization.push(point_util);
     }
     Table2 { cells, utilization }
+}
+
+/// Run the full Table-2 comparison serially.
+pub fn run(cfg: &PaperConfig) -> Table2 {
+    run_with(cfg, &SweepRunner::serial())
 }
 
 #[cfg(test)]

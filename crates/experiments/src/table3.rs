@@ -200,6 +200,29 @@ pub fn run(cfg: &PaperConfig) -> Table3 {
     summarize(cfg, &mut scenario)
 }
 
+/// Replicate Table 3 across seeds — the paper reports one random run; a
+/// seed axis turns it into a replication study (how much do the sample
+/// rows move between runs?).  Each seed is a self-contained scenario
+/// point, fanned across the runner's threads, returned in seed order.
+pub fn run_seeds(
+    cfg: &PaperConfig,
+    seeds: &[u64],
+    runner: &ispn_scenario::SweepRunner,
+) -> Vec<(u64, Table3)> {
+    let set = ispn_scenario::ScenarioSet::over("seed", seeds.to_vec());
+    runner
+        .run(&set, |&(seed,)| {
+            let cfg = PaperConfig {
+                seed,
+                ..cfg.clone()
+            };
+            (seed, run(&cfg))
+        })
+        .into_iter()
+        .map(|r| r.result)
+        .collect()
+}
+
 /// Summarize an already-run scenario.
 pub fn summarize(cfg: &PaperConfig, scenario: &mut Table3Scenario) -> Table3 {
     let pt = cfg.packet_time().as_secs_f64();

@@ -649,6 +649,20 @@ impl Network {
     /// Run the simulation until `horizon` (exclusive).  May be called
     /// repeatedly with increasing horizons.
     pub fn run_until(&mut self, horizon: SimTime) {
+        self.run_events(horizon, false);
+    }
+
+    /// Run the simulation *through* `horizon` (inclusive): every data-plane
+    /// event with timestamp ≤ `horizon` is processed.  Interleaving drivers
+    /// use this to give data-plane events precedence over control messages
+    /// and scheduled actions due at the same instant (the documented
+    /// data ≺ control ≺ action tie-break); [`run_until`](Network::run_until)
+    /// keeps its exclusive contract for plain horizon stepping.
+    pub fn run_through(&mut self, horizon: SimTime) {
+        self.run_events(horizon, true);
+    }
+
+    fn run_events(&mut self, horizon: SimTime, inclusive: bool) {
         self.started = true;
         while self.started_agents < self.agents.len() {
             let next = AgentId(self.started_agents);
@@ -656,7 +670,7 @@ impl Network {
             self.dispatch_start(next);
         }
         while let Some(t) = self.queue.peek_time() {
-            if t >= horizon {
+            if t > horizon || (t == horizon && !inclusive) {
                 break;
             }
             let (t, ev) = self.queue.pop().expect("peeked event exists");

@@ -12,7 +12,7 @@ use crate::discipline::{DisciplineMatrix, DisciplineSpec};
 use crate::error::BuildError;
 use crate::sim::Sim;
 use crate::topology::{BuiltTopology, LinkProfile, TopologySpec};
-use crate::workload::{AdmissionSpec, FlowDef, RouteSpec, SourceSpec, TcpDef};
+use crate::workload::{AdmissionSpec, FlowDef, RouteSpec, SourceSpec, TcpDef, WorkloadSpec};
 
 /// Which links an [`AdmissionSpec`] applies to.
 #[derive(Debug, Clone)]
@@ -32,6 +32,7 @@ pub struct ScenarioBuilder {
     admission: Vec<(AdmissionTarget, AdmissionSpec)>,
     warmup: Option<SimTime>,
     signal_config: SignalConfig,
+    workload: WorkloadSpec,
 }
 
 impl ScenarioBuilder {
@@ -46,6 +47,7 @@ impl ScenarioBuilder {
             admission: Vec::new(),
             warmup: None,
             signal_config: SignalConfig::default(),
+            workload: WorkloadSpec::Static,
         }
     }
 
@@ -131,6 +133,13 @@ impl ScenarioBuilder {
     /// Control-plane timing for dynamic scenarios.
     pub fn signaling(mut self, config: SignalConfig) -> Self {
         self.signal_config = config;
+        self
+    }
+
+    /// Attach a dynamic workload process (e.g.
+    /// [`WorkloadSpec::Churn`]) on top of the declared flows.
+    pub fn workload(mut self, spec: WorkloadSpec) -> Self {
+        self.workload = spec;
         self
     }
 
@@ -297,13 +306,36 @@ impl ScenarioBuilder {
             net.monitor_mut().set_warmup(warmup);
         }
 
-        Ok(Sim::from_parts(
+        let mut sim = Sim::from_parts(
             net,
             Signaling::new(self.signal_config),
             flow_ids,
             tcp,
             built,
-        ))
+        );
+
+        // 6. Attach the dynamic workload.
+        if let WorkloadSpec::Churn(churn) = self.workload {
+            churn
+                .validate()
+                .map_err(|reason| BuildError::BadWorkload { reason })?;
+            // Churn arrivals request uniformly random spans of the
+            // preset's forward links, so those links must form one
+            // contiguous path (a chain preset, or a custom chain): on a
+            // star or mesh the forward set is not a path and a multi-hop
+            // request would be invalid.
+            if !sim.built().topology.validate_route(&sim.built().forward) {
+                return Err(BuildError::BadWorkload {
+                    reason: "a churn workload needs a chain topology (its arrivals \
+                             span contiguous forward links); this preset's forward \
+                             links do not form one path"
+                        .to_string(),
+                });
+            }
+            sim.install_churn(churn);
+        }
+
+        Ok(sim)
     }
 }
 
@@ -387,6 +419,44 @@ mod tests {
             .unwrap();
         assert_eq!(sim.network().discipline_name(LinkId(0)), "FIFO");
         assert_eq!(sim.network().discipline_name(LinkId(1)), "WFQ");
+    }
+
+    #[test]
+    fn per_class_aggregation_pools_flows_and_histograms() {
+        use crate::report::HistogramSpec;
+        let mut sim = ScenarioBuilder::chain(2)
+            .discipline(DisciplineSpec::Unified {
+                priority_classes: 2,
+                averaging: ispn_sched::Averaging::RunningMean,
+            })
+            .flow(FlowDef::guaranteed(0, 1, 150_000.0).source(SourceSpec::cbr(50.0, 1000)))
+            .flow(FlowDef::guaranteed(0, 1, 150_000.0).source(SourceSpec::cbr(50.0, 1000)))
+            .flow(FlowDef::best_effort_realtime(0, 1).source(SourceSpec::poisson(100.0, 1000, 7)))
+            .flow(FlowDef::datagram(0, 1).source(SourceSpec::cbr(30.0, 1000)))
+            .build()
+            .unwrap();
+        sim.run_until(SimTime::from_secs(5));
+        let plan = MeasurementPlan::default().with_histogram(HistogramSpec::up_to(0.1, 10));
+        let r = sim.report(&plan);
+        // Deterministic class order: guaranteed, predicted-0, datagram.
+        let labels: Vec<&str> = r.classes.iter().map(|c| c.class.as_str()).collect();
+        assert_eq!(labels, vec!["guaranteed", "predicted-0", "datagram"]);
+        assert_eq!(r.classes[0].flows, 2, "both guaranteed flows pooled");
+        // The pooled class counts equal the sum of the per-flow counts.
+        let guaranteed_delivered: u64 = r.flows[0].delivered + r.flows[1].delivered;
+        assert_eq!(r.classes[0].delivered, guaranteed_delivered);
+        // Quantiles come back in plan order and are monotone.
+        let qs = &r.classes[0].quantiles;
+        assert_eq!(qs.len(), 4);
+        assert!(qs.windows(2).all(|w| w[0].1 <= w[1].1 + 1e-12));
+        // The histogram accounts for every pooled delivery.
+        let h = r.classes[0].histogram.as_ref().unwrap();
+        let total = h.underflow + h.overflow + h.counts.iter().sum::<u64>();
+        assert_eq!(total, guaranteed_delivered);
+        // The discipline group covers the single link.
+        assert_eq!(r.disciplines.len(), 1);
+        assert_eq!(r.disciplines[0].discipline, "Unified");
+        assert_eq!(r.disciplines[0].links, 1);
     }
 
     #[test]

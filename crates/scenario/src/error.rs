@@ -40,6 +40,12 @@ pub enum BuildError {
         /// Requested exit switch.
         to: NodeId,
     },
+    /// A dynamic workload declaration is inconsistent (e.g. a churn process
+    /// with a non-positive arrival rate or no service classes to request).
+    BadWorkload {
+        /// What was wrong with the requested workload.
+        reason: String,
+    },
     /// A route referenced a forward/reverse span that runs off the preset
     /// (e.g. `span(3, 2)` on a four-link chain).
     SpanOutOfRange {
@@ -59,6 +65,7 @@ impl std::fmt::Display for BuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BuildError::BadTopology { reason } => write!(f, "bad topology: {reason}"),
+            BuildError::BadWorkload { reason } => write!(f, "bad workload: {reason}"),
             BuildError::EmptyRoute { flow } => write!(f, "flow #{flow} has an empty route"),
             BuildError::InvalidRoute { flow } => {
                 write!(f, "flow #{flow}'s route is not a contiguous path")

@@ -17,14 +17,27 @@
 //!   predicted or guaranteed service,
 //! * [`AdmissionSpec`] — put links under the Section-9 measurement-based
 //!   admission controller,
+//! * [`WorkloadSpec`] — dynamic workloads on top of the declared flows:
+//!   [`WorkloadSpec::Churn`] runs Poisson arrivals with exponential
+//!   holding times entirely inside the facade (leased sources attached at
+//!   the exact accept instants, teardown on departure,
+//!   [`Sim::drain_churn`] at the end),
 //! * [`MeasurementPlan`] / [`ScenarioReport`] — select the statistics to
-//!   collect and get them back as a structured, serializable report,
+//!   collect and get them back as a structured, serializable report:
+//!   per-flow and per-link summaries, plus per-service-class pooled delay
+//!   distributions (selected quantiles, optional histograms) and
+//!   per-discipline link groups,
+//! * [`ScenarioSet`] / [`SweepRunner`] — parameterize any scenario over
+//!   named axes (cartesian [`by`](ScenarioSet::by) or element-wise
+//!   [`zip`](ScenarioSet::zip)) and fan the points across a thread pool;
+//!   results come back axis-tagged **in point order**, byte-identical to a
+//!   serial run whatever the thread count,
 //! * [`ScenarioBuilder`] — assembles all of the above and returns a
 //! * [`Sim`] — a facade owning both `Network` and `Signaling` that steps
 //!   data-plane events, control messages and user-scheduled actions in
-//!   **global event-time order**, eliminating the coarse
-//!   `process_until`/`run_until` interleave every dynamic caller used to
-//!   reimplement.
+//!   **global event-time order** (ties resolve data ≺ control ≺ action),
+//!   eliminating the coarse `process_until`/`run_until` interleave every
+//!   dynamic caller used to reimplement.
 //!
 //! ```
 //! use ispn_scenario::{DisciplineSpec, FlowDef, ScenarioBuilder, SourceSpec};
@@ -48,13 +61,21 @@ pub mod discipline;
 pub mod error;
 pub mod report;
 pub mod sim;
+pub mod sweep;
 pub mod topology;
 pub mod workload;
 
 pub use builder::ScenarioBuilder;
 pub use discipline::{DisciplineMatrix, DisciplineSpec};
 pub use error::BuildError;
-pub use report::{FlowSummary, LinkSummary, MeasurementPlan, ScenarioReport, SignalingSummary};
-pub use sim::Sim;
+pub use report::{
+    json_escape, ClassSummary, DisciplineSummary, FlowSummary, HistogramSpec, HistogramSummary,
+    LinkSummary, MeasurementPlan, ScenarioReport, SignalingSummary,
+};
+pub use sim::{ChurnFlowRecord, Sim};
+pub use sweep::{sweep_to_json, AxisValue, ScenarioSet, SweepPoint, SweepReport, SweepRunner};
 pub use topology::{BuiltTopology, LinkProfile, TopologySpec};
-pub use workload::{AdmissionSpec, FlowDef, RouteSpec, ServiceSpec, SourceSpec, TcpDef};
+pub use workload::{
+    AdmissionSpec, ChurnClass, ChurnSourceSpec, ChurnWorkload, FlowDef, RouteSpec, ServiceSpec,
+    SourceSpec, TcpDef, WorkloadSpec,
+};

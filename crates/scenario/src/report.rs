@@ -3,11 +3,57 @@
 //! A [`MeasurementPlan`] selects what to collect; [`ScenarioReport`] is the
 //! structured result, serializable to JSON (hand-rolled — this workspace
 //! builds offline, so no serde) and renderable as text for quick reading.
+//!
+//! Beyond the original per-flow and per-link summaries, a plan can select
+//! **per-class aggregation** ([`ClassSummary`]): every flow registered in
+//! the network — declared, TCP-installed or dynamically admitted — is
+//! grouped by its [`ServiceClass`](ispn_core::ServiceClass), and the
+//! class's pooled delay samples yield a real distribution (selected
+//! quantiles via [`MeasurementPlan::class_quantiles`], optionally a fixed-
+//! bin delay histogram via [`MeasurementPlan::delay_histogram`]) instead of
+//! just per-flow means.  Links can likewise be grouped by the queueing
+//! discipline they run ([`DisciplineSummary`]), which is what discipline-
+//! axis sweeps read out.
 
-use ispn_core::FlowId;
+use ispn_core::{FlowId, ServiceClass};
 use ispn_net::Network;
 use ispn_signal::Signaling;
-use ispn_stats::TextTable;
+use ispn_stats::{Histogram, SampleSet, TextTable};
+
+/// A fixed-bin histogram selection for per-class delay distributions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSpec {
+    /// Lower edge of the histogram range, in seconds of queueing delay.
+    pub lo_s: f64,
+    /// Upper edge (exclusive), in seconds.
+    pub hi_s: f64,
+    /// Number of uniform bins.
+    pub bins: usize,
+}
+
+impl HistogramSpec {
+    /// A histogram over `[0, hi_s)` seconds with `bins` uniform bins.
+    ///
+    /// # Panics
+    /// Panics if `hi_s <= 0` or `bins == 0` — better now than after the
+    /// simulation has run.
+    pub fn up_to(hi_s: f64, bins: usize) -> Self {
+        let spec = HistogramSpec {
+            lo_s: 0.0,
+            hi_s,
+            bins,
+        };
+        assert!(spec.is_valid(), "histogram needs hi_s > lo_s and bins > 0");
+        spec
+    }
+
+    /// Whether the selection can actually be recorded (`hi_s > lo_s` and at
+    /// least one bin).  Invalid specs are skipped at collection time — the
+    /// report carries no histogram rather than panicking after the run.
+    pub fn is_valid(&self) -> bool {
+        self.hi_s > self.lo_s && self.bins > 0
+    }
+}
 
 /// What a scenario run should collect into its report.
 #[derive(Debug, Clone)]
@@ -18,15 +64,31 @@ pub struct MeasurementPlan {
     pub link_stats: bool,
     /// Collect the signaling decision record (accepted/rejected setups).
     pub signaling_stats: bool,
+    /// Aggregate every registered flow by service class into
+    /// [`ClassSummary`] rows (pooled delay distributions).
+    pub class_stats: bool,
+    /// Group links by the queueing discipline they run into
+    /// [`DisciplineSummary`] rows.
+    pub discipline_stats: bool,
+    /// The delay quantiles each [`ClassSummary`] reports (values in
+    /// `[0, 1]`, reported in the order given).
+    pub class_quantiles: Vec<f64>,
+    /// Optional per-class delay histogram selection.
+    pub delay_histogram: Option<HistogramSpec>,
 }
 
 impl Default for MeasurementPlan {
-    /// Everything on.
+    /// Everything on (histograms stay opt-in) with the workhorse quantile
+    /// set: median, 90th, 99th and the paper's headline 99.9th percentile.
     fn default() -> Self {
         MeasurementPlan {
             flow_stats: true,
             link_stats: true,
             signaling_stats: true,
+            class_stats: true,
+            discipline_stats: true,
+            class_quantiles: vec![0.5, 0.9, 0.99, 0.999],
+            delay_histogram: None,
         }
     }
 }
@@ -38,7 +100,28 @@ impl MeasurementPlan {
             flow_stats: true,
             link_stats: false,
             signaling_stats: false,
+            class_stats: false,
+            discipline_stats: false,
+            class_quantiles: Vec::new(),
+            delay_histogram: None,
         }
+    }
+
+    /// Select a per-class delay histogram (builder style).
+    ///
+    /// # Panics
+    /// Panics on an invalid selection (`hi_s <= lo_s` or `bins == 0`) —
+    /// better when the plan is built than after the simulation has run.
+    pub fn with_histogram(mut self, spec: HistogramSpec) -> Self {
+        assert!(spec.is_valid(), "histogram needs hi_s > lo_s and bins > 0");
+        self.delay_histogram = Some(spec);
+        self
+    }
+
+    /// Replace the per-class quantile selection (builder style).
+    pub fn with_quantiles(mut self, quantiles: impl Into<Vec<f64>>) -> Self {
+        self.class_quantiles = quantiles.into();
+        self
     }
 }
 
@@ -82,6 +165,70 @@ pub struct LinkSummary {
     pub packets_sent: u64,
 }
 
+/// A recorded per-class delay histogram (bin edges are uniform over
+/// `[lo_s, hi_s)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Lower edge of the range, seconds.
+    pub lo_s: f64,
+    /// Upper edge of the range (exclusive), seconds.
+    pub hi_s: f64,
+    /// Per-bin sample counts.
+    pub counts: Vec<u64>,
+    /// Samples below `lo_s`.
+    pub underflow: u64,
+    /// Samples at or above `hi_s`.
+    pub overflow: u64,
+}
+
+/// Aggregate statistics of one service class, pooled over every registered
+/// flow of that class (delays in seconds).
+#[derive(Debug, Clone)]
+pub struct ClassSummary {
+    /// Class label: `guaranteed`, `predicted-<priority>` or `datagram`.
+    pub class: String,
+    /// Number of flows in the class.
+    pub flows: usize,
+    /// Packets the class's sources submitted.
+    pub generated: u64,
+    /// Packets delivered end to end.
+    pub delivered: u64,
+    /// Packets dropped to full buffers.
+    pub dropped_buffer: u64,
+    /// Packets dropped by edge policing.
+    pub dropped_at_edge: u64,
+    /// Mean queueing delay over the pooled samples.
+    pub mean_delay_s: f64,
+    /// Maximum queueing delay over the pooled samples.
+    pub max_delay_s: f64,
+    /// Standard deviation of the pooled queueing delays (the class's
+    /// jitter).
+    pub jitter_s: f64,
+    /// The selected quantiles of the pooled delay distribution, as
+    /// `(q, delay_s)` pairs in plan order.
+    pub quantiles: Vec<(f64, f64)>,
+    /// The selected delay histogram, if the plan asked for one.
+    pub histogram: Option<HistogramSummary>,
+}
+
+/// Aggregate statistics of every link running one queueing discipline.
+#[derive(Debug, Clone)]
+pub struct DisciplineSummary {
+    /// The discipline's name as the link reports it (e.g. `WFQ`,
+    /// `Unified`).
+    pub discipline: String,
+    /// Number of links running it.
+    pub links: usize,
+    /// Mean utilization over those links.
+    pub mean_utilization: f64,
+    /// Mean real-time utilization over those links.
+    pub mean_realtime_utilization: f64,
+    /// Total buffer drops on those links.
+    pub drops: u64,
+    /// Total packets transmitted on those links.
+    pub packets_sent: u64,
+}
+
 /// Signaling summary: the decision record of completed setups.
 #[derive(Debug, Clone)]
 pub struct SignalingSummary {
@@ -105,8 +252,56 @@ pub struct ScenarioReport {
     pub flows: Vec<FlowSummary>,
     /// Per-link summaries for every link — empty if skipped.
     pub links: Vec<LinkSummary>,
+    /// Per-service-class summaries over every registered flow (guaranteed
+    /// first, then predicted by rising priority, then datagram; classes
+    /// with no flows are omitted) — empty if skipped.
+    pub classes: Vec<ClassSummary>,
+    /// Per-discipline link groups, ordered by first link id — empty if
+    /// skipped.
+    pub disciplines: Vec<DisciplineSummary>,
     /// Signaling summary, if the plan asked for one.
     pub signaling: Option<SignalingSummary>,
+}
+
+/// Escape a string for embedding inside a JSON string literal: `"`, `\`
+/// and every control character below U+0020 are escaped, so hostile or
+/// merely unlucky labels (a discipline name with a quote, a class label
+/// with a newline) can never produce malformed JSON.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The canonical report label of a service class.
+fn class_label(class: ServiceClass) -> String {
+    match class {
+        ServiceClass::Guaranteed => "guaranteed".to_string(),
+        ServiceClass::Predicted { priority } => format!("predicted-{priority}"),
+        ServiceClass::Datagram => "datagram".to_string(),
+    }
+}
+
+/// Deterministic report order of service classes: guaranteed, predicted by
+/// rising priority, datagram.
+fn class_order(class: ServiceClass) -> (u8, u8) {
+    match class {
+        ServiceClass::Guaranteed => (0, 0),
+        ServiceClass::Predicted { priority } => (1, priority),
+        ServiceClass::Datagram => (2, 0),
+    }
 }
 
 fn stddev(samples: &[f64]) -> f64 {
@@ -176,6 +371,16 @@ impl ScenarioReport {
         } else {
             Vec::new()
         };
+        let class_summaries = if plan.class_stats {
+            Self::collect_classes(plan, net)
+        } else {
+            Vec::new()
+        };
+        let discipline_summaries = if plan.discipline_stats {
+            Self::collect_disciplines(net)
+        } else {
+            Vec::new()
+        };
         let signaling = plan.signaling_stats.then(|| {
             let decisions: Vec<bool> = sig.decision_log().iter().map(|&(_, a)| a).collect();
             let accepted = decisions.iter().filter(|&&a| a).count();
@@ -190,8 +395,115 @@ impl ScenarioReport {
             horizon_s,
             flows: flow_summaries,
             links: link_summaries,
+            classes: class_summaries,
+            disciplines: discipline_summaries,
             signaling,
         }
+    }
+
+    /// Pool every registered flow's delay samples by service class.
+    fn collect_classes(plan: &MeasurementPlan, net: &mut Network) -> Vec<ClassSummary> {
+        // Group flow ids by class, in deterministic class order.
+        let mut groups: Vec<(ServiceClass, Vec<FlowId>)> = Vec::new();
+        for i in 0..net.num_flows() {
+            let flow = FlowId(i as u32);
+            let class = net.flow_config(flow).class;
+            match groups.iter_mut().find(|(c, _)| *c == class) {
+                Some((_, flows)) => flows.push(flow),
+                None => groups.push((class, vec![flow])),
+            }
+        }
+        groups.sort_by_key(|(c, _)| class_order(*c));
+
+        groups
+            .into_iter()
+            .map(|(class, flows)| {
+                let mut pooled = SampleSet::new();
+                let mut histogram = plan
+                    .delay_histogram
+                    .filter(HistogramSpec::is_valid)
+                    .map(|spec| (spec, Histogram::new(spec.lo_s, spec.hi_s, spec.bins)));
+                let mut generated = 0u64;
+                let mut delivered = 0u64;
+                let mut dropped_buffer = 0u64;
+                let mut dropped_at_edge = 0u64;
+                for &flow in &flows {
+                    for &d in net.monitor().flow_delays(flow).samples() {
+                        pooled.record(d);
+                        if let Some((_, h)) = histogram.as_mut() {
+                            h.record(d);
+                        }
+                    }
+                    let r = net.monitor_mut().flow_report(flow);
+                    generated += r.generated;
+                    delivered += r.delivered;
+                    dropped_buffer += r.dropped_buffer;
+                    dropped_at_edge += r.dropped_at_edge;
+                }
+                let jitter_s = stddev(pooled.samples());
+                let quantiles = plan
+                    .class_quantiles
+                    .iter()
+                    .map(|&q| (q, pooled.quantile(q)))
+                    .collect();
+                ClassSummary {
+                    class: class_label(class),
+                    flows: flows.len(),
+                    generated,
+                    delivered,
+                    dropped_buffer,
+                    dropped_at_edge,
+                    mean_delay_s: pooled.mean(),
+                    max_delay_s: pooled.max(),
+                    jitter_s,
+                    quantiles,
+                    histogram: histogram.map(|(spec, h)| HistogramSummary {
+                        lo_s: spec.lo_s,
+                        hi_s: spec.hi_s,
+                        counts: h.bins().to_vec(),
+                        underflow: h.underflow(),
+                        overflow: h.overflow(),
+                    }),
+                }
+            })
+            .collect()
+    }
+
+    /// Group links by the discipline they run, ordered by first link id.
+    fn collect_disciplines(net: &Network) -> Vec<DisciplineSummary> {
+        let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+        for link in 0..net.monitor().num_links() {
+            let name = net.discipline_name(ispn_net::LinkId(link)).to_string();
+            match groups.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, links)) => links.push(link),
+                None => groups.push((name, vec![link])),
+            }
+        }
+        groups
+            .into_iter()
+            .map(|(discipline, links)| {
+                let mut util = 0.0;
+                let mut rt_util = 0.0;
+                let mut drops = 0u64;
+                let mut packets_sent = 0u64;
+                for &l in &links {
+                    let r = net.monitor().link_report(l);
+                    util += r.utilization;
+                    rt_util += r.realtime_utilization;
+                    drops += r.drops;
+                    packets_sent += r.packets_sent;
+                }
+                let n = links.len() as f64;
+                DisciplineSummary {
+                    discipline,
+                    links: links.len(),
+                    mean_utilization: util / n,
+                    mean_realtime_utilization: rt_util / n,
+                    drops,
+                    packets_sent,
+                }
+            })
+            .collect()
     }
 
     /// Serialize the report as JSON.
@@ -232,6 +544,68 @@ impl ScenarioReport {
                 json_f64(l.realtime_utilization),
                 l.drops,
                 l.packets_sent,
+            ));
+        }
+        out.push_str("],\"classes\":[");
+        for (i, c) in self.classes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let quantiles: String = c
+                .quantiles
+                .iter()
+                .map(|&(q, v)| format!("[{},{}]", json_f64(q), json_f64(v)))
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&format!(
+                "{{\"class\":\"{}\",\"flows\":{},\"generated\":{},\"delivered\":{},\
+                 \"dropped_buffer\":{},\"dropped_at_edge\":{},\
+                 \"mean_delay_s\":{},\"max_delay_s\":{},\"jitter_s\":{},\
+                 \"quantiles\":[{quantiles}]",
+                json_escape(&c.class),
+                c.flows,
+                c.generated,
+                c.delivered,
+                c.dropped_buffer,
+                c.dropped_at_edge,
+                json_f64(c.mean_delay_s),
+                json_f64(c.max_delay_s),
+                json_f64(c.jitter_s),
+            ));
+            match &c.histogram {
+                Some(h) => {
+                    let counts: String = h
+                        .counts
+                        .iter()
+                        .map(u64::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    out.push_str(&format!(
+                        ",\"histogram\":{{\"lo_s\":{},\"hi_s\":{},\"counts\":[{counts}],\
+                         \"underflow\":{},\"overflow\":{}}}}}",
+                        json_f64(h.lo_s),
+                        json_f64(h.hi_s),
+                        h.underflow,
+                        h.overflow,
+                    ));
+                }
+                None => out.push_str(",\"histogram\":null}"),
+            }
+        }
+        out.push_str("],\"disciplines\":[");
+        for (i, d) in self.disciplines.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"discipline\":\"{}\",\"links\":{},\"mean_utilization\":{},\
+                 \"mean_realtime_utilization\":{},\"drops\":{},\"packets_sent\":{}}}",
+                json_escape(&d.discipline),
+                d.links,
+                json_f64(d.mean_utilization),
+                json_f64(d.mean_realtime_utilization),
+                d.drops,
+                d.packets_sent,
             ));
         }
         out.push(']');
@@ -307,6 +681,58 @@ impl ScenarioReport {
             out.push('\n');
             out.push_str(&table.render());
         }
+        if !self.classes.is_empty() {
+            let mut header = vec![
+                "class".to_string(),
+                "flows".to_string(),
+                "delivered".to_string(),
+                "mean".to_string(),
+            ];
+            for &(q, _) in &self.classes[0].quantiles {
+                header.push(format!("{} %ile", q * 100.0));
+            }
+            header.push("max".to_string());
+            header.push("jitter".to_string());
+            let mut table = TextTable::new("Scenario classes (pooled delays in ms)").header(header);
+            for c in &self.classes {
+                let mut row = vec![
+                    c.class.clone(),
+                    c.flows.to_string(),
+                    c.delivered.to_string(),
+                    format!("{:.3}", c.mean_delay_s * 1e3),
+                ];
+                for &(_, v) in &c.quantiles {
+                    row.push(format!("{:.3}", v * 1e3));
+                }
+                row.push(format!("{:.3}", c.max_delay_s * 1e3));
+                row.push(format!("{:.3}", c.jitter_s * 1e3));
+                table.row(row);
+            }
+            out.push('\n');
+            out.push_str(&table.render());
+        }
+        if !self.disciplines.is_empty() {
+            let mut table = TextTable::new("Scenario disciplines").header([
+                "discipline",
+                "links",
+                "utilization",
+                "real-time",
+                "drops",
+                "packets",
+            ]);
+            for d in &self.disciplines {
+                table.row([
+                    d.discipline.clone(),
+                    d.links.to_string(),
+                    format!("{:.1}%", d.mean_utilization * 100.0),
+                    format!("{:.1}%", d.mean_realtime_utilization * 100.0),
+                    d.drops.to_string(),
+                    d.packets_sent.to_string(),
+                ]);
+            }
+            out.push('\n');
+            out.push_str(&table.render());
+        }
         if let Some(s) = &self.signaling {
             out.push_str(&format!(
                 "\nsignaling: {} accepted, {} rejected, {} pending\n",
@@ -343,6 +769,33 @@ mod tests {
                 drops: 2,
                 packets_sent: 98,
             }],
+            classes: vec![ClassSummary {
+                class: "predicted-0".to_string(),
+                flows: 1,
+                generated: 100,
+                delivered: 98,
+                dropped_buffer: 2,
+                dropped_at_edge: 0,
+                mean_delay_s: 0.003,
+                max_delay_s: 0.06,
+                jitter_s: 0.004,
+                quantiles: vec![(0.5, 0.002), (0.999, 0.05)],
+                histogram: Some(HistogramSummary {
+                    lo_s: 0.0,
+                    hi_s: 0.1,
+                    counts: vec![90, 8],
+                    underflow: 0,
+                    overflow: 0,
+                }),
+            }],
+            disciplines: vec![DisciplineSummary {
+                discipline: "WFQ".to_string(),
+                links: 1,
+                mean_utilization: 0.83,
+                mean_realtime_utilization: 0.8,
+                drops: 2,
+                packets_sent: 98,
+            }],
             signaling: Some(SignalingSummary {
                 accepted: 3,
                 rejected: 1,
@@ -363,6 +816,10 @@ mod tests {
             "\"mean_delay_s\":0.003",
             "\"links\":[{\"link\":0",
             "\"utilization\":0.83",
+            "\"classes\":[{\"class\":\"predicted-0\"",
+            "\"quantiles\":[[0.5,0.002],[0.999,0.05]]",
+            "\"histogram\":{\"lo_s\":0.0,\"hi_s\":0.1,\"counts\":[90,8]",
+            "\"disciplines\":[{\"discipline\":\"WFQ\"",
             "\"signaling\":{\"accepted\":3",
             "\"decisions\":[true,true,false,true]",
         ] {
@@ -389,7 +846,68 @@ mod tests {
         let text = sample_report().render();
         assert!(text.contains("Scenario flows"));
         assert!(text.contains("Scenario links"));
+        assert!(text.contains("Scenario classes"));
+        assert!(text.contains("predicted-0"));
+        assert!(text.contains("Scenario disciplines"));
+        assert!(text.contains("WFQ"));
         assert!(text.contains("3 accepted, 1 rejected"));
+    }
+
+    #[test]
+    fn hostile_labels_are_escaped_in_json() {
+        // A label with a quote, a backslash, a newline and a raw control
+        // character: the emitter used to splice strings verbatim, which
+        // would have produced malformed JSON here.
+        let mut r = sample_report();
+        r.disciplines[0].discipline = "WFQ\" \\evil\n\u{1}".to_string();
+        r.classes[0].class = "class\"with\\quotes".to_string();
+        let json = r.to_json();
+        assert!(
+            json.contains("\"discipline\":\"WFQ\\\" \\\\evil\\n\\u0001\""),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"class\":\"class\\\"with\\\\quotes\""),
+            "{json}"
+        );
+        // Still balanced after escaping (the cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // No raw control characters or unescaped quotes survive inside the
+        // emitted text.
+        assert!(!json.chars().any(|c| (c as u32) < 0x20 && c != ' '));
+    }
+
+    #[test]
+    fn invalid_histogram_specs_fail_fast_or_are_skipped() {
+        // The builder paths refuse invalid selections up front…
+        assert!(std::panic::catch_unwind(|| HistogramSpec::up_to(0.0, 4)).is_err());
+        assert!(std::panic::catch_unwind(|| {
+            MeasurementPlan::default().with_histogram(HistogramSpec {
+                lo_s: 0.0,
+                hi_s: 0.1,
+                bins: 0,
+            })
+        })
+        .is_err());
+        // …and a hand-constructed invalid spec is simply not recordable.
+        assert!(!HistogramSpec {
+            lo_s: 0.2,
+            hi_s: 0.1,
+            bins: 4,
+        }
+        .is_valid());
+        assert!(HistogramSpec::up_to(0.1, 4).is_valid());
+    }
+
+    #[test]
+    fn json_escape_passes_clean_strings_through() {
+        assert_eq!(json_escape("FIFO+"), "FIFO+");
+        assert_eq!(json_escape("predicted-1"), "predicted-1");
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\tb"), "a\\tb");
+        assert_eq!(json_escape("\u{7}"), "\\u0007");
     }
 
     #[test]

@@ -13,18 +13,26 @@
 //! thousand times) cannot change any outcome.
 //!
 //! Ordering at equal timestamps is deterministic and documented:
-//! user-scheduled actions run before control messages due at the same
-//! instant, and control messages run before data-plane events at their
-//! instant (the engine's own convention).
+//! **data ≺ control ≺ action**.  Data-plane events settle first (so
+//! admission decisions and observers at `t` see every packet that arrived
+//! at `t`), control messages due at that instant complete next, and
+//! user-scheduled actions run last — an action observing the simulation at
+//! its own instant sees a fully settled network.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
 
 use ispn_core::{FlowId, TokenBucketSpec};
 use ispn_net::{FlowConfig, Network};
-use ispn_signal::{RequestId, SignalEvent, Signaling};
-use ispn_sim::{EventQueue, SimTime};
+use ispn_signal::{Lease, LeasedSource, RequestId, SignalEvent, Signaling};
+use ispn_sim::{EventQueue, Pcg64, SimTime};
+use ispn_traffic::{OnOffConfig, OnOffSource};
 use ispn_transport::TcpHandles;
 
 use crate::report::{MeasurementPlan, ScenarioReport};
 use crate::topology::BuiltTopology;
+use crate::workload::ChurnWorkload;
 
 /// A deferred driver action, run with exclusive access to the simulation at
 /// its scheduled instant.
@@ -33,6 +41,163 @@ type Action = Box<dyn FnOnce(&mut Sim)>;
 /// A callback observing completed signaling transactions at their exact
 /// event time.
 type SignalHandler = Box<dyn FnMut(&SignalEvent, &mut Sim)>;
+
+/// One flow the churn workload has admitted (still holding, or already
+/// departed — records survive teardown so bound-compliance checks can look
+/// flows up after the run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnFlowRecord {
+    /// The admitted flow.
+    pub flow: FlowId,
+    /// `Some(priority)` for predicted requests, `None` for guaranteed.
+    pub priority: Option<u8>,
+    /// Path length of the request in links.
+    pub hops: usize,
+}
+
+/// Per-flow churn bookkeeping (the lease silences the source on departure).
+struct ChurnEntry {
+    priority: Option<u8>,
+    hops: usize,
+    lease: Option<Lease>,
+}
+
+/// The facade-owned churn driver: one private RNG stream drives arrivals,
+/// mixes, gaps and holding times; completions are observed through the same
+/// dispatch path as user handlers (driver first).
+struct ChurnDriver {
+    spec: ChurnWorkload,
+    rng: Pcg64,
+    admitted: HashMap<FlowId, ChurnEntry>,
+    requested: HashMap<FlowId, (Option<u8>, usize)>,
+    source_seq: u32,
+    /// Set by [`Sim::drain_churn`]: in-flight completions must no longer
+    /// spawn sources or departures.
+    draining: bool,
+}
+
+type ChurnHandle = Rc<RefCell<ChurnDriver>>;
+
+impl ChurnDriver {
+    /// The self-rescheduling arrival: pick a uniformly random forward span,
+    /// draw the service mix, submit, schedule the next arrival.  The RNG
+    /// draw order (span, span length, mix, inter-arrival gap) is part of
+    /// the workload's reproducibility contract — do not reorder.
+    fn arrival(handle: ChurnHandle, sim: &mut Sim) {
+        let (config, priority, hops, gap) = {
+            let mut d = handle.borrow_mut();
+            if d.draining {
+                return;
+            }
+            let nlinks = sim.built().forward.len() as u64;
+            let first = d.rng.next_below(nlinks) as usize;
+            let hops = 1 + d.rng.next_below(nlinks - first as u64) as usize;
+            let route = sim
+                .built()
+                .span(first, hops)
+                .expect("arrival spans stay inside the preset");
+            let guaranteed_fraction = d.spec.guaranteed_fraction;
+            let guaranteed_rate_bps = d.spec.guaranteed_rate_bps;
+            let nclasses = d.spec.classes.len();
+            let (config, priority) = if d.rng.bernoulli(guaranteed_fraction) {
+                (FlowConfig::guaranteed(route, guaranteed_rate_bps), None)
+            } else {
+                // A fair coin for the two-class mix (the dominant case,
+                // and the draw the pre-promotion churn driver made — kept
+                // so migrated runs reproduce bit-exactly); a uniform index
+                // for any other class count.
+                let idx = if nclasses == 2 {
+                    usize::from(d.rng.bernoulli(0.5))
+                } else {
+                    d.rng.next_below(nclasses as u64) as usize
+                };
+                let class = d.spec.classes[idx].clone();
+                let bound = class.per_hop_target.mul_f64(hops as f64);
+                (
+                    FlowConfig::predicted(
+                        route,
+                        class.priority,
+                        class.bucket,
+                        bound,
+                        class.loss_rate,
+                        class.police,
+                    ),
+                    Some(class.priority),
+                )
+            };
+            let arrivals_per_sec = d.spec.arrivals_per_sec;
+            let gap = SimTime::from_secs_f64(d.rng.exponential(1.0 / arrivals_per_sec));
+            (config, priority, hops, gap)
+        };
+        let (_req, flow) = sim.submit(config);
+        handle.borrow_mut().requested.insert(flow, (priority, hops));
+        let next = sim.now() + gap;
+        let h = handle.clone();
+        sim.schedule_at(next, move |sim| ChurnDriver::arrival(h, sim));
+    }
+
+    /// The departure of one admitted flow: revoke its source's lease and
+    /// begin the hop-by-hop teardown.
+    fn departure(handle: ChurnHandle, flow: FlowId, sim: &mut Sim) {
+        let lease = handle
+            .borrow_mut()
+            .admitted
+            .get_mut(&flow)
+            .and_then(|entry| entry.lease.take());
+        if let Some(lease) = lease {
+            lease.revoke();
+            sim.teardown(flow);
+        }
+    }
+
+    /// Observe a completed signaling transaction: an accepted setup gets
+    /// its leased source the instant the confirmation lands, plus a
+    /// scheduled departure.
+    fn on_signal(handle: &ChurnHandle, event: &SignalEvent, sim: &mut Sim) {
+        if handle.borrow().draining {
+            return;
+        }
+        match event {
+            SignalEvent::Accepted { flow, at, .. } => {
+                let (leased, hold) = {
+                    let mut d = handle.borrow_mut();
+                    // Completions for flows the driver did not submit (a
+                    // caller using `Sim::submit` next to the churn
+                    // workload) are not the driver's business.
+                    let Some((priority, hops)) = d.requested.remove(flow) else {
+                        return;
+                    };
+                    let seed = d.spec.source.seed_for(d.source_seq);
+                    let source = OnOffSource::new(
+                        *flow,
+                        OnOffConfig::paper(d.spec.source.avg_rate_pps, seed),
+                    );
+                    d.source_seq += 1;
+                    let (leased, lease) = LeasedSource::new(source);
+                    let mean_holding_secs = d.spec.mean_holding_secs;
+                    let hold = SimTime::from_secs_f64(d.rng.exponential(mean_holding_secs));
+                    d.admitted.insert(
+                        *flow,
+                        ChurnEntry {
+                            priority,
+                            hops,
+                            lease: Some(lease),
+                        },
+                    );
+                    (leased, hold)
+                };
+                sim.network_mut().add_agent(Box::new(leased));
+                let h = handle.clone();
+                let flow = *flow;
+                sim.schedule_at(*at + hold, move |sim| ChurnDriver::departure(h, flow, sim));
+            }
+            SignalEvent::Rejected { flow, .. } => {
+                handle.borrow_mut().requested.remove(flow);
+            }
+            _ => {}
+        }
+    }
+}
 
 /// The scenario simulation: network, signaling engine, scheduled actions
 /// and the signal-event handler, advanced together.
@@ -53,6 +218,8 @@ pub struct Sim {
     flows: Vec<FlowId>,
     tcp: Vec<TcpHandles>,
     built: BuiltTopology,
+    /// The churn workload driver, when the builder declared one.
+    churn: Option<ChurnHandle>,
 }
 
 impl std::fmt::Debug for Sim {
@@ -88,6 +255,80 @@ impl Sim {
             flows,
             tcp,
             built,
+            churn: None,
+        }
+    }
+
+    /// Install a churn workload (the builder's job when the scenario
+    /// declares [`WorkloadSpec::Churn`](crate::workload::WorkloadSpec)):
+    /// seeds the driver's private RNG and schedules the first arrival.
+    pub(crate) fn install_churn(&mut self, spec: ChurnWorkload) {
+        let mut rng = Pcg64::new(spec.seed);
+        let gap = SimTime::from_secs_f64(rng.exponential(1.0 / spec.arrivals_per_sec));
+        let driver = Rc::new(RefCell::new(ChurnDriver {
+            spec,
+            rng,
+            admitted: HashMap::new(),
+            requested: HashMap::new(),
+            source_seq: 0,
+            draining: false,
+        }));
+        self.churn = Some(driver.clone());
+        self.schedule_at(gap, move |sim| ChurnDriver::arrival(driver, sim));
+    }
+
+    /// Whether this simulation carries a churn workload.
+    pub fn has_churn(&self) -> bool {
+        self.churn.is_some()
+    }
+
+    /// Every flow the churn workload has admitted so far (departed flows
+    /// included), sorted by flow id.  Empty without a churn workload.
+    pub fn churn_admitted(&self) -> Vec<ChurnFlowRecord> {
+        let Some(churn) = &self.churn else {
+            return Vec::new();
+        };
+        let d = churn.borrow();
+        let mut records: Vec<ChurnFlowRecord> = d
+            .admitted
+            .iter()
+            .map(|(&flow, entry)| ChurnFlowRecord {
+                flow,
+                priority: entry.priority,
+                hops: entry.hops,
+            })
+            .collect();
+        records.sort_by_key(|r| r.flow);
+        records
+    }
+
+    /// Drain the churn workload: stop the arrival process (this cancels
+    /// **every** scheduled action, like
+    /// [`cancel_scheduled`](Sim::cancel_scheduled)), silence each admitted
+    /// flow's source and begin its teardown, in flow-id order.  Run the
+    /// simulation a little longer afterwards to let the release waves
+    /// finish; no reservation state survives a drained run.
+    pub fn drain_churn(&mut self) {
+        let Some(churn) = self.churn.clone() else {
+            return;
+        };
+        churn.borrow_mut().draining = true;
+        self.cancel_scheduled();
+        let to_tear: Vec<(FlowId, Lease)> = {
+            let mut d = churn.borrow_mut();
+            let mut pairs: Vec<(FlowId, Lease)> = d
+                .admitted
+                .iter_mut()
+                .filter_map(|(&flow, entry)| entry.lease.take().map(|l| (flow, l)))
+                .collect();
+            // Teardown order does not affect the outcome, but sort anyway
+            // so the drain is reproducible by construction.
+            pairs.sort_by_key(|(flow, _)| *flow);
+            pairs
+        };
+        for (flow, lease) in to_tear {
+            lease.revoke();
+            self.teardown(flow);
         }
     }
 
@@ -187,6 +428,12 @@ impl Sim {
 
     fn dispatch(&mut self, events: Vec<SignalEvent>) {
         for event in events {
+            // The churn driver observes completions before any user
+            // handler: sources come alive at their exact accept instants
+            // whether or not the caller also watches events.
+            if let Some(churn) = self.churn.clone() {
+                ChurnDriver::on_signal(&churn, &event, self);
+            }
             if let Some(mut handler) = self.handler.take() {
                 self.handler_cleared = false;
                 handler(&event, self);
@@ -207,6 +454,22 @@ impl Sim {
     /// their exact times).  May be called repeatedly with increasing
     /// horizons; the stepping granularity does not affect any outcome.
     ///
+    /// Events due at exactly `horizon` wait for the next call — except at
+    /// the end of time itself: `run_until(SimTime::MAX)` also runs actions
+    /// scheduled at `SimTime::MAX`, so "at the end of the run" is a
+    /// schedulable instant rather than a silently dropped one.  An
+    /// end-of-time drain runs every pending control message and scheduled
+    /// action but does **not** try to exhaust the data plane's own event
+    /// stream — a self-rescheduling source or periodic admission sampler
+    /// has no last event, so data settles only through the last control or
+    /// action instant.  Drive the simulation to a finite horizon first
+    /// when measurements must cover a specific window.
+    ///
+    /// Ties at the same instant resolve **data ≺ control ≺ action**: the
+    /// data plane settles first (so a handler or action observing the
+    /// network at `t` sees every packet that arrived at `t`), then control
+    /// messages complete, then scheduled actions run.
+    ///
     /// # Panics
     /// Panics if called from inside a scheduled action or signal handler:
     /// those run *within* a `run_until` step, and a nested call would
@@ -220,28 +483,45 @@ impl Sim {
              or signal handler"
         );
         self.running = true;
+        let draining = horizon == SimTime::MAX;
+        let due = |t: SimTime| t < horizon || (t == horizon && draining);
         loop {
-            let next_control = self.sig.peek_time().unwrap_or(SimTime::MAX);
-            let next_action = self.actions.peek_time().unwrap_or(SimTime::MAX);
-            if next_control.min(next_action) >= horizon {
-                break;
-            }
-            if next_action <= next_control {
-                // Bring both planes exactly to the action's instant (no
-                // control message is due before it), then run it.
-                let events = self.sig.process_until(&mut self.net, next_action);
-                self.dispatch(events);
-                let (_, action) = self.actions.pop().expect("peeked action exists");
-                action(self);
-            } else {
-                // Process every control message at the next control
-                // instant, delivering completions at that exact time.
+            let next_control = self.sig.peek_time().filter(|&t| due(t));
+            let next_action = self.actions.peek_time().filter(|&t| due(t));
+            // Control wins a tie against an action (control ≺ action).
+            let control_first = match (next_control, next_action) {
+                (None, None) => break,
+                (Some(tc), Some(ta)) => tc <= ta,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+            };
+            if control_first {
+                // `process_next` first settles the data plane through the
+                // control instant (data ≺ control).
                 let events = self.sig.process_next(&mut self.net);
                 self.dispatch(events);
+            } else {
+                let ta = next_action.expect("action branch has an action");
+                if !draining || ta < SimTime::MAX {
+                    // No control message due at or before the action's
+                    // instant: bring both planes through it — data events
+                    // at exactly `ta` included (data ≺ action) — then run
+                    // the action.
+                    let events = self.sig.process_until(&mut self.net, ta);
+                    self.dispatch(events);
+                    self.net.run_through(ta);
+                }
+                // An end-of-time action runs without driving the planes to
+                // t = SimTime::MAX: an unbounded event stream (periodic
+                // sources, admission samplers) has no end to reach.
+                let (_, action) = self.actions.pop().expect("peeked action exists");
+                action(self);
             }
         }
-        let events = self.sig.process_until(&mut self.net, horizon);
-        self.dispatch(events);
+        if !draining {
+            let events = self.sig.process_until(&mut self.net, horizon);
+            self.dispatch(events);
+        }
         self.running = false;
         std::mem::take(&mut self.collected)
     }
@@ -311,21 +591,83 @@ mod tests {
     }
 
     #[test]
-    fn actions_run_before_control_events_due_at_the_same_instant() {
+    fn control_events_run_before_actions_due_at_the_same_instant() {
         let mut sim = simple_sim();
         let links = sim.built().forward.clone();
         let order: Rc<RefCell<Vec<&'static str>>> = Rc::default();
         let o1 = order.clone();
         sim.on_signal(move |_, _| o1.borrow_mut().push("control"));
         sim.submit(FlowConfig::guaranteed(links, 300_000.0));
-        // The confirmation completes at exactly 4 ms; an action at 4 ms
-        // must run first (documented tie-break).
+        // The confirmation completes at exactly 4 ms; the control message
+        // runs first, the 4 ms action after it (the documented
+        // data ≺ control ≺ action tie-break).
         let o2 = order.clone();
         sim.schedule_at(SimTime::from_millis(4), move |_| {
             o2.borrow_mut().push("action")
         });
         sim.run_until(SimTime::from_secs(1));
-        assert_eq!(*order.borrow(), vec!["action", "control"]);
+        assert_eq!(*order.borrow(), vec!["control", "action"]);
+    }
+
+    #[test]
+    fn data_events_settle_before_control_and_actions_at_the_same_instant() {
+        // One packet traced to leave the source at 2 ms: 1 ms transmission
+        // plus 1 ms propagation lands it at the destination at exactly
+        // 4 ms — the same instant the setup confirmation completes and an
+        // action is scheduled.  Both must observe the delivery.
+        let mut sim = simple_sim();
+        let links = sim.built().forward.clone();
+        let flow = sim
+            .network_mut()
+            .add_flow(FlowConfig::datagram(vec![links[0]]));
+        sim.network_mut()
+            .add_agent(Box::new(ispn_traffic::TraceSource::new(
+                flow,
+                vec![(SimTime::from_millis(2), 1000)],
+            )));
+        let seen_by_handler: Rc<RefCell<Option<u64>>> = Rc::default();
+        let s1 = seen_by_handler.clone();
+        sim.on_signal(move |event, sim| {
+            assert_eq!(event.at(), SimTime::from_millis(4));
+            let r = sim.network_mut().monitor_mut().flow_report(flow);
+            *s1.borrow_mut() = Some(r.delivered);
+        });
+        sim.submit(FlowConfig::guaranteed(links, 300_000.0));
+        let seen_by_action: Rc<RefCell<Option<u64>>> = Rc::default();
+        let s2 = seen_by_action.clone();
+        sim.schedule_at(SimTime::from_millis(4), move |sim: &mut Sim| {
+            let r = sim.network_mut().monitor_mut().flow_report(flow);
+            *s2.borrow_mut() = Some(r.delivered);
+        });
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(
+            *seen_by_handler.borrow(),
+            Some(1),
+            "the 4 ms delivery must be visible to the 4 ms completion"
+        );
+        assert_eq!(
+            *seen_by_action.borrow(),
+            Some(1),
+            "the 4 ms delivery must be visible to the 4 ms action"
+        );
+    }
+
+    #[test]
+    fn actions_scheduled_at_the_end_of_time_still_run() {
+        // simple_sim has periodic admission sampling — an unbounded data
+        // event stream.  The end-of-time drain must run the action without
+        // trying to exhaust that stream (it has no last event).
+        let mut sim = simple_sim();
+        let ran: Rc<RefCell<bool>> = Rc::default();
+        let r = ran.clone();
+        sim.schedule_at(SimTime::MAX, move |_| *r.borrow_mut() = true);
+        // Any finite horizon leaves it pending…
+        sim.run_until(SimTime::from_secs(1000));
+        assert!(!*ran.borrow());
+        // …but draining to the end of time runs it instead of silently
+        // dropping it.
+        sim.run_until(SimTime::MAX);
+        assert!(*ran.borrow());
     }
 
     #[test]

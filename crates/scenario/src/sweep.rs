@@ -1,0 +1,535 @@
+//! Parallel scenario sweeps: parameterize one scenario over axes, fan the
+//! points across a thread pool, get deterministic axis-tagged reports back.
+//!
+//! Every result in CSZ'92 is a *sweep* — the same topology re-run across
+//! loads, mixes and disciplines.  This module gives that shape a first-class
+//! API:
+//!
+//! * [`ScenarioSet`] — a set of scenario points built from named axes.
+//!   [`ScenarioSet::over`] opens the first axis, [`by`](ScenarioSet::by)
+//!   cartesian-extends (the new axis becomes the inner loop), and
+//!   [`zip`](ScenarioSet::zip) pairs a new axis element-wise with the
+//!   existing points.  Point parameters are plain tuples, so the run
+//!   closure destructures them without any stringly-typed lookups; each
+//!   point also carries `(axis name, value label)` tags for reports.
+//! * [`SweepRunner`] — runs every point through a caller-supplied closure,
+//!   either serially ([`SweepRunner::serial`]) or fanned across `N`
+//!   OS threads ([`SweepRunner::parallel`], [`SweepRunner::max_parallel`];
+//!   `std::thread::scope`, no pool retained between runs).  Each point
+//!   builds and runs its own self-contained [`Sim`](crate::Sim) inside its
+//!   worker thread.
+//! * [`SweepReport`] — one point's result, tagged with the point's index
+//!   and axis labels, serializable to JSON (strings escaped through
+//!   [`json_escape`](crate::report::json_escape)).
+//!
+//! # Determinism
+//!
+//! Results come back **indexed by point order**, not completion order: the
+//! runner writes each result into the slot of the point that produced it
+//! and joins every worker before returning.  Since a scenario point is a
+//! pure function of its parameters and seeds (each `Sim` owns its
+//! `Network` + `Signaling` and a private RNG stream), a sweep produces
+//! byte-identical [`SweepReport`]s whatever the thread count — pinned by
+//! `tests/tests/sweep.rs` and the CI `sweep-smoke` job.
+//!
+//! ```
+//! use ispn_scenario::{ScenarioSet, SweepRunner};
+//!
+//! let set = ScenarioSet::over("load", [0.5f64, 0.8])
+//!     .by("flows", [5usize, 10]);
+//! assert_eq!(set.len(), 4);
+//! let reports = SweepRunner::parallel(2).run(&set, |&(load, flows)| {
+//!     // build a ScenarioBuilder from (load, flows), run it, report…
+//!     format!("{load}:{flows}")
+//! });
+//! assert_eq!(reports[3].result, "0.8:10");
+//! assert_eq!(reports[3].tag("flows"), Some("10"));
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use ispn_sim::SimTime;
+
+use crate::discipline::DisciplineSpec;
+use crate::report::{json_escape, ScenarioReport};
+
+/// A value usable on a sweep axis: cloneable across threads and able to
+/// label itself for axis tags.
+pub trait AxisValue: Clone + Send + Sync {
+    /// The tag label of this value (e.g. `0.8`, `WFQ`, `10`).
+    fn axis_label(&self) -> String;
+}
+
+macro_rules! axis_value_display {
+    ($($t:ty),*) => {$(
+        impl AxisValue for $t {
+            fn axis_label(&self) -> String {
+                self.to_string()
+            }
+        }
+    )*};
+}
+
+axis_value_display!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl AxisValue for f64 {
+    /// `{:?}` keeps a decimal point (`1.0`, not `1`), so float axes
+    /// round-trip unambiguously.
+    fn axis_label(&self) -> String {
+        format!("{self:?}")
+    }
+}
+
+impl AxisValue for &'static str {
+    fn axis_label(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl AxisValue for String {
+    fn axis_label(&self) -> String {
+        self.clone()
+    }
+}
+
+impl AxisValue for DisciplineSpec {
+    fn axis_label(&self) -> String {
+        self.label().to_string()
+    }
+}
+
+impl AxisValue for SimTime {
+    fn axis_label(&self) -> String {
+        format!("{}s", self.as_secs_f64())
+    }
+}
+
+/// Tuple types that can grow by one element — the machinery behind
+/// [`ScenarioSet::by`] / [`ScenarioSet::zip`] keeping point parameters as
+/// plain destructurable tuples.  Implemented for arities 0–3 (a sweep with
+/// more than four axes wants a purpose-built parameter struct anyway).
+pub trait TupleAppend<T> {
+    /// The tuple with `T` appended.
+    type Out;
+    /// Append `value`.
+    fn append(self, value: T) -> Self::Out;
+}
+
+impl<T> TupleAppend<T> for () {
+    type Out = (T,);
+    fn append(self, value: T) -> (T,) {
+        (value,)
+    }
+}
+
+impl<A, T> TupleAppend<T> for (A,) {
+    type Out = (A, T);
+    fn append(self, value: T) -> (A, T) {
+        (self.0, value)
+    }
+}
+
+impl<A, B, T> TupleAppend<T> for (A, B) {
+    type Out = (A, B, T);
+    fn append(self, value: T) -> (A, B, T) {
+        (self.0, self.1, value)
+    }
+}
+
+impl<A, B, C, T> TupleAppend<T> for (A, B, C) {
+    type Out = (A, B, C, T);
+    fn append(self, value: T) -> (A, B, C, T) {
+        (self.0, self.1, self.2, value)
+    }
+}
+
+/// One scenario point: axis tags plus the typed parameters the run closure
+/// receives.
+#[derive(Debug, Clone)]
+pub struct SweepPoint<P> {
+    /// `(axis name, value label)` pairs in axis-declaration order.
+    pub tags: Vec<(String, String)>,
+    /// The point's parameters (a tuple, one element per axis).
+    pub params: P,
+}
+
+/// A set of scenario points spanned by named axes.
+#[derive(Debug, Clone)]
+pub struct ScenarioSet<P> {
+    points: Vec<SweepPoint<P>>,
+}
+
+impl ScenarioSet<()> {
+    /// A set with a single unparameterized point (useful to run one
+    /// scenario through the same machinery as a sweep).
+    pub fn single() -> Self {
+        ScenarioSet {
+            points: vec![SweepPoint {
+                tags: Vec::new(),
+                params: (),
+            }],
+        }
+    }
+
+    /// Open the first axis: one point per value.
+    pub fn over<A: AxisValue>(
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = A>,
+    ) -> ScenarioSet<(A,)> {
+        let name = name.into();
+        ScenarioSet {
+            points: values
+                .into_iter()
+                .map(|v| SweepPoint {
+                    tags: vec![(name.clone(), v.axis_label())],
+                    params: (v,),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl<P: Clone> ScenarioSet<P> {
+    /// Cartesian-extend with another axis: every existing point is repeated
+    /// once per value, with the new axis as the **inner** loop (the order a
+    /// hand-written nested `for` produces).
+    ///
+    /// # Panics
+    /// Panics if `values` is empty — a cartesian product with an empty axis
+    /// would silently discard every existing point.
+    pub fn by<A: AxisValue>(
+        self,
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = A>,
+    ) -> ScenarioSet<P::Out>
+    where
+        P: TupleAppend<A>,
+    {
+        let name = name.into();
+        let values: Vec<A> = values.into_iter().collect();
+        assert!(
+            !values.is_empty(),
+            "axis {name:?} has no values; a cartesian product with an empty \
+             axis would drop every point"
+        );
+        let mut points = Vec::with_capacity(self.points.len() * values.len());
+        for point in self.points {
+            for v in &values {
+                let mut tags = point.tags.clone();
+                tags.push((name.clone(), v.axis_label()));
+                points.push(SweepPoint {
+                    tags,
+                    params: point.params.clone().append(v.clone()),
+                });
+            }
+        }
+        ScenarioSet { points }
+    }
+
+    /// Zip another axis element-wise against the existing points (the
+    /// non-cartesian companion of [`by`](ScenarioSet::by) for axes that
+    /// vary together, e.g. a load level and its matching horizon).
+    ///
+    /// # Panics
+    /// Panics unless `values` has exactly one value per existing point.
+    pub fn zip<A: AxisValue>(
+        self,
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = A>,
+    ) -> ScenarioSet<P::Out>
+    where
+        P: TupleAppend<A>,
+    {
+        let name = name.into();
+        let values: Vec<A> = values.into_iter().collect();
+        assert_eq!(
+            values.len(),
+            self.points.len(),
+            "zipped axis {name:?} must provide exactly one value per point"
+        );
+        ScenarioSet {
+            points: self
+                .points
+                .into_iter()
+                .zip(values)
+                .map(|(mut point, v)| {
+                    point.tags.push((name.clone(), v.axis_label()));
+                    SweepPoint {
+                        tags: point.tags,
+                        params: point.params.append(v),
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+impl<P> ScenarioSet<P> {
+    /// The points, in sweep order.
+    pub fn points(&self) -> &[SweepPoint<P>] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the set has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// One point's result, tagged with its index and axis labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport<R> {
+    /// The point's position in sweep order.
+    pub index: usize,
+    /// The point's `(axis name, value label)` tags.
+    pub tags: Vec<(String, String)>,
+    /// What the run closure returned for the point.
+    pub result: R,
+}
+
+impl<R> SweepReport<R> {
+    /// The label of one axis, if the point has it.
+    pub fn tag(&self, axis: &str) -> Option<&str> {
+        self.tags
+            .iter()
+            .find(|(name, _)| name == axis)
+            .map(|(_, label)| label.as_str())
+    }
+
+    /// Serialize with a caller-supplied serializer for the result payload
+    /// (`body` must emit valid JSON).
+    pub fn to_json_with(&self, body: impl Fn(&R) -> String) -> String {
+        let axes: String = self
+            .tags
+            .iter()
+            .map(|(name, label)| format!("[\"{}\",\"{}\"]", json_escape(name), json_escape(label)))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"index\":{},\"axes\":[{axes}],\"report\":{}}}",
+            self.index,
+            body(&self.result),
+        )
+    }
+}
+
+impl SweepReport<ScenarioReport> {
+    /// Serialize the point: index, axis tags and the scenario report.
+    pub fn to_json(&self) -> String {
+        self.to_json_with(ScenarioReport::to_json)
+    }
+}
+
+/// Serialize a whole sweep of scenario reports as one JSON array — the
+/// byte-identity surface the serial-vs-parallel acceptance check diffs.
+pub fn sweep_to_json(reports: &[SweepReport<ScenarioReport>]) -> String {
+    let body: Vec<String> = reports.iter().map(SweepReport::to_json).collect();
+    format!("[{}]", body.join(","))
+}
+
+/// Fans the points of a [`ScenarioSet`] across a thread pool.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl SweepRunner {
+    /// Run every point on the calling thread, in sweep order.
+    pub fn serial() -> Self {
+        SweepRunner { threads: 1 }
+    }
+
+    /// Fan points across `threads` OS threads (at least one).
+    pub fn parallel(threads: usize) -> Self {
+        SweepRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// One thread per core the host offers (falls back to serial when the
+    /// parallelism cannot be determined).
+    pub fn max_parallel() -> Self {
+        SweepRunner {
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+
+    /// The configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run every point of `set` through `run_point`, returning one
+    /// [`SweepReport`] per point **in sweep order** regardless of which
+    /// worker finished first.  `run_point` builds, runs and summarizes one
+    /// self-contained scenario; it is called exactly once per point.
+    ///
+    /// # Panics
+    /// A panic inside `run_point` propagates once every other in-flight
+    /// point has finished (workers are joined by `std::thread::scope`).
+    pub fn run<P, R, F>(&self, set: &ScenarioSet<P>, run_point: F) -> Vec<SweepReport<R>>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(&P) -> R + Sync,
+    {
+        let n = set.points.len();
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let workers = self.threads.min(n.max(1));
+        if workers <= 1 {
+            for (point, slot) in set.points.iter().zip(&slots) {
+                *slot.lock().expect("result slot poisoned") = Some(run_point(&point.params));
+            }
+        } else {
+            // Work-stealing by atomic counter: each worker claims the next
+            // unclaimed point and writes the result into that point's slot,
+            // so completion order cannot leak into the output.
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let result = run_point(&set.points[i].params);
+                        *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    });
+                }
+            });
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(index, slot)| SweepReport {
+                index,
+                tags: set.points[index].tags.clone(),
+                result: slot
+                    .into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every point ran to completion"),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cartesian_axes_nest_like_for_loops() {
+        let set = ScenarioSet::over("d", ["WFQ", "FIFO"]).by("load", [1usize, 2, 3]);
+        assert_eq!(set.len(), 6);
+        let got: Vec<(&str, usize)> = set
+            .points()
+            .iter()
+            .map(|p| (p.params.0, p.params.1))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("WFQ", 1),
+                ("WFQ", 2),
+                ("WFQ", 3),
+                ("FIFO", 1),
+                ("FIFO", 2),
+                ("FIFO", 3)
+            ]
+        );
+        assert_eq!(
+            set.points()[4].tags,
+            vec![
+                ("d".to_string(), "FIFO".to_string()),
+                ("load".to_string(), "2".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn zipped_axes_pair_elementwise() {
+        let set = ScenarioSet::over("load", [0.5f64, 1.0, 2.0]).zip("seed", [7u64, 8, 9]);
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.points()[1].params, (1.0, 8));
+        assert_eq!(set.points()[2].tags[0].1, "2.0");
+        assert_eq!(set.points()[2].tags[1].1, "9");
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one value per point")]
+    fn zip_length_mismatch_panics() {
+        let _ = ScenarioSet::over("load", [1usize, 2]).zip("seed", [1u64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no values")]
+    fn empty_cartesian_axis_panics() {
+        let _ = ScenarioSet::over("load", [1usize]).by("d", Vec::<&'static str>::new());
+    }
+
+    #[test]
+    fn single_point_sets_run_through_the_same_machinery() {
+        let set = ScenarioSet::single();
+        let out = SweepRunner::serial().run(&set, |_| 42);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].result, 42);
+        assert!(out[0].tags.is_empty());
+    }
+
+    #[test]
+    fn parallel_results_come_back_in_point_order() {
+        let set = ScenarioSet::over("i", (0..64usize).collect::<Vec<_>>());
+        // Skew the work so late points finish first under parallelism.
+        let f = |&(i,): &(usize,)| {
+            if i < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(3));
+            }
+            i * i
+        };
+        let serial = SweepRunner::serial().run(&set, f);
+        let parallel = SweepRunner::parallel(8).run(&set, f);
+        assert_eq!(serial, parallel);
+        for (i, r) in parallel.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(r.result, i * i);
+            assert_eq!(r.tag("i"), Some(i.to_string().as_str()));
+        }
+    }
+
+    #[test]
+    fn sweep_json_tags_every_point_and_escapes_labels() {
+        let set = ScenarioSet::over("d", ["evil\"quote"]);
+        let out = SweepRunner::serial().run(&set, |_| crate::ScenarioReport {
+            horizon_s: 1.0,
+            flows: Vec::new(),
+            links: Vec::new(),
+            classes: Vec::new(),
+            disciplines: Vec::new(),
+            signaling: None,
+        });
+        let json = sweep_to_json(&out);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(
+            json.contains("\"axes\":[[\"d\",\"evil\\\"quote\"]]"),
+            "{json}"
+        );
+        assert!(json.contains("\"index\":0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn runner_thread_counts() {
+        assert_eq!(SweepRunner::serial().threads(), 1);
+        assert_eq!(SweepRunner::parallel(0).threads(), 1);
+        assert_eq!(SweepRunner::parallel(6).threads(), 6);
+        assert!(SweepRunner::max_parallel().threads() >= 1);
+    }
+}

@@ -221,6 +221,134 @@ impl FlowDef {
     }
 }
 
+/// A dynamic workload process attached to a scenario, driven through the
+/// control plane while the static flows run.
+#[derive(Debug, Clone, Default)]
+pub enum WorkloadSpec {
+    /// Only the statically declared flows (the default).
+    #[default]
+    Static,
+    /// Flow churn: Poisson setup arrivals with exponentially distributed
+    /// holding times, each admitted flow sourced and torn down by the
+    /// [`Sim`](crate::Sim) facade itself.
+    Churn(ChurnWorkload),
+}
+
+/// One predicted-service class a churn arrival can request.
+#[derive(Debug, Clone)]
+pub struct ChurnClass {
+    /// Priority class (0 = highest).
+    pub priority: u8,
+    /// The `(r, b)` token bucket the request declares.
+    pub bucket: TokenBucketSpec,
+    /// Advertised per-hop delay target; a request over `h` hops is sold the
+    /// end-to-end bound `h × per_hop_target`.
+    pub per_hop_target: SimTime,
+    /// Acceptable loss rate of the request.
+    pub loss_rate: f64,
+    /// What the edge does with nonconforming packets.
+    pub police: PoliceAction,
+}
+
+/// How churn sources are shaped and seeded.
+#[derive(Debug, Clone)]
+pub struct ChurnSourceSpec {
+    /// Average rate `A` of the paper's on/off source attached to each
+    /// admitted flow (peak `2A`, burst 5, `(A, 50)` source policer).
+    pub avg_rate_pps: f64,
+    /// Base seed; the `i`-th admitted source draws an independent stream
+    /// from [`seed_for(i)`](ChurnSourceSpec::seed_for).
+    pub seed_base: u64,
+}
+
+impl ChurnSourceSpec {
+    /// The derived seed of the `i`-th admitted source (golden-ratio mixing,
+    /// the same derivation the static experiments use for per-flow seeds —
+    /// this is what lets a migrated churn run reproduce its pre-migration
+    /// source streams bit-exactly).
+    pub fn seed_for(&self, i: u32) -> u64 {
+        self.seed_base
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(i as u64 + 1)
+    }
+}
+
+/// A first-class churn workload: Poisson flow arrivals over uniformly
+/// random forward spans, exponential holding times, teardown on departure.
+///
+/// The whole process is a pure function of [`seed`](ChurnWorkload::seed):
+/// one private RNG stream drives, in arrival order, the span choice, the
+/// service mix, the inter-arrival gap and (on acceptance) the holding
+/// time.  Admitted flows get the Appendix's on/off source attached at the
+/// exact instant their confirmation lands, wrapped in a
+/// [`LeasedSource`](ispn_signal::LeasedSource) so departure silences it.
+#[derive(Debug, Clone)]
+pub struct ChurnWorkload {
+    /// Poisson flow-arrival rate λ (setup requests per second).
+    pub arrivals_per_sec: f64,
+    /// Mean exponential holding time 1/μ of an admitted flow, seconds.
+    pub mean_holding_secs: f64,
+    /// Seed of the churn driver's private random stream.
+    pub seed: u64,
+    /// Fraction of requests asking for guaranteed service.
+    pub guaranteed_fraction: f64,
+    /// The clock rate a guaranteed request reserves, bits per second.
+    pub guaranteed_rate_bps: f64,
+    /// The predicted classes the remaining requests draw from (uniformly).
+    pub classes: Vec<ChurnClass>,
+    /// Source shape and seeding for admitted flows.
+    pub source: ChurnSourceSpec,
+}
+
+impl ChurnWorkload {
+    /// Offered load in erlangs: the mean number of flows that would be in
+    /// the system if none were blocked (λ/μ).
+    pub fn offered_erlangs(&self) -> f64 {
+        self.arrivals_per_sec * self.mean_holding_secs
+    }
+
+    /// Validate the declaration (the builder calls this).
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        // A NaN rate fails the positivity checks too: `is_positive_finite`
+        // style comparisons are written so NaN falls into the error arm.
+        if self.arrivals_per_sec <= 0.0 || self.arrivals_per_sec.is_nan() {
+            return Err(format!(
+                "churn arrival rate must be positive, got {}",
+                self.arrivals_per_sec
+            ));
+        }
+        if self.mean_holding_secs <= 0.0 || self.mean_holding_secs.is_nan() {
+            return Err(format!(
+                "churn mean holding time must be positive, got {}",
+                self.mean_holding_secs
+            ));
+        }
+        // NaN fails `contains` and lands here too — without this check a
+        // NaN fraction would sail past both class checks below (NaN < 1.0
+        // and NaN > 0.0 are both false) and crash at the first arrival.
+        if !(0.0..=1.0).contains(&self.guaranteed_fraction) {
+            return Err(format!(
+                "churn guaranteed fraction must be within [0, 1], got {}",
+                self.guaranteed_fraction
+            ));
+        }
+        if self.guaranteed_fraction < 1.0 && self.classes.is_empty() {
+            return Err(
+                "churn with guaranteed_fraction < 1 needs at least one predicted class".to_string(),
+            );
+        }
+        if self.guaranteed_fraction > 0.0
+            && (self.guaranteed_rate_bps <= 0.0 || self.guaranteed_rate_bps.is_nan())
+        {
+            return Err(format!(
+                "churn guaranteed requests need a positive clock rate, got {}",
+                self.guaranteed_rate_bps
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// A greedy TCP connection: a datagram data flow forward and an
 /// acknowledgement flow back.
 #[derive(Debug, Clone)]

@@ -290,17 +290,18 @@ impl Signaling {
         self.queue.peek_time()
     }
 
-    /// Advance the network exactly to the next control message's timestamp,
-    /// process every control message due at that instant, and return the
-    /// transactions that completed.  Does nothing (and returns no events)
-    /// when no control message is in flight.
+    /// Advance the network *through* the next control message's timestamp
+    /// (data-plane events at that exact instant run first — the documented
+    /// data ≺ control tie-break), process every control message due at that
+    /// instant, and return the transactions that completed.  Does nothing
+    /// (and returns no events) when no control message is in flight.
     ///
     /// Unlike [`process_until`](Signaling::process_until) this never runs
     /// the data plane past the control event, so a caller can interleave
     /// its own event sources at exact timestamps between control messages.
     pub fn process_next(&mut self, net: &mut Network) -> Vec<SignalEvent> {
         if let Some(t) = self.queue.peek_time() {
-            net.run_until(t);
+            net.run_through(t);
             while self.queue.peek_time() == Some(t) {
                 let (at, ev) = self.queue.pop().expect("peeked event exists");
                 self.handle(net, at, ev);
@@ -311,15 +312,18 @@ impl Signaling {
 
     /// Run the network and the control plane, interleaved in timestamp
     /// order, until `horizon`; returns the signaling transactions that
-    /// completed in that window, in completion order.
+    /// completed in that window, in completion order.  Data-plane events
+    /// due at the same instant as a control message run before it, so
+    /// admission decisions always see the measurement state *including*
+    /// that instant's arrivals.
     pub fn process_until(&mut self, net: &mut Network, horizon: SimTime) -> Vec<SignalEvent> {
         while let Some(t) = self.queue.peek_time() {
             if t >= horizon {
                 break;
             }
             // Bring the data plane (and with it every admission
-            // controller's measurements) up to the control message's time.
-            net.run_until(t);
+            // controller's measurements) through the control message's time.
+            net.run_through(t);
             let (at, ev) = self.queue.pop().expect("peeked event exists");
             self.handle(net, at, ev);
         }

@@ -33,7 +33,17 @@ impl SampleSet {
     }
 
     /// Add one sample.
+    ///
+    /// NaN samples are rejected at the door: a NaN carries no ordering
+    /// information, so admitting one would poison every order statistic
+    /// (and used to panic inside the sort).  Rejected samples do not count
+    /// towards [`len`](SampleSet::len); callers that care can compare
+    /// `len()` before and after.  Infinities are ordered values and are
+    /// kept.
     pub fn record(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
         self.samples.push(x);
         self.sorted = false;
     }
@@ -68,8 +78,10 @@ impl SampleSet {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples
-                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample recorded"));
+            // `record` rejects NaN, so `total_cmp` orders exactly like the
+            // old `partial_cmp` — but totally, so a NaN that slipped in
+            // through a future code path sorts instead of panicking.
+            self.samples.sort_unstable_by(f64::total_cmp);
             self.sorted = true;
         }
     }
@@ -159,14 +171,18 @@ impl P2Quantile {
         }
     }
 
-    /// Add one sample.
+    /// Add one sample.  NaN samples are ignored (same policy as
+    /// [`SampleSet::record`]) and do not advance
+    /// [`count`](P2Quantile::count).
     pub fn record(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
         self.count += 1;
         if self.initial.len() < 5 {
             self.initial.push(x);
             if self.initial.len() == 5 {
-                self.initial
-                    .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+                self.initial.sort_unstable_by(f64::total_cmp);
                 for i in 0..5 {
                     self.heights[i] = self.initial[i];
                 }
@@ -242,7 +258,7 @@ impl P2Quantile {
         }
         if self.initial.len() < 5 {
             let mut v = self.initial.clone();
-            v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            v.sort_unstable_by(f64::total_cmp);
             let pos = (self.q * (v.len() - 1) as f64).round() as usize;
             return v[pos.min(v.len() - 1)];
         }
@@ -327,6 +343,34 @@ mod tests {
         s.record(0.0);
         assert_eq!(s.median(), 3.0);
         assert_eq!(s.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn nan_samples_are_rejected_not_panicked() {
+        let mut s = SampleSet::new();
+        s.record(2.0);
+        s.record(f64::NAN);
+        s.record(1.0);
+        // The NaN never entered: two samples, sane order statistics.
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 2.0);
+        assert!((s.mean() - 1.5).abs() < 1e-12);
+        // Infinities are ordered values and stay.
+        s.record(f64::INFINITY);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.quantile(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn p2_ignores_nan_samples() {
+        let mut p2 = P2Quantile::new(0.5);
+        for x in [1.0, f64::NAN, 2.0, 3.0, f64::NAN, 4.0, 5.0, 6.0, 7.0] {
+            p2.record(x);
+        }
+        assert_eq!(p2.count(), 7, "NaN must not advance the count");
+        let e = p2.estimate();
+        assert!((1.0..=7.0).contains(&e), "estimate {e}");
     }
 
     #[test]

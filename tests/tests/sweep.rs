@@ -1,0 +1,435 @@
+//! Sweep-API integration tests: the determinism contract of
+//! `ispn-scenario::sweep` and the migrated experiment sweeps.
+//!
+//! The acceptance surface: a sweep of ≥ 8 scenario points run with
+//! `threads = N > 1` must produce **byte-identical** `SweepReport` JSON to
+//! the serial run, and the experiments that migrated onto the sweep API
+//! (tables 1–3, hetmix, churn, mesh) must produce the same outputs through
+//! a parallel runner as through the serial one — completion order must
+//! never leak into results.
+
+use ispn_experiments::{churn, hetmix, table1, table2, table3, DisciplineKind, PaperConfig};
+use ispn_net::PoliceAction;
+use ispn_scenario::{
+    sweep_to_json, AdmissionSpec, ChurnClass, ChurnSourceSpec, ChurnWorkload, DisciplineSpec,
+    FlowDef, HistogramSpec, MeasurementPlan, ScenarioBuilder, ScenarioSet, SourceSpec, SweepRunner,
+    TopologySpec, WorkloadSpec,
+};
+use ispn_sched::Averaging;
+use ispn_sim::SimTime;
+
+/// The discipline axis the generic sweep uses.
+fn disciplines() -> [DisciplineSpec; 4] {
+    [
+        DisciplineSpec::Fifo,
+        DisciplineSpec::FifoPlus(Averaging::RunningMean),
+        DisciplineSpec::Wfq,
+        DisciplineSpec::Unified {
+            priority_classes: 2,
+            averaging: Averaging::RunningMean,
+        },
+    ]
+}
+
+/// Build and run one (discipline, flows-per-class) point: a short
+/// heterogeneous mix on a two-switch chain, reported with per-class
+/// distributions and a delay histogram.
+fn run_point(spec: DisciplineSpec, level: usize) -> ispn_scenario::ScenarioReport {
+    let mut builder = ScenarioBuilder::chain(2).discipline(spec);
+    for i in 0..level {
+        builder = builder
+            .flow(FlowDef::guaranteed(0, 1, 120_000.0).source(SourceSpec::cbr(85.0, 1000)))
+            .flow(
+                FlowDef::best_effort_realtime(0, 1)
+                    .source(SourceSpec::onoff_paper(85.0, 40 + i as u64)),
+            )
+            .flow(FlowDef::datagram(0, 1).source(SourceSpec::poisson(85.0, 1000, 80 + i as u64)));
+    }
+    let mut sim = builder.build().expect("valid sweep point");
+    sim.run_until(SimTime::from_secs(5));
+    sim.report(&MeasurementPlan::default().with_histogram(HistogramSpec::up_to(0.2, 16)))
+}
+
+#[test]
+fn eight_point_parallel_sweep_is_byte_identical_to_serial() {
+    // 4 disciplines × 2 load levels = 8 self-contained scenario points.
+    let set = ScenarioSet::over("discipline", disciplines()).by("level", [1usize, 3]);
+    assert_eq!(set.len(), 8);
+    let f = |&(spec, level): &(DisciplineSpec, usize)| run_point(spec, level);
+    let serial = SweepRunner::serial().run(&set, f);
+    let parallel = SweepRunner::parallel(4).run(&set, f);
+    let serial_json = sweep_to_json(&serial);
+    let parallel_json = sweep_to_json(&parallel);
+    assert!(
+        serial_json == parallel_json,
+        "parallel sweep JSON diverged from serial"
+    );
+    // The reports are tagged with both axes, in point order.
+    assert_eq!(parallel[0].tag("discipline"), Some("FIFO"));
+    assert_eq!(parallel[0].tag("level"), Some("1"));
+    assert_eq!(parallel[7].tag("discipline"), Some("Unified"));
+    assert_eq!(parallel[7].tag("level"), Some("3"));
+    // And the per-class additions are present in every point's JSON.
+    assert!(serial_json.contains("\"classes\":[{\"class\":\"guaranteed\""));
+    assert!(serial_json.contains("\"histogram\":{\"lo_s\":0.0"));
+    assert!(serial_json.contains("\"disciplines\":[{\"discipline\":\"WFQ\""));
+}
+
+#[test]
+fn oversubscribed_thread_pool_changes_nothing() {
+    // More threads than points, and more points than a round number: the
+    // work-claiming counter must still map every result to its point.
+    let set = ScenarioSet::over("discipline", disciplines()).by("level", [1usize, 2, 4]);
+    assert_eq!(set.len(), 12);
+    let f = |&(spec, level): &(DisciplineSpec, usize)| run_point(spec, level).to_json();
+    let serial = SweepRunner::serial().run(&set, f);
+    let wide = SweepRunner::parallel(32).run(&set, f);
+    assert_eq!(serial, wide);
+}
+
+#[test]
+fn table1_and_table2_parallel_runs_match_serial() {
+    let cfg = PaperConfig {
+        duration: SimTime::from_secs(15),
+        ..PaperConfig::paper()
+    };
+    let s1 = table1::run(&cfg);
+    let p1 = table1::run_with(&cfg, &SweepRunner::parallel(2));
+    assert_eq!(s1.rows.len(), p1.rows.len());
+    for (s, p) in s1.rows.iter().zip(&p1.rows) {
+        assert_eq!(s.scheduler, p.scheduler);
+        assert_eq!(s.mean, p.mean);
+        assert_eq!(s.p999, p.p999);
+        assert_eq!(s.utilization, p.utilization);
+    }
+
+    let s2 = table2::run(&cfg);
+    let p2 = table2::run_with(&cfg, &SweepRunner::parallel(3));
+    assert_eq!(s2.cells.len(), p2.cells.len());
+    for (s, p) in s2.cells.iter().zip(&p2.cells) {
+        assert_eq!((s.scheduler, s.path_length), (p.scheduler, p.path_length));
+        assert_eq!(s.mean, p.mean);
+        assert_eq!(s.p999, p.p999);
+    }
+    assert_eq!(s2.utilization, p2.utilization);
+}
+
+#[test]
+fn table3_seed_axis_replicates_deterministically() {
+    let cfg = PaperConfig {
+        duration: SimTime::from_secs(10),
+        ..PaperConfig::paper()
+    };
+    let seeds = [cfg.seed, cfg.seed + 1];
+    let serial = table3::run_seeds(&cfg, &seeds, &SweepRunner::serial());
+    let parallel = table3::run_seeds(&cfg, &seeds, &SweepRunner::parallel(2));
+    assert_eq!(serial.len(), 2);
+    for ((ss, st), (ps, pt)) in serial.iter().zip(&parallel) {
+        assert_eq!(ss, ps);
+        assert_eq!(st.rows.len(), pt.rows.len());
+        for (a, b) in st.rows.iter().zip(&pt.rows) {
+            assert_eq!(a.mean, b.mean);
+            assert_eq!(a.p999, b.p999);
+            assert_eq!(a.max, b.max);
+        }
+        assert_eq!(st.mean_utilization, pt.mean_utilization);
+    }
+    // Distinct seeds genuinely re-randomize the run.
+    assert_ne!(serial[0].1.rows[0].mean, serial[1].1.rows[0].mean);
+}
+
+#[test]
+fn hetmix_parallel_sweep_matches_serial() {
+    let cfg = PaperConfig {
+        duration: SimTime::from_secs(8),
+        ..PaperConfig::paper()
+    };
+    let levels = [1usize, 2];
+    let serial = hetmix::sweep(&cfg, &levels);
+    let parallel = hetmix::sweep_with(&cfg, &levels, &SweepRunner::parallel(4));
+    assert_eq!(serial.len(), 8, "4 disciplines × 2 levels");
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!((s.scheduler, s.level), (p.scheduler, p.level));
+        assert_eq!(s.utilization, p.utilization);
+        for (cs, cp) in s.classes.iter().zip(&p.classes) {
+            assert_eq!(cs.class, cp.class);
+            assert_eq!(cs.mean, cp.mean);
+            assert_eq!(cs.jitter, cp.jitter);
+        }
+    }
+}
+
+#[test]
+fn churn_parallel_sweep_matches_serial_decisions() {
+    let paper = PaperConfig {
+        duration: SimTime::from_secs(25),
+        ..PaperConfig::fast()
+    };
+    let rates = [0.6, 1.2, 2.4];
+    let serial = churn::sweep(&paper, &rates, 15.0);
+    let parallel = churn::sweep_with(&paper, &rates, 15.0, &SweepRunner::parallel(3));
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.decisions, p.decisions);
+        assert_eq!(s.mean_utilization, p.mean_utilization);
+        assert_eq!(s.residual_reserved_bps, 0.0);
+        assert_eq!(p.residual_reserved_bps, 0.0);
+    }
+}
+
+#[test]
+fn zipped_axes_drive_paired_parameters() {
+    // A load axis zipped with a matching per-point seed: three points, not
+    // nine.
+    let set = ScenarioSet::over("rate", [50.0f64, 100.0, 200.0]).zip("seed", [1u64, 2, 3]);
+    assert_eq!(set.len(), 3);
+    let reports = SweepRunner::parallel(2).run(&set, |&(rate, seed)| {
+        let mut sim = ScenarioBuilder::chain(2)
+            .discipline(DisciplineSpec::Wfq)
+            .flow(FlowDef::best_effort_realtime(0, 1).source(SourceSpec::poisson(rate, 1000, seed)))
+            .build()
+            .expect("valid zipped point");
+        sim.run_until(SimTime::from_secs(3));
+        sim.report(&MeasurementPlan::flows_only()).flows[0].delivered
+    });
+    // Faster sources deliver more, and the tags identify each pairing.
+    assert!(reports[0].result < reports[2].result);
+    assert_eq!(reports[1].tag("rate"), Some("100.0"));
+    assert_eq!(reports[1].tag("seed"), Some("2"));
+}
+
+/// A churn workload declared straight through the scenario API (no
+/// experiment wrapper): the facade drives arrivals, sources and
+/// departures, and drains cleanly.
+#[test]
+fn declarative_churn_workload_runs_and_drains() {
+    let pt = SimTime::MILLISECOND;
+    let workload = ChurnWorkload {
+        arrivals_per_sec: 1.0,
+        mean_holding_secs: 10.0,
+        seed: 0xDECAF,
+        guaranteed_fraction: 0.3,
+        guaranteed_rate_bps: 170_000.0,
+        classes: vec![
+            ChurnClass {
+                priority: 0,
+                bucket: ispn_core::TokenBucketSpec::per_packets(85.0, 20.0, 1000),
+                per_hop_target: pt.mul_f64(30.0),
+                loss_rate: 0.001,
+                police: PoliceAction::Drop,
+            },
+            ChurnClass {
+                priority: 1,
+                bucket: ispn_core::TokenBucketSpec::per_packets(85.0, 50.0, 1000),
+                per_hop_target: pt.mul_f64(300.0),
+                loss_rate: 0.001,
+                police: PoliceAction::Drop,
+            },
+        ],
+        source: ChurnSourceSpec {
+            avg_rate_pps: 85.0,
+            seed_base: 0x1992,
+        },
+    };
+    let forward: Vec<ispn_net::LinkId> = (0..2).map(ispn_net::LinkId).collect();
+    let mut sim = ScenarioBuilder::new(TopologySpec::chain_duplex(3))
+        .disciplines(ispn_scenario::DisciplineMatrix::default().with_links(
+            &forward,
+            DisciplineSpec::Unified {
+                priority_classes: 2,
+                averaging: Averaging::RunningMean,
+            },
+        ))
+        .admission_on(
+            forward.clone(),
+            AdmissionSpec {
+                realtime_quota: 0.9,
+                class_targets: vec![pt.mul_f64(30.0), pt.mul_f64(300.0)],
+                measurement_window_secs: 10.0,
+                util_safety_factor: Some(1.6),
+                sample_interval: SimTime::SECOND,
+            },
+        )
+        .workload(WorkloadSpec::Churn(workload))
+        .build()
+        .expect("valid churn scenario");
+    assert!(sim.has_churn());
+    sim.run_until(SimTime::from_secs(40));
+    let admitted = sim.churn_admitted();
+    assert!(!admitted.is_empty(), "40 s at 1/s must admit something");
+    // Records are sorted and carry the request mix.
+    assert!(admitted.windows(2).all(|w| w[0].flow < w[1].flow));
+    assert!(admitted.iter().all(|r| r.hops >= 1 && r.hops <= 2));
+    let report = sim.report(&MeasurementPlan::default());
+    assert!(report.signaling.as_ref().unwrap().accepted > 0);
+    // Admitted sources really moved packets.
+    assert!(report.classes.iter().any(|c| c.delivered > 0));
+    // Drain: no reservation survives.
+    sim.drain_churn();
+    sim.run_until(SimTime::from_secs(41));
+    let residual: f64 = forward
+        .iter()
+        .map(|&l| {
+            sim.network()
+                .admission(l)
+                .expect("admission enabled")
+                .reserved_guaranteed_bps()
+        })
+        .sum();
+    assert_eq!(residual, 0.0);
+    assert_eq!(sim.signaling().pending(), 0);
+}
+
+/// A caller may drive its own setups through `Sim::submit` next to a churn
+/// workload: the churn driver must ignore completions it did not request
+/// instead of panicking on them.
+#[test]
+fn user_submitted_flows_coexist_with_the_churn_workload() {
+    let pt = SimTime::MILLISECOND;
+    let workload = ChurnWorkload {
+        arrivals_per_sec: 0.5,
+        mean_holding_secs: 10.0,
+        seed: 0xFEED,
+        guaranteed_fraction: 1.0,
+        guaranteed_rate_bps: 100_000.0,
+        classes: Vec::new(),
+        source: ChurnSourceSpec {
+            avg_rate_pps: 85.0,
+            seed_base: 0x1992,
+        },
+    };
+    let forward: Vec<ispn_net::LinkId> = (0..2).map(ispn_net::LinkId).collect();
+    let mut sim = ScenarioBuilder::new(TopologySpec::chain_duplex(3))
+        .disciplines(ispn_scenario::DisciplineMatrix::default().with_links(
+            &forward,
+            DisciplineSpec::Unified {
+                priority_classes: 2,
+                averaging: Averaging::RunningMean,
+            },
+        ))
+        .admission_on(
+            forward,
+            AdmissionSpec {
+                realtime_quota: 0.9,
+                class_targets: vec![pt.mul_f64(30.0), pt.mul_f64(300.0)],
+                measurement_window_secs: 10.0,
+                util_safety_factor: Some(1.6),
+                sample_interval: SimTime::SECOND,
+            },
+        )
+        .workload(WorkloadSpec::Churn(workload))
+        .build()
+        .expect("valid churn scenario");
+    // A user-submitted guaranteed flow accepted alongside churn arrivals
+    // used to hit the driver's "accepted churn flow was requested" panic.
+    let route = sim.built().span(0, 2).unwrap();
+    let (_req, user_flow) = sim.submit(ispn_net::FlowConfig::guaranteed(route, 50_000.0));
+    sim.run_until(SimTime::from_secs(20));
+    assert!(sim.network().flow_active(user_flow));
+    // The driver never adopted the user's flow.
+    assert!(sim.churn_admitted().iter().all(|r| r.flow != user_flow));
+}
+
+/// Churn arrivals span contiguous forward links, so non-chain presets are
+/// refused at build time instead of panicking mid-run.
+#[test]
+fn churn_on_non_chain_topologies_is_refused_at_build_time() {
+    let workload = ChurnWorkload {
+        arrivals_per_sec: 1.0,
+        mean_holding_secs: 5.0,
+        seed: 1,
+        guaranteed_fraction: 1.0,
+        guaranteed_rate_bps: 100_000.0,
+        classes: Vec::new(),
+        source: ChurnSourceSpec {
+            avg_rate_pps: 85.0,
+            seed_base: 1,
+        },
+    };
+    for builder in [ScenarioBuilder::star(4), ScenarioBuilder::mesh(2, 2)] {
+        let err = builder
+            .workload(WorkloadSpec::Churn(workload.clone()))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("chain topology"), "{err}");
+    }
+}
+
+/// Churn workload declarations that cannot work are refused at build time.
+#[test]
+fn invalid_churn_workloads_are_refused() {
+    let valid = ChurnWorkload {
+        arrivals_per_sec: 1.0,
+        mean_holding_secs: 5.0,
+        seed: 1,
+        guaranteed_fraction: 1.0,
+        guaranteed_rate_bps: 100_000.0,
+        classes: Vec::new(),
+        source: ChurnSourceSpec {
+            avg_rate_pps: 85.0,
+            seed_base: 1,
+        },
+    };
+    // All-guaranteed churn with no predicted classes is fine.
+    assert!(ScenarioBuilder::chain(3)
+        .workload(WorkloadSpec::Churn(valid.clone()))
+        .build()
+        .is_ok());
+    // A zero arrival rate is not.
+    let err = ScenarioBuilder::chain(3)
+        .workload(WorkloadSpec::Churn(ChurnWorkload {
+            arrivals_per_sec: 0.0,
+            ..valid.clone()
+        }))
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("arrival rate"), "{err}");
+    // Predicted requests with no classes to draw from are not.
+    let err = ScenarioBuilder::chain(3)
+        .workload(WorkloadSpec::Churn(ChurnWorkload {
+            guaranteed_fraction: 0.5,
+            ..valid.clone()
+        }))
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("predicted class"), "{err}");
+    // A NaN guaranteed fraction must not sail through the range checks.
+    let err = ScenarioBuilder::chain(3)
+        .workload(WorkloadSpec::Churn(ChurnWorkload {
+            guaranteed_fraction: f64::NAN,
+            ..valid
+        }))
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("guaranteed fraction"), "{err}");
+}
+
+/// The flow definitions of a sweep point must not leak between points:
+/// every point builds its own Sim with its own flow-id space.
+#[test]
+fn sweep_points_are_isolated() {
+    let set = ScenarioSet::over("flows", [1usize, 2, 3, 4]);
+    let reports = SweepRunner::parallel(4).run(&set, |&(n,)| {
+        let mut builder = ScenarioBuilder::chain(2).discipline(DisciplineSpec::Fifo);
+        for _ in 0..n {
+            builder = builder.flow(FlowDef::datagram(0, 1).source(SourceSpec::cbr(10.0, 1000)));
+        }
+        let mut sim = builder.build().unwrap();
+        sim.run_until(SimTime::from_secs(1));
+        sim.network().num_flows()
+    });
+    let flows: Vec<usize> = reports.into_iter().map(|r| r.result).collect();
+    assert_eq!(flows, vec![1, 2, 3, 4]);
+}
+
+#[test]
+fn discipline_kind_axis_labels_match_experiment_output() {
+    use ispn_scenario::AxisValue;
+    assert_eq!(DisciplineKind::Wfq.axis_label(), "WFQ");
+    assert_eq!(DisciplineKind::FifoPlus.axis_label(), "FIFO+");
+    let set = table1::scenario_set();
+    assert_eq!(set.len(), 2);
+    assert_eq!(set.points()[0].tags[0].1, "WFQ");
+    assert_eq!(set.points()[1].tags[0].1, "FIFO");
+}
