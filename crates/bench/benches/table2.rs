@@ -2,12 +2,13 @@
 
 use ispn_bench::bench_config;
 use ispn_experiments::{report, table2};
+use ispn_scenario::{NullObserver, SweepRunner};
 
 fn main() {
     let cfg = bench_config();
     let start = std::time::Instant::now();
-    let t = table2::run(&cfg);
-    println!("{}", report::render_table2(&t));
+    let reports = table2::run_reports(&cfg, &SweepRunner::serial(), &NullObserver);
+    println!("{}", report::render_table2(&reports));
     println!(
         "[table2 bench] simulated {}s per discipline in {:.1}s wall-clock",
         cfg.duration.as_secs_f64(),

@@ -1,15 +1,18 @@
 //! Regenerates the flow-churn experiment: dynamic signaling with Poisson
 //! arrivals and exponential holding times on the Figure-1 topology, swept
-//! over offered load.  `ISPN_FAST=1` runs a shortened sweep.
+//! over offered load.  `ISPN_FAST=1` runs a shortened sweep; `--stream`
+//! prints one stderr progress line per completed point while stdout stays
+//! byte-identical to a batch run.
 
 use ispn_experiments::config::PaperConfig;
 use ispn_experiments::{churn, report};
-use ispn_scenario::SweepRunner;
+use ispn_scenario::{NullObserver, ProgressObserver, SweepObserver, SweepRunner};
 
 fn main() {
     let fast = std::env::var("ISPN_FAST")
         .map(|v| v == "1")
         .unwrap_or(false);
+    let stream = std::env::args().any(|a| a == "--stream");
     let paper = if fast {
         PaperConfig::fast()
     } else {
@@ -24,9 +27,17 @@ fn main() {
         paper.duration.as_secs_f64(),
         runner.threads()
     );
-    let outcomes = churn::sweep_with(&paper, &arrival_rates, holding_secs, &runner);
-    println!("{}", report::render_churn(&outcomes));
-    for o in &outcomes {
+    let progress = ProgressObserver::new();
+    let observer: &dyn SweepObserver<churn::ChurnOutcome> =
+        if stream { &progress } else { &NullObserver };
+    let reports = churn::sweep_reports(&paper, &arrival_rates, holding_secs, &runner, observer);
+    println!("{}", report::render_churn(&reports));
+    let failures = ispn_scenario::failed_points(&reports);
+    if failures > 0 {
+        eprintln!("{failures} sweep point(s) panicked - see the report above");
+        std::process::exit(1);
+    }
+    for o in reports.iter().filter_map(|r| r.result.as_ref().ok()) {
         assert_eq!(
             o.residual_reserved_bps, 0.0,
             "a finished run must leave no reservation state behind"

@@ -1,16 +1,18 @@
 //! Run the heterogeneous-mix sweep: per-class delay and jitter versus
 //! offered load for a CBR + on/off + Poisson mix under FIFO, FIFO+, WFQ
 //! and the unified scheduler.  `ISPN_FAST=1` runs a shortened sweep (the
-//! CI smoke configuration).
+//! CI smoke configuration); `--stream` prints one stderr progress line per
+//! completed point while stdout stays byte-identical to a batch run.
 
 use ispn_experiments::config::PaperConfig;
 use ispn_experiments::{hetmix, report};
-use ispn_scenario::SweepRunner;
+use ispn_scenario::{NullObserver, ProgressObserver, SweepObserver, SweepRunner};
 
 fn main() {
     let fast = std::env::var("ISPN_FAST")
         .map(|v| v == "1")
         .unwrap_or(false);
+    let stream = std::env::args().any(|a| a == "--stream");
     let (cfg, levels): (PaperConfig, &[usize]) = if fast {
         (
             PaperConfig {
@@ -29,6 +31,14 @@ fn main() {
         cfg.duration.as_secs_f64(),
         runner.threads()
     );
-    let points = hetmix::sweep_with(&cfg, levels, &runner);
-    println!("{}", report::render_hetmix(&points));
+    let progress = ProgressObserver::new();
+    let observer: &dyn SweepObserver<hetmix::HetMixPoint> =
+        if stream { &progress } else { &NullObserver };
+    let reports = hetmix::sweep_reports(&cfg, levels, &runner, observer);
+    println!("{}", report::render_hetmix(&reports));
+    let failures = ispn_scenario::failed_points(&reports);
+    if failures > 0 {
+        eprintln!("{failures} sweep point(s) panicked - see the report above");
+        std::process::exit(1);
+    }
 }

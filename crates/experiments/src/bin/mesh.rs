@@ -1,16 +1,19 @@
 //! Run the mesh cross-traffic study: guaranteed + predicted + datagram
 //! flows competing on the shared interior links of a 3×3 grid, swept over
 //! the Predicted-Low cross-traffic level.  `ISPN_FAST=1` runs a shortened
-//! sweep (the CI smoke configuration).
+//! sweep (the CI smoke configuration); `--stream` prints one stderr
+//! progress line per completed point while stdout stays byte-identical to
+//! a batch run.
 
 use ispn_experiments::config::PaperConfig;
 use ispn_experiments::{mesh, report};
-use ispn_scenario::SweepRunner;
+use ispn_scenario::{NullObserver, ProgressObserver, SweepObserver, SweepRunner};
 
 fn main() {
     let fast = std::env::var("ISPN_FAST")
         .map(|v| v == "1")
         .unwrap_or(false);
+    let stream = std::env::args().any(|a| a == "--stream");
     let (cfg, levels): (PaperConfig, &[usize]) = if fast {
         (
             PaperConfig {
@@ -29,9 +32,17 @@ fn main() {
         cfg.duration.as_secs_f64(),
         runner.threads()
     );
-    let outcomes = mesh::sweep_with(&cfg, levels, &runner);
-    println!("{}", report::render_mesh(&outcomes));
-    for o in &outcomes {
+    let progress = ProgressObserver::new();
+    let observer: &dyn SweepObserver<mesh::MeshOutcome> =
+        if stream { &progress } else { &NullObserver };
+    let reports = mesh::sweep_reports(&cfg, levels, &runner, observer);
+    println!("{}", report::render_mesh(&reports));
+    let failures = ispn_scenario::failed_points(&reports);
+    if failures > 0 {
+        eprintln!("{failures} sweep point(s) panicked - see the report above");
+        std::process::exit(1);
+    }
+    for o in reports.iter().filter_map(|r| r.result.as_ref().ok()) {
         assert_eq!(
             o.classes[0].loss_rate, 0.0,
             "guaranteed flows must never lose a packet to a buffer"

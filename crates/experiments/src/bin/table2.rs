@@ -1,12 +1,17 @@
 //! Regenerate Table 2 of CSZ'92 (WFQ vs FIFO vs FIFO+ on the Figure-1 chain).
 //!
-//! Usage: `cargo run --release -p ispn-experiments --bin table2 [--fast]`
+//! Usage: `cargo run --release -p ispn-experiments --bin table2 [--fast] [--stream]`
+//!
+//! `--stream` prints one stderr progress line per completed sweep point;
+//! stdout (the final table) is byte-identical to a batch run.
 
 use ispn_experiments::{config::PaperConfig, report, table2};
-use ispn_scenario::SweepRunner;
+use ispn_scenario::{NullObserver, ProgressObserver, SweepObserver, SweepRunner};
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let args: Vec<String> = std::env::args().collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let stream = args.iter().any(|a| a == "--stream");
     let cfg = if fast {
         PaperConfig::fast()
     } else {
@@ -18,6 +23,14 @@ fn main() {
         cfg.duration.as_secs_f64(),
         runner.threads()
     );
-    let t = table2::run_with(&cfg, &runner);
-    println!("{}", report::render_table2(&t));
+    let progress = ProgressObserver::new();
+    let observer: &dyn SweepObserver<table2::Table2Point> =
+        if stream { &progress } else { &NullObserver };
+    let reports = table2::run_reports(&cfg, &runner, observer);
+    println!("{}", report::render_table2(&reports));
+    let failures = ispn_scenario::failed_points(&reports);
+    if failures > 0 {
+        eprintln!("{failures} sweep point(s) panicked - see the report above");
+        std::process::exit(1);
+    }
 }

@@ -1,18 +1,21 @@
 //! Regenerate Table 3 of CSZ'92 (the unified scheduler carrying guaranteed,
 //! predicted and datagram traffic on the Figure-1 chain).
 //!
-//! Usage: `cargo run --release -p ispn-experiments --bin table3 [--fast] [--seeds N]`
+//! Usage: `cargo run --release -p ispn-experiments --bin table3 [--fast] [--seeds N] [--stream]`
 //!
 //! `--seeds N` replicates the table across `N` derived seeds (a seed-axis
 //! sweep fanned across threads) and prints each replication — the paper
 //! reports one random run; the sweep shows how much the sample rows move.
+//! `--stream` prints one stderr progress line per completed replication;
+//! stdout is byte-identical to a batch run.
 
 use ispn_experiments::{config::PaperConfig, report, table3};
-use ispn_scenario::SweepRunner;
+use ispn_scenario::{NullObserver, ProgressObserver, SweepObserver, SweepRunner};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let fast = args.iter().any(|a| a == "--fast");
+    let stream = args.iter().any(|a| a == "--stream");
     let cfg = if fast {
         PaperConfig::fast()
     } else {
@@ -45,8 +48,14 @@ fn main() {
         cfg.duration.as_secs_f64(),
         runner.threads()
     );
-    for (seed, t) in table3::run_seeds(&cfg, &seed_axis, &runner) {
-        println!("seed {seed:#x}:");
-        println!("{}", report::render_table3(&t));
+    let progress = ProgressObserver::new();
+    let observer: &dyn SweepObserver<(u64, table3::Table3)> =
+        if stream { &progress } else { &NullObserver };
+    let reports = table3::run_seeds_reports(&cfg, &seed_axis, &runner, observer);
+    print!("{}", report::render_table3_seeds(&reports));
+    let failures = ispn_scenario::failed_points(&reports);
+    if failures > 0 {
+        eprintln!("{failures} sweep point(s) panicked - see the report above");
+        std::process::exit(1);
     }
 }

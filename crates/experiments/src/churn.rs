@@ -23,7 +23,8 @@
 use ispn_net::{LinkId, PoliceAction};
 use ispn_scenario::{
     AdmissionSpec, ChurnClass, ChurnSourceSpec, ChurnWorkload, DisciplineMatrix, DisciplineSpec,
-    ScenarioBuilder, ScenarioSet, Sim, SweepRunner, TopologySpec, WorkloadSpec,
+    NullObserver, PointResult, ScenarioBuilder, ScenarioSet, Sim, SweepObserver, SweepReport,
+    SweepRunner, TopologySpec, WorkloadSpec,
 };
 use ispn_sched::Averaging;
 use ispn_sim::SimTime;
@@ -277,6 +278,24 @@ pub fn run(cfg: &ChurnConfig) -> ChurnOutcome {
     }
 }
 
+/// Run the offered-load sweep through the given runner, streaming each
+/// load point's outcome to `observer` as it completes; the checked,
+/// axis-tagged reports feed [`crate::report::render_churn`].
+pub fn sweep_reports(
+    paper: &PaperConfig,
+    arrival_rates: &[f64],
+    mean_holding_secs: f64,
+    runner: &SweepRunner,
+    observer: &dyn SweepObserver<ChurnOutcome>,
+) -> Vec<SweepReport<PointResult<ChurnOutcome>>> {
+    let set = ScenarioSet::over("load", arrival_rates.to_vec());
+    runner.run_streaming(
+        &set,
+        |&(lambda,)| run(&ChurnConfig::new(paper.clone(), lambda, mean_holding_secs)),
+        observer,
+    )
+}
+
 /// Run the experiment at several offered loads (same holding time, rising
 /// arrival rate) through the given runner — each load point is a
 /// self-contained scenario, so the sweep parallelizes freely and returns
@@ -287,14 +306,16 @@ pub fn sweep_with(
     mean_holding_secs: f64,
     runner: &SweepRunner,
 ) -> Vec<ChurnOutcome> {
-    let set = ScenarioSet::over("load", arrival_rates.to_vec());
-    runner
-        .run(&set, |&(lambda,)| {
-            run(&ChurnConfig::new(paper.clone(), lambda, mean_holding_secs))
-        })
-        .into_iter()
-        .map(|r| r.result)
-        .collect()
+    sweep_reports(
+        paper,
+        arrival_rates,
+        mean_holding_secs,
+        runner,
+        &NullObserver,
+    )
+    .into_iter()
+    .map(|r| r.expect_ok().result)
+    .collect()
 }
 
 /// Run the offered-load sweep serially (the historical entry point; the

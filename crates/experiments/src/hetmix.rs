@@ -15,8 +15,8 @@
 use ispn_core::TokenBucketSpec;
 use ispn_net::PoliceAction;
 use ispn_scenario::{
-    DisciplineSpec, FlowDef, MeasurementPlan, RouteSpec, ScenarioBuilder, ScenarioSet, ServiceSpec,
-    SourceSpec, SweepRunner,
+    DisciplineSpec, FlowDef, MeasurementPlan, NullObserver, PointResult, RouteSpec,
+    ScenarioBuilder, ScenarioSet, ServiceSpec, SourceSpec, SweepObserver, SweepReport, SweepRunner,
 };
 use ispn_sched::Averaging;
 
@@ -144,16 +144,29 @@ pub fn scenario_set(levels: &[usize]) -> ScenarioSet<(DisciplineSpec, usize)> {
     ScenarioSet::over("discipline", discipline_set()).by("level", levels.to_vec())
 }
 
+/// The full sweep through the given runner, streaming each point's report
+/// to `observer` as it completes; the checked, axis-tagged reports feed
+/// [`crate::report::render_hetmix`].
+pub fn sweep_reports(
+    cfg: &PaperConfig,
+    levels: &[usize],
+    runner: &SweepRunner,
+    observer: &dyn SweepObserver<HetMixPoint>,
+) -> Vec<SweepReport<PointResult<HetMixPoint>>> {
+    runner.run_streaming(
+        &scenario_set(levels),
+        |&(spec, level)| run_point(cfg, spec, level),
+        observer,
+    )
+}
+
 /// The full sweep through the given runner: every discipline at every load
 /// level (discipline outer, level inner), each point a self-contained
 /// scenario fanned across the runner's threads.
 pub fn sweep_with(cfg: &PaperConfig, levels: &[usize], runner: &SweepRunner) -> Vec<HetMixPoint> {
-    runner
-        .run(&scenario_set(levels), |&(spec, level)| {
-            run_point(cfg, spec, level)
-        })
+    sweep_reports(cfg, levels, runner, &NullObserver)
         .into_iter()
-        .map(|r| r.result)
+        .map(|r| r.expect_ok().result)
         .collect()
 }
 

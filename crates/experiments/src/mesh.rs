@@ -15,8 +15,9 @@ use ispn_core::TokenBucketSpec;
 use ispn_net::PoliceAction;
 use ispn_net::{LinkId, NodeId};
 use ispn_scenario::{
-    DisciplineSpec, FlowDef, MeasurementPlan, RouteSpec, ScenarioBuilder, ScenarioReport,
-    ScenarioSet, ServiceSpec, SourceSpec, SweepRunner,
+    DisciplineSpec, FlowDef, MeasurementPlan, NullObserver, PointResult, RouteSpec,
+    ScenarioBuilder, ScenarioReport, ScenarioSet, ServiceSpec, SourceSpec, SweepObserver,
+    SweepReport, SweepRunner,
 };
 use ispn_sched::Averaging;
 
@@ -237,13 +238,24 @@ pub fn run(cfg: &PaperConfig, cross_flows_per_row: usize) -> MeshOutcome {
     }
 }
 
+/// Sweep the Predicted-Low cross-traffic level through the given runner,
+/// streaming each outcome to `observer` as it completes; the checked,
+/// axis-tagged reports feed [`crate::report::render_mesh`].
+pub fn sweep_reports(
+    cfg: &PaperConfig,
+    levels: &[usize],
+    runner: &SweepRunner,
+    observer: &dyn SweepObserver<MeshOutcome>,
+) -> Vec<SweepReport<PointResult<MeshOutcome>>> {
+    let set = ScenarioSet::over("cross", levels.to_vec());
+    runner.run_streaming(&set, |&(level,)| run(cfg, level), observer)
+}
+
 /// Sweep the Predicted-Low cross-traffic level through the given runner.
 pub fn sweep_with(cfg: &PaperConfig, levels: &[usize], runner: &SweepRunner) -> Vec<MeshOutcome> {
-    let set = ScenarioSet::over("cross", levels.to_vec());
-    runner
-        .run(&set, |&(level,)| run(cfg, level))
+    sweep_reports(cfg, levels, runner, &NullObserver)
         .into_iter()
-        .map(|r| r.result)
+        .map(|r| r.expect_ok().result)
         .collect()
 }
 

@@ -4,7 +4,15 @@
 //! its random streams are not available); the point of printing them side by
 //! side is to check the *shape*: who wins, by roughly what factor, and where
 //! the qualitative crossovers fall.  EXPERIMENTS.md records one full run.
+//!
+//! The sweep-shaped experiments (Tables 1–2, `hetmix`, `mesh`, `churn` and
+//! the Table-3 seed replication) render through the axis-aware
+//! [`SweepTable`] of `ispn-scenario`: the leading columns come straight
+//! from each point's axis tags, so the renderers declare only their value
+//! columns — and a point that panicked prints its payload in place
+//! instead of suppressing the rest of the sweep.
 
+use ispn_scenario::{PointResult, SweepReport, SweepTable};
 use ispn_stats::TextTable;
 
 use crate::churn::ChurnOutcome;
@@ -15,8 +23,8 @@ use crate::extensions::utilization::UtilizationPoint;
 use crate::fig1::FlowKind;
 use crate::hetmix::HetMixPoint;
 use crate::mesh::MeshOutcome;
-use crate::table1::Table1;
-use crate::table2::Table2;
+use crate::table1::Table1Row;
+use crate::table2::Table2Point;
 use crate::table3::Table3;
 
 /// The paper's Table 1 (scheduler, mean, 99.9th percentile).
@@ -74,66 +82,64 @@ pub fn paper_table3_value(kind: FlowKind, path_length: usize) -> Option<(f64, f6
         .map(|(_, _, mean, p999, max, _)| (*mean, *p999, *max))
 }
 
-/// Render Table 1 with the paper's numbers alongside.
-pub fn render_table1(t: &Table1) -> String {
-    let mut table = TextTable::new(
+/// Render Table 1 with the paper's numbers alongside — axis-aware: the
+/// discipline column comes from the sweep's axis tags.
+pub fn render_table1(reports: &[SweepReport<PointResult<Table1Row>>]) -> String {
+    SweepTable::new(
         "Table 1 — single link, 10 on/off flows, 83.5% utilization\n\
          (queueing delay in packet transmission times; 'paper' columns are the published values)",
     )
-    .header([
-        "scheduling",
+    .columns([
         "mean",
         "99.9 %ile",
         "paper mean",
         "paper 99.9 %ile",
         "utilization",
-    ]);
-    for row in &t.rows {
+    ])
+    .render(reports, |row| {
         let paper = PAPER_TABLE1.iter().find(|(s, _, _)| *s == row.scheduler);
-        table.row([
-            row.scheduler.to_string(),
+        vec![vec![
             f2(row.mean),
             f2(row.p999),
             paper.map(|p| f2(p.1)).unwrap_or_default(),
             paper.map(|p| f2(p.2)).unwrap_or_default(),
             format!("{:.1}%", row.utilization * 100.0),
-        ]);
-    }
-    table.render()
+        ]]
+    })
 }
 
-/// Render Table 2 with the paper's numbers alongside.
-pub fn render_table2(t: &Table2) -> String {
-    let mut table = TextTable::new(
+/// Render Table 2 with the paper's numbers alongside — axis-aware: one
+/// row per path length under each discipline point, keyed by the
+/// discipline tag.
+pub fn render_table2(reports: &[SweepReport<PointResult<Table2Point>>]) -> String {
+    let table = SweepTable::new(
         "Table 2 — Figure-1 chain, 22 on/off flows, 83.5% per-link utilization\n\
          (queueing delay in packet transmission times; 'paper' columns are the published values)",
     )
-    .header([
-        "scheduling",
-        "path",
-        "mean",
-        "99.9 %ile",
-        "paper mean",
-        "paper 99.9 %ile",
-    ]);
-    for cell in &t.cells {
-        let paper = paper_table2_value(cell.scheduler, cell.path_length);
-        table.row([
-            cell.scheduler.to_string(),
-            cell.path_length.to_string(),
-            f2(cell.mean),
-            f2(cell.p999),
-            paper.map(|p| f2(p.0)).unwrap_or_default(),
-            paper.map(|p| f2(p.1)).unwrap_or_default(),
-        ]);
-    }
-    let util: String = t
-        .utilization
+    .columns(["path", "mean", "99.9 %ile", "paper mean", "paper 99.9 %ile"])
+    .render(reports, |point| {
+        point
+            .cells
+            .iter()
+            .map(|cell| {
+                let paper = paper_table2_value(cell.scheduler, cell.path_length);
+                vec![
+                    cell.path_length.to_string(),
+                    f2(cell.mean),
+                    f2(cell.p999),
+                    paper.map(|p| f2(p.0)).unwrap_or_default(),
+                    paper.map(|p| f2(p.1)).unwrap_or_default(),
+                ]
+            })
+            .collect()
+    });
+    let util: String = reports
         .iter()
-        .map(|(s, u)| format!("{s} {:.1}%", u * 100.0))
+        .filter_map(|r| r.result.as_ref().ok())
+        .map(|p| format!("{} {:.1}%", p.scheduler, p.utilization * 100.0))
         .collect::<Vec<_>>()
         .join(", ");
-    format!("{}\nmean link utilization: {util}\n", table.render())
+    format!("{table}\nmean link utilization: {util}\n")
 }
 
 /// Render Table 3 with the paper's numbers alongside.
@@ -179,6 +185,28 @@ pub fn render_table3(t: &Table3) -> String {
             .collect::<Vec<_>>()
             .join(" / "),
     )
+}
+
+/// Render a Table-3 seed-axis replication: one full table per seed, in
+/// seed order; a panicked replication reports its failure in place
+/// without suppressing the other seeds.
+pub fn render_table3_seeds(reports: &[SweepReport<PointResult<(u64, Table3)>>]) -> String {
+    let mut out = String::new();
+    for report in reports {
+        match &report.result {
+            Ok((seed, t)) => {
+                out.push_str(&format!("seed {seed:#x}:\n{}\n", render_table3(t)));
+            }
+            Err(e) => {
+                out.push_str(&format!(
+                    "seed {}: panicked: {}\n",
+                    report.tag("seed").unwrap_or("?"),
+                    e.payload
+                ));
+            }
+        }
+    }
+    out
 }
 
 /// Render the hop-count sweep.
@@ -256,13 +284,13 @@ pub fn render_admission(controlled: &AdmissionOutcome, uncontrolled: &AdmissionO
 }
 
 /// Render the churn sweep: blocking probability and bound compliance as
-/// offered load rises.
-pub fn render_churn(points: &[ChurnOutcome]) -> String {
-    let mut table = TextTable::new(
+/// offered load rises — axis-aware, keyed by the arrival-rate tag.
+pub fn render_churn(reports: &[SweepReport<PointResult<ChurnOutcome>>]) -> String {
+    SweepTable::new(
         "Churn — dynamic signaling on the Figure-1 chain\n\
          (Poisson arrivals, exponential holding times, Section-9 admission per link)",
     )
-    .header([
+    .columns([
         "offered (erl)",
         "requests",
         "accepted",
@@ -272,9 +300,9 @@ pub fn render_churn(points: &[ChurnOutcome]) -> String {
         "worst util",
         "bound violations",
         "worst bound use",
-    ]);
-    for o in points {
-        table.row([
+    ])
+    .render(reports, |o| {
+        vec![vec![
             format!("{:.1}", o.offered_erlangs),
             o.offered.to_string(),
             o.accepted.to_string(),
@@ -284,19 +312,18 @@ pub fn render_churn(points: &[ChurnOutcome]) -> String {
             format!("{:.1}%", o.worst_utilization * 100.0),
             o.violations.to_string(),
             format!("{:.0}%", o.worst_bound_fraction * 100.0),
-        ]);
-    }
-    table.render()
+        ]]
+    })
 }
 
-/// Render the mesh cross-traffic study.
-pub fn render_mesh(points: &[MeshOutcome]) -> String {
-    let mut table = TextTable::new(
+/// Render the mesh cross-traffic study — axis-aware: the cross-traffic
+/// column comes from the sweep's `cross` tag, one row per traffic class.
+pub fn render_mesh(reports: &[SweepReport<PointResult<MeshOutcome>>]) -> String {
+    let mut out = SweepTable::new(
         "Mesh — cross-traffic on the 3×3 grid's interior links, unified scheduler\n\
          (delays in packet times; 'cross' = Predicted-Low flows per row)",
     )
-    .header([
-        "cross",
+    .columns([
         "class",
         "flows",
         "mean",
@@ -304,23 +331,24 @@ pub fn render_mesh(points: &[MeshOutcome]) -> String {
         "worst max",
         "jitter",
         "loss",
-    ]);
-    for o in points {
-        for c in &o.classes {
-            table.row([
-                o.cross_flows_per_row.to_string(),
-                c.class.to_string(),
-                c.flows.to_string(),
-                f2(c.mean),
-                f2(c.worst_p999),
-                f2(c.worst_max),
-                f2(c.jitter),
-                format!("{:.3}%", c.loss_rate * 100.0),
-            ]);
-        }
-    }
-    let mut out = table.render();
-    for o in points {
+    ])
+    .render(reports, |o| {
+        o.classes
+            .iter()
+            .map(|c| {
+                vec![
+                    c.class.to_string(),
+                    c.flows.to_string(),
+                    f2(c.mean),
+                    f2(c.worst_p999),
+                    f2(c.worst_max),
+                    f2(c.jitter),
+                    format!("{:.3}%", c.loss_rate * 100.0),
+                ]
+            })
+            .collect()
+    });
+    for o in reports.iter().filter_map(|r| r.result.as_ref().ok()) {
         out.push_str(&format!(
             "cross {}: interior links {:.1}% busy ({} drops), edge links {:.1}%\n",
             o.cross_flows_per_row,
@@ -332,37 +360,36 @@ pub fn render_mesh(points: &[MeshOutcome]) -> String {
     out
 }
 
-/// Render the heterogeneous-mix sweep.
-pub fn render_hetmix(points: &[HetMixPoint]) -> String {
-    let mut table = TextTable::new(
+/// Render the heterogeneous-mix sweep — axis-aware: the discipline and
+/// level columns come from the sweep's axis tags, one row per class.
+pub fn render_hetmix(reports: &[SweepReport<PointResult<HetMixPoint>>]) -> String {
+    SweepTable::new(
         "Heterogeneous mix — CBR + on/off + Poisson per class on one link\n\
          (delays in packet times; 'level' = flows per class)",
     )
-    .header([
-        "scheduling",
-        "level",
+    .columns([
         "utilization",
         "class",
         "mean",
         "worst 99.9 %ile",
         "jitter",
         "loss",
-    ]);
-    for p in points {
-        for c in &p.classes {
-            table.row([
-                p.scheduler.to_string(),
-                p.level.to_string(),
-                format!("{:.1}%", p.utilization * 100.0),
-                c.class.to_string(),
-                f2(c.mean),
-                f2(c.worst_p999),
-                f2(c.jitter),
-                format!("{:.3}%", c.loss_rate * 100.0),
-            ]);
-        }
-    }
-    table.render()
+    ])
+    .render(reports, |p| {
+        p.classes
+            .iter()
+            .map(|c| {
+                vec![
+                    format!("{:.1}%", p.utilization * 100.0),
+                    c.class.to_string(),
+                    f2(c.mean),
+                    f2(c.worst_p999),
+                    f2(c.jitter),
+                    format!("{:.3}%", c.loss_rate * 100.0),
+                ]
+            })
+            .collect()
+    })
 }
 
 /// Render the utilization sweep.
@@ -420,18 +447,38 @@ mod tests {
 
     #[test]
     fn rendering_smoke_test() {
-        let t1 = Table1 {
-            rows: vec![crate::table1::Table1Row {
-                scheduler: "FIFO",
-                mean: 3.0,
-                p999: 30.0,
-                all_flows_mean: 3.0,
-                all_flows_worst_p999: 31.0,
-                utilization: 0.83,
-            }],
+        let row = Table1Row {
+            scheduler: "FIFO",
+            mean: 3.0,
+            p999: 30.0,
+            all_flows_mean: 3.0,
+            all_flows_worst_p999: 31.0,
+            utilization: 0.83,
         };
-        let s = render_table1(&t1);
+        let reports = vec![SweepReport {
+            index: 0,
+            tags: vec![("discipline".to_string(), "FIFO".to_string())],
+            result: Ok(row),
+        }];
+        let s = render_table1(&reports);
+        assert!(s.contains("discipline"), "{s}"); // axis column from the tag
         assert!(s.contains("FIFO"));
         assert!(s.contains("34.72")); // paper value included
+    }
+
+    #[test]
+    fn panicked_points_render_in_place() {
+        let reports = vec![SweepReport::<PointResult<Table1Row>> {
+            index: 0,
+            tags: vec![("discipline".to_string(), "WFQ".to_string())],
+            result: Err(ispn_scenario::SweepError {
+                index: 0,
+                tags: vec![("discipline".to_string(), "WFQ".to_string())],
+                payload: "scheduler imploded".to_string(),
+            }),
+        }];
+        let s = render_table1(&reports);
+        assert!(s.contains("panicked: scheduler imploded"), "{s}");
+        assert!(s.contains("WFQ"), "{s}");
     }
 }

@@ -8,7 +8,10 @@
 //! algorithms, the 99.9'th percentile delays are significantly smaller under
 //! the FIFO algorithm."  The link runs at 83.5 % utilization.
 
-use ispn_scenario::{FlowDef, LinkProfile, ScenarioBuilder, ScenarioSet, SourceSpec, SweepRunner};
+use ispn_scenario::{
+    FlowDef, LinkProfile, NullObserver, PointResult, ScenarioBuilder, ScenarioSet, SourceSpec,
+    SweepObserver, SweepReport, SweepRunner,
+};
 use ispn_sim::SimTime;
 
 use crate::config::PaperConfig;
@@ -91,18 +94,32 @@ pub fn scenario_set() -> ScenarioSet<(DisciplineKind,)> {
     ScenarioSet::over("discipline", [DisciplineKind::Wfq, DisciplineKind::Fifo])
 }
 
+/// Run the Table-1 discipline sweep through the given runner, streaming
+/// each point's report to `observer` the moment it completes; the checked,
+/// axis-tagged reports feed [`crate::report::render_table1`], and a
+/// panicking point surfaces as its point's `Err` instead of aborting the
+/// sweep.
+pub fn run_reports(
+    cfg: &PaperConfig,
+    runner: &SweepRunner,
+    observer: &dyn SweepObserver<Table1Row>,
+) -> Vec<SweepReport<PointResult<Table1Row>>> {
+    runner.run_streaming(
+        &scenario_set(),
+        |&(discipline,)| run_single_link(cfg, discipline),
+        observer,
+    )
+}
+
 /// Run the full Table-1 comparison through the given sweep runner; each
 /// discipline is a self-contained scenario point, so the two runs
 /// parallelize and the rows come back in the paper's order regardless of
 /// thread count.
 pub fn run_with(cfg: &PaperConfig, runner: &SweepRunner) -> Table1 {
     Table1 {
-        rows: runner
-            .run(&scenario_set(), |&(discipline,)| {
-                run_single_link(cfg, discipline)
-            })
+        rows: run_reports(cfg, runner, &NullObserver)
             .into_iter()
-            .map(|r| r.result)
+            .map(|r| r.expect_ok().result)
             .collect(),
     }
 }

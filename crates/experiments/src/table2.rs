@@ -10,7 +10,8 @@
 
 use ispn_core::FlowId;
 use ispn_scenario::{
-    FlowDef, ScenarioBuilder, ScenarioSet, Sim, SourceSpec, SweepRunner, TopologySpec,
+    FlowDef, NullObserver, PointResult, ScenarioBuilder, ScenarioSet, Sim, SourceSpec,
+    SweepObserver, SweepReport, SweepRunner, TopologySpec,
 };
 
 use crate::config::PaperConfig;
@@ -39,6 +40,18 @@ pub struct Table2 {
     pub cells: Vec<Table2Cell>,
     /// Mean utilization over the four inter-switch links (per discipline).
     pub utilization: Vec<(&'static str, f64)>,
+}
+
+/// One discipline's sweep point: its four path-length cells plus the mean
+/// inter-switch link utilization of the run.
+#[derive(Debug, Clone)]
+pub struct Table2Point {
+    /// Scheduling discipline label.
+    pub scheduler: &'static str,
+    /// The four path-length cells, in path order.
+    pub cells: Vec<Table2Cell>,
+    /// Mean utilization over the four inter-switch links.
+    pub utilization: f64,
 }
 
 impl Table2 {
@@ -85,39 +98,57 @@ fn sample_flow(flows: &[(FlowPlacement, FlowId)], path_length: usize) -> FlowId 
         .expect("every path length 1-4 exists in the placement")
 }
 
+/// Run the Table-2 discipline sweep through the given runner, streaming
+/// each point's report to `observer` as it completes; the checked,
+/// axis-tagged reports feed [`crate::report::render_table2`].
+pub fn run_reports(
+    cfg: &PaperConfig,
+    runner: &SweepRunner,
+    observer: &dyn SweepObserver<Table2Point>,
+) -> Vec<SweepReport<PointResult<Table2Point>>> {
+    let set = ScenarioSet::over("discipline", DisciplineKind::table2_set());
+    runner.run_streaming(
+        &set,
+        |&(discipline,)| {
+            let (mut sim, flows) = run_chain(cfg, discipline);
+            let net = sim.network_mut();
+            let pt = cfg.packet_time().as_secs_f64();
+            let cells: Vec<Table2Cell> = (1..=4)
+                .map(|path_length| {
+                    let flow = sample_flow(&flows, path_length);
+                    let r = net.monitor_mut().flow_report(flow);
+                    Table2Cell {
+                        scheduler: discipline.label(),
+                        path_length,
+                        mean: r.mean_delay / pt,
+                        p999: r.p999_delay / pt,
+                    }
+                })
+                .collect();
+            let utilization: f64 = (0..fig1::NUM_LINKS)
+                .map(|i| net.monitor().link_report(i).utilization)
+                .sum::<f64>()
+                / fig1::NUM_LINKS as f64;
+            Table2Point {
+                scheduler: discipline.label(),
+                cells,
+                utilization,
+            }
+        },
+        observer,
+    )
+}
+
 /// Run the full Table-2 comparison through the given sweep runner: one
 /// scenario point per discipline, fanned across threads, folded back in
 /// the paper's discipline order.
 pub fn run_with(cfg: &PaperConfig, runner: &SweepRunner) -> Table2 {
-    let set = ScenarioSet::over("discipline", DisciplineKind::table2_set());
-    let points = runner.run(&set, |&(discipline,)| {
-        let (mut sim, flows) = run_chain(cfg, discipline);
-        let net = sim.network_mut();
-        let pt = cfg.packet_time().as_secs_f64();
-        let cells: Vec<Table2Cell> = (1..=4)
-            .map(|path_length| {
-                let flow = sample_flow(&flows, path_length);
-                let r = net.monitor_mut().flow_report(flow);
-                Table2Cell {
-                    scheduler: discipline.label(),
-                    path_length,
-                    mean: r.mean_delay / pt,
-                    p999: r.p999_delay / pt,
-                }
-            })
-            .collect();
-        let util: f64 = (0..fig1::NUM_LINKS)
-            .map(|i| net.monitor().link_report(i).utilization)
-            .sum::<f64>()
-            / fig1::NUM_LINKS as f64;
-        (cells, (discipline.label(), util))
-    });
     let mut cells = Vec::new();
     let mut utilization = Vec::new();
-    for report in points {
-        let (point_cells, point_util) = report.result;
-        cells.extend(point_cells);
-        utilization.push(point_util);
+    for report in run_reports(cfg, runner, &NullObserver) {
+        let point = report.expect_ok().result;
+        cells.extend(point.cells);
+        utilization.push((point.scheduler, point.utilization));
     }
     Table2 { cells, utilization }
 }

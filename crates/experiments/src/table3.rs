@@ -200,6 +200,31 @@ pub fn run(cfg: &PaperConfig) -> Table3 {
     summarize(cfg, &mut scenario)
 }
 
+/// Replicate Table 3 across a seed axis through the given runner,
+/// streaming each replication to `observer` as it completes; the checked,
+/// seed-tagged reports feed [`crate::report::render_table3_seeds`], and a
+/// panicking replication surfaces as its point's `Err` instead of
+/// aborting the others.
+pub fn run_seeds_reports(
+    cfg: &PaperConfig,
+    seeds: &[u64],
+    runner: &ispn_scenario::SweepRunner,
+    observer: &dyn ispn_scenario::SweepObserver<(u64, Table3)>,
+) -> Vec<ispn_scenario::SweepReport<ispn_scenario::PointResult<(u64, Table3)>>> {
+    let set = ispn_scenario::ScenarioSet::over("seed", seeds.to_vec());
+    runner.run_streaming(
+        &set,
+        |&(seed,)| {
+            let cfg = PaperConfig {
+                seed,
+                ..cfg.clone()
+            };
+            (seed, run(&cfg))
+        },
+        observer,
+    )
+}
+
 /// Replicate Table 3 across seeds — the paper reports one random run; a
 /// seed axis turns it into a replication study (how much do the sample
 /// rows move between runs?).  Each seed is a self-contained scenario
@@ -209,17 +234,9 @@ pub fn run_seeds(
     seeds: &[u64],
     runner: &ispn_scenario::SweepRunner,
 ) -> Vec<(u64, Table3)> {
-    let set = ispn_scenario::ScenarioSet::over("seed", seeds.to_vec());
-    runner
-        .run(&set, |&(seed,)| {
-            let cfg = PaperConfig {
-                seed,
-                ..cfg.clone()
-            };
-            (seed, run(&cfg))
-        })
+    run_seeds_reports(cfg, seeds, runner, &ispn_scenario::NullObserver)
         .into_iter()
-        .map(|r| r.result)
+        .map(|r| r.expect_ok().result)
         .collect()
 }
 

@@ -31,7 +31,15 @@
 //!   named axes (cartesian [`by`](ScenarioSet::by) or element-wise
 //!   [`zip`](ScenarioSet::zip)) and fan the points across a thread pool;
 //!   results come back axis-tagged **in point order**, byte-identical to a
-//!   serial run whatever the thread count,
+//!   serial run whatever the thread count.  The streaming core
+//!   ([`SweepRunner::run_streaming`] + [`SweepObserver`]) emits every
+//!   point's report the moment it completes, and per-point
+//!   `catch_unwind` turns a panicking point into a structured
+//!   [`SweepError`] instead of aborting its siblings,
+//! * [`SweepTable`] — axis-aware report rendering: tables whose leading
+//!   columns come straight from the sweep's axis tags (plus the matching
+//!   checked JSON in [`sweep_to_json_checked`]), replacing per-experiment
+//!   formatting glue,
 //! * [`ScenarioBuilder`] — assembles all of the above and returns a
 //! * [`Sim`] — a facade owning both `Network` and `Signaling` that steps
 //!   data-plane events, control messages and user-scheduled actions in
@@ -59,6 +67,7 @@
 pub mod builder;
 pub mod discipline;
 pub mod error;
+pub mod render;
 pub mod report;
 pub mod sim;
 pub mod sweep;
@@ -68,12 +77,17 @@ pub mod workload;
 pub use builder::ScenarioBuilder;
 pub use discipline::{DisciplineMatrix, DisciplineSpec};
 pub use error::BuildError;
+pub use render::{axis_names, SweepTable};
 pub use report::{
     json_escape, ClassSummary, DisciplineSummary, FlowSummary, HistogramSpec, HistogramSummary,
     LinkSummary, MeasurementPlan, ScenarioReport, SignalingSummary,
 };
 pub use sim::{ChurnFlowRecord, Sim};
-pub use sweep::{sweep_to_json, AxisValue, ScenarioSet, SweepPoint, SweepReport, SweepRunner};
+pub use sweep::{
+    failed_points, sweep_to_json, sweep_to_json_checked, AxisValue, NullObserver, PointResult,
+    ProgressObserver, ScenarioSet, SweepChannel, SweepError, SweepObserver, SweepPoint,
+    SweepReport, SweepRunner,
+};
 pub use topology::{BuiltTopology, LinkProfile, TopologySpec};
 pub use workload::{
     AdmissionSpec, ChurnClass, ChurnSourceSpec, ChurnWorkload, FlowDef, RouteSpec, ServiceSpec,

@@ -304,16 +304,6 @@ fn class_order(class: ServiceClass) -> (u8, u8) {
     }
 }
 
-fn stddev(samples: &[f64]) -> f64 {
-    let n = samples.len();
-    if n < 2 {
-        return 0.0;
-    }
-    let mean = samples.iter().sum::<f64>() / n as f64;
-    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
-    var.sqrt()
-}
-
 fn json_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x:?}")
@@ -336,7 +326,10 @@ impl ScenarioReport {
             flows
                 .iter()
                 .map(|&f| {
-                    let jitter_s = stddev(net.monitor().flow_delays(f).samples());
+                    // Jitter = sample standard deviation of the flow's
+                    // delay samples (the shared Welford implementation in
+                    // `ispn-stats`).
+                    let jitter_s = net.monitor().flow_delays(f).sample_std_dev();
                     let r = net.monitor_mut().flow_report(f);
                     FlowSummary {
                         flow: f.0,
@@ -440,7 +433,7 @@ impl ScenarioReport {
                     dropped_buffer += r.dropped_buffer;
                     dropped_at_edge += r.dropped_at_edge;
                 }
-                let jitter_s = stddev(pooled.samples());
+                let jitter_s = pooled.sample_std_dev();
                 let quantiles = plan
                     .class_quantiles
                     .iter()
@@ -908,12 +901,5 @@ mod tests {
         assert_eq!(json_escape("a\\b"), "a\\\\b");
         assert_eq!(json_escape("a\tb"), "a\\tb");
         assert_eq!(json_escape("\u{7}"), "\\u0007");
-    }
-
-    #[test]
-    fn stddev_of_degenerate_inputs_is_zero() {
-        assert_eq!(stddev(&[]), 0.0);
-        assert_eq!(stddev(&[1.0]), 0.0);
-        assert!((stddev(&[1.0, 3.0]) - std::f64::consts::SQRT_2).abs() < 1e-12);
     }
 }

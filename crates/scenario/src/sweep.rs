@@ -22,6 +22,24 @@
 //!   and axis labels, serializable to JSON (strings escaped through
 //!   [`json_escape`](crate::report::json_escape)).
 //!
+//! # Streaming and fault isolation
+//!
+//! [`SweepRunner::run_streaming`] is the primitive the other entry points
+//! wrap: it emits every point's report to a [`SweepObserver`] the moment
+//! the point completes (completion order, from whichever worker thread
+//! finished it) while still returning the full `Vec` in point order.
+//! Observers are ordinary `Sync` values — a closure, the stderr
+//! [`ProgressObserver`], or a [`SweepChannel`] that forwards completions
+//! into an `mpsc` receiver.
+//!
+//! Every point runs under [`std::panic::catch_unwind`], so one exploding
+//! scenario no longer takes the whole sweep down: the point's slot carries
+//! a structured [`SweepError`] (index, axis tags, panic payload) and every
+//! sibling point still runs to completion.  [`SweepRunner::try_run`]
+//! surfaces those per-point `Result`s; [`SweepRunner::run`] keeps the
+//! historical infallible signature by unwrapping them (panicking with the
+//! failing point's tags — after the whole sweep finished).
+//!
 //! # Determinism
 //!
 //! Results come back **indexed by point order**, not completion order: the
@@ -29,8 +47,9 @@
 //! and joins every worker before returning.  Since a scenario point is a
 //! pure function of its parameters and seeds (each `Sim` owns its
 //! `Network` + `Signaling` and a private RNG stream), a sweep produces
-//! byte-identical [`SweepReport`]s whatever the thread count — pinned by
-//! `tests/tests/sweep.rs` and the CI `sweep-smoke` job.
+//! byte-identical [`SweepReport`]s whatever the thread count — and
+//! whatever observer was streaming — pinned by `tests/tests/sweep.rs` and
+//! the CI `sweep-smoke` job.
 //!
 //! ```
 //! use ispn_scenario::{ScenarioSet, SweepRunner};
@@ -46,8 +65,10 @@
 //! assert_eq!(reports[3].tag("flows"), Some("10"));
 //! ```
 
+use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
 
 use ispn_sim::SimTime;
 
@@ -282,6 +303,53 @@ impl<P> ScenarioSet<P> {
     }
 }
 
+/// Structured record of a sweep point that panicked: which point it was
+/// (index and axis tags) and what the panic said.  Produced by the
+/// per-point [`catch_unwind`](std::panic::catch_unwind) wrapper, so a
+/// poisoned point surfaces here instead of aborting its sibling points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepError {
+    /// The failing point's position in sweep order.
+    pub index: usize,
+    /// The failing point's `(axis name, value label)` tags.
+    pub tags: Vec<(String, String)>,
+    /// The panic payload rendered as text (`&str` / `String` payloads pass
+    /// through verbatim; anything else becomes a placeholder).
+    pub payload: String,
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "point {}", self.index)?;
+        if !self.tags.is_empty() {
+            let tags: Vec<String> = self
+                .tags
+                .iter()
+                .map(|(name, label)| format!("{name}={label}"))
+                .collect();
+            write!(f, " ({})", tags.join(", "))?;
+        }
+        write!(f, " panicked: {}", self.payload)
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// The outcome of one fault-isolated sweep point: the closure's result, or
+/// the structured record of its panic.
+pub type PointResult<R> = Result<R, SweepError>;
+
+/// Render a caught panic payload as text.
+fn panic_payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// One point's result, tagged with its index and axis labels.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport<R> {
@@ -291,6 +359,18 @@ pub struct SweepReport<R> {
     pub tags: Vec<(String, String)>,
     /// What the run closure returned for the point.
     pub result: R,
+}
+
+/// The shared point serializer: `index`, `axes`, then one keyed body —
+/// `"report"` for results, `"error"` for panics — so the checked and
+/// unchecked JSON surfaces are byte-identical wherever both succeed.
+fn point_json(index: usize, tags: &[(String, String)], key: &str, body: &str) -> String {
+    let axes: String = tags
+        .iter()
+        .map(|(name, label)| format!("[\"{}\",\"{}\"]", json_escape(name), json_escape(label)))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{\"index\":{index},\"axes\":[{axes}],\"{key}\":{body}}}")
 }
 
 impl<R> SweepReport<R> {
@@ -305,17 +385,41 @@ impl<R> SweepReport<R> {
     /// Serialize with a caller-supplied serializer for the result payload
     /// (`body` must emit valid JSON).
     pub fn to_json_with(&self, body: impl Fn(&R) -> String) -> String {
-        let axes: String = self
-            .tags
-            .iter()
-            .map(|(name, label)| format!("[\"{}\",\"{}\"]", json_escape(name), json_escape(label)))
-            .collect::<Vec<_>>()
-            .join(",");
-        format!(
-            "{{\"index\":{},\"axes\":[{axes}],\"report\":{}}}",
-            self.index,
-            body(&self.result),
-        )
+        point_json(self.index, &self.tags, "report", &body(&self.result))
+    }
+}
+
+impl<R> SweepReport<PointResult<R>> {
+    /// Serialize a checked report: successful points carry `"report"`
+    /// (byte-identical to [`to_json_with`](SweepReport::to_json_with) on an
+    /// unchecked report), panicked points carry `"error"` with the panic
+    /// payload.
+    pub fn to_json_checked_with(&self, body: impl Fn(&R) -> String) -> String {
+        match &self.result {
+            Ok(result) => point_json(self.index, &self.tags, "report", &body(result)),
+            Err(e) => point_json(
+                self.index,
+                &self.tags,
+                "error",
+                &format!("\"{}\"", json_escape(&e.payload)),
+            ),
+        }
+    }
+
+    /// Unwrap a checked report into the historical infallible shape.
+    ///
+    /// # Panics
+    /// Panics with the failing point's tags and panic payload if the point
+    /// errored.
+    pub fn expect_ok(self) -> SweepReport<R> {
+        match self.result {
+            Ok(result) => SweepReport {
+                index: self.index,
+                tags: self.tags,
+                result,
+            },
+            Err(e) => panic!("sweep {e}"),
+        }
     }
 }
 
@@ -326,11 +430,146 @@ impl SweepReport<ScenarioReport> {
     }
 }
 
+impl SweepReport<PointResult<ScenarioReport>> {
+    /// Serialize the checked point: index, axis tags and the scenario
+    /// report — or the panic payload under `"error"`.
+    pub fn to_json(&self) -> String {
+        self.to_json_checked_with(ScenarioReport::to_json)
+    }
+}
+
 /// Serialize a whole sweep of scenario reports as one JSON array — the
 /// byte-identity surface the serial-vs-parallel acceptance check diffs.
 pub fn sweep_to_json(reports: &[SweepReport<ScenarioReport>]) -> String {
-    let body: Vec<String> = reports.iter().map(SweepReport::to_json).collect();
+    let body: Vec<String> = reports
+        .iter()
+        .map(|r: &SweepReport<ScenarioReport>| r.to_json())
+        .collect();
     format!("[{}]", body.join(","))
+}
+
+/// Serialize a checked sweep ([`SweepRunner::try_run`] /
+/// [`SweepRunner::run_streaming`]) as one JSON array.  When every point
+/// succeeded the output is byte-identical to [`sweep_to_json`] on the
+/// unchecked reports.
+pub fn sweep_to_json_checked(reports: &[SweepReport<PointResult<ScenarioReport>>]) -> String {
+    let body: Vec<String> = reports
+        .iter()
+        .map(|r: &SweepReport<PointResult<ScenarioReport>>| r.to_json())
+        .collect();
+    format!("[{}]", body.join(","))
+}
+
+/// Number of panicked points in a checked sweep — the exit-status check
+/// for command-line drivers: a bin that rendered a partially failed sweep
+/// should still exit nonzero so CI and scripts see the failure.
+pub fn failed_points<R>(reports: &[SweepReport<PointResult<R>>]) -> usize {
+    reports.iter().filter(|r| r.result.is_err()).count()
+}
+
+/// Receives each point's report the moment the point completes.
+///
+/// Implementations must be `Sync`: a parallel runner calls
+/// [`point_completed`](SweepObserver::point_completed) from whichever
+/// worker thread finished the point, so calls arrive in **completion
+/// order** and may be concurrent.  The runner still returns the full
+/// result `Vec` in point order afterwards, byte-identical to an unobserved
+/// run.  Any `Fn(&SweepReport<PointResult<R>>) + Sync` closure is an
+/// observer.
+pub trait SweepObserver<R>: Sync {
+    /// Called once, before any point runs, with the number of points.
+    fn sweep_started(&self, _total: usize) {}
+
+    /// Called as each point completes (completion order; possibly from a
+    /// worker thread).  Panicked points arrive as `Err` — streaming
+    /// consumers see the failure as soon as it happens, not after the
+    /// sweep returns.
+    fn point_completed(&self, report: &SweepReport<PointResult<R>>);
+}
+
+impl<R, F> SweepObserver<R> for F
+where
+    F: Fn(&SweepReport<PointResult<R>>) + Sync,
+{
+    fn point_completed(&self, report: &SweepReport<PointResult<R>>) {
+        self(report)
+    }
+}
+
+/// The do-nothing observer ([`SweepRunner::try_run`] streams into it).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl<R> SweepObserver<R> for NullObserver {
+    fn point_completed(&self, _report: &SweepReport<PointResult<R>>) {}
+}
+
+/// A progress observer for command-line sweeps: one stderr line per
+/// completed point (`[done/total] axis=value … done`, or the panic payload
+/// for a failed point).  This is what the experiment bins wire up under
+/// `--stream`; stdout stays untouched, so the final rendered report is
+/// byte-identical to a batch run.
+#[derive(Debug, Default)]
+pub struct ProgressObserver {
+    done: AtomicUsize,
+    total: AtomicUsize,
+}
+
+impl ProgressObserver {
+    /// A fresh progress observer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<R> SweepObserver<R> for ProgressObserver {
+    fn sweep_started(&self, total: usize) {
+        self.total.store(total, Ordering::SeqCst);
+    }
+
+    fn point_completed(&self, report: &SweepReport<PointResult<R>>) {
+        let done = self.done.fetch_add(1, Ordering::SeqCst) + 1;
+        let total = self.total.load(Ordering::SeqCst);
+        let tags: Vec<String> = report
+            .tags
+            .iter()
+            .map(|(name, label)| format!("{name}={label}"))
+            .collect();
+        let tags = tags.join(" ");
+        match &report.result {
+            Ok(_) => eprintln!("[{done}/{total}] {tags} done"),
+            Err(e) => eprintln!("[{done}/{total}] {tags} PANICKED: {}", e.payload),
+        }
+    }
+}
+
+/// The channel flavor of streaming: an observer that clones each completed
+/// report into an [`mpsc`] channel, so a consumer thread can render or
+/// persist points while the sweep is still running.  The receiver sees
+/// completion order; the runner's return value stays in point order.
+#[derive(Debug)]
+pub struct SweepChannel<R> {
+    tx: Mutex<mpsc::Sender<SweepReport<PointResult<R>>>>,
+}
+
+impl<R> SweepChannel<R> {
+    /// A connected observer/receiver pair.
+    pub fn new() -> (Self, mpsc::Receiver<SweepReport<PointResult<R>>>) {
+        let (tx, rx) = mpsc::channel();
+        (SweepChannel { tx: Mutex::new(tx) }, rx)
+    }
+}
+
+impl<R: Clone + Send> SweepObserver<R> for SweepChannel<R> {
+    fn point_completed(&self, report: &SweepReport<PointResult<R>>) {
+        // A dropped receiver just means nobody is listening any more; the
+        // sweep itself must not care.
+        let _ = self
+            .tx
+            .lock()
+            .expect("sweep channel poisoned")
+            .send(report.clone());
+    }
 }
 
 /// Fans the points of a [`ScenarioSet`] across a thread pool.
@@ -373,49 +612,118 @@ impl SweepRunner {
     /// self-contained scenario; it is called exactly once per point.
     ///
     /// # Panics
-    /// A panic inside `run_point` propagates once every other in-flight
-    /// point has finished (workers are joined by `std::thread::scope`).
+    /// A panic inside `run_point` is caught per point ([`try_run`] exposes
+    /// it as a [`SweepError`]); this infallible wrapper re-panics with the
+    /// failing point's index, tags and payload — but only after every
+    /// sibling point ran to completion.
+    ///
+    /// [`try_run`]: SweepRunner::try_run
     pub fn run<P, R, F>(&self, set: &ScenarioSet<P>, run_point: F) -> Vec<SweepReport<R>>
     where
         P: Sync,
         R: Send,
         F: Fn(&P) -> R + Sync,
     {
+        self.try_run(set, run_point)
+            .into_iter()
+            .map(SweepReport::expect_ok)
+            .collect()
+    }
+
+    /// [`run`](SweepRunner::run) with per-point fault isolation and no
+    /// observer: every point's slot carries `Ok(result)` or the
+    /// [`SweepError`] describing its panic, and a poisoned point never
+    /// aborts its siblings.
+    pub fn try_run<P, R, F>(
+        &self,
+        set: &ScenarioSet<P>,
+        run_point: F,
+    ) -> Vec<SweepReport<PointResult<R>>>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(&P) -> R + Sync,
+    {
+        self.run_streaming(set, run_point, &NullObserver)
+    }
+
+    /// The streaming core: run every point of `set` through `run_point`,
+    /// handing each completed point's report to `observer` **the moment it
+    /// completes** (completion order, from the finishing worker thread),
+    /// then return the full checked report list in sweep order — with the
+    /// same per-point fault isolation as [`try_run`](SweepRunner::try_run),
+    /// and byte-identical results to a serial or unobserved run.
+    ///
+    /// # Panics
+    /// Never from `run_point` (point panics are caught into
+    /// [`SweepError`]s); a panic inside the observer itself still
+    /// propagates.
+    pub fn run_streaming<P, R, F, O>(
+        &self,
+        set: &ScenarioSet<P>,
+        run_point: F,
+        observer: &O,
+    ) -> Vec<SweepReport<PointResult<R>>>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(&P) -> R + Sync,
+        O: SweepObserver<R> + ?Sized,
+    {
         let n = set.points.len();
-        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        observer.sweep_started(n);
+        // One point, fault-isolated: a panic in `run_point` becomes the
+        // point's `SweepError` instead of unwinding through the sweep.
+        let run_one = |index: usize| -> SweepReport<PointResult<R>> {
+            let point = &set.points[index];
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| run_point(&point.params)))
+                .map_err(|payload| SweepError {
+                    index,
+                    tags: point.tags.clone(),
+                    payload: panic_payload_text(payload.as_ref()),
+                });
+            SweepReport {
+                index,
+                tags: point.tags.clone(),
+                result,
+            }
+        };
         let workers = self.threads.min(n.max(1));
         if workers <= 1 {
-            for (point, slot) in set.points.iter().zip(&slots) {
-                *slot.lock().expect("result slot poisoned") = Some(run_point(&point.params));
+            let mut out = Vec::with_capacity(n);
+            for index in 0..n {
+                let report = run_one(index);
+                observer.point_completed(&report);
+                out.push(report);
             }
-        } else {
-            // Work-stealing by atomic counter: each worker claims the next
-            // unclaimed point and writes the result into that point's slot,
-            // so completion order cannot leak into the output.
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        let result = run_point(&set.points[i].params);
-                        *slots[i].lock().expect("result slot poisoned") = Some(result);
-                    });
-                }
-            });
+            return out;
         }
+        // Work-stealing by atomic counter: each worker claims the next
+        // unclaimed point and writes the report into that point's slot, so
+        // completion order cannot leak into the output (only into the
+        // observer, which is its contract).
+        let slots: Vec<Mutex<Option<SweepReport<PointResult<R>>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let report = run_one(i);
+                    observer.point_completed(&report);
+                    *slots[i].lock().expect("result slot poisoned") = Some(report);
+                });
+            }
+        });
         slots
             .into_iter()
-            .enumerate()
-            .map(|(index, slot)| SweepReport {
-                index,
-                tags: set.points[index].tags.clone(),
-                result: slot
-                    .into_inner()
+            .map(|slot| {
+                slot.into_inner()
                     .expect("result slot poisoned")
-                    .expect("every point ran to completion"),
+                    .expect("every point produced a report (panics are caught per point)")
             })
             .collect()
     }
@@ -531,5 +839,125 @@ mod tests {
         assert_eq!(SweepRunner::parallel(0).threads(), 1);
         assert_eq!(SweepRunner::parallel(6).threads(), 6);
         assert!(SweepRunner::max_parallel().threads() >= 1);
+    }
+
+    #[test]
+    fn a_panicking_point_is_isolated_and_named() {
+        let set = ScenarioSet::over("load", [1usize, 2, 3, 4]);
+        let f = |&(load,): &(usize,)| {
+            assert!(load != 3, "load 3 is poisoned");
+            load * 10
+        };
+        for runner in [SweepRunner::serial(), SweepRunner::parallel(4)] {
+            let reports = runner.try_run(&set, f);
+            assert_eq!(reports.len(), 4);
+            assert_eq!(failed_points(&reports), 1);
+            // Sibling points all completed…
+            assert_eq!(reports[0].result, Ok(10));
+            assert_eq!(reports[1].result, Ok(20));
+            assert_eq!(reports[3].result, Ok(40));
+            // …and the poisoned one names itself.
+            let err = reports[2].result.as_ref().unwrap_err();
+            assert_eq!(err.index, 2);
+            assert_eq!(err.tags, vec![("load".to_string(), "3".to_string())]);
+            assert!(err.payload.contains("load 3 is poisoned"), "{err}");
+            assert!(err.to_string().contains("load=3"), "{err}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "load=3")]
+    fn infallible_run_names_the_failing_point() {
+        let set = ScenarioSet::over("load", [1usize, 3]);
+        let _ = SweepRunner::serial().run(&set, |&(load,): &(usize,)| {
+            assert!(load != 3, "boom");
+            load
+        });
+    }
+
+    #[test]
+    fn streaming_observes_every_point_and_returns_point_order() {
+        let set = ScenarioSet::over("i", (0..32usize).collect::<Vec<_>>());
+        let f = |&(i,): &(usize,)| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i + 100
+        };
+        let seen = Mutex::new(Vec::new());
+        let observer = |report: &SweepReport<PointResult<usize>>| {
+            seen.lock()
+                .unwrap()
+                .push((report.index, *report.result.as_ref().unwrap()));
+        };
+        let streamed = SweepRunner::parallel(8).run_streaming(&set, f, &observer);
+        // Every point was emitted exactly once before the sweep returned…
+        let mut seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 32);
+        seen.sort();
+        assert_eq!(seen, (0..32usize).map(|i| (i, i + 100)).collect::<Vec<_>>());
+        // …and the returned reports are in point order, matching serial.
+        let serial = SweepRunner::serial().try_run(&set, f);
+        assert_eq!(streamed, serial);
+        for (i, r) in streamed.iter().enumerate() {
+            assert_eq!(r.index, i);
+        }
+    }
+
+    #[test]
+    fn channel_observer_streams_completions() {
+        let set = ScenarioSet::over("x", [1u64, 2, 3]);
+        let (tx, rx) = SweepChannel::new();
+        let reports = SweepRunner::parallel(2).run_streaming(&set, |&(x,)| x * x, &tx);
+        drop(tx);
+        let mut streamed: Vec<u64> = rx
+            .into_iter()
+            .map(|r| r.result.expect("no panics here"))
+            .collect();
+        streamed.sort();
+        assert_eq!(streamed, vec![1, 4, 9]);
+        assert_eq!(reports.len(), 3);
+    }
+
+    #[test]
+    fn checked_json_matches_unchecked_on_success_and_carries_errors() {
+        let set = ScenarioSet::over("d", ["ok"]);
+        let report = || crate::ScenarioReport {
+            horizon_s: 1.0,
+            flows: Vec::new(),
+            links: Vec::new(),
+            classes: Vec::new(),
+            disciplines: Vec::new(),
+            signaling: None,
+        };
+        let plain = SweepRunner::serial().run(&set, |_| report());
+        let checked = SweepRunner::serial().try_run(&set, |_| report());
+        assert_eq!(sweep_to_json(&plain), sweep_to_json_checked(&checked));
+
+        // A panicked point serializes its payload under "error" (escaped).
+        let poisoned: SweepReport<PointResult<crate::ScenarioReport>> = SweepReport {
+            index: 1,
+            tags: vec![("d".to_string(), "bad".to_string())],
+            result: Err(SweepError {
+                index: 1,
+                tags: vec![("d".to_string(), "bad".to_string())],
+                payload: "evil \"quote\"".to_string(),
+            }),
+        };
+        let json = poisoned.to_json();
+        assert!(json.contains("\"error\":\"evil \\\"quote\\\"\""), "{json}");
+        assert!(!json.contains("\"report\""), "{json}");
+    }
+
+    #[test]
+    fn non_string_panic_payloads_get_a_placeholder() {
+        let set = ScenarioSet::over("i", [0usize]);
+        let reports = SweepRunner::serial().try_run(&set, |_| {
+            std::panic::panic_any(42usize);
+            #[allow(unreachable_code)]
+            ()
+        });
+        let err = reports[0].result.as_ref().unwrap_err();
+        assert_eq!(err.payload, "non-string panic payload");
     }
 }

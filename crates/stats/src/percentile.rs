@@ -121,6 +121,20 @@ impl SampleSet {
         self.quantile(0.5)
     }
 
+    /// Sample (`n − 1`) standard deviation of the stored samples — the
+    /// "jitter" statistic of the scenario reports.  Computed by feeding the
+    /// samples through the Welford accumulator of
+    /// [`StreamingStats`](crate::StreamingStats) (one shared variance
+    /// implementation, numerically stable for long runs of near-identical
+    /// delays); 0.0 for fewer than two samples.
+    pub fn sample_std_dev(&self) -> f64 {
+        let mut acc = crate::StreamingStats::new();
+        for &x in &self.samples {
+            acc.record(x);
+        }
+        acc.sample_std_dev()
+    }
+
     /// Fraction of samples strictly greater than `threshold` — the
     /// post-facto loss rate of a play-back application whose play-back point
     /// is set at `threshold`.
@@ -319,6 +333,34 @@ mod tests {
         s.record(42.0);
         assert_eq!(s.quantile(0.1), 42.0);
         assert_eq!(s.quantile(0.999), 42.0);
+    }
+
+    #[test]
+    fn sample_std_dev_degenerate_cases_are_zero() {
+        // n = 0 and n = 1 are pinned to 0.0 — never NaN from a 0/0 divisor.
+        let mut s = SampleSet::new();
+        assert_eq!(s.sample_std_dev(), 0.0);
+        s.record(42.0);
+        assert_eq!(s.sample_std_dev(), 0.0);
+        // n = 2: matches the textbook two-pass value exactly enough.
+        s.record(44.0);
+        assert!((s.sample_std_dev() - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_std_dev_matches_two_pass_variance() {
+        let mut s = SampleSet::new();
+        let xs: Vec<f64> = (0..500)
+            .map(|i| (i as f64 * 0.37).sin() * 3.0 + 10.0)
+            .collect();
+        for &x in &xs {
+            s.record(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let two_pass = (xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / (xs.len() - 1) as f64)
+            .sqrt();
+        assert!((s.sample_std_dev() - two_pass).abs() < 1e-9);
     }
 
     #[test]

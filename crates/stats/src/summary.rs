@@ -98,6 +98,22 @@ impl StreamingStats {
         self.variance().sqrt()
     }
 
+    /// Sample (Bessel-corrected, `n − 1` divisor) variance, or 0.0 for
+    /// fewer than two samples — the estimator the jitter columns of the
+    /// scenario reports use.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample (`n − 1`) standard deviation; 0.0 for fewer than two samples.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
     /// Smallest sample, or `None` if empty.
     pub fn min(&self) -> Option<f64> {
         if self.count == 0 {
@@ -132,9 +148,27 @@ mod tests {
         assert_eq!(s.count(), 0);
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.sample_std_dev(), 0.0);
         assert_eq!(s.min(), None);
         assert_eq!(s.max(), None);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn sample_variance_degenerate_cases_are_zero() {
+        // n = 1: the n−1 divisor would be 0/0 — pinned to 0.0, not NaN.
+        let mut s = StreamingStats::new();
+        s.record(3.5);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.sample_std_dev(), 0.0);
+        // n = 2: sample variance of {1, 3} is 2 (vs population variance 1).
+        let mut t = StreamingStats::new();
+        t.record(1.0);
+        t.record(3.0);
+        assert!((t.sample_variance() - 2.0).abs() < 1e-12);
+        assert!((t.sample_std_dev() - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert!((t.variance() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -8,12 +8,14 @@
 //! a parallel runner as through the serial one — completion order must
 //! never leak into results.
 
+use std::sync::Mutex;
+
 use ispn_experiments::{churn, hetmix, table1, table2, table3, DisciplineKind, PaperConfig};
 use ispn_net::PoliceAction;
 use ispn_scenario::{
-    sweep_to_json, AdmissionSpec, ChurnClass, ChurnSourceSpec, ChurnWorkload, DisciplineSpec,
-    FlowDef, HistogramSpec, MeasurementPlan, ScenarioBuilder, ScenarioSet, SourceSpec, SweepRunner,
-    TopologySpec, WorkloadSpec,
+    sweep_to_json, sweep_to_json_checked, AdmissionSpec, ChurnClass, ChurnSourceSpec,
+    ChurnWorkload, DisciplineSpec, FlowDef, HistogramSpec, MeasurementPlan, PointResult,
+    ScenarioBuilder, ScenarioSet, SourceSpec, SweepReport, SweepRunner, TopologySpec, WorkloadSpec,
 };
 use ispn_sched::Averaging;
 use ispn_sim::SimTime;
@@ -421,6 +423,119 @@ fn sweep_points_are_isolated() {
     });
     let flows: Vec<usize> = reports.into_iter().map(|r| r.result).collect();
     assert_eq!(flows, vec![1, 2, 3, 4]);
+}
+
+/// Regression for the double-`expect` abort: a sweep with one poisoned
+/// point must still return every sibling point's report and name the
+/// failing point's axis tags — under both the serial and the parallel
+/// runner.
+#[test]
+fn poisoned_point_keeps_sibling_reports_and_names_its_tags() {
+    let set = ScenarioSet::over("discipline", disciplines()).by("level", [1usize, 2]);
+    assert_eq!(set.len(), 8);
+    let f = |&(spec, level): &(DisciplineSpec, usize)| {
+        // Poison exactly one point: WFQ at level 2.
+        assert!(
+            !(matches!(spec, DisciplineSpec::Wfq) && level == 2),
+            "injected fault: WFQ at level 2 exploded"
+        );
+        run_point(spec, level)
+    };
+    for runner in [SweepRunner::serial(), SweepRunner::parallel(4)] {
+        let reports = runner.try_run(&set, f);
+        assert_eq!(reports.len(), 8, "every point has a slot");
+        let failures: Vec<_> = reports
+            .iter()
+            .filter_map(|r| r.result.as_ref().err())
+            .collect();
+        assert_eq!(failures.len(), 1, "exactly the poisoned point failed");
+        let err = failures[0];
+        assert_eq!(err.tags[0], ("discipline".to_string(), "WFQ".to_string()));
+        assert_eq!(err.tags[1], ("level".to_string(), "2".to_string()));
+        assert!(err.payload.contains("WFQ at level 2 exploded"), "{err}");
+        // The seven healthy points all carry real reports.
+        assert_eq!(
+            reports.iter().filter(|r| r.result.is_ok()).count(),
+            7,
+            "sibling points ran to completion"
+        );
+        // The error serializes into the checked JSON stream in place.
+        let json = sweep_to_json_checked(&reports);
+        assert!(json.contains("\"error\":\""), "{json}");
+        assert_eq!(json.matches("\"report\":").count(), 7);
+    }
+}
+
+/// The tentpole's streaming contract: every point's report reaches the
+/// observer before the sweep returns, in completion order, while the
+/// returned reports stay in point order with JSON byte-identical to a
+/// serial batch run.
+#[test]
+fn streaming_emits_every_point_and_stays_byte_identical() {
+    let set = ScenarioSet::over("discipline", disciplines()).by("level", [1usize, 3]);
+    let f = |&(spec, level): &(DisciplineSpec, usize)| run_point(spec, level);
+    let serial_batch = SweepRunner::serial().run(&set, f);
+
+    let seen: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    let observer = |report: &SweepReport<PointResult<ispn_scenario::ScenarioReport>>| {
+        assert!(report.result.is_ok(), "no faults injected here");
+        seen.lock().unwrap().push(report.index);
+    };
+    let streamed = SweepRunner::parallel(4).run_streaming(&set, f, &observer);
+
+    // Every point was emitted exactly once before the sweep returned.
+    let mut seen = seen.into_inner().unwrap();
+    seen.sort_unstable();
+    assert_eq!(seen, (0..8).collect::<Vec<_>>());
+    // The final reports are in point order and byte-identical to batch.
+    assert_eq!(
+        sweep_to_json_checked(&streamed),
+        sweep_to_json(&serial_batch),
+        "streaming must not change the final JSON"
+    );
+}
+
+/// Sweep edge shapes: more worker threads than points, an empty set, and
+/// a single-point set — all byte-identical to the serial runner.
+#[test]
+fn edge_shaped_sweeps_match_serial_json() {
+    let f = |&(spec, level): &(DisciplineSpec, usize)| run_point(spec, level);
+
+    // More workers (16) than points (3).
+    let three = ScenarioSet::over("level", [1usize, 2, 3]).zip(
+        "discipline",
+        [
+            DisciplineSpec::Fifo,
+            DisciplineSpec::Wfq,
+            DisciplineSpec::Fifo,
+        ],
+    );
+    let g = |&(level, spec): &(usize, DisciplineSpec)| run_point(spec, level);
+    assert_eq!(three.len(), 3);
+    let serial = SweepRunner::serial().run(&three, g);
+    let wide = SweepRunner::parallel(16).run(&three, g);
+    assert_eq!(sweep_to_json(&serial), sweep_to_json(&wide));
+
+    // An empty set: no points, no panic, an empty JSON array — from both
+    // runners.
+    let empty = ScenarioSet::over("level", Vec::<usize>::new());
+    assert!(empty.is_empty());
+    let serial_empty =
+        SweepRunner::serial().run(&empty, |&(level,)| run_point(DisciplineSpec::Fifo, level));
+    let parallel_empty =
+        SweepRunner::parallel(8).run(&empty, |&(level,)| run_point(DisciplineSpec::Fifo, level));
+    assert_eq!(sweep_to_json(&serial_empty), "[]");
+    assert_eq!(sweep_to_json(&parallel_empty), "[]");
+
+    // A single-point set through the same machinery.
+    let single = ScenarioSet::over("discipline", [DisciplineSpec::Wfq]).by("level", [1usize]);
+    let serial_single = SweepRunner::serial().run(&single, f);
+    let parallel_single = SweepRunner::parallel(8).run(&single, f);
+    assert_eq!(serial_single.len(), 1);
+    assert_eq!(
+        sweep_to_json(&serial_single),
+        sweep_to_json(&parallel_single)
+    );
 }
 
 #[test]
