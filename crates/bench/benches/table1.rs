@@ -1,17 +1,27 @@
 //! Regenerates Table 1 of CSZ'92 at full length (harness = false).
+//!
+//! `ISPN_BENCH_WORKERS=N` fans the regeneration across N worker
+//! subprocesses (this binary re-invoked with `--sweep-worker`); the
+//! rendered table is byte-identical to the serial run.
 
-use ispn_bench::bench_config;
+use ispn_bench::{bench_config, bench_exec, is_sweep_worker};
 use ispn_experiments::{report, table1};
-use ispn_scenario::{NullObserver, SweepRunner};
+use ispn_scenario::NullObserver;
 
 fn main() {
     let cfg = bench_config();
+    if is_sweep_worker() {
+        table1::serve_worker(&cfg).expect("sweep worker I/O");
+        return;
+    }
+    let exec = bench_exec();
     let start = std::time::Instant::now();
-    let reports = table1::run_reports(&cfg, &SweepRunner::serial(), &NullObserver);
+    let reports = table1::exec_reports(&cfg, &exec, &NullObserver);
     println!("{}", report::render_table1(&reports));
     println!(
-        "[table1 bench] simulated {}s per discipline in {:.1}s wall-clock",
+        "[table1 bench] simulated {}s per discipline in {:.1}s wall-clock ({})",
         cfg.duration.as_secs_f64(),
-        start.elapsed().as_secs_f64()
+        start.elapsed().as_secs_f64(),
+        exec.description(),
     );
 }

@@ -46,9 +46,50 @@ pub fn extensions_config() -> PaperConfig {
     }
 }
 
+/// `true` when this bench invocation is a `--sweep-worker` child of a
+/// distributed table regeneration (check **before** printing anything to
+/// stdout — it belongs to the frame stream in that mode).  Same detection
+/// as the experiment bins, via [`ispn_experiments::cli`].
+pub fn is_sweep_worker() -> bool {
+    let args: Vec<String> = std::env::args().collect();
+    ispn_experiments::cli::is_sweep_worker(&args)
+}
+
+/// Choose the sweep execution level for a table-regeneration bench from
+/// the environment: `ISPN_BENCH_WORKERS=N` fans the sweep across `N`
+/// worker subprocesses (the bench binary re-invoked with
+/// `--sweep-worker`, inheriting `ISPN_BENCH_FAST`); otherwise the sweep
+/// runs serially in-process, as the harness always has.
+pub fn bench_exec() -> ispn_scenario::SweepExec {
+    match std::env::var("ISPN_BENCH_WORKERS") {
+        Err(_) => ispn_scenario::SweepExec::InProcess(ispn_scenario::SweepRunner::serial()),
+        Ok(v) => match v.parse::<usize>() {
+            // A malformed or zero value fails loudly (like the bins'
+            // `--workers`): a typo must not silently benchmark the wrong
+            // execution level.
+            Ok(n) if n >= 1 => {
+                ispn_scenario::SweepExec::Distributed(ispn_scenario::DistRunner::new(
+                    n,
+                    ispn_scenario::WorkerCommand::current_exe().arg(ispn_scenario::WORKER_FLAG),
+                ))
+            }
+            _ => panic!("ISPN_BENCH_WORKERS needs a positive integer, got {v:?}"),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_exec_defaults_to_serial_in_process() {
+        match bench_exec() {
+            ispn_scenario::SweepExec::InProcess(runner) => assert_eq!(runner.threads(), 1),
+            other => panic!("expected in-process exec, got {other:?}"),
+        }
+        assert!(!is_sweep_worker());
+    }
 
     #[test]
     fn default_config_is_the_papers() {

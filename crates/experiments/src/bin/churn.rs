@@ -1,18 +1,22 @@
 //! Regenerates the flow-churn experiment: dynamic signaling with Poisson
 //! arrivals and exponential holding times on the Figure-1 topology, swept
 //! over offered load.  `ISPN_FAST=1` runs a shortened sweep; `--stream`
-//! prints one stderr progress line per completed point while stdout stays
-//! byte-identical to a batch run.
+//! prints one stderr progress line per completed point; `--workers N`
+//! fans the sweep across N worker subprocesses (this binary re-invoked
+//! with `--sweep-worker`; the `ISPN_FAST` configuration is inherited).
+//! Stdout stays byte-identical to a batch in-process run in every mode —
+//! including the accept/reject decision sequence behind the table.
 
 use ispn_experiments::config::PaperConfig;
-use ispn_experiments::{churn, report};
-use ispn_scenario::{NullObserver, ProgressObserver, SweepObserver, SweepRunner};
+use ispn_experiments::{churn, cli, report};
+use ispn_scenario::{NullObserver, ProgressObserver, SweepObserver};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let fast = std::env::var("ISPN_FAST")
         .map(|v| v == "1")
         .unwrap_or(false);
-    let stream = std::env::args().any(|a| a == "--stream");
+    let stream = args.iter().any(|a| a == "--stream");
     let paper = if fast {
         PaperConfig::fast()
     } else {
@@ -20,21 +24,25 @@ fn main() {
     };
     let holding_secs = 15.0;
     let arrival_rates = [0.2, 0.5, 1.0, 2.0, 4.0];
-    let runner = SweepRunner::max_parallel();
+    if cli::is_sweep_worker(&args) {
+        churn::serve_worker(&paper, &arrival_rates, holding_secs).expect("sweep worker I/O");
+        return;
+    }
+    let exec = cli::sweep_exec(&args, &[]);
     eprintln!(
-        "running {} churn scenarios of {}s simulated time each on {} threads …",
+        "running {} churn scenarios of {}s simulated time each on {} …",
         arrival_rates.len(),
         paper.duration.as_secs_f64(),
-        runner.threads()
+        exec.description()
     );
     let progress = ProgressObserver::new();
     let observer: &dyn SweepObserver<churn::ChurnOutcome> =
         if stream { &progress } else { &NullObserver };
-    let reports = churn::sweep_reports(&paper, &arrival_rates, holding_secs, &runner, observer);
+    let reports = churn::sweep_exec(&paper, &arrival_rates, holding_secs, &exec, observer);
     println!("{}", report::render_churn(&reports));
     let failures = ispn_scenario::failed_points(&reports);
     if failures > 0 {
-        eprintln!("{failures} sweep point(s) panicked - see the report above");
+        eprintln!("{failures} sweep point(s) failed - see the report above");
         std::process::exit(1);
     }
     for o in reports.iter().filter_map(|r| r.result.as_ref().ok()) {

@@ -2,18 +2,21 @@
 //! flows competing on the shared interior links of a 3×3 grid, swept over
 //! the Predicted-Low cross-traffic level.  `ISPN_FAST=1` runs a shortened
 //! sweep (the CI smoke configuration); `--stream` prints one stderr
-//! progress line per completed point while stdout stays byte-identical to
-//! a batch run.
+//! progress line per completed point; `--workers N` fans the sweep across
+//! N worker subprocesses (this binary re-invoked with `--sweep-worker`;
+//! the `ISPN_FAST` configuration is inherited).  Stdout stays
+//! byte-identical to a batch in-process run in every mode.
 
 use ispn_experiments::config::PaperConfig;
-use ispn_experiments::{mesh, report};
-use ispn_scenario::{NullObserver, ProgressObserver, SweepObserver, SweepRunner};
+use ispn_experiments::{cli, mesh, report};
+use ispn_scenario::{NullObserver, ProgressObserver, SweepObserver};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let fast = std::env::var("ISPN_FAST")
         .map(|v| v == "1")
         .unwrap_or(false);
-    let stream = std::env::args().any(|a| a == "--stream");
+    let stream = args.iter().any(|a| a == "--stream");
     let (cfg, levels): (PaperConfig, &[usize]) = if fast {
         (
             PaperConfig {
@@ -25,21 +28,25 @@ fn main() {
     } else {
         (PaperConfig::medium(), &[1, 3, 6])
     };
-    let runner = SweepRunner::max_parallel();
+    if cli::is_sweep_worker(&args) {
+        mesh::serve_worker(&cfg, levels).expect("sweep worker I/O");
+        return;
+    }
+    let exec = cli::sweep_exec(&args, &[]);
     eprintln!(
-        "running {} mesh scenarios of {} simulated seconds each on {} threads …",
+        "running {} mesh scenarios of {} simulated seconds each on {} …",
         levels.len(),
         cfg.duration.as_secs_f64(),
-        runner.threads()
+        exec.description()
     );
     let progress = ProgressObserver::new();
     let observer: &dyn SweepObserver<mesh::MeshOutcome> =
         if stream { &progress } else { &NullObserver };
-    let reports = mesh::sweep_reports(&cfg, levels, &runner, observer);
+    let reports = mesh::sweep_exec(&cfg, levels, &exec, observer);
     println!("{}", report::render_mesh(&reports));
     let failures = ispn_scenario::failed_points(&reports);
     if failures > 0 {
-        eprintln!("{failures} sweep point(s) panicked - see the report above");
+        eprintln!("{failures} sweep point(s) failed - see the report above");
         std::process::exit(1);
     }
     for o in reports.iter().filter_map(|r| r.result.as_ref().ok()) {

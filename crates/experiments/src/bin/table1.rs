@@ -1,12 +1,14 @@
 //! Regenerate Table 1 of CSZ'92 (WFQ vs FIFO on a single shared link).
 //!
-//! Usage: `cargo run --release -p ispn-experiments --bin table1 [--fast] [--stream]`
+//! Usage: `cargo run --release -p ispn-experiments --bin table1 [--fast] [--stream] [--workers N]`
 //!
 //! `--stream` prints one stderr progress line per completed sweep point;
-//! stdout (the final table) is byte-identical to a batch run.
+//! `--workers N` fans the sweep across N worker subprocesses (this binary
+//! re-invoked with `--sweep-worker`).  Stdout (the final table) is
+//! byte-identical to a batch in-process run in every mode.
 
-use ispn_experiments::{config::PaperConfig, report, table1};
-use ispn_scenario::{NullObserver, ProgressObserver, SweepObserver, SweepRunner};
+use ispn_experiments::{cli, config::PaperConfig, report, table1};
+use ispn_scenario::{NullObserver, ProgressObserver, SweepObserver};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -17,20 +19,28 @@ fn main() {
     } else {
         PaperConfig::paper()
     };
-    let runner = SweepRunner::max_parallel();
+    if cli::is_sweep_worker(&args) {
+        table1::serve_worker(&cfg).expect("sweep worker I/O");
+        return;
+    }
+    let mut worker_args = Vec::new();
+    if fast {
+        worker_args.push("--fast".to_string());
+    }
+    let exec = cli::sweep_exec(&args, &worker_args);
     eprintln!(
-        "running Table 1 ({} simulated seconds per discipline, {} threads)...",
+        "running Table 1 ({} simulated seconds per discipline, {})...",
         cfg.duration.as_secs_f64(),
-        runner.threads()
+        exec.description()
     );
     let progress = ProgressObserver::new();
     let observer: &dyn SweepObserver<table1::Table1Row> =
         if stream { &progress } else { &NullObserver };
-    let reports = table1::run_reports(&cfg, &runner, observer);
+    let reports = table1::exec_reports(&cfg, &exec, observer);
     println!("{}", report::render_table1(&reports));
     let failures = ispn_scenario::failed_points(&reports);
     if failures > 0 {
-        eprintln!("{failures} sweep point(s) panicked - see the report above");
+        eprintln!("{failures} sweep point(s) failed - see the report above");
         std::process::exit(1);
     }
 }

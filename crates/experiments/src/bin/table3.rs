@@ -1,16 +1,18 @@
 //! Regenerate Table 3 of CSZ'92 (the unified scheduler carrying guaranteed,
 //! predicted and datagram traffic on the Figure-1 chain).
 //!
-//! Usage: `cargo run --release -p ispn-experiments --bin table3 [--fast] [--seeds N] [--stream]`
+//! Usage: `cargo run --release -p ispn-experiments --bin table3 [--fast] [--seeds N] [--stream] [--workers N]`
 //!
 //! `--seeds N` replicates the table across `N` derived seeds (a seed-axis
 //! sweep fanned across threads) and prints each replication — the paper
 //! reports one random run; the sweep shows how much the sample rows move.
 //! `--stream` prints one stderr progress line per completed replication;
-//! stdout is byte-identical to a batch run.
+//! `--workers N` fans the seed sweep across N worker subprocesses (this
+//! binary re-invoked with `--sweep-worker --seeds N`).  Stdout is
+//! byte-identical to a batch in-process run in every mode.
 
-use ispn_experiments::{config::PaperConfig, report, table3};
-use ispn_scenario::{NullObserver, ProgressObserver, SweepObserver, SweepRunner};
+use ispn_experiments::{cli, config::PaperConfig, report, table3};
+use ispn_scenario::{NullObserver, ProgressObserver, SweepObserver};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -31,7 +33,15 @@ fn main() {
             }
         },
     };
+    let seed_axis: Vec<u64> = (0..seeds).map(|i| cfg.seed.wrapping_add(i)).collect();
+    if cli::is_sweep_worker(&args) {
+        table3::serve_worker(&cfg, &seed_axis).expect("sweep worker I/O");
+        return;
+    }
     if seeds <= 1 {
+        if cli::parse_workers(&args).is_some() {
+            eprintln!("--workers applies to the seed sweep; a single-seed run stays in-process");
+        }
         eprintln!(
             "running Table 3 ({} simulated seconds)...",
             cfg.duration.as_secs_f64()
@@ -40,22 +50,25 @@ fn main() {
         println!("{}", report::render_table3(&t));
         return;
     }
-    let runner = SweepRunner::max_parallel();
-    let seed_axis: Vec<u64> = (0..seeds).map(|i| cfg.seed.wrapping_add(i)).collect();
+    let mut worker_args = vec!["--seeds".to_string(), seeds.to_string()];
+    if fast {
+        worker_args.push("--fast".to_string());
+    }
+    let exec = cli::sweep_exec(&args, &worker_args);
     eprintln!(
-        "running Table 3 across {} seeds ({} simulated seconds each, {} threads)...",
+        "running Table 3 across {} seeds ({} simulated seconds each, {})...",
         seeds,
         cfg.duration.as_secs_f64(),
-        runner.threads()
+        exec.description()
     );
     let progress = ProgressObserver::new();
     let observer: &dyn SweepObserver<(u64, table3::Table3)> =
         if stream { &progress } else { &NullObserver };
-    let reports = table3::run_seeds_reports(&cfg, &seed_axis, &runner, observer);
+    let reports = table3::run_seeds_exec(&cfg, &seed_axis, &exec, observer);
     print!("{}", report::render_table3_seeds(&reports));
     let failures = ispn_scenario::failed_points(&reports);
     if failures > 0 {
-        eprintln!("{failures} sweep point(s) panicked - see the report above");
+        eprintln!("{failures} sweep point(s) failed - see the report above");
         std::process::exit(1);
     }
 }

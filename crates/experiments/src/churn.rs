@@ -22,9 +22,10 @@
 
 use ispn_net::{LinkId, PoliceAction};
 use ispn_scenario::{
-    AdmissionSpec, ChurnClass, ChurnSourceSpec, ChurnWorkload, DisciplineMatrix, DisciplineSpec,
-    NullObserver, PointResult, ScenarioBuilder, ScenarioSet, Sim, SweepObserver, SweepReport,
-    SweepRunner, TopologySpec, WorkloadSpec,
+    wire_f64, AdmissionSpec, ChurnClass, ChurnSourceSpec, ChurnWorkload, DisciplineMatrix,
+    DisciplineSpec, JsonValue, NullObserver, PointResult, ScenarioBuilder, ScenarioSet, Sim,
+    SweepExec, SweepObserver, SweepReport, SweepRunner, TopologySpec, WireError, WireResult,
+    WorkloadSpec,
 };
 use ispn_sched::Averaging;
 use ispn_sim::SimTime;
@@ -135,6 +136,41 @@ pub struct ChurnOutcome {
     /// torn down and the control plane drained — must be zero if rejected
     /// and released setups leave no residue.
     pub residual_reserved_bps: f64,
+}
+
+impl WireResult for ChurnOutcome {
+    fn to_wire_json(&self) -> String {
+        format!(
+            "{{\"offered_erlangs\":{},\"offered\":{},\"accepted\":{},\"rejected\":{},\
+             \"decisions\":{},\"mean_utilization\":{},\"worst_utilization\":{},\
+             \"violations\":{},\"worst_bound_fraction\":{},\"residual_reserved_bps\":{}}}",
+            wire_f64(self.offered_erlangs),
+            self.offered,
+            self.accepted,
+            self.rejected,
+            self.decisions.to_wire_json(),
+            wire_f64(self.mean_utilization),
+            wire_f64(self.worst_utilization),
+            self.violations,
+            wire_f64(self.worst_bound_fraction),
+            wire_f64(self.residual_reserved_bps),
+        )
+    }
+
+    fn from_wire_json(v: &JsonValue) -> Result<Self, WireError> {
+        Ok(ChurnOutcome {
+            offered_erlangs: v.field("offered_erlangs")?.as_f64_or_nan()?,
+            offered: v.field("offered")?.as_usize()?,
+            accepted: v.field("accepted")?.as_usize()?,
+            rejected: v.field("rejected")?.as_usize()?,
+            decisions: Vec::from_wire_json(v.field("decisions")?)?,
+            mean_utilization: v.field("mean_utilization")?.as_f64_or_nan()?,
+            worst_utilization: v.field("worst_utilization")?.as_f64_or_nan()?,
+            violations: v.field("violations")?.as_usize()?,
+            worst_bound_fraction: v.field("worst_bound_fraction")?.as_f64_or_nan()?,
+            residual_reserved_bps: v.field("residual_reserved_bps")?.as_f64_or_nan()?,
+        })
+    }
 }
 
 impl ChurnOutcome {
@@ -288,12 +324,47 @@ pub fn sweep_reports(
     runner: &SweepRunner,
     observer: &dyn SweepObserver<ChurnOutcome>,
 ) -> Vec<SweepReport<PointResult<ChurnOutcome>>> {
-    let set = ScenarioSet::over("load", arrival_rates.to_vec());
-    runner.run_streaming(
-        &set,
+    sweep_exec(
+        paper,
+        arrival_rates,
+        mean_holding_secs,
+        &SweepExec::InProcess(*runner),
+        observer,
+    )
+}
+
+/// The offered-load axis of the churn sweep.
+pub fn scenario_set(arrival_rates: &[f64]) -> ScenarioSet<(f64,)> {
+    ScenarioSet::over("load", arrival_rates.to_vec())
+}
+
+/// [`sweep_reports`] generalized over the execution level: in-process
+/// threads or distributed worker subprocesses — byte-identical either
+/// way, down to the accept/reject decision sequence.
+pub fn sweep_exec(
+    paper: &PaperConfig,
+    arrival_rates: &[f64],
+    mean_holding_secs: f64,
+    exec: &SweepExec,
+    observer: &dyn SweepObserver<ChurnOutcome>,
+) -> Vec<SweepReport<PointResult<ChurnOutcome>>> {
+    exec.run_streaming(
+        &scenario_set(arrival_rates),
         |&(lambda,)| run(&ChurnConfig::new(paper.clone(), lambda, mean_holding_secs)),
         observer,
     )
+}
+
+/// Serve churn sweep points to a distributed parent over stdin/stdout
+/// (the `churn` bin's `--sweep-worker` mode).
+pub fn serve_worker(
+    paper: &PaperConfig,
+    arrival_rates: &[f64],
+    mean_holding_secs: f64,
+) -> std::io::Result<()> {
+    ispn_scenario::serve_worker(&scenario_set(arrival_rates), |&(lambda,)| {
+        run(&ChurnConfig::new(paper.clone(), lambda, mean_holding_secs))
+    })
 }
 
 /// Run the experiment at several offered loads (same holding time, rising

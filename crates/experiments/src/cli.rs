@@ -1,0 +1,89 @@
+//! Shared command-line plumbing for the experiment bins.
+//!
+//! Every sweep-shaped bin understands the same three execution flags:
+//!
+//! * *(none)* — fan sweep points across in-process threads
+//!   ([`SweepRunner::max_parallel`]);
+//! * `--workers N` — fan sweep points across `N` supervised worker
+//!   subprocesses ([`DistRunner`]), each the same binary re-invoked with
+//!   `--sweep-worker` plus the run's configuration flags.  Stdout stays
+//!   byte-identical to the in-process run;
+//! * `--sweep-worker` — serve sweep points over stdin/stdout for a
+//!   distributed parent (checked by the bin **before anything prints to
+//!   stdout**, which belongs to the frame stream in this mode).
+//!
+//! This module only parses the flags and assembles the
+//! [`SweepExec`]; the per-experiment worker loops live next to their
+//! sweeps in the experiment modules.
+
+use ispn_scenario::{DistRunner, SweepExec, SweepRunner, WorkerCommand, WORKER_FLAG};
+
+/// Whether this invocation is a `--sweep-worker` child.
+pub fn is_sweep_worker(args: &[String]) -> bool {
+    args.iter().any(|a| a == WORKER_FLAG)
+}
+
+/// The `--workers N` flag, if present.
+///
+/// Exits with status 2 on a malformed value — the same convention the
+/// bins' other flags use.
+pub fn parse_workers(args: &[String]) -> Option<usize> {
+    let i = args.iter().position(|a| a == "--workers")?;
+    match args.get(i + 1).map(|n| n.parse::<usize>()) {
+        Some(Ok(n)) if n >= 1 => Some(n),
+        _ => {
+            eprintln!("--workers needs a positive integer, e.g. `--workers 4`");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Choose the sweep execution level from the command line: `--workers N`
+/// selects a distributed run whose workers re-invoke the current
+/// executable with `--sweep-worker` plus `worker_args` (the configuration
+/// flags the parent run received, so both sides build the same sweep);
+/// otherwise points fan across in-process threads.
+pub fn sweep_exec(args: &[String], worker_args: &[String]) -> SweepExec {
+    match parse_workers(args) {
+        Some(n) => {
+            let command = WorkerCommand::current_exe()
+                .arg(WORKER_FLAG)
+                .args(worker_args.iter().cloned());
+            SweepExec::Distributed(DistRunner::new(n, command))
+        }
+        None => SweepExec::InProcess(SweepRunner::max_parallel()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn worker_flag_is_detected() {
+        assert!(is_sweep_worker(&args(&["bin", "--sweep-worker"])));
+        assert!(!is_sweep_worker(&args(&["bin", "--stream"])));
+    }
+
+    #[test]
+    fn workers_flag_parses() {
+        assert_eq!(parse_workers(&args(&["bin"])), None);
+        assert_eq!(parse_workers(&args(&["bin", "--workers", "3"])), Some(3));
+    }
+
+    #[test]
+    fn exec_levels_follow_the_flags() {
+        match sweep_exec(&args(&["bin"]), &[]) {
+            SweepExec::InProcess(_) => {}
+            other => panic!("expected in-process exec, got {other:?}"),
+        }
+        match sweep_exec(&args(&["bin", "--workers", "2"]), &args(&["--fast"])) {
+            SweepExec::Distributed(d) => assert_eq!(d.workers(), 2),
+            other => panic!("expected distributed exec, got {other:?}"),
+        }
+    }
+}

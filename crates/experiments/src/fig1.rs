@@ -54,6 +54,19 @@ impl FlowKind {
     pub fn is_guaranteed(self) -> bool {
         matches!(self, FlowKind::GuaranteedPeak | FlowKind::GuaranteedAverage)
     }
+
+    /// The kind carrying the given printed label (the inverse of
+    /// [`label`](FlowKind::label), used by the Table-3 wire decoder).
+    pub fn from_label(label: &str) -> Option<FlowKind> {
+        [
+            FlowKind::GuaranteedPeak,
+            FlowKind::GuaranteedAverage,
+            FlowKind::PredictedHigh,
+            FlowKind::PredictedLow,
+        ]
+        .into_iter()
+        .find(|k| k.label() == label)
+    }
 }
 
 /// Where one real-time flow enters the chain and how many links it crosses.
@@ -201,6 +214,22 @@ pub fn per_link_census(flows: &[FlowPlacement]) -> Vec<std::collections::HashMap
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Drift guard for the wire decoder: `from_label` must invert
+    /// `label` for every kind, or distributed Table-3 runs would poison
+    /// rows of a newly added kind at decode.
+    #[test]
+    fn from_label_inverts_label_for_every_kind() {
+        for kind in [
+            FlowKind::GuaranteedPeak,
+            FlowKind::GuaranteedAverage,
+            FlowKind::PredictedHigh,
+            FlowKind::PredictedLow,
+        ] {
+            assert_eq!(FlowKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(FlowKind::from_label("Best-Effort-Maybe"), None);
+    }
 
     #[test]
     fn path_length_census_matches_the_appendix() {

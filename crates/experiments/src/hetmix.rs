@@ -15,13 +15,15 @@
 use ispn_core::TokenBucketSpec;
 use ispn_net::PoliceAction;
 use ispn_scenario::{
-    DisciplineSpec, FlowDef, MeasurementPlan, NullObserver, PointResult, RouteSpec,
-    ScenarioBuilder, ScenarioSet, ServiceSpec, SourceSpec, SweepObserver, SweepReport, SweepRunner,
+    json_escape, wire_f64, DisciplineSpec, FlowDef, JsonValue, MeasurementPlan, NullObserver,
+    PointResult, RouteSpec, ScenarioBuilder, ScenarioSet, ServiceSpec, SourceSpec, SweepExec,
+    SweepObserver, SweepReport, SweepRunner, WireError, WireResult,
 };
 use ispn_sched::Averaging;
 
 use crate::config::PaperConfig;
 use crate::mesh::{aggregate_class, ClassStats};
+use crate::support::intern_discipline_label;
 use crate::table3::{HIGH_PRIORITY_TARGET_PKT, LOW_PRIORITY_TARGET_PKT};
 
 /// The four disciplines the sweep compares.
@@ -49,6 +51,27 @@ pub struct HetMixPoint {
     /// Per-class aggregates: Guaranteed-CBR, Predicted-High (on/off),
     /// Predicted-Low (Poisson), Datagram.
     pub classes: Vec<ClassStats>,
+}
+
+impl WireResult for HetMixPoint {
+    fn to_wire_json(&self) -> String {
+        format!(
+            "{{\"scheduler\":\"{}\",\"level\":{},\"utilization\":{},\"classes\":{}}}",
+            json_escape(self.scheduler),
+            self.level,
+            wire_f64(self.utilization),
+            self.classes.to_wire_json(),
+        )
+    }
+
+    fn from_wire_json(v: &JsonValue) -> Result<Self, WireError> {
+        Ok(HetMixPoint {
+            scheduler: intern_discipline_label(v.field("scheduler")?.as_str()?)?,
+            level: v.field("level")?.as_usize()?,
+            utilization: v.field("utilization")?.as_f64_or_nan()?,
+            classes: Vec::from_wire_json(v.field("classes")?)?,
+        })
+    }
 }
 
 /// Run one (discipline, level) point: a single shared link carrying
@@ -153,11 +176,31 @@ pub fn sweep_reports(
     runner: &SweepRunner,
     observer: &dyn SweepObserver<HetMixPoint>,
 ) -> Vec<SweepReport<PointResult<HetMixPoint>>> {
-    runner.run_streaming(
+    sweep_exec(cfg, levels, &SweepExec::InProcess(*runner), observer)
+}
+
+/// [`sweep_reports`] generalized over the execution level: in-process
+/// threads or distributed worker subprocesses, byte-identical either way.
+pub fn sweep_exec(
+    cfg: &PaperConfig,
+    levels: &[usize],
+    exec: &SweepExec,
+    observer: &dyn SweepObserver<HetMixPoint>,
+) -> Vec<SweepReport<PointResult<HetMixPoint>>> {
+    exec.run_streaming(
         &scenario_set(levels),
         |&(spec, level)| run_point(cfg, spec, level),
         observer,
     )
+}
+
+/// Serve heterogeneous-mix sweep points to a distributed parent over
+/// stdin/stdout (the `hetmix` bin's `--sweep-worker` mode; the load levels
+/// travel through the shared `ISPN_FAST` configuration).
+pub fn serve_worker(cfg: &PaperConfig, levels: &[usize]) -> std::io::Result<()> {
+    ispn_scenario::serve_worker(&scenario_set(levels), |&(spec, level)| {
+        run_point(cfg, spec, level)
+    })
 }
 
 /// The full sweep through the given runner: every discipline at every load

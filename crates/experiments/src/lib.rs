@@ -23,7 +23,9 @@
 //!   heterogeneous CBR / on-off / Poisson mix across all four disciplines
 //!   (scenario-API study),
 //! * [`report`] — text rendering next to the paper's published numbers,
-//! * [`support`] — shared plumbing (discipline factory, source wiring).
+//! * [`support`] — shared plumbing (discipline factory, source wiring),
+//! * [`cli`] — the shared `--workers N` / `--sweep-worker` flags every
+//!   sweep-shaped bin understands (distributed execution).
 //!
 //! Every experiment takes a [`config::PaperConfig`] so tests can run
 //! shortened versions while the bench harness runs the full ten simulated
@@ -33,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 pub mod churn;
+pub mod cli;
 pub mod config;
 pub mod extensions;
 pub mod fig1;

@@ -15,9 +15,9 @@ use ispn_core::TokenBucketSpec;
 use ispn_net::PoliceAction;
 use ispn_net::{LinkId, NodeId};
 use ispn_scenario::{
-    DisciplineSpec, FlowDef, MeasurementPlan, NullObserver, PointResult, RouteSpec,
-    ScenarioBuilder, ScenarioReport, ScenarioSet, ServiceSpec, SourceSpec, SweepObserver,
-    SweepReport, SweepRunner,
+    json_escape, wire_f64, DisciplineSpec, FlowDef, JsonValue, MeasurementPlan, NullObserver,
+    PointResult, RouteSpec, ScenarioBuilder, ScenarioReport, ScenarioSet, ServiceSpec, SourceSpec,
+    SweepExec, SweepObserver, SweepReport, SweepRunner, WireError, WireResult,
 };
 use ispn_sched::Averaging;
 
@@ -46,6 +46,49 @@ pub struct ClassStats {
     pub loss_rate: f64,
 }
 
+/// Every class label an experiment's [`ClassStats`] row can carry (mesh
+/// and hetmix share the type, so the pool is their union).
+const CLASS_LABELS: &[&str] = &[
+    "Guaranteed",
+    "Guaranteed-CBR",
+    "Predicted-High",
+    "Predicted-Low",
+    "Datagram",
+];
+
+/// Map a decoded class label back to its `&'static` experiment label.
+fn intern_class_label(label: &str) -> Result<&'static str, WireError> {
+    crate::support::intern_label(label, CLASS_LABELS, "class")
+}
+
+impl WireResult for ClassStats {
+    fn to_wire_json(&self) -> String {
+        format!(
+            "{{\"class\":\"{}\",\"flows\":{},\"mean\":{},\"worst_p999\":{},\"worst_max\":{},\
+             \"jitter\":{},\"loss_rate\":{}}}",
+            json_escape(self.class),
+            self.flows,
+            wire_f64(self.mean),
+            wire_f64(self.worst_p999),
+            wire_f64(self.worst_max),
+            wire_f64(self.jitter),
+            wire_f64(self.loss_rate),
+        )
+    }
+
+    fn from_wire_json(v: &JsonValue) -> Result<Self, WireError> {
+        Ok(ClassStats {
+            class: intern_class_label(v.field("class")?.as_str()?)?,
+            flows: v.field("flows")?.as_usize()?,
+            mean: v.field("mean")?.as_f64_or_nan()?,
+            worst_p999: v.field("worst_p999")?.as_f64_or_nan()?,
+            worst_max: v.field("worst_max")?.as_f64_or_nan()?,
+            jitter: v.field("jitter")?.as_f64_or_nan()?,
+            loss_rate: v.field("loss_rate")?.as_f64_or_nan()?,
+        })
+    }
+}
+
 /// Outcome of one mesh run.
 #[derive(Debug, Clone)]
 pub struct MeshOutcome {
@@ -62,6 +105,32 @@ pub struct MeshOutcome {
     pub interior_drops: u64,
     /// The structured scenario report (for serialization).
     pub report: ScenarioReport,
+}
+
+impl WireResult for MeshOutcome {
+    fn to_wire_json(&self) -> String {
+        format!(
+            "{{\"cross_flows_per_row\":{},\"classes\":{},\"interior_utilization\":{},\
+             \"edge_utilization\":{},\"interior_drops\":{},\"report\":{}}}",
+            self.cross_flows_per_row,
+            self.classes.to_wire_json(),
+            wire_f64(self.interior_utilization),
+            wire_f64(self.edge_utilization),
+            self.interior_drops,
+            self.report.to_wire_json(),
+        )
+    }
+
+    fn from_wire_json(v: &JsonValue) -> Result<Self, WireError> {
+        Ok(MeshOutcome {
+            cross_flows_per_row: v.field("cross_flows_per_row")?.as_usize()?,
+            classes: Vec::from_wire_json(v.field("classes")?)?,
+            interior_utilization: v.field("interior_utilization")?.as_f64_or_nan()?,
+            edge_utilization: v.field("edge_utilization")?.as_f64_or_nan()?,
+            interior_drops: v.field("interior_drops")?.as_u64()?,
+            report: ScenarioReport::from_wire_json(v.field("report")?)?,
+        })
+    }
 }
 
 /// Fold a class's per-flow summaries into one [`ClassStats`] row, with
@@ -247,8 +316,29 @@ pub fn sweep_reports(
     runner: &SweepRunner,
     observer: &dyn SweepObserver<MeshOutcome>,
 ) -> Vec<SweepReport<PointResult<MeshOutcome>>> {
-    let set = ScenarioSet::over("cross", levels.to_vec());
-    runner.run_streaming(&set, |&(level,)| run(cfg, level), observer)
+    sweep_exec(cfg, levels, &SweepExec::InProcess(*runner), observer)
+}
+
+/// The cross-traffic axis of the mesh sweep.
+pub fn scenario_set(levels: &[usize]) -> ScenarioSet<(usize,)> {
+    ScenarioSet::over("cross", levels.to_vec())
+}
+
+/// [`sweep_reports`] generalized over the execution level: in-process
+/// threads or distributed worker subprocesses, byte-identical either way.
+pub fn sweep_exec(
+    cfg: &PaperConfig,
+    levels: &[usize],
+    exec: &SweepExec,
+    observer: &dyn SweepObserver<MeshOutcome>,
+) -> Vec<SweepReport<PointResult<MeshOutcome>>> {
+    exec.run_streaming(&scenario_set(levels), |&(level,)| run(cfg, level), observer)
+}
+
+/// Serve mesh sweep points to a distributed parent over stdin/stdout (the
+/// `mesh` bin's `--sweep-worker` mode).
+pub fn serve_worker(cfg: &PaperConfig, levels: &[usize]) -> std::io::Result<()> {
+    ispn_scenario::serve_worker(&scenario_set(levels), |&(level,)| run(cfg, level))
 }
 
 /// Sweep the Predicted-Low cross-traffic level through the given runner.
@@ -268,6 +358,23 @@ pub fn sweep(cfg: &PaperConfig, levels: &[usize]) -> Vec<MeshOutcome> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Drift guard: every class label mesh and hetmix hand to
+    /// [`aggregate_class`] must intern, or distributed runs would poison
+    /// points with "unknown class label" at decode.
+    #[test]
+    fn class_pool_covers_every_emittable_label() {
+        for label in [
+            "Guaranteed",
+            "Guaranteed-CBR",
+            "Predicted-High",
+            "Predicted-Low",
+            "Datagram",
+        ] {
+            assert_eq!(intern_class_label(label), Ok(label));
+        }
+        assert!(intern_class_label("Best-Effort-Maybe").is_err());
+    }
 
     #[test]
     fn classes_are_ordered_and_complete() {

@@ -107,6 +107,40 @@ pub fn realtime_class() -> ServiceClass {
     ServiceClass::Predicted { priority: 0 }
 }
 
+/// Every scheduler label an experiment row can carry (the union of
+/// [`DisciplineKind::label`] and
+/// [`DisciplineSpec::label`](ispn_scenario::DisciplineSpec::label)).
+const DISCIPLINE_LABELS: &[&str] = &[
+    "FIFO",
+    "WFQ",
+    "FIFO+",
+    "FIFO+ (EWMA)",
+    "VirtualClock",
+    "StrictPriority",
+    "Unified",
+];
+
+/// Map a decoded label back to its `&'static` member of `pool` — the wire
+/// decoders need this because experiment rows store their labels as static
+/// strings.  Unknown labels are a schema error (`what` names the label
+/// kind in the message), not a panic: a worker from a different build must
+/// not crash the parent.
+pub fn intern_label(
+    label: &str,
+    pool: &'static [&'static str],
+    what: &str,
+) -> Result<&'static str, ispn_scenario::WireError> {
+    pool.iter()
+        .copied()
+        .find(|known| *known == label)
+        .ok_or_else(|| ispn_scenario::WireError::new(format!("unknown {what} label {label:?}")))
+}
+
+/// [`intern_label`] over the scheduler-label pool.
+pub fn intern_discipline_label(label: &str) -> Result<&'static str, ispn_scenario::WireError> {
+    intern_label(label, DISCIPLINE_LABELS, "discipline")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +158,39 @@ mod tests {
             let d = k.build(&PaperConfig::paper(), 10);
             assert!(d.is_empty());
         }
+    }
+
+    /// Drift guard: every label the experiments can emit — every
+    /// [`DisciplineKind`] and every `DisciplineSpec` variant — must
+    /// intern, or distributed runs would poison points with "unknown
+    /// discipline label" at decode while in-process runs keep working.
+    #[test]
+    fn discipline_pool_covers_every_emittable_label() {
+        for k in [
+            DisciplineKind::Fifo,
+            DisciplineKind::Wfq,
+            DisciplineKind::FifoPlus,
+            DisciplineKind::FifoPlusEwma,
+            DisciplineKind::VirtualClock,
+        ] {
+            assert_eq!(intern_discipline_label(k.label()), Ok(k.label()));
+        }
+        use ispn_scenario::DisciplineSpec;
+        for spec in [
+            DisciplineSpec::Fifo,
+            DisciplineSpec::FifoPlus(Averaging::RunningMean),
+            DisciplineSpec::FifoPlus(Averaging::Ewma(0.1)),
+            DisciplineSpec::Wfq,
+            DisciplineSpec::VirtualClock,
+            DisciplineSpec::StrictPriority { classes: 2 },
+            DisciplineSpec::Unified {
+                priority_classes: 2,
+                averaging: Averaging::RunningMean,
+            },
+        ] {
+            assert_eq!(intern_discipline_label(spec.label()), Ok(spec.label()));
+        }
+        assert!(intern_discipline_label("EvilSched").is_err());
     }
 
     #[test]

@@ -9,13 +9,14 @@
 //! the FIFO algorithm."  The link runs at 83.5 % utilization.
 
 use ispn_scenario::{
-    FlowDef, LinkProfile, NullObserver, PointResult, ScenarioBuilder, ScenarioSet, SourceSpec,
-    SweepObserver, SweepReport, SweepRunner,
+    json_escape, wire_f64, FlowDef, JsonValue, LinkProfile, NullObserver, PointResult,
+    ScenarioBuilder, ScenarioSet, SourceSpec, SweepExec, SweepObserver, SweepReport, SweepRunner,
+    WireError, WireResult,
 };
 use ispn_sim::SimTime;
 
 use crate::config::PaperConfig;
-use crate::support::DisciplineKind;
+use crate::support::{intern_discipline_label, DisciplineKind};
 
 /// Number of flows sharing the single link.
 pub const NUM_FLOWS: usize = 10;
@@ -36,6 +37,32 @@ pub struct Table1Row {
     pub all_flows_worst_p999: f64,
     /// Measured link utilization.
     pub utilization: f64,
+}
+
+impl WireResult for Table1Row {
+    fn to_wire_json(&self) -> String {
+        format!(
+            "{{\"scheduler\":\"{}\",\"mean\":{},\"p999\":{},\"all_flows_mean\":{},\
+             \"all_flows_worst_p999\":{},\"utilization\":{}}}",
+            json_escape(self.scheduler),
+            wire_f64(self.mean),
+            wire_f64(self.p999),
+            wire_f64(self.all_flows_mean),
+            wire_f64(self.all_flows_worst_p999),
+            wire_f64(self.utilization),
+        )
+    }
+
+    fn from_wire_json(v: &JsonValue) -> Result<Self, WireError> {
+        Ok(Table1Row {
+            scheduler: intern_discipline_label(v.field("scheduler")?.as_str()?)?,
+            mean: v.field("mean")?.as_f64_or_nan()?,
+            p999: v.field("p999")?.as_f64_or_nan()?,
+            all_flows_mean: v.field("all_flows_mean")?.as_f64_or_nan()?,
+            all_flows_worst_p999: v.field("all_flows_worst_p999")?.as_f64_or_nan()?,
+            utilization: v.field("utilization")?.as_f64_or_nan()?,
+        })
+    }
 }
 
 /// Result of the Table-1 experiment.
@@ -104,11 +131,30 @@ pub fn run_reports(
     runner: &SweepRunner,
     observer: &dyn SweepObserver<Table1Row>,
 ) -> Vec<SweepReport<PointResult<Table1Row>>> {
-    runner.run_streaming(
+    exec_reports(cfg, &SweepExec::InProcess(*runner), observer)
+}
+
+/// [`run_reports`] generalized over the execution level: in-process
+/// threads or distributed worker subprocesses, byte-identical either way.
+pub fn exec_reports(
+    cfg: &PaperConfig,
+    exec: &SweepExec,
+    observer: &dyn SweepObserver<Table1Row>,
+) -> Vec<SweepReport<PointResult<Table1Row>>> {
+    exec.run_streaming(
         &scenario_set(),
         |&(discipline,)| run_single_link(cfg, discipline),
         observer,
     )
+}
+
+/// Serve Table-1 sweep points to a distributed parent over stdin/stdout
+/// (the `table1` bin's `--sweep-worker` mode; the parent passes the same
+/// configuration flags so both sides build the same sweep).
+pub fn serve_worker(cfg: &PaperConfig) -> std::io::Result<()> {
+    ispn_scenario::serve_worker(&scenario_set(), |&(discipline,)| {
+        run_single_link(cfg, discipline)
+    })
 }
 
 /// Run the full Table-1 comparison through the given sweep runner; each
@@ -163,6 +209,26 @@ mod tests {
             fifo.p999,
             wfq.p999
         );
+    }
+
+    #[test]
+    fn rows_round_trip_the_wire() {
+        let row = Table1Row {
+            scheduler: "WFQ",
+            mean: 3.16,
+            p999: 53.86,
+            all_flows_mean: 1.0 / 3.0,
+            all_flows_worst_p999: 60.0,
+            utilization: 0.835,
+        };
+        let json = row.to_wire_json();
+        let back = Table1Row::from_wire_json(&JsonValue::parse(&json).unwrap()).unwrap();
+        assert_eq!(back.to_wire_json(), json);
+        assert_eq!(back.scheduler, "WFQ");
+        assert_eq!(back.all_flows_mean, row.all_flows_mean);
+        // Unknown scheduler labels are schema errors, not panics.
+        let hostile = json.replace("WFQ", "EvilSched");
+        assert!(Table1Row::from_wire_json(&JsonValue::parse(&hostile).unwrap()).is_err());
     }
 
     #[test]

@@ -10,13 +10,14 @@
 
 use ispn_core::FlowId;
 use ispn_scenario::{
-    FlowDef, NullObserver, PointResult, ScenarioBuilder, ScenarioSet, Sim, SourceSpec,
-    SweepObserver, SweepReport, SweepRunner, TopologySpec,
+    json_escape, wire_f64, FlowDef, JsonValue, NullObserver, PointResult, ScenarioBuilder,
+    ScenarioSet, Sim, SourceSpec, SweepExec, SweepObserver, SweepReport, SweepRunner, TopologySpec,
+    WireError, WireResult,
 };
 
 use crate::config::PaperConfig;
 use crate::fig1::{self, Fig1Network, FlowPlacement};
-use crate::support::DisciplineKind;
+use crate::support::{intern_discipline_label, DisciplineKind};
 
 /// One cell group of Table 2: the sample flow of one path length under one
 /// discipline (delays in packet transmission times).
@@ -30,6 +31,27 @@ pub struct Table2Cell {
     pub mean: f64,
     /// 99.9th-percentile queueing delay of the sample flow.
     pub p999: f64,
+}
+
+impl WireResult for Table2Cell {
+    fn to_wire_json(&self) -> String {
+        format!(
+            "{{\"scheduler\":\"{}\",\"path_length\":{},\"mean\":{},\"p999\":{}}}",
+            json_escape(self.scheduler),
+            self.path_length,
+            wire_f64(self.mean),
+            wire_f64(self.p999),
+        )
+    }
+
+    fn from_wire_json(v: &JsonValue) -> Result<Self, WireError> {
+        Ok(Table2Cell {
+            scheduler: intern_discipline_label(v.field("scheduler")?.as_str()?)?,
+            path_length: v.field("path_length")?.as_usize()?,
+            mean: v.field("mean")?.as_f64_or_nan()?,
+            p999: v.field("p999")?.as_f64_or_nan()?,
+        })
+    }
 }
 
 /// The full Table-2 result: cells for every (discipline, path length) pair
@@ -52,6 +74,25 @@ pub struct Table2Point {
     pub cells: Vec<Table2Cell>,
     /// Mean utilization over the four inter-switch links.
     pub utilization: f64,
+}
+
+impl WireResult for Table2Point {
+    fn to_wire_json(&self) -> String {
+        format!(
+            "{{\"scheduler\":\"{}\",\"cells\":{},\"utilization\":{}}}",
+            json_escape(self.scheduler),
+            self.cells.to_wire_json(),
+            wire_f64(self.utilization),
+        )
+    }
+
+    fn from_wire_json(v: &JsonValue) -> Result<Self, WireError> {
+        Ok(Table2Point {
+            scheduler: intern_discipline_label(v.field("scheduler")?.as_str()?)?,
+            cells: Vec::from_wire_json(v.field("cells")?)?,
+            utilization: v.field("utilization")?.as_f64_or_nan()?,
+        })
+    }
 }
 
 impl Table2 {
@@ -98,6 +139,41 @@ fn sample_flow(flows: &[(FlowPlacement, FlowId)], path_length: usize) -> FlowId 
         .expect("every path length 1-4 exists in the placement")
 }
 
+/// Run one Table-2 sweep point: the Figure-1 chain under one discipline,
+/// summarized into the discipline's four path-length cells.
+pub fn run_point(cfg: &PaperConfig, discipline: DisciplineKind) -> Table2Point {
+    let (mut sim, flows) = run_chain(cfg, discipline);
+    let net = sim.network_mut();
+    let pt = cfg.packet_time().as_secs_f64();
+    let cells: Vec<Table2Cell> = (1..=4)
+        .map(|path_length| {
+            let flow = sample_flow(&flows, path_length);
+            let r = net.monitor_mut().flow_report(flow);
+            Table2Cell {
+                scheduler: discipline.label(),
+                path_length,
+                mean: r.mean_delay / pt,
+                p999: r.p999_delay / pt,
+            }
+        })
+        .collect();
+    let utilization: f64 = (0..fig1::NUM_LINKS)
+        .map(|i| net.monitor().link_report(i).utilization)
+        .sum::<f64>()
+        / fig1::NUM_LINKS as f64;
+    Table2Point {
+        scheduler: discipline.label(),
+        cells,
+        utilization,
+    }
+}
+
+/// The discipline axis of the Table-2 sweep (WFQ, FIFO, FIFO+ in the
+/// paper's order).
+pub fn scenario_set() -> ScenarioSet<(DisciplineKind,)> {
+    ScenarioSet::over("discipline", DisciplineKind::table2_set())
+}
+
 /// Run the Table-2 discipline sweep through the given runner, streaming
 /// each point's report to `observer` as it completes; the checked,
 /// axis-tagged reports feed [`crate::report::render_table2`].
@@ -106,37 +182,27 @@ pub fn run_reports(
     runner: &SweepRunner,
     observer: &dyn SweepObserver<Table2Point>,
 ) -> Vec<SweepReport<PointResult<Table2Point>>> {
-    let set = ScenarioSet::over("discipline", DisciplineKind::table2_set());
-    runner.run_streaming(
-        &set,
-        |&(discipline,)| {
-            let (mut sim, flows) = run_chain(cfg, discipline);
-            let net = sim.network_mut();
-            let pt = cfg.packet_time().as_secs_f64();
-            let cells: Vec<Table2Cell> = (1..=4)
-                .map(|path_length| {
-                    let flow = sample_flow(&flows, path_length);
-                    let r = net.monitor_mut().flow_report(flow);
-                    Table2Cell {
-                        scheduler: discipline.label(),
-                        path_length,
-                        mean: r.mean_delay / pt,
-                        p999: r.p999_delay / pt,
-                    }
-                })
-                .collect();
-            let utilization: f64 = (0..fig1::NUM_LINKS)
-                .map(|i| net.monitor().link_report(i).utilization)
-                .sum::<f64>()
-                / fig1::NUM_LINKS as f64;
-            Table2Point {
-                scheduler: discipline.label(),
-                cells,
-                utilization,
-            }
-        },
+    exec_reports(cfg, &SweepExec::InProcess(*runner), observer)
+}
+
+/// [`run_reports`] generalized over the execution level: in-process
+/// threads or distributed worker subprocesses, byte-identical either way.
+pub fn exec_reports(
+    cfg: &PaperConfig,
+    exec: &SweepExec,
+    observer: &dyn SweepObserver<Table2Point>,
+) -> Vec<SweepReport<PointResult<Table2Point>>> {
+    exec.run_streaming(
+        &scenario_set(),
+        |&(discipline,)| run_point(cfg, discipline),
         observer,
     )
+}
+
+/// Serve Table-2 sweep points to a distributed parent over stdin/stdout
+/// (the `table2` bin's `--sweep-worker` mode).
+pub fn serve_worker(cfg: &PaperConfig) -> std::io::Result<()> {
+    ispn_scenario::serve_worker(&scenario_set(), |&(discipline,)| run_point(cfg, discipline))
 }
 
 /// Run the full Table-2 comparison through the given sweep runner: one

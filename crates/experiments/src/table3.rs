@@ -73,6 +73,71 @@ impl Table3 {
     }
 }
 
+impl ispn_scenario::WireResult for Table3Row {
+    fn to_wire_json(&self) -> String {
+        use ispn_scenario::{json_escape, wire_f64};
+        format!(
+            "{{\"kind\":\"{}\",\"path_length\":{},\"mean\":{},\"p999\":{},\"max\":{},\
+             \"pg_bound\":{}}}",
+            json_escape(self.kind.label()),
+            self.path_length,
+            wire_f64(self.mean),
+            wire_f64(self.p999),
+            wire_f64(self.max),
+            match self.pg_bound {
+                Some(b) => wire_f64(b),
+                None => "null".to_string(),
+            },
+        )
+    }
+
+    fn from_wire_json(v: &ispn_scenario::JsonValue) -> Result<Self, ispn_scenario::WireError> {
+        let label = v.field("kind")?.as_str()?;
+        let kind = FlowKind::from_label(label)
+            .ok_or_else(|| ispn_scenario::WireError::new(format!("unknown flow kind {label:?}")))?;
+        let pg_bound = v.field("pg_bound")?;
+        Ok(Table3Row {
+            kind,
+            path_length: v.field("path_length")?.as_usize()?,
+            mean: v.field("mean")?.as_f64_or_nan()?,
+            p999: v.field("p999")?.as_f64_or_nan()?,
+            max: v.field("max")?.as_f64_or_nan()?,
+            // A guaranteed row's bound is always finite, so `null` can
+            // only mean "no bound" here.
+            pg_bound: if pg_bound.is_null() {
+                None
+            } else {
+                Some(pg_bound.as_f64()?)
+            },
+        })
+    }
+}
+
+impl ispn_scenario::WireResult for Table3 {
+    fn to_wire_json(&self) -> String {
+        use ispn_scenario::wire_f64;
+        format!(
+            "{{\"rows\":{},\"datagram_drop_rate\":{},\"mean_utilization\":{},\
+             \"realtime_utilization\":{},\"tcp_goodput_pps\":{}}}",
+            self.rows.to_wire_json(),
+            wire_f64(self.datagram_drop_rate),
+            wire_f64(self.mean_utilization),
+            wire_f64(self.realtime_utilization),
+            self.tcp_goodput_pps.to_wire_json(),
+        )
+    }
+
+    fn from_wire_json(v: &ispn_scenario::JsonValue) -> Result<Self, ispn_scenario::WireError> {
+        Ok(Table3 {
+            rows: Vec::from_wire_json(v.field("rows")?)?,
+            datagram_drop_rate: v.field("datagram_drop_rate")?.as_f64_or_nan()?,
+            mean_utilization: v.field("mean_utilization")?.as_f64_or_nan()?,
+            realtime_utilization: v.field("realtime_utilization")?.as_f64_or_nan()?,
+            tcp_goodput_pps: Vec::from_wire_json(v.field("tcp_goodput_pps")?)?,
+        })
+    }
+}
+
 /// The WFQ clock rate (bits/s) each guaranteed kind reserves.
 pub fn clock_rate_bps(cfg: &PaperConfig, kind: FlowKind) -> f64 {
     match kind {
@@ -211,18 +276,48 @@ pub fn run_seeds_reports(
     runner: &ispn_scenario::SweepRunner,
     observer: &dyn ispn_scenario::SweepObserver<(u64, Table3)>,
 ) -> Vec<ispn_scenario::SweepReport<ispn_scenario::PointResult<(u64, Table3)>>> {
-    let set = ispn_scenario::ScenarioSet::over("seed", seeds.to_vec());
-    runner.run_streaming(
-        &set,
-        |&(seed,)| {
-            let cfg = PaperConfig {
-                seed,
-                ..cfg.clone()
-            };
-            (seed, run(&cfg))
-        },
+    run_seeds_exec(
+        cfg,
+        seeds,
+        &ispn_scenario::SweepExec::InProcess(*runner),
         observer,
     )
+}
+
+/// The seed axis of the Table-3 replication sweep.
+pub fn seed_set(seeds: &[u64]) -> ispn_scenario::ScenarioSet<(u64,)> {
+    ispn_scenario::ScenarioSet::over("seed", seeds.to_vec())
+}
+
+/// [`run_seeds_reports`] generalized over the execution level: in-process
+/// threads or distributed worker subprocesses, byte-identical either way.
+pub fn run_seeds_exec(
+    cfg: &PaperConfig,
+    seeds: &[u64],
+    exec: &ispn_scenario::SweepExec,
+    observer: &dyn ispn_scenario::SweepObserver<(u64, Table3)>,
+) -> Vec<ispn_scenario::SweepReport<ispn_scenario::PointResult<(u64, Table3)>>> {
+    exec.run_streaming(
+        &seed_set(seeds),
+        |&(seed,)| run_seed_point(cfg, seed),
+        observer,
+    )
+}
+
+/// Run one seed-replication point.
+fn run_seed_point(cfg: &PaperConfig, seed: u64) -> (u64, Table3) {
+    let cfg = PaperConfig {
+        seed,
+        ..cfg.clone()
+    };
+    (seed, run(&cfg))
+}
+
+/// Serve Table-3 seed-replication points to a distributed parent over
+/// stdin/stdout (the `table3` bin's `--sweep-worker` mode; the parent
+/// passes the same `--seeds N` so both sides build the same axis).
+pub fn serve_worker(cfg: &PaperConfig, seeds: &[u64]) -> std::io::Result<()> {
+    ispn_scenario::serve_worker(&seed_set(seeds), |&(seed,)| run_seed_point(cfg, seed))
 }
 
 /// Replicate Table 3 across seeds — the paper reports one random run; a

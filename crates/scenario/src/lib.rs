@@ -35,7 +35,13 @@
 //!   ([`SweepRunner::run_streaming`] + [`SweepObserver`]) emits every
 //!   point's report the moment it completes, and per-point
 //!   `catch_unwind` turns a panicking point into a structured
-//!   [`SweepError`] instead of aborting its siblings,
+//!   [`SweepError`] instead of aborting its siblings.  [`DistRunner`]
+//!   scales the same contract past one process: points fan across
+//!   supervised `--sweep-worker` subprocesses over the line-framed JSON
+//!   protocol of [`sweep::wire`], byte-identical to the in-thread
+//!   runners, with crashed / wedged workers becoming per-point
+//!   `SweepError`s while their remaining points are redistributed
+//!   ([`SweepExec`] lets callers pick the level per run),
 //! * [`SweepTable`] — axis-aware report rendering: tables whose leading
 //!   columns come straight from the sweep's axis tags (plus the matching
 //!   checked JSON in [`sweep_to_json_checked`]), replacing per-experiment
@@ -83,6 +89,10 @@ pub use report::{
     LinkSummary, MeasurementPlan, ScenarioReport, SignalingSummary,
 };
 pub use sim::{ChurnFlowRecord, Sim};
+pub use sweep::dist::{DistRunner, SweepExec, WorkerCommand};
+pub use sweep::testing::{FaultMode, FaultPlan};
+pub use sweep::wire::{wire_f64, JsonValue, WireError, WireResult};
+pub use sweep::worker::{serve_worker, WORKER_FLAG};
 pub use sweep::{
     failed_points, sweep_to_json, sweep_to_json_checked, AxisValue, NullObserver, PointResult,
     ProgressObserver, ScenarioSet, SweepChannel, SweepError, SweepObserver, SweepPoint,

@@ -21,6 +21,12 @@
 //! * [`SweepReport`] — one point's result, tagged with the point's index
 //!   and axis labels, serializable to JSON (strings escaped through
 //!   [`json_escape`](crate::report::json_escape)).
+//! * [`dist::DistRunner`] — the process-level flavor: fan the same points
+//!   across supervised **worker subprocesses** speaking the line-framed
+//!   JSON protocol of [`wire`], byte-identical to the in-thread runners.
+//!   [`worker::serve_worker`] is the loop each experiment bin runs under
+//!   `--sweep-worker`, and [`testing::FaultPlan`] injects worker faults
+//!   for the supervision tests.
 //!
 //! # Streaming and fault isolation
 //!
@@ -64,6 +70,11 @@
 //! assert_eq!(reports[3].result, "0.8:10");
 //! assert_eq!(reports[3].tag("flows"), Some("10"));
 //! ```
+
+pub mod dist;
+pub mod testing;
+pub mod wire;
+pub mod worker;
 
 use std::fmt;
 use std::panic::AssertUnwindSafe;
@@ -340,7 +351,7 @@ impl std::error::Error for SweepError {}
 pub type PointResult<R> = Result<R, SweepError>;
 
 /// Render a caught panic payload as text.
-fn panic_payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_payload_text(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -520,10 +531,23 @@ impl ProgressObserver {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Completions counted so far.  Every point is counted **exactly
+    /// once**, whether it ran in-thread or in a worker process and whether
+    /// it succeeded or was poisoned — a distributed runner reports each
+    /// point's final outcome once, even when a worker death forced its
+    /// siblings onto other workers.
+    pub fn completed(&self) -> usize {
+        self.done.load(Ordering::SeqCst)
+    }
 }
 
 impl<R> SweepObserver<R> for ProgressObserver {
     fn sweep_started(&self, total: usize) {
+        // Reset the completion count: an observer reused across runs used
+        // to keep counting from the previous sweep's total, so `[done/total]`
+        // overflowed and `completed()` double-counted.
+        self.done.store(0, Ordering::SeqCst);
         self.total.store(total, Ordering::SeqCst);
     }
 

@@ -1,0 +1,669 @@
+//! The process-level sweep runner: fan scenario points across supervised
+//! worker subprocesses, byte-identical to the in-thread runners.
+//!
+//! [`DistRunner`] implements the same contract as
+//! [`SweepRunner`](super::SweepRunner) — results in point order, each
+//! point's slot carrying `Ok(result)` or a structured
+//! [`SweepError`](super::SweepError), every completion streamed to the
+//! [`SweepObserver`](super::SweepObserver) the moment it happens — but
+//! runs each point in a **worker subprocess** speaking the line-framed
+//! JSON protocol of [`wire`](super::wire).  The worker is the same
+//! experiment binary re-invoked with `--sweep-worker` (see
+//! [`worker::serve_worker`](super::worker::serve_worker)); it rebuilds the
+//! identical [`ScenarioSet`](super::ScenarioSet) from its own command
+//! line, so requests carry only point indices plus the axis tags both
+//! sides verify against each other.
+//!
+//! # Supervision
+//!
+//! Workers are expendable.  Each of the `N` supervisor threads owns one
+//! subprocess at a time and pulls points off a shared work-stealing
+//! counter, so a dead worker's **remaining** points are automatically
+//! redistributed to whichever workers survive.  Whatever goes wrong while
+//! a point is in flight — the worker exits or is killed, emits a
+//! malformed frame, overruns the per-point [`deadline`](DistRunner::deadline),
+//! or cannot even be spawned — becomes that point's `SweepError` (index,
+//! tags, a payload describing the fault); the misbehaving process is
+//! killed and reaped, a replacement is spawned for the supervisor's next
+//! point, and every sibling point still completes.  A panic *inside* the
+//! point's closure is caught by the worker itself and travels back as an
+//! error frame, exactly like the in-process runner's `catch_unwind` —
+//! the worker keeps serving.
+//!
+//! Because each fault consumes exactly one point and poisoned points are
+//! never re-dispatched, supervision terminates even when every spawn
+//! fails: the sweep degrades to one structured error per point rather
+//! than hanging or aborting.
+//!
+//! # Byte identity
+//!
+//! A scenario point is a pure function of its parameters, so running it
+//! in another process changes nothing *if* the result survives the pipe
+//! losslessly — which is what [`WireResult`](super::wire::WireResult)
+//! guarantees (exact float and integer round-trips).  The
+//! `tests/tests/dist_sweep.rs` harness pins this: distributed output is
+//! byte-identical to [`SweepRunner::run`](super::SweepRunner::run) for
+//! all six experiments, under worker counts 1..=4.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::Duration;
+
+use super::wire::{self, WireResult, WorkerFrame};
+use super::worker::WORKER_ID_ENV;
+use super::{
+    NullObserver, PointResult, ScenarioSet, SweepError, SweepObserver, SweepReport, SweepRunner,
+};
+
+/// How a [`DistRunner`] launches one worker subprocess: program, fixed
+/// arguments and extra environment variables.
+///
+/// The typical command is the experiment binary itself re-invoked with
+/// `--sweep-worker` plus whatever configuration flags the parent run
+/// received (so both sides build the same sweep):
+///
+/// ```no_run
+/// use ispn_scenario::WorkerCommand;
+/// let cmd = WorkerCommand::current_exe().arg("--sweep-worker").arg("--fast");
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkerCommand {
+    program: PathBuf,
+    args: Vec<String>,
+    envs: Vec<(String, String)>,
+}
+
+impl WorkerCommand {
+    /// A command running `program`.
+    pub fn new(program: impl Into<PathBuf>) -> Self {
+        WorkerCommand {
+            program: program.into(),
+            args: Vec::new(),
+            envs: Vec::new(),
+        }
+    }
+
+    /// A command re-invoking the current executable (the standard shape:
+    /// every experiment bin doubles as its own worker).
+    ///
+    /// # Panics
+    /// Panics if the current executable's path cannot be determined.
+    pub fn current_exe() -> Self {
+        WorkerCommand::new(std::env::current_exe().expect("current executable path"))
+    }
+
+    /// Append one argument.
+    pub fn arg(mut self, arg: impl Into<String>) -> Self {
+        self.args.push(arg.into());
+        self
+    }
+
+    /// Append several arguments.
+    pub fn args<I: IntoIterator<Item = S>, S: Into<String>>(mut self, args: I) -> Self {
+        self.args.extend(args.into_iter().map(Into::into));
+        self
+    }
+
+    /// Set one environment variable for the worker (on top of the parent's
+    /// inherited environment).
+    pub fn env(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.envs.push((key.into(), value.into()));
+        self
+    }
+
+    /// The program path (for diagnostics).
+    pub fn program(&self) -> &PathBuf {
+        &self.program
+    }
+
+    fn spawn(&self, worker_id: usize) -> std::io::Result<Child> {
+        let mut cmd = Command::new(&self.program);
+        cmd.args(&self.args)
+            .env(WORKER_ID_ENV, worker_id.to_string())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        for (k, v) in &self.envs {
+            cmd.env(k, v);
+        }
+        cmd.spawn()
+    }
+}
+
+/// One live worker subprocess: its stdin, and a channel fed by a detached
+/// reader thread so responses can be awaited with a timeout.
+struct LiveWorker {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    lines: mpsc::Receiver<String>,
+}
+
+impl LiveWorker {
+    /// Kill the process (ignoring "already dead") and reap it, returning a
+    /// human-readable description of how it ended.
+    fn kill_and_reap(mut self) -> String {
+        let _ = self.child.kill();
+        match self.child.wait() {
+            Ok(status) => status.to_string(),
+            Err(e) => format!("unwaitable ({e})"),
+        }
+    }
+
+    /// Reap a worker that already reached EOF, describing its exit.
+    fn reap(mut self) -> String {
+        match self.child.wait() {
+            Ok(status) => status.to_string(),
+            Err(e) => format!("unwaitable ({e})"),
+        }
+    }
+
+    /// Close stdin so the serve loop exits, then reap — killing only if
+    /// the worker ignores EOF for more than a grace period.
+    fn shutdown(mut self) {
+        drop(self.stdin.take());
+        for _ in 0..40 {
+            match self.child.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) => std::thread::sleep(Duration::from_millis(50)),
+                Err(_) => break,
+            }
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// What awaiting one worker line produced.
+enum Await {
+    Line(String),
+    Eof,
+    TimedOut,
+}
+
+/// Consecutive spawn/handshake failures after which a supervisor stops
+/// respawning and fails its remaining claims with the memoized payload.
+const FATAL_SPAWN_FAILURES: u32 = 3;
+
+/// One supervisor thread's state: its current worker subprocess plus the
+/// bookkeeping that turns a *deterministic* spawn/handshake failure into a
+/// fast structured failure instead of one spawn cycle per remaining point.
+struct Supervisor {
+    live: Option<LiveWorker>,
+    consecutive_spawn_failures: u32,
+    fatal: Option<String>,
+}
+
+/// Fans the points of a [`ScenarioSet`](super::ScenarioSet) across
+/// supervised worker subprocesses.  See the [module docs](self) for the
+/// protocol and supervision semantics.
+#[derive(Debug, Clone)]
+pub struct DistRunner {
+    workers: usize,
+    command: WorkerCommand,
+    deadline: Option<Duration>,
+}
+
+impl DistRunner {
+    /// Fan points across `workers` subprocesses (at least one) launched
+    /// with `command`.
+    pub fn new(workers: usize, command: WorkerCommand) -> Self {
+        DistRunner {
+            workers: workers.max(1),
+            command,
+            deadline: None,
+        }
+    }
+
+    /// Set the per-point deadline: a worker that takes longer than this to
+    /// answer one request (or to complete the startup handshake) is
+    /// declared wedged, killed, and the in-flight point poisoned.  Off by
+    /// default — an undistributed sweep has no timeout either, and a
+    /// healthy long point must not be mistaken for a hang.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The configured worker-process count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Distributed [`SweepRunner::run`](super::SweepRunner::run): results
+    /// in point order, infallible signature.
+    ///
+    /// # Panics
+    /// Panics with the failing point's index, tags and fault description
+    /// if any point was poisoned — after the whole sweep finished.  Use
+    /// [`try_run`](DistRunner::try_run) (or
+    /// [`failed_points`](super::failed_points) on the streaming results)
+    /// for checked exits.
+    pub fn run<P, R>(&self, set: &ScenarioSet<P>) -> Vec<SweepReport<R>>
+    where
+        P: Sync,
+        R: WireResult + Send,
+    {
+        self.try_run(set)
+            .into_iter()
+            .map(SweepReport::expect_ok)
+            .collect()
+    }
+
+    /// Distributed [`SweepRunner::try_run`](super::SweepRunner::try_run):
+    /// every point's slot carries `Ok(result)` or the [`SweepError`]
+    /// describing its fault; a dead worker never kills the sweep.
+    pub fn try_run<P, R>(&self, set: &ScenarioSet<P>) -> Vec<SweepReport<PointResult<R>>>
+    where
+        P: Sync,
+        R: WireResult + Send,
+    {
+        self.run_streaming(set, &NullObserver)
+    }
+
+    /// The streaming core: run every point in a worker subprocess, handing
+    /// each completed point's report to `observer` the moment its frame
+    /// arrives (completion order, from the supervising thread), then
+    /// return the full checked report list in sweep order.  Each point's
+    /// final outcome is reported **exactly once**, even when worker deaths
+    /// force redistribution.
+    pub fn run_streaming<P, R, O>(
+        &self,
+        set: &ScenarioSet<P>,
+        observer: &O,
+    ) -> Vec<SweepReport<PointResult<R>>>
+    where
+        P: Sync,
+        R: WireResult + Send,
+        O: SweepObserver<R> + ?Sized,
+    {
+        let n = set.points().len();
+        observer.sweep_started(n);
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers.min(n);
+        let slots: Vec<Mutex<Option<SweepReport<PointResult<R>>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        // Supervisors that have not yet bowed out as fatal: a fatal slot
+        // stops claiming points while healthy siblings remain (so it
+        // cannot race them to the queue and starve the sweep into
+        // errors), and only the last active supervisor drains the
+        // remaining queue with its memoized error so every slot is still
+        // filled.
+        let active = AtomicUsize::new(workers);
+        std::thread::scope(|scope| {
+            for worker_id in 0..workers {
+                let slots = &slots;
+                let next = &next;
+                let active = &active;
+                scope.spawn(move || {
+                    let mut sup = Supervisor {
+                        live: None,
+                        consecutive_spawn_failures: 0,
+                        fatal: None,
+                    };
+                    let mut counted_out = false;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let tags = &set.points()[i].tags;
+                        let result = self.run_point(&mut sup, worker_id, n, i, tags);
+                        let report = SweepReport {
+                            index: i,
+                            tags: tags.clone(),
+                            result: result.map_err(|payload| SweepError {
+                                index: i,
+                                tags: tags.clone(),
+                                payload,
+                            }),
+                        };
+                        observer.point_completed(&report);
+                        *slots[i].lock().expect("result slot poisoned") = Some(report);
+                        if sup.fatal.is_some() && !counted_out {
+                            counted_out = true;
+                            if active.fetch_sub(1, Ordering::SeqCst) > 1 {
+                                // Healthy siblings remain: leave the rest
+                                // of the queue to them.
+                                break;
+                            }
+                            // Last active supervisor: keep claiming so the
+                            // remaining slots are filled (with the memoized
+                            // error) instead of hanging the collect below.
+                        }
+                    }
+                    if let Some(worker) = sup.live.take() {
+                        worker.shutdown();
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every point produced a report (faults are caught per point)")
+            })
+            .collect()
+    }
+
+    /// Run one point on the supervisor's worker, spawning or replacing the
+    /// subprocess as needed.  `Err` carries the fault payload; the worker
+    /// slot is `None` afterwards iff the worker was lost.
+    ///
+    /// A worker found dead at *request* time (the write fails before the
+    /// point was ever accepted) is replaced and the send retried once:
+    /// points are pure, and a point that never started cannot have side
+    /// effects, so the retry cannot double-run anything — it only stops an
+    /// idle-worker death from poisoning a point that no process touched.
+    fn run_point<R: WireResult>(
+        &self,
+        sup: &mut Supervisor,
+        worker_id: usize,
+        total_points: usize,
+        index: usize,
+        tags: &[(String, String)],
+    ) -> Result<R, String> {
+        let request = wire::encode_request(index, tags);
+        for attempt in 0.. {
+            if let Some(payload) = &sup.fatal {
+                return Err(payload.clone());
+            }
+            if sup.live.is_none() {
+                match self.spawn_worker(worker_id, total_points) {
+                    Ok(worker) => {
+                        sup.consecutive_spawn_failures = 0;
+                        sup.live = Some(worker);
+                    }
+                    Err(payload) => {
+                        // A spawn or handshake failure is usually
+                        // deterministic (bad command, configuration skew);
+                        // after a few consecutive ones, stop burning a
+                        // spawn/handshake cycle per remaining point and
+                        // fail the supervisor's future claims with the
+                        // memoized payload.
+                        sup.consecutive_spawn_failures += 1;
+                        if sup.consecutive_spawn_failures >= FATAL_SPAWN_FAILURES {
+                            sup.fatal = Some(format!(
+                                "{payload} (giving up on this worker slot after \
+                                 {FATAL_SPAWN_FAILURES} consecutive spawn/handshake failures)"
+                            ));
+                        }
+                        return Err(payload);
+                    }
+                }
+            }
+            let worker = sup.live.as_mut().expect("worker just ensured");
+
+            // Send the request; a write failure means the worker died idle.
+            let write = worker
+                .stdin
+                .as_mut()
+                .expect("worker stdin held until shutdown")
+                .write_all(format!("{request}\n").as_bytes())
+                .and_then(|()| worker.stdin.as_mut().expect("stdin").flush());
+            match write {
+                Ok(()) => break,
+                Err(_) if attempt == 0 => {
+                    // Died between points: replace and retry the send.
+                    let _ = sup.live.take().expect("worker present").kill_and_reap();
+                }
+                Err(_) => {
+                    let status = sup.live.take().expect("worker present").kill_and_reap();
+                    return Err(format!(
+                        "worker exited ({status}) before accepting the point"
+                    ));
+                }
+            }
+        }
+        let live = &mut sup.live;
+        let worker = live.as_mut().expect("request was accepted");
+
+        match self.await_line(worker) {
+            Await::TimedOut => {
+                let deadline = self.deadline.expect("timeout implies a deadline");
+                let status = live.take().expect("worker present").kill_and_reap();
+                Err(format!(
+                    "worker exceeded the {:.3}s point deadline (killed: {status})",
+                    deadline.as_secs_f64()
+                ))
+            }
+            Await::Eof => {
+                let status = live.take().expect("worker present").reap();
+                Err(format!("worker exited ({status}) while running the point"))
+            }
+            Await::Line(line) => match wire::parse_worker_frame(&line) {
+                Err(e) => {
+                    let status = live.take().expect("worker present").kill_and_reap();
+                    Err(format!(
+                        "malformed frame from worker ({e}; killed: {status}): {}",
+                        truncate_for_log(&line)
+                    ))
+                }
+                Ok(WorkerFrame::Error { index: j, payload }) if j == index => Err(payload),
+                Ok(WorkerFrame::Report { index: j, body }) if j == index => {
+                    match R::from_wire_json(&body) {
+                        Ok(result) => Ok(result),
+                        Err(e) => {
+                            let status = live.take().expect("worker present").kill_and_reap();
+                            Err(format!(
+                                "undecodable report body from worker ({e}; killed: {status})"
+                            ))
+                        }
+                    }
+                }
+                Ok(frame) => {
+                    let status = live.take().expect("worker present").kill_and_reap();
+                    Err(format!(
+                        "protocol violation: worker answered {frame:?} while point {index} \
+                         was in flight (killed: {status})"
+                    ))
+                }
+            },
+        }
+    }
+
+    /// Spawn one worker and complete the hello handshake.
+    fn spawn_worker(&self, worker_id: usize, total_points: usize) -> Result<LiveWorker, String> {
+        let mut child = self
+            .command
+            .spawn(worker_id)
+            .map_err(|e| format!("could not spawn worker {:?}: {e}", self.command.program))?;
+        let stdin = child.stdin.take().expect("stdin was piped");
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let (tx, rx) = mpsc::channel();
+        // Detached reader: forwards worker lines until EOF.  It holds only
+        // the pipe and the sender, so it dies with the worker.
+        std::thread::spawn(move || {
+            let mut reader = BufReader::new(stdout);
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {
+                        let trimmed = line.trim_end_matches(['\n', '\r']).to_string();
+                        if tx.send(trimmed).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+        let mut worker = LiveWorker {
+            child,
+            stdin: Some(stdin),
+            lines: rx,
+        };
+        match self.await_line(&mut worker) {
+            Await::TimedOut => {
+                let status = worker.kill_and_reap();
+                Err(format!(
+                    "worker did not complete the handshake within the deadline (killed: {status})"
+                ))
+            }
+            Await::Eof => {
+                let status = worker.reap();
+                Err(format!("worker exited ({status}) before the handshake"))
+            }
+            Await::Line(line) => match wire::parse_worker_frame(&line) {
+                Ok(WorkerFrame::Hello { protocol, points })
+                    if protocol == wire::PROTOCOL_VERSION && points == total_points =>
+                {
+                    Ok(worker)
+                }
+                Ok(WorkerFrame::Hello { protocol, points }) => {
+                    let status = worker.kill_and_reap();
+                    Err(format!(
+                        "worker handshake mismatch: worker speaks protocol {protocol} with \
+                         {points} points, parent expects protocol {} with {total_points} points \
+                         (parent/worker configuration mismatch; killed: {status})",
+                        wire::PROTOCOL_VERSION
+                    ))
+                }
+                Ok(frame) => {
+                    let _ = worker.kill_and_reap();
+                    Err(format!("worker sent {frame:?} instead of a hello frame"))
+                }
+                Err(e) => {
+                    let _ = worker.kill_and_reap();
+                    Err(format!(
+                        "malformed hello frame ({e}): {}",
+                        truncate_for_log(&line)
+                    ))
+                }
+            },
+        }
+    }
+
+    /// Wait for the worker's next line, honoring the configured deadline.
+    fn await_line(&self, worker: &mut LiveWorker) -> Await {
+        match self.deadline {
+            Some(deadline) => match worker.lines.recv_timeout(deadline) {
+                Ok(line) => Await::Line(line),
+                Err(mpsc::RecvTimeoutError::Timeout) => Await::TimedOut,
+                Err(mpsc::RecvTimeoutError::Disconnected) => Await::Eof,
+            },
+            None => match worker.lines.recv() {
+                Ok(line) => Await::Line(line),
+                Err(_) => Await::Eof,
+            },
+        }
+    }
+}
+
+/// Clip a hostile line for inclusion in an error payload.
+fn truncate_for_log(line: &str) -> String {
+    const MAX: usize = 120;
+    if line.len() <= MAX {
+        line.to_string()
+    } else {
+        let mut end = MAX;
+        while !line.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}… ({} bytes)", &line[..end], line.len())
+    }
+}
+
+/// One sweep-execution strategy: in-process threads or worker
+/// subprocesses.  Experiment entry points take a `SweepExec` so their
+/// callers — bins with a `--workers N` flag, tests, benches — choose the
+/// execution level without the experiment code caring.
+#[derive(Debug, Clone)]
+pub enum SweepExec {
+    /// Fan points across OS threads in this process.
+    InProcess(SweepRunner),
+    /// Fan points across supervised worker subprocesses.
+    Distributed(DistRunner),
+}
+
+impl SweepExec {
+    /// A human-readable description for progress banners
+    /// (`"4 threads"` / `"2 worker processes"`).
+    pub fn description(&self) -> String {
+        match self {
+            SweepExec::InProcess(runner) => format!("{} threads", runner.threads()),
+            SweepExec::Distributed(runner) => {
+                format!("{} worker processes", runner.workers())
+            }
+        }
+    }
+
+    /// Run the sweep, streaming completions to `observer`; results come
+    /// back checked, in point order, byte-identical across execution
+    /// strategies.  In the distributed case `run_point` is **not called in
+    /// this process** — the workers run their own copy of it — but taking
+    /// it here keeps the two strategies interchangeable at every call
+    /// site.
+    pub fn run_streaming<P, R, F, O>(
+        &self,
+        set: &ScenarioSet<P>,
+        run_point: F,
+        observer: &O,
+    ) -> Vec<SweepReport<PointResult<R>>>
+    where
+        P: Sync,
+        R: WireResult + Send,
+        F: Fn(&P) -> R + Sync,
+        O: SweepObserver<R> + ?Sized,
+    {
+        match self {
+            SweepExec::InProcess(runner) => runner.run_streaming(set, run_point, observer),
+            SweepExec::Distributed(runner) => runner.run_streaming(set, observer),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_counts_clamp_to_one() {
+        let cmd = WorkerCommand::new("/bin/false");
+        assert_eq!(DistRunner::new(0, cmd.clone()).workers(), 1);
+        assert_eq!(DistRunner::new(5, cmd).workers(), 5);
+    }
+
+    #[test]
+    fn exec_descriptions_name_the_level() {
+        let threads = SweepExec::InProcess(SweepRunner::parallel(4));
+        assert_eq!(threads.description(), "4 threads");
+        let procs = SweepExec::Distributed(DistRunner::new(2, WorkerCommand::new("w")));
+        assert_eq!(procs.description(), "2 worker processes");
+    }
+
+    #[test]
+    fn hostile_lines_are_clipped_on_char_boundaries() {
+        let long = "é".repeat(200);
+        let clipped = truncate_for_log(&long);
+        assert!(clipped.contains("… (400 bytes)"));
+        assert!(clipped.len() < long.len());
+        assert_eq!(truncate_for_log("short"), "short");
+    }
+
+    /// An unspawnable worker command degrades to one structured error per
+    /// point — never a hang, never an abort.
+    #[test]
+    fn unspawnable_workers_poison_every_point_structurally() {
+        let set = ScenarioSet::over("i", [1usize, 2, 3]);
+        let runner = DistRunner::new(2, WorkerCommand::new("/nonexistent/ispn-worker"));
+        let reports: Vec<SweepReport<PointResult<u64>>> = runner.try_run(&set);
+        assert_eq!(reports.len(), 3);
+        for (i, report) in reports.iter().enumerate() {
+            assert_eq!(report.index, i);
+            let err = report.result.as_ref().expect_err("spawn must fail");
+            assert_eq!(err.index, i);
+            assert_eq!(err.tags, set.points()[i].tags);
+            assert!(err.payload.contains("could not spawn worker"), "{err}");
+        }
+        assert_eq!(super::super::failed_points(&reports), 3);
+    }
+}

@@ -1,0 +1,234 @@
+//! Fault injection for distributed-sweep tests: make a worker process
+//! misbehave at a chosen point, on purpose.
+//!
+//! A [`FaultPlan`] describes one injected fault — *which point* triggers
+//! it, *how* the worker misbehaves ([`FaultMode`]), and optionally *which
+//! worker* is susceptible.  The plan travels to the worker process through
+//! the [`FaultPlan::ENV`] environment variable (set it on the
+//! [`WorkerCommand`](super::dist::WorkerCommand) under test), and the
+//! worker's serve loop consults [`FaultPlan::from_env`] before running
+//! each point:
+//!
+//! * [`FaultMode::Panic`] — the point's closure panics inside the worker.
+//!   This is the *graceful* failure path: the worker catches it, reports a
+//!   structured error frame, and keeps serving.
+//! * [`FaultMode::Exit`] — the worker process exits abruptly
+//!   (status [`FAULT_EXIT_CODE`]) mid-point, as a crash or an external
+//!   `kill` would.  The parent sees EOF and poisons the in-flight point.
+//! * [`FaultMode::Garbage`] — the worker emits a truncated, non-JSON frame
+//!   for the point.  The parent poisons the point and discards the worker
+//!   (its stream can no longer be trusted).
+//! * [`FaultMode::Hang`] — the worker wedges forever at the point.  The
+//!   parent's per-point deadline fires, the worker is killed, and the
+//!   point is poisoned.
+//!
+//! Because the trigger is keyed on the point index and a poisoned point is
+//! never re-dispatched, a respawned replacement worker does not re-trigger
+//! the fault — each plan fires at most once per matching worker.
+
+use std::time::Duration;
+
+/// How a designated worker misbehaves at the chosen point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Panic inside the point's closure (caught, reported as an error
+    /// frame; the worker survives).
+    Panic,
+    /// Exit the worker process abruptly, mid-point.
+    Exit,
+    /// Emit a truncated/garbage frame instead of the point's result.
+    Garbage,
+    /// Hang forever while the point is in flight.
+    Hang,
+}
+
+impl FaultMode {
+    fn name(self) -> &'static str {
+        match self {
+            FaultMode::Panic => "panic",
+            FaultMode::Exit => "exit",
+            FaultMode::Garbage => "garbage",
+            FaultMode::Hang => "hang",
+        }
+    }
+
+    fn parse(s: &str) -> Option<FaultMode> {
+        match s {
+            "panic" => Some(FaultMode::Panic),
+            "exit" => Some(FaultMode::Exit),
+            "garbage" => Some(FaultMode::Garbage),
+            "hang" => Some(FaultMode::Hang),
+            _ => None,
+        }
+    }
+}
+
+/// The exit status a [`FaultMode::Exit`] worker dies with.
+pub const FAULT_EXIT_CODE: i32 = 3;
+
+/// How long a [`FaultMode::Hang`] worker sleeps per wedge iteration (it
+/// loops forever; the parent's deadline is expected to kill it).
+pub const HANG_NAP: Duration = Duration::from_secs(60);
+
+/// One injected worker fault: mode, trigger point, optional worker filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The sweep-order index of the point that triggers the fault.
+    pub point: usize,
+    /// What the worker does when it reaches that point.
+    pub mode: FaultMode,
+    /// Restrict the fault to the worker with this id (the
+    /// [`DistRunner`](super::dist::DistRunner) numbers its workers from 0
+    /// and exports the id as `ISPN_SWEEP_WORKER_ID`); `None` makes any
+    /// worker that claims the point susceptible.
+    pub worker: Option<usize>,
+}
+
+impl FaultPlan {
+    /// The environment variable the plan travels through.
+    pub const ENV: &'static str = "ISPN_SWEEP_FAULT";
+
+    /// Panic at `point`.
+    pub fn panic_at(point: usize) -> Self {
+        FaultPlan {
+            point,
+            mode: FaultMode::Panic,
+            worker: None,
+        }
+    }
+
+    /// Exit abruptly at `point`.
+    pub fn exit_at(point: usize) -> Self {
+        FaultPlan {
+            point,
+            mode: FaultMode::Exit,
+            worker: None,
+        }
+    }
+
+    /// Emit a garbage frame at `point`.
+    pub fn garbage_at(point: usize) -> Self {
+        FaultPlan {
+            point,
+            mode: FaultMode::Garbage,
+            worker: None,
+        }
+    }
+
+    /// Hang at `point`.
+    pub fn hang_at(point: usize) -> Self {
+        FaultPlan {
+            point,
+            mode: FaultMode::Hang,
+            worker: None,
+        }
+    }
+
+    /// Restrict the fault to worker `id`.
+    pub fn on_worker(mut self, id: usize) -> Self {
+        self.worker = Some(id);
+        self
+    }
+
+    /// The `ISPN_SWEEP_FAULT` value describing this plan
+    /// (`point=3;mode=exit` or `point=3;mode=exit;worker=1`).
+    pub fn env_value(&self) -> String {
+        match self.worker {
+            Some(w) => format!("point={};mode={};worker={w}", self.point, self.mode.name()),
+            None => format!("point={};mode={}", self.point, self.mode.name()),
+        }
+    }
+
+    /// Parse an `ISPN_SWEEP_FAULT` value.
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let mut point = None;
+        let mut mode = None;
+        let mut worker = None;
+        for part in s.split(';').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault plan field {part:?} is not key=value"))?;
+            match key {
+                "point" => {
+                    point = Some(
+                        value
+                            .parse::<usize>()
+                            .map_err(|e| format!("bad fault point {value:?}: {e}"))?,
+                    )
+                }
+                "mode" => {
+                    mode = Some(
+                        FaultMode::parse(value)
+                            .ok_or_else(|| format!("unknown fault mode {value:?}"))?,
+                    )
+                }
+                "worker" => {
+                    worker = Some(
+                        value
+                            .parse::<usize>()
+                            .map_err(|e| format!("bad fault worker {value:?}: {e}"))?,
+                    )
+                }
+                other => return Err(format!("unknown fault plan field {other:?}")),
+            }
+        }
+        Ok(FaultPlan {
+            point: point.ok_or("fault plan needs point=N")?,
+            mode: mode.ok_or("fault plan needs mode=panic|exit|garbage|hang")?,
+            worker,
+        })
+    }
+
+    /// The plan in this process's environment, if any.
+    ///
+    /// # Panics
+    /// Panics on an unparsable `ISPN_SWEEP_FAULT` value — a fault-injection
+    /// test with a typoed plan must fail loudly, not silently run clean.
+    pub fn from_env() -> Option<FaultPlan> {
+        let value = std::env::var(Self::ENV).ok()?;
+        Some(Self::parse(&value).unwrap_or_else(|e| panic!("bad {}: {e}", Self::ENV)))
+    }
+
+    /// Whether the fault fires for `worker` running `point`.
+    pub fn applies(&self, worker: usize, point: usize) -> bool {
+        self.point == point && self.worker.map(|w| w == worker).unwrap_or(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_round_trip_through_the_env_value() {
+        for plan in [
+            FaultPlan::panic_at(0),
+            FaultPlan::exit_at(3),
+            FaultPlan::garbage_at(7).on_worker(2),
+            FaultPlan::hang_at(12),
+        ] {
+            assert_eq!(FaultPlan::parse(&plan.env_value()).unwrap(), plan);
+        }
+    }
+
+    #[test]
+    fn bad_plans_are_rejected() {
+        assert!(FaultPlan::parse("").is_err());
+        assert!(FaultPlan::parse("point=1").is_err());
+        assert!(FaultPlan::parse("mode=exit").is_err());
+        assert!(FaultPlan::parse("point=x;mode=exit").is_err());
+        assert!(FaultPlan::parse("point=1;mode=sulk").is_err());
+        assert!(FaultPlan::parse("point=1;mode=exit;color=red").is_err());
+    }
+
+    #[test]
+    fn worker_filter_gates_the_trigger() {
+        let any = FaultPlan::exit_at(4);
+        assert!(any.applies(0, 4));
+        assert!(any.applies(9, 4));
+        assert!(!any.applies(0, 5));
+        let one = FaultPlan::exit_at(4).on_worker(1);
+        assert!(one.applies(1, 4));
+        assert!(!one.applies(0, 4));
+    }
+}

@@ -1,0 +1,161 @@
+//! The worker side of a distributed sweep: a stdin/stdout serve loop
+//! compiled into every experiment binary behind its `--sweep-worker` flag.
+//!
+//! A worker process rebuilds the **same** [`ScenarioSet`] as its parent
+//! (both run the same binary with the same configuration flags), then
+//! answers line-framed requests: the parent names a point by index, the
+//! worker runs that point's closure and streams the encoded result back.
+//! The worker never chooses points itself — scheduling, redistribution and
+//! supervision all live in the parent's
+//! [`DistRunner`](super::dist::DistRunner).
+//!
+//! Safety properties mirror the in-process runner:
+//!
+//! * every point runs under `catch_unwind`, so a panicking scenario
+//!   becomes a structured error frame (and the worker keeps serving its
+//!   siblings) exactly like [`SweepRunner::try_run`](super::SweepRunner)
+//!   would record it;
+//! * each request's axis tags are checked against the worker's own sweep
+//!   before anything runs — a parent/worker configuration skew yields a
+//!   per-point error naming both tag lists instead of silently computing
+//!   the wrong scenario;
+//! * results are flushed frame by frame, so the parent observes each
+//!   completion the moment it happens.
+//!
+//! The loop exits cleanly when the parent closes the worker's stdin.
+//! [`FaultPlan`](super::testing::FaultPlan) hooks (consulted per point)
+//! let the test harness make a worker panic, exit, emit garbage or hang on
+//! demand; production runs simply have no `ISPN_SWEEP_FAULT` in their
+//! environment.
+
+use std::io::{self, BufRead, Write};
+use std::panic::AssertUnwindSafe;
+
+use super::testing::{FaultMode, FaultPlan, FAULT_EXIT_CODE, HANG_NAP};
+use super::wire::{self, WireResult};
+use super::{panic_payload_text, ScenarioSet};
+
+/// The command-line flag that switches an experiment binary into worker
+/// mode (checked by each bin's `main` before anything prints to stdout —
+/// stdout belongs to the frame stream).
+pub const WORKER_FLAG: &str = "--sweep-worker";
+
+/// The environment variable carrying the worker's id (assigned by the
+/// parent; used for fault-plan filtering and diagnostics).
+pub const WORKER_ID_ENV: &str = "ISPN_SWEEP_WORKER_ID";
+
+/// This process's worker id, if the parent assigned one.
+pub fn worker_id() -> Option<usize> {
+    std::env::var(WORKER_ID_ENV).ok()?.parse().ok()
+}
+
+/// Serve sweep points over stdin/stdout until the parent closes stdin.
+///
+/// `run_point` is the same closure an in-process
+/// [`SweepRunner`](super::SweepRunner) would receive; it is called at most
+/// once per requested point, and its panics are caught into error frames.
+/// Returns when stdin reaches EOF; I/O errors on the pipes (a vanished
+/// parent) surface as `Err`.
+pub fn serve_worker<P, R, F>(set: &ScenarioSet<P>, run_point: F) -> io::Result<()>
+where
+    R: WireResult,
+    F: Fn(&P) -> R,
+{
+    let fault = FaultPlan::from_env();
+    let me = worker_id().unwrap_or(0);
+    let stdin = io::stdin().lock();
+    let mut stdout = io::stdout().lock();
+
+    writeln!(stdout, "{}", wire::encode_hello(set.len()))?;
+    stdout.flush()?;
+
+    for line in stdin.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match wire::parse_request(&line) {
+            Ok(request) => request,
+            Err(e) => {
+                // A parent that cannot frame a request cannot be trusted
+                // with anything else either; bail out loudly.
+                eprintln!("sweep worker {me}: unreadable request: {e}");
+                return Err(io::Error::new(io::ErrorKind::InvalidData, e));
+            }
+        };
+        let index = request.index;
+        let frame = if index >= set.len() {
+            wire::encode_error_frame(
+                index,
+                &format!(
+                    "point {index} out of range: this worker's sweep has {} points \
+                     (parent/worker configuration mismatch)",
+                    set.len()
+                ),
+            )
+        } else if request.tags != set.points()[index].tags {
+            wire::encode_error_frame(
+                index,
+                &format!(
+                    "axis tags mismatch at point {index}: parent sent {:?}, worker built {:?} \
+                     (parent/worker configuration mismatch)",
+                    request.tags,
+                    set.points()[index].tags
+                ),
+            )
+        } else {
+            if let Some(fault) = fault.filter(|f| f.applies(me, index)) {
+                match fault.mode {
+                    // Panic is injected *inside* the catch_unwind below, so
+                    // it exercises the same path a real scenario panic takes.
+                    FaultMode::Panic => {}
+                    FaultMode::Exit => {
+                        stdout.flush()?;
+                        std::process::exit(FAULT_EXIT_CODE);
+                    }
+                    FaultMode::Garbage => {
+                        // A truncated frame: cut mid-key, no closing brace.
+                        write!(stdout, "{{\"point\":{index},\"repo")?;
+                        writeln!(stdout)?;
+                        stdout.flush()?;
+                        continue;
+                    }
+                    FaultMode::Hang => loop {
+                        std::thread::sleep(HANG_NAP);
+                    },
+                }
+            }
+            let point = &set.points()[index];
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                if let Some(fault) = fault.filter(|f| f.applies(me, index)) {
+                    if fault.mode == FaultMode::Panic {
+                        panic!("injected fault: worker {me} panicked at point {index}");
+                    }
+                }
+                run_point(&point.params)
+            }));
+            match result {
+                Ok(r) => wire::encode_report_frame(index, &r.to_wire_json()),
+                Err(payload) => {
+                    wire::encode_error_frame(index, &panic_payload_text(payload.as_ref()))
+                }
+            }
+        };
+        writeln!(stdout, "{frame}")?;
+        stdout.flush()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_flag_and_env_names_are_stable() {
+        // Bins and the CI recipes hard-code these strings; a silent rename
+        // would strand every caller.
+        assert_eq!(WORKER_FLAG, "--sweep-worker");
+        assert_eq!(WORKER_ID_ENV, "ISPN_SWEEP_WORKER_ID");
+    }
+}

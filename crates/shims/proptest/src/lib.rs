@@ -137,6 +137,73 @@ impl Arbitrary for f64 {
     }
 }
 
+/// The character pool [`Arbitrary`] strings draw from: deliberately
+/// hostile for serialization code — JSON-significant punctuation, control
+/// characters, whitespace, and multi-byte non-ASCII next to plain text.
+const HOSTILE_CHARS: &[char] = &[
+    'a',
+    'b',
+    'z',
+    'A',
+    'Z',
+    '0',
+    '9',
+    ' ',
+    '_',
+    '-',
+    '.',
+    ',',
+    ':',
+    ';',
+    '=',
+    '+',
+    '/',
+    '<',
+    '>',
+    '[',
+    ']',
+    '{',
+    '}',
+    '(',
+    ')',
+    '"',
+    '\'',
+    '\\',
+    '\n',
+    '\r',
+    '\t',
+    '\u{0}',
+    '\u{1}',
+    '\u{b}',
+    '\u{1f}',
+    '\u{7f}',
+    'é',
+    'ß',
+    'Ω',
+    '中',
+    'か',
+    '🦀',
+    '\u{2028}',
+    '\u{2029}',
+    '\u{e000}',
+    '\u{10ffff}',
+];
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        HOSTILE_CHARS[rng.below(HOSTILE_CHARS.len() as u64) as usize]
+    }
+}
+
+impl Arbitrary for String {
+    /// Strings of length 0–23 over [`HOSTILE_CHARS`] — short enough to
+    /// keep property runs fast, nasty enough to break naive escaping.
+    fn arbitrary(rng: &mut TestRng) -> String {
+        let len = rng.below(24) as usize;
+        (0..len).map(|_| char::arbitrary(rng)).collect()
+    }
+}
+
 /// Strategy returned by [`any`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Any<T> {

@@ -1,0 +1,10 @@
+//! The worker binary behind the distributed-sweep integration tests:
+//! serves the sweep suite named by its first argument over stdin/stdout
+//! (see `ispn_integration_tests::dist_fixtures`).  The tests locate this
+//! binary through `CARGO_BIN_EXE_dist_worker` and point a `DistRunner`'s
+//! `WorkerCommand` at it.
+
+fn main() {
+    let suite = std::env::args().nth(1).expect("usage: dist_worker <suite>");
+    ispn_integration_tests::dist_fixtures::serve_suite(&suite).expect("sweep worker I/O");
+}

@@ -1,0 +1,137 @@
+//! Shared fixtures for the distributed-sweep test harness.
+//!
+//! A distributed sweep needs the parent and its workers to build the
+//! **same** `ScenarioSet` from the same configuration.  In the integration
+//! tests the worker is the `dist_worker` bin of this package (located via
+//! `CARGO_BIN_EXE_dist_worker` at test compile time), and this module is
+//! the single source of truth both sides share: each *suite* names one
+//! sweep — the six experiment sweeps at short horizons, a generic
+//! `ScenarioReport` sweep, and the instant `square` sweep the
+//! fault-injection tests use (its points cost microseconds, so a test can
+//! kill, wedge and garbage workers without waiting on simulations).
+
+use ispn_experiments::{churn, hetmix, mesh, table1, table2, table3, PaperConfig};
+use ispn_scenario::{
+    DisciplineSpec, FlowDef, HistogramSpec, MeasurementPlan, ScenarioBuilder, ScenarioReport,
+    ScenarioSet, SourceSpec,
+};
+use ispn_sim::SimTime;
+
+/// A paper configuration shortened to `secs` simulated seconds.
+pub fn short(secs: u64) -> PaperConfig {
+    PaperConfig {
+        duration: SimTime::from_secs(secs),
+        ..PaperConfig::paper()
+    }
+}
+
+/// Table-1 suite configuration.
+pub fn table1_cfg() -> PaperConfig {
+    short(5)
+}
+
+/// Table-2 suite configuration.
+pub fn table2_cfg() -> PaperConfig {
+    short(5)
+}
+
+/// Table-3 seed-replication suite configuration.
+pub fn table3_cfg() -> PaperConfig {
+    short(5)
+}
+
+/// The Table-3 suite's seed axis.
+pub fn table3_seeds(cfg: &PaperConfig) -> Vec<u64> {
+    vec![cfg.seed, cfg.seed.wrapping_add(1)]
+}
+
+/// Heterogeneous-mix suite configuration.
+pub fn hetmix_cfg() -> PaperConfig {
+    short(4)
+}
+
+/// Heterogeneous-mix suite load levels (4 disciplines × 1 level = 4 points).
+pub const HETMIX_LEVELS: &[usize] = &[1];
+
+/// Mesh suite configuration.
+pub fn mesh_cfg() -> PaperConfig {
+    short(4)
+}
+
+/// Mesh suite cross-traffic levels.
+pub const MESH_LEVELS: &[usize] = &[1, 2];
+
+/// Churn suite configuration (long enough for accepts *and* rejects, so
+/// the decision sequence is worth comparing).
+pub fn churn_cfg() -> PaperConfig {
+    PaperConfig {
+        duration: SimTime::from_secs(20),
+        ..PaperConfig::fast()
+    }
+}
+
+/// Churn suite arrival rates.
+pub const CHURN_RATES: &[f64] = &[0.6, 1.2];
+
+/// Churn suite mean holding time, seconds.
+pub const CHURN_HOLD: f64 = 15.0;
+
+/// Points in the default `square` suite.
+pub const SQUARE_POINTS: usize = 8;
+
+/// The `square` sweep: `n` instant points tagged by index.
+pub fn square_set(n: usize) -> ScenarioSet<(usize,)> {
+    ScenarioSet::over("i", (0..n).collect::<Vec<_>>())
+}
+
+/// The `square` point closure.
+pub fn square_point(&(i,): &(usize,)) -> u64 {
+    (i * i) as u64
+}
+
+/// The generic `scenario` sweep: three load levels of a small two-switch
+/// mix, reported as full `ScenarioReport`s (per-class distributions and a
+/// histogram included), so the whole report schema crosses the wire.
+pub fn scenario_set() -> ScenarioSet<(usize,)> {
+    ScenarioSet::over("level", vec![1usize, 2, 3])
+}
+
+/// The `scenario` point closure.
+pub fn scenario_point(&(level,): &(usize,)) -> ScenarioReport {
+    let mut builder = ScenarioBuilder::chain(2).discipline(DisciplineSpec::Wfq);
+    for i in 0..level {
+        builder = builder
+            .flow(FlowDef::guaranteed(0, 1, 120_000.0).source(SourceSpec::cbr(85.0, 1000)))
+            .flow(
+                FlowDef::best_effort_realtime(0, 1)
+                    .source(SourceSpec::onoff_paper(85.0, 40 + i as u64)),
+            )
+            .flow(FlowDef::datagram(0, 1).source(SourceSpec::poisson(85.0, 1000, 80 + i as u64)));
+    }
+    let mut sim = builder.build().expect("valid scenario suite point");
+    sim.run_until(SimTime::from_secs(3));
+    sim.report(&MeasurementPlan::default().with_histogram(HistogramSpec::up_to(0.2, 16)))
+}
+
+/// Serve one named suite over stdin/stdout (the `dist_worker` bin's whole
+/// job).  Parent tests must build their sets from the **same** fixtures.
+pub fn serve_suite(suite: &str) -> std::io::Result<()> {
+    match suite {
+        "table1" => table1::serve_worker(&table1_cfg()),
+        "table2" => table2::serve_worker(&table2_cfg()),
+        "table3" => {
+            let cfg = table3_cfg();
+            let seeds = table3_seeds(&cfg);
+            table3::serve_worker(&cfg, &seeds)
+        }
+        "hetmix" => hetmix::serve_worker(&hetmix_cfg(), HETMIX_LEVELS),
+        "mesh" => mesh::serve_worker(&mesh_cfg(), MESH_LEVELS),
+        "churn" => churn::serve_worker(&churn_cfg(), CHURN_RATES, CHURN_HOLD),
+        "square" => ispn_scenario::serve_worker(&square_set(SQUARE_POINTS), square_point),
+        // A deliberately mismatched sweep (5 points where the parent
+        // expects 8) for the configuration-skew test.
+        "square5" => ispn_scenario::serve_worker(&square_set(5), square_point),
+        "scenario" => ispn_scenario::serve_worker(&scenario_set(), scenario_point),
+        other => panic!("unknown dist suite {other:?}"),
+    }
+}

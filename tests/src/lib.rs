@@ -5,6 +5,8 @@
 //! `ispn-experiments`, so they exercise the public API the way a downstream
 //! user would.
 
+pub mod dist_fixtures;
+
 use ispn_core::{FlowId, FlowSpec, ServiceClass};
 use ispn_net::{FlowConfig, LinkId, Network, Topology};
 use ispn_sim::SimTime;

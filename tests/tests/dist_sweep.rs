@@ -1,0 +1,323 @@
+//! Distributed-sweep acceptance harness: byte identity and fault
+//! injection for `ispn-scenario::sweep::dist`.
+//!
+//! The contract under test has two halves:
+//!
+//! * **Byte identity** — a sweep fanned across worker subprocesses must
+//!   produce results byte-identical to `SweepRunner::run` in this
+//!   process: same point order, same tags, same wire JSON for every
+//!   result, same rendered tables — for all six experiments, for worker
+//!   counts 1..=4, including the churn accept/reject decision sequence.
+//! * **Supervision** — a worker that panics, exits, emits garbage or
+//!   hangs poisons exactly its in-flight point (a structured `SweepError`
+//!   naming the point's tags) while every sibling point completes on the
+//!   surviving workers; only the checked (`try_run`-style) paths report
+//!   the failure, and each point's final outcome is observed exactly once.
+//!
+//! The workers are the `dist_worker` bin of this package; the suites it
+//! serves are pinned in `ispn_integration_tests::dist_fixtures`, which
+//! the parent side of every test reuses so both processes build the same
+//! `ScenarioSet`.
+
+use std::time::Duration;
+
+use ispn_experiments::{churn, hetmix, mesh, report, table1, table2, table3};
+use ispn_integration_tests::dist_fixtures as fx;
+use ispn_scenario::{
+    failed_points, sweep_to_json, sweep_to_json_checked, DistRunner, FaultPlan, NullObserver,
+    PointResult, ProgressObserver, SweepExec, SweepReport, SweepRunner, WireResult, WorkerCommand,
+};
+
+/// The worker command serving one fixture suite.
+fn worker(suite: &str) -> WorkerCommand {
+    WorkerCommand::new(env!("CARGO_BIN_EXE_dist_worker")).arg(suite)
+}
+
+/// A distributed runner over one fixture suite.
+fn dist(suite: &str, workers: usize) -> DistRunner {
+    DistRunner::new(workers, worker(suite))
+}
+
+/// A distributed `SweepExec` over one fixture suite.
+fn dist_exec(suite: &str, workers: usize) -> SweepExec {
+    SweepExec::Distributed(dist(suite, workers))
+}
+
+/// Byte identity of two checked report lists: same order, same tags, and
+/// the same wire encoding for every result.
+fn assert_identical<R: WireResult>(
+    serial: &[SweepReport<PointResult<R>>],
+    dist: &[SweepReport<PointResult<R>>],
+) {
+    assert_eq!(serial.len(), dist.len(), "same point count");
+    for (s, d) in serial.iter().zip(dist) {
+        assert_eq!(s.index, d.index, "point order must match");
+        assert_eq!(s.tags, d.tags, "axis tags must match");
+        let idx = s.index;
+        let s = s.result.as_ref().expect("serial point succeeded");
+        let d = d.result.as_ref().expect("distributed point succeeded");
+        assert_eq!(
+            s.to_wire_json(),
+            d.to_wire_json(),
+            "point {idx} diverged across the process boundary"
+        );
+    }
+}
+
+#[test]
+fn table1_distributed_is_byte_identical_to_in_process() {
+    let cfg = fx::table1_cfg();
+    let serial = table1::run_reports(&cfg, &SweepRunner::serial(), &NullObserver);
+    let dist = table1::exec_reports(&cfg, &dist_exec("table1", 2), &NullObserver);
+    assert_identical(&serial, &dist);
+    assert_eq!(report::render_table1(&serial), report::render_table1(&dist));
+}
+
+#[test]
+fn table2_distributed_is_byte_identical_to_in_process() {
+    let cfg = fx::table2_cfg();
+    let serial = table2::run_reports(&cfg, &SweepRunner::serial(), &NullObserver);
+    let dist = table2::exec_reports(&cfg, &dist_exec("table2", 3), &NullObserver);
+    assert_identical(&serial, &dist);
+    assert_eq!(report::render_table2(&serial), report::render_table2(&dist));
+}
+
+#[test]
+fn table3_seed_replication_distributed_is_byte_identical() {
+    let cfg = fx::table3_cfg();
+    let seeds = fx::table3_seeds(&cfg);
+    let serial = table3::run_seeds_reports(&cfg, &seeds, &SweepRunner::serial(), &NullObserver);
+    let dist = table3::run_seeds_exec(&cfg, &seeds, &dist_exec("table3", 2), &NullObserver);
+    assert_identical(&serial, &dist);
+    assert_eq!(
+        report::render_table3_seeds(&serial),
+        report::render_table3_seeds(&dist)
+    );
+}
+
+#[test]
+fn hetmix_distributed_is_byte_identical_to_in_process() {
+    let cfg = fx::hetmix_cfg();
+    let serial = hetmix::sweep_reports(
+        &cfg,
+        fx::HETMIX_LEVELS,
+        &SweepRunner::serial(),
+        &NullObserver,
+    );
+    let dist = hetmix::sweep_exec(
+        &cfg,
+        fx::HETMIX_LEVELS,
+        &dist_exec("hetmix", 4),
+        &NullObserver,
+    );
+    assert_identical(&serial, &dist);
+    assert_eq!(report::render_hetmix(&serial), report::render_hetmix(&dist));
+}
+
+#[test]
+fn mesh_distributed_is_byte_identical_to_in_process() {
+    let cfg = fx::mesh_cfg();
+    let serial = mesh::sweep_reports(&cfg, fx::MESH_LEVELS, &SweepRunner::serial(), &NullObserver);
+    let dist = mesh::sweep_exec(&cfg, fx::MESH_LEVELS, &dist_exec("mesh", 2), &NullObserver);
+    assert_identical(&serial, &dist);
+    assert_eq!(report::render_mesh(&serial), report::render_mesh(&dist));
+}
+
+#[test]
+fn churn_distributed_reproduces_the_decision_sequence() {
+    let cfg = fx::churn_cfg();
+    let serial = churn::sweep_reports(
+        &cfg,
+        fx::CHURN_RATES,
+        fx::CHURN_HOLD,
+        &SweepRunner::serial(),
+        &NullObserver,
+    );
+    let dist = churn::sweep_exec(
+        &cfg,
+        fx::CHURN_RATES,
+        fx::CHURN_HOLD,
+        &dist_exec("churn", 2),
+        &NullObserver,
+    );
+    assert_identical(&serial, &dist);
+    // The decision sequence — the churn experiment's determinism surface —
+    // survives the process boundary decision for decision.
+    for (s, d) in serial.iter().zip(&dist) {
+        let s = s.result.as_ref().unwrap();
+        let d = d.result.as_ref().unwrap();
+        assert_eq!(s.decisions, d.decisions);
+        assert!(s.offered > 0, "a silent empty run would prove nothing");
+    }
+}
+
+/// The generic `ScenarioReport` sweep is byte-identical to the serial
+/// runner's JSON for every worker count 1..=4 — the full report schema
+/// (flows, links, classes, quantiles, histograms, disciplines, signaling)
+/// crosses the pipe losslessly.
+#[test]
+fn scenario_json_is_byte_identical_for_one_through_four_workers() {
+    let set = fx::scenario_set();
+    let serial = SweepRunner::serial().run(&set, fx::scenario_point);
+    let serial_json = sweep_to_json(&serial);
+    for workers in 1..=4 {
+        let reports = dist("scenario", workers).try_run(&set);
+        assert_eq!(
+            sweep_to_json_checked(&reports),
+            serial_json,
+            "{workers} workers diverged from serial"
+        );
+    }
+}
+
+/// A worker panic inside the point's closure is the graceful path: the
+/// worker survives, the point carries a structured error naming its tags,
+/// and every sibling completes.
+#[test]
+fn panicking_point_is_isolated_and_named() {
+    let set = fx::square_set(fx::SQUARE_POINTS);
+    let runner = DistRunner::new(
+        2,
+        worker("square").env(FaultPlan::ENV, FaultPlan::panic_at(3).env_value()),
+    );
+    let reports: Vec<SweepReport<PointResult<u64>>> = runner.try_run(&set);
+    assert_eq!(failed_points(&reports), 1);
+    let err = reports[3].result.as_ref().unwrap_err();
+    assert_eq!(err.index, 3);
+    assert_eq!(err.tags, vec![("i".to_string(), "3".to_string())]);
+    assert!(err.payload.contains("injected fault"), "{err}");
+    for (i, r) in reports.iter().enumerate() {
+        if i != 3 {
+            assert_eq!(r.result, Ok((i * i) as u64), "sibling {i} must survive");
+        }
+    }
+}
+
+/// A worker killed mid-point (abrupt exit) poisons exactly that point;
+/// its remaining points are redistributed and complete.
+#[test]
+fn killed_worker_poisons_only_its_in_flight_point() {
+    let set = fx::square_set(fx::SQUARE_POINTS);
+    let runner = DistRunner::new(
+        2,
+        worker("square").env(FaultPlan::ENV, FaultPlan::exit_at(2).env_value()),
+    );
+    let reports: Vec<SweepReport<PointResult<u64>>> = runner.try_run(&set);
+    assert_eq!(failed_points(&reports), 1);
+    let err = reports[2].result.as_ref().unwrap_err();
+    assert_eq!(err.tags, vec![("i".to_string(), "2".to_string())]);
+    assert!(err.payload.contains("exited"), "{err}");
+    for (i, r) in reports.iter().enumerate() {
+        if i != 2 {
+            assert_eq!(r.result, Ok((i * i) as u64), "sibling {i} must survive");
+        }
+    }
+}
+
+/// A truncated/garbage frame poisons the point and discards the worker;
+/// siblings complete on a replacement.
+#[test]
+fn garbage_frame_poisons_the_point_and_names_it() {
+    let set = fx::square_set(fx::SQUARE_POINTS);
+    let runner = DistRunner::new(
+        2,
+        worker("square").env(FaultPlan::ENV, FaultPlan::garbage_at(4).env_value()),
+    );
+    let reports: Vec<SweepReport<PointResult<u64>>> = runner.try_run(&set);
+    assert_eq!(failed_points(&reports), 1);
+    let err = reports[4].result.as_ref().unwrap_err();
+    assert_eq!(err.tags, vec![("i".to_string(), "4".to_string())]);
+    assert!(err.payload.contains("malformed frame"), "{err}");
+    for (i, r) in reports.iter().enumerate() {
+        if i != 4 {
+            assert_eq!(r.result, Ok((i * i) as u64), "sibling {i} must survive");
+        }
+    }
+}
+
+/// A wedged worker trips the per-point deadline: killed, point poisoned,
+/// siblings complete.
+#[test]
+fn hanging_worker_trips_the_deadline() {
+    let set = fx::square_set(fx::SQUARE_POINTS);
+    let runner = DistRunner::new(
+        2,
+        worker("square").env(FaultPlan::ENV, FaultPlan::hang_at(1).env_value()),
+    )
+    .deadline(Duration::from_secs(5));
+    let reports: Vec<SweepReport<PointResult<u64>>> = runner.try_run(&set);
+    assert_eq!(failed_points(&reports), 1);
+    let err = reports[1].result.as_ref().unwrap_err();
+    assert_eq!(err.tags, vec![("i".to_string(), "1".to_string())]);
+    assert!(err.payload.contains("deadline"), "{err}");
+    for (i, r) in reports.iter().enumerate() {
+        if i != 1 {
+            assert_eq!(r.result, Ok((i * i) as u64), "sibling {i} must survive");
+        }
+    }
+}
+
+/// The infallible `run` surface is the only one that panics on a fault —
+/// and it names the poisoned point's tags when it does.
+#[test]
+fn infallible_run_panics_naming_the_faulted_point() {
+    let set = fx::square_set(fx::SQUARE_POINTS);
+    let runner = DistRunner::new(
+        2,
+        worker("square").env(FaultPlan::ENV, FaultPlan::exit_at(5).env_value()),
+    );
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _: Vec<SweepReport<u64>> = runner.run(&set);
+    }));
+    let payload = outcome.expect_err("a faulted sweep must fail the infallible surface");
+    let text = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(text.contains("i=5"), "panic must name the tags: {text}");
+    // The checked path reports the same sweep without panicking.
+    let checked: Vec<SweepReport<PointResult<u64>>> = runner.try_run(&set);
+    assert_eq!(failed_points(&checked), 1);
+}
+
+/// Regression (PR-5 satellite): the streamed completion count equals the
+/// point count even when a worker death forces redistribution — each
+/// point's final outcome is observed exactly once, and `ProgressObserver`
+/// resets correctly when reused for a second sweep.
+#[test]
+fn progress_observer_counts_each_point_exactly_once_under_redistribution() {
+    let set = fx::square_set(fx::SQUARE_POINTS);
+    let runner = DistRunner::new(
+        2,
+        worker("square").env(FaultPlan::ENV, FaultPlan::exit_at(1).env_value()),
+    );
+    let progress = ProgressObserver::new();
+    let reports: Vec<SweepReport<PointResult<u64>>> = runner.run_streaming(&set, &progress);
+    assert_eq!(reports.len(), fx::SQUARE_POINTS);
+    assert_eq!(
+        progress.completed(),
+        fx::SQUARE_POINTS,
+        "every point's final outcome is observed exactly once"
+    );
+    assert_eq!(failed_points(&reports), 1);
+    // Reusing the observer for a fresh sweep must not double-count.
+    let clean = DistRunner::new(2, worker("square"));
+    let reports: Vec<SweepReport<PointResult<u64>>> = clean.run_streaming(&set, &progress);
+    assert_eq!(progress.completed(), fx::SQUARE_POINTS);
+    assert_eq!(failed_points(&reports), 0);
+}
+
+/// A parent/worker configuration skew (the worker built a different
+/// sweep) is refused at the handshake: every point carries a structured
+/// mismatch error instead of silently computing the wrong scenarios.
+#[test]
+fn configuration_mismatch_is_refused_at_the_handshake() {
+    let set = fx::square_set(fx::SQUARE_POINTS);
+    let runner = DistRunner::new(2, worker("square5"));
+    let reports: Vec<SweepReport<PointResult<u64>>> = runner.try_run(&set);
+    assert_eq!(failed_points(&reports), fx::SQUARE_POINTS);
+    for r in &reports {
+        let err = r.result.as_ref().unwrap_err();
+        assert!(err.payload.contains("configuration mismatch"), "{err}");
+    }
+}
