@@ -1,42 +1,25 @@
 //! Criterion micro-benchmarks of the simulation substrate: event-queue
 //! throughput, the PCG generator, and an end-to-end events-per-second figure
 //! for the Table-1 scenario (how much simulated traffic the simulator pushes
-//! per wall-clock second).
+//! per wall-clock second).  The queue and RNG workload cores live in
+//! `ispn_bench::micro` so the `snapshot` harness measures the same code.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use ispn_bench::micro;
 use ispn_experiments::{config::PaperConfig, support::DisciplineKind, table1};
-use ispn_sim::{EventQueue, Pcg64, SimTime};
+use ispn_sim::SimTime;
 
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("event_queue_push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::with_capacity(1024);
-            let mut rng = Pcg64::new(1);
-            for i in 0..10_000u64 {
-                q.push(SimTime::from_nanos(rng.next_below(1_000_000_000)), i);
-                if i % 2 == 0 {
-                    black_box(q.pop());
-                }
-            }
-            while let Some(e) = q.pop() {
-                black_box(e);
-            }
-        })
+        b.iter(|| black_box(micro::event_queue_push_pop(10_000)))
     });
 }
 
 fn bench_rng(c: &mut Criterion) {
     c.bench_function("pcg64_exponential_100k", |b| {
-        b.iter(|| {
-            let mut rng = Pcg64::new(7);
-            let mut acc = 0.0;
-            for _ in 0..100_000 {
-                acc += rng.exponential(0.0294);
-            }
-            black_box(acc)
-        })
+        b.iter(|| black_box(micro::pcg_exponential(100_000)))
     });
 }
 

@@ -4,98 +4,23 @@
 //! for every packet [so] it must not be so complex as to effect overall
 //! network performance".  These benchmarks measure the enqueue+dequeue cost
 //! of every discipline under a steady backlog of ten competing flows, plus
-//! the FIFO+ averaging-method ablation.
+//! the FIFO+ averaging-method ablation.  The workload cores live in
+//! `ispn_bench::micro` so the `snapshot` harness measures the same code.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use ispn_core::{FlowId, Packet, ServiceClass};
-use ispn_sched::{
-    Averaging, Fifo, FifoPlus, QueueDiscipline, SchedContext, StrictPriority, Unified,
-    VirtualClock, Wfq,
-};
-use ispn_sim::SimTime;
-
-const MBIT: f64 = 1_000_000.0;
-const FLOWS: u32 = 10;
-
-/// Enqueue and dequeue `n` packets, alternating flows, with the queue kept
-/// around 20 packets deep.
-fn churn<D: QueueDiscipline>(disc: &mut D, n: u64) -> u64 {
-    let mut served = 0;
-    let mut now = SimTime::ZERO;
-    for i in 0..n {
-        now += SimTime::from_micros(100);
-        let flow = FlowId((i % FLOWS as u64) as u32);
-        let class = match i % 4 {
-            0 => ServiceClass::Guaranteed,
-            1 => ServiceClass::Predicted { priority: 0 },
-            2 => ServiceClass::Predicted { priority: 1 },
-            _ => ServiceClass::Datagram,
-        };
-        let pkt = Packet::data(flow, i, 1000, now);
-        disc.enqueue(now, pkt, SchedContext::new(class, now));
-        if disc.len() > 20 {
-            if let Some(d) = disc.dequeue(now) {
-                served += d.packet.seq;
-            }
-        }
-    }
-    while let Some(d) = disc.dequeue(now) {
-        served += d.packet.seq;
-    }
-    served
-}
+use ispn_bench::micro;
 
 fn bench_disciplines(c: &mut Criterion) {
     let mut group = c.benchmark_group("per_packet_scheduling");
     const N: u64 = 10_000;
 
-    group.bench_function("fifo", |b| {
-        b.iter(|| {
-            let mut d = Fifo::new();
-            black_box(churn(&mut d, N))
-        })
-    });
-    group.bench_function("wfq", |b| {
-        b.iter(|| {
-            let mut d = Wfq::equal_share(MBIT, FLOWS as usize);
-            black_box(churn(&mut d, N))
-        })
-    });
-    group.bench_function("virtual_clock", |b| {
-        b.iter(|| {
-            let mut d = VirtualClock::new(MBIT / FLOWS as f64);
-            black_box(churn(&mut d, N))
-        })
-    });
-    group.bench_function("fifo_plus_running_mean", |b| {
-        b.iter(|| {
-            let mut d = FifoPlus::new(Averaging::RunningMean);
-            black_box(churn(&mut d, N))
-        })
-    });
-    group.bench_function("fifo_plus_ewma", |b| {
-        b.iter(|| {
-            let mut d = FifoPlus::new(Averaging::Ewma(1.0 / 16.0));
-            black_box(churn(&mut d, N))
-        })
-    });
-    group.bench_function("priority_over_fifo", |b| {
-        b.iter(|| {
-            let mut d: StrictPriority<Fifo> = StrictPriority::new(2);
-            black_box(churn(&mut d, N))
-        })
-    });
-    group.bench_function("unified", |b| {
-        b.iter(|| {
-            let mut d = Unified::new(MBIT, 2, Averaging::RunningMean);
-            for f in 0..3u32 {
-                d.add_guaranteed_flow(FlowId(f), 100_000.0);
-            }
-            black_box(churn(&mut d, N))
-        })
-    });
+    for (name, work) in micro::sched_workloads() {
+        // "sched/fifo" → Criterion id "fifo" (the group supplies the prefix).
+        let id = name.strip_prefix("sched/").unwrap_or(name);
+        group.bench_function(id, |b| b.iter(|| black_box(work(N))));
+    }
     group.finish();
 }
 

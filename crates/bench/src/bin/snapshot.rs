@@ -1,0 +1,104 @@
+//! Record one point of the repo's performance trajectory.
+//!
+//! Usage (from the workspace root, the single documented command):
+//!
+//! ```text
+//! ISPN_BENCH_FAST=1 cargo run --release -p ispn-bench --bin snapshot
+//! ```
+//!
+//! Measures the per-packet scheduling and engine micro-workloads
+//! (ns/op), runs one representative scenario per experiment with run
+//! telemetry enabled (events/sec, peak queue depth, memory footprint),
+//! and writes the structured snapshot to `BENCH_6.json` — override with
+//! `--out FILE`.  `--check FILE` validates an existing snapshot against
+//! the schema instead (the CI smoke job).
+
+use ispn_bench::{bench_config, micro, snapshot};
+
+const DEFAULT_OUT: &str = "BENCH_6.json";
+
+/// Packets per call for the scheduling workloads.
+const SCHED_OPS: u64 = 10_000;
+/// Events per call for the event-queue workload, draws for the RNG.
+const ENGINE_OPS: u64 = 10_000;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("--check needs a file, e.g. `snapshot --check BENCH_6.json`");
+            std::process::exit(2);
+        };
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        match snapshot::validate(&text) {
+            Ok(()) => println!("{path}: snapshot schema OK"),
+            Err(msg) => {
+                eprintln!("{path}: {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let out = match args.iter().position(|a| a == "--out") {
+        None => DEFAULT_OUT.to_string(),
+        Some(i) => args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--out needs a file, e.g. `snapshot --out BENCH_6.json`");
+            std::process::exit(2);
+        }),
+    };
+
+    let fast = std::env::var("ISPN_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let cfg = bench_config();
+    let label = if fast { "fast" } else { "paper" };
+
+    let mut micro_results = Vec::new();
+    for (name, work) in micro::sched_workloads() {
+        eprintln!("measuring {name} …");
+        micro_results.push(snapshot::measure_micro(name, work, SCHED_OPS, fast));
+    }
+    for (name, work) in micro::engine_workloads() {
+        eprintln!("measuring {name} …");
+        micro_results.push(snapshot::measure_micro(name, work, ENGINE_OPS, fast));
+    }
+
+    type Probe = fn(&ispn_experiments::config::PaperConfig) -> ispn_scenario::RunTelemetry;
+    let probes: [(&str, Probe); 6] = [
+        ("table1", ispn_experiments::table1::telemetry_probe),
+        ("table2", ispn_experiments::table2::telemetry_probe),
+        ("table3", ispn_experiments::table3::telemetry_probe),
+        ("hetmix", ispn_experiments::hetmix::telemetry_probe),
+        ("mesh", ispn_experiments::mesh::telemetry_probe),
+        ("churn", ispn_experiments::churn::telemetry_probe),
+    ];
+    let mut experiments = Vec::new();
+    for (name, probe) in probes {
+        eprintln!(
+            "probing {name} ({} simulated seconds) …",
+            cfg.duration.as_secs_f64()
+        );
+        let telemetry = probe(&cfg);
+        eprintln!(
+            "  {} events, {:.0} events/s, peak queue depth {}",
+            telemetry.events_processed, telemetry.events_per_sec, telemetry.peak_queue_depth
+        );
+        experiments.push(snapshot::ExperimentResult { name, telemetry });
+    }
+
+    let text = snapshot::render(
+        label,
+        &micro_results,
+        &experiments,
+        snapshot::peak_rss_bytes(),
+    );
+    snapshot::validate(&text).expect("a freshly rendered snapshot matches the schema");
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out} ({label} config)");
+}

@@ -14,36 +14,50 @@
 //!   per-packet work "must not be so complex as to effect overall network
 //!   performance".
 //!
-//! This library crate only holds small shared helpers for those targets.
+//! The workload cores behind the micro-benchmarks live in [`micro`] so the
+//! [`snapshot`] harness (the `snapshot` bin, which records the
+//! `BENCH_*.json` performance trajectory at the repo root) measures exactly
+//! the same code.  This library also holds small shared helpers for the
+//! bench targets; every environment-reading helper has a `*_from` twin
+//! taking the environment value as a parameter, so unit tests stay hermetic
+//! under any ambient `ISPN_BENCH_*` setting.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod micro;
+pub mod snapshot;
+
 use ispn_experiments::config::PaperConfig;
 
-/// Choose the experiment configuration from the environment: set
-/// `ISPN_BENCH_FAST=1` to run shortened scenarios (used in CI smoke runs).
-pub fn bench_config() -> PaperConfig {
-    if std::env::var("ISPN_BENCH_FAST")
-        .map(|v| v == "1")
-        .unwrap_or(false)
-    {
+/// [`bench_config`] with the environment injected: `fast` is the value of
+/// `ISPN_BENCH_FAST`, if set.
+pub fn bench_config_from(fast: Option<&str>) -> PaperConfig {
+    if fast == Some("1") {
         PaperConfig::fast()
     } else {
         PaperConfig::paper()
     }
 }
 
-/// A medium-length configuration for the multi-run extension sweeps.
-pub fn extensions_config() -> PaperConfig {
-    if std::env::var("ISPN_BENCH_FAST")
-        .map(|v| v == "1")
-        .unwrap_or(false)
-    {
+/// Choose the experiment configuration from the environment: set
+/// `ISPN_BENCH_FAST=1` to run shortened scenarios (used in CI smoke runs).
+pub fn bench_config() -> PaperConfig {
+    bench_config_from(std::env::var("ISPN_BENCH_FAST").ok().as_deref())
+}
+
+/// [`extensions_config`] with the environment injected.
+pub fn extensions_config_from(fast: Option<&str>) -> PaperConfig {
+    if fast == Some("1") {
         PaperConfig::fast()
     } else {
         PaperConfig::medium()
     }
+}
+
+/// A medium-length configuration for the multi-run extension sweeps.
+pub fn extensions_config() -> PaperConfig {
+    extensions_config_from(std::env::var("ISPN_BENCH_FAST").ok().as_deref())
 }
 
 /// `true` when this bench invocation is a `--sweep-worker` child of a
@@ -55,15 +69,12 @@ pub fn is_sweep_worker() -> bool {
     ispn_experiments::cli::is_sweep_worker(&args)
 }
 
-/// Choose the sweep execution level for a table-regeneration bench from
-/// the environment: `ISPN_BENCH_WORKERS=N` fans the sweep across `N`
-/// worker subprocesses (the bench binary re-invoked with
-/// `--sweep-worker`, inheriting `ISPN_BENCH_FAST`); otherwise the sweep
-/// runs serially in-process, as the harness always has.
-pub fn bench_exec() -> ispn_scenario::SweepExec {
-    match std::env::var("ISPN_BENCH_WORKERS") {
-        Err(_) => ispn_scenario::SweepExec::InProcess(ispn_scenario::SweepRunner::serial()),
-        Ok(v) => match v.parse::<usize>() {
+/// [`bench_exec`] with the environment injected: `workers` is the value of
+/// `ISPN_BENCH_WORKERS`, if set.
+pub fn bench_exec_from(workers: Option<&str>) -> ispn_scenario::SweepExec {
+    match workers {
+        None => ispn_scenario::SweepExec::InProcess(ispn_scenario::SweepRunner::serial()),
+        Some(v) => match v.parse::<usize>() {
             // A malformed or zero value fails loudly (like the bins'
             // `--workers`): a typo must not silently benchmark the wrong
             // execution level.
@@ -78,25 +89,65 @@ pub fn bench_exec() -> ispn_scenario::SweepExec {
     }
 }
 
+/// Choose the sweep execution level for a table-regeneration bench from
+/// the environment: `ISPN_BENCH_WORKERS=N` fans the sweep across `N`
+/// worker subprocesses (the bench binary re-invoked with
+/// `--sweep-worker`, inheriting `ISPN_BENCH_FAST`); otherwise the sweep
+/// runs serially in-process, as the harness always has.
+pub fn bench_exec() -> ispn_scenario::SweepExec {
+    bench_exec_from(std::env::var("ISPN_BENCH_WORKERS").ok().as_deref())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn bench_exec_defaults_to_serial_in_process() {
-        match bench_exec() {
+        // The unset-environment shape, independent of the ambient
+        // `ISPN_BENCH_WORKERS` value.
+        match bench_exec_from(None) {
             ispn_scenario::SweepExec::InProcess(runner) => assert_eq!(runner.threads(), 1),
             other => panic!("expected in-process exec, got {other:?}"),
         }
-        assert!(!is_sweep_worker());
+    }
+
+    #[test]
+    fn worker_count_fans_the_bench_out() {
+        match bench_exec_from(Some("3")) {
+            ispn_scenario::SweepExec::Distributed(_) => {}
+            other => panic!("expected distributed exec, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ISPN_BENCH_WORKERS")]
+    fn malformed_worker_count_fails_loudly() {
+        let _ = bench_exec_from(Some("zero"));
     }
 
     #[test]
     fn default_config_is_the_papers() {
-        // The environment variable is not set in unit tests.
-        let c = bench_config();
+        // The unset-environment shape, independent of the ambient
+        // `ISPN_BENCH_FAST` value.
+        let c = bench_config_from(None);
         assert!(c.duration.as_secs_f64() >= 40.0);
-        let e = extensions_config();
+        let e = extensions_config_from(None);
         assert!(e.duration <= c.duration);
+    }
+
+    #[test]
+    fn fast_flag_shortens_both_configs() {
+        let c = bench_config_from(Some("1"));
+        assert_eq!(c.duration, PaperConfig::fast().duration);
+        assert_eq!(
+            extensions_config_from(Some("1")).duration,
+            PaperConfig::fast().duration
+        );
+        // Any value other than "1" leaves the full-length configuration.
+        assert_eq!(
+            bench_config_from(Some("0")).duration,
+            PaperConfig::paper().duration
+        );
     }
 }

@@ -1,0 +1,149 @@
+//! Micro-benchmark workload cores, shared by the Criterion benches under
+//! `benches/` and the [`crate::snapshot`] harness.
+//!
+//! Section 3 of the paper: the packet scheduling behaviour "must be
+//! executed for every packet [so] it must not be so complex as to effect
+//! overall network performance".  The workloads here exercise exactly the
+//! per-packet and per-event hot paths that claim rests on, so both the
+//! interactive Criterion runs and the recorded `BENCH_*.json` trajectory
+//! measure the same code.
+
+use ispn_core::{FlowId, Packet, ServiceClass};
+use ispn_sched::{
+    Averaging, Fifo, FifoPlus, QueueDiscipline, SchedContext, StrictPriority, Unified,
+    VirtualClock, Wfq,
+};
+use ispn_sim::{EventQueue, Pcg64, SimTime};
+
+const MBIT: f64 = 1_000_000.0;
+const FLOWS: u32 = 10;
+
+/// One micro-workload: runs `n` operations and returns a checksum the
+/// optimizer cannot elide.
+pub type Workload = fn(u64) -> u64;
+
+/// Enqueue and dequeue `n` packets, alternating flows, with the queue kept
+/// around 20 packets deep.  Returns a checksum over the served sequence
+/// numbers so the optimizer cannot elide the work.
+pub fn churn<D: QueueDiscipline>(disc: &mut D, n: u64) -> u64 {
+    let mut served = 0;
+    let mut now = SimTime::ZERO;
+    for i in 0..n {
+        now += SimTime::from_micros(100);
+        let flow = FlowId((i % FLOWS as u64) as u32);
+        let class = match i % 4 {
+            0 => ServiceClass::Guaranteed,
+            1 => ServiceClass::Predicted { priority: 0 },
+            2 => ServiceClass::Predicted { priority: 1 },
+            _ => ServiceClass::Datagram,
+        };
+        let pkt = Packet::data(flow, i, 1000, now);
+        disc.enqueue(now, pkt, SchedContext::new(class, now));
+        if disc.len() > 20 {
+            if let Some(d) = disc.dequeue(now) {
+                served += d.packet.seq;
+            }
+        }
+    }
+    while let Some(d) = disc.dequeue(now) {
+        served += d.packet.seq;
+    }
+    served
+}
+
+/// The per-packet scheduling workloads: one `(label, workload)` pair per
+/// discipline, each running `n` packets through a fresh queue.
+pub fn sched_workloads() -> Vec<(&'static str, Workload)> {
+    vec![
+        ("sched/fifo", |n| churn(&mut Fifo::new(), n)),
+        ("sched/wfq", |n| {
+            churn(&mut Wfq::equal_share(MBIT, FLOWS as usize), n)
+        }),
+        ("sched/virtual_clock", |n| {
+            churn(&mut VirtualClock::new(MBIT / FLOWS as f64), n)
+        }),
+        ("sched/fifo_plus_running_mean", |n| {
+            churn(&mut FifoPlus::new(Averaging::RunningMean), n)
+        }),
+        ("sched/fifo_plus_ewma", |n| {
+            churn(&mut FifoPlus::new(Averaging::Ewma(1.0 / 16.0)), n)
+        }),
+        ("sched/priority_over_fifo", |n| {
+            let mut d: StrictPriority<Fifo> = StrictPriority::new(2);
+            churn(&mut d, n)
+        }),
+        ("sched/unified", |n| {
+            let mut d = Unified::new(MBIT, 2, Averaging::RunningMean);
+            for f in 0..3u32 {
+                d.add_guaranteed_flow(FlowId(f), 100_000.0);
+            }
+            churn(&mut d, n)
+        }),
+    ]
+}
+
+/// Push `n` randomly timestamped events through the event queue, popping
+/// every other push and then draining; returns a checksum of the popped
+/// payloads.
+pub fn event_queue_push_pop(n: u64) -> u64 {
+    let mut q = EventQueue::with_capacity(1024);
+    let mut rng = Pcg64::new(1);
+    let mut sink = 0u64;
+    for i in 0..n {
+        q.push(SimTime::from_nanos(rng.next_below(1_000_000_000)), i);
+        if i % 2 == 0 {
+            if let Some((_, e)) = q.pop() {
+                sink = sink.wrapping_add(e);
+            }
+        }
+    }
+    while let Some((_, e)) = q.pop() {
+        sink = sink.wrapping_add(e);
+    }
+    sink
+}
+
+/// Draw `n` exponential inter-arrival samples from the PCG generator and
+/// return the bit pattern of their sum as a checksum.
+pub fn pcg_exponential(n: u64) -> u64 {
+    let mut rng = Pcg64::new(7);
+    let mut acc = 0.0;
+    for _ in 0..n {
+        acc += rng.exponential(0.0294);
+    }
+    acc.to_bits()
+}
+
+/// The simulation-substrate workloads: event-queue throughput and the
+/// random-number generator.
+pub fn engine_workloads() -> Vec<(&'static str, Workload)> {
+    vec![
+        ("engine/event_queue_push_pop", event_queue_push_pop),
+        ("engine/pcg64_exponential", pcg_exponential),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_workload_serves_all_packets_deterministically() {
+        for (name, work) in sched_workloads() {
+            // Same checksum on repeat runs: the workload is deterministic.
+            assert_eq!(work(2_000), work(2_000), "{name}");
+        }
+        for (name, work) in engine_workloads() {
+            assert_eq!(work(2_000), work(2_000), "{name}");
+        }
+    }
+
+    #[test]
+    fn sched_churn_serves_every_sequence_number() {
+        // The checksum equals the sum 0 + 1 + … + (n-1) exactly when every
+        // enqueued packet was eventually dequeued once.
+        let n = 1_000u64;
+        let served = churn(&mut Fifo::new(), n);
+        assert_eq!(served, n * (n - 1) / 2);
+    }
+}

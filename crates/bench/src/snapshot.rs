@@ -1,0 +1,298 @@
+//! The recorded performance trajectory: measure the micro-benchmark
+//! workloads and the six experiments' engine counters, and serialize the
+//! lot as a structured `BENCH_<pr>.json` snapshot committed at the repo
+//! root.
+//!
+//! Unlike the Criterion benches (interactive, statistical), this harness
+//! produces one machine-readable file per PR so the sequence of
+//! `BENCH_*.json` files records how per-packet cost, events-per-second
+//! throughput and memory footprint move as the codebase grows.  Wall-clock
+//! numbers never feed back into simulation output — determinism is
+//! untouched.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use ispn_scenario::{json_escape, JsonValue, RunTelemetry};
+
+/// One measured micro-benchmark workload.
+#[derive(Debug, Clone)]
+pub struct MicroResult {
+    /// Workload label (`sched/…` or `engine/…`).
+    pub name: &'static str,
+    /// Mean wall-clock nanoseconds per operation (packet, event or draw).
+    pub ns_per_op: f64,
+    /// Total operations executed inside the measurement window.
+    pub ops: u64,
+}
+
+/// One experiment's engine-counter snapshot (from its `telemetry_probe`).
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Experiment name (`table1` … `churn`).
+    pub name: &'static str,
+    /// The probe's run telemetry: events processed, events/sec, peak
+    /// queue depth, memory footprint.
+    pub telemetry: RunTelemetry,
+}
+
+/// Measure one workload: one warm-up call, then repeated calls of
+/// `ops_per_call` operations until the measurement window elapses.  The
+/// fast window (50 ms) is for CI smoke runs; the full window is 500 ms.
+pub fn measure_micro(
+    name: &'static str,
+    work: fn(u64) -> u64,
+    ops_per_call: u64,
+    fast: bool,
+) -> MicroResult {
+    let window = if fast {
+        Duration::from_millis(50)
+    } else {
+        Duration::from_millis(500)
+    };
+    black_box(work(ops_per_call));
+    let started = Instant::now();
+    let mut calls = 0u64;
+    while calls == 0 || started.elapsed() < window {
+        black_box(work(ops_per_call));
+        calls += 1;
+    }
+    let total_ns = started.elapsed().as_nanos() as f64;
+    let ops = calls * ops_per_call;
+    MicroResult {
+        name,
+        ns_per_op: total_ns / ops as f64,
+        ops,
+    }
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serialize a full snapshot as the `BENCH_*.json` document.
+pub fn render(
+    config_label: &str,
+    micro: &[MicroResult],
+    experiments: &[ExperimentResult],
+    peak_rss: Option<u64>,
+) -> String {
+    let micro_json: Vec<String> = micro
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"name\":\"{}\",\"ns_per_op\":{},\"ops\":{}}}",
+                json_escape(m.name),
+                json_f64(m.ns_per_op),
+                m.ops
+            )
+        })
+        .collect();
+    let exp_json: Vec<String> = experiments
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{\"name\":\"{}\",\"telemetry\":{}}}",
+                json_escape(e.name),
+                e.telemetry.to_json()
+            )
+        })
+        .collect();
+    let rss = match peak_rss {
+        Some(b) => b.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\n  \"schema\": \"ispn-bench-snapshot/1\",\n  \"config\": \"{}\",\n  \
+         \"micro\": [\n{}\n  ],\n  \"experiments\": [\n{}\n  ],\n  \
+         \"peak_rss_bytes\": {}\n}}\n",
+        json_escape(config_label),
+        micro_json.join(",\n"),
+        exp_json.join(",\n"),
+        rss
+    )
+}
+
+/// The experiment names a snapshot must cover, in rendering order.
+pub const EXPERIMENTS: [&str; 6] = ["table1", "table2", "table3", "hetmix", "mesh", "churn"];
+
+/// Validate a `BENCH_*.json` document against the snapshot schema: the
+/// schema tag, at least one `sched/` and one `engine/` micro entry with a
+/// positive ns/op, and a telemetry block (events/sec + peak queue depth)
+/// for every one of the six experiments.
+pub fn validate(text: &str) -> Result<(), String> {
+    let v = JsonValue::parse(text).map_err(|e| format!("not valid JSON: {e:?}"))?;
+    let err = |m: String| -> Result<(), String> { Err(m) };
+    let schema = v
+        .field("schema")
+        .and_then(|s| s.as_str())
+        .map_err(|e| format!("schema tag: {e:?}"))?;
+    if schema != "ispn-bench-snapshot/1" {
+        return err(format!("unknown schema tag {schema:?}"));
+    }
+    v.field("config")
+        .and_then(|s| s.as_str())
+        .map_err(|e| format!("config label: {e:?}"))?;
+    let micro = v
+        .field("micro")
+        .and_then(|m| m.as_array())
+        .map_err(|e| format!("micro list: {e:?}"))?;
+    let mut has_sched = false;
+    let mut has_engine = false;
+    for m in micro {
+        let name = m
+            .field("name")
+            .and_then(|n| n.as_str())
+            .map_err(|e| format!("micro entry name: {e:?}"))?;
+        let ns = m
+            .field("ns_per_op")
+            .and_then(|n| n.as_f64_or_nan())
+            .map_err(|e| format!("micro {name:?} ns_per_op: {e:?}"))?;
+        if ns.is_nan() || ns <= 0.0 {
+            return err(format!("micro {name:?} has non-positive ns_per_op {ns}"));
+        }
+        has_sched |= name.starts_with("sched/");
+        has_engine |= name.starts_with("engine/");
+    }
+    if !has_sched || !has_engine {
+        return err("micro list must cover both sched/ and engine/ workloads".to_string());
+    }
+    let experiments = v
+        .field("experiments")
+        .and_then(|m| m.as_array())
+        .map_err(|e| format!("experiments list: {e:?}"))?;
+    for wanted in EXPERIMENTS {
+        let entry = experiments
+            .iter()
+            .find(|e| {
+                e.field("name")
+                    .and_then(|n| n.as_str())
+                    .map(|n| n == wanted)
+                    .unwrap_or(false)
+            })
+            .ok_or_else(|| format!("experiment {wanted:?} missing from snapshot"))?;
+        let t = entry
+            .field("telemetry")
+            .map_err(|e| format!("experiment {wanted:?} telemetry: {e:?}"))?;
+        for key in ["events_processed", "events_per_sec", "peak_queue_depth"] {
+            t.field(key)
+                .map_err(|e| format!("experiment {wanted:?} telemetry {key}: {e:?}"))?;
+        }
+    }
+    match v.field("peak_rss_bytes") {
+        Ok(_) => Ok(()),
+        Err(e) => err(format!("peak_rss_bytes: {e:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_telemetry() -> RunTelemetry {
+        RunTelemetry {
+            events_processed: 1000,
+            event_queue_high_water: 20,
+            peak_queue_depth: 9,
+            admission_accepted: 3,
+            admission_rejected: 1,
+            flow_table_bytes: 2048,
+            reservation_state_bytes: 512,
+            wall_s: 0.5,
+            events_per_sec: 2000.0,
+        }
+    }
+
+    #[test]
+    fn rendered_snapshot_validates() {
+        let micro: Vec<MicroResult> = [("sched/fifo", 12.5), ("engine/event_queue_push_pop", 3.0)]
+            .iter()
+            .map(|&(name, ns_per_op)| MicroResult {
+                name,
+                ns_per_op,
+                ops: 10_000,
+            })
+            .collect();
+        let experiments: Vec<ExperimentResult> = EXPERIMENTS
+            .iter()
+            .map(|&name| ExperimentResult {
+                name,
+                telemetry: sample_telemetry(),
+            })
+            .collect();
+        let text = render("fast", &micro, &experiments, Some(1 << 24));
+        validate(&text).expect("a rendered snapshot matches its own schema");
+        // And the RSS-unavailable shape is valid too.
+        validate(&render("paper", &micro, &experiments, None)).unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_incomplete_snapshots() {
+        assert!(validate("{}").is_err());
+        assert!(validate("not json at all").is_err());
+        let micro = [MicroResult {
+            name: "sched/fifo",
+            ns_per_op: 12.5,
+            ops: 10_000,
+        }];
+        // Engine workload missing.
+        let text = render("fast", &micro, &[], None);
+        assert!(validate(&text).is_err());
+        // One experiment missing.
+        let micro2 = [
+            MicroResult {
+                name: "sched/fifo",
+                ns_per_op: 12.5,
+                ops: 10_000,
+            },
+            MicroResult {
+                name: "engine/pcg64_exponential",
+                ns_per_op: 3.0,
+                ops: 10_000,
+            },
+        ];
+        let five: Vec<ExperimentResult> = EXPERIMENTS[..5]
+            .iter()
+            .map(|&name| ExperimentResult {
+                name,
+                telemetry: sample_telemetry(),
+            })
+            .collect();
+        let text = render("fast", &micro2, &five, None);
+        let msg = validate(&text).unwrap_err();
+        assert!(msg.contains("churn"), "{msg}");
+    }
+
+    #[test]
+    fn measure_reports_positive_cost() {
+        let m = measure_micro("engine/sum", |n| (0..n).sum(), 1_000, true);
+        assert!(m.ns_per_op > 0.0);
+        assert!(m.ops >= 1_000);
+    }
+
+    #[test]
+    fn peak_rss_parses_on_linux() {
+        // On Linux procfs is present and the value is sane (> 1 MiB for a
+        // test binary); elsewhere the probe degrades to None.
+        if let Some(b) = peak_rss_bytes() {
+            assert!(b > 1 << 20, "implausible VmHWM {b}");
+        }
+    }
+}

@@ -3,13 +3,15 @@
 //! over offered load.  `ISPN_FAST=1` runs a shortened sweep; `--stream`
 //! prints one stderr progress line per completed point; `--workers N`
 //! fans the sweep across N worker subprocesses (this binary re-invoked
-//! with `--sweep-worker`; the `ISPN_FAST` configuration is inherited).
-//! Stdout stays byte-identical to a batch in-process run in every mode —
-//! including the accept/reject decision sequence behind the table.
+//! with `--sweep-worker`; the `ISPN_FAST` configuration is inherited);
+//! `--telemetry[=FILE]` renders the sweep's per-point wall-time summary to
+//! stderr (or JSON to FILE).  Stdout stays byte-identical to a batch
+//! in-process run in every mode — including the accept/reject decision
+//! sequence behind the table.
 
 use ispn_experiments::config::PaperConfig;
 use ispn_experiments::{churn, cli, report};
-use ispn_scenario::{NullObserver, ProgressObserver, SweepObserver};
+use ispn_scenario::{NullObserver, ProgressObserver, SweepObserver, TelemetryCollector};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -17,6 +19,7 @@ fn main() {
         .map(|v| v == "1")
         .unwrap_or(false);
     let stream = args.iter().any(|a| a == "--stream");
+    let telemetry = cli::parse_telemetry(&args);
     let paper = if fast {
         PaperConfig::fast()
     } else {
@@ -36,10 +39,19 @@ fn main() {
         exec.description()
     );
     let progress = ProgressObserver::new();
-    let observer: &dyn SweepObserver<churn::ChurnOutcome> =
+    let base: &dyn SweepObserver<churn::ChurnOutcome> =
         if stream { &progress } else { &NullObserver };
+    let collector = TelemetryCollector::new(base);
+    let observer: &dyn SweepObserver<churn::ChurnOutcome> = if telemetry.is_some() {
+        &collector
+    } else {
+        base
+    };
     let reports = churn::sweep_exec(&paper, &arrival_rates, holding_secs, &exec, observer);
     println!("{}", report::render_churn(&reports));
+    if let Some(sink) = &telemetry {
+        cli::emit_telemetry(sink, &collector.summary());
+    }
     let failures = ispn_scenario::failed_points(&reports);
     if failures > 0 {
         eprintln!("{failures} sweep point(s) failed - see the report above");

@@ -1,19 +1,22 @@
 //! Regenerate Table 2 of CSZ'92 (WFQ vs FIFO vs FIFO+ on the Figure-1 chain).
 //!
-//! Usage: `cargo run --release -p ispn-experiments --bin table2 [--fast] [--stream] [--workers N]`
+//! Usage: `cargo run --release -p ispn-experiments --bin table2 [--fast] [--stream] [--workers N] [--telemetry[=FILE]]`
 //!
 //! `--stream` prints one stderr progress line per completed sweep point;
 //! `--workers N` fans the sweep across N worker subprocesses (this binary
-//! re-invoked with `--sweep-worker`).  Stdout (the final table) is
-//! byte-identical to a batch in-process run in every mode.
+//! re-invoked with `--sweep-worker`); `--telemetry[=FILE]` renders the
+//! sweep's per-point wall-time summary to stderr (or JSON to FILE).
+//! Stdout (the final table) is byte-identical to a batch in-process run in
+//! every mode.
 
 use ispn_experiments::{cli, config::PaperConfig, report, table2};
-use ispn_scenario::{NullObserver, ProgressObserver, SweepObserver};
+use ispn_scenario::{NullObserver, ProgressObserver, SweepObserver, TelemetryCollector};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let fast = args.iter().any(|a| a == "--fast");
     let stream = args.iter().any(|a| a == "--stream");
+    let telemetry = cli::parse_telemetry(&args);
     let cfg = if fast {
         PaperConfig::fast()
     } else {
@@ -34,10 +37,19 @@ fn main() {
         exec.description()
     );
     let progress = ProgressObserver::new();
-    let observer: &dyn SweepObserver<table2::Table2Point> =
+    let base: &dyn SweepObserver<table2::Table2Point> =
         if stream { &progress } else { &NullObserver };
+    let collector = TelemetryCollector::new(base);
+    let observer: &dyn SweepObserver<table2::Table2Point> = if telemetry.is_some() {
+        &collector
+    } else {
+        base
+    };
     let reports = table2::exec_reports(&cfg, &exec, observer);
     println!("{}", report::render_table2(&reports));
+    if let Some(sink) = &telemetry {
+        cli::emit_telemetry(sink, &collector.summary());
+    }
     let failures = ispn_scenario::failed_points(&reports);
     if failures > 0 {
         eprintln!("{failures} sweep point(s) failed - see the report above");

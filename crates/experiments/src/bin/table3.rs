@@ -8,16 +8,19 @@
 //! reports one random run; the sweep shows how much the sample rows move.
 //! `--stream` prints one stderr progress line per completed replication;
 //! `--workers N` fans the seed sweep across N worker subprocesses (this
-//! binary re-invoked with `--sweep-worker --seeds N`).  Stdout is
-//! byte-identical to a batch in-process run in every mode.
+//! binary re-invoked with `--sweep-worker --seeds N`);
+//! `--telemetry[=FILE]` renders the seed sweep's per-point wall-time
+//! summary to stderr (or JSON to FILE).  Stdout is byte-identical to a
+//! batch in-process run in every mode.
 
 use ispn_experiments::{cli, config::PaperConfig, report, table3};
-use ispn_scenario::{NullObserver, ProgressObserver, SweepObserver};
+use ispn_scenario::{NullObserver, ProgressObserver, SweepObserver, TelemetryCollector};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let fast = args.iter().any(|a| a == "--fast");
     let stream = args.iter().any(|a| a == "--stream");
+    let telemetry = cli::parse_telemetry(&args);
     let cfg = if fast {
         PaperConfig::fast()
     } else {
@@ -42,6 +45,9 @@ fn main() {
         if cli::parse_workers(&args).is_some() {
             eprintln!("--workers applies to the seed sweep; a single-seed run stays in-process");
         }
+        if telemetry.is_some() {
+            eprintln!("--telemetry applies to the seed sweep; pass `--seeds N` with N > 1");
+        }
         eprintln!(
             "running Table 3 ({} simulated seconds)...",
             cfg.duration.as_secs_f64()
@@ -62,10 +68,19 @@ fn main() {
         exec.description()
     );
     let progress = ProgressObserver::new();
-    let observer: &dyn SweepObserver<(u64, table3::Table3)> =
+    let base: &dyn SweepObserver<(u64, table3::Table3)> =
         if stream { &progress } else { &NullObserver };
+    let collector = TelemetryCollector::new(base);
+    let observer: &dyn SweepObserver<(u64, table3::Table3)> = if telemetry.is_some() {
+        &collector
+    } else {
+        base
+    };
     let reports = table3::run_seeds_exec(&cfg, &seed_axis, &exec, observer);
     print!("{}", report::render_table3_seeds(&reports));
+    if let Some(sink) = &telemetry {
+        cli::emit_telemetry(sink, &collector.summary());
+    }
     let failures = ispn_scenario::failed_points(&reports);
     if failures > 0 {
         eprintln!("{failures} sweep point(s) failed - see the report above");

@@ -23,9 +23,9 @@
 use ispn_net::{LinkId, PoliceAction};
 use ispn_scenario::{
     wire_f64, AdmissionSpec, ChurnClass, ChurnSourceSpec, ChurnWorkload, DisciplineMatrix,
-    DisciplineSpec, JsonValue, NullObserver, PointResult, ScenarioBuilder, ScenarioSet, Sim,
-    SweepExec, SweepObserver, SweepReport, SweepRunner, TopologySpec, WireError, WireResult,
-    WorkloadSpec,
+    DisciplineSpec, JsonValue, MeasurementPlan, NullObserver, PointResult, RunTelemetry,
+    ScenarioBuilder, ScenarioSet, Sim, SweepExec, SweepObserver, SweepReport, SweepRunner,
+    TopologySpec, WireError, WireResult, WorkloadSpec,
 };
 use ispn_sched::Averaging;
 use ispn_sim::SimTime;
@@ -312,6 +312,18 @@ pub fn run(cfg: &ChurnConfig) -> ChurnOutcome {
         worst_bound_fraction,
         residual_reserved_bps,
     }
+}
+
+/// Run a representative churn point (one arrival per second, 15-second
+/// mean holding time) with run telemetry enabled and return the engine's
+/// counters (the probe behind the `ispn-bench` snapshot harness).
+pub fn telemetry_probe(paper: &PaperConfig) -> RunTelemetry {
+    let cfg = ChurnConfig::new(paper.clone(), 1.0, 15.0);
+    let mut sim = build_sim(&cfg);
+    sim.run_until(paper.duration);
+    sim.report(&MeasurementPlan::default().with_run_telemetry())
+        .telemetry
+        .expect("run telemetry was requested")
 }
 
 /// Run the offered-load sweep through the given runner, streaming each

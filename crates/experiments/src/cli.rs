@@ -12,11 +12,22 @@
 //!   distributed parent (checked by the bin **before anything prints to
 //!   stdout**, which belongs to the frame stream in this mode).
 //!
+//! Sweep-shaped bins additionally understand `--telemetry[=FILE]`: collect
+//! the sweep's per-point wall-time stream (worker-measured in distributed
+//! runs) and render the [`SweepTelemetry`] summary to stderr, or write its
+//! JSON to `FILE`.  Stdout is untouched either way, so telemetry never
+//! breaks table byte-identity; the flag is also **not** forwarded to
+//! workers (it selects parent-side aggregation, not sweep shape).
+//!
 //! This module only parses the flags and assembles the
 //! [`SweepExec`]; the per-experiment worker loops live next to their
 //! sweeps in the experiment modules.
 
-use ispn_scenario::{DistRunner, SweepExec, SweepRunner, WorkerCommand, WORKER_FLAG};
+use std::path::PathBuf;
+
+use ispn_scenario::{
+    DistRunner, SweepExec, SweepRunner, SweepTelemetry, WorkerCommand, WORKER_FLAG,
+};
 
 /// Whether this invocation is a `--sweep-worker` child.
 pub fn is_sweep_worker(args: &[String]) -> bool {
@@ -55,6 +66,51 @@ pub fn sweep_exec(args: &[String], worker_args: &[String]) -> SweepExec {
     }
 }
 
+/// Where `--telemetry[=FILE]` sends the sweep telemetry summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TelemetrySink {
+    /// `--telemetry`: render the summary to stderr after the sweep.
+    Stderr,
+    /// `--telemetry=FILE`: write the summary JSON to the file.
+    File(PathBuf),
+}
+
+/// The `--telemetry[=FILE]` flag, if present.
+///
+/// Exits with status 2 on an empty file path — the same convention the
+/// bins' other flags use.
+pub fn parse_telemetry(args: &[String]) -> Option<TelemetrySink> {
+    for arg in args {
+        if arg == "--telemetry" {
+            return Some(TelemetrySink::Stderr);
+        }
+        if let Some(path) = arg.strip_prefix("--telemetry=") {
+            if path.is_empty() {
+                eprintln!("--telemetry= needs a file path, e.g. `--telemetry=sweep.json`");
+                std::process::exit(2);
+            }
+            return Some(TelemetrySink::File(PathBuf::from(path)));
+        }
+    }
+    None
+}
+
+/// Deliver a finished sweep's telemetry summary to its sink.  Writes only
+/// to stderr or the named file — never stdout, which belongs to the
+/// byte-identical table.
+pub fn emit_telemetry(sink: &TelemetrySink, summary: &SweepTelemetry) {
+    match sink {
+        TelemetrySink::Stderr => eprintln!("{}", summary.render()),
+        TelemetrySink::File(path) => {
+            if let Err(e) = std::fs::write(path, format!("{}\n", summary.to_json())) {
+                eprintln!("could not write telemetry to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("sweep telemetry written to {}", path.display());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,6 +129,19 @@ mod tests {
     fn workers_flag_parses() {
         assert_eq!(parse_workers(&args(&["bin"])), None);
         assert_eq!(parse_workers(&args(&["bin", "--workers", "3"])), Some(3));
+    }
+
+    #[test]
+    fn telemetry_flag_parses_both_shapes() {
+        assert_eq!(parse_telemetry(&args(&["bin"])), None);
+        assert_eq!(
+            parse_telemetry(&args(&["bin", "--telemetry"])),
+            Some(TelemetrySink::Stderr)
+        );
+        assert_eq!(
+            parse_telemetry(&args(&["bin", "--telemetry=sweep.json"])),
+            Some(TelemetrySink::File(PathBuf::from("sweep.json")))
+        );
     }
 
     #[test]

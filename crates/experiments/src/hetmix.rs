@@ -16,8 +16,8 @@ use ispn_core::TokenBucketSpec;
 use ispn_net::PoliceAction;
 use ispn_scenario::{
     json_escape, wire_f64, DisciplineSpec, FlowDef, JsonValue, MeasurementPlan, NullObserver,
-    PointResult, RouteSpec, ScenarioBuilder, ScenarioSet, ServiceSpec, SourceSpec, SweepExec,
-    SweepObserver, SweepReport, SweepRunner, WireError, WireResult,
+    PointResult, RouteSpec, RunTelemetry, ScenarioBuilder, ScenarioSet, ServiceSpec, Sim,
+    SourceSpec, SweepExec, SweepObserver, SweepReport, SweepRunner, WireError, WireResult,
 };
 use ispn_sched::Averaging;
 
@@ -74,9 +74,9 @@ impl WireResult for HetMixPoint {
     }
 }
 
-/// Run one (discipline, level) point: a single shared link carrying
+/// Build one (discipline, level) scenario: a single shared link carrying
 /// `level` flows of each real-time class plus the datagram background.
-pub fn run_point(cfg: &PaperConfig, spec: DisciplineSpec, level: usize) -> HetMixPoint {
+fn build_point(cfg: &PaperConfig, spec: DisciplineSpec, level: usize) -> Sim {
     assert!(level >= 1);
     let pt = cfg.packet_time();
     let a = cfg.avg_rate_pps;
@@ -144,7 +144,12 @@ pub fn run_point(cfg: &PaperConfig, spec: DisciplineSpec, level: usize) -> HetMi
         ),
     );
 
-    let mut sim = builder.build().expect("the mix scenario is valid");
+    builder.build().expect("the mix scenario is valid")
+}
+
+/// Run one (discipline, level) point and aggregate the per-class delays.
+pub fn run_point(cfg: &PaperConfig, spec: DisciplineSpec, level: usize) -> HetMixPoint {
+    let mut sim = build_point(cfg, spec, level);
     sim.run_until(cfg.duration);
     let report = sim.report(&MeasurementPlan::default());
 
@@ -160,6 +165,18 @@ pub fn run_point(cfg: &PaperConfig, spec: DisciplineSpec, level: usize) -> HetMi
         utilization: report.links[0].utilization,
         classes,
     }
+}
+
+/// Run the unified-scheduler mix at level 1 with run telemetry enabled
+/// and return the engine's counters (the probe behind the `ispn-bench`
+/// snapshot harness).
+pub fn telemetry_probe(cfg: &PaperConfig) -> RunTelemetry {
+    let unified = discipline_set()[3];
+    let mut sim = build_point(cfg, unified, 1);
+    sim.run_until(cfg.duration);
+    sim.report(&MeasurementPlan::default().with_run_telemetry())
+        .telemetry
+        .expect("run telemetry was requested")
 }
 
 /// The cartesian (discipline × level) axis set of the sweep.

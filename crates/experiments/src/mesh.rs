@@ -16,8 +16,9 @@ use ispn_net::PoliceAction;
 use ispn_net::{LinkId, NodeId};
 use ispn_scenario::{
     json_escape, wire_f64, DisciplineSpec, FlowDef, JsonValue, MeasurementPlan, NullObserver,
-    PointResult, RouteSpec, ScenarioBuilder, ScenarioReport, ScenarioSet, ServiceSpec, SourceSpec,
-    SweepExec, SweepObserver, SweepReport, SweepRunner, WireError, WireResult,
+    PointResult, RouteSpec, RunTelemetry, ScenarioBuilder, ScenarioReport, ScenarioSet,
+    ServiceSpec, Sim, SourceSpec, SweepExec, SweepObserver, SweepReport, SweepRunner, WireError,
+    WireResult,
 };
 use ispn_sched::Averaging;
 
@@ -26,6 +27,9 @@ use crate::table3::{HIGH_PRIORITY_TARGET_PKT, LOW_PRIORITY_TARGET_PKT};
 
 /// Grid side length (3×3: one genuine interior switch).
 pub const SIDE: usize = 3;
+
+/// Number of best-effort corner-to-corner flows in the mesh scenario.
+const CORNER_FLOWS: usize = 4;
 
 /// Aggregate statistics of one traffic class (delays in packet times).
 #[derive(Debug, Clone)]
@@ -173,9 +177,9 @@ pub fn aggregate_class(
     }
 }
 
-/// Run one mesh scenario with `cross_flows_per_row` Predicted-Low flows
+/// Build one mesh scenario with `cross_flows_per_row` Predicted-Low flows
 /// sharing each row with its guaranteed flow.
-pub fn run(cfg: &PaperConfig, cross_flows_per_row: usize) -> MeshOutcome {
+fn build_mesh(cfg: &PaperConfig, cross_flows_per_row: usize) -> Sim {
     let pt = cfg.packet_time();
     let bucket = TokenBucketSpec::per_packets(cfg.avg_rate_pps, 50.0, cfg.packet_bits);
     let peak_bps = 2.0 * cfg.avg_rate_pps * cfg.packet_bits as f64;
@@ -258,12 +262,18 @@ pub fn run(cfg: &PaperConfig, cross_flows_per_row: usize) -> MeshOutcome {
         )));
     }
 
-    let mut sim = builder.build().expect("the mesh scenario is valid");
+    builder.build().expect("the mesh scenario is valid")
+}
+
+/// Run one mesh scenario with `cross_flows_per_row` Predicted-Low flows
+/// sharing each row with its guaranteed flow.
+pub fn run(cfg: &PaperConfig, cross_flows_per_row: usize) -> MeshOutcome {
+    let mut sim = build_mesh(cfg, cross_flows_per_row);
     sim.run_until(cfg.duration);
     let report = sim.report(&MeasurementPlan::default());
 
     // Interior = links incident to the centre switch.
-    let centre = node(SIDE / 2, SIDE / 2);
+    let centre = NodeId((SIDE / 2) * SIDE + SIDE / 2);
     let mut interior_utilization = 0.0;
     let mut edge_utilization = 0.0;
     let mut interior = 0usize;
@@ -291,7 +301,7 @@ pub fn run(cfg: &PaperConfig, cross_flows_per_row: usize) -> MeshOutcome {
         aggregate_class(&report.flows[g..g + h], cfg, "Predicted-High"),
         aggregate_class(&report.flows[g + h..g + h + low], cfg, "Predicted-Low"),
         aggregate_class(
-            &report.flows[g + h + low..g + h + low + corners.len()],
+            &report.flows[g + h + low..g + h + low + CORNER_FLOWS],
             cfg,
             "Datagram",
         ),
@@ -305,6 +315,17 @@ pub fn run(cfg: &PaperConfig, cross_flows_per_row: usize) -> MeshOutcome {
         interior_drops,
         report,
     }
+}
+
+/// Run the mesh at one cross-traffic flow per row with run telemetry
+/// enabled and return the engine's counters (the probe behind the
+/// `ispn-bench` snapshot harness).
+pub fn telemetry_probe(cfg: &PaperConfig) -> RunTelemetry {
+    let mut sim = build_mesh(cfg, 1);
+    sim.run_until(cfg.duration);
+    sim.report(&MeasurementPlan::default().with_run_telemetry())
+        .telemetry
+        .expect("run telemetry was requested")
 }
 
 /// Sweep the Predicted-Low cross-traffic level through the given runner,

@@ -9,9 +9,9 @@
 //! the FIFO algorithm."  The link runs at 83.5 % utilization.
 
 use ispn_scenario::{
-    json_escape, wire_f64, FlowDef, JsonValue, LinkProfile, NullObserver, PointResult,
-    ScenarioBuilder, ScenarioSet, SourceSpec, SweepExec, SweepObserver, SweepReport, SweepRunner,
-    WireError, WireResult,
+    json_escape, wire_f64, FlowDef, JsonValue, LinkProfile, MeasurementPlan, NullObserver,
+    PointResult, RunTelemetry, ScenarioBuilder, ScenarioSet, Sim, SourceSpec, SweepExec,
+    SweepObserver, SweepReport, SweepRunner, WireError, WireResult,
 };
 use ispn_sim::SimTime;
 
@@ -72,11 +72,11 @@ pub struct Table1 {
     pub rows: Vec<Table1Row>,
 }
 
-/// Run the single-link scenario under one discipline — a two-switch chain
-/// with ten identically distributed on/off flows, declared through the
-/// scenario API.
-pub fn run_single_link(cfg: &PaperConfig, discipline: DisciplineKind) -> Table1Row {
-    let mut sim = ScenarioBuilder::chain(2)
+/// Build the single-link scenario under one discipline — a two-switch
+/// chain with ten identically distributed on/off flows, declared through
+/// the scenario API.
+fn build_single_link(cfg: &PaperConfig, discipline: DisciplineKind) -> Sim {
+    ScenarioBuilder::chain(2)
         .link_profile(LinkProfile {
             rate_bps: cfg.link_rate_bps,
             propagation: SimTime::ZERO,
@@ -90,7 +90,13 @@ pub fn run_single_link(cfg: &PaperConfig, discipline: DisciplineKind) -> Table1R
             ))
         }))
         .build()
-        .expect("the Table-1 scenario is valid");
+        .expect("the Table-1 scenario is valid")
+}
+
+/// Run the single-link scenario under one discipline and summarize the
+/// sample flow's delays into a table row.
+pub fn run_single_link(cfg: &PaperConfig, discipline: DisciplineKind) -> Table1Row {
+    let mut sim = build_single_link(cfg, discipline);
 
     sim.run_until(cfg.duration);
 
@@ -113,6 +119,17 @@ pub fn run_single_link(cfg: &PaperConfig, discipline: DisciplineKind) -> Table1R
         all_flows_worst_p999: worst_p999 / pt,
         utilization: net.monitor().link_report(0).utilization,
     }
+}
+
+/// Run the WFQ single-link scenario with run telemetry enabled and return
+/// the engine's counters (the probe behind the `ispn-bench` snapshot
+/// harness).
+pub fn telemetry_probe(cfg: &PaperConfig) -> RunTelemetry {
+    let mut sim = build_single_link(cfg, DisciplineKind::Wfq);
+    sim.run_until(cfg.duration);
+    sim.report(&MeasurementPlan::default().with_run_telemetry())
+        .telemetry
+        .expect("run telemetry was requested")
 }
 
 /// The discipline axis of the Table-1 sweep (WFQ and FIFO, in the paper's

@@ -10,9 +10,9 @@
 
 use ispn_core::FlowId;
 use ispn_scenario::{
-    json_escape, wire_f64, FlowDef, JsonValue, NullObserver, PointResult, ScenarioBuilder,
-    ScenarioSet, Sim, SourceSpec, SweepExec, SweepObserver, SweepReport, SweepRunner, TopologySpec,
-    WireError, WireResult,
+    json_escape, wire_f64, FlowDef, JsonValue, MeasurementPlan, NullObserver, PointResult,
+    RunTelemetry, ScenarioBuilder, ScenarioSet, Sim, SourceSpec, SweepExec, SweepObserver,
+    SweepReport, SweepRunner, TopologySpec, WireError, WireResult,
 };
 
 use crate::config::PaperConfig;
@@ -166,6 +166,15 @@ pub fn run_point(cfg: &PaperConfig, discipline: DisciplineKind) -> Table2Point {
         cells,
         utilization,
     }
+}
+
+/// Run the WFQ Figure-1 chain with run telemetry enabled and return the
+/// engine's counters (the probe behind the `ispn-bench` snapshot harness).
+pub fn telemetry_probe(cfg: &PaperConfig) -> RunTelemetry {
+    let (mut sim, _flows) = run_chain(cfg, DisciplineKind::Wfq);
+    sim.report(&MeasurementPlan::default().with_run_telemetry())
+        .telemetry
+        .expect("run telemetry was requested")
 }
 
 /// The discipline axis of the Table-2 sweep (WFQ, FIFO, FIFO+ in the

@@ -16,8 +16,8 @@ use ispn_core::bounds::pg_queueing_bound;
 use ispn_core::{FlowId, TokenBucketSpec};
 use ispn_net::{LinkId, PoliceAction};
 use ispn_scenario::{
-    DisciplineMatrix, DisciplineSpec, FlowDef, RouteSpec, ScenarioBuilder, ServiceSpec, Sim,
-    SourceSpec, TcpDef, TopologySpec,
+    DisciplineMatrix, DisciplineSpec, FlowDef, MeasurementPlan, RouteSpec, RunTelemetry,
+    ScenarioBuilder, ServiceSpec, Sim, SourceSpec, TcpDef, TopologySpec,
 };
 use ispn_sched::Averaging;
 use ispn_transport::SharedTcpStats;
@@ -263,6 +263,18 @@ pub fn run(cfg: &PaperConfig) -> Table3 {
     let mut scenario = build(cfg);
     scenario.sim.run_until(cfg.duration);
     summarize(cfg, &mut scenario)
+}
+
+/// Run the Table-3 scenario with run telemetry enabled and return the
+/// engine's counters (the probe behind the `ispn-bench` snapshot harness).
+pub fn telemetry_probe(cfg: &PaperConfig) -> RunTelemetry {
+    let mut scenario = build(cfg);
+    scenario.sim.run_until(cfg.duration);
+    scenario
+        .sim
+        .report(&MeasurementPlan::default().with_run_telemetry())
+        .telemetry
+        .expect("run telemetry was requested")
 }
 
 /// Replicate Table 3 across a seed axis through the given runner,

@@ -29,6 +29,7 @@
 pub mod agent;
 pub mod monitor;
 pub mod network;
+pub mod telemetry;
 pub mod topology;
 
 pub use agent::{Agent, AgentApi, AgentId, Delivery};
@@ -37,4 +38,5 @@ pub use agent::{Agent, AgentApi, AgentId, Delivery};
 pub use ispn_sched::GuaranteedInstall;
 pub use monitor::{FlowReport, LinkReport, Monitor};
 pub use network::{FlowConfig, Network, PoliceAction, SetupError};
+pub use telemetry::NetTelemetry;
 pub use topology::{LinkId, LinkParams, NodeId, Topology};

@@ -14,11 +14,14 @@ use ispn_core::admission::{AdmissionController, AdmissionDecision};
 use ispn_core::{
     Conformance, FlowId, FlowSpec, Packet, ServiceClass, TokenBucket, TokenBucketSpec,
 };
-use ispn_sched::{Fifo, GuaranteedInstall, QueueDiscipline, SchedContext};
+use ispn_sched::{
+    class_bucket, Fifo, GuaranteedInstall, ProbeStats, Probed, QueueDiscipline, SchedContext,
+};
 use ispn_sim::{EventQueue, SimTime};
 
 use crate::agent::{Agent, AgentApi, AgentId, Delivery};
 use crate::monitor::Monitor;
+use crate::telemetry::NetTelemetry;
 use crate::topology::{LinkId, NodeId, Topology};
 
 /// What to do with packets that fail the edge conformance check
@@ -152,7 +155,7 @@ struct AdmissionState {
 }
 
 struct Port {
-    discipline: Box<dyn QueueDiscipline>,
+    discipline: Probed<Box<dyn QueueDiscipline>>,
     busy: bool,
     admission: Option<AdmissionState>,
 }
@@ -195,6 +198,7 @@ pub struct Network {
     flows: Vec<FlowState>,
     agents: Vec<Box<dyn Agent>>,
     monitor: Monitor,
+    telemetry: NetTelemetry,
     queue: EventQueue<NetEvent>,
     now: SimTime,
     started: bool,
@@ -212,7 +216,7 @@ impl Network {
     pub fn new(topology: Topology) -> Self {
         let ports = (0..topology.num_links())
             .map(|_| Port {
-                discipline: Box::new(Fifo::new()) as Box<dyn QueueDiscipline>,
+                discipline: Probed::new(Box::new(Fifo::new()) as Box<dyn QueueDiscipline>),
                 busy: false,
                 admission: None,
             })
@@ -224,6 +228,7 @@ impl Network {
             flows: Vec::new(),
             agents: Vec::new(),
             monitor: Monitor::new(0, num_links),
+            telemetry: NetTelemetry::new(num_links),
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             started: false,
@@ -252,6 +257,77 @@ impl Network {
         &mut self.monitor
     }
 
+    /// The engine telemetry accumulated so far (drops per link and class,
+    /// admission verdict totals).  Unlike the [`Monitor`], these counters
+    /// are not warm-up-gated: they see every event from t = 0.
+    pub fn net_telemetry(&self) -> &NetTelemetry {
+        &self.telemetry
+    }
+
+    /// The probe counters of one link's output port: enqueues and dequeues
+    /// per class bucket, plus the port's peak queue depth.
+    pub fn link_probe(&self, link: LinkId) -> &ProbeStats {
+        self.ports[link.index()].discipline.stats()
+    }
+
+    /// Total events dispatched by the event loop so far.
+    pub fn events_processed(&self) -> u64 {
+        self.queue.dispatched_count()
+    }
+
+    /// The deepest the pending-event set ever was.
+    pub fn event_queue_high_water(&self) -> u64 {
+        self.queue.depth_high_water()
+    }
+
+    /// The deepest any output-port queue ever was (in packets).
+    pub fn peak_port_depth(&self) -> u64 {
+        self.ports
+            .iter()
+            .map(|p| p.discipline.stats().depth_high_water.get())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Structural size of the flow table in bytes: the per-flow state
+    /// records plus their route, hop-index and installed-link storage.  A
+    /// deterministic length-based estimate (element counts × element
+    /// sizes), not an allocator measurement — so two same-seed runs agree
+    /// and growth is attributable to flow count, not allocator policy.
+    pub fn flow_table_bytes(&self) -> u64 {
+        let mut bytes = self.flows.len() * std::mem::size_of::<FlowState>();
+        for f in &self.flows {
+            bytes += f.config.route.len() * std::mem::size_of::<LinkId>();
+            bytes += f.hop_at_node.len() * std::mem::size_of::<(usize, usize)>();
+            bytes += f.installed_links.len() * std::mem::size_of::<LinkId>();
+        }
+        bytes as u64
+    }
+
+    /// Structural size of the per-link reservation state in bytes (the
+    /// admission-control records installed on ports).  Same estimation
+    /// rules as [`flow_table_bytes`](Network::flow_table_bytes).
+    pub fn reservation_state_bytes(&self) -> u64 {
+        (self.ports.iter().filter(|p| p.admission.is_some()).count()
+            * std::mem::size_of::<AdmissionState>()) as u64
+    }
+
+    /// Snapshot every engine counter into a named-metric registry (event
+    /// loop, per-port probes, drops, admission verdicts).
+    pub fn telemetry_registry(&self) -> ispn_telemetry::Registry {
+        let probes: Vec<&ProbeStats> = self.ports.iter().map(|p| p.discipline.stats()).collect();
+        let mut reg = ispn_telemetry::Registry::new();
+        reg.record("events.processed", self.events_processed());
+        reg.record("events.queue_high_water", self.event_queue_high_water());
+        reg.record("ports.peak_depth", self.peak_port_depth());
+        reg.record("flows.table_bytes", self.flow_table_bytes());
+        reg.record("reservations.state_bytes", self.reservation_state_bytes());
+        for (name, value) in self.telemetry.registry(&probes).entries() {
+            reg.record(name.clone(), *value);
+        }
+        reg
+    }
+
     /// Replace the queueing discipline of a link's output port.
     ///
     /// # Panics
@@ -266,7 +342,7 @@ impl Network {
             self.ports[link.index()].discipline.is_empty(),
             "cannot swap a non-empty discipline"
         );
-        self.ports[link.index()].discipline = discipline;
+        self.ports[link.index()].discipline = Probed::new(discipline);
     }
 
     /// The name of the discipline installed on a link (for reports).
@@ -458,10 +534,14 @@ impl Network {
                 let veto =
                     self.install_guaranteed_or_veto(link, flow, clock_rate_bps, clock_rate_bps);
                 if !veto.is_accept() {
+                    self.telemetry.record_admission_reject();
                     return veto;
                 }
             }
             self.flows[flow.index()].installed_links.push(link);
+            self.telemetry.record_admission_accept();
+        } else {
+            self.telemetry.record_admission_reject();
         }
         decision
     }
@@ -806,6 +886,8 @@ impl Network {
         if port.discipline.len() >= buffer_limit {
             self.monitor
                 .record_buffer_drop(packet.flow, link.index(), self.now);
+            self.telemetry
+                .record_link_drop(link.index(), class_bucket(class));
             return;
         }
         port.discipline

@@ -86,7 +86,7 @@ pub use error::BuildError;
 pub use render::{axis_names, SweepTable};
 pub use report::{
     json_escape, ClassSummary, DisciplineSummary, FlowSummary, HistogramSpec, HistogramSummary,
-    LinkSummary, MeasurementPlan, ScenarioReport, SignalingSummary,
+    LinkSummary, MeasurementPlan, RunTelemetry, ScenarioReport, SignalingSummary,
 };
 pub use sim::{ChurnFlowRecord, Sim};
 pub use sweep::dist::{DistRunner, SweepExec, WorkerCommand};
@@ -95,8 +95,8 @@ pub use sweep::wire::{wire_f64, JsonValue, WireError, WireResult};
 pub use sweep::worker::{serve_worker, WORKER_FLAG};
 pub use sweep::{
     failed_points, sweep_to_json, sweep_to_json_checked, AxisValue, NullObserver, PointResult,
-    ProgressObserver, ScenarioSet, SweepChannel, SweepError, SweepObserver, SweepPoint,
-    SweepReport, SweepRunner,
+    PointTelemetry, ProgressObserver, ScenarioSet, SweepChannel, SweepError, SweepObserver,
+    SweepPoint, SweepReport, SweepRunner, SweepTelemetry, TelemetryCollector,
 };
 pub use topology::{BuiltTopology, LinkProfile, TopologySpec};
 pub use workload::{

@@ -75,6 +75,11 @@ pub struct MeasurementPlan {
     pub class_quantiles: Vec<f64>,
     /// Optional per-class delay histogram selection.
     pub delay_histogram: Option<HistogramSpec>,
+    /// Attach a [`RunTelemetry`] block (engine counters + wall-clock rate +
+    /// memory footprint) to the report.  **Default-off**: when disabled the
+    /// report JSON carries no `telemetry` key at all, so every
+    /// pre-telemetry golden stays byte-identical.
+    pub run_telemetry: bool,
 }
 
 impl Default for MeasurementPlan {
@@ -89,6 +94,7 @@ impl Default for MeasurementPlan {
             discipline_stats: true,
             class_quantiles: vec![0.5, 0.9, 0.99, 0.999],
             delay_histogram: None,
+            run_telemetry: false,
         }
     }
 }
@@ -104,6 +110,7 @@ impl MeasurementPlan {
             discipline_stats: false,
             class_quantiles: Vec::new(),
             delay_histogram: None,
+            run_telemetry: false,
         }
     }
 
@@ -121,6 +128,12 @@ impl MeasurementPlan {
     /// Replace the per-class quantile selection (builder style).
     pub fn with_quantiles(mut self, quantiles: impl Into<Vec<f64>>) -> Self {
         self.class_quantiles = quantiles.into();
+        self
+    }
+
+    /// Attach run telemetry to the report (builder style).
+    pub fn with_run_telemetry(mut self) -> Self {
+        self.run_telemetry = true;
         self
     }
 }
@@ -242,6 +255,81 @@ pub struct SignalingSummary {
     pub pending: usize,
 }
 
+/// Engine telemetry of one scenario run: what the event loop, ports and
+/// admission machinery actually did, plus the run's memory footprint and
+/// wall-clock throughput.
+///
+/// Every field except `wall_s` and `events_per_sec` is a deterministic
+/// function of the simulated event sequence — two same-seed runs agree
+/// exactly (pinned by the determinism tests in `ispn-experiments`).  The
+/// two wall-clock fields are measured *outside* the sim by
+/// [`Sim::report`](crate::Sim::report) and never influence it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunTelemetry {
+    /// Events dispatched by the network event loop.
+    pub events_processed: u64,
+    /// Peak size of the pending-event set.
+    pub event_queue_high_water: u64,
+    /// Peak depth of any output-port packet queue.
+    pub peak_queue_depth: u64,
+    /// Per-link admission verdicts accepted.
+    pub admission_accepted: u64,
+    /// Per-link admission verdicts rejected.
+    pub admission_rejected: u64,
+    /// Structural size of the flow table, in bytes.
+    pub flow_table_bytes: u64,
+    /// Structural size of the per-link reservation state, in bytes.
+    pub reservation_state_bytes: u64,
+    /// Wall-clock seconds spent inside `run_until` (not simulated time).
+    pub wall_s: f64,
+    /// `events_processed / wall_s` (0 when no wall time was recorded).
+    pub events_per_sec: f64,
+}
+
+impl RunTelemetry {
+    /// Snapshot the deterministic counters from a run network; the caller
+    /// (the `Sim` facade) supplies the wall-clock seconds it accumulated
+    /// around its stepping loop.
+    pub fn collect(net: &Network, wall_s: f64) -> RunTelemetry {
+        let events_processed = net.events_processed();
+        let events_per_sec = if wall_s > 0.0 {
+            events_processed as f64 / wall_s
+        } else {
+            0.0
+        };
+        RunTelemetry {
+            events_processed,
+            event_queue_high_water: net.event_queue_high_water(),
+            peak_queue_depth: net.peak_port_depth(),
+            admission_accepted: net.net_telemetry().admission_accepted(),
+            admission_rejected: net.net_telemetry().admission_rejected(),
+            flow_table_bytes: net.flow_table_bytes(),
+            reservation_state_bytes: net.reservation_state_bytes(),
+            wall_s,
+            events_per_sec,
+        }
+    }
+
+    /// Serialize as a JSON object (the `telemetry` value in a report).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"events_processed\":{},\"event_queue_high_water\":{},\
+             \"peak_queue_depth\":{},\"admission_accepted\":{},\
+             \"admission_rejected\":{},\"flow_table_bytes\":{},\
+             \"reservation_state_bytes\":{},\"wall_s\":{},\"events_per_sec\":{}}}",
+            self.events_processed,
+            self.event_queue_high_water,
+            self.peak_queue_depth,
+            self.admission_accepted,
+            self.admission_rejected,
+            self.flow_table_bytes,
+            self.reservation_state_bytes,
+            json_f64(self.wall_s),
+            json_f64(self.events_per_sec),
+        )
+    }
+}
+
 /// The structured result of a scenario run.
 #[derive(Debug, Clone)]
 pub struct ScenarioReport {
@@ -261,6 +349,11 @@ pub struct ScenarioReport {
     pub disciplines: Vec<DisciplineSummary>,
     /// Signaling summary, if the plan asked for one.
     pub signaling: Option<SignalingSummary>,
+    /// Run telemetry, if the plan opted in
+    /// ([`MeasurementPlan::run_telemetry`]).  When `None` the report JSON
+    /// carries **no** `telemetry` key, keeping pre-telemetry goldens
+    /// byte-identical.
+    pub telemetry: Option<RunTelemetry>,
 }
 
 /// Escape a string for embedding inside a JSON string literal: `"`, `\`
@@ -391,6 +484,9 @@ impl ScenarioReport {
             classes: class_summaries,
             disciplines: discipline_summaries,
             signaling,
+            // Filled by `Sim::report` when the plan opts in — only the
+            // facade knows the run's wall-clock time.
+            telemetry: None,
         }
     }
 
@@ -618,6 +714,12 @@ impl ScenarioReport {
             }
             None => out.push_str(",\"signaling\":null"),
         }
+        // Emitted only when present: a telemetry-off report's JSON is
+        // byte-identical to the pre-telemetry format.
+        if let Some(t) = &self.telemetry {
+            out.push_str(",\"telemetry\":");
+            out.push_str(&t.to_json());
+        }
         out.push('}');
         out
     }
@@ -732,6 +834,21 @@ impl ScenarioReport {
                 s.accepted, s.rejected, s.pending
             ));
         }
+        if let Some(t) = &self.telemetry {
+            out.push_str(&format!(
+                "\ntelemetry: {} events ({:.0}/s wall), event-queue peak {}, \
+                 port peak {} pkts, admission {}/{} accept/reject, \
+                 flow table {} B, reservations {} B\n",
+                t.events_processed,
+                t.events_per_sec,
+                t.event_queue_high_water,
+                t.peak_queue_depth,
+                t.admission_accepted,
+                t.admission_rejected,
+                t.flow_table_bytes,
+                t.reservation_state_bytes,
+            ));
+        }
         out
     }
 }
@@ -795,6 +912,21 @@ mod tests {
                 decisions: vec![true, true, false, true],
                 pending: 0,
             }),
+            telemetry: None,
+        }
+    }
+
+    fn sample_telemetry() -> RunTelemetry {
+        RunTelemetry {
+            events_processed: 1234,
+            event_queue_high_water: 17,
+            peak_queue_depth: 9,
+            admission_accepted: 3,
+            admission_rejected: 1,
+            flow_table_bytes: 2048,
+            reservation_state_bytes: 512,
+            wall_s: 0.25,
+            events_per_sec: 4936.0,
         }
     }
 
@@ -825,6 +957,48 @@ mod tests {
             "{json}"
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn telemetry_off_emits_no_key_telemetry_on_appends_one() {
+        let off = sample_report().to_json();
+        assert!(
+            !off.contains("\"telemetry\""),
+            "default-off reports must not mention telemetry: {off}"
+        );
+        let mut with = sample_report();
+        with.telemetry = Some(sample_telemetry());
+        let json = with.to_json();
+        // The telemetry block is appended just before the closing brace, so
+        // a telemetry-on report is the telemetry-off bytes plus one key.
+        assert!(json.starts_with(&off[..off.len() - 1]), "{json}");
+        assert!(json.contains(
+            "\"telemetry\":{\"events_processed\":1234,\"event_queue_high_water\":17,\
+             \"peak_queue_depth\":9,\"admission_accepted\":3,\"admission_rejected\":1,\
+             \"flow_table_bytes\":2048,\"reservation_state_bytes\":512,\
+             \"wall_s\":0.25,\"events_per_sec\":4936.0}"
+        ));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn telemetry_renders_one_line() {
+        let mut r = sample_report();
+        r.telemetry = Some(sample_telemetry());
+        let text = r.render();
+        assert!(text.contains("telemetry: 1234 events"));
+        assert!(text.contains("admission 3/1 accept/reject"));
+    }
+
+    #[test]
+    fn run_telemetry_plan_flag_defaults_off() {
+        assert!(!MeasurementPlan::default().run_telemetry);
+        assert!(!MeasurementPlan::flows_only().run_telemetry);
+        assert!(
+            MeasurementPlan::default()
+                .with_run_telemetry()
+                .run_telemetry
+        );
     }
 
     #[test]

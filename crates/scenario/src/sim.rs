@@ -30,7 +30,7 @@ use ispn_sim::{EventQueue, Pcg64, SimTime};
 use ispn_traffic::{OnOffConfig, OnOffSource};
 use ispn_transport::TcpHandles;
 
-use crate::report::{MeasurementPlan, ScenarioReport};
+use crate::report::{MeasurementPlan, RunTelemetry, ScenarioReport};
 use crate::topology::BuiltTopology;
 use crate::workload::ChurnWorkload;
 
@@ -220,6 +220,11 @@ pub struct Sim {
     built: BuiltTopology,
     /// The churn workload driver, when the builder declared one.
     churn: Option<ChurnHandle>,
+    /// Wall-clock time spent inside [`run_until`](Sim::run_until), summed
+    /// over calls.  Feeds only the opt-in [`RunTelemetry`] block — it never
+    /// enters the default report, so measured output stays byte-identical
+    /// across machines.
+    wall: std::time::Duration,
 }
 
 impl std::fmt::Debug for Sim {
@@ -256,6 +261,7 @@ impl Sim {
             tcp,
             built,
             churn: None,
+            wall: std::time::Duration::ZERO,
         }
     }
 
@@ -483,6 +489,7 @@ impl Sim {
              or signal handler"
         );
         self.running = true;
+        let started = std::time::Instant::now();
         let draining = horizon == SimTime::MAX;
         let due = |t: SimTime| t < horizon || (t == horizon && draining);
         loop {
@@ -523,12 +530,23 @@ impl Sim {
             self.dispatch(events);
         }
         self.running = false;
+        self.wall += started.elapsed();
         std::mem::take(&mut self.collected)
     }
 
     /// Collect a structured report of the statistics the plan selects.
+    /// When the plan opts in with
+    /// [`with_run_telemetry`](MeasurementPlan::with_run_telemetry), the
+    /// report carries a [`RunTelemetry`] block built from the engine
+    /// counters and the wall-clock time accumulated across `run_until`
+    /// calls; otherwise the report is byte-identical to a plan without the
+    /// flag.
     pub fn report(&mut self, plan: &MeasurementPlan) -> ScenarioReport {
-        ScenarioReport::collect(plan, &mut self.net, &self.sig, &self.flows)
+        let mut report = ScenarioReport::collect(plan, &mut self.net, &self.sig, &self.flows);
+        if plan.run_telemetry {
+            report.telemetry = Some(RunTelemetry::collect(&self.net, self.wall.as_secs_f64()));
+        }
+        report
     }
 }
 

@@ -478,6 +478,20 @@ pub fn failed_points<R>(reports: &[SweepReport<PointResult<R>>]) -> usize {
     reports.iter().filter(|r| r.result.is_err()).count()
 }
 
+/// Out-of-band per-point run stats: wall-clock data measured around one
+/// point's execution, streamed to the observer **separately** from the
+/// point's result so it can never leak into the byte-identity surface.
+/// For a distributed sweep the wall time is the one the *worker process*
+/// measured around the point's closure (shipped in a telemetry wire
+/// frame); in-process runners measure around the same closure directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointTelemetry {
+    /// The point's position in sweep order.
+    pub index: usize,
+    /// Wall-clock seconds spent running the point's closure.
+    pub wall_s: f64,
+}
+
 /// Receives each point's report the moment the point completes.
 ///
 /// Implementations must be `Sync`: a parallel runner calls
@@ -490,6 +504,14 @@ pub fn failed_points<R>(reports: &[SweepReport<PointResult<R>>]) -> usize {
 pub trait SweepObserver<R>: Sync {
     /// Called once, before any point runs, with the number of points.
     fn sweep_started(&self, _total: usize) {}
+
+    /// Called with a point's out-of-band run stats, just before that
+    /// point's [`point_completed`](SweepObserver::point_completed) (same
+    /// thread, same ordering caveats).  Default: ignore — telemetry is
+    /// opt-in for observers exactly as it is for reports.  A distributed
+    /// runner whose worker died mid-point may complete a point without
+    /// ever delivering its telemetry.
+    fn point_telemetry(&self, _telemetry: &PointTelemetry) {}
 
     /// Called as each point completes (completion order; possibly from a
     /// worker thread).  Panicked points arrive as `Err` — streaming
@@ -516,14 +538,19 @@ impl<R> SweepObserver<R> for NullObserver {
 }
 
 /// A progress observer for command-line sweeps: one stderr line per
-/// completed point (`[done/total] axis=value … done`, or the panic payload
-/// for a failed point).  This is what the experiment bins wire up under
-/// `--stream`; stdout stays untouched, so the final rendered report is
-/// byte-identical to a batch run.
+/// completed point (`[done/total] axis=value … done (r.r pts/s, ETA Ns)`,
+/// or the panic payload for a failed point).  This is what the experiment
+/// bins wire up under `--stream`; stdout stays untouched, so the final
+/// rendered report is byte-identical to a batch run.  The pace and ETA are
+/// wall-clock measured *outside* the sim — they exist only on stderr and
+/// never influence any result.
 #[derive(Debug, Default)]
 pub struct ProgressObserver {
     done: AtomicUsize,
     total: AtomicUsize,
+    /// When the current sweep started (reset by `sweep_started`), for the
+    /// pts/sec + ETA suffix.
+    started: Mutex<Option<std::time::Instant>>,
 }
 
 impl ProgressObserver {
@@ -542,13 +569,35 @@ impl ProgressObserver {
     }
 }
 
+impl ProgressObserver {
+    /// The ` (r.r pts/s, ETA Ns)` suffix, empty until a measurable amount
+    /// of wall time has passed.
+    fn pace_suffix(&self, done: usize, total: usize) -> String {
+        let elapsed = self
+            .started
+            .lock()
+            .expect("progress clock poisoned")
+            .map(|t0| t0.elapsed().as_secs_f64());
+        match elapsed {
+            Some(elapsed) if elapsed > 0.0 && done > 0 => {
+                let rate = done as f64 / elapsed;
+                let remaining = total.saturating_sub(done);
+                format!(" ({rate:.1} pts/s, ETA {:.0}s)", remaining as f64 / rate)
+            }
+            _ => String::new(),
+        }
+    }
+}
+
 impl<R> SweepObserver<R> for ProgressObserver {
     fn sweep_started(&self, total: usize) {
         // Reset the completion count: an observer reused across runs used
         // to keep counting from the previous sweep's total, so `[done/total]`
-        // overflowed and `completed()` double-counted.
+        // overflowed and `completed()` double-counted.  The pace clock
+        // restarts with it.
         self.done.store(0, Ordering::SeqCst);
         self.total.store(total, Ordering::SeqCst);
+        *self.started.lock().expect("progress clock poisoned") = Some(std::time::Instant::now());
     }
 
     fn point_completed(&self, report: &SweepReport<PointResult<R>>) {
@@ -560,10 +609,150 @@ impl<R> SweepObserver<R> for ProgressObserver {
             .map(|(name, label)| format!("{name}={label}"))
             .collect();
         let tags = tags.join(" ");
+        let pace = self.pace_suffix(done, total);
         match &report.result {
-            Ok(_) => eprintln!("[{done}/{total}] {tags} done"),
-            Err(e) => eprintln!("[{done}/{total}] {tags} PANICKED: {}", e.payload),
+            Ok(_) => eprintln!("[{done}/{total}] {tags} done{pace}"),
+            Err(e) => eprintln!("[{done}/{total}] {tags} PANICKED: {}{pace}", e.payload),
         }
+    }
+}
+
+/// Aggregate of a sweep's [`PointTelemetry`] stream: how many points
+/// reported, total/mean wall time, and the slowest point.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SweepTelemetry {
+    points: usize,
+    total_wall_s: f64,
+    max_wall_s: f64,
+    max_index: usize,
+}
+
+impl SweepTelemetry {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one point's stats in.
+    pub fn record(&mut self, t: &PointTelemetry) {
+        self.points += 1;
+        self.total_wall_s += t.wall_s;
+        if self.points == 1 || t.wall_s > self.max_wall_s {
+            self.max_wall_s = t.wall_s;
+            self.max_index = t.index;
+        }
+    }
+
+    /// Number of points that reported telemetry.
+    pub fn points(&self) -> usize {
+        self.points
+    }
+
+    /// Total wall-clock seconds across the reporting points (note this
+    /// sums *per-point* time: parallel execution can make it exceed the
+    /// sweep's elapsed time).
+    pub fn total_wall_s(&self) -> f64 {
+        self.total_wall_s
+    }
+
+    /// Mean per-point wall-clock seconds (0 before any point reported).
+    pub fn mean_wall_s(&self) -> f64 {
+        if self.points == 0 {
+            0.0
+        } else {
+            self.total_wall_s / self.points as f64
+        }
+    }
+
+    /// The slowest point's `(index, wall seconds)`, if any reported.
+    pub fn slowest(&self) -> Option<(usize, f64)> {
+        (self.points > 0).then_some((self.max_index, self.max_wall_s))
+    }
+
+    /// A one-paragraph human-readable summary.
+    pub fn render(&self) -> String {
+        match self.slowest() {
+            None => "sweep telemetry: no points reported".to_string(),
+            Some((index, max)) => format!(
+                "sweep telemetry: {} points, {:.3}s total point wall time \
+                 ({:.3}s mean), slowest point {} at {:.3}s",
+                self.points,
+                self.total_wall_s,
+                self.mean_wall_s(),
+                index,
+                max
+            ),
+        }
+    }
+
+    /// Serialize as one JSON object (the `--telemetry=FILE` payload).
+    pub fn to_json(&self) -> String {
+        let slowest = match self.slowest() {
+            Some((index, _)) => index.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"points\":{},\"total_wall_s\":{},\"mean_wall_s\":{},\
+             \"max_wall_s\":{},\"max_index\":{slowest}}}",
+            self.points,
+            wire::wire_f64(self.total_wall_s),
+            wire::wire_f64(self.mean_wall_s()),
+            wire::wire_f64(self.max_wall_s)
+        )
+    }
+}
+
+/// An observer wrapper that aggregates the telemetry stream into a
+/// [`SweepTelemetry`] while forwarding every callback to an inner
+/// observer.  This is what the bins' `--telemetry` flag wires around their
+/// usual observer: the inner one keeps rendering progress, the collector
+/// accumulates the summary to print after the sweep.
+pub struct TelemetryCollector<'a, R> {
+    inner: &'a dyn SweepObserver<R>,
+    aggregate: Mutex<SweepTelemetry>,
+}
+
+impl<'a, R> TelemetryCollector<'a, R> {
+    /// Wrap `inner`, starting from an empty aggregate.
+    pub fn new(inner: &'a dyn SweepObserver<R>) -> Self {
+        TelemetryCollector {
+            inner,
+            aggregate: Mutex::new(SweepTelemetry::new()),
+        }
+    }
+
+    /// The aggregate so far (a copy; the collector keeps accumulating).
+    pub fn summary(&self) -> SweepTelemetry {
+        *self.aggregate.lock().expect("telemetry aggregate poisoned")
+    }
+}
+
+impl<R> std::fmt::Debug for TelemetryCollector<'_, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryCollector")
+            .field("aggregate", &self.summary())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<R> SweepObserver<R> for TelemetryCollector<'_, R> {
+    fn sweep_started(&self, total: usize) {
+        // A collector reused across sweeps restarts its aggregate, like
+        // ProgressObserver restarts its counters.
+        *self.aggregate.lock().expect("telemetry aggregate poisoned") = SweepTelemetry::new();
+        self.inner.sweep_started(total);
+    }
+
+    fn point_telemetry(&self, telemetry: &PointTelemetry) {
+        self.aggregate
+            .lock()
+            .expect("telemetry aggregate poisoned")
+            .record(telemetry);
+        self.inner.point_telemetry(telemetry);
+    }
+
+    fn point_completed(&self, report: &SweepReport<PointResult<R>>) {
+        self.inner.point_completed(report);
     }
 }
 
@@ -698,25 +887,36 @@ impl SweepRunner {
         observer.sweep_started(n);
         // One point, fault-isolated: a panic in `run_point` becomes the
         // point's `SweepError` instead of unwinding through the sweep.
-        let run_one = |index: usize| -> SweepReport<PointResult<R>> {
+        // The wall time rides back separately — out-of-band stats, never
+        // part of the report.
+        let run_one = |index: usize| -> (SweepReport<PointResult<R>>, PointTelemetry) {
             let point = &set.points[index];
+            let started = std::time::Instant::now();
             let result = std::panic::catch_unwind(AssertUnwindSafe(|| run_point(&point.params)))
                 .map_err(|payload| SweepError {
                     index,
                     tags: point.tags.clone(),
                     payload: panic_payload_text(payload.as_ref()),
                 });
-            SweepReport {
+            let telemetry = PointTelemetry {
                 index,
-                tags: point.tags.clone(),
-                result,
-            }
+                wall_s: started.elapsed().as_secs_f64(),
+            };
+            (
+                SweepReport {
+                    index,
+                    tags: point.tags.clone(),
+                    result,
+                },
+                telemetry,
+            )
         };
         let workers = self.threads.min(n.max(1));
         if workers <= 1 {
             let mut out = Vec::with_capacity(n);
             for index in 0..n {
-                let report = run_one(index);
+                let (report, telemetry) = run_one(index);
+                observer.point_telemetry(&telemetry);
                 observer.point_completed(&report);
                 out.push(report);
             }
@@ -736,7 +936,8 @@ impl SweepRunner {
                     if i >= n {
                         break;
                     }
-                    let report = run_one(i);
+                    let (report, telemetry) = run_one(i);
+                    observer.point_telemetry(&telemetry);
                     observer.point_completed(&report);
                     *slots[i].lock().expect("result slot poisoned") = Some(report);
                 });
@@ -846,6 +1047,7 @@ mod tests {
             classes: Vec::new(),
             disciplines: Vec::new(),
             signaling: None,
+            telemetry: None,
         });
         let json = sweep_to_json(&out);
         assert!(json.starts_with('[') && json.ends_with(']'));
@@ -953,6 +1155,7 @@ mod tests {
             classes: Vec::new(),
             disciplines: Vec::new(),
             signaling: None,
+            telemetry: None,
         };
         let plain = SweepRunner::serial().run(&set, |_| report());
         let checked = SweepRunner::serial().try_run(&set, |_| report());
@@ -971,6 +1174,91 @@ mod tests {
         let json = poisoned.to_json();
         assert!(json.contains("\"error\":\"evil \\\"quote\\\"\""), "{json}");
         assert!(!json.contains("\"report\""), "{json}");
+    }
+
+    #[test]
+    fn progress_observer_resets_its_counter_per_sweep() {
+        let observer = ProgressObserver::new();
+        let small = ScenarioSet::over("i", [1usize, 2]);
+        let big = ScenarioSet::over("i", (0..5usize).collect::<Vec<_>>());
+        let _ = SweepRunner::serial().run_streaming(&big, |&(i,)| i, &observer);
+        assert_eq!(observer.completed(), 5);
+        // Reusing the observer must restart from zero, not keep counting.
+        let _ = SweepRunner::serial().run_streaming(&small, |&(i,)| i, &observer);
+        assert_eq!(observer.completed(), 2);
+    }
+
+    #[test]
+    fn every_point_streams_telemetry_with_positive_wall_time() {
+        let set = ScenarioSet::over("i", (0..8usize).collect::<Vec<_>>());
+        let seen: Mutex<Vec<PointTelemetry>> = Mutex::new(Vec::new());
+        struct Capture<'a>(&'a Mutex<Vec<PointTelemetry>>);
+        impl<R> SweepObserver<R> for Capture<'_> {
+            fn point_telemetry(&self, t: &PointTelemetry) {
+                self.0.lock().unwrap().push(*t);
+            }
+            fn point_completed(&self, _report: &SweepReport<PointResult<R>>) {}
+        }
+        for runner in [SweepRunner::serial(), SweepRunner::parallel(4)] {
+            seen.lock().unwrap().clear();
+            let _ = runner.run_streaming(&set, |&(i,)| i, &Capture(&seen));
+            let mut indices: Vec<usize> = seen.lock().unwrap().iter().map(|t| t.index).collect();
+            indices.sort_unstable();
+            assert_eq!(indices, (0..8).collect::<Vec<_>>());
+            assert!(seen.lock().unwrap().iter().all(|t| t.wall_s >= 0.0));
+        }
+    }
+
+    #[test]
+    fn telemetry_collector_aggregates_and_resets_per_sweep() {
+        let mut agg = SweepTelemetry::new();
+        assert_eq!(agg.points(), 0);
+        assert_eq!(agg.slowest(), None);
+        agg.record(&PointTelemetry {
+            index: 0,
+            wall_s: 1.0,
+        });
+        agg.record(&PointTelemetry {
+            index: 3,
+            wall_s: 4.0,
+        });
+        agg.record(&PointTelemetry {
+            index: 5,
+            wall_s: 1.0,
+        });
+        assert_eq!(agg.points(), 3);
+        assert_eq!(agg.total_wall_s(), 6.0);
+        assert_eq!(agg.mean_wall_s(), 2.0);
+        assert_eq!(agg.slowest(), Some((3, 4.0)));
+        assert!(agg.render().contains("slowest point 3"));
+        assert_eq!(
+            agg.to_json(),
+            "{\"points\":3,\"total_wall_s\":6.0,\"mean_wall_s\":2.0,\
+             \"max_wall_s\":4.0,\"max_index\":3}"
+        );
+
+        // The collector wrapper accumulates the stream and forwards to the
+        // inner observer; a new sweep restarts its aggregate.
+        let set = ScenarioSet::over("i", [1usize, 2, 3]);
+        let inner = ProgressObserver::new();
+        let collector = TelemetryCollector::new(&inner);
+        let _ = SweepRunner::parallel(2).run_streaming(&set, |&(i,)| i, &collector);
+        assert_eq!(collector.summary().points(), 3);
+        assert_eq!(inner.completed(), 3);
+        let pair = ScenarioSet::over("i", [1usize, 2]);
+        let _ = SweepRunner::serial().run_streaming(&pair, |&(i,)| i, &collector);
+        assert_eq!(collector.summary().points(), 2);
+    }
+
+    #[test]
+    fn empty_sweep_telemetry_serializes_null_slowest() {
+        let agg = SweepTelemetry::new();
+        assert!(agg.render().contains("no points reported"));
+        assert_eq!(
+            agg.to_json(),
+            "{\"points\":0,\"total_wall_s\":0.0,\"mean_wall_s\":0.0,\
+             \"max_wall_s\":0.0,\"max_index\":null}"
+        );
     }
 
     #[test]

@@ -55,7 +55,8 @@ use std::time::Duration;
 use super::wire::{self, WireResult, WorkerFrame};
 use super::worker::WORKER_ID_ENV;
 use super::{
-    NullObserver, PointResult, ScenarioSet, SweepError, SweepObserver, SweepReport, SweepRunner,
+    NullObserver, PointResult, PointTelemetry, ScenarioSet, SweepError, SweepObserver, SweepReport,
+    SweepRunner,
 };
 
 /// How a [`DistRunner`] launches one worker subprocess: program, fixed
@@ -313,7 +314,8 @@ impl DistRunner {
                             break;
                         }
                         let tags = &set.points()[i].tags;
-                        let result = self.run_point(&mut sup, worker_id, n, i, tags);
+                        let mut wall_s = None;
+                        let result = self.run_point(&mut sup, worker_id, n, i, tags, &mut wall_s);
                         let report = SweepReport {
                             index: i,
                             tags: tags.clone(),
@@ -323,6 +325,11 @@ impl DistRunner {
                                 payload,
                             }),
                         };
+                        // The worker's out-of-band stats frame, when one
+                        // arrived (a worker lost mid-point reports none).
+                        if let Some(wall_s) = wall_s {
+                            observer.point_telemetry(&PointTelemetry { index: i, wall_s });
+                        }
                         observer.point_completed(&report);
                         *slots[i].lock().expect("result slot poisoned") = Some(report);
                         if sup.fatal.is_some() && !counted_out {
@@ -362,6 +369,9 @@ impl DistRunner {
     /// points are pure, and a point that never started cannot have side
     /// effects, so the retry cannot double-run anything — it only stops an
     /// idle-worker death from poisoning a point that no process touched.
+    /// `telemetry` receives the point's out-of-band wall time when the
+    /// worker shipped its stats frame before the result (a worker lost
+    /// mid-point leaves it `None`).
     fn run_point<R: WireResult>(
         &self,
         sup: &mut Supervisor,
@@ -369,6 +379,7 @@ impl DistRunner {
         total_points: usize,
         index: usize,
         tags: &[(String, String)],
+        telemetry: &mut Option<f64>,
     ) -> Result<R, String> {
         let request = wire::encode_request(index, tags);
         for attempt in 0.. {
@@ -423,49 +434,58 @@ impl DistRunner {
             }
         }
         let live = &mut sup.live;
-        let worker = live.as_mut().expect("request was accepted");
-
-        match self.await_line(worker) {
-            Await::TimedOut => {
-                let deadline = self.deadline.expect("timeout implies a deadline");
-                let status = live.take().expect("worker present").kill_and_reap();
-                Err(format!(
-                    "worker exceeded the {:.3}s point deadline (killed: {status})",
-                    deadline.as_secs_f64()
-                ))
-            }
-            Await::Eof => {
-                let status = live.take().expect("worker present").reap();
-                Err(format!("worker exited ({status}) while running the point"))
-            }
-            Await::Line(line) => match wire::parse_worker_frame(&line) {
-                Err(e) => {
+        // The worker streams an out-of-band telemetry frame before the
+        // point's result; consume any number of them (for this index),
+        // then a single report or error frame ends the point.
+        loop {
+            let worker = live.as_mut().expect("request was accepted");
+            match self.await_line(worker) {
+                Await::TimedOut => {
+                    let deadline = self.deadline.expect("timeout implies a deadline");
                     let status = live.take().expect("worker present").kill_and_reap();
-                    Err(format!(
-                        "malformed frame from worker ({e}; killed: {status}): {}",
-                        truncate_for_log(&line)
-                    ))
+                    return Err(format!(
+                        "worker exceeded the {:.3}s point deadline (killed: {status})",
+                        deadline.as_secs_f64()
+                    ));
                 }
-                Ok(WorkerFrame::Error { index: j, payload }) if j == index => Err(payload),
-                Ok(WorkerFrame::Report { index: j, body }) if j == index => {
-                    match R::from_wire_json(&body) {
-                        Ok(result) => Ok(result),
-                        Err(e) => {
-                            let status = live.take().expect("worker present").kill_and_reap();
-                            Err(format!(
-                                "undecodable report body from worker ({e}; killed: {status})"
-                            ))
-                        }
+                Await::Eof => {
+                    let status = live.take().expect("worker present").reap();
+                    return Err(format!("worker exited ({status}) while running the point"));
+                }
+                Await::Line(line) => match wire::parse_worker_frame(&line) {
+                    Err(e) => {
+                        let status = live.take().expect("worker present").kill_and_reap();
+                        return Err(format!(
+                            "malformed frame from worker ({e}; killed: {status}): {}",
+                            truncate_for_log(&line)
+                        ));
                     }
-                }
-                Ok(frame) => {
-                    let status = live.take().expect("worker present").kill_and_reap();
-                    Err(format!(
-                        "protocol violation: worker answered {frame:?} while point {index} \
-                         was in flight (killed: {status})"
-                    ))
-                }
-            },
+                    Ok(WorkerFrame::Telemetry { index: j, wall_s }) if j == index => {
+                        *telemetry = Some(wall_s);
+                    }
+                    Ok(WorkerFrame::Error { index: j, payload }) if j == index => {
+                        return Err(payload)
+                    }
+                    Ok(WorkerFrame::Report { index: j, body }) if j == index => {
+                        return match R::from_wire_json(&body) {
+                            Ok(result) => Ok(result),
+                            Err(e) => {
+                                let status = live.take().expect("worker present").kill_and_reap();
+                                Err(format!(
+                                    "undecodable report body from worker ({e}; killed: {status})"
+                                ))
+                            }
+                        };
+                    }
+                    Ok(frame) => {
+                        let status = live.take().expect("worker present").kill_and_reap();
+                        return Err(format!(
+                            "protocol violation: worker answered {frame:?} while point {index} \
+                             was in flight (killed: {status})"
+                        ));
+                    }
+                },
+            }
         }
     }
 

@@ -10,11 +10,15 @@
 //!   its own command line, so the request carries only the point's index;
 //!   the axis tags ride along so the worker can *verify* both sides built
 //!   the same sweep before running anything.
-//! * worker → parent: a [`WorkerFrame`] — a `{"hello":{"protocol":1,
-//!   "points":8}}` handshake on startup, then per point either
-//!   `{"point":3,"report":<body>}` (the result encoded through
+//! * worker → parent: a [`WorkerFrame`] — a `{"hello":{"protocol":2,
+//!   "points":8}}` handshake on startup, then per point a
+//!   `{"point":3,"telemetry":{"wall_s":1.25}}` stats frame followed by
+//!   either `{"point":3,"report":<body>}` (the result encoded through
 //!   [`WireResult`]) or `{"point":3,"error":"<panic payload>"}` when the
-//!   point's closure panicked inside the worker.
+//!   point's closure panicked inside the worker.  Telemetry frames carry
+//!   only out-of-band wall-clock data: they never touch the result stream,
+//!   so a distributed run's decoded results stay byte-identical to an
+//!   in-process run's.
 //!
 //! Everything is hand-rolled (this workspace builds offline, no serde):
 //! [`json_escape`](crate::report::json_escape) on the way out and the
@@ -36,11 +40,14 @@ use std::fmt;
 
 use crate::report::{
     json_escape, ClassSummary, DisciplineSummary, FlowSummary, HistogramSummary, LinkSummary,
-    ScenarioReport, SignalingSummary,
+    RunTelemetry, ScenarioReport, SignalingSummary,
 };
 
 /// The wire protocol revision announced in the worker's hello frame.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// Revision 2 added the per-point telemetry frame (and the optional
+/// `telemetry` key on report bodies); parents and workers always ship
+/// together, so a mismatch means skewed binaries and fails the handshake.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// A malformed or schema-violating wire document.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -582,6 +589,9 @@ impl WireResult for ScenarioReport {
                     Some(decode_signaling(s)?)
                 }
             },
+            // Absent on telemetry-off reports (and every pre-revision-2
+            // frame): `get`, not `field`.
+            telemetry: v.get("telemetry").map(decode_telemetry).transpose()?,
         })
     }
 }
@@ -669,6 +679,20 @@ fn decode_discipline(v: &JsonValue) -> Result<DisciplineSummary, WireError> {
     })
 }
 
+fn decode_telemetry(v: &JsonValue) -> Result<RunTelemetry, WireError> {
+    Ok(RunTelemetry {
+        events_processed: v.field("events_processed")?.as_u64()?,
+        event_queue_high_water: v.field("event_queue_high_water")?.as_u64()?,
+        peak_queue_depth: v.field("peak_queue_depth")?.as_u64()?,
+        admission_accepted: v.field("admission_accepted")?.as_u64()?,
+        admission_rejected: v.field("admission_rejected")?.as_u64()?,
+        flow_table_bytes: v.field("flow_table_bytes")?.as_u64()?,
+        reservation_state_bytes: v.field("reservation_state_bytes")?.as_u64()?,
+        wall_s: v.field("wall_s")?.as_f64_or_nan()?,
+        events_per_sec: v.field("events_per_sec")?.as_f64_or_nan()?,
+    })
+}
+
 fn decode_signaling(v: &JsonValue) -> Result<SignalingSummary, WireError> {
     Ok(SignalingSummary {
         accepted: v.field("accepted")?.as_usize()?,
@@ -750,6 +774,15 @@ pub enum WorkerFrame {
         /// The panic payload, rendered as text.
         payload: String,
     },
+    /// Out-of-band per-point stats, sent before the point's report or
+    /// error frame.  Never part of the result stream — the parent may
+    /// aggregate or ignore these freely without affecting byte-identity.
+    Telemetry {
+        /// The point's position in sweep order.
+        index: usize,
+        /// Wall-clock seconds the worker spent running the point.
+        wall_s: f64,
+    },
 }
 
 /// Encode the worker's hello frame.
@@ -771,6 +804,14 @@ pub fn encode_error_frame(index: usize, payload: &str) -> String {
     )
 }
 
+/// Encode a point's out-of-band stats frame.
+pub fn encode_telemetry_frame(index: usize, wall_s: f64) -> String {
+    format!(
+        "{{\"point\":{index},\"telemetry\":{{\"wall_s\":{}}}}}",
+        wire_f64(wall_s)
+    )
+}
+
 /// Parse one worker → parent line.
 pub fn parse_worker_frame(line: &str) -> Result<WorkerFrame, WireError> {
     let v = JsonValue::parse(line)?;
@@ -785,6 +826,12 @@ pub fn parse_worker_frame(line: &str) -> Result<WorkerFrame, WireError> {
         return Ok(WorkerFrame::Error {
             index,
             payload: payload.as_str()?.to_string(),
+        });
+    }
+    if let Some(stats) = v.get("telemetry") {
+        return Ok(WorkerFrame::Telemetry {
+            index,
+            wall_s: stats.field("wall_s")?.as_f64_or_nan()?,
         });
     }
     // Move the report body out of the owned document: this is the hot
@@ -931,6 +978,13 @@ mod tests {
             }
             other => panic!("unexpected frame {other:?}"),
         }
+        match parse_worker_frame(&encode_telemetry_frame(4, 1.25)).unwrap() {
+            WorkerFrame::Telemetry { index, wall_s } => {
+                assert_eq!(index, 4);
+                assert_eq!(wall_s, 1.25);
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
     }
 
     #[test]
@@ -989,12 +1043,33 @@ mod tests {
                 decisions: vec![true, true, false, true],
                 pending: 0,
             }),
+            telemetry: None,
         };
         let json = report.to_wire_json();
         let decoded = ScenarioReport::from_wire_json(&JsonValue::parse(&json).unwrap()).unwrap();
         // The byte-identity surface: re-encoding the decoded report
         // reproduces the original document exactly (NaN → null → NaN).
         assert_eq!(decoded.to_wire_json(), json);
+
+        // A telemetry-bearing report round-trips the block too.
+        let with_telemetry = ScenarioReport {
+            telemetry: Some(RunTelemetry {
+                events_processed: 1234,
+                event_queue_high_water: 17,
+                peak_queue_depth: 9,
+                admission_accepted: 3,
+                admission_rejected: 1,
+                flow_table_bytes: 2048,
+                reservation_state_bytes: 512,
+                wall_s: 0.25,
+                events_per_sec: 4936.0,
+            }),
+            ..report.clone()
+        };
+        let json = with_telemetry.to_wire_json();
+        let decoded = ScenarioReport::from_wire_json(&JsonValue::parse(&json).unwrap()).unwrap();
+        assert_eq!(decoded.to_wire_json(), json);
+        assert_eq!(decoded.telemetry, with_telemetry.telemetry);
 
         // And a signaling-free report keeps its null.
         let bare = ScenarioReport {

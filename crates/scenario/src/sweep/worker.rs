@@ -126,6 +126,7 @@ where
                 }
             }
             let point = &set.points()[index];
+            let started = std::time::Instant::now();
             let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
                 if let Some(fault) = fault.filter(|f| f.applies(me, index)) {
                     if fault.mode == FaultMode::Panic {
@@ -134,6 +135,14 @@ where
                 }
                 run_point(&point.params)
             }));
+            // Out-of-band stats precede the result so the parent can
+            // attribute them before the point completes; panicked points
+            // report their wall time too.
+            writeln!(
+                stdout,
+                "{}",
+                wire::encode_telemetry_frame(index, started.elapsed().as_secs_f64())
+            )?;
             match result {
                 Ok(r) => wire::encode_report_frame(index, &r.to_wire_json()),
                 Err(payload) => {

@@ -36,6 +36,7 @@ pub mod fifo;
 pub mod fifo_plus;
 pub mod gps;
 pub mod priority;
+pub mod probe;
 pub mod unified;
 pub mod virtual_clock;
 pub mod wfq;
@@ -45,6 +46,7 @@ pub use fifo::Fifo;
 pub use fifo_plus::{Averaging, FifoPlus};
 pub use gps::GpsClock;
 pub use priority::StrictPriority;
+pub use probe::{class_bucket, ProbeStats, Probed};
 pub use unified::Unified;
 pub use virtual_clock::VirtualClock;
 pub use wfq::Wfq;

@@ -22,6 +22,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     next_seq: u64,
     popped: u64,
+    depth_high_water: u64,
 }
 
 #[derive(Debug)]
@@ -61,6 +62,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             popped: 0,
+            depth_high_water: 0,
         }
     }
 
@@ -70,6 +72,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
             popped: 0,
+            depth_high_water: 0,
         }
     }
 
@@ -78,6 +81,10 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Reverse(Entry { time, seq, event }));
+        let depth = self.heap.len() as u64;
+        if depth > self.depth_high_water {
+            self.depth_high_water = depth;
+        }
     }
 
     /// Remove and return the earliest event, if any.
@@ -111,6 +118,12 @@ impl<E> EventQueue<E> {
     /// Total number of events ever dispatched (popped) from this queue.
     pub fn dispatched_count(&self) -> u64 {
         self.popped
+    }
+
+    /// The largest number of events that were ever pending at once (a
+    /// deterministic function of the event sequence; survives `clear`).
+    pub fn depth_high_water(&self) -> u64 {
+        self.depth_high_water
     }
 
     /// Drop every pending event.
@@ -163,6 +176,23 @@ mod tests {
         assert!(q.is_empty());
         // counters survive a clear
         assert_eq!(q.scheduled_count(), 2);
+        assert_eq!(q.depth_high_water(), 2);
+    }
+
+    #[test]
+    fn depth_high_water_tracks_the_peak_pending_count() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.depth_high_water(), 0);
+        q.push(SimTime::from_secs(1), ());
+        q.push(SimTime::from_secs(2), ());
+        q.push(SimTime::from_secs(3), ());
+        q.pop();
+        q.pop();
+        // Draining does not lower the mark…
+        assert_eq!(q.depth_high_water(), 3);
+        q.push(SimTime::from_secs(4), ());
+        // …and re-filling below the peak does not raise it.
+        assert_eq!(q.depth_high_water(), 3);
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Integration: end-to-end run telemetry.  The counters are deterministic
+//! across same-seed runs, and switching telemetry on changes nothing in a
+//! report except the one appended `telemetry` key — the golden tables
+//! cannot move.
+
+use ispn_experiments::config::PaperConfig;
+use ispn_experiments::{churn, table1, table3};
+use ispn_scenario::{
+    FlowDef, LinkProfile, MeasurementPlan, RunTelemetry, ScenarioBuilder, Sim, SourceSpec,
+};
+use ispn_sim::SimTime;
+
+fn assert_deterministic_counters_match(a: &RunTelemetry, b: &RunTelemetry) {
+    // Everything except `wall_s` / `events_per_sec`, which are wall-clock.
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.event_queue_high_water, b.event_queue_high_water);
+    assert_eq!(a.peak_queue_depth, b.peak_queue_depth);
+    assert_eq!(a.admission_accepted, b.admission_accepted);
+    assert_eq!(a.admission_rejected, b.admission_rejected);
+    assert_eq!(a.flow_table_bytes, b.flow_table_bytes);
+    assert_eq!(a.reservation_state_bytes, b.reservation_state_bytes);
+}
+
+#[test]
+fn same_seed_runs_report_identical_counters() {
+    let cfg = PaperConfig::fast();
+    let a = table1::telemetry_probe(&cfg);
+    let b = table1::telemetry_probe(&cfg);
+    assert_deterministic_counters_match(&a, &b);
+    assert!(a.events_processed > 0);
+    assert!(a.peak_queue_depth > 0);
+    assert!(a.flow_table_bytes > 0);
+}
+
+#[test]
+fn table3_probe_counts_the_full_unified_scenario() {
+    let cfg = PaperConfig::fast();
+    let a = table3::telemetry_probe(&cfg);
+    let b = table3::telemetry_probe(&cfg);
+    assert_deterministic_counters_match(&a, &b);
+    // 22 classed flows plus TCP: a busier event loop than Table 1.
+    assert!(a.events_processed > table1::telemetry_probe(&cfg).events_processed);
+}
+
+#[test]
+fn churn_probe_sees_admission_verdicts_and_reservation_state() {
+    let cfg = PaperConfig::fast();
+    let t = churn::telemetry_probe(&cfg);
+    // Churn is the one experiment with live signaling: the admission
+    // counters and the reservation footprint must be visible.
+    assert!(t.admission_accepted > 0, "{t:?}");
+    assert_deterministic_counters_match(&t, &churn::telemetry_probe(&cfg));
+}
+
+fn small_sim() -> Sim {
+    ScenarioBuilder::chain(2)
+        .link_profile(LinkProfile {
+            rate_bps: 1_000_000.0,
+            propagation: SimTime::ZERO,
+            buffer_packets: 20,
+        })
+        .flows((0..4).map(|i| {
+            FlowDef::best_effort_realtime(0, 1).source(SourceSpec::onoff_paper(29.4, 7 + i))
+        }))
+        .build()
+        .expect("the scenario is valid")
+}
+
+#[test]
+fn telemetry_on_appends_one_key_and_changes_nothing_else() {
+    let mut off_sim = small_sim();
+    off_sim.run_until(SimTime::from_secs(10));
+    let off = off_sim.report(&MeasurementPlan::default()).to_json();
+
+    let mut on_sim = small_sim();
+    on_sim.run_until(SimTime::from_secs(10));
+    let on = on_sim
+        .report(&MeasurementPlan::default().with_run_telemetry())
+        .to_json();
+
+    // The telemetry-off JSON carries no telemetry key at all…
+    assert!(!off.contains("\"telemetry\""));
+    // …and the telemetry-on JSON is byte-identical up to the single
+    // appended key before the closing brace.
+    let prefix = off.strip_suffix('}').expect("a JSON object");
+    assert!(on.starts_with(prefix), "non-telemetry fields moved");
+    assert!(on[prefix.len()..].starts_with(",\"telemetry\":{"));
+    assert!(on.ends_with("}}"));
+}
