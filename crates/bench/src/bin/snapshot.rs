@@ -9,13 +9,13 @@
 //! Measures the per-packet scheduling and engine micro-workloads
 //! (ns/op), runs one representative scenario per experiment with run
 //! telemetry enabled (events/sec, peak queue depth, memory footprint),
-//! and writes the structured snapshot to `BENCH_6.json` — override with
+//! and writes the structured snapshot to `BENCH_7.json` — override with
 //! `--out FILE`.  `--check FILE` validates an existing snapshot against
 //! the schema instead (the CI smoke job).
 
 use ispn_bench::{bench_config, micro, snapshot};
 
-const DEFAULT_OUT: &str = "BENCH_6.json";
+const DEFAULT_OUT: &str = "BENCH_7.json";
 
 /// Packets per call for the scheduling workloads.
 const SCHED_OPS: u64 = 10_000;
@@ -26,7 +26,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     if let Some(i) = args.iter().position(|a| a == "--check") {
         let Some(path) = args.get(i + 1) else {
-            eprintln!("--check needs a file, e.g. `snapshot --check BENCH_6.json`");
+            eprintln!("--check needs a file, e.g. `snapshot --check BENCH_7.json`");
             std::process::exit(2);
         };
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -45,7 +45,7 @@ fn main() {
     let out = match args.iter().position(|a| a == "--out") {
         None => DEFAULT_OUT.to_string(),
         Some(i) => args.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("--out needs a file, e.g. `snapshot --out BENCH_6.json`");
+            eprintln!("--out needs a file, e.g. `snapshot --out BENCH_7.json`");
             std::process::exit(2);
         }),
     };

@@ -4,10 +4,13 @@
 //! prints one stderr progress line per completed point; `--workers N`
 //! fans the sweep across N worker subprocesses (this binary re-invoked
 //! with `--sweep-worker`; the `ISPN_FAST` configuration is inherited);
-//! `--telemetry[=FILE]` renders the sweep's per-point wall-time summary to
-//! stderr (or JSON to FILE).  Stdout stays byte-identical to a batch
-//! in-process run in every mode — including the accept/reject decision
-//! sequence behind the table.
+//! `--hosts LIST` fans it across already-listening `--serve` workers over
+//! TCP instead (`--batch N` pipelines requests in either mode);
+//! `--serve ADDR` turns this invocation into such a TCP worker (set the
+//! same `ISPN_FAST` on both sides); `--telemetry[=FILE]` renders the
+//! sweep's per-point wall-time summary to stderr (or JSON to FILE).
+//! Stdout stays byte-identical to a batch in-process run in every mode —
+//! including the accept/reject decision sequence behind the table.
 
 use ispn_experiments::config::PaperConfig;
 use ispn_experiments::{churn, cli, report};
@@ -29,6 +32,11 @@ fn main() {
     let arrival_rates = [0.2, 0.5, 1.0, 2.0, 4.0];
     if cli::is_sweep_worker(&args) {
         churn::serve_worker(&paper, &arrival_rates, holding_secs).expect("sweep worker I/O");
+        return;
+    }
+    if let Some(addr) = cli::parse_serve(&args) {
+        churn::serve_listener(&paper, &arrival_rates, holding_secs, &addr)
+            .expect("sweep listener I/O");
         return;
     }
     let exec = cli::sweep_exec(&args, &[]);

@@ -4,8 +4,12 @@
 //! CI smoke configuration); `--stream` prints one stderr progress line per
 //! completed point; `--workers N` fans the sweep across N worker
 //! subprocesses (this binary re-invoked with `--sweep-worker`; the
-//! `ISPN_FAST` configuration is inherited); `--telemetry[=FILE]` renders
-//! the sweep's per-point wall-time summary to stderr (or JSON to FILE).
+//! `ISPN_FAST` configuration is inherited); `--hosts LIST` fans it across
+//! already-listening `--serve` workers over TCP instead (`--batch N`
+//! pipelines requests in either mode); `--serve ADDR` turns this
+//! invocation into such a TCP worker (set the same `ISPN_FAST` on both
+//! sides); `--telemetry[=FILE]` renders the sweep's per-point wall-time
+//! summary to stderr (or JSON to FILE).
 //! Stdout stays byte-identical to a batch in-process run in every mode.
 
 use ispn_experiments::config::PaperConfig;
@@ -32,6 +36,10 @@ fn main() {
     };
     if cli::is_sweep_worker(&args) {
         hetmix::serve_worker(&cfg, levels).expect("sweep worker I/O");
+        return;
+    }
+    if let Some(addr) = cli::parse_serve(&args) {
+        hetmix::serve_listener(&cfg, levels, &addr).expect("sweep listener I/O");
         return;
     }
     let exec = cli::sweep_exec(&args, &[]);

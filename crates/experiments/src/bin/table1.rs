@@ -1,10 +1,13 @@
 //! Regenerate Table 1 of CSZ'92 (WFQ vs FIFO on a single shared link).
 //!
-//! Usage: `cargo run --release -p ispn-experiments --bin table1 [--fast] [--stream] [--workers N] [--telemetry[=FILE]]`
+//! Usage: `cargo run --release -p ispn-experiments --bin table1 [--fast] [--stream] [--workers N | --hosts LIST] [--batch N] [--serve ADDR] [--telemetry[=FILE]]`
 //!
 //! `--stream` prints one stderr progress line per completed sweep point;
 //! `--workers N` fans the sweep across N worker subprocesses (this binary
-//! re-invoked with `--sweep-worker`); `--telemetry[=FILE]` renders the
+//! re-invoked with `--sweep-worker`); `--hosts LIST` fans it across
+//! already-listening `--serve` workers over TCP instead (`--batch N`
+//! pipelines requests in either mode); `--serve ADDR` turns this
+//! invocation into such a TCP worker; `--telemetry[=FILE]` renders the
 //! sweep's per-point wall-time summary to stderr (or JSON to FILE).
 //! Stdout (the final table) is byte-identical to a batch in-process run in
 //! every mode.
@@ -24,6 +27,10 @@ fn main() {
     };
     if cli::is_sweep_worker(&args) {
         table1::serve_worker(&cfg).expect("sweep worker I/O");
+        return;
+    }
+    if let Some(addr) = cli::parse_serve(&args) {
+        table1::serve_listener(&cfg, &addr).expect("sweep listener I/O");
         return;
     }
     let mut worker_args = Vec::new();

@@ -1,14 +1,18 @@
 //! Regenerate Table 3 of CSZ'92 (the unified scheduler carrying guaranteed,
 //! predicted and datagram traffic on the Figure-1 chain).
 //!
-//! Usage: `cargo run --release -p ispn-experiments --bin table3 [--fast] [--seeds N] [--stream] [--workers N]`
+//! Usage: `cargo run --release -p ispn-experiments --bin table3 [--fast] [--seeds N] [--stream] [--workers N | --hosts LIST] [--batch N] [--serve ADDR]`
 //!
 //! `--seeds N` replicates the table across `N` derived seeds (a seed-axis
 //! sweep fanned across threads) and prints each replication — the paper
 //! reports one random run; the sweep shows how much the sample rows move.
 //! `--stream` prints one stderr progress line per completed replication;
 //! `--workers N` fans the seed sweep across N worker subprocesses (this
-//! binary re-invoked with `--sweep-worker --seeds N`);
+//! binary re-invoked with `--sweep-worker --seeds N`); `--hosts LIST`
+//! fans it across already-listening `--serve` workers over TCP instead
+//! (`--batch N` pipelines requests in either mode); `--serve ADDR` turns
+//! this invocation into such a TCP worker (pass the same `--seeds N` to
+//! listener and parent so both build the same axis);
 //! `--telemetry[=FILE]` renders the seed sweep's per-point wall-time
 //! summary to stderr (or JSON to FILE).  Stdout is byte-identical to a
 //! batch in-process run in every mode.
@@ -39,6 +43,10 @@ fn main() {
     let seed_axis: Vec<u64> = (0..seeds).map(|i| cfg.seed.wrapping_add(i)).collect();
     if cli::is_sweep_worker(&args) {
         table3::serve_worker(&cfg, &seed_axis).expect("sweep worker I/O");
+        return;
+    }
+    if let Some(addr) = cli::parse_serve(&args) {
+        table3::serve_listener(&cfg, &seed_axis, &addr).expect("sweep listener I/O");
         return;
     }
     if seeds <= 1 {

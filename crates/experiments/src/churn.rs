@@ -379,6 +379,19 @@ pub fn serve_worker(
     })
 }
 
+/// Serve churn sweep points over a TCP listener bound to `addr` (the
+/// `churn` bin's `--serve` mode).
+pub fn serve_listener(
+    paper: &PaperConfig,
+    arrival_rates: &[f64],
+    mean_holding_secs: f64,
+    addr: &str,
+) -> std::io::Result<()> {
+    ispn_scenario::serve_listener(addr, &scenario_set(arrival_rates), |&(lambda,)| {
+        run(&ChurnConfig::new(paper.clone(), lambda, mean_holding_secs))
+    })
+}
+
 /// Run the experiment at several offered loads (same holding time, rising
 /// arrival rate) through the given runner — each load point is a
 /// self-contained scenario, so the sweep parallelizes freely and returns

@@ -1,6 +1,6 @@
 //! Shared command-line plumbing for the experiment bins.
 //!
-//! Every sweep-shaped bin understands the same three execution flags:
+//! Every sweep-shaped bin understands the same execution flags:
 //!
 //! * *(none)* — fan sweep points across in-process threads
 //!   ([`SweepRunner::max_parallel`]);
@@ -8,9 +8,21 @@
 //!   subprocesses ([`DistRunner`]), each the same binary re-invoked with
 //!   `--sweep-worker` plus the run's configuration flags.  Stdout stays
 //!   byte-identical to the in-process run;
+//! * `--hosts LIST` — fan sweep points across already-listening worker
+//!   hosts over TCP ([`DistRunner::over_hosts`]); `LIST` is
+//!   comma-separated `host:port[=limit]` entries ([`HostSpec`]).
+//!   Mutually exclusive with `--workers`.  `--batch N` (either mode)
+//!   lets the parent pipeline up to `N` point requests per worker
+//!   dispatch;
 //! * `--sweep-worker` — serve sweep points over stdin/stdout for a
 //!   distributed parent (checked by the bin **before anything prints to
-//!   stdout**, which belongs to the frame stream in this mode).
+//!   stdout**, which belongs to the frame stream in this mode);
+//! * `--serve ADDR` — bind a TCP listener on `ADDR` and serve sweep
+//!   points over accepted connections forever
+//!   ([`serve_listener`](ispn_scenario::serve_listener)), for a parent
+//!   run elsewhere with `--hosts`.  Like `--sweep-worker`, checked
+//!   before anything else prints to stdout (the listener owns stdout for
+//!   its discovery banner).
 //!
 //! Sweep-shaped bins additionally understand `--telemetry[=FILE]`: collect
 //! the sweep's per-point wall-time stream (worker-measured in distributed
@@ -26,12 +38,28 @@
 use std::path::PathBuf;
 
 use ispn_scenario::{
-    DistRunner, SweepExec, SweepRunner, SweepTelemetry, WorkerCommand, WORKER_FLAG,
+    DistRunner, HostSpec, SweepExec, SweepRunner, SweepTelemetry, WorkerCommand, WORKER_FLAG,
 };
 
 /// Whether this invocation is a `--sweep-worker` child.
 pub fn is_sweep_worker(args: &[String]) -> bool {
     args.iter().any(|a| a == WORKER_FLAG)
+}
+
+/// The `--serve ADDR` flag, if present: run this bin as a TCP sweep
+/// listener bound to `ADDR` instead of printing a table.
+///
+/// Exits with status 2 on a missing address — the same convention the
+/// bins' other flags use.
+pub fn parse_serve(args: &[String]) -> Option<String> {
+    let i = args.iter().position(|a| a == "--serve")?;
+    match args.get(i + 1) {
+        Some(addr) if !addr.is_empty() && !addr.starts_with("--") => Some(addr.clone()),
+        _ => {
+            eprintln!("--serve needs a bind address, e.g. `--serve 127.0.0.1:7600`");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// The `--workers N` flag, if present.
@@ -49,18 +77,69 @@ pub fn parse_workers(args: &[String]) -> Option<usize> {
     }
 }
 
+/// The `--hosts LIST` flag, if present: comma-separated
+/// `host:port[=limit]` entries naming already-listening TCP workers.
+///
+/// Exits with status 2 on a malformed list — the same convention the
+/// bins' other flags use.
+pub fn parse_hosts(args: &[String]) -> Option<Vec<HostSpec>> {
+    let i = args.iter().position(|a| a == "--hosts")?;
+    let Some(list) = args.get(i + 1) else {
+        eprintln!("--hosts needs a host list, e.g. `--hosts hostA:7600=4,hostB:7600=8`");
+        std::process::exit(2);
+    };
+    match HostSpec::parse_list(list) {
+        Ok(hosts) => Some(hosts),
+        Err(e) => {
+            eprintln!("bad --hosts list: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The `--batch N` flag, if present: pipeline up to `N` point requests
+/// per worker dispatch (distributed modes only; harmless otherwise).
+///
+/// Exits with status 2 on a malformed value — the same convention the
+/// bins' other flags use.
+pub fn parse_batch(args: &[String]) -> Option<usize> {
+    let i = args.iter().position(|a| a == "--batch")?;
+    match args.get(i + 1).map(|n| n.parse::<usize>()) {
+        Some(Ok(n)) if n >= 1 => Some(n),
+        _ => {
+            eprintln!("--batch needs a positive integer, e.g. `--batch 4`");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Choose the sweep execution level from the command line: `--workers N`
 /// selects a distributed run whose workers re-invoke the current
 /// executable with `--sweep-worker` plus `worker_args` (the configuration
 /// flags the parent run received, so both sides build the same sweep);
-/// otherwise points fan across in-process threads.
+/// `--hosts LIST` connects to already-listening `--serve` workers over
+/// TCP instead; otherwise points fan across in-process threads.
+/// `--batch N` applies to either distributed mode.
+///
+/// `--workers` and `--hosts` are mutually exclusive (exit 2): one names
+/// subprocesses to spawn, the other machines that already run.
 pub fn sweep_exec(args: &[String], worker_args: &[String]) -> SweepExec {
-    match parse_workers(args) {
+    let workers = parse_workers(args);
+    let hosts = parse_hosts(args);
+    if workers.is_some() && hosts.is_some() {
+        eprintln!("--workers and --hosts are mutually exclusive: pick subprocesses or sockets");
+        std::process::exit(2);
+    }
+    let batch = parse_batch(args).unwrap_or(1);
+    if let Some(hosts) = hosts {
+        return SweepExec::Distributed(DistRunner::over_hosts(&hosts).batch(batch));
+    }
+    match workers {
         Some(n) => {
             let command = WorkerCommand::current_exe()
                 .arg(WORKER_FLAG)
                 .args(worker_args.iter().cloned());
-            SweepExec::Distributed(DistRunner::new(n, command))
+            SweepExec::Distributed(DistRunner::new(n, command).batch(batch))
         }
         None => SweepExec::InProcess(SweepRunner::max_parallel()),
     }
@@ -154,5 +233,28 @@ mod tests {
             SweepExec::Distributed(d) => assert_eq!(d.workers(), 2),
             other => panic!("expected distributed exec, got {other:?}"),
         }
+        match sweep_exec(&args(&["bin", "--hosts", "a:1=2,b:1", "--batch", "4"]), &[]) {
+            SweepExec::Distributed(d) => {
+                assert_eq!(d.workers(), 3, "one slot per host connection");
+                assert_eq!(d.batch_size(), 4);
+            }
+            other => panic!("expected socket exec, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_and_hosts_and_batch_flags_parse() {
+        assert_eq!(parse_serve(&args(&["bin"])), None);
+        assert_eq!(
+            parse_serve(&args(&["bin", "--serve", "127.0.0.1:0"])),
+            Some("127.0.0.1:0".to_string())
+        );
+        assert_eq!(parse_hosts(&args(&["bin"])), None);
+        assert_eq!(
+            parse_hosts(&args(&["bin", "--hosts", "a:1=2"])),
+            Some(vec![HostSpec::new("a:1", 2)])
+        );
+        assert_eq!(parse_batch(&args(&["bin"])), None);
+        assert_eq!(parse_batch(&args(&["bin", "--batch", "8"])), Some(8));
     }
 }

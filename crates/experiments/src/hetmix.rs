@@ -220,6 +220,15 @@ pub fn serve_worker(cfg: &PaperConfig, levels: &[usize]) -> std::io::Result<()> 
     })
 }
 
+/// Serve heterogeneous-mix sweep points over a TCP listener bound to
+/// `addr` (the `hetmix` bin's `--serve` mode; the load levels travel
+/// through the shared `ISPN_FAST` configuration).
+pub fn serve_listener(cfg: &PaperConfig, levels: &[usize], addr: &str) -> std::io::Result<()> {
+    ispn_scenario::serve_listener(addr, &scenario_set(levels), |&(spec, level)| {
+        run_point(cfg, spec, level)
+    })
+}
+
 /// The full sweep through the given runner: every discipline at every load
 /// level (discipline outer, level inner), each point a self-contained
 /// scenario fanned across the runner's threads.

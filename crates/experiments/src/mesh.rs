@@ -362,6 +362,12 @@ pub fn serve_worker(cfg: &PaperConfig, levels: &[usize]) -> std::io::Result<()> 
     ispn_scenario::serve_worker(&scenario_set(levels), |&(level,)| run(cfg, level))
 }
 
+/// Serve mesh sweep points over a TCP listener bound to `addr` (the
+/// `mesh` bin's `--serve` mode).
+pub fn serve_listener(cfg: &PaperConfig, levels: &[usize], addr: &str) -> std::io::Result<()> {
+    ispn_scenario::serve_listener(addr, &scenario_set(levels), |&(level,)| run(cfg, level))
+}
+
 /// Sweep the Predicted-Low cross-traffic level through the given runner.
 pub fn sweep_with(cfg: &PaperConfig, levels: &[usize], runner: &SweepRunner) -> Vec<MeshOutcome> {
     sweep_reports(cfg, levels, runner, &NullObserver)

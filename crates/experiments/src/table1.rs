@@ -174,6 +174,15 @@ pub fn serve_worker(cfg: &PaperConfig) -> std::io::Result<()> {
     })
 }
 
+/// Serve Table-1 sweep points over a TCP listener bound to `addr` (the
+/// `table1` bin's `--serve` mode; one session per accepted connection,
+/// serving until the process is killed).
+pub fn serve_listener(cfg: &PaperConfig, addr: &str) -> std::io::Result<()> {
+    ispn_scenario::serve_listener(addr, &scenario_set(), |&(discipline,)| {
+        run_single_link(cfg, discipline)
+    })
+}
+
 /// Run the full Table-1 comparison through the given sweep runner; each
 /// discipline is a self-contained scenario point, so the two runs
 /// parallelize and the rows come back in the paper's order regardless of

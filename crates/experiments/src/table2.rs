@@ -214,6 +214,14 @@ pub fn serve_worker(cfg: &PaperConfig) -> std::io::Result<()> {
     ispn_scenario::serve_worker(&scenario_set(), |&(discipline,)| run_point(cfg, discipline))
 }
 
+/// Serve Table-2 sweep points over a TCP listener bound to `addr` (the
+/// `table2` bin's `--serve` mode).
+pub fn serve_listener(cfg: &PaperConfig, addr: &str) -> std::io::Result<()> {
+    ispn_scenario::serve_listener(addr, &scenario_set(), |&(discipline,)| {
+        run_point(cfg, discipline)
+    })
+}
+
 /// Run the full Table-2 comparison through the given sweep runner: one
 /// scenario point per discipline, fanned across threads, folded back in
 /// the paper's discipline order.

@@ -332,6 +332,13 @@ pub fn serve_worker(cfg: &PaperConfig, seeds: &[u64]) -> std::io::Result<()> {
     ispn_scenario::serve_worker(&seed_set(seeds), |&(seed,)| run_seed_point(cfg, seed))
 }
 
+/// Serve Table-3 seed-replication points over a TCP listener bound to
+/// `addr` (the `table3` bin's `--serve` mode; the parent passes the same
+/// `--seeds N` so both sides build the same axis).
+pub fn serve_listener(cfg: &PaperConfig, seeds: &[u64], addr: &str) -> std::io::Result<()> {
+    ispn_scenario::serve_listener(addr, &seed_set(seeds), |&(seed,)| run_seed_point(cfg, seed))
+}
+
 /// Replicate Table 3 across seeds — the paper reports one random run; a
 /// seed axis turns it into a replication study (how much do the sample
 /// rows move between runs?).  Each seed is a self-contained scenario

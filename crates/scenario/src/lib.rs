@@ -37,11 +37,13 @@
 //!   `catch_unwind` turns a panicking point into a structured
 //!   [`SweepError`] instead of aborting its siblings.  [`DistRunner`]
 //!   scales the same contract past one process: points fan across
-//!   supervised `--sweep-worker` subprocesses over the line-framed JSON
-//!   protocol of [`sweep::wire`], byte-identical to the in-thread
-//!   runners, with crashed / wedged workers becoming per-point
-//!   `SweepError`s while their remaining points are redistributed
-//!   ([`SweepExec`] lets callers pick the level per run),
+//!   supervised `--sweep-worker` subprocesses — or, via
+//!   [`sweep::net`] ([`HostSpec`] lists, [`serve_listener`]), across
+//!   TCP-connected worker hosts on other machines — over the line-framed
+//!   JSON protocol of [`sweep::wire`], byte-identical to the in-thread
+//!   runners, with crashed / wedged / disconnected workers becoming
+//!   per-point `SweepError`s while their remaining points are
+//!   redistributed ([`SweepExec`] lets callers pick the level per run),
 //! * [`SweepTable`] — axis-aware report rendering: tables whose leading
 //!   columns come straight from the sweep's axis tags (plus the matching
 //!   checked JSON in [`sweep_to_json_checked`]), replacing per-experiment
@@ -89,10 +91,11 @@ pub use report::{
     LinkSummary, MeasurementPlan, RunTelemetry, ScenarioReport, SignalingSummary,
 };
 pub use sim::{ChurnFlowRecord, Sim};
-pub use sweep::dist::{DistRunner, SweepExec, WorkerCommand};
+pub use sweep::dist::{Await, DistRunner, SweepExec, WorkerCommand, WorkerTransport};
+pub use sweep::net::{serve_listener, HostSpec, LISTENING_BANNER};
 pub use sweep::testing::{FaultMode, FaultPlan};
 pub use sweep::wire::{wire_f64, JsonValue, WireError, WireResult};
-pub use sweep::worker::{serve_worker, WORKER_FLAG};
+pub use sweep::worker::{serve_connection, serve_worker, SessionInfo, WORKER_FLAG};
 pub use sweep::{
     failed_points, sweep_to_json, sweep_to_json_checked, AxisValue, NullObserver, PointResult,
     PointTelemetry, ProgressObserver, ScenarioSet, SweepChannel, SweepError, SweepObserver,

@@ -72,6 +72,7 @@
 //! ```
 
 pub mod dist;
+pub mod net;
 pub mod testing;
 pub mod wire;
 pub mod worker;
@@ -490,6 +491,13 @@ pub struct PointTelemetry {
     pub index: usize,
     /// Wall-clock seconds spent running the point's closure.
     pub wall_s: f64,
+    /// Parent-measured round-trip seconds for the point in a
+    /// *distributed* sweep: from dispatching the point's request (or, for
+    /// the later points of a batch, from the previous point's completion)
+    /// to receiving its final frame.  `rtt_s − wall_s` is the wire and
+    /// supervision overhead the batched-request mode exists to amortize.
+    /// `None` for in-process runners, where there is no wire to measure.
+    pub rtt_s: Option<f64>,
 }
 
 /// Receives each point's report the moment the point completes.
@@ -618,13 +626,18 @@ impl<R> SweepObserver<R> for ProgressObserver {
 }
 
 /// Aggregate of a sweep's [`PointTelemetry`] stream: how many points
-/// reported, total/mean wall time, and the slowest point.
+/// reported, total/mean wall time, the slowest point — and, for
+/// distributed sweeps, the per-point round-trip overhead (time the parent
+/// spent on the wire and in supervision beyond the worker's own wall
+/// time), which is what request batching amortizes.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SweepTelemetry {
     points: usize,
     total_wall_s: f64,
     max_wall_s: f64,
     max_index: usize,
+    rtt_points: usize,
+    total_overhead_s: f64,
 }
 
 impl SweepTelemetry {
@@ -640,6 +653,14 @@ impl SweepTelemetry {
         if self.points == 1 || t.wall_s > self.max_wall_s {
             self.max_wall_s = t.wall_s;
             self.max_index = t.index;
+        }
+        if let Some(rtt_s) = t.rtt_s {
+            self.rtt_points += 1;
+            // Clamped at zero: the two clocks (worker wall vs parent
+            // round-trip) are different instants on possibly different
+            // machines, and a tiny negative "overhead" is clock noise,
+            // not information.
+            self.total_overhead_s += (rtt_s - t.wall_s).max(0.0);
         }
     }
 
@@ -669,19 +690,53 @@ impl SweepTelemetry {
         (self.points > 0).then_some((self.max_index, self.max_wall_s))
     }
 
+    /// Number of points that reported a parent-side round-trip time
+    /// (distributed sweeps only; 0 for in-process runs).
+    pub fn rtt_points(&self) -> usize {
+        self.rtt_points
+    }
+
+    /// Total round-trip overhead seconds across the reporting points:
+    /// `Σ max(0, rtt − wall)`, the time spent on the wire and in
+    /// supervision rather than inside point closures.
+    pub fn total_overhead_s(&self) -> f64 {
+        self.total_overhead_s
+    }
+
+    /// Mean per-point round-trip overhead seconds (0 before any
+    /// round-trip reported).  Batched dispatch exists to shrink this.
+    pub fn mean_overhead_s(&self) -> f64 {
+        if self.rtt_points == 0 {
+            0.0
+        } else {
+            self.total_overhead_s / self.rtt_points as f64
+        }
+    }
+
     /// A one-paragraph human-readable summary.
     pub fn render(&self) -> String {
         match self.slowest() {
             None => "sweep telemetry: no points reported".to_string(),
-            Some((index, max)) => format!(
-                "sweep telemetry: {} points, {:.3}s total point wall time \
-                 ({:.3}s mean), slowest point {} at {:.3}s",
-                self.points,
-                self.total_wall_s,
-                self.mean_wall_s(),
-                index,
-                max
-            ),
+            Some((index, max)) => {
+                let overhead = if self.rtt_points > 0 {
+                    format!(
+                        ", {:.6}s mean round-trip overhead over {} points",
+                        self.mean_overhead_s(),
+                        self.rtt_points
+                    )
+                } else {
+                    String::new()
+                };
+                format!(
+                    "sweep telemetry: {} points, {:.3}s total point wall time \
+                     ({:.3}s mean), slowest point {} at {:.3}s{overhead}",
+                    self.points,
+                    self.total_wall_s,
+                    self.mean_wall_s(),
+                    index,
+                    max
+                )
+            }
         }
     }
 
@@ -693,11 +748,15 @@ impl SweepTelemetry {
         };
         format!(
             "{{\"points\":{},\"total_wall_s\":{},\"mean_wall_s\":{},\
-             \"max_wall_s\":{},\"max_index\":{slowest}}}",
+             \"max_wall_s\":{},\"max_index\":{slowest},\"rtt_points\":{},\
+             \"total_overhead_s\":{},\"mean_overhead_s\":{}}}",
             self.points,
             wire::wire_f64(self.total_wall_s),
             wire::wire_f64(self.mean_wall_s()),
-            wire::wire_f64(self.max_wall_s)
+            wire::wire_f64(self.max_wall_s),
+            self.rtt_points,
+            wire::wire_f64(self.total_overhead_s),
+            wire::wire_f64(self.mean_overhead_s())
         )
     }
 }
@@ -901,6 +960,8 @@ impl SweepRunner {
             let telemetry = PointTelemetry {
                 index,
                 wall_s: started.elapsed().as_secs_f64(),
+                // No wire, no round-trip: the closure ran right here.
+                rtt_s: None,
             };
             (
                 SweepReport {
@@ -1217,24 +1278,38 @@ mod tests {
         agg.record(&PointTelemetry {
             index: 0,
             wall_s: 1.0,
+            rtt_s: None,
         });
         agg.record(&PointTelemetry {
             index: 3,
             wall_s: 4.0,
+            rtt_s: Some(4.5),
         });
         agg.record(&PointTelemetry {
             index: 5,
             wall_s: 1.0,
+            // Parent clock behind the worker clock: clamps to zero
+            // overhead instead of cancelling real overhead elsewhere.
+            rtt_s: Some(0.9),
         });
         assert_eq!(agg.points(), 3);
         assert_eq!(agg.total_wall_s(), 6.0);
         assert_eq!(agg.mean_wall_s(), 2.0);
         assert_eq!(agg.slowest(), Some((3, 4.0)));
+        assert_eq!(agg.rtt_points(), 2);
+        assert_eq!(agg.total_overhead_s(), 0.5);
+        assert_eq!(agg.mean_overhead_s(), 0.25);
         assert!(agg.render().contains("slowest point 3"));
+        assert!(
+            agg.render().contains("round-trip overhead over 2 points"),
+            "{}",
+            agg.render()
+        );
         assert_eq!(
             agg.to_json(),
             "{\"points\":3,\"total_wall_s\":6.0,\"mean_wall_s\":2.0,\
-             \"max_wall_s\":4.0,\"max_index\":3}"
+             \"max_wall_s\":4.0,\"max_index\":3,\"rtt_points\":2,\
+             \"total_overhead_s\":0.5,\"mean_overhead_s\":0.25}"
         );
 
         // The collector wrapper accumulates the stream and forwards to the
@@ -1257,7 +1332,8 @@ mod tests {
         assert_eq!(
             agg.to_json(),
             "{\"points\":0,\"total_wall_s\":0.0,\"mean_wall_s\":0.0,\
-             \"max_wall_s\":0.0,\"max_index\":null}"
+             \"max_wall_s\":0.0,\"max_index\":null,\"rtt_points\":0,\
+             \"total_overhead_s\":0.0,\"mean_overhead_s\":0.0}"
         );
     }
 

@@ -1,39 +1,74 @@
 //! The process-level sweep runner: fan scenario points across supervised
-//! worker subprocesses, byte-identical to the in-thread runners.
+//! workers — subprocesses or TCP-connected hosts — byte-identical to the
+//! in-thread runners.
 //!
 //! [`DistRunner`] implements the same contract as
 //! [`SweepRunner`](super::SweepRunner) — results in point order, each
 //! point's slot carrying `Ok(result)` or a structured
 //! [`SweepError`](super::SweepError), every completion streamed to the
 //! [`SweepObserver`](super::SweepObserver) the moment it happens — but
-//! runs each point in a **worker subprocess** speaking the line-framed
+//! runs each point in a **worker process** speaking the line-framed
 //! JSON protocol of [`wire`](super::wire).  The worker is the same
 //! experiment binary re-invoked with `--sweep-worker` (see
-//! [`worker::serve_worker`](super::worker::serve_worker)); it rebuilds the
-//! identical [`ScenarioSet`](super::ScenarioSet) from its own command
+//! [`worker::serve_worker`](super::worker::serve_worker)) or listening on
+//! a socket behind `--serve ADDR` (see [`net`](super::net)); it rebuilds
+//! the identical [`ScenarioSet`](super::ScenarioSet) from its own command
 //! line, so requests carry only point indices plus the axis tags both
 //! sides verify against each other.
+//!
+//! # Transports
+//!
+//! Each supervisor slot drives its worker through the [`WorkerTransport`]
+//! seam: send a request line, await a frame line (with an optional
+//! deadline), tear the worker down, describe how it ended.  Two
+//! transports exist — the subprocess pipes this module owns, and the TCP
+//! client in [`net`](super::net) — and supervision is identical across
+//! them: a lost connection is handled exactly like a dead subprocess
+//! (poison the in-flight point, reconnect for the slot's next claim), and
+//! a host that keeps refusing connections trips the same
+//! [`FATAL_SPAWN_FAILURES`] 3-strike rule as an unspawnable command.
 //!
 //! # Supervision
 //!
 //! Workers are expendable.  Each of the `N` supervisor threads owns one
-//! subprocess at a time and pulls points off a shared work-stealing
+//! worker at a time and pulls claims off a shared work-stealing
 //! counter, so a dead worker's **remaining** points are automatically
 //! redistributed to whichever workers survive.  Whatever goes wrong while
-//! a point is in flight — the worker exits or is killed, emits a
-//! malformed frame, overruns the per-point [`deadline`](DistRunner::deadline),
-//! or cannot even be spawned — becomes that point's `SweepError` (index,
-//! tags, a payload describing the fault); the misbehaving process is
-//! killed and reaped, a replacement is spawned for the supervisor's next
-//! point, and every sibling point still completes.  A panic *inside* the
-//! point's closure is caught by the worker itself and travels back as an
-//! error frame, exactly like the in-process runner's `catch_unwind` —
-//! the worker keeps serving.
+//! a point is in flight — the worker exits or is killed, the connection
+//! drops, it emits a malformed frame, overruns the per-point
+//! [`deadline`](DistRunner::deadline), or cannot even be spawned —
+//! becomes that point's `SweepError` (index, tags, a payload describing
+//! the fault); the misbehaving worker is torn down, a replacement is
+//! spawned (or the host reconnected) for the supervisor's next point, and
+//! every sibling point still completes.  A panic *inside* the point's
+//! closure is caught by the worker itself and travels back as an error
+//! frame, exactly like the in-process runner's `catch_unwind` — the
+//! worker keeps serving.
+//!
+//! The hello handshake is **always** bounded by
+//! [`hello_deadline`](DistRunner::hello_deadline) (default
+//! [`DEFAULT_HELLO_DEADLINE`]), even when no per-point deadline is set: a
+//! worker that hangs before saying hello — under TCP, a half-open accept —
+//! would otherwise stall its supervisor slot forever, and unlike a long
+//! scenario point there is no legitimate reason for a handshake to take
+//! minutes.
 //!
 //! Because each fault consumes exactly one point and poisoned points are
 //! never re-dispatched, supervision terminates even when every spawn
 //! fails: the sweep degrades to one structured error per point rather
 //! than hanging or aborting.
+//!
+//! # Batching
+//!
+//! [`batch`](DistRunner::batch) makes each claim a contiguous chunk of
+//! points dispatched as one revision-3 `{"batch":[…]}` request,
+//! amortizing per-point round-trips on high-latency links.  The dialect
+//! is negotiated per worker from its hello: a revision-2 worker is fed
+//! single-point requests regardless of the batch setting.  Faults still
+//! poison only the in-flight point — the unanswered remainder of a claim
+//! is re-dispatched to the slot's replacement worker, which cannot
+//! double-run anything because an unanswered point never completed
+//! anywhere.
 //!
 //! # Byte identity
 //!
@@ -43,15 +78,18 @@
 //! guarantees (exact float and integer round-trips).  The
 //! `tests/tests/dist_sweep.rs` harness pins this: distributed output is
 //! byte-identical to [`SweepRunner::run`](super::SweepRunner::run) for
-//! all six experiments, under worker counts 1..=4.
+//! all six experiments, under worker counts 1..=4, over subprocess pipes
+//! and loopback TCP alike.
 
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use super::net::{self, HostSpec};
 use super::wire::{self, WireResult, WorkerFrame};
 use super::worker::WORKER_ID_ENV;
 use super::{
@@ -134,18 +172,133 @@ impl WorkerCommand {
     }
 }
 
-/// One live worker subprocess: its stdin, and a channel fed by a detached
-/// reader thread so responses can be awaited with a timeout.
-struct LiveWorker {
+/// What awaiting one worker frame line produced.
+#[derive(Debug)]
+pub enum Await {
+    /// A frame line arrived.
+    Line(String),
+    /// The stream ended: the process exited / the peer closed the
+    /// connection.
+    Eof,
+    /// The deadline elapsed without a line.
+    TimedOut,
+}
+
+/// The transport seam under one supervisor slot: whatever carries the
+/// line-framed worker protocol — a spawned subprocess's stdin/stdout
+/// pipes here, a connected TCP socket in
+/// [`net::SocketTransport`](super::net) — presents the same operations,
+/// so [`DistRunner`] supervision (respawn/reconnect, teardown, deadline
+/// awaits, per-point poisoning) is transport-agnostic.
+pub trait WorkerTransport: Send {
+    /// Send one request line (the implementation appends the terminator)
+    /// and flush it to the worker.
+    fn send_line(&mut self, line: &str) -> std::io::Result<()>;
+
+    /// Await the worker's next frame line, honoring `deadline` when set.
+    fn recv_line(&mut self, deadline: Option<Duration>) -> Await;
+
+    /// Forcibly tear the worker down — kill the process, drop the
+    /// connection — returning a human-readable description of how it
+    /// ended (for fault payloads).
+    fn terminate(&mut self) -> String;
+
+    /// Describe a worker whose stream already reached EOF (reap the
+    /// process / name the closed connection) without escalating further.
+    fn finish(&mut self) -> String;
+
+    /// Graceful end-of-sweep shutdown: close the request stream so the
+    /// serve loop exits cleanly, escalating to a kill only if the worker
+    /// ignores EOF past a grace period.
+    fn shutdown(&mut self);
+}
+
+/// Await a line from a reader-thread channel, honoring an optional
+/// deadline — the shared receive path of both transports (each feeds a
+/// detached reader thread into an [`mpsc`] channel so awaits can time
+/// out).
+pub(crate) fn recv_channel_line(
+    lines: &mpsc::Receiver<String>,
+    deadline: Option<Duration>,
+) -> Await {
+    match deadline {
+        Some(deadline) => match lines.recv_timeout(deadline) {
+            Ok(line) => Await::Line(line),
+            Err(mpsc::RecvTimeoutError::Timeout) => Await::TimedOut,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Await::Eof,
+        },
+        None => match lines.recv() {
+            Ok(line) => Await::Line(line),
+            Err(_) => Await::Eof,
+        },
+    }
+}
+
+/// Spawn the detached reader thread both transports use: forwards
+/// `\n`/`\r\n`-stripped lines from `reader` into a channel until EOF.  It
+/// holds only the stream and the sender, so it dies with the worker.
+pub(crate) fn spawn_line_reader<R: std::io::Read + Send + 'static>(
+    reader: R,
+) -> mpsc::Receiver<String> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let mut reader = BufReader::new(reader);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {
+                    let trimmed = line.trim_end_matches(['\n', '\r']).to_string();
+                    if tx.send(trimmed).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+    });
+    rx
+}
+
+/// The subprocess transport: a piped child, its stdin, and the reader
+/// channel over its stdout.
+struct ChildTransport {
     child: Child,
     stdin: Option<ChildStdin>,
     lines: mpsc::Receiver<String>,
 }
 
-impl LiveWorker {
-    /// Kill the process (ignoring "already dead") and reap it, returning a
-    /// human-readable description of how it ended.
-    fn kill_and_reap(mut self) -> String {
+impl ChildTransport {
+    fn spawn(command: &WorkerCommand, worker_id: usize) -> Result<ChildTransport, String> {
+        let mut child = command
+            .spawn(worker_id)
+            .map_err(|e| format!("could not spawn worker {:?}: {e}", command.program))?;
+        let stdin = child.stdin.take().expect("stdin was piped");
+        let stdout = child.stdout.take().expect("stdout was piped");
+        Ok(ChildTransport {
+            child,
+            stdin: Some(stdin),
+            lines: spawn_line_reader(stdout),
+        })
+    }
+}
+
+impl WorkerTransport for ChildTransport {
+    fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        let stdin = self
+            .stdin
+            .as_mut()
+            .expect("worker stdin held until shutdown");
+        stdin.write_all(line.as_bytes())?;
+        stdin.write_all(b"\n")?;
+        stdin.flush()
+    }
+
+    fn recv_line(&mut self, deadline: Option<Duration>) -> Await {
+        recv_channel_line(&self.lines, deadline)
+    }
+
+    fn terminate(&mut self) -> String {
         let _ = self.child.kill();
         match self.child.wait() {
             Ok(status) => status.to_string(),
@@ -153,17 +306,14 @@ impl LiveWorker {
         }
     }
 
-    /// Reap a worker that already reached EOF, describing its exit.
-    fn reap(mut self) -> String {
+    fn finish(&mut self) -> String {
         match self.child.wait() {
             Ok(status) => status.to_string(),
             Err(e) => format!("unwaitable ({e})"),
         }
     }
 
-    /// Close stdin so the serve loop exits, then reap — killing only if
-    /// the worker ignores EOF for more than a grace period.
-    fn shutdown(mut self) {
+    fn shutdown(&mut self) {
         drop(self.stdin.take());
         for _ in 0..40 {
             match self.child.try_wait() {
@@ -177,34 +327,50 @@ impl LiveWorker {
     }
 }
 
-/// What awaiting one worker line produced.
-enum Await {
-    Line(String),
-    Eof,
-    TimedOut,
+/// One live worker behind a supervisor slot: its transport plus the
+/// protocol revision it announced in the hello (which gates batching).
+struct LiveWorker {
+    transport: Box<dyn WorkerTransport>,
+    protocol: u64,
 }
 
-/// Consecutive spawn/handshake failures after which a supervisor stops
-/// respawning and fails its remaining claims with the memoized payload.
+/// Consecutive spawn/connect/handshake failures after which a supervisor
+/// stops retrying and fails its remaining claims with the memoized
+/// payload.
 const FATAL_SPAWN_FAILURES: u32 = 3;
 
-/// One supervisor thread's state: its current worker subprocess plus the
-/// bookkeeping that turns a *deterministic* spawn/handshake failure into a
-/// fast structured failure instead of one spawn cycle per remaining point.
+/// The always-on bound on the hello handshake (see
+/// [`DistRunner::hello_deadline`]).
+pub const DEFAULT_HELLO_DEADLINE: Duration = Duration::from_secs(30);
+
+/// One supervisor thread's state: its current worker plus the bookkeeping
+/// that turns a *deterministic* spawn/handshake failure into a fast
+/// structured failure instead of one spawn cycle per remaining point.
 struct Supervisor {
     live: Option<LiveWorker>,
     consecutive_spawn_failures: u32,
     fatal: Option<String>,
 }
 
+/// How a [`DistRunner`] obtains workers: spawn subprocesses, or connect
+/// to listening hosts (one precomputed address per supervisor slot).
+#[derive(Debug, Clone)]
+enum Launch {
+    Spawn(WorkerCommand),
+    Connect(Vec<String>),
+}
+
 /// Fans the points of a [`ScenarioSet`](super::ScenarioSet) across
-/// supervised worker subprocesses.  See the [module docs](self) for the
+/// supervised workers — subprocesses ([`DistRunner::new`]) or TCP hosts
+/// ([`DistRunner::over_hosts`]).  See the [module docs](self) for the
 /// protocol and supervision semantics.
 #[derive(Debug, Clone)]
 pub struct DistRunner {
     workers: usize,
-    command: WorkerCommand,
+    launch: Launch,
     deadline: Option<Duration>,
+    hello_deadline: Duration,
+    batch: usize,
 }
 
 impl DistRunner {
@@ -213,24 +379,96 @@ impl DistRunner {
     pub fn new(workers: usize, command: WorkerCommand) -> Self {
         DistRunner {
             workers: workers.max(1),
-            command,
+            launch: Launch::Spawn(command),
             deadline: None,
+            hello_deadline: DEFAULT_HELLO_DEADLINE,
+            batch: 1,
+        }
+    }
+
+    /// Fan points across TCP workers listening on `hosts` (each started
+    /// with `--serve ADDR`, see [`net::serve_listener`](super::net::serve_listener)).
+    /// One supervisor slot is opened per connection the host list allows
+    /// — `host:port=4` contributes four slots — and slots are spread
+    /// round-robin across hosts.  Connection loss is handled exactly like
+    /// a dead subprocess: the in-flight point is poisoned and the slot
+    /// reconnects to the same host for its next claim.
+    ///
+    /// # Panics
+    /// Panics on an empty host list — there is nowhere to run the sweep.
+    pub fn over_hosts(hosts: &[HostSpec]) -> Self {
+        let slots = net::slot_addrs(hosts);
+        assert!(!slots.is_empty(), "host list must name at least one host");
+        DistRunner {
+            workers: slots.len(),
+            launch: Launch::Connect(slots),
+            deadline: None,
+            hello_deadline: DEFAULT_HELLO_DEADLINE,
+            batch: 1,
         }
     }
 
     /// Set the per-point deadline: a worker that takes longer than this to
-    /// answer one request (or to complete the startup handshake) is
-    /// declared wedged, killed, and the in-flight point poisoned.  Off by
-    /// default — an undistributed sweep has no timeout either, and a
-    /// healthy long point must not be mistaken for a hang.
+    /// answer one request is declared wedged, torn down, and the in-flight
+    /// point poisoned.  Off by default — an undistributed sweep has no
+    /// timeout either, and a healthy long point must not be mistaken for a
+    /// hang.  (The hello handshake is bounded separately and always: see
+    /// [`hello_deadline`](DistRunner::hello_deadline).)
     pub fn deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
         self
     }
 
-    /// The configured worker-process count.
+    /// Set the hello-handshake deadline (default
+    /// [`DEFAULT_HELLO_DEADLINE`]).  Unlike the per-point
+    /// [`deadline`](DistRunner::deadline) this is never off: a worker that
+    /// hangs *before* hello — a half-open TCP accept, a wedged startup —
+    /// would otherwise stall its supervisor slot forever, and a handshake
+    /// has no legitimate reason to be slow.  When a per-point deadline is
+    /// also set, the handshake honors the tighter of the two.
+    pub fn hello_deadline(mut self, deadline: Duration) -> Self {
+        self.hello_deadline = deadline;
+        self
+    }
+
+    /// Dispatch claims as batches of up to `points` requests per wire
+    /// round-trip (default 1).  Batching amortizes request/response
+    /// latency on real networks; it needs a protocol-revision-3 worker and
+    /// silently degrades to single-point requests for older workers.
+    /// Larger batches also coarsen work stealing — a claim is
+    /// redistributed only as a whole — so keep the batch small relative to
+    /// `points / workers`.
+    pub fn batch(mut self, points: usize) -> Self {
+        self.batch = points.max(1);
+        self
+    }
+
+    /// The configured worker count (subprocesses or socket connections).
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The configured batch size (points per dispatched claim).
+    pub fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    /// A human-readable description of the execution level for progress
+    /// banners.
+    pub fn description(&self) -> String {
+        match &self.launch {
+            Launch::Spawn(_) => format!("{} worker processes", self.workers),
+            Launch::Connect(slots) => {
+                let hosts: std::collections::BTreeSet<&str> =
+                    slots.iter().map(String::as_str).collect();
+                format!(
+                    "{} socket workers across {} host{}",
+                    self.workers,
+                    hosts.len(),
+                    if hosts.len() == 1 { "" } else { "s" }
+                )
+            }
+        }
     }
 
     /// Distributed [`SweepRunner::run`](super::SweepRunner::run): results
@@ -264,8 +502,8 @@ impl DistRunner {
         self.run_streaming(set, &NullObserver)
     }
 
-    /// The streaming core: run every point in a worker subprocess, handing
-    /// each completed point's report to `observer` the moment its frame
+    /// The streaming core: run every point on a worker, handing each
+    /// completed point's report to `observer` the moment its frame
     /// arrives (completion order, from the supervising thread), then
     /// return the full checked report list in sweep order.  Each point's
     /// final outcome is reported **exactly once**, even when worker deaths
@@ -309,29 +547,19 @@ impl DistRunner {
                     };
                     let mut counted_out = false;
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+                        // Claim a contiguous chunk (the batch size; 1 by
+                        // default, which preserves per-point stealing).
+                        let start = next.fetch_add(self.batch, Ordering::Relaxed);
+                        if start >= n {
                             break;
                         }
-                        let tags = &set.points()[i].tags;
-                        let mut wall_s = None;
-                        let result = self.run_point(&mut sup, worker_id, n, i, tags, &mut wall_s);
-                        let report = SweepReport {
-                            index: i,
-                            tags: tags.clone(),
-                            result: result.map_err(|payload| SweepError {
-                                index: i,
-                                tags: tags.clone(),
-                                payload,
-                            }),
-                        };
-                        // The worker's out-of-band stats frame, when one
-                        // arrived (a worker lost mid-point reports none).
-                        if let Some(wall_s) = wall_s {
-                            observer.point_telemetry(&PointTelemetry { index: i, wall_s });
-                        }
-                        observer.point_completed(&report);
-                        *slots[i].lock().expect("result slot poisoned") = Some(report);
+                        let mut claim: VecDeque<usize> =
+                            (start..(start + self.batch).min(n)).collect();
+                        // The whole claim is drained before checking for a
+                        // fatal slot: a claimed point must always get a
+                        // report, and the fatal fast path fills the
+                        // remainder with the memoized error.
+                        self.run_claim(&mut sup, worker_id, set, &mut claim, observer, slots);
                         if sup.fatal.is_some() && !counted_out {
                             counted_out = true;
                             if active.fetch_sub(1, Ordering::SeqCst) > 1 {
@@ -344,8 +572,8 @@ impl DistRunner {
                             // error) instead of hanging the collect below.
                         }
                     }
-                    if let Some(worker) = sup.live.take() {
-                        worker.shutdown();
+                    if let Some(mut worker) = sup.live.take() {
+                        worker.transport.shutdown();
                     }
                 });
             }
@@ -360,101 +588,201 @@ impl DistRunner {
             .collect()
     }
 
-    /// Run one point on the supervisor's worker, spawning or replacing the
-    /// subprocess as needed.  `Err` carries the fault payload; the worker
-    /// slot is `None` afterwards iff the worker was lost.
-    ///
-    /// A worker found dead at *request* time (the write fails before the
-    /// point was ever accepted) is replaced and the send retried once:
-    /// points are pure, and a point that never started cannot have side
-    /// effects, so the retry cannot double-run anything — it only stops an
-    /// idle-worker death from poisoning a point that no process touched.
-    /// `telemetry` receives the point's out-of-band wall time when the
-    /// worker shipped its stats frame before the result (a worker lost
-    /// mid-point leaves it `None`).
-    fn run_point<R: WireResult>(
+    /// Run every point of one claim on the supervisor's worker, filling
+    /// the result slots and streaming completions as they land.  The
+    /// claim is dispatched as a single batched request when the worker's
+    /// protocol allows it; a fault poisons only the in-flight point, and
+    /// the unanswered remainder is re-dispatched to the slot's
+    /// replacement worker (points are pure and an unanswered point never
+    /// ran to completion anywhere, so the retry cannot double-run work).
+    fn run_claim<P, R, O>(
+        &self,
+        sup: &mut Supervisor,
+        worker_id: usize,
+        set: &ScenarioSet<P>,
+        claim: &mut VecDeque<usize>,
+        observer: &O,
+        slots: &[Mutex<Option<SweepReport<PointResult<R>>>>],
+    ) where
+        P: Sync,
+        R: WireResult + Send,
+        O: SweepObserver<R> + ?Sized,
+    {
+        let total = set.points().len();
+        // Claim points already covered by requests sent to the live
+        // worker (0 = the front point still needs dispatching).
+        let mut dispatched = 0usize;
+        while let Some(&index) = claim.front() {
+            let tags = &set.points()[index].tags;
+            let mut wall_s = None;
+            let started = Instant::now();
+            let result: Result<R, String> = if let Some(payload) = sup.fatal.clone() {
+                Err(payload)
+            } else {
+                let covered = if dispatched == 0 {
+                    self.dispatch(sup, worker_id, total, set, claim)
+                } else {
+                    Ok(dispatched)
+                };
+                covered.and_then(|covered| {
+                    dispatched = covered;
+                    self.await_point(sup, index, &mut wall_s)
+                })
+            };
+            // A surviving worker consumed exactly one dispatched request;
+            // a lost one takes every undelivered answer with it.
+            dispatched = if sup.live.is_some() {
+                dispatched.saturating_sub(1)
+            } else {
+                0
+            };
+            let rtt_s = started.elapsed().as_secs_f64();
+            claim.pop_front();
+            let report = SweepReport {
+                index,
+                tags: tags.clone(),
+                result: result.map_err(|payload| SweepError {
+                    index,
+                    tags: tags.clone(),
+                    payload,
+                }),
+            };
+            // The worker's out-of-band stats frame, when one arrived (a
+            // worker lost mid-point reports none).  The round-trip time is
+            // measured on this side of the wire, so the overhead over the
+            // worker's own wall time is visible to telemetry consumers.
+            if let Some(wall_s) = wall_s {
+                observer.point_telemetry(&PointTelemetry {
+                    index,
+                    wall_s,
+                    rtt_s: Some(rtt_s),
+                });
+            }
+            observer.point_completed(&report);
+            *slots[index].lock().expect("result slot poisoned") = Some(report);
+        }
+    }
+
+    /// Ensure the supervisor has a live, handshaken worker, launching one
+    /// if needed and applying the 3-strike fatal rule to deterministic
+    /// launch failures.
+    fn ensure_worker(
         &self,
         sup: &mut Supervisor,
         worker_id: usize,
         total_points: usize,
-        index: usize,
-        tags: &[(String, String)],
-        telemetry: &mut Option<f64>,
-    ) -> Result<R, String> {
-        let request = wire::encode_request(index, tags);
+    ) -> Result<(), String> {
+        if sup.live.is_some() {
+            return Ok(());
+        }
+        match self.launch_worker(worker_id, total_points) {
+            Ok(worker) => {
+                sup.consecutive_spawn_failures = 0;
+                sup.live = Some(worker);
+                Ok(())
+            }
+            Err(payload) => {
+                // A spawn, connect or handshake failure is usually
+                // deterministic (bad command, dead host, configuration
+                // skew); after a few consecutive ones, stop burning a
+                // launch cycle per remaining point and fail the
+                // supervisor's future claims with the memoized payload.
+                sup.consecutive_spawn_failures += 1;
+                if sup.consecutive_spawn_failures >= FATAL_SPAWN_FAILURES {
+                    sup.fatal = Some(format!(
+                        "{payload} (giving up on this worker slot after \
+                         {FATAL_SPAWN_FAILURES} consecutive spawn/handshake failures)"
+                    ));
+                }
+                Err(payload)
+            }
+        }
+    }
+
+    /// Send the claim's request(s) to a live worker, launching or
+    /// replacing it as needed.  Returns how many claim points the sent
+    /// request covers.
+    ///
+    /// A worker found dead at *request* time (the write fails before any
+    /// point was accepted) is replaced and the send retried once: points
+    /// are pure, and a point that never started cannot have side effects,
+    /// so the retry cannot double-run anything — it only stops an
+    /// idle-worker death from poisoning a point that no process touched.
+    fn dispatch<P>(
+        &self,
+        sup: &mut Supervisor,
+        worker_id: usize,
+        total_points: usize,
+        set: &ScenarioSet<P>,
+        claim: &VecDeque<usize>,
+    ) -> Result<usize, String> {
         for attempt in 0.. {
             if let Some(payload) = &sup.fatal {
                 return Err(payload.clone());
             }
-            if sup.live.is_none() {
-                match self.spawn_worker(worker_id, total_points) {
-                    Ok(worker) => {
-                        sup.consecutive_spawn_failures = 0;
-                        sup.live = Some(worker);
-                    }
-                    Err(payload) => {
-                        // A spawn or handshake failure is usually
-                        // deterministic (bad command, configuration skew);
-                        // after a few consecutive ones, stop burning a
-                        // spawn/handshake cycle per remaining point and
-                        // fail the supervisor's future claims with the
-                        // memoized payload.
-                        sup.consecutive_spawn_failures += 1;
-                        if sup.consecutive_spawn_failures >= FATAL_SPAWN_FAILURES {
-                            sup.fatal = Some(format!(
-                                "{payload} (giving up on this worker slot after \
-                                 {FATAL_SPAWN_FAILURES} consecutive spawn/handshake failures)"
-                            ));
-                        }
-                        return Err(payload);
-                    }
-                }
-            }
+            self.ensure_worker(sup, worker_id, total_points)?;
             let worker = sup.live.as_mut().expect("worker just ensured");
-
-            // Send the request; a write failure means the worker died idle.
-            let write = worker
-                .stdin
-                .as_mut()
-                .expect("worker stdin held until shutdown")
-                .write_all(format!("{request}\n").as_bytes())
-                .and_then(|()| worker.stdin.as_mut().expect("stdin").flush());
-            match write {
-                Ok(()) => break,
+            // Batched dispatch needs a revision-3 worker; older workers
+            // get one point per request, exactly as before.
+            let (request, covered) =
+                if worker.protocol >= wire::BATCH_PROTOCOL_VERSION && claim.len() > 1 {
+                    let items: Vec<(usize, &[(String, String)])> = claim
+                        .iter()
+                        .map(|&i| (i, set.points()[i].tags.as_slice()))
+                        .collect();
+                    (wire::encode_batch_request(&items), claim.len())
+                } else {
+                    let &index = claim.front().expect("claim is non-empty");
+                    (wire::encode_request(index, &set.points()[index].tags), 1)
+                };
+            match worker.transport.send_line(&request) {
+                Ok(()) => return Ok(covered),
                 Err(_) if attempt == 0 => {
                     // Died between points: replace and retry the send.
-                    let _ = sup.live.take().expect("worker present").kill_and_reap();
+                    let mut worker = sup.live.take().expect("worker present");
+                    let _ = worker.transport.terminate();
                 }
                 Err(_) => {
-                    let status = sup.live.take().expect("worker present").kill_and_reap();
+                    let mut worker = sup.live.take().expect("worker present");
+                    let status = worker.transport.terminate();
                     return Err(format!(
                         "worker exited ({status}) before accepting the point"
                     ));
                 }
             }
         }
+        unreachable!("the dispatch loop returns")
+    }
+
+    /// Await the frames that end `index`: any number of telemetry frames
+    /// for it, then a single report or error frame.  `Err` carries the
+    /// fault payload; the worker slot is `None` afterwards iff the worker
+    /// was lost.
+    fn await_point<R: WireResult>(
+        &self,
+        sup: &mut Supervisor,
+        index: usize,
+        telemetry: &mut Option<f64>,
+    ) -> Result<R, String> {
         let live = &mut sup.live;
-        // The worker streams an out-of-band telemetry frame before the
-        // point's result; consume any number of them (for this index),
-        // then a single report or error frame ends the point.
         loop {
             let worker = live.as_mut().expect("request was accepted");
-            match self.await_line(worker) {
+            match worker.transport.recv_line(self.deadline) {
                 Await::TimedOut => {
                     let deadline = self.deadline.expect("timeout implies a deadline");
-                    let status = live.take().expect("worker present").kill_and_reap();
+                    let status = live.take().expect("worker present").transport.terminate();
                     return Err(format!(
                         "worker exceeded the {:.3}s point deadline (killed: {status})",
                         deadline.as_secs_f64()
                     ));
                 }
                 Await::Eof => {
-                    let status = live.take().expect("worker present").reap();
+                    let status = live.take().expect("worker present").transport.finish();
                     return Err(format!("worker exited ({status}) while running the point"));
                 }
                 Await::Line(line) => match wire::parse_worker_frame(&line) {
                     Err(e) => {
-                        let status = live.take().expect("worker present").kill_and_reap();
+                        let status = live.take().expect("worker present").transport.terminate();
                         return Err(format!(
                             "malformed frame from worker ({e}; killed: {status}): {}",
                             truncate_for_log(&line)
@@ -470,7 +798,8 @@ impl DistRunner {
                         return match R::from_wire_json(&body) {
                             Ok(result) => Ok(result),
                             Err(e) => {
-                                let status = live.take().expect("worker present").kill_and_reap();
+                                let status =
+                                    live.take().expect("worker present").transport.terminate();
                                 Err(format!(
                                     "undecodable report body from worker ({e}; killed: {status})"
                                 ))
@@ -478,7 +807,7 @@ impl DistRunner {
                         };
                     }
                     Ok(frame) => {
-                        let status = live.take().expect("worker present").kill_and_reap();
+                        let status = live.take().expect("worker present").transport.terminate();
                         return Err(format!(
                             "protocol violation: worker answered {frame:?} while point {index} \
                              was in flight (killed: {status})"
@@ -489,70 +818,48 @@ impl DistRunner {
         }
     }
 
-    /// Spawn one worker and complete the hello handshake.
-    fn spawn_worker(&self, worker_id: usize, total_points: usize) -> Result<LiveWorker, String> {
-        let mut child = self
-            .command
-            .spawn(worker_id)
-            .map_err(|e| format!("could not spawn worker {:?}: {e}", self.command.program))?;
-        let stdin = child.stdin.take().expect("stdin was piped");
-        let stdout = child.stdout.take().expect("stdout was piped");
-        let (tx, rx) = mpsc::channel();
-        // Detached reader: forwards worker lines until EOF.  It holds only
-        // the pipe and the sender, so it dies with the worker.
-        std::thread::spawn(move || {
-            let mut reader = BufReader::new(stdout);
-            let mut line = String::new();
-            loop {
-                line.clear();
-                match reader.read_line(&mut line) {
-                    Ok(0) | Err(_) => break,
-                    Ok(_) => {
-                        let trimmed = line.trim_end_matches(['\n', '\r']).to_string();
-                        if tx.send(trimmed).is_err() {
-                            break;
-                        }
-                    }
-                }
+    /// Launch one worker over the configured transport and complete the
+    /// hello handshake — always bounded by the handshake deadline.
+    fn launch_worker(&self, worker_id: usize, total_points: usize) -> Result<LiveWorker, String> {
+        let hello_wait = self.hello_wait();
+        let mut transport: Box<dyn WorkerTransport> = match &self.launch {
+            Launch::Spawn(command) => Box::new(ChildTransport::spawn(command, worker_id)?),
+            Launch::Connect(slots) => {
+                let addr = &slots[worker_id % slots.len()];
+                Box::new(net::SocketTransport::connect(addr, hello_wait)?)
             }
-        });
-        let mut worker = LiveWorker {
-            child,
-            stdin: Some(stdin),
-            lines: rx,
         };
-        match self.await_line(&mut worker) {
+        match transport.recv_line(Some(hello_wait)) {
             Await::TimedOut => {
-                let status = worker.kill_and_reap();
+                let status = transport.terminate();
                 Err(format!(
-                    "worker did not complete the handshake within the deadline (killed: {status})"
+                    "worker did not complete the handshake within {:.3}s (killed: {status})",
+                    hello_wait.as_secs_f64()
                 ))
             }
             Await::Eof => {
-                let status = worker.reap();
+                let status = transport.finish();
                 Err(format!("worker exited ({status}) before the handshake"))
             }
             Await::Line(line) => match wire::parse_worker_frame(&line) {
-                Ok(WorkerFrame::Hello { protocol, points })
-                    if protocol == wire::PROTOCOL_VERSION && points == total_points =>
-                {
-                    Ok(worker)
-                }
                 Ok(WorkerFrame::Hello { protocol, points }) => {
-                    let status = worker.kill_and_reap();
-                    Err(format!(
-                        "worker handshake mismatch: worker speaks protocol {protocol} with \
-                         {points} points, parent expects protocol {} with {total_points} points \
-                         (parent/worker configuration mismatch; killed: {status})",
-                        wire::PROTOCOL_VERSION
-                    ))
+                    match check_hello(protocol, points, total_points) {
+                        Ok(()) => Ok(LiveWorker {
+                            transport,
+                            protocol,
+                        }),
+                        Err(mismatch) => {
+                            let status = transport.terminate();
+                            Err(format!("{mismatch}; killed: {status}"))
+                        }
+                    }
                 }
                 Ok(frame) => {
-                    let _ = worker.kill_and_reap();
+                    let _ = transport.terminate();
                     Err(format!("worker sent {frame:?} instead of a hello frame"))
                 }
                 Err(e) => {
-                    let _ = worker.kill_and_reap();
+                    let _ = transport.terminate();
                     Err(format!(
                         "malformed hello frame ({e}): {}",
                         truncate_for_log(&line)
@@ -562,19 +869,31 @@ impl DistRunner {
         }
     }
 
-    /// Wait for the worker's next line, honoring the configured deadline.
-    fn await_line(&self, worker: &mut LiveWorker) -> Await {
+    /// The handshake wait: the always-on hello deadline, tightened by the
+    /// per-point deadline when one is set (a sweep that bounds every point
+    /// to 2s should not wait 30s for a hello).
+    fn hello_wait(&self) -> Duration {
         match self.deadline {
-            Some(deadline) => match worker.lines.recv_timeout(deadline) {
-                Ok(line) => Await::Line(line),
-                Err(mpsc::RecvTimeoutError::Timeout) => Await::TimedOut,
-                Err(mpsc::RecvTimeoutError::Disconnected) => Await::Eof,
-            },
-            None => match worker.lines.recv() {
-                Ok(line) => Await::Line(line),
-                Err(_) => Await::Eof,
-            },
+            Some(deadline) => deadline.min(self.hello_deadline),
+            None => self.hello_deadline,
         }
+    }
+}
+
+/// Validate a hello frame against the parent's expectations: a protocol
+/// revision in the parent's supported range and a matching point count.
+fn check_hello(protocol: u64, points: usize, total_points: usize) -> Result<(), String> {
+    let supported = wire::MIN_PROTOCOL_VERSION..=wire::PROTOCOL_VERSION;
+    if supported.contains(&protocol) && points == total_points {
+        Ok(())
+    } else {
+        Err(format!(
+            "worker handshake mismatch: worker speaks protocol {protocol} with \
+             {points} points, parent expects protocol {}..={} with {total_points} points \
+             (parent/worker configuration mismatch)",
+            wire::MIN_PROTOCOL_VERSION,
+            wire::PROTOCOL_VERSION
+        ))
     }
 }
 
@@ -594,25 +913,26 @@ fn truncate_for_log(line: &str) -> String {
 
 /// One sweep-execution strategy: in-process threads or worker
 /// subprocesses.  Experiment entry points take a `SweepExec` so their
-/// callers — bins with a `--workers N` flag, tests, benches — choose the
-/// execution level without the experiment code caring.
+/// callers — bins with `--workers N` / `--hosts LIST` flags, tests,
+/// benches — choose the execution level without the experiment code
+/// caring.
 #[derive(Debug, Clone)]
 pub enum SweepExec {
     /// Fan points across OS threads in this process.
     InProcess(SweepRunner),
-    /// Fan points across supervised worker subprocesses.
+    /// Fan points across supervised worker processes (spawned or
+    /// TCP-connected).
     Distributed(DistRunner),
 }
 
 impl SweepExec {
     /// A human-readable description for progress banners
-    /// (`"4 threads"` / `"2 worker processes"`).
+    /// (`"4 threads"` / `"2 worker processes"` /
+    /// `"4 socket workers across 2 hosts"`).
     pub fn description(&self) -> String {
         match self {
             SweepExec::InProcess(runner) => format!("{} threads", runner.threads()),
-            SweepExec::Distributed(runner) => {
-                format!("{} worker processes", runner.workers())
-            }
+            SweepExec::Distributed(runner) => runner.description(),
         }
     }
 
@@ -653,11 +973,38 @@ mod tests {
     }
 
     #[test]
+    fn batch_sizes_clamp_to_one() {
+        let runner = DistRunner::new(2, WorkerCommand::new("w"));
+        assert_eq!(runner.batch_size(), 1);
+        assert_eq!(runner.clone().batch(0).batch_size(), 1);
+        assert_eq!(runner.batch(16).batch_size(), 16);
+    }
+
+    #[test]
     fn exec_descriptions_name_the_level() {
         let threads = SweepExec::InProcess(SweepRunner::parallel(4));
         assert_eq!(threads.description(), "4 threads");
         let procs = SweepExec::Distributed(DistRunner::new(2, WorkerCommand::new("w")));
         assert_eq!(procs.description(), "2 worker processes");
+        let hosts = [HostSpec::new("a:7600", 2), HostSpec::new("b:7600", 1)];
+        let sockets = SweepExec::Distributed(DistRunner::over_hosts(&hosts));
+        assert_eq!(sockets.description(), "3 socket workers across 2 hosts");
+        let single = SweepExec::Distributed(DistRunner::over_hosts(&[HostSpec::new("a:1", 1)]));
+        assert_eq!(single.description(), "1 socket workers across 1 host");
+    }
+
+    #[test]
+    fn hello_acceptance_spans_the_supported_revisions() {
+        // The current and the compatibility revision both pass…
+        assert!(check_hello(wire::PROTOCOL_VERSION, 8, 8).is_ok());
+        assert!(check_hello(wire::MIN_PROTOCOL_VERSION, 8, 8).is_ok());
+        // …anything outside the range is refused…
+        assert!(check_hello(wire::MIN_PROTOCOL_VERSION - 1, 8, 8).is_err());
+        assert!(check_hello(wire::PROTOCOL_VERSION + 1, 8, 8).is_err());
+        // …as is a point-count skew, whatever the revision.
+        let err = check_hello(wire::PROTOCOL_VERSION, 5, 8).unwrap_err();
+        assert!(err.contains("handshake mismatch"), "{err}");
+        assert!(err.contains("5 points"), "{err}");
     }
 
     #[test]
@@ -685,5 +1032,31 @@ mod tests {
             assert!(err.payload.contains("could not spawn worker"), "{err}");
         }
         assert_eq!(super::super::failed_points(&reports), 3);
+    }
+
+    /// An unreachable host degrades the same way: structured per-point
+    /// errors, 3-strike memoization, no hang — reusing the subprocess
+    /// supervision for refused connections.
+    #[test]
+    fn unreachable_hosts_poison_every_point_structurally() {
+        let set = ScenarioSet::over("i", [1usize, 2, 3, 4]);
+        // A port from the TEST-NET-1 documentation range: connects are
+        // refused or fail fast, never served.
+        let runner = DistRunner::over_hosts(&[HostSpec::new("127.0.0.1:1", 1)])
+            .hello_deadline(Duration::from_millis(500));
+        let reports: Vec<SweepReport<PointResult<u64>>> = runner.try_run(&set);
+        assert_eq!(reports.len(), 4);
+        assert_eq!(super::super::failed_points(&reports), 4);
+        for report in &reports {
+            let err = report.result.as_ref().expect_err("connect must fail");
+            assert!(
+                err.payload.contains("could not connect"),
+                "unexpected payload: {}",
+                err.payload
+            );
+        }
+        // The 3-strike rule memoized the failure for the tail points.
+        let last = reports[3].result.as_ref().unwrap_err();
+        assert!(last.payload.contains("giving up"), "{}", last.payload);
     }
 }

@@ -21,8 +21,19 @@
 //! * [`FaultMode::Hang`] — the worker wedges forever at the point.  The
 //!   parent's per-point deadline fires, the worker is killed, and the
 //!   point is poisoned.
+//! * [`FaultMode::Disconnect`] — the serve loop ends cleanly at the point,
+//!   before answering it: a socket session closes its connection
+//!   mid-point, a stdio worker exits.  The parent sees EOF, poisons the
+//!   in-flight point, and reconnects/respawns for its next claim.
+//! * [`FaultMode::HelloHang`] — a **session** fault: the serve loop wedges
+//!   *before* sending its hello frame, like a half-open TCP accept.  The
+//!   plan's `point` field selects the session ordinal instead of a point
+//!   index (a stdio worker process is always session 0; a socket listener
+//!   numbers accepted connections), so exactly one connection hangs and
+//!   the parent's handshake deadline is what must save the sweep.
 //!
-//! Because the trigger is keyed on the point index and a poisoned point is
+//! Because the trigger is keyed on the point index (or, for
+//! [`FaultMode::HelloHang`], the session ordinal) and a poisoned point is
 //! never re-dispatched, a respawned replacement worker does not re-trigger
 //! the fault — each plan fires at most once per matching worker.
 
@@ -40,6 +51,13 @@ pub enum FaultMode {
     Garbage,
     /// Hang forever while the point is in flight.
     Hang,
+    /// End the serve loop cleanly at the point, before answering it
+    /// (socket session: drop the connection mid-point; stdio worker:
+    /// exit 0 mid-point).
+    Disconnect,
+    /// Wedge the session forever **before** the hello frame.  The plan's
+    /// `point` field names the session ordinal, not a point index.
+    HelloHang,
 }
 
 impl FaultMode {
@@ -49,6 +67,8 @@ impl FaultMode {
             FaultMode::Exit => "exit",
             FaultMode::Garbage => "garbage",
             FaultMode::Hang => "hang",
+            FaultMode::Disconnect => "disconnect",
+            FaultMode::HelloHang => "hello-hang",
         }
     }
 
@@ -58,6 +78,8 @@ impl FaultMode {
             "exit" => Some(FaultMode::Exit),
             "garbage" => Some(FaultMode::Garbage),
             "hang" => Some(FaultMode::Hang),
+            "disconnect" => Some(FaultMode::Disconnect),
+            "hello-hang" => Some(FaultMode::HelloHang),
             _ => None,
         }
     }
@@ -124,6 +146,24 @@ impl FaultPlan {
         }
     }
 
+    /// End the serve loop (drop the connection / exit) at `point`.
+    pub fn disconnect_at(point: usize) -> Self {
+        FaultPlan {
+            point,
+            mode: FaultMode::Disconnect,
+            worker: None,
+        }
+    }
+
+    /// Wedge session number `session` before its hello frame.
+    pub fn hello_hang_at(session: usize) -> Self {
+        FaultPlan {
+            point: session,
+            mode: FaultMode::HelloHang,
+            worker: None,
+        }
+    }
+
     /// Restrict the fault to worker `id`.
     pub fn on_worker(mut self, id: usize) -> Self {
         self.worker = Some(id);
@@ -174,7 +214,8 @@ impl FaultPlan {
         }
         Ok(FaultPlan {
             point: point.ok_or("fault plan needs point=N")?,
-            mode: mode.ok_or("fault plan needs mode=panic|exit|garbage|hang")?,
+            mode: mode
+                .ok_or("fault plan needs mode=panic|exit|garbage|hang|disconnect|hello-hang")?,
             worker,
         })
     }
@@ -189,9 +230,21 @@ impl FaultPlan {
         Some(Self::parse(&value).unwrap_or_else(|e| panic!("bad {}: {e}", Self::ENV)))
     }
 
-    /// Whether the fault fires for `worker` running `point`.
+    /// Whether the fault fires for `worker` running `point`.  Session
+    /// faults ([`FaultMode::HelloHang`]) never fire per point — consult
+    /// [`applies_hello`](FaultPlan::applies_hello) for those.
     pub fn applies(&self, worker: usize, point: usize) -> bool {
-        self.point == point && self.worker.map(|w| w == worker).unwrap_or(true)
+        self.mode != FaultMode::HelloHang
+            && self.point == point
+            && self.worker.map(|w| w == worker).unwrap_or(true)
+    }
+
+    /// Whether the fault fires for `worker`'s serve session number
+    /// `session`, before the hello (only [`FaultMode::HelloHang`] does).
+    pub fn applies_hello(&self, worker: usize, session: usize) -> bool {
+        self.mode == FaultMode::HelloHang
+            && self.point == session
+            && self.worker.map(|w| w == worker).unwrap_or(true)
     }
 }
 
@@ -206,6 +259,8 @@ mod tests {
             FaultPlan::exit_at(3),
             FaultPlan::garbage_at(7).on_worker(2),
             FaultPlan::hang_at(12),
+            FaultPlan::disconnect_at(5),
+            FaultPlan::hello_hang_at(1).on_worker(0),
         ] {
             assert_eq!(FaultPlan::parse(&plan.env_value()).unwrap(), plan);
         }
@@ -230,5 +285,21 @@ mod tests {
         let one = FaultPlan::exit_at(4).on_worker(1);
         assert!(one.applies(1, 4));
         assert!(!one.applies(0, 4));
+    }
+
+    #[test]
+    fn hello_faults_key_on_the_session_not_the_point() {
+        let hello = FaultPlan::hello_hang_at(2);
+        // Never a per-point trigger, whatever index comes up…
+        assert!(!hello.applies(0, 2));
+        // …only the matching session ordinal, pre-hello.
+        assert!(hello.applies_hello(0, 2));
+        assert!(hello.applies_hello(7, 2));
+        assert!(!hello.applies_hello(0, 1));
+        // And point faults never fire at hello time.
+        assert!(!FaultPlan::exit_at(2).applies_hello(0, 2));
+        let filtered = FaultPlan::hello_hang_at(0).on_worker(1);
+        assert!(filtered.applies_hello(1, 0));
+        assert!(!filtered.applies_hello(0, 0));
     }
 }

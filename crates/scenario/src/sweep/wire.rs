@@ -1,5 +1,7 @@
 //! The distributed-sweep wire format: line-framed JSON and the codec that
-//! carries point results across the process boundary.
+//! carries point results across the process boundary — any boundary:
+//! stdin/stdout pipes ([`dist`](super::dist)) and TCP sockets
+//! ([`net`](super::net)) speak the same frames.
 //!
 //! A [`DistRunner`](super::dist::DistRunner) parent and its
 //! `--sweep-worker` children exchange **one JSON document per line**:
@@ -9,8 +11,14 @@
 //!   The worker rebuilds the same [`ScenarioSet`](super::ScenarioSet) from
 //!   its own command line, so the request carries only the point's index;
 //!   the axis tags ride along so the worker can *verify* both sides built
-//!   the same sweep before running anything.
-//! * worker → parent: a [`WorkerFrame`] — a `{"hello":{"protocol":2,
+//!   the same sweep before running anything.  A revision-3 parent may
+//!   batch several requests into one line — `{"batch":[{"point":3,…},
+//!   {"point":4,…}]}` — which the worker answers point by point, in
+//!   order, exactly as if the requests had arrived on separate lines.
+//!   Batching amortizes per-point round-trips on high-latency links; it
+//!   is negotiated in the hello (see below) so revision-2 workers only
+//!   ever see single-point requests.
+//! * worker → parent: a [`WorkerFrame`] — a `{"hello":{"protocol":3,
 //!   "points":8}}` handshake on startup, then per point a
 //!   `{"point":3,"telemetry":{"wall_s":1.25}}` stats frame followed by
 //!   either `{"point":3,"report":<body>}` (the result encoded through
@@ -19,6 +27,20 @@
 //!   only out-of-band wall-clock data: they never touch the result stream,
 //!   so a distributed run's decoded results stay byte-identical to an
 //!   in-process run's.
+//!
+//! # Framing contract
+//!
+//! A frame is one JSON document followed by a line terminator.  Writers
+//! emit `\n`; readers MUST accept both `\n` and `\r\n` (and, equivalently,
+//! strip any trailing `\r` from a line before parsing), so a socket peer
+//! on a platform that writes CRLF cannot poison points with a
+//! trailing-`\r` parse error.  Both sides of this tolerance are already
+//! in place end to end: line readers strip `['\n', '\r']` suffixes, and
+//! [`JsonValue::parse`] itself treats `\r` as insignificant whitespace.
+//! Blank lines (after stripping) are ignored by the worker.  A JSON
+//! document never spans lines and never *contains* a raw newline:
+//! [`json_escape`](crate::report::json_escape) encodes `\n` and `\r`
+//! inside strings as escapes, which the property tests pin.
 //!
 //! Everything is hand-rolled (this workspace builds offline, no serde):
 //! [`json_escape`](crate::report::json_escape) on the way out and the
@@ -45,9 +67,25 @@ use crate::report::{
 
 /// The wire protocol revision announced in the worker's hello frame.
 /// Revision 2 added the per-point telemetry frame (and the optional
-/// `telemetry` key on report bodies); parents and workers always ship
-/// together, so a mismatch means skewed binaries and fails the handshake.
-pub const PROTOCOL_VERSION: u64 = 2;
+/// `telemetry` key on report bodies).  Revision 3 added batched
+/// `{"batch":[…]}` requests for socket transports.
+///
+/// Unlike the pre-3 era, where parents and workers always shipped
+/// together and any skew failed the handshake, a multi-machine sweep can
+/// legitimately pair a newer parent with an older worker binary; the
+/// parent therefore accepts any hello in
+/// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] and restricts itself
+/// to that worker's dialect (no batching below revision 3).
+pub const PROTOCOL_VERSION: u64 = 3;
+
+/// The oldest worker protocol revision a parent still speaks.  Revision 2
+/// workers answer single-point requests with telemetry + report/error
+/// frames — everything a parent needs except batching.
+pub const MIN_PROTOCOL_VERSION: u64 = 2;
+
+/// The first protocol revision that understands batched
+/// `{"batch":[…]}` requests.
+pub const BATCH_PROTOCOL_VERSION: u64 = 3;
 
 /// A malformed or schema-violating wire document.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -727,9 +765,44 @@ pub fn encode_request(index: usize, tags: &[(String, String)]) -> String {
     format!("{{\"point\":{index},\"axes\":[{}]}}", axes.join(","))
 }
 
-/// Parse a point request line.
+/// Encode several point requests as one batched line-framed document
+/// (no newline).  Only send this to a worker whose hello announced
+/// protocol ≥ [`BATCH_PROTOCOL_VERSION`]; the worker answers the points
+/// in order, exactly as if each had arrived on its own line.
+pub fn encode_batch_request(items: &[(usize, &[(String, String)])]) -> String {
+    let body: Vec<String> = items
+        .iter()
+        .map(|&(index, tags)| encode_request(index, tags))
+        .collect();
+    format!("{{\"batch\":[{}]}}", body.join(","))
+}
+
+/// Parse a single point request line (revision-2 dialect: no batches).
 pub fn parse_request(line: &str) -> Result<PointRequest, WireError> {
+    request_from_value(&JsonValue::parse(line)?)
+}
+
+/// Parse a request line in the revision-3 dialect: either one
+/// [`PointRequest`] or a `{"batch":[…]}` of several.  A single request
+/// comes back as a one-element vector; an empty batch is a schema error
+/// (a parent with nothing to ask must not send anything).
+pub fn parse_requests(line: &str) -> Result<Vec<PointRequest>, WireError> {
     let v = JsonValue::parse(line)?;
+    match v.get("batch") {
+        None => Ok(vec![request_from_value(&v)?]),
+        Some(batch) => {
+            let items = batch.as_array()?;
+            if items.is_empty() {
+                return Err(WireError::new("empty batch request"));
+            }
+            items.iter().map(request_from_value).collect()
+        }
+    }
+}
+
+/// Decode one request object (the body of a single request line or one
+/// element of a batch).
+fn request_from_value(v: &JsonValue) -> Result<PointRequest, WireError> {
     let index = v.field("point")?.as_usize()?;
     let tags = v
         .field("axes")?
@@ -985,6 +1058,56 @@ mod tests {
             }
             other => panic!("unexpected frame {other:?}"),
         }
+    }
+
+    #[test]
+    fn batch_requests_round_trip_and_singletons_stay_rev2_parsable() {
+        let tags_a = vec![("load".to_string(), "1.0".to_string())];
+        let tags_b = vec![("load".to_string(), "2.0".to_string())];
+        let line = encode_batch_request(&[(3, &tags_a), (4, &tags_b)]);
+        assert!(!line.contains('\n'));
+        let parsed = parse_requests(&line).unwrap();
+        assert_eq!(
+            parsed,
+            vec![
+                PointRequest {
+                    index: 3,
+                    tags: tags_a.clone()
+                },
+                PointRequest {
+                    index: 4,
+                    tags: tags_b
+                },
+            ]
+        );
+        // The rev-3 parser accepts a plain single request too…
+        let single = encode_request(7, &tags_a);
+        assert_eq!(parse_requests(&single).unwrap().len(), 1);
+        // …while the rev-2 parser refuses batches (a rev-2 worker fed a
+        // batch must fail loudly, not run the wrong point).
+        assert!(parse_request(&line).is_err());
+        // An empty batch is a schema error, not an empty answer.
+        assert!(parse_requests("{\"batch\":[]}").is_err());
+    }
+
+    /// The framing contract (module docs): a trailing `\r` — a CRLF peer's
+    /// leftover after `\n`-splitting — must not poison the document.
+    #[test]
+    fn frames_tolerate_crlf_terminators() {
+        let tags = vec![("load".to_string(), "1.0".to_string())];
+        let req = format!("{}\r", encode_request(3, &tags));
+        assert_eq!(parse_request(&req).unwrap().index, 3);
+        assert_eq!(parse_requests(&req).unwrap()[0].index, 3);
+        let hello = format!("{}\r", encode_hello(8));
+        assert!(matches!(
+            parse_worker_frame(&hello).unwrap(),
+            WorkerFrame::Hello { .. }
+        ));
+        let report = format!("{}\r", encode_report_frame(2, "{\"x\":1}"));
+        assert!(matches!(
+            parse_worker_frame(&report).unwrap(),
+            WorkerFrame::Report { index: 2, .. }
+        ));
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! The worker side of a distributed sweep: a stdin/stdout serve loop
-//! compiled into every experiment binary behind its `--sweep-worker` flag.
+//! The worker side of a distributed sweep: a serve loop compiled into
+//! every experiment binary behind its `--sweep-worker` (stdin/stdout) and
+//! `--serve ADDR` (TCP listener, see [`net`](super::net)) flags.
 //!
 //! A worker process rebuilds the **same** [`ScenarioSet`] as its parent
 //! (both run the same binary with the same configuration flags), then
@@ -8,6 +9,14 @@
 //! The worker never chooses points itself — scheduling, redistribution and
 //! supervision all live in the parent's
 //! [`DistRunner`](super::dist::DistRunner).
+//!
+//! The loop itself is transport-agnostic: [`serve_connection`] speaks the
+//! protocol over any buffered reader/writer pair.  [`serve_worker`] is the
+//! stdio binding the `--sweep-worker` flag uses; the socket listener in
+//! [`net`](super::net) runs the same function once per accepted
+//! connection.  A revision-3 parent may batch several requests into one
+//! line; the worker answers them in order, frame by frame, exactly as if
+//! they had arrived separately.
 //!
 //! Safety properties mirror the in-process runner:
 //!
@@ -22,11 +31,12 @@
 //! * results are flushed frame by frame, so the parent observes each
 //!   completion the moment it happens.
 //!
-//! The loop exits cleanly when the parent closes the worker's stdin.
-//! [`FaultPlan`](super::testing::FaultPlan) hooks (consulted per point)
-//! let the test harness make a worker panic, exit, emit garbage or hang on
-//! demand; production runs simply have no `ISPN_SWEEP_FAULT` in their
-//! environment.
+//! The loop exits cleanly when the parent closes its end of the stream.
+//! [`FaultPlan`](super::testing::FaultPlan) hooks (consulted per point,
+//! plus once per session before the hello) let the test harness make a
+//! worker panic, exit, emit garbage, hang, drop the connection or wedge
+//! its handshake on demand; production runs simply have no
+//! `ISPN_SWEEP_FAULT` in their environment.
 
 use std::io::{self, BufRead, Write};
 use std::panic::AssertUnwindSafe;
@@ -49,7 +59,21 @@ pub fn worker_id() -> Option<usize> {
     std::env::var(WORKER_ID_ENV).ok()?.parse().ok()
 }
 
-/// Serve sweep points over stdin/stdout until the parent closes stdin.
+/// One serve session's identity, for fault-plan filtering and
+/// diagnostics: which worker this process is (parent-assigned over stdio,
+/// self-reported otherwise) and which session of that worker the
+/// connection is (a stdio worker serves exactly one session, number 0; a
+/// socket listener numbers accepted connections from 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// The worker id ([`worker_id`], defaulting to 0).
+    pub worker: usize,
+    /// The session ordinal within this worker process.
+    pub session: usize,
+}
+
+/// Serve sweep points over stdin/stdout until the parent closes stdin —
+/// the `--sweep-worker` binding of [`serve_connection`].
 ///
 /// `run_point` is the same closure an in-process
 /// [`SweepRunner`](super::SweepRunner) would receive; it is called at most
@@ -61,21 +85,60 @@ where
     R: WireResult,
     F: Fn(&P) -> R,
 {
-    let fault = FaultPlan::from_env();
-    let me = worker_id().unwrap_or(0);
+    let session = SessionInfo {
+        worker: worker_id().unwrap_or(0),
+        session: 0,
+    };
     let stdin = io::stdin().lock();
-    let mut stdout = io::stdout().lock();
+    let stdout = io::stdout().lock();
+    serve_connection(set, &run_point, stdin, stdout, session)
+}
 
-    writeln!(stdout, "{}", wire::encode_hello(set.len()))?;
-    stdout.flush()?;
+/// The transport-agnostic serve loop: hello handshake, then answer
+/// line-framed point requests from `input` with telemetry + report/error
+/// frames on `output` until `input` reaches EOF.
+///
+/// This is the single protocol implementation every transport shares —
+/// [`serve_worker`] binds it to stdin/stdout, the TCP listener in
+/// [`net`](super::net) runs it once per accepted connection.  Requests
+/// may be batched (revision 3); the points of a batch are answered in
+/// order, each with its own frames, flushed as they complete.
+pub fn serve_connection<P, R, F, In, Out>(
+    set: &ScenarioSet<P>,
+    run_point: &F,
+    input: In,
+    mut output: Out,
+    session: SessionInfo,
+) -> io::Result<()>
+where
+    R: WireResult,
+    F: Fn(&P) -> R,
+    In: BufRead,
+    Out: Write,
+{
+    let fault = FaultPlan::from_env();
+    let me = session.worker;
+    if fault
+        .filter(|f| f.applies_hello(me, session.session))
+        .is_some()
+    {
+        // Injected half-open session: never say hello.  The parent's
+        // handshake deadline is what must rescue its supervisor slot.
+        loop {
+            std::thread::sleep(HANG_NAP);
+        }
+    }
 
-    for line in stdin.lines() {
+    writeln!(output, "{}", wire::encode_hello(set.len()))?;
+    output.flush()?;
+
+    for line in input.lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let request = match wire::parse_request(&line) {
-            Ok(request) => request,
+        let requests = match wire::parse_requests(&line) {
+            Ok(requests) => requests,
             Err(e) => {
                 // A parent that cannot frame a request cannot be trusted
                 // with anything else either; bail out loudly.
@@ -83,75 +146,87 @@ where
                 return Err(io::Error::new(io::ErrorKind::InvalidData, e));
             }
         };
-        let index = request.index;
-        let frame = if index >= set.len() {
-            wire::encode_error_frame(
-                index,
-                &format!(
-                    "point {index} out of range: this worker's sweep has {} points \
-                     (parent/worker configuration mismatch)",
-                    set.len()
-                ),
-            )
-        } else if request.tags != set.points()[index].tags {
-            wire::encode_error_frame(
-                index,
-                &format!(
-                    "axis tags mismatch at point {index}: parent sent {:?}, worker built {:?} \
-                     (parent/worker configuration mismatch)",
-                    request.tags,
-                    set.points()[index].tags
-                ),
-            )
-        } else {
-            if let Some(fault) = fault.filter(|f| f.applies(me, index)) {
-                match fault.mode {
-                    // Panic is injected *inside* the catch_unwind below, so
-                    // it exercises the same path a real scenario panic takes.
-                    FaultMode::Panic => {}
-                    FaultMode::Exit => {
-                        stdout.flush()?;
-                        std::process::exit(FAULT_EXIT_CODE);
-                    }
-                    FaultMode::Garbage => {
-                        // A truncated frame: cut mid-key, no closing brace.
-                        write!(stdout, "{{\"point\":{index},\"repo")?;
-                        writeln!(stdout)?;
-                        stdout.flush()?;
-                        continue;
-                    }
-                    FaultMode::Hang => loop {
-                        std::thread::sleep(HANG_NAP);
-                    },
-                }
-            }
-            let point = &set.points()[index];
-            let started = std::time::Instant::now();
-            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        for request in requests {
+            let index = request.index;
+            let frame = if index >= set.len() {
+                wire::encode_error_frame(
+                    index,
+                    &format!(
+                        "point {index} out of range: this worker's sweep has {} points \
+                         (parent/worker configuration mismatch)",
+                        set.len()
+                    ),
+                )
+            } else if request.tags != set.points()[index].tags {
+                wire::encode_error_frame(
+                    index,
+                    &format!(
+                        "axis tags mismatch at point {index}: parent sent {:?}, worker built {:?} \
+                         (parent/worker configuration mismatch)",
+                        request.tags,
+                        set.points()[index].tags
+                    ),
+                )
+            } else {
                 if let Some(fault) = fault.filter(|f| f.applies(me, index)) {
-                    if fault.mode == FaultMode::Panic {
-                        panic!("injected fault: worker {me} panicked at point {index}");
+                    match fault.mode {
+                        // Panic is injected *inside* the catch_unwind below, so
+                        // it exercises the same path a real scenario panic takes.
+                        FaultMode::Panic => {}
+                        FaultMode::Exit => {
+                            output.flush()?;
+                            std::process::exit(FAULT_EXIT_CODE);
+                        }
+                        FaultMode::Garbage => {
+                            // A truncated frame: cut mid-key, no closing brace.
+                            write!(output, "{{\"point\":{index},\"repo")?;
+                            writeln!(output)?;
+                            output.flush()?;
+                            continue;
+                        }
+                        FaultMode::Hang => loop {
+                            std::thread::sleep(HANG_NAP);
+                        },
+                        FaultMode::Disconnect => {
+                            // End the serve loop mid-point: the transport
+                            // closes (connection drop / clean process
+                            // exit) and the parent sees EOF.
+                            output.flush()?;
+                            return Ok(());
+                        }
+                        // Session faults fired before the hello; `applies`
+                        // never selects them per point.
+                        FaultMode::HelloHang => {}
                     }
                 }
-                run_point(&point.params)
-            }));
-            // Out-of-band stats precede the result so the parent can
-            // attribute them before the point completes; panicked points
-            // report their wall time too.
-            writeln!(
-                stdout,
-                "{}",
-                wire::encode_telemetry_frame(index, started.elapsed().as_secs_f64())
-            )?;
-            match result {
-                Ok(r) => wire::encode_report_frame(index, &r.to_wire_json()),
-                Err(payload) => {
-                    wire::encode_error_frame(index, &panic_payload_text(payload.as_ref()))
+                let point = &set.points()[index];
+                let started = std::time::Instant::now();
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(fault) = fault.filter(|f| f.applies(me, index)) {
+                        if fault.mode == FaultMode::Panic {
+                            panic!("injected fault: worker {me} panicked at point {index}");
+                        }
+                    }
+                    run_point(&point.params)
+                }));
+                // Out-of-band stats precede the result so the parent can
+                // attribute them before the point completes; panicked points
+                // report their wall time too.
+                writeln!(
+                    output,
+                    "{}",
+                    wire::encode_telemetry_frame(index, started.elapsed().as_secs_f64())
+                )?;
+                match result {
+                    Ok(r) => wire::encode_report_frame(index, &r.to_wire_json()),
+                    Err(payload) => {
+                        wire::encode_error_frame(index, &panic_payload_text(payload.as_ref()))
+                    }
                 }
-            }
-        };
-        writeln!(stdout, "{frame}")?;
-        stdout.flush()?;
+            };
+            writeln!(output, "{frame}")?;
+            output.flush()?;
+        }
     }
     Ok(())
 }
@@ -166,5 +241,68 @@ mod tests {
         // would strand every caller.
         assert_eq!(WORKER_FLAG, "--sweep-worker");
         assert_eq!(WORKER_ID_ENV, "ISPN_SWEEP_WORKER_ID");
+    }
+
+    fn serve_lines(input: &str) -> Vec<String> {
+        let set = ScenarioSet::over("i", [10u64, 20, 30]);
+        let mut out: Vec<u8> = Vec::new();
+        serve_connection(
+            &set,
+            &|&(i,)| i * i,
+            input.as_bytes(),
+            &mut out,
+            SessionInfo {
+                worker: 0,
+                session: 0,
+            },
+        )
+        .expect("in-memory serve loop");
+        String::from_utf8(out)
+            .expect("frames are UTF-8")
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// The serve loop over in-memory streams: hello, then telemetry +
+    /// report per point — and a batched request answers its points in
+    /// order, exactly like separate lines would.
+    #[test]
+    fn serve_connection_answers_batches_in_order() {
+        let set = ScenarioSet::over("i", [10u64, 20, 30]);
+        let separate = serve_lines(&format!(
+            "{}\n{}\n",
+            wire::encode_request(2, &set.points()[2].tags),
+            wire::encode_request(0, &set.points()[0].tags),
+        ));
+        let batched = serve_lines(&format!(
+            "{}\n",
+            wire::encode_batch_request(&[
+                (2, set.points()[2].tags.as_slice()),
+                (0, set.points()[0].tags.as_slice()),
+            ])
+        ));
+        assert_eq!(separate.len(), 5, "hello + 2×(telemetry, result)");
+        assert_eq!(batched.len(), 5);
+        // Frames match pairwise except the wall-clock fields.
+        assert_eq!(batched[0], separate[0], "hello frames match");
+        assert_eq!(batched[2], separate[2], "report for point 2");
+        assert_eq!(batched[4], separate[4], "report for point 0");
+        assert!(batched[2].contains("\"report\":900"), "{}", batched[2]);
+        assert!(batched[4].contains("\"report\":100"), "{}", batched[4]);
+    }
+
+    /// The framing contract: CRLF-terminated request lines parse cleanly
+    /// (`BufRead::lines` strips the `\r\n`, and a stray `\r` inside the
+    /// line is insignificant whitespace to the JSON parser).
+    #[test]
+    fn serve_connection_tolerates_crlf_requests() {
+        let set = ScenarioSet::over("i", [10u64, 20, 30]);
+        let lines = serve_lines(&format!(
+            "{}\r\n",
+            wire::encode_request(1, &set.points()[1].tags)
+        ));
+        assert_eq!(lines.len(), 3, "hello + telemetry + report");
+        assert!(lines[2].contains("\"report\":400"), "{}", lines[2]);
     }
 }

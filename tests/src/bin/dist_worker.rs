@@ -1,10 +1,25 @@
 //! The worker binary behind the distributed-sweep integration tests:
-//! serves the sweep suite named by its first argument over stdin/stdout
-//! (see `ispn_integration_tests::dist_fixtures`).  The tests locate this
+//! serves the sweep suite named by its first argument over stdin/stdout,
+//! or — with `--serve ADDR` — over a TCP listener bound to `ADDR` (see
+//! `ispn_integration_tests::dist_fixtures`).  The tests locate this
 //! binary through `CARGO_BIN_EXE_dist_worker` and point a `DistRunner`'s
-//! `WorkerCommand` at it.
+//! `WorkerCommand` (stdio) or `HostSpec` list (TCP) at it.
 
 fn main() {
-    let suite = std::env::args().nth(1).expect("usage: dist_worker <suite>");
-    ispn_integration_tests::dist_fixtures::serve_suite(&suite).expect("sweep worker I/O");
+    let args: Vec<String> = std::env::args().collect();
+    let suite = args
+        .get(1)
+        .expect("usage: dist_worker <suite> [--serve ADDR]");
+    match args.iter().position(|a| a == "--serve") {
+        Some(i) => {
+            let addr = args
+                .get(i + 1)
+                .expect("usage: dist_worker <suite> --serve ADDR");
+            ispn_integration_tests::dist_fixtures::serve_suite_listener(suite, addr)
+                .expect("sweep listener I/O");
+        }
+        None => {
+            ispn_integration_tests::dist_fixtures::serve_suite(suite).expect("sweep worker I/O");
+        }
+    }
 }

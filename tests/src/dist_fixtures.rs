@@ -131,7 +131,80 @@ pub fn serve_suite(suite: &str) -> std::io::Result<()> {
         // A deliberately mismatched sweep (5 points where the parent
         // expects 8) for the configuration-skew test.
         "square5" => ispn_scenario::serve_worker(&square_set(5), square_point),
+        // A revision-2 worker, for the batch-negotiation fallback test.
+        "square-rev2" => serve_square_rev2(),
+        // A worker wedged before its hello, for the handshake-deadline
+        // test: the parent must cut this slot loose on its own clock.
+        "hang-hello" => loop {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        },
         "scenario" => ispn_scenario::serve_worker(&scenario_set(), scenario_point),
         other => panic!("unknown dist suite {other:?}"),
     }
+}
+
+/// Serve one named suite over a TCP listener bound to `addr` (the
+/// `dist_worker` bin's `--serve` mode).  Only returns on bind failure.
+pub fn serve_suite_listener(suite: &str, addr: &str) -> std::io::Result<()> {
+    match suite {
+        "table1" => table1::serve_listener(&table1_cfg(), addr),
+        "table2" => table2::serve_listener(&table2_cfg(), addr),
+        "table3" => {
+            let cfg = table3_cfg();
+            let seeds = table3_seeds(&cfg);
+            table3::serve_listener(&cfg, &seeds, addr)
+        }
+        "hetmix" => hetmix::serve_listener(&hetmix_cfg(), HETMIX_LEVELS, addr),
+        "mesh" => mesh::serve_listener(&mesh_cfg(), MESH_LEVELS, addr),
+        "churn" => churn::serve_listener(&churn_cfg(), CHURN_RATES, CHURN_HOLD, addr),
+        "square" => ispn_scenario::serve_listener(addr, &square_set(SQUARE_POINTS), square_point),
+        "square5" => ispn_scenario::serve_listener(addr, &square_set(5), square_point),
+        "scenario" => ispn_scenario::serve_listener(addr, &scenario_set(), scenario_point),
+        other => panic!("unknown dist listener suite {other:?}"),
+    }
+}
+
+/// A hand-rolled **revision 2** stdio worker over the `square` sweep: says
+/// hello with `"protocol":2` and understands only single-point request
+/// lines — a batch line is a hard error, exactly what a real pre-batching
+/// worker binary would do.  The batch-negotiation test points a batching
+/// parent at this worker and expects byte-identical output (the parent
+/// must fall back to one-request-per-line for rev-2 sessions).
+pub fn serve_square_rev2() -> std::io::Result<()> {
+    use ispn_scenario::sweep::wire;
+    use ispn_scenario::WireResult;
+    use std::io::{BufRead, Write};
+
+    let set = square_set(SQUARE_POINTS);
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout().lock();
+    writeln!(
+        stdout,
+        "{{\"hello\":{{\"protocol\":2,\"points\":{}}}}}",
+        set.len()
+    )?;
+    stdout.flush()?;
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = wire::parse_request(&line)
+            .expect("a revision-2 worker understands only single-point requests");
+        let index = request.index;
+        let started = std::time::Instant::now();
+        let result = square_point(&set.points()[index].params);
+        writeln!(
+            stdout,
+            "{}",
+            wire::encode_telemetry_frame(index, started.elapsed().as_secs_f64())
+        )?;
+        writeln!(
+            stdout,
+            "{}",
+            wire::encode_report_frame(index, &result.to_wire_json())
+        )?;
+        stdout.flush()?;
+    }
+    Ok(())
 }

@@ -14,23 +14,92 @@
 //!   surviving workers; only the checked (`try_run`-style) paths report
 //!   the failure, and each point's final outcome is observed exactly once.
 //!
+//! Both halves are exercised over **both transports**: stdio subprocess
+//! workers (`--sweep-worker`) and loopback-TCP listeners (`--serve`,
+//! driven through `DistRunner::over_hosts`).  The TCP tests share the
+//! `tcp_` name prefix so CI can select them as a group; the socket fault
+//! tests add the socket-only failure modes (mid-point disconnect,
+//! pre-hello hang, stream garbage), each poisoning exactly one point
+//! while its siblings survive on a reconnected session.  Batched
+//! dispatch (protocol revision 3) is proven byte-identical too, including
+//! the fallback to one-request-per-line when the worker only speaks
+//! revision 2.
+//!
 //! The workers are the `dist_worker` bin of this package; the suites it
 //! serves are pinned in `ispn_integration_tests::dist_fixtures`, which
 //! the parent side of every test reuses so both processes build the same
 //! `ScenarioSet`.
 
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
 use std::time::Duration;
 
 use ispn_experiments::{churn, hetmix, mesh, report, table1, table2, table3};
 use ispn_integration_tests::dist_fixtures as fx;
 use ispn_scenario::{
-    failed_points, sweep_to_json, sweep_to_json_checked, DistRunner, FaultPlan, NullObserver,
-    PointResult, ProgressObserver, SweepExec, SweepReport, SweepRunner, WireResult, WorkerCommand,
+    failed_points, sweep_to_json, sweep_to_json_checked, DistRunner, FaultPlan, HostSpec,
+    NullObserver, PointResult, ProgressObserver, SweepExec, SweepReport, SweepRunner,
+    TelemetryCollector, WireResult, WorkerCommand, LISTENING_BANNER,
 };
 
 /// The worker command serving one fixture suite.
 fn worker(suite: &str) -> WorkerCommand {
     WorkerCommand::new(env!("CARGO_BIN_EXE_dist_worker")).arg(suite)
+}
+
+/// A live `dist_worker --serve` listener on an ephemeral loopback port,
+/// killed on drop.  The bound address is learned from the discovery
+/// banner the listener prints on startup.
+struct Listener {
+    child: Child,
+    addr: String,
+}
+
+impl Listener {
+    fn spawn(suite: &str) -> Listener {
+        Listener::spawn_inner(suite, None)
+    }
+
+    /// A listener whose sessions run under an injected fault plan.
+    fn spawn_with_fault(suite: &str, fault: FaultPlan) -> Listener {
+        Listener::spawn_inner(suite, Some(fault.env_value()))
+    }
+
+    fn spawn_inner(suite: &str, fault: Option<String>) -> Listener {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_dist_worker"));
+        cmd.arg(suite)
+            .arg("--serve")
+            .arg("127.0.0.1:0")
+            .stdout(Stdio::piped());
+        if let Some(value) = fault {
+            cmd.env(FaultPlan::ENV, value);
+        }
+        let mut child = cmd.spawn().expect("spawn sweep listener");
+        let stdout = child.stdout.take().expect("listener stdout");
+        let mut banner = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut banner)
+            .expect("read listener banner");
+        let addr = banner
+            .trim()
+            .strip_prefix(LISTENING_BANNER)
+            .unwrap_or_else(|| panic!("unexpected listener banner: {banner:?}"))
+            .to_string();
+        Listener { child, addr }
+    }
+
+    /// This listener as a one-host `--hosts` list contributing `limit`
+    /// concurrent connections.
+    fn hosts(&self, limit: usize) -> Vec<HostSpec> {
+        vec![HostSpec::new(self.addr.clone(), limit)]
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
 }
 
 /// A distributed runner over one fixture suite.
@@ -314,6 +383,279 @@ fn progress_observer_counts_each_point_exactly_once_under_redistribution() {
 fn configuration_mismatch_is_refused_at_the_handshake() {
     let set = fx::square_set(fx::SQUARE_POINTS);
     let runner = DistRunner::new(2, worker("square5"));
+    let reports: Vec<SweepReport<PointResult<u64>>> = runner.try_run(&set);
+    assert_eq!(failed_points(&reports), fx::SQUARE_POINTS);
+    for r in &reports {
+        let err = r.result.as_ref().unwrap_err();
+        assert!(err.payload.contains("configuration mismatch"), "{err}");
+    }
+}
+
+/// Regression (handshake-deadline satellite): a stdio worker wedged
+/// *before* its hello no longer stalls its supervisor slot forever — the
+/// always-on handshake deadline cuts it loose, and after three strikes
+/// the slot goes fatal with a memoized payload instead of respawning
+/// forever.
+#[test]
+fn pre_hello_hang_trips_the_handshake_deadline() {
+    let set = fx::square_set(4);
+    let runner =
+        DistRunner::new(1, worker("hang-hello")).hello_deadline(Duration::from_millis(300));
+    let reports: Vec<SweepReport<PointResult<u64>>> = runner.try_run(&set);
+    assert_eq!(failed_points(&reports), 4);
+    let first = reports[0].result.as_ref().unwrap_err();
+    assert!(first.payload.contains("handshake"), "{first}");
+    let last = reports[3].result.as_ref().unwrap_err();
+    assert!(last.payload.contains("giving up"), "{last}");
+}
+
+// ---------------------------------------------------------------------------
+// Loopback-TCP golden suite: the `tcp_` prefix is how CI selects this group.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn tcp_table1_is_byte_identical_to_in_process() {
+    let cfg = fx::table1_cfg();
+    let listener = Listener::spawn("table1");
+    let serial = table1::run_reports(&cfg, &SweepRunner::serial(), &NullObserver);
+    let exec = SweepExec::Distributed(DistRunner::over_hosts(&listener.hosts(2)));
+    let dist = table1::exec_reports(&cfg, &exec, &NullObserver);
+    assert_identical(&serial, &dist);
+    assert_eq!(report::render_table1(&serial), report::render_table1(&dist));
+}
+
+#[test]
+fn tcp_table2_is_byte_identical_to_in_process() {
+    let cfg = fx::table2_cfg();
+    let listener = Listener::spawn("table2");
+    let serial = table2::run_reports(&cfg, &SweepRunner::serial(), &NullObserver);
+    let exec = SweepExec::Distributed(DistRunner::over_hosts(&listener.hosts(3)));
+    let dist = table2::exec_reports(&cfg, &exec, &NullObserver);
+    assert_identical(&serial, &dist);
+    assert_eq!(report::render_table2(&serial), report::render_table2(&dist));
+}
+
+#[test]
+fn tcp_table3_seed_replication_is_byte_identical() {
+    let cfg = fx::table3_cfg();
+    let seeds = fx::table3_seeds(&cfg);
+    let listener = Listener::spawn("table3");
+    let serial = table3::run_seeds_reports(&cfg, &seeds, &SweepRunner::serial(), &NullObserver);
+    let exec = SweepExec::Distributed(DistRunner::over_hosts(&listener.hosts(2)));
+    let dist = table3::run_seeds_exec(&cfg, &seeds, &exec, &NullObserver);
+    assert_identical(&serial, &dist);
+    assert_eq!(
+        report::render_table3_seeds(&serial),
+        report::render_table3_seeds(&dist)
+    );
+}
+
+#[test]
+fn tcp_hetmix_is_byte_identical_to_in_process() {
+    let cfg = fx::hetmix_cfg();
+    let listener = Listener::spawn("hetmix");
+    let serial = hetmix::sweep_reports(
+        &cfg,
+        fx::HETMIX_LEVELS,
+        &SweepRunner::serial(),
+        &NullObserver,
+    );
+    let exec = SweepExec::Distributed(DistRunner::over_hosts(&listener.hosts(4)));
+    let dist = hetmix::sweep_exec(&cfg, fx::HETMIX_LEVELS, &exec, &NullObserver);
+    assert_identical(&serial, &dist);
+    assert_eq!(report::render_hetmix(&serial), report::render_hetmix(&dist));
+}
+
+#[test]
+fn tcp_mesh_is_byte_identical_to_in_process() {
+    let cfg = fx::mesh_cfg();
+    let listener = Listener::spawn("mesh");
+    let serial = mesh::sweep_reports(&cfg, fx::MESH_LEVELS, &SweepRunner::serial(), &NullObserver);
+    let exec = SweepExec::Distributed(DistRunner::over_hosts(&listener.hosts(2)));
+    let dist = mesh::sweep_exec(&cfg, fx::MESH_LEVELS, &exec, &NullObserver);
+    assert_identical(&serial, &dist);
+    assert_eq!(report::render_mesh(&serial), report::render_mesh(&dist));
+}
+
+#[test]
+fn tcp_churn_reproduces_the_decision_sequence() {
+    let cfg = fx::churn_cfg();
+    let listener = Listener::spawn("churn");
+    let serial = churn::sweep_reports(
+        &cfg,
+        fx::CHURN_RATES,
+        fx::CHURN_HOLD,
+        &SweepRunner::serial(),
+        &NullObserver,
+    );
+    let exec = SweepExec::Distributed(DistRunner::over_hosts(&listener.hosts(2)));
+    let dist = churn::sweep_exec(&cfg, fx::CHURN_RATES, fx::CHURN_HOLD, &exec, &NullObserver);
+    assert_identical(&serial, &dist);
+    for (s, d) in serial.iter().zip(&dist) {
+        let s = s.result.as_ref().unwrap();
+        let d = d.result.as_ref().unwrap();
+        assert_eq!(s.decisions, d.decisions);
+        assert!(s.offered > 0, "a silent empty run would prove nothing");
+    }
+}
+
+/// The full `ScenarioReport` schema crosses TCP losslessly too, and the
+/// parent measures a round trip for every point (the socket run's
+/// telemetry exposes per-point round-trip overhead; an in-process run has
+/// none to report).
+#[test]
+fn tcp_scenario_json_is_byte_identical_and_measures_round_trips() {
+    let set = fx::scenario_set();
+    let serial = SweepRunner::serial().run(&set, fx::scenario_point);
+    let serial_json = sweep_to_json(&serial);
+    let listener = Listener::spawn("scenario");
+    let runner = DistRunner::over_hosts(&listener.hosts(2));
+    let base = NullObserver;
+    let collector = TelemetryCollector::new(&base);
+    let reports = runner.run_streaming(&set, &collector);
+    assert_eq!(failed_points(&reports), 0);
+    assert_eq!(sweep_to_json_checked(&reports), serial_json);
+    let summary = collector.summary();
+    assert_eq!(
+        summary.rtt_points(),
+        set.len(),
+        "every socket point measures a round trip"
+    );
+    assert!(summary.total_overhead_s() >= 0.0);
+    assert!(
+        summary.render().contains("round-trip overhead"),
+        "{}",
+        summary.render()
+    );
+}
+
+/// Batched dispatch (protocol revision 3) is byte-identical to unbatched:
+/// the same sweep, claimed four points at a time over TCP, produces the
+/// serial JSON.
+#[test]
+fn tcp_batched_sweep_is_byte_identical() {
+    let set = fx::square_set(fx::SQUARE_POINTS);
+    let listener = Listener::spawn("square");
+    let runner = DistRunner::over_hosts(&listener.hosts(2)).batch(4);
+    let reports: Vec<SweepReport<PointResult<u64>>> = runner.try_run(&set);
+    assert_eq!(failed_points(&reports), 0);
+    assert_eq!(reports.len(), fx::SQUARE_POINTS);
+    for (i, r) in reports.iter().enumerate() {
+        assert_eq!(r.index, i, "point order must match");
+        assert_eq!(r.tags, vec![("i".to_string(), i.to_string())]);
+        assert_eq!(r.result, Ok((i * i) as u64));
+    }
+}
+
+/// Batch negotiation: a parent configured to batch falls back to
+/// one-request-per-line when the hello says the worker only speaks
+/// revision 2 — the sweep still completes byte-identically instead of
+/// feeding the old worker a frame it cannot parse.
+#[test]
+fn batching_parent_falls_back_for_rev2_workers() {
+    let set = fx::square_set(fx::SQUARE_POINTS);
+    let runner = DistRunner::new(2, worker("square-rev2")).batch(4);
+    let reports: Vec<SweepReport<PointResult<u64>>> = runner.try_run(&set);
+    assert_eq!(failed_points(&reports), 0);
+    assert_eq!(reports.len(), fx::SQUARE_POINTS);
+    for (i, r) in reports.iter().enumerate() {
+        assert_eq!(r.index, i, "point order must match");
+        assert_eq!(r.tags, vec![("i".to_string(), i.to_string())]);
+        assert_eq!(r.result, Ok((i * i) as u64));
+    }
+}
+
+/// A worker that dies mid-batch poisons only the point it was running;
+/// the rest of its claimed batch is re-dispatched and completes.
+#[test]
+fn batched_claims_survive_a_mid_batch_death() {
+    let set = fx::square_set(fx::SQUARE_POINTS);
+    let runner = DistRunner::new(
+        2,
+        worker("square").env(FaultPlan::ENV, FaultPlan::exit_at(4).env_value()),
+    )
+    .batch(4);
+    let reports: Vec<SweepReport<PointResult<u64>>> = runner.try_run(&set);
+    assert_eq!(failed_points(&reports), 1);
+    let err = reports[4].result.as_ref().unwrap_err();
+    assert_eq!(err.tags, vec![("i".to_string(), "4".to_string())]);
+    for (i, r) in reports.iter().enumerate() {
+        if i != 4 {
+            assert_eq!(r.result, Ok((i * i) as u64), "sibling {i} must survive");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Socket fault injection: the failure modes only a network transport has.
+// ---------------------------------------------------------------------------
+
+/// A connection dropped mid-point poisons exactly that point; the slot
+/// reconnects (a fresh session on the same listener) and the remaining
+/// points complete there.
+#[test]
+fn tcp_disconnect_poisons_only_the_in_flight_point() {
+    let set = fx::square_set(fx::SQUARE_POINTS);
+    let listener = Listener::spawn_with_fault("square", FaultPlan::disconnect_at(2));
+    let runner = DistRunner::over_hosts(&listener.hosts(2));
+    let reports: Vec<SweepReport<PointResult<u64>>> = runner.try_run(&set);
+    assert_eq!(failed_points(&reports), 1);
+    let err = reports[2].result.as_ref().unwrap_err();
+    assert_eq!(err.tags, vec![("i".to_string(), "2".to_string())]);
+    assert!(err.payload.contains("closed by peer"), "{err}");
+    for (i, r) in reports.iter().enumerate() {
+        if i != 2 {
+            assert_eq!(r.result, Ok((i * i) as u64), "sibling {i} must survive");
+        }
+    }
+}
+
+/// A session wedged before its hello trips the handshake deadline: the
+/// slot's first claimed point is poisoned with a handshake error, and the
+/// reconnected session (the listener's next accept) serves the rest.
+#[test]
+fn tcp_pre_hello_hang_poisons_one_point_then_reconnects() {
+    let set = fx::square_set(fx::SQUARE_POINTS);
+    let listener = Listener::spawn_with_fault("square", FaultPlan::hello_hang_at(0));
+    let runner =
+        DistRunner::over_hosts(&listener.hosts(1)).hello_deadline(Duration::from_millis(500));
+    let reports: Vec<SweepReport<PointResult<u64>>> = runner.try_run(&set);
+    assert_eq!(failed_points(&reports), 1);
+    let err = reports[0].result.as_ref().unwrap_err();
+    assert_eq!(err.tags, vec![("i".to_string(), "0".to_string())]);
+    assert!(err.payload.contains("handshake"), "{err}");
+    for (i, r) in reports.iter().enumerate().skip(1) {
+        assert_eq!(r.result, Ok((i * i) as u64), "sibling {i} must survive");
+    }
+}
+
+/// Garbage on the stream poisons the point, the poisoned session is
+/// dropped, and siblings survive on a reconnected one.
+#[test]
+fn tcp_garbage_frame_poisons_the_point_and_reconnects() {
+    let set = fx::square_set(fx::SQUARE_POINTS);
+    let listener = Listener::spawn_with_fault("square", FaultPlan::garbage_at(5));
+    let runner = DistRunner::over_hosts(&listener.hosts(2));
+    let reports: Vec<SweepReport<PointResult<u64>>> = runner.try_run(&set);
+    assert_eq!(failed_points(&reports), 1);
+    let err = reports[5].result.as_ref().unwrap_err();
+    assert_eq!(err.tags, vec![("i".to_string(), "5".to_string())]);
+    assert!(err.payload.contains("malformed frame"), "{err}");
+    for (i, r) in reports.iter().enumerate() {
+        if i != 5 {
+            assert_eq!(r.result, Ok((i * i) as u64), "sibling {i} must survive");
+        }
+    }
+}
+
+/// A TCP configuration skew is refused exactly like the stdio one: the
+/// listener's hello names a different point count, so every point carries
+/// the structured mismatch error.
+#[test]
+fn tcp_configuration_mismatch_is_refused_at_the_handshake() {
+    let set = fx::square_set(fx::SQUARE_POINTS);
+    let listener = Listener::spawn("square5");
+    let runner = DistRunner::over_hosts(&listener.hosts(2));
     let reports: Vec<SweepReport<PointResult<u64>>> = runner.try_run(&set);
     assert_eq!(failed_points(&reports), fx::SQUARE_POINTS);
     for r in &reports {
