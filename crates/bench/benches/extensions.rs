@@ -8,6 +8,9 @@ use ispn_experiments::report;
 
 fn main() {
     let cfg = extensions_config();
+    // Bench harness wall-clock (clippy.toml disallows it for sim-visible
+    // code only).
+    #[allow(clippy::disallowed_methods)]
     let start = std::time::Instant::now();
 
     let points = hops::run_sweep(&cfg, &[1, 2, 3, 4, 5, 6]);

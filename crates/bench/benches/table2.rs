@@ -15,6 +15,9 @@ fn main() {
         return;
     }
     let exec = bench_exec();
+    // Bench harness wall-clock (clippy.toml disallows it for sim-visible
+    // code only).
+    #[allow(clippy::disallowed_methods)]
     let start = std::time::Instant::now();
     let reports = table2::exec_reports(&cfg, &exec, &NullObserver);
     println!("{}", report::render_table2(&reports));

@@ -5,6 +5,9 @@ use ispn_experiments::{report, table3};
 
 fn main() {
     let cfg = bench_config();
+    // Bench harness wall-clock (clippy.toml disallows it for sim-visible
+    // code only).
+    #[allow(clippy::disallowed_methods)]
     let start = std::time::Instant::now();
     let t = table3::run(&cfg);
     println!("{}", report::render_table3(&t));

@@ -51,6 +51,9 @@ pub fn measure_micro(
         Duration::from_millis(500)
     };
     black_box(work(ops_per_call));
+    // The snapshot harness measures wall time by design (clippy.toml
+    // disallows Instant::now for sim-visible code only).
+    #[allow(clippy::disallowed_methods)]
     let started = Instant::now();
     let mut calls = 0u64;
     while calls == 0 || started.elapsed() < window {

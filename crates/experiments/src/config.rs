@@ -105,7 +105,7 @@ mod tests {
     #[test]
     fn flow_seeds_are_distinct() {
         let c = PaperConfig::paper();
-        let seeds: std::collections::HashSet<u64> = (0..100).map(|i| c.flow_seed(i)).collect();
+        let seeds: std::collections::BTreeSet<u64> = (0..100).map(|i| c.flow_seed(i)).collect();
         assert_eq!(seeds.len(), 100);
     }
 

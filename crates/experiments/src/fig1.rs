@@ -27,7 +27,7 @@ pub const NUM_FLOWS: usize = 22;
 pub const FLOWS_PER_LINK: usize = 10;
 
 /// The Table-3 class of a real-time flow (Table 2 ignores the distinction).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FlowKind {
     /// Guaranteed service with clock rate equal to the source's peak rate.
     GuaranteedPeak,
@@ -201,8 +201,10 @@ impl Fig1Network {
 
 /// Census of the placement: per-link flow counts by kind, used by the tests
 /// and printed by the `fig1` binary.
-pub fn per_link_census(flows: &[FlowPlacement]) -> Vec<std::collections::HashMap<FlowKind, usize>> {
-    let mut census = vec![std::collections::HashMap::new(); NUM_LINKS];
+pub fn per_link_census(
+    flows: &[FlowPlacement],
+) -> Vec<std::collections::BTreeMap<FlowKind, usize>> {
+    let mut census = vec![std::collections::BTreeMap::new(); NUM_LINKS];
     for f in flows {
         for l in f.link_indices() {
             *census[l].entry(f.kind).or_insert(0) += 1;

@@ -1,0 +1,9 @@
+// Fixture: lint suppressions with no stated justification.
+// (The blank lines below matter: a comment two or more lines above an
+// attribute does not count as its justification.)
+
+#[allow(dead_code)]
+fn unused() {}
+
+#[allow(clippy::disallowed_methods)]
+fn silenced() {}

@@ -1,0 +1,10 @@
+// Fixture: every suppression says why.
+
+// Kept for protocol documentation; referenced from README.
+#[allow(dead_code)]
+fn unused() {}
+
+fn trailing() {
+    #[allow(unused_variables)] // bound for symmetry with the v2 frame layout
+    let reserved = 0u8;
+}

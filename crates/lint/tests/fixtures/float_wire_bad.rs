@@ -1,0 +1,9 @@
+// Fixture: lossy float formatting in wire-adjacent code.
+
+fn encode(v: f64) -> String {
+    format!("{:.6}", v)
+}
+
+fn scientific(v: f64) -> String {
+    format!("{:e}", v)
+}

@@ -1,0 +1,14 @@
+// Fixture: randomized-hasher collections in sim-visible code.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+struct Table {
+    by_flow: HashMap<u64, usize>,
+}
+
+fn census() -> HashSet<u64> {
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(7u64);
+    seen
+}

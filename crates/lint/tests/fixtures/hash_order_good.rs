@@ -1,0 +1,24 @@
+// Fixture: the sanctioned alternatives — ordered maps, plus hasher maps in
+// test-gated code where iteration order cannot reach sim output.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+struct Table {
+    by_flow: BTreeMap<u64, usize>,
+}
+
+fn census() -> BTreeSet<u64> {
+    let mut seen = BTreeSet::new();
+    seen.insert(7u64);
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_sets_in_tests_are_fine() {
+        let mut s = std::collections::HashSet::new();
+        s.insert(1);
+        assert!(s.contains(&1));
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: panics waiting to happen in a worker request path.
+
+fn serve(frames: &[String]) -> String {
+    let first = frames.first().unwrap();
+    let parsed: u32 = first.parse().expect("bad frame");
+    let echo = &frames[0];
+    format!("{parsed}:{echo}")
+}

@@ -1,0 +1,14 @@
+// Fixture: per-point error frames instead of panics, plus one waived
+// invariant site.
+
+fn serve(frames: &[String]) -> Result<String, String> {
+    let first = frames.first().ok_or("empty request")?;
+    let parsed: u32 = first.parse().map_err(|e| format!("bad frame: {e}"))?;
+    Ok(format!("{parsed}"))
+}
+
+fn supervised(slot: &mut Option<u32>) -> u32 {
+    *slot = Some(1);
+    // ispn-lint: allow(panic-path) -- the line above just installed Some
+    slot.as_mut().unwrap().wrapping_add(0)
+}

@@ -1,0 +1,5 @@
+// Fixture: undocumented `unsafe`.
+
+fn peek(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}

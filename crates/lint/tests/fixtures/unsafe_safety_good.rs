@@ -1,0 +1,11 @@
+// Fixture: `unsafe` with the invariant stated right above it.
+
+fn peek(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    // SAFETY: the assert above guarantees at least one byte in bounds.
+    unsafe { *bytes.as_ptr() }
+}
+
+fn trailing_form(bytes: &[u8; 4]) -> u8 {
+    unsafe { *bytes.as_ptr().add(3) } // SAFETY: fixed-size array, index 3 < 4
+}

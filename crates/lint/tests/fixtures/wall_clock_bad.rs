@@ -1,0 +1,16 @@
+// Fixture: sim-visible wall-clock reads, all of which must be flagged.
+
+fn drain_deadline() -> bool {
+    let started = std::time::Instant::now();
+    started.elapsed().as_secs() > 1
+}
+
+fn stamp() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH).unwrap().as_secs()
+}
+
+fn imported() {
+    use std::time::Instant;
+    let _ = Instant::now();
+}

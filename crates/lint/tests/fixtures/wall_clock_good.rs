@@ -1,0 +1,27 @@
+// Fixture: clean wall-clock usage — waived telemetry, test-gated code, and
+// strings/comments that merely mention the forbidden calls.
+
+fn waived_telemetry() {
+    // ispn-lint: allow(wall-clock) -- events/sec telemetry, never reaches report bytes
+    let started = std::time::Instant::now();
+    let _ = started.elapsed();
+}
+
+fn trailing_form() {
+    let t = std::time::Instant::now(); // ispn-lint: allow(wall-clock) -- pacing only
+    let _ = t;
+}
+
+fn just_words() {
+    // A comment saying Instant::now() is not a call.
+    let s = "std::time::Instant::now()";
+    let _ = s;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,281 @@
+//! End-to-end tests for `ispn-lint`: the fixture corpus (one known-bad and
+//! one known-good source per rule), waiver round-trips, the baseline drift
+//! guard, a seeded-violation run over a temp workspace tree, and a
+//! self-check that the real workspace is clean under the committed baseline.
+
+use std::path::{Path, PathBuf};
+
+use ispn_lint::rules::Finding;
+use ispn_lint::waiver::BaselineEntry;
+use ispn_lint::{analyze_source, run_files, run_workspace};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path:?}: {e}"))
+}
+
+/// Lint fixture `name` as if it lived at workspace-relative `path` (rule
+/// scoping is path-based) and return the unwaived findings.
+fn lint_fixture(name: &str, path: &str) -> Vec<Finding> {
+    analyze_source(path, &fixture(name)).findings
+}
+
+fn rules_hit(findings: &[Finding]) -> Vec<&'static str> {
+    let mut ids: Vec<&'static str> = findings.iter().map(|f| f.rule).collect();
+    ids.dedup();
+    ids
+}
+
+// ---------------------------------------------------------------- fixtures
+
+#[test]
+fn wall_clock_fixture_pair() {
+    let bad = lint_fixture("wall_clock_bad.rs", "crates/sim/src/fixture.rs");
+    assert_eq!(rules_hit(&bad), ["wall-clock"]);
+    assert_eq!(bad.len(), 3, "Instant::now x2 + SystemTime::now: {bad:?}");
+    assert!(bad.iter().all(|f| f.line > 0 && f.col > 0));
+
+    let good = lint_fixture("wall_clock_good.rs", "crates/sim/src/fixture.rs");
+    assert!(good.is_empty(), "{good:?}");
+
+    // The same bad source is clean inside the scope-exempt timing harness.
+    let bench = lint_fixture("wall_clock_bad.rs", "crates/bench/src/fixture.rs");
+    assert!(bench.is_empty(), "{bench:?}");
+}
+
+#[test]
+fn hash_order_fixture_pair() {
+    let bad = lint_fixture("hash_order_bad.rs", "crates/net/src/fixture.rs");
+    assert_eq!(rules_hit(&bad), ["hash-order"]);
+    assert!(bad.len() >= 3, "use lines + field + ctor: {bad:?}");
+
+    let good = lint_fixture("hash_order_good.rs", "crates/net/src/fixture.rs");
+    assert!(good.is_empty(), "{good:?}");
+
+    // Outside sim-visible crates the rule does not apply at all.
+    let tool = lint_fixture("hash_order_bad.rs", "crates/lint/src/fixture.rs");
+    assert!(tool.is_empty(), "{tool:?}");
+}
+
+#[test]
+fn float_wire_fixture_pair() {
+    let wire = "crates/scenario/src/sweep/fixture.rs";
+    let bad = lint_fixture("float_wire_bad.rs", wire);
+    assert_eq!(rules_hit(&bad), ["float-wire"]);
+    assert_eq!(bad.len(), 2, "{{:.6}} and {{:e}}: {bad:?}");
+
+    let good = lint_fixture("float_wire_good.rs", wire);
+    assert!(good.is_empty(), "{good:?}");
+
+    // The rule is scoped to the protocol directory only.
+    let elsewhere = lint_fixture("float_wire_bad.rs", "crates/stats/src/fixture.rs");
+    assert!(elsewhere.is_empty(), "{elsewhere:?}");
+}
+
+#[test]
+fn unsafe_safety_fixture_pair() {
+    let bad = lint_fixture("unsafe_safety_bad.rs", "crates/core/src/fixture.rs");
+    assert_eq!(rules_hit(&bad), ["unsafe-safety"]);
+
+    let good = lint_fixture("unsafe_safety_good.rs", "crates/core/src/fixture.rs");
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn allow_justify_fixture_pair() {
+    let bad = lint_fixture("allow_justify_bad.rs", "crates/core/src/fixture.rs");
+    assert_eq!(rules_hit(&bad), ["allow-justify"]);
+    assert_eq!(bad.len(), 2, "{bad:?}");
+
+    let good = lint_fixture("allow_justify_good.rs", "crates/core/src/fixture.rs");
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn panic_path_fixture_pair() {
+    let worker = "crates/scenario/src/sweep/worker.rs";
+    let bad = lint_fixture("panic_path_bad.rs", worker);
+    assert_eq!(rules_hit(&bad), ["panic-path"]);
+    assert_eq!(bad.len(), 3, "unwrap + expect + indexing: {bad:?}");
+
+    let good = lint_fixture("panic_path_good.rs", worker);
+    assert!(good.is_empty(), "{good:?}");
+
+    // Request-path hygiene is scoped to the three protocol files.
+    let elsewhere = lint_fixture("panic_path_bad.rs", "crates/scenario/src/sweep/fixture.rs");
+    assert!(elsewhere.is_empty(), "{elsewhere:?}");
+}
+
+// ----------------------------------------------------------------- waivers
+
+#[test]
+fn waiver_suppresses_only_named_rule_on_target_line() {
+    let src = "\
+// ispn-lint: allow(wall-clock) -- telemetry fixture\n\
+let t = std::time::Instant::now();\n\
+let u = std::time::Instant::now();\n";
+    let out = analyze_source("crates/sim/src/fixture.rs", src);
+    assert_eq!(out.waived, 1);
+    assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
+    assert_eq!(out.findings[0].line, 3, "second read is not covered");
+}
+
+#[test]
+fn malformed_and_stale_waivers_are_findings() {
+    let missing_reason = "// ispn-lint: allow(wall-clock)\nlet x = 1;\n";
+    let out = analyze_source("crates/sim/src/fixture.rs", missing_reason);
+    assert_eq!(rules_hit(&out.findings), ["bad-waiver"]);
+
+    let stale = "// ispn-lint: allow(wall-clock) -- excuses nothing\nlet x = 1;\n";
+    let out = analyze_source("crates/sim/src/fixture.rs", stale);
+    assert_eq!(rules_hit(&out.findings), ["stale-waiver"]);
+    assert!(out.findings[0].message.contains("suppresses nothing"));
+}
+
+#[test]
+fn waiver_round_trips_through_render_text() {
+    // A waiver written in the documented syntax parses back to the same
+    // rule set and reason, and survives target resolution through an
+    // attribute.
+    let src = "\
+// ispn-lint: allow(wall-clock, hash-order) -- dual-purpose telemetry cache\n\
+#[allow(dead_code)] // justified: fixture\n\
+let m: std::collections::HashMap<u8, std::time::Instant> = Default::default();\n";
+    let out = analyze_source("crates/sim/src/fixture.rs", src);
+    assert!(
+        out.findings.is_empty(),
+        "waiver failed to round-trip: {:?}",
+        out.findings
+    );
+    assert_eq!(out.waived, 1, "HashMap type mention waived via hash-order");
+}
+
+// ---------------------------------------------------------- baseline drift
+
+#[test]
+fn baseline_entry_suppresses_exact_site_and_goes_stale_on_drift() {
+    let root = tempdir("ispn-lint-drift");
+    let file = root.join("crates/net/src/table.rs");
+    std::fs::create_dir_all(file.parent().unwrap()).unwrap();
+    std::fs::write(
+        &file,
+        "use std::collections::HashMap;\npub type T = HashMap<u8, u8>;\n",
+    )
+    .unwrap();
+    let files = vec![PathBuf::from("crates/net/src/table.rs")];
+
+    let entry = |line: u32| BaselineEntry {
+        rule: "hash-order".to_string(),
+        path: "crates/net/src/table.rs".to_string(),
+        line,
+        reason: "grandfathered for the drift test".to_string(),
+        src_line: 5,
+    };
+
+    // Exact match on both findings' lines: clean, both baselined.
+    let baseline = vec![entry(1), entry(2)];
+    let report = run_files(&root, &files, &baseline).unwrap();
+    assert!(report.is_clean(), "{:?}", report.findings);
+    assert_eq!(report.baselined, 2);
+
+    // Drift: the entry's line no longer matches → the original finding
+    // comes back AND the stale entry is itself a finding.
+    let baseline = vec![entry(1), entry(99)];
+    let report = run_files(&root, &files, &baseline).unwrap();
+    let ids = rules_hit(&report.findings);
+    assert!(ids.contains(&"hash-order"), "{ids:?}");
+    assert!(ids.contains(&"stale-baseline"), "{ids:?}");
+    let stale = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "stale-baseline")
+        .unwrap();
+    assert_eq!(stale.path, "lint-allow.toml");
+    assert_eq!(stale.line, 5, "diagnostic points at the baseline entry");
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+// ------------------------------------------------------- seeded violation
+
+#[test]
+fn seeded_violation_fails_with_rule_file_and_line() {
+    let root = tempdir("ispn-lint-seeded");
+    let file = root.join("crates/sched/src/seeded.rs");
+    std::fs::create_dir_all(file.parent().unwrap()).unwrap();
+    std::fs::write(
+        &file,
+        "pub fn tick() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+    )
+    .unwrap();
+
+    let report = run_workspace(&root).unwrap();
+    assert!(!report.is_clean());
+    assert_eq!(report.findings.len(), 1);
+    let f = &report.findings[0];
+    assert_eq!(f.rule, "wall-clock");
+    assert_eq!(f.path, "crates/sched/src/seeded.rs");
+    assert_eq!(f.line, 2);
+    assert_eq!(f.snippet, "std::time::Instant::now()");
+
+    // The rendered diagnostic carries all three coordinates.
+    let text = ispn_lint::render_text(&report);
+    assert!(text.contains("crates/sched/src/seeded.rs:2:"), "{text}");
+    assert!(text.contains("[wall-clock]"), "{text}");
+
+    // And the JSON form is machine-readable with the same fields.
+    let json = ispn_lint::render_json(&report);
+    assert!(json.contains("\"rule\":\"wall-clock\""), "{json}");
+    assert!(json.contains("\"line\":2"), "{json}");
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+// ------------------------------------------------------ workspace self-test
+
+/// The real workspace root (two levels above this crate's manifest).
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+#[test]
+fn real_workspace_is_clean_under_committed_baseline() {
+    let report = run_workspace(&workspace_root()).unwrap();
+    assert!(
+        report.is_clean(),
+        "the committed tree must lint clean:\n{}",
+        ispn_lint::render_text(&report)
+    );
+    assert!(
+        report.files > 50,
+        "walk found the workspace: {}",
+        report.files
+    );
+    assert!(
+        report.waived > 0,
+        "the telemetry waivers exist and still anchor"
+    );
+}
+
+#[test]
+fn lint_output_is_deterministic() {
+    let root = workspace_root();
+    let a = ispn_lint::render_json(&run_workspace(&root).unwrap());
+    let b = ispn_lint::render_json(&run_workspace(&root).unwrap());
+    assert_eq!(a, b);
+}
+
+// ------------------------------------------------------------------- util
+
+fn tempdir(tag: &str) -> PathBuf {
+    // Keyed by PID only — no wall-clock — so reruns reuse and overwrite.
+    let dir = std::env::temp_dir().join(format!("{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}

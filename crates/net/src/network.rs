@@ -8,7 +8,7 @@
 //! full) and, whenever the link goes idle, asking the discipline for the
 //! next packet to transmit.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ispn_core::admission::{AdmissionController, AdmissionDecision};
 use ispn_core::{
@@ -129,7 +129,7 @@ struct FlowState {
     config: FlowConfig,
     policer: Option<TokenBucket>,
     /// Index into `config.route` of the link leaving each on-path switch.
-    hop_at_node: HashMap<usize, usize>,
+    hop_at_node: BTreeMap<usize, usize>,
     destination: NodeId,
     /// Σ 1/rate over the route (seconds per bit of fixed serialization).
     secs_per_bit: f64,
@@ -381,7 +381,7 @@ impl Network {
             self.topo.validate_route(&config.route),
             "flow route is not a contiguous path"
         );
-        let mut hop_at_node = HashMap::new();
+        let mut hop_at_node = BTreeMap::new();
         let mut secs_per_bit = 0.0;
         let mut total_propagation = SimTime::ZERO;
         for (i, link) in config.route.iter().enumerate() {

@@ -20,7 +20,7 @@
 //! its own instant sees a fully settled network.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use ispn_core::{FlowId, TokenBucketSpec};
@@ -68,8 +68,8 @@ struct ChurnEntry {
 struct ChurnDriver {
     spec: ChurnWorkload,
     rng: Pcg64,
-    admitted: HashMap<FlowId, ChurnEntry>,
-    requested: HashMap<FlowId, (Option<u8>, usize)>,
+    admitted: BTreeMap<FlowId, ChurnEntry>,
+    requested: BTreeMap<FlowId, (Option<u8>, usize)>,
     source_seq: u32,
     /// Set by [`Sim::drain_churn`]: in-flight completions must no longer
     /// spawn sources or departures.
@@ -274,8 +274,8 @@ impl Sim {
         let driver = Rc::new(RefCell::new(ChurnDriver {
             spec,
             rng,
-            admitted: HashMap::new(),
-            requested: HashMap::new(),
+            admitted: BTreeMap::new(),
+            requested: BTreeMap::new(),
             source_seq: 0,
             draining: false,
         }));
@@ -295,17 +295,16 @@ impl Sim {
             return Vec::new();
         };
         let d = churn.borrow();
-        let mut records: Vec<ChurnFlowRecord> = d
-            .admitted
+        // `admitted` is a `BTreeMap`, so iteration is already in flow-id
+        // order — sorted by construction, no post-sort needed.
+        d.admitted
             .iter()
             .map(|(&flow, entry)| ChurnFlowRecord {
                 flow,
                 priority: entry.priority,
                 hops: entry.hops,
             })
-            .collect();
-        records.sort_by_key(|r| r.flow);
-        records
+            .collect()
     }
 
     /// Drain the churn workload: stop the arrival process (this cancels
@@ -322,15 +321,13 @@ impl Sim {
         self.cancel_scheduled();
         let to_tear: Vec<(FlowId, Lease)> = {
             let mut d = churn.borrow_mut();
-            let mut pairs: Vec<(FlowId, Lease)> = d
-                .admitted
+            // Teardown order does not affect the outcome, but `admitted`
+            // being a `BTreeMap` makes the drain flow-id-ordered — and so
+            // reproducible — by construction.
+            d.admitted
                 .iter_mut()
                 .filter_map(|(&flow, entry)| entry.lease.take().map(|l| (flow, l)))
-                .collect();
-            // Teardown order does not affect the outcome, but sort anyway
-            // so the drain is reproducible by construction.
-            pairs.sort_by_key(|(flow, _)| *flow);
-            pairs
+                .collect::<Vec<(FlowId, Lease)>>()
         };
         for (flow, lease) in to_tear {
             lease.revoke();
@@ -489,6 +486,10 @@ impl Sim {
              or signal handler"
         );
         self.running = true;
+        // ispn-lint: allow(wall-clock) -- events/sec telemetry: measures the
+        // host's wall time around the run; reported only when RunTelemetry
+        // is opted in, never part of a golden report body.
+        #[allow(clippy::disallowed_methods)]
         let started = std::time::Instant::now();
         let draining = horizon == SimTime::MAX;
         let due = |t: SimTime| t < horizon || (t == horizon && draining);

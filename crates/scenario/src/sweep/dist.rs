@@ -615,6 +615,9 @@ impl DistRunner {
         while let Some(&index) = claim.front() {
             let tags = &set.points()[index].tags;
             let mut wall_s = None;
+            // ispn-lint: allow(wall-clock) -- round-trip-overhead telemetry
+            // (rtt_s); aggregated behind --telemetry, never in report bytes.
+            #[allow(clippy::disallowed_methods)]
             let started = Instant::now();
             let result: Result<R, String> = if let Some(payload) = sup.fatal.clone() {
                 Err(payload)
@@ -772,6 +775,7 @@ impl DistRunner {
                     let deadline = self.deadline.expect("timeout implies a deadline");
                     let status = live.take().expect("worker present").transport.terminate();
                     return Err(format!(
+                        // ispn-lint: allow(float-wire) -- human-facing poison payload, not a round-tripped value
                         "worker exceeded the {:.3}s point deadline (killed: {status})",
                         deadline.as_secs_f64()
                     ));
@@ -833,6 +837,7 @@ impl DistRunner {
             Await::TimedOut => {
                 let status = transport.terminate();
                 Err(format!(
+                    // ispn-lint: allow(float-wire) -- human-facing handshake failure message, not a round-tripped value
                     "worker did not complete the handshake within {:.3}s (killed: {status})",
                     hello_wait.as_secs_f64()
                 ))

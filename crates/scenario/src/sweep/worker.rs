@@ -200,6 +200,9 @@ where
                     }
                 }
                 let point = &set.points()[index];
+                // ispn-lint: allow(wall-clock) -- per-point wall-time
+                // telemetry frame; out-of-band, never in the result stream.
+                #[allow(clippy::disallowed_methods)]
                 let started = std::time::Instant::now();
                 let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
                     if let Some(fault) = fault.filter(|f| f.applies(me, index)) {

@@ -91,6 +91,7 @@ impl Strategy for Range<f64> {
 
 macro_rules! tuple_strategy {
     ($(($($name:ident),+))*) => {$(
+        // The macro reuses the type parameters as binding names.
         #[allow(non_snake_case)]
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {
             type Value = ($($name::Value,)+);

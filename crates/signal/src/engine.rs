@@ -8,7 +8,7 @@
 //! them with the network's data-plane events, so admission decisions at
 //! each hop see exactly the measurement state of that simulated instant.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ispn_core::admission::AdmissionDecision;
 use ispn_core::{FlowId, FlowSpec, TokenBucketSpec};
@@ -99,8 +99,8 @@ enum ControlEvent {
 pub struct Signaling {
     cfg: SignalConfig,
     queue: EventQueue<ControlEvent>,
-    setups: HashMap<RequestId, PendingSetup>,
-    renegs: HashMap<RequestId, PendingReneg>,
+    setups: BTreeMap<RequestId, PendingSetup>,
+    renegs: BTreeMap<RequestId, PendingReneg>,
     events: Vec<SignalEvent>,
     /// Chronological accept/reject record of every completed setup, kept
     /// for blocking-probability accounting and determinism checks.

@@ -192,6 +192,9 @@ pub fn serve_square_rev2() -> std::io::Result<()> {
         let request = wire::parse_request(&line)
             .expect("a revision-2 worker understands only single-point requests");
         let index = request.index;
+        // ispn-lint: allow(wall-clock) -- fixture worker's telemetry frame
+        // mirrors the real worker's out-of-band wall clock.
+        #[allow(clippy::disallowed_methods)]
         let started = std::time::Instant::now();
         let result = square_point(&set.points()[index].params);
         writeln!(
