@@ -9,13 +9,17 @@
 //! Measures the per-packet scheduling and engine micro-workloads
 //! (ns/op), runs one representative scenario per experiment with run
 //! telemetry enabled (events/sec, peak queue depth, memory footprint),
-//! and writes the structured snapshot to `BENCH_7.json` — override with
+//! and writes the structured snapshot to `BENCH_9.json` — override with
 //! `--out FILE`.  `--check FILE` validates an existing snapshot against
-//! the schema instead (the CI smoke job).
+//! the schema instead (the CI smoke job), and `--diff OLD [NEW]`
+//! prints the per-workload ns/op movement between two recorded
+//! snapshots (`NEW` defaults to the current default output file).
+//! The diff always exits 0: wall-clock deltas are machine-dependent
+//! and must never gate a build.
 
 use ispn_bench::{bench_config, micro, snapshot};
 
-const DEFAULT_OUT: &str = "BENCH_7.json";
+const DEFAULT_OUT: &str = "BENCH_9.json";
 
 /// Packets per call for the scheduling workloads.
 const SCHED_OPS: u64 = 10_000;
@@ -39,6 +43,31 @@ fn main() {
                 eprintln!("{path}: {msg}");
                 std::process::exit(1);
             }
+        }
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--diff") {
+        let Some(old_path) = args.get(i + 1) else {
+            eprintln!("--diff needs a file, e.g. `snapshot --diff BENCH_7.json [BENCH_9.json]`");
+            std::process::exit(2);
+        };
+        let new_path = args
+            .get(i + 2)
+            .filter(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .unwrap_or(DEFAULT_OUT);
+        let read = |path: &str| {
+            std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            })
+        };
+        let (old_text, new_text) = (read(old_path), read(new_path));
+        match snapshot::diff_report(&old_text, &new_text) {
+            Ok(report) => println!("{old_path} -> {new_path}\n{report}"),
+            // Still exit 0: an unreadable old snapshot (schema drift across
+            // PRs) downgrades the diff to a note, it never fails the job.
+            Err(msg) => println!("snapshot diff unavailable: {msg}"),
         }
         return;
     }

@@ -205,6 +205,71 @@ pub fn validate(text: &str) -> Result<(), String> {
     }
 }
 
+/// Pull `(name, ns_per_op)` for every micro workload out of a parsed
+/// snapshot.
+fn micro_costs(v: &JsonValue) -> Result<Vec<(String, f64)>, String> {
+    let micro = v
+        .field("micro")
+        .and_then(|m| m.as_array())
+        .map_err(|e| format!("micro list: {e:?}"))?;
+    let mut out = Vec::new();
+    for m in micro {
+        let name = m
+            .field("name")
+            .and_then(|n| n.as_str())
+            .map_err(|e| format!("micro entry name: {e:?}"))?;
+        let ns = m
+            .field("ns_per_op")
+            .and_then(|n| n.as_f64_or_nan())
+            .map_err(|e| format!("micro {name:?} ns_per_op: {e:?}"))?;
+        out.push((name.to_string(), ns));
+    }
+    Ok(out)
+}
+
+/// Render a human-readable per-workload ns/op comparison of two
+/// snapshots (`old` → `new`).  Workloads present in only one snapshot
+/// are listed as added/removed rather than failing: the trajectory
+/// gains and loses workloads as the codebase grows.  Purely
+/// informational — wall-clock deltas depend on the machine, so callers
+/// (the CI bench job) must not gate on the output.
+pub fn diff_report(old_text: &str, new_text: &str) -> Result<String, String> {
+    let old = JsonValue::parse(old_text).map_err(|e| format!("old snapshot: {e:?}"))?;
+    let new = JsonValue::parse(new_text).map_err(|e| format!("new snapshot: {e:?}"))?;
+    let old_label = old
+        .field("config")
+        .and_then(|s| s.as_str())
+        .unwrap_or("?")
+        .to_string();
+    let new_label = new
+        .field("config")
+        .and_then(|s| s.as_str())
+        .unwrap_or("?")
+        .to_string();
+    let old_micro = micro_costs(&old)?;
+    let new_micro = micro_costs(&new)?;
+    let mut lines = vec![format!(
+        "micro ns/op: old ({old_label} config) -> new ({new_label} config)"
+    )];
+    for (name, new_ns) in &new_micro {
+        match old_micro.iter().find(|(n, _)| n == name) {
+            Some((_, old_ns)) if *old_ns > 0.0 => {
+                let pct = (new_ns - old_ns) / old_ns * 100.0;
+                lines.push(format!(
+                    "  {name:<40} {old_ns:>10.1} -> {new_ns:>10.1}  ({pct:+.1}%)"
+                ));
+            }
+            _ => lines.push(format!("  {name:<40} {:>10} -> {new_ns:>10.1}", "new")),
+        }
+    }
+    for (name, old_ns) in &old_micro {
+        if !new_micro.iter().any(|(n, _)| n == name) {
+            lines.push(format!("  {name:<40} {old_ns:>10.1} -> {:>10}", "gone"));
+        }
+    }
+    Ok(lines.join("\n"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,6 +353,30 @@ mod tests {
         let m = measure_micro("engine/sum", |n| (0..n).sum(), 1_000, true);
         assert!(m.ns_per_op > 0.0);
         assert!(m.ops >= 1_000);
+    }
+
+    #[test]
+    fn diff_report_compares_shared_and_flags_changed_workloads() {
+        let mk = |pairs: &[(&'static str, f64)]| {
+            let micro: Vec<MicroResult> = pairs
+                .iter()
+                .map(|&(name, ns_per_op)| MicroResult {
+                    name,
+                    ns_per_op,
+                    ops: 1_000,
+                })
+                .collect();
+            render("fast", &micro, &[], None)
+        };
+        let old = mk(&[("sched/fifo", 10.0), ("engine/old_only", 5.0)]);
+        let new = mk(&[("sched/fifo", 8.0), ("engine/new_only", 3.0)]);
+        let report = diff_report(&old, &new).unwrap();
+        assert!(report.contains("sched/fifo"), "{report}");
+        assert!(report.contains("-20.0%"), "{report}");
+        assert!(report.contains("engine/new_only"), "{report}");
+        assert!(report.contains("engine/old_only"), "{report}");
+        assert!(report.contains("gone"), "{report}");
+        assert!(diff_report("not json", &new).is_err());
     }
 
     #[test]

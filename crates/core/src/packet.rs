@@ -78,6 +78,12 @@ pub struct Packet {
     pub tag: Conformance,
     /// Transport-level interpretation of the payload.
     pub kind: PacketKind,
+    /// Index into the flow's route of the next link to traverse; incremented
+    /// each time the packet is put on the wire.  When it equals the route
+    /// length the packet has reached its destination.  Carrying the hop in
+    /// the header keeps the forwarding path free of per-node lookup tables
+    /// (the real architecture would derive it from the receiving interface).
+    pub hop: u32,
 }
 
 impl Packet {
@@ -91,6 +97,7 @@ impl Packet {
             jitter_offset_ns: 0,
             tag: Conformance::Conforming,
             kind: PacketKind::Data,
+            hop: 0,
         }
     }
 
@@ -104,6 +111,7 @@ impl Packet {
             jitter_offset_ns: 0,
             tag: Conformance::Conforming,
             kind: PacketKind::Ack { ack },
+            hop: 0,
         }
     }
 

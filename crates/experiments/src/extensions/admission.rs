@@ -12,7 +12,7 @@
 use ispn_core::admission::{AdmissionConfig, AdmissionController};
 use ispn_core::{FlowSpec, ServiceClass, TokenBucketSpec};
 use ispn_net::{FlowConfig, Network, Topology};
-use ispn_sched::{FifoPlus, StrictPriority};
+use ispn_sched::{Discipline, FifoPlus, StrictPriority};
 use ispn_sim::SimTime;
 
 use crate::config::PaperConfig;
@@ -49,7 +49,7 @@ pub fn run(cfg: &PaperConfig, controlled: bool, offered_flows: usize) -> Admissi
         Topology::chain(2, cfg.link_rate_bps, SimTime::ZERO, cfg.buffer_packets);
     let link = links[0];
     let mut net = Network::new(topo);
-    net.set_discipline(link, Box::new(StrictPriority::<FifoPlus>::new(2)));
+    net.set_discipline(link, Discipline::custom(StrictPriority::<FifoPlus>::new(2)));
 
     let pt = cfg.packet_time();
     let targets = vec![pt.mul_f64(HIGH_TARGET_PKT), pt.mul_f64(LOW_TARGET_PKT)];

@@ -2,7 +2,7 @@
 
 use ispn_core::{FlowId, ServiceClass};
 use ispn_net::Network;
-use ispn_sched::{Averaging, Fifo, FifoPlus, QueueDiscipline, VirtualClock, Wfq};
+use ispn_sched::{Averaging, Discipline, Fifo, FifoPlus, VirtualClock, Wfq};
 use ispn_traffic::{OnOffConfig, OnOffSource, SharedSourceStats};
 
 use crate::config::PaperConfig;
@@ -59,15 +59,15 @@ impl DisciplineKind {
 
     /// Construct a fresh discipline instance for one link shared by
     /// `flows_on_link` equal flows.
-    pub fn build(self, cfg: &PaperConfig, flows_on_link: usize) -> Box<dyn QueueDiscipline> {
+    pub fn build(self, cfg: &PaperConfig, flows_on_link: usize) -> Discipline {
         match self {
-            DisciplineKind::Fifo => Box::new(Fifo::new()),
-            DisciplineKind::Wfq => Box::new(Wfq::equal_share(cfg.link_rate_bps, flows_on_link)),
-            DisciplineKind::FifoPlus => Box::new(FifoPlus::new(Averaging::RunningMean)),
-            DisciplineKind::FifoPlusEwma => Box::new(FifoPlus::new(Averaging::Ewma(1.0 / 16.0))),
-            DisciplineKind::VirtualClock => Box::new(VirtualClock::new(
-                cfg.link_rate_bps / flows_on_link.max(1) as f64,
-            )),
+            DisciplineKind::Fifo => Fifo::new().into(),
+            DisciplineKind::Wfq => Wfq::equal_share(cfg.link_rate_bps, flows_on_link).into(),
+            DisciplineKind::FifoPlus => FifoPlus::new(Averaging::RunningMean).into(),
+            DisciplineKind::FifoPlusEwma => FifoPlus::new(Averaging::Ewma(1.0 / 16.0)).into(),
+            DisciplineKind::VirtualClock => {
+                VirtualClock::new(cfg.link_rate_bps / flows_on_link.max(1) as f64).into()
+            }
         }
     }
 
@@ -144,6 +144,7 @@ pub fn intern_discipline_label(label: &str) -> Result<&'static str, ispn_scenari
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ispn_sched::QueueDiscipline;
 
     #[test]
     fn labels_cover_every_kind() {

@@ -1,0 +1,17 @@
+// Fixture: slot-indexed flow tables inside a worker request path.  The
+// hot-path pattern (a dense `slot_of` map from flow id to lane index) is
+// fine in the engine, but a request handler indexing it with data off the
+// wire can panic the worker on a malformed frame.
+
+const NO_SLOT: u32 = u32::MAX;
+
+struct Lane {
+    flow: u32,
+    pending: usize,
+}
+
+fn lane_status(slot_of: &[u32], lanes: &[Lane], wire_flow: usize) -> String {
+    let slot = slot_of[wire_flow];
+    let lane = &lanes[slot as usize];
+    format!("{}:{}", lane.flow, lane.pending)
+}

@@ -1,0 +1,22 @@
+// Fixture: the same slot-table lookup, request-path safe.  Wire data is
+// bounds-checked with `get` and the `NO_SLOT` sentinel turns into a
+// per-point error frame instead of an out-of-bounds panic.
+
+const NO_SLOT: u32 = u32::MAX;
+
+struct Lane {
+    flow: u32,
+    pending: usize,
+}
+
+fn lane_status(slot_of: &[u32], lanes: &[Lane], wire_flow: usize) -> Result<String, String> {
+    let slot = slot_of
+        .get(wire_flow)
+        .copied()
+        .filter(|&s| s != NO_SLOT)
+        .ok_or_else(|| format!("unknown flow {wire_flow}"))?;
+    let lane = lanes
+        .get(slot as usize)
+        .ok_or_else(|| format!("slot {slot} out of range"))?;
+    Ok(format!("{}:{}", lane.flow, lane.pending))
+}

@@ -108,6 +108,25 @@ fn panic_path_fixture_pair() {
     assert!(elsewhere.is_empty(), "{elsewhere:?}");
 }
 
+/// The slot-table idiom the hot-path refactor introduced (dense
+/// `slot_of` index vectors into lane tables): direct indexing with wire
+/// data must still be flagged inside worker request paths, and the
+/// `get`-plus-sentinel form must pass clean.
+#[test]
+fn panic_path_slot_table_fixture_pair() {
+    let worker = "crates/scenario/src/sweep/worker.rs";
+    let bad = lint_fixture("panic_path_slot_bad.rs", worker);
+    assert_eq!(rules_hit(&bad), ["panic-path"]);
+    assert_eq!(bad.len(), 2, "slot_of[…] + lanes[…]: {bad:?}");
+
+    let good = lint_fixture("panic_path_slot_good.rs", worker);
+    assert!(good.is_empty(), "{good:?}");
+
+    // Engine crates may keep the direct-indexed hot path.
+    let engine = lint_fixture("panic_path_slot_bad.rs", "crates/sched/src/fixture.rs");
+    assert!(engine.is_empty(), "{engine:?}");
+}
+
 // ----------------------------------------------------------------- waivers
 
 #[test]

@@ -15,14 +15,15 @@ use ispn_core::{
     Conformance, FlowId, FlowSpec, Packet, ServiceClass, TokenBucket, TokenBucketSpec,
 };
 use ispn_sched::{
-    class_bucket, Fifo, GuaranteedInstall, ProbeStats, Probed, QueueDiscipline, SchedContext,
+    class_bucket, Discipline, Fifo, GuaranteedInstall, ProbeStats, Probed, QueueDiscipline,
+    SchedContext,
 };
 use ispn_sim::{EventQueue, SimTime};
 
 use crate::agent::{Agent, AgentApi, AgentId, Delivery};
 use crate::monitor::Monitor;
 use crate::telemetry::NetTelemetry;
-use crate::topology::{LinkId, NodeId, Topology};
+use crate::topology::{LinkId, Topology};
 
 /// What to do with packets that fail the edge conformance check
 /// (Section 8: "nonconforming packets are dropped or tagged").
@@ -128,9 +129,6 @@ impl std::error::Error for SetupError {}
 struct FlowState {
     config: FlowConfig,
     policer: Option<TokenBucket>,
-    /// Index into `config.route` of the link leaving each on-path switch.
-    hop_at_node: BTreeMap<usize, usize>,
-    destination: NodeId,
     /// Σ 1/rate over the route (seconds per bit of fixed serialization).
     secs_per_bit: f64,
     /// Σ propagation over the route.
@@ -155,7 +153,7 @@ struct AdmissionState {
 }
 
 struct Port {
-    discipline: Probed<Box<dyn QueueDiscipline>>,
+    discipline: Probed<Discipline>,
     busy: bool,
     admission: Option<AdmissionState>,
 }
@@ -169,6 +167,16 @@ enum NetEvent {
         link: LinkId,
     },
     Arrival {
+        packet: Packet,
+    },
+    /// A transmission completing on a zero-propagation link: the tail of
+    /// the packet leaves the port at the instant its head reaches the next
+    /// switch, so `TxComplete` and `Arrival` would always be pushed (and
+    /// popped) back-to-back at the same timestamp.  Merging them halves
+    /// the event traffic on the paper's zero-delay topologies.  The
+    /// handler replays the exact two-event order: free the port (possibly
+    /// starting the next transmission), then forward the packet.
+    TxArrival {
         link: LinkId,
         packet: Packet,
     },
@@ -201,6 +209,14 @@ pub struct Network {
     telemetry: NetTelemetry,
     queue: EventQueue<NetEvent>,
     now: SimTime,
+    /// Horizon of the `run_events` call in progress, mirrored into fields
+    /// so the tx-complete elision in [`start_transmission`] can tell
+    /// whether a completion may be processed inline or must stay queued
+    /// for a later run.
+    ///
+    /// [`start_transmission`]: Network::start_transmission
+    run_horizon: SimTime,
+    run_inclusive: bool,
     started: bool,
     /// Number of agents whose `start` callback has already run (agents may
     /// be added mid-run, e.g. flows admitted by admission control; they are
@@ -216,7 +232,7 @@ impl Network {
     pub fn new(topology: Topology) -> Self {
         let ports = (0..topology.num_links())
             .map(|_| Port {
-                discipline: Probed::new(Box::new(Fifo::new()) as Box<dyn QueueDiscipline>),
+                discipline: Probed::new(Discipline::from(Fifo::new())),
                 busy: false,
                 admission: None,
             })
@@ -231,6 +247,8 @@ impl Network {
             telemetry: NetTelemetry::new(num_links),
             queue: EventQueue::new(),
             now: SimTime::ZERO,
+            run_horizon: SimTime::ZERO,
+            run_inclusive: false,
             started: false,
             started_agents: 0,
         }
@@ -290,7 +308,7 @@ impl Network {
     }
 
     /// Structural size of the flow table in bytes: the per-flow state
-    /// records plus their route, hop-index and installed-link storage.  A
+    /// records plus their route and installed-link storage.  A
     /// deterministic length-based estimate (element counts × element
     /// sizes), not an allocator measurement — so two same-seed runs agree
     /// and growth is attributable to flow count, not allocator policy.
@@ -298,7 +316,6 @@ impl Network {
         let mut bytes = self.flows.len() * std::mem::size_of::<FlowState>();
         for f in &self.flows {
             bytes += f.config.route.len() * std::mem::size_of::<LinkId>();
-            bytes += f.hop_at_node.len() * std::mem::size_of::<(usize, usize)>();
             bytes += f.installed_links.len() * std::mem::size_of::<LinkId>();
         }
         bytes as u64
@@ -328,12 +345,16 @@ impl Network {
         reg
     }
 
-    /// Replace the queueing discipline of a link's output port.
+    /// Replace the queueing discipline of a link's output port.  Accepts
+    /// any of the built-in disciplines directly (they convert into
+    /// [`Discipline`] variants dispatched by `match` on the hot path), a
+    /// prebuilt [`Discipline`], or a `Box<dyn QueueDiscipline>` for
+    /// downstream disciplines (which ride the `Custom` escape hatch).
     ///
     /// # Panics
     /// Panics if called after the simulation has started or if the port has
     /// packets queued.
-    pub fn set_discipline(&mut self, link: LinkId, discipline: Box<dyn QueueDiscipline>) {
+    pub fn set_discipline(&mut self, link: LinkId, discipline: impl Into<Discipline>) {
         assert!(
             !self.started,
             "cannot swap disciplines after the run started"
@@ -342,7 +363,7 @@ impl Network {
             self.ports[link.index()].discipline.is_empty(),
             "cannot swap a non-empty discipline"
         );
-        self.ports[link.index()].discipline = Probed::new(discipline);
+        self.ports[link.index()].discipline = Probed::new(discipline.into());
     }
 
     /// The name of the discipline installed on a link (for reports).
@@ -381,12 +402,17 @@ impl Network {
             self.topo.validate_route(&config.route),
             "flow route is not a contiguous path"
         );
-        let mut hop_at_node = BTreeMap::new();
+        assert!(!config.route.is_empty(), "non-empty route");
+        // Forwarding is hop-indexed (the packet carries its position on the
+        // route), so no per-node table is kept — but a route that visited a
+        // switch twice would have been ambiguous under node-keyed
+        // forwarding, and rejecting it keeps the two models equivalent.
+        let mut seen_nodes = BTreeMap::new();
         let mut secs_per_bit = 0.0;
         let mut total_propagation = SimTime::ZERO;
         for (i, link) in config.route.iter().enumerate() {
             let params = self.topo.link(*link);
-            let prev = hop_at_node.insert(params.from.0, i);
+            let prev = seen_nodes.insert(params.from.0, i);
             assert!(
                 prev.is_none(),
                 "route visits switch {:?} twice",
@@ -395,17 +421,11 @@ impl Network {
             secs_per_bit += 1.0 / params.rate_bps;
             total_propagation += params.propagation;
         }
-        let destination = self
-            .topo
-            .link(*config.route.last().expect("non-empty route"))
-            .to;
         let policer = config.edge_policer.map(|(spec, _)| TokenBucket::new(spec));
         let id = FlowId(self.flows.len() as u32);
         self.flows.push(FlowState {
             config,
             policer,
-            hop_at_node,
-            destination,
             secs_per_bit,
             total_propagation,
             active,
@@ -719,11 +739,8 @@ impl Network {
             return;
         }
         self.monitor.record_generated(packet.flow, self.now);
-        let entry = self
-            .topo
-            .link(self.flows[packet.flow.index()].config.route[0])
-            .from;
-        self.forward(packet, entry);
+        debug_assert_eq!(packet.hop, 0, "injected packet already on its way");
+        self.forward(packet);
     }
 
     /// Run the simulation until `horizon` (exclusive).  May be called
@@ -743,6 +760,8 @@ impl Network {
     }
 
     fn run_events(&mut self, horizon: SimTime, inclusive: bool) {
+        self.run_horizon = horizon;
+        self.run_inclusive = inclusive;
         self.started = true;
         while self.started_agents < self.agents.len() {
             let next = AgentId(self.started_agents);
@@ -759,10 +778,8 @@ impl Network {
             match ev {
                 NetEvent::Timer { agent, token } => self.dispatch_timer(agent, token),
                 NetEvent::TxComplete { link } => self.on_tx_complete(link),
-                NetEvent::Arrival { link, packet } => {
-                    let to = self.topo.link(link).to;
-                    self.forward(packet, to);
-                }
+                NetEvent::Arrival { packet } => self.forward(packet),
+                NetEvent::TxArrival { link, packet } => self.on_tx_arrival(link, packet),
                 NetEvent::AdmissionSample { link } => self.on_admission_sample(link),
                 NetEvent::SetupResult {
                     agent,
@@ -836,18 +853,15 @@ impl Network {
 
     // ----- forwarding -----------------------------------------------------
 
-    fn forward(&mut self, mut packet: Packet, node: NodeId) {
+    fn forward(&mut self, mut packet: Packet) {
         let flow_idx = packet.flow.index();
-        let destination = self.flows[flow_idx].destination;
-        if node == destination {
+        let hop = packet.hop as usize;
+        let route = &self.flows[flow_idx].config.route;
+        if hop == route.len() {
             self.deliver(packet);
             return;
         }
-        let hop = *self.flows[flow_idx]
-            .hop_at_node
-            .get(&node.0)
-            .unwrap_or_else(|| panic!("{} reached off-path switch {:?}", packet.flow, node));
-        let link = self.flows[flow_idx].config.route[hop];
+        let link = route[hop];
 
         // Edge policing at the flow's first switch only (Section 8: "After
         // that initial check, conformance is never enforced at later
@@ -893,47 +907,86 @@ impl Network {
         port.discipline
             .enqueue(self.now, packet, SchedContext::new(class, self.now));
         if !port.busy {
-            self.start_transmission(link);
+            self.start_transmission(link, false);
         }
     }
 
-    fn start_transmission(&mut self, link: LinkId) {
+    /// Put the head of `link`'s queue on the wire.
+    ///
+    /// `may_batch` allows the *tx-complete elision*: when the caller is a
+    /// `TxComplete` handler (nothing runs after it for that event) and no
+    /// other event is pending at or before this transmission's completion,
+    /// the completion is processed inline — the clock jumps forward, the
+    /// port frees, and the next queued packet starts immediately — instead
+    /// of round-tripping a `TxComplete` through the event queue.  A busy
+    /// port then drains its whole back-to-back burst in one loop.  Callers
+    /// with work remaining at the current timestamp (packet forwarding,
+    /// agent command application) must pass `false`: the elision advances
+    /// `self.now`.
+    fn start_transmission(&mut self, link: LinkId, may_batch: bool) {
         let params = *self.topo.link(link);
-        let port = &mut self.ports[link.index()];
-        debug_assert!(!port.busy);
-        let d = port
-            .discipline
-            .dequeue(self.now)
-            .expect("start_transmission called with a non-empty queue");
-        port.busy = true;
-        let waiting = d.queueing_delay(self.now);
-        let tx_time = ispn_sim::time::transmission_time(d.packet.size_bits, params.rate_bps);
-        // Live measurement feedback: a transmitted predicted-class packet
-        // reports its per-hop queueing delay to this link's admission
-        // controller (the d̂ⱼ of Section 9).
-        if let Some(ad) = port.admission.as_mut() {
-            if let ServiceClass::Predicted { priority } = d.class {
-                ad.controller
-                    .observe_class_delay(self.now, priority, waiting);
+        loop {
+            let port = &mut self.ports[link.index()];
+            debug_assert!(!port.busy);
+            let d = port
+                .discipline
+                .dequeue(self.now)
+                .expect("start_transmission called with a non-empty queue");
+            port.busy = true;
+            let waiting = d.queueing_delay(self.now);
+            let tx_time = ispn_sim::time::transmission_time(d.packet.size_bits, params.rate_bps);
+            // Live measurement feedback: a transmitted predicted-class packet
+            // reports its per-hop queueing delay to this link's admission
+            // controller (the d̂ⱼ of Section 9).
+            if let Some(ad) = port.admission.as_mut() {
+                if let ServiceClass::Predicted { priority } = d.class {
+                    ad.controller
+                        .observe_class_delay(self.now, priority, waiting);
+                }
             }
+            self.monitor.record_transmission(
+                link.index(),
+                d.class,
+                waiting,
+                tx_time,
+                d.packet.size_bits,
+                self.now,
+            );
+            // The packet is now committed to this link: advance its hop
+            // index so the arrival at the far end forwards onto the next
+            // route entry.
+            let mut packet = d.packet;
+            packet.hop += 1;
+            let done = self.now + tx_time;
+            // Elide the TxComplete when (a) the completion is inside the
+            // current run's horizon (otherwise it must stay pending for a
+            // later `run_until`) and (b) no other event would fire at or
+            // before it — both conditions together mean the queued
+            // `TxComplete` would be the very next event popped, so
+            // processing it here is order-identical.
+            let within =
+                done < self.run_horizon || (self.run_inclusive && done == self.run_horizon);
+            let quiet = self.queue.peek_time().is_none_or(|t| t > done);
+            if may_batch && within && quiet {
+                self.queue
+                    .push(done + params.propagation, NetEvent::Arrival { packet });
+                self.now = done;
+                let port = &mut self.ports[link.index()];
+                port.busy = false;
+                if port.discipline.is_empty() {
+                    return;
+                }
+                continue;
+            }
+            if params.propagation == SimTime::ZERO {
+                self.queue.push(done, NetEvent::TxArrival { link, packet });
+            } else {
+                self.queue.push(done, NetEvent::TxComplete { link });
+                self.queue
+                    .push(done + params.propagation, NetEvent::Arrival { packet });
+            }
+            return;
         }
-        self.monitor.record_transmission(
-            link.index(),
-            d.class,
-            waiting,
-            tx_time,
-            d.packet.size_bits,
-            self.now,
-        );
-        self.queue
-            .push(self.now + tx_time, NetEvent::TxComplete { link });
-        self.queue.push(
-            self.now + tx_time + params.propagation,
-            NetEvent::Arrival {
-                link,
-                packet: d.packet,
-            },
-        );
     }
 
     fn on_admission_sample(&mut self, link: LinkId) {
@@ -957,8 +1010,23 @@ impl Network {
         let port = &mut self.ports[link.index()];
         port.busy = false;
         if !port.discipline.is_empty() {
-            self.start_transmission(link);
+            // Nothing runs after this handler for the popped event, so the
+            // next transmission may batch-step through its completion.
+            self.start_transmission(link, true);
         }
+    }
+
+    fn on_tx_arrival(&mut self, link: LinkId, packet: Packet) {
+        // Replays the exact order of the unmerged pair: the TxComplete
+        // half first (free the port, start the next transmission), then
+        // the Arrival half (forward the packet).  `may_batch` must be
+        // false — the forward below still has to run at this timestamp.
+        let port = &mut self.ports[link.index()];
+        port.busy = false;
+        if !port.discipline.is_empty() {
+            self.start_transmission(link, false);
+        }
+        self.forward(packet);
     }
 
     fn deliver(&mut self, packet: Packet) {
@@ -1225,14 +1293,14 @@ mod tests {
         for which in 0..4 {
             let (topo, _nodes, links) = Topology::chain(3, MBIT, SimTime::ZERO, 200);
             let mut net = Network::new(topo);
-            let disc: Box<dyn QueueDiscipline> = match which {
-                0 => Box::new(Wfq::equal_share(MBIT, 2)),
-                1 => Box::new(FifoPlus::new(Averaging::RunningMean)),
-                2 => Box::new(StrictPriority::<Fifo>::new(2)),
+            let disc: Discipline = match which {
+                0 => Wfq::equal_share(MBIT, 2).into(),
+                1 => FifoPlus::new(Averaging::RunningMean).into(),
+                2 => StrictPriority::<Fifo>::new(2).into(),
                 _ => {
                     let mut u = Unified::new(MBIT, 2, Averaging::RunningMean);
                     u.add_guaranteed_flow(FlowId(0), 200_000.0);
-                    Box::new(u)
+                    u.into()
                 }
             };
             net.set_discipline(links[0], disc);
@@ -1289,7 +1357,7 @@ mod tests {
         let (topo, _nodes, links) = Topology::chain(3, MBIT, SimTime::ZERO, 200);
         let mut net = Network::new(topo);
         for &l in &links {
-            net.set_discipline(l, Box::new(Unified::new(MBIT, 1, Averaging::RunningMean)));
+            net.set_discipline(l, Unified::new(MBIT, 1, Averaging::RunningMean));
             net.enable_admission(l, controller(MBIT), SimTime::SECOND);
         }
         let flow = net
@@ -1447,6 +1515,6 @@ mod tests {
         let flow = net.add_flow(FlowConfig::datagram(vec![link]));
         net.add_agent(Box::new(ScheduledSender::new(flow, vec![SimTime::ZERO])));
         net.run_until(SimTime::from_millis(10));
-        net.set_discipline(link, Box::new(Fifo::new()));
+        net.set_discipline(link, Fifo::new());
     }
 }

@@ -9,7 +9,7 @@
 use ispn_core::FlowId;
 use ispn_net::LinkParams;
 use ispn_sched::{
-    Averaging, Fifo, FifoPlus, QueueDiscipline, StrictPriority, Unified, VirtualClock, Wfq,
+    Averaging, Discipline, Fifo, FifoPlus, StrictPriority, Unified, VirtualClock, Wfq,
 };
 
 /// A declarative queueing-discipline choice for one link.
@@ -65,22 +65,22 @@ impl DisciplineSpec {
         link: &LinkParams,
         flows_on_link: usize,
         guaranteed: &[(FlowId, f64)],
-    ) -> Box<dyn QueueDiscipline> {
+    ) -> Discipline {
         match self {
-            DisciplineSpec::Fifo => Box::new(Fifo::new()),
-            DisciplineSpec::FifoPlus(avg) => Box::new(FifoPlus::new(*avg)),
+            DisciplineSpec::Fifo => Fifo::new().into(),
+            DisciplineSpec::FifoPlus(avg) => FifoPlus::new(*avg).into(),
             DisciplineSpec::Wfq => {
                 let mut wfq = Wfq::equal_share(link.rate_bps, flows_on_link);
                 for &(flow, rate) in guaranteed {
                     wfq.set_rate(flow, rate);
                 }
-                Box::new(wfq)
+                wfq.into()
             }
-            DisciplineSpec::VirtualClock => Box::new(VirtualClock::new(
-                link.rate_bps / flows_on_link.max(1) as f64,
-            )),
+            DisciplineSpec::VirtualClock => {
+                VirtualClock::new(link.rate_bps / flows_on_link.max(1) as f64).into()
+            }
             DisciplineSpec::StrictPriority { classes } => {
-                Box::new(StrictPriority::<Fifo>::new(*classes))
+                StrictPriority::<Fifo>::new(*classes).into()
             }
             DisciplineSpec::Unified {
                 priority_classes,
@@ -90,7 +90,7 @@ impl DisciplineSpec {
                 for &(flow, rate) in guaranteed {
                     unified.add_guaranteed_flow(flow, rate);
                 }
-                Box::new(unified)
+                unified.into()
             }
         }
     }
@@ -149,6 +149,7 @@ impl DisciplineMatrix {
 mod tests {
     use super::*;
     use ispn_net::{LinkId, NodeId};
+    use ispn_sched::QueueDiscipline;
     use ispn_sim::SimTime;
 
     fn params() -> LinkParams {

@@ -570,7 +570,7 @@ mod tests {
             .unwrap();
         let mut net = Network::new(topo);
         for &l in &links {
-            net.set_discipline(l, Box::new(Unified::new(MBIT, 1, Averaging::RunningMean)));
+            net.set_discipline(l, Unified::new(MBIT, 1, Averaging::RunningMean));
             net.enable_admission(
                 l,
                 AdmissionController::new(

@@ -127,36 +127,6 @@ pub trait QueueDiscipline {
     }
 }
 
-impl QueueDiscipline for Box<dyn QueueDiscipline> {
-    fn enqueue(&mut self, now: SimTime, packet: Packet, ctx: SchedContext) {
-        (**self).enqueue(now, packet, ctx)
-    }
-
-    fn dequeue(&mut self, now: SimTime) -> Option<Dequeued> {
-        (**self).dequeue(now)
-    }
-
-    fn len(&self) -> usize {
-        (**self).len()
-    }
-
-    fn is_empty(&self) -> bool {
-        (**self).is_empty()
-    }
-
-    fn name(&self) -> &'static str {
-        (**self).name()
-    }
-
-    fn install_guaranteed(&mut self, flow: ispn_core::FlowId, rate_bps: f64) -> GuaranteedInstall {
-        (**self).install_guaranteed(flow, rate_bps)
-    }
-
-    fn remove_flow(&mut self, now: SimTime, flow: ispn_core::FlowId) -> bool {
-        (**self).remove_flow(now, flow)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

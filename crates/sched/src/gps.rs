@@ -14,8 +14,6 @@
 //! flow) and [`crate::Unified`] (guaranteed flows are GPS flows; all
 //! predicted and datagram traffic is aggregated into pseudo-flow 0).
 
-use std::collections::BTreeMap;
-
 use ispn_sim::SimTime;
 
 /// Identifier of a GPS flow inside one scheduler instance.
@@ -34,12 +32,19 @@ struct GpsFlow {
 }
 
 /// Exact GPS virtual time for one link.
+///
+/// Per-flow state lives in a `Vec` kept sorted by key, not a map: flow
+/// counts per link are small-to-moderate, so binary search beats tree
+/// traversal on the stamp path, and `advance`'s summation still iterates in
+/// ascending key order — the f64 accumulation order that the byte-identity
+/// goldens pin down.
 #[derive(Debug, Clone)]
 pub struct GpsClock {
     link_rate_bps: f64,
     virtual_time: f64,
     last_update: SimTime,
-    flows: BTreeMap<GpsFlowKey, GpsFlow>,
+    /// Sorted ascending by key (binary-searched; insertion keeps order).
+    flows: Vec<(GpsFlowKey, GpsFlow)>,
 }
 
 impl GpsClock {
@@ -54,8 +59,13 @@ impl GpsClock {
             link_rate_bps,
             virtual_time: 0.0,
             last_update: SimTime::ZERO,
-            flows: BTreeMap::new(),
+            flows: Vec::new(),
         }
+    }
+
+    /// Index of `key` in the sorted flow vector, or where it would insert.
+    fn find(&self, key: GpsFlowKey) -> Result<usize, usize> {
+        self.flows.binary_search_by_key(&key, |(k, _)| *k)
     }
 
     /// Register a flow or update its clock rate.
@@ -65,18 +75,24 @@ impl GpsClock {
     /// but the rate itself must be positive.
     pub fn set_rate(&mut self, key: GpsFlowKey, rate_bps: f64) {
         assert!(rate_bps > 0.0, "clock rate must be positive");
-        self.flows
-            .entry(key)
-            .and_modify(|f| f.rate_bps = rate_bps)
-            .or_insert(GpsFlow {
-                rate_bps,
-                last_finish: 0.0,
-            });
+        match self.find(key) {
+            Ok(i) => self.flows[i].1.rate_bps = rate_bps,
+            Err(i) => self.flows.insert(
+                i,
+                (
+                    key,
+                    GpsFlow {
+                        rate_bps,
+                        last_finish: 0.0,
+                    },
+                ),
+            ),
+        }
     }
 
     /// The clock rate of a registered flow.
     pub fn rate(&self, key: GpsFlowKey) -> Option<f64> {
-        self.flows.get(&key).map(|f| f.rate_bps)
+        self.find(key).ok().map(|i| self.flows[i].1.rate_bps)
     }
 
     /// Deregister a flow, returning its clock rate if it was registered.
@@ -86,12 +102,12 @@ impl GpsClock {
     /// the fluid system, which makes the remaining flows' service strictly
     /// better — never worse — so existing guarantees still hold).
     pub fn remove(&mut self, key: GpsFlowKey) -> Option<f64> {
-        self.flows.remove(&key).map(|f| f.rate_bps)
+        self.find(key).ok().map(|i| self.flows.remove(i).1.rate_bps)
     }
 
     /// Sum of the clock rates of all registered flows.
     pub fn total_rate(&self) -> f64 {
-        self.flows.values().map(|f| f.rate_bps).sum()
+        self.flows.iter().map(|(_, f)| f.rate_bps).sum()
     }
 
     /// The link rate this clock was built for.
@@ -109,8 +125,8 @@ impl GpsClock {
     /// `true` if the fluid system currently has backlog.
     pub fn busy(&self) -> bool {
         self.flows
-            .values()
-            .any(|f| f.last_finish > self.virtual_time + 1e-15)
+            .iter()
+            .any(|(_, f)| f.last_finish > self.virtual_time + 1e-15)
     }
 
     /// Advance the virtual time to real time `now`, performing iterated
@@ -126,7 +142,7 @@ impl GpsClock {
             // Flows still backlogged in the fluid system.
             let mut active_rate = 0.0;
             let mut next_finish = f64::INFINITY;
-            for f in self.flows.values() {
+            for (_, f) in &self.flows {
                 if f.last_finish > self.virtual_time + 1e-15 {
                     active_rate += f.rate_bps;
                     if f.last_finish < next_finish {
@@ -169,10 +185,10 @@ impl GpsClock {
     pub fn stamp(&mut self, key: GpsFlowKey, size_bits: u64, now: SimTime) -> f64 {
         self.advance(now);
         let v = self.virtual_time;
-        let flow = self
-            .flows
-            .get_mut(&key)
+        let i = self
+            .find(key)
             .expect("flow must be registered with set_rate before stamping");
+        let flow = &mut self.flows[i].1;
         let start = v.max(flow.last_finish);
         let finish = start + size_bits as f64 / flow.rate_bps;
         flow.last_finish = finish;
@@ -183,7 +199,7 @@ impl GpsClock {
     pub fn reset(&mut self) {
         self.virtual_time = 0.0;
         self.last_update = SimTime::ZERO;
-        for f in self.flows.values_mut() {
+        for (_, f) in &mut self.flows {
             f.last_finish = 0.0;
         }
     }

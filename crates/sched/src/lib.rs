@@ -32,6 +32,7 @@
 
 pub mod conformance;
 pub mod disc;
+pub mod dispatch;
 pub mod fifo;
 pub mod fifo_plus;
 pub mod gps;
@@ -42,6 +43,7 @@ pub mod virtual_clock;
 pub mod wfq;
 
 pub use disc::{Dequeued, GuaranteedInstall, QueueDiscipline, SchedContext};
+pub use dispatch::Discipline;
 pub use fifo::Fifo;
 pub use fifo_plus::{Averaging, FifoPlus};
 pub use gps::GpsClock;

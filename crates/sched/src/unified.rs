@@ -19,7 +19,7 @@
 //! untouched, so the Parekh–Gallager isolation argument for them is
 //! unaffected by any reordering inside flow 0.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use ispn_core::{FlowId, Packet, ServiceClass};
 use ispn_sim::SimTime;
@@ -30,8 +30,16 @@ use crate::fifo_plus::{Averaging, FifoPlus};
 use crate::gps::GpsClock;
 use crate::priority::StrictPriority;
 
-#[derive(Debug, Default)]
-struct GuaranteedQueue {
+/// The sentinel in `slot_of` for flows with no guaranteed lane.
+const NO_SLOT: u32 = u32::MAX;
+
+/// One guaranteed flow's queue, held in a dense lane slot.  Lane occupancy
+/// *is* the registration: a lane is created by
+/// [`Unified::add_guaranteed_flow`] and freed by
+/// [`Unified::remove_guaranteed_flow`].
+#[derive(Debug)]
+struct GuaranteedLane {
+    flow: FlowId,
     queue: VecDeque<(Packet, SchedContext, f64)>,
 }
 
@@ -41,7 +49,13 @@ pub struct Unified {
     link_rate_bps: f64,
     /// Sum of guaranteed clock rates; flow 0 gets the remainder.
     guaranteed_rate_sum: f64,
-    guaranteed: BTreeMap<FlowId, GuaranteedQueue>,
+    /// Dense guaranteed-flow lanes (O(1) membership and queue lookup via
+    /// `slot_of`; freed lanes are recycled through `free_lanes`).
+    lanes: Vec<GuaranteedLane>,
+    /// `slot_of[flow.0]` is the flow's lane index, or `NO_SLOT`.
+    slot_of: Vec<u32>,
+    /// Recycled lane slots.
+    free_lanes: Vec<u32>,
     /// Virtual finish stamps of flow-0 packets, in arrival order.
     flow0_stamps: VecDeque<f64>,
     /// The inner sharing structure of flow 0.
@@ -107,7 +121,9 @@ impl Unified {
             gps,
             link_rate_bps,
             guaranteed_rate_sum: 0.0,
-            guaranteed: BTreeMap::new(),
+            lanes: Vec::new(),
+            slot_of: Vec::new(),
+            free_lanes: Vec::new(),
             flow0_stamps: VecDeque::new(),
             flow0: StrictPriority::from_parts(levels, FifoPlusOrFifo::Plain(Fifo::new())),
             len: 0,
@@ -136,7 +152,33 @@ impl Unified {
             GpsClock::PSEUDO_FLOW,
             self.link_rate_bps - self.guaranteed_rate_sum,
         );
-        self.guaranteed.entry(flow).or_default();
+        if self.slot(flow).is_none() {
+            if self.slot_of.len() <= flow.index() {
+                self.slot_of.resize(flow.index() + 1, NO_SLOT);
+            }
+            let slot = match self.free_lanes.pop() {
+                Some(s) => {
+                    self.lanes[s as usize].flow = flow;
+                    s as usize
+                }
+                None => {
+                    self.lanes.push(GuaranteedLane {
+                        flow,
+                        queue: VecDeque::new(),
+                    });
+                    self.lanes.len() - 1
+                }
+            };
+            self.slot_of[flow.index()] = slot as u32;
+        }
+    }
+
+    /// The guaranteed lane slot of `flow`, if registered.
+    fn slot(&self, flow: FlowId) -> Option<usize> {
+        match self.slot_of.get(flow.index()) {
+            Some(&s) if s != NO_SLOT => Some(s as usize),
+            _ => None,
+        }
     }
 
     /// Change the clock rate of an already-registered guaranteed flow (the
@@ -169,9 +211,12 @@ impl Unified {
     /// without a matching reservation, in the datagram class).  Returns
     /// `false` if the flow was not registered.
     pub fn remove_guaranteed_flow(&mut self, flow: FlowId, now: SimTime) -> bool {
-        let Some(gq) = self.guaranteed.remove(&flow) else {
+        let Some(slot) = self.slot(flow) else {
             return false;
         };
+        self.slot_of[flow.index()] = NO_SLOT;
+        self.free_lanes.push(slot as u32);
+        let queue = std::mem::take(&mut self.lanes[slot].queue);
         let rate = self
             .gps
             .remove(flow.0 as u64)
@@ -181,7 +226,7 @@ impl Unified {
             GpsClock::PSEUDO_FLOW,
             self.link_rate_bps - self.guaranteed_rate_sum,
         );
-        for (packet, ctx, _) in gq.queue {
+        for (packet, ctx, _) in queue {
             // Demote to flow 0; the packet keeps its original arrival time
             // but is stamped (and therefore served) like a fresh datagram
             // arrival, matching its now-unreserved status.
@@ -200,7 +245,7 @@ impl Unified {
 
     /// The clock rate of a registered guaranteed flow.
     pub fn guaranteed_rate(&self, flow: FlowId) -> Option<f64> {
-        if self.guaranteed.contains_key(&flow) {
+        if self.slot(flow).is_some() {
             self.gps.rate(flow.0 as u64)
         } else {
             None
@@ -226,15 +271,14 @@ impl Unified {
 impl QueueDiscipline for Unified {
     fn enqueue(&mut self, now: SimTime, packet: Packet, ctx: SchedContext) {
         self.len += 1;
-        let is_guaranteed =
-            ctx.class == ServiceClass::Guaranteed && self.guaranteed.contains_key(&packet.flow);
-        if is_guaranteed {
+        let guaranteed_slot = if ctx.class == ServiceClass::Guaranteed {
+            self.slot(packet.flow)
+        } else {
+            None
+        };
+        if let Some(slot) = guaranteed_slot {
             let finish = self.gps.stamp(packet.flow.0 as u64, packet.size_bits, now);
-            self.guaranteed
-                .get_mut(&packet.flow)
-                .expect("guaranteed flow registered")
-                .queue
-                .push_back((packet, ctx, finish));
+            self.lanes[slot].queue.push_back((packet, ctx, finish));
         } else {
             // Predicted, datagram, and any guaranteed-class packet whose
             // flow was never registered all share pseudo-flow 0.
@@ -251,39 +295,43 @@ impl QueueDiscipline for Unified {
         self.gps.advance(now);
 
         // Find the guaranteed flow whose head packet carries the smallest
-        // virtual finish stamp.
-        let mut best: Option<(Option<FlowId>, f64)> = None;
-        for (&flow, gq) in &self.guaranteed {
-            if let Some(&(_, _, finish)) = gq.queue.front() {
-                match best {
-                    None => best = Some((Some(flow), finish)),
-                    Some((_, b)) if finish < b => best = Some((Some(flow), finish)),
-                    _ => {}
+        // virtual finish stamp, ties to the lowest flow id (the winner the
+        // old ascending-map scan produced, computed in any lane order).
+        let mut best: Option<(f64, FlowId, usize)> = None;
+        for (slot, lane) in self.lanes.iter().enumerate() {
+            if let Some(&(_, _, finish)) = lane.queue.front() {
+                let better = match best {
+                    None => true,
+                    Some((best_finish, best_flow, _)) => {
+                        finish < best_finish || (finish == best_finish && lane.flow < best_flow)
+                    }
+                };
+                if better {
+                    best = Some((finish, lane.flow, slot));
                 }
             }
         }
         // Compare against the oldest flow-0 stamp (flow 0 is stamped in
-        // aggregate FIFO order, so its front stamp is its smallest).
+        // aggregate FIFO order, so its front stamp is its smallest); on an
+        // exact tie the guaranteed flow wins, as before.
+        let mut winner = best.map(|(_, _, slot)| Some(slot));
         if !self.flow0.is_empty() {
             let finish = *self
                 .flow0_stamps
                 .front()
                 .expect("flow0 stamps track flow0 occupancy");
             match best {
-                None => best = Some((None, finish)),
-                Some((_, b)) if finish < b => best = Some((None, finish)),
+                None => winner = Some(None),
+                Some((b, _, _)) if finish < b => winner = Some(None),
                 _ => {}
             }
         }
 
-        let (winner, _) = best?;
+        let winner = winner?;
         self.len -= 1;
         match winner {
-            Some(flow) => {
-                let (packet, ctx, _) = self
-                    .guaranteed
-                    .get_mut(&flow)
-                    .expect("winner exists")
+            Some(slot) => {
+                let (packet, ctx, _) = self.lanes[slot]
                     .queue
                     .pop_front()
                     .expect("winner has a head packet");
@@ -312,7 +360,7 @@ impl QueueDiscipline for Unified {
         if rate_bps <= 0.0 {
             return GuaranteedInstall::Refused;
         }
-        if self.guaranteed.contains_key(&flow) {
+        if self.slot(flow).is_some() {
             return if self.set_guaranteed_rate(flow, rate_bps) {
                 GuaranteedInstall::Installed
             } else {

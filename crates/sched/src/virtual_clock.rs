@@ -15,15 +15,19 @@
 //! preallocated-rate time-stamp scheme of the era) and to support the
 //! related-work comparison in EXPERIMENTS.md.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use ispn_core::{FlowId, Packet};
 use ispn_sim::SimTime;
 
 use crate::disc::{Dequeued, QueueDiscipline, SchedContext};
 
+/// The sentinel in `slot_of` for flows with no lane.
+const NO_SLOT: u32 = u32::MAX;
+
 #[derive(Debug)]
 struct VcFlow {
+    flow: FlowId,
     rate_bps: f64,
     /// The auxiliary VirtualClock, in seconds.
     aux_clock: f64,
@@ -34,7 +38,11 @@ struct VcFlow {
 #[derive(Debug)]
 pub struct VirtualClock {
     default_rate_bps: f64,
-    flows: BTreeMap<FlowId, VcFlow>,
+    /// Dense per-flow lanes (a flow's auxiliary clock must survive idle
+    /// periods, so lanes are never freed once created).
+    lanes: Vec<VcFlow>,
+    /// `slot_of[flow.0]` is the flow's lane index, or `NO_SLOT`.
+    slot_of: Vec<u32>,
     len: usize,
 }
 
@@ -45,39 +53,47 @@ impl VirtualClock {
         assert!(default_rate_bps > 0.0);
         VirtualClock {
             default_rate_bps,
-            flows: BTreeMap::new(),
+            lanes: Vec::new(),
+            slot_of: Vec::new(),
             len: 0,
         }
+    }
+
+    /// The flow's lane, allocating one at the default rate if needed.
+    fn lane_or_insert(&mut self, flow: FlowId) -> &mut VcFlow {
+        if self.slot_of.len() <= flow.index() {
+            self.slot_of.resize(flow.index() + 1, NO_SLOT);
+        }
+        if self.slot_of[flow.index()] == NO_SLOT {
+            self.slot_of[flow.index()] = self.lanes.len() as u32;
+            self.lanes.push(VcFlow {
+                flow,
+                rate_bps: self.default_rate_bps,
+                aux_clock: 0.0,
+                queue: VecDeque::new(),
+            });
+        }
+        &mut self.lanes[self.slot_of[flow.index()] as usize]
     }
 
     /// Assign a flow its reserved average rate.
     pub fn set_rate(&mut self, flow: FlowId, rate_bps: f64) {
         assert!(rate_bps > 0.0);
-        let default = self.default_rate_bps;
-        self.flows
-            .entry(flow)
-            .or_insert_with(|| VcFlow {
-                rate_bps: default,
-                aux_clock: 0.0,
-                queue: VecDeque::new(),
-            })
-            .rate_bps = rate_bps;
+        self.lane_or_insert(flow).rate_bps = rate_bps;
     }
 
     /// The rate assigned to a flow, if it has been seen or registered.
     pub fn rate(&self, flow: FlowId) -> Option<f64> {
-        self.flows.get(&flow).map(|f| f.rate_bps)
+        match self.slot_of.get(flow.index()) {
+            Some(&s) if s != NO_SLOT => Some(self.lanes[s as usize].rate_bps),
+            _ => None,
+        }
     }
 }
 
 impl QueueDiscipline for VirtualClock {
     fn enqueue(&mut self, now: SimTime, packet: Packet, ctx: SchedContext) {
-        let default = self.default_rate_bps;
-        let flow = self.flows.entry(packet.flow).or_insert_with(|| VcFlow {
-            rate_bps: default,
-            aux_clock: 0.0,
-            queue: VecDeque::new(),
-        });
+        let flow = self.lane_or_insert(packet.flow);
         // auxVC = max(now, auxVC) + L / r
         flow.aux_clock =
             flow.aux_clock.max(now.as_secs_f64()) + packet.size_bits as f64 / flow.rate_bps;
@@ -90,18 +106,24 @@ impl QueueDiscipline for VirtualClock {
         if self.len == 0 {
             return None;
         }
-        let mut best: Option<(FlowId, f64)> = None;
-        for (&flow, st) in &self.flows {
-            if let Some(&(_, _, stamp)) = st.queue.front() {
-                match best {
-                    None => best = Some((flow, stamp)),
-                    Some((_, b)) if stamp < b => best = Some((flow, stamp)),
-                    _ => {}
+        // Smallest stamp wins; exact ties go to the lowest flow id (the
+        // winner the old ascending-map scan produced).
+        let mut best: Option<(f64, FlowId, usize)> = None;
+        for (slot, lane) in self.lanes.iter().enumerate() {
+            if let Some(&(_, _, stamp)) = lane.queue.front() {
+                let better = match best {
+                    None => true,
+                    Some((best_stamp, best_flow, _)) => {
+                        stamp < best_stamp || (stamp == best_stamp && lane.flow < best_flow)
+                    }
+                };
+                if better {
+                    best = Some((stamp, lane.flow, slot));
                 }
             }
         }
-        let (flow, _) = best?;
-        let (packet, ctx, _) = self.flows.get_mut(&flow)?.queue.pop_front()?;
+        let (_, _, slot) = best?;
+        let (packet, ctx, _) = self.lanes[slot].queue.pop_front()?;
         self.len -= 1;
         Some(Dequeued {
             packet,

@@ -23,8 +23,13 @@ use ispn_sim::SimTime;
 use crate::disc::{Dequeued, GuaranteedInstall, QueueDiscipline, SchedContext};
 use crate::gps::GpsClock;
 
-#[derive(Debug, Default)]
-struct FlowQueue {
+/// The sentinel in `slot_of` for flows with no lane.
+const NO_SLOT: u32 = u32::MAX;
+
+/// One flow's per-link queue, held in a dense lane slot.
+#[derive(Debug)]
+struct Lane {
+    flow: FlowId,
     queue: VecDeque<(Packet, SchedContext, f64)>,
 }
 
@@ -35,7 +40,17 @@ pub struct Wfq {
     link_rate_bps: f64,
     /// Clock rate assigned to flows that were never explicitly registered.
     default_rate_bps: f64,
-    flows: BTreeMap<FlowId, FlowQueue>,
+    /// Dense per-flow lanes, indexed by the slot in `slot_of` — the
+    /// data-path table (O(1) lookup on enqueue, linear scan of lane heads
+    /// on dequeue).  Lanes whose queue is empty are skipped by the scan;
+    /// a lane is recycled through `free_lanes` only when its flow's rate is
+    /// removed while the queue is empty (mirroring the old map-entry
+    /// lifetime).
+    lanes: Vec<Lane>,
+    /// `slot_of[flow.0]` is the flow's lane index, or `NO_SLOT`.
+    slot_of: Vec<u32>,
+    /// Recycled lane slots.
+    free_lanes: Vec<u32>,
     /// Clock rates installed through the reservation path
     /// ([`install_guaranteed`]): their sum must stay below the link rate so
     /// a link without an admission controller still refuses oversubscribed
@@ -69,7 +84,9 @@ impl Wfq {
             gps: GpsClock::new(link_rate_bps),
             link_rate_bps,
             default_rate_bps,
-            flows: BTreeMap::new(),
+            lanes: Vec::new(),
+            slot_of: Vec::new(),
+            free_lanes: Vec::new(),
             guaranteed: BTreeMap::new(),
             guaranteed_rate_sum: 0.0,
             len: 0,
@@ -105,8 +122,11 @@ impl Wfq {
         if let Some(rate) = self.guaranteed.remove(&flow) {
             self.guaranteed_rate_sum -= rate;
         }
-        if self.flows.get(&flow).is_some_and(|fq| fq.queue.is_empty()) {
-            self.flows.remove(&flow);
+        if let Some(slot) = self.slot(flow) {
+            if self.lanes[slot].queue.is_empty() {
+                self.slot_of[flow.index()] = NO_SLOT;
+                self.free_lanes.push(slot as u32);
+            }
         }
         self.gps.remove(flow.0 as u64)
     }
@@ -122,17 +142,47 @@ impl Wfq {
             self.gps.set_rate(flow.0 as u64, self.default_rate_bps);
         }
     }
+
+    /// The flow's lane slot, if it has one.
+    fn slot(&self, flow: FlowId) -> Option<usize> {
+        match self.slot_of.get(flow.index()) {
+            Some(&s) if s != NO_SLOT => Some(s as usize),
+            _ => None,
+        }
+    }
+
+    /// The flow's lane slot, allocating one (recycled or fresh) if needed.
+    fn slot_or_insert(&mut self, flow: FlowId) -> usize {
+        if let Some(slot) = self.slot(flow) {
+            return slot;
+        }
+        if self.slot_of.len() <= flow.index() {
+            self.slot_of.resize(flow.index() + 1, NO_SLOT);
+        }
+        let slot = match self.free_lanes.pop() {
+            Some(s) => {
+                self.lanes[s as usize].flow = flow;
+                s as usize
+            }
+            None => {
+                self.lanes.push(Lane {
+                    flow,
+                    queue: VecDeque::new(),
+                });
+                self.lanes.len() - 1
+            }
+        };
+        self.slot_of[flow.index()] = slot as u32;
+        slot
+    }
 }
 
 impl QueueDiscipline for Wfq {
     fn enqueue(&mut self, now: SimTime, packet: Packet, ctx: SchedContext) {
         self.ensure_registered(packet.flow);
         let finish = self.gps.stamp(packet.flow.0 as u64, packet.size_bits, now);
-        self.flows
-            .entry(packet.flow)
-            .or_default()
-            .queue
-            .push_back((packet, ctx, finish));
+        let slot = self.slot_or_insert(packet.flow);
+        self.lanes[slot].queue.push_back((packet, ctx, finish));
         self.len += 1;
         self.stamp_seq += 1;
     }
@@ -143,28 +193,28 @@ impl QueueDiscipline for Wfq {
         }
         self.gps.advance(now);
         // Pick the flow whose head packet has the smallest virtual finish
-        // time.  BTreeMap iteration order makes ties deterministic (lowest
-        // flow id wins).
-        let mut best: Option<(FlowId, f64)> = None;
-        for (&flow, fq) in &self.flows {
-            if let Some(&(_, _, finish)) = fq.queue.front() {
-                match best {
-                    None => best = Some((flow, finish)),
-                    Some((_, best_finish)) if finish < best_finish => {
-                        best = Some((flow, finish));
+        // time, breaking exact ties by lowest flow id — the same winner the
+        // old ascending-map scan with a strict `<` produced, but computable
+        // in any lane order.
+        let mut best: Option<(f64, FlowId, usize)> = None;
+        for (slot, lane) in self.lanes.iter().enumerate() {
+            if let Some(&(_, _, finish)) = lane.queue.front() {
+                let better = match best {
+                    None => true,
+                    Some((best_finish, best_flow, _)) => {
+                        finish < best_finish || (finish == best_finish && lane.flow < best_flow)
                     }
-                    _ => {}
+                };
+                if better {
+                    best = Some((finish, lane.flow, slot));
                 }
             }
         }
-        let (flow, _) = best?;
-        let (packet, ctx, _) = self
-            .flows
-            .get_mut(&flow)
-            .expect("selected flow exists")
+        let (_, _, slot) = best?;
+        let (packet, ctx, _) = self.lanes[slot]
             .queue
             .pop_front()
-            .expect("selected flow has a head packet");
+            .expect("selected lane has a head packet");
         self.len -= 1;
         Some(Dequeued {
             packet,

@@ -593,7 +593,7 @@ mod tests {
         let (topo, _nodes, links) = Topology::chain(3, MBIT, SimTime::MILLISECOND, 200);
         let mut net = Network::new(topo);
         for &l in &links {
-            net.set_discipline(l, Box::new(Unified::new(MBIT, 1, Averaging::RunningMean)));
+            net.set_discipline(l, Unified::new(MBIT, 1, Averaging::RunningMean));
             net.enable_admission(l, controller(), SimTime::SECOND);
         }
         (net, links)
@@ -909,10 +909,7 @@ mod tests {
         // renegotiation instead of desynchronizing spec and scheduler.
         let (topo, _nodes, links) = Topology::chain(2, MBIT, SimTime::MILLISECOND, 200);
         let mut net = Network::new(topo);
-        net.set_discipline(
-            links[0],
-            Box::new(Unified::new(MBIT, 1, Averaging::RunningMean)),
-        );
+        net.set_discipline(links[0], Unified::new(MBIT, 1, Averaging::RunningMean));
         let mut sig = Signaling::default();
         let (_r, flow) = sig.submit(&mut net, FlowConfig::guaranteed(vec![links[0]], 600_000.0));
         sig.process_until(&mut net, SimTime::from_secs(1));
@@ -936,10 +933,7 @@ mod tests {
         // the link speed); the controller's delta must be given back.
         let (topo, _nodes, links) = Topology::chain(2, MBIT, SimTime::MILLISECOND, 200);
         let mut net = Network::new(topo);
-        net.set_discipline(
-            links[0],
-            Box::new(Unified::new(MBIT, 1, Averaging::RunningMean)),
-        );
+        net.set_discipline(links[0], Unified::new(MBIT, 1, Averaging::RunningMean));
         net.enable_admission(
             links[0],
             AdmissionController::new(
@@ -995,10 +989,7 @@ mod tests {
         // refusal must surface as a rejection, not a silent no-op.
         let (topo, _nodes, links) = Topology::chain(2, MBIT, SimTime::ZERO, 200);
         let mut net = Network::new(topo);
-        net.set_discipline(
-            links[0],
-            Box::new(Unified::new(MBIT, 1, Averaging::RunningMean)),
-        );
+        net.set_discipline(links[0], Unified::new(MBIT, 1, Averaging::RunningMean));
         let err = net
             .request_flow(FlowConfig::guaranteed(vec![links[0]], MBIT))
             .expect_err("the scheduler cannot hold a full-link reservation");

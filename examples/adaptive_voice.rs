@@ -25,7 +25,7 @@ fn main() {
     let b = topo.add_node();
     let link = topo.add_link(a, b, 1_000_000.0, SimTime::ZERO, 200);
     let mut net = Network::new(topo);
-    net.set_discipline(link, Box::new(FifoPlus::new(Averaging::RunningMean)));
+    net.set_discipline(link, FifoPlus::new(Averaging::RunningMean));
 
     // The a-priori bound the network would advertise for this predicted
     // class at this switch: 60 packet times.

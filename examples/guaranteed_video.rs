@@ -70,7 +70,7 @@ fn main() {
     for &l in &links {
         let mut u = Unified::new(LINK, 2, Averaging::RunningMean);
         u.add_guaranteed_flow(video, clock_rate);
-        net.set_discipline(l, Box::new(u));
+        net.set_discipline(l, u);
     }
 
     // --- 3. Traffic: the video source plus the background. ----------------

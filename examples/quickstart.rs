@@ -30,7 +30,7 @@ fn main() {
     //    guaranteed flow, FIFO+/priority sharing for everything else.
     let mut unified = Unified::new(1_000_000.0, 2, Averaging::RunningMean);
     unified.add_guaranteed_flow(voice, 150_000.0);
-    net.set_discipline(link, Box::new(unified));
+    net.set_discipline(link, unified);
 
     // 4. Traffic sources.
     net.add_agent(Box::new(CbrSource::new(voice, 100.0, 1000)));

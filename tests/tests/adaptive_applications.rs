@@ -33,7 +33,7 @@ impl Agent for DualPlaybackSink {
 fn adaptive_client_on_a_real_network_beats_the_rigid_one() {
     let (topo, links) = chain(2);
     let mut net = Network::new(topo);
-    net.set_discipline(links[0], Box::new(FifoPlus::new(Averaging::RunningMean)));
+    net.set_discipline(links[0], FifoPlus::new(Averaging::RunningMean));
 
     let advertised = SimTime::from_millis(80);
     let state = Rc::new(RefCell::new((
@@ -98,7 +98,7 @@ fn adaptive_client_rides_out_a_load_change_with_transient_loss_only() {
     // late packets, then recover) without the delivered loss rate exploding.
     let (topo, links) = chain(2);
     let mut net = Network::new(topo);
-    net.set_discipline(links[0], Box::new(FifoPlus::new(Averaging::RunningMean)));
+    net.set_discipline(links[0], FifoPlus::new(Averaging::RunningMean));
 
     let state = Rc::new(RefCell::new((
         RigidPlayback::new(SimTime::from_millis(80)),

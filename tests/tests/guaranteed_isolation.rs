@@ -40,7 +40,7 @@ fn check_isolation_over(hops: usize) {
     for &l in &links {
         let mut u = Unified::new(LINK_RATE, 1, Averaging::RunningMean);
         u.add_guaranteed_flow(protected, clock_rate);
-        net.set_discipline(l, Box::new(u));
+        net.set_discipline(l, u);
     }
     net.add_agent(Box::new(CbrSource::new(
         protected,
@@ -136,7 +136,7 @@ fn guaranteed_flows_share_between_themselves_by_clock_rate() {
     let mut u = Unified::new(LINK_RATE, 1, Averaging::RunningMean);
     u.add_guaranteed_flow(fast, 600_000.0);
     u.add_guaranteed_flow(slow, 300_000.0);
-    net.set_discipline(links[0], Box::new(u));
+    net.set_discipline(links[0], u);
     let schedule: Vec<SimTime> = (0..90u64).map(|i| SimTime::from_nanos(10 * i)).collect();
     net.add_agent(Box::new(TraceSource::uniform(
         fast,
@@ -180,7 +180,7 @@ fn predicted_class_does_not_destroy_guaranteed_service_class_isolation() {
     let d = net.add_flow(FlowConfig::datagram(vec![links[0]]));
     let mut u = Unified::new(LINK_RATE, 1, Averaging::RunningMean);
     u.add_guaranteed_flow(g, 200_000.0);
-    net.set_discipline(links[0], Box::new(u));
+    net.set_discipline(links[0], u);
     net.add_agent(Box::new(CbrSource::new(g, 150.0, PACKET_BITS)));
     net.add_agent(Box::new(CbrSource::new(p, 300.0, PACKET_BITS)));
     net.add_agent(Box::new(PoissonSource::new(d, 400.0, PACKET_BITS, 3)));

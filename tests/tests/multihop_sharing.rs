@@ -4,7 +4,7 @@
 use ispn_core::{FlowSpec, ServiceClass};
 use ispn_integration_tests::{add_paper_flow, chain, packet_times};
 use ispn_net::{Agent, AgentApi, Delivery, FlowConfig, Network};
-use ispn_sched::{Averaging, Fifo, FifoPlus, QueueDiscipline};
+use ispn_sched::{Averaging, Discipline, Fifo, FifoPlus};
 use ispn_sim::SimTime;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -17,7 +17,7 @@ const HOPS: usize = 4;
 /// flow in packet times.
 fn run_chain<F>(make: F) -> (f64, f64)
 where
-    F: Fn() -> Box<dyn QueueDiscipline>,
+    F: Fn() -> Discipline,
 {
     let (topo, links) = chain(HOPS + 1);
     let mut net = Network::new(topo);
@@ -42,8 +42,8 @@ where
 
 #[test]
 fn fifo_plus_controls_the_long_path_tail_at_least_as_well_as_fifo() {
-    let (fifo_mean, fifo_p999) = run_chain(|| Box::new(Fifo::new()));
-    let (plus_mean, plus_p999) = run_chain(|| Box::new(FifoPlus::new(Averaging::RunningMean)));
+    let (fifo_mean, fifo_p999) = run_chain(|| Fifo::new().into());
+    let (plus_mean, plus_p999) = run_chain(|| FifoPlus::new(Averaging::RunningMean).into());
     // Means comparable (the paper: "the mean delays are comparable in all
     // three cases", FIFO+ slightly shifting delay between path lengths).
     assert!(
@@ -76,7 +76,7 @@ fn fifo_plus_offsets_accumulate_and_average_near_zero() {
     let (topo, links) = chain(HOPS + 1);
     let mut net = Network::new(topo);
     for &l in &links {
-        net.set_discipline(l, Box::new(FifoPlus::new(Averaging::RunningMean)));
+        net.set_discipline(l, FifoPlus::new(Averaging::RunningMean));
     }
     let recorder = OffsetRecorder::default();
     let offsets = recorder.offsets.clone();
@@ -128,8 +128,8 @@ fn jitter_grows_with_hops_under_every_discipline() {
     // queueing (this is the premise of Section 6, before FIFO+ fixes the
     // growth *rate*).
     for make in [
-        (|| Box::new(Fifo::new()) as Box<dyn QueueDiscipline>) as fn() -> Box<dyn QueueDiscipline>,
-        || Box::new(FifoPlus::new(Averaging::RunningMean)),
+        (|| Discipline::from(Fifo::new())) as fn() -> Discipline,
+        || FifoPlus::new(Averaging::RunningMean).into(),
     ] {
         let (topo, links) = chain(2);
         let mut net = Network::new(topo);
@@ -141,7 +141,7 @@ fn jitter_grows_with_hops_under_every_discipline() {
         net.run_until(DURATION);
         let one = net.monitor_mut().flow_report(one_hop);
 
-        let (mean4, p9994) = run_chain(|| make());
+        let (mean4, p9994) = run_chain(make);
         assert!(mean4 > packet_times(one.mean_delay));
         assert!(p9994 > packet_times(one.p999_delay) * 0.9);
     }

@@ -22,10 +22,7 @@ fn admission_controlled_chain(switches: usize) -> (Network, Vec<ispn_net::LinkId
     let (topo, links) = chain(switches);
     let mut net = Network::new(topo);
     for &l in &links {
-        net.set_discipline(
-            l,
-            Box::new(Unified::new(LINK_RATE, 2, Averaging::RunningMean)),
-        );
+        net.set_discipline(l, Unified::new(LINK_RATE, 2, Averaging::RunningMean));
         net.enable_admission(
             l,
             AdmissionController::new(

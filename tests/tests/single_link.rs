@@ -3,12 +3,12 @@
 
 use ispn_integration_tests::{add_paper_flow, chain, packet_times};
 use ispn_net::Network;
-use ispn_sched::{Averaging, Fifo, FifoPlus, QueueDiscipline, VirtualClock, Wfq};
+use ispn_sched::{Averaging, Discipline, Fifo, FifoPlus, VirtualClock, Wfq};
 use ispn_sim::SimTime;
 
 const DURATION: SimTime = SimTime::from_secs(40);
 
-fn run_with(discipline: Box<dyn QueueDiscipline>) -> (Vec<f64>, Vec<f64>, f64) {
+fn run_with(discipline: Discipline) -> (Vec<f64>, Vec<f64>, f64) {
     let (topo, links) = chain(2);
     let mut net = Network::new(topo);
     net.set_discipline(links[0], discipline);
@@ -29,13 +29,13 @@ fn run_with(discipline: Box<dyn QueueDiscipline>) -> (Vec<f64>, Vec<f64>, f64) {
 
 #[test]
 fn ten_flows_load_the_link_to_about_eighty_three_percent() {
-    let (_, _, util) = run_with(Box::new(Fifo::new()));
+    let (_, _, util) = run_with(Fifo::new().into());
     assert!((util - 0.835).abs() < 0.05, "utilization {util}");
 }
 
 #[test]
 fn every_flow_gets_comparable_mean_delay_under_fifo() {
-    let (means, _, _) = run_with(Box::new(Fifo::new()));
+    let (means, _, _) = run_with(Fifo::new().into());
     let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = means.iter().cloned().fold(0.0f64, f64::max);
     assert!(lo > 0.3, "every flow queues at 83% load ({means:?})");
@@ -48,8 +48,8 @@ fn every_flow_gets_comparable_mean_delay_under_fifo() {
 #[test]
 fn fifo_tail_beats_wfq_tail_on_shared_bursty_traffic() {
     // The Table-1 claim: means comparable, FIFO 99.9th percentile smaller.
-    let (fifo_means, fifo_tails, _) = run_with(Box::new(Fifo::new()));
-    let (wfq_means, wfq_tails, _) = run_with(Box::new(Wfq::equal_share(1_000_000.0, 10)));
+    let (fifo_means, fifo_tails, _) = run_with(Fifo::new().into());
+    let (wfq_means, wfq_tails, _) = run_with(Wfq::equal_share(1_000_000.0, 10).into());
     let avg = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
     let fifo_mean = avg(&fifo_means);
     let wfq_mean = avg(&wfq_means);
@@ -68,10 +68,10 @@ fn fifo_tail_beats_wfq_tail_on_shared_bursty_traffic() {
 #[test]
 fn all_reasonable_disciplines_deliver_everything_without_drops() {
     for disc in [
-        Box::new(Fifo::new()) as Box<dyn QueueDiscipline>,
-        Box::new(Wfq::equal_share(1_000_000.0, 10)),
-        Box::new(FifoPlus::new(Averaging::RunningMean)),
-        Box::new(VirtualClock::new(100_000.0)),
+        Discipline::from(Fifo::new()),
+        Wfq::equal_share(1_000_000.0, 10).into(),
+        FifoPlus::new(Averaging::RunningMean).into(),
+        VirtualClock::new(100_000.0).into(),
     ] {
         let (topo, links) = chain(2);
         let mut net = Network::new(topo);
@@ -93,8 +93,8 @@ fn all_reasonable_disciplines_deliver_everything_without_drops() {
 
 #[test]
 fn identical_seeds_give_bitwise_identical_results() {
-    let (a_means, a_tails, a_util) = run_with(Box::new(Fifo::new()));
-    let (b_means, b_tails, b_util) = run_with(Box::new(Fifo::new()));
+    let (a_means, a_tails, a_util) = run_with(Fifo::new().into());
+    let (b_means, b_tails, b_util) = run_with(Fifo::new().into());
     assert_eq!(a_means, b_means);
     assert_eq!(a_tails, b_tails);
     assert_eq!(a_util, b_util);
