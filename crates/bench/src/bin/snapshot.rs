@@ -9,7 +9,7 @@
 //! Measures the per-packet scheduling and engine micro-workloads
 //! (ns/op), runs one representative scenario per experiment with run
 //! telemetry enabled (events/sec, peak queue depth, memory footprint),
-//! and writes the structured snapshot to `BENCH_9.json` — override with
+//! and writes the structured snapshot to `BENCH_10.json` — override with
 //! `--out FILE`.  `--check FILE` validates an existing snapshot against
 //! the schema instead (the CI smoke job), and `--diff OLD [NEW]`
 //! prints the per-workload ns/op movement between two recorded
@@ -19,7 +19,7 @@
 
 use ispn_bench::{bench_config, micro, snapshot};
 
-const DEFAULT_OUT: &str = "BENCH_9.json";
+const DEFAULT_OUT: &str = "BENCH_10.json";
 
 /// Packets per call for the scheduling workloads.
 const SCHED_OPS: u64 = 10_000;
@@ -112,8 +112,14 @@ fn main() {
         );
         let telemetry = probe(&cfg);
         eprintln!(
-            "  {} events, {:.0} events/s, peak queue depth {}",
-            telemetry.events_processed, telemetry.events_per_sec, telemetry.peak_queue_depth
+            "  {} events, {:.0} events/s, peak queue depth {}, \
+             flow table {} B, pool {} grows / {} segs peak",
+            telemetry.events_processed,
+            telemetry.events_per_sec,
+            telemetry.peak_queue_depth,
+            telemetry.flow_table_bytes,
+            telemetry.sched_pool_grow_events,
+            telemetry.sched_pool_segments_high_water
         );
         experiments.push(snapshot::ExperimentResult { name, telemetry });
     }

@@ -1,0 +1,445 @@
+//! Pooled, arena-style queue storage for the per-hop hot path.
+//!
+//! The schedulers in `ispn-sched` keep one FIFO queue per lane.  Backing
+//! each lane with its own `VecDeque` means the steady-state forwarding
+//! path still allocates: every lane that grows past its high-water mark
+//! reallocates, and every lane freed on teardown leaks its capacity (or
+//! returns it to the global allocator, which is just churn in the other
+//! direction).  A [`SegmentPool`] replaces all of that with a shared
+//! free list of fixed-granularity ring buffers:
+//!
+//! * every queue is a [`SegQueue`] — a power-of-two ring whose buffer is
+//!   on loan from the pool, so `push_back`/`pop_front`/`front` are plain
+//!   masked ring operations touching only the queue's own storage (the
+//!   pool is consulted solely when a ring fills or is released);
+//! * buffers released by [`release`](SegmentPool::release) (lane
+//!   teardown) or outgrown in place go onto per-size free lists and are
+//!   handed to the next queue that grows, so after warm-up the steady
+//!   state performs **zero** allocations no matter how traffic moves
+//!   between lanes;
+//! * the pool counts its [`grow_events`](SegmentPool::grow_events) and
+//!   segment high-water (one segment = [`SEG_CAP`] element slots), so
+//!   "no growth after warm-up" is a checkable invariant, not a hope.
+//!
+//! Everything is index-based safe Rust (the workspace forbids `unsafe`),
+//! and element types are `Copy` — which packets and their scheduling
+//! contexts are — so moves in and out of the arena are plain stores, and
+//! the slack slots of a pooled buffer may hold stale copies that need no
+//! cleanup.
+
+/// Pool granularity: the smallest ring holds `SEG_CAP` elements, and all
+/// accounting ([`SegmentPool::bytes`], segment high-water) is in units of
+/// `SEG_CAP`-element segments.  Small enough that a near-empty lane
+/// wastes little, large enough that growth doublings are rare.
+pub const SEG_CAP: usize = 32;
+
+/// A FIFO queue over a ring buffer borrowed from a [`SegmentPool`].
+///
+/// Detached (no buffer) until its first push.  The buffer's length is
+/// always a power of two, so position maths is a mask — and because the
+/// live window is tracked as `(head, len)`, an emptied queue keeps its
+/// buffer resident: an idle lane that fills and drains repeatedly never
+/// touches the pool.
+///
+/// A queue must only ever grow through (and be released to) the pool
+/// that serves its discipline — the type system does not enforce this,
+/// the owning discipline does by construction.
+#[derive(Debug)]
+pub struct SegQueue<T> {
+    /// The ring storage, fully initialised (`buf.len()` is the capacity,
+    /// zero while detached).  Slots outside the live window hold stale
+    /// copies of earlier elements; they are never read.
+    buf: Vec<T>,
+    /// Ring position of the front element (wrapping; masked on use).
+    head: u32,
+    /// Number of live elements.
+    len: u32,
+}
+
+impl<T> SegQueue<T> {
+    /// A new, empty queue attached to no storage.
+    pub const fn new() -> Self {
+        SegQueue {
+            buf: Vec::new(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of queued elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the queue is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<T: Copy> SegQueue<T> {
+    /// The front element, if any.
+    #[inline]
+    pub fn front(&self) -> Option<&T> {
+        if self.len == 0 {
+            return None;
+        }
+        let mask = self.buf.len() as u32 - 1;
+        Some(&self.buf[(self.head & mask) as usize])
+    }
+
+    /// Remove and return the front element.
+    #[inline]
+    pub fn pop_front(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let mask = self.buf.len() as u32 - 1;
+        let item = self.buf[(self.head & mask) as usize];
+        self.head = self.head.wrapping_add(1);
+        self.len -= 1;
+        Some(item)
+    }
+
+    /// Iterate the elements front to back (used by control-plane paths
+    /// such as demoting a removed flow's queued packets).
+    pub fn iter(&self) -> SegIter<'_, T> {
+        SegIter { q: self, i: 0 }
+    }
+}
+
+impl<T> Default for SegQueue<T> {
+    fn default() -> Self {
+        SegQueue::new()
+    }
+}
+
+/// A shared arena of pooled ring buffers with per-size free lists.
+///
+/// One pool serves every lane of one discipline instance; see the module
+/// docs for the allocation contract.
+#[derive(Debug)]
+pub struct SegmentPool<T> {
+    /// Free buffers by size class: `free[c]` holds rings of capacity
+    /// `SEG_CAP << c`, each fully initialised with (dead) elements.
+    free: Vec<Vec<Vec<T>>>,
+    /// Total element slots ever allocated (outstanding + free); never
+    /// shrinks, because retired buffers are pooled, not dropped.
+    total_slots: u64,
+    /// Element slots currently sitting on the free lists.
+    free_slots: u64,
+    /// Times a brand-new buffer was allocated (free list empty).
+    grow_events: u64,
+}
+
+impl<T> Default for SegmentPool<T> {
+    fn default() -> Self {
+        SegmentPool::new()
+    }
+}
+
+impl<T> SegmentPool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        SegmentPool {
+            free: Vec::new(),
+            total_slots: 0,
+            free_slots: 0,
+            grow_events: 0,
+        }
+    }
+
+    /// Structural size of the pool's storage in bytes: every allocated
+    /// slot, occupied or free.  A deterministic length-based estimate
+    /// (counts × element sizes), matching the accounting rules of
+    /// `Network::flow_table_bytes`.
+    pub fn bytes(&self) -> u64 {
+        self.total_slots * std::mem::size_of::<T>() as u64
+    }
+
+    /// Times the pool allocated a brand-new buffer because the free
+    /// list was empty.  Flat between two instants ⇒ zero queue-storage
+    /// allocations in between.
+    pub fn grow_events(&self) -> u64 {
+        self.grow_events
+    }
+
+    /// Total segments ([`SEG_CAP`]-element units) ever allocated — the
+    /// pool's high-water mark, since retired buffers are pooled, never
+    /// returned to the allocator.
+    pub fn segments_high_water(&self) -> u64 {
+        self.total_slots / SEG_CAP as u64
+    }
+
+    /// Segments ([`SEG_CAP`]-element units) currently on the free lists.
+    pub fn free_segments(&self) -> usize {
+        (self.free_slots as usize) / SEG_CAP
+    }
+
+    /// The free list serving buffers of capacity `SEG_CAP << class`.
+    fn class_list(&mut self, class: usize) -> &mut Vec<Vec<T>> {
+        while self.free.len() <= class {
+            self.free.push(Vec::new());
+        }
+        &mut self.free[class]
+    }
+}
+
+impl<T: Copy> SegmentPool<T> {
+    /// Append `item` at the back of `q`.
+    #[inline]
+    pub fn push_back(&mut self, q: &mut SegQueue<T>, item: T) {
+        if (q.len as usize) < q.buf.len() {
+            let mask = q.buf.len() as u32 - 1;
+            q.buf[(q.head.wrapping_add(q.len) & mask) as usize] = item;
+            q.len += 1;
+            return;
+        }
+        self.grow_push(q, item);
+    }
+
+    /// Remove and return the front of `q`.
+    #[inline]
+    pub fn pop_front(&mut self, q: &mut SegQueue<T>) -> Option<T> {
+        q.pop_front()
+    }
+
+    /// The front element of `q`, if any.
+    #[inline]
+    pub fn front<'a>(&self, q: &'a SegQueue<T>) -> Option<&'a T> {
+        q.front()
+    }
+
+    /// Iterate the elements of `q` front to back.
+    pub fn iter<'a>(&self, q: &'a SegQueue<T>) -> SegIter<'a, T> {
+        q.iter()
+    }
+
+    /// Return `q`'s buffer (even an empty resident one) to the free
+    /// lists and detach the handle.  This is the teardown path: a freed
+    /// lane's backing storage becomes available to other lanes instead
+    /// of staying allocated forever.
+    pub fn release(&mut self, q: &mut SegQueue<T>) {
+        let buf = std::mem::take(&mut q.buf);
+        self.retire_buf(buf);
+        q.head = 0;
+        q.len = 0;
+    }
+
+    /// The cold half of [`push_back`](Self::push_back): swap `q` onto a
+    /// buffer of the next size up (from the free list or the allocator),
+    /// unwrapping the ring in FIFO order, and append `item`.
+    fn grow_push(&mut self, q: &mut SegQueue<T>, item: T) {
+        let new_cap = if q.buf.is_empty() {
+            SEG_CAP
+        } else {
+            q.buf.len() * 2
+        };
+        let mut buf = self.acquire_buf(new_cap, item);
+        if q.len > 0 {
+            let mask = q.buf.len() as u32 - 1;
+            for i in 0..q.len {
+                buf[i as usize] = q.buf[(q.head.wrapping_add(i) & mask) as usize];
+            }
+        }
+        buf[q.len as usize] = item;
+        let old = std::mem::replace(&mut q.buf, buf);
+        self.retire_buf(old);
+        q.head = 0;
+        q.len += 1;
+    }
+
+    /// Hand out a fully initialised buffer of capacity `cap` (a power of
+    /// two ≥ [`SEG_CAP`]).  A brand-new buffer is seeded by replicating
+    /// `fill` — the only way to materialise initialised storage for a
+    /// `Copy` type without a `Default` bound — and the replicas are dead
+    /// until overwritten.
+    fn acquire_buf(&mut self, cap: usize, fill: T) -> Vec<T> {
+        let class = (cap / SEG_CAP).trailing_zeros() as usize;
+        if let Some(buf) = self.class_list(class).pop() {
+            self.free_slots -= cap as u64;
+            return buf;
+        }
+        self.grow_events += 1;
+        self.total_slots += cap as u64;
+        vec![fill; cap]
+    }
+
+    fn retire_buf(&mut self, buf: Vec<T>) {
+        if buf.is_empty() {
+            return;
+        }
+        let cap = buf.len();
+        let class = (cap / SEG_CAP).trailing_zeros() as usize;
+        self.free_slots += cap as u64;
+        self.class_list(class).push(buf);
+    }
+}
+
+/// Front-to-back iterator over one queue's elements.
+pub struct SegIter<'a, T> {
+    q: &'a SegQueue<T>,
+    i: u32,
+}
+
+impl<'a, T: Copy> Iterator for SegIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        if self.i == self.q.len {
+            return None;
+        }
+        let mask = self.q.buf.len() as u32 - 1;
+        let item = &self.q.buf[(self.q.head.wrapping_add(self.i) & mask) as usize];
+        self.i += 1;
+        Some(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_within_and_across_growth() {
+        let mut pool = SegmentPool::new();
+        let mut q = SegQueue::new();
+        let n = SEG_CAP * 3 + 7;
+        for i in 0..n {
+            pool.push_back(&mut q, i);
+        }
+        assert_eq!(q.len(), n);
+        for i in 0..n {
+            assert_eq!(pool.front(&q), Some(&i));
+            assert_eq!(pool.pop_front(&mut q), Some(i));
+        }
+        assert!(q.is_empty());
+        assert_eq!(pool.pop_front(&mut q), None);
+        assert_eq!(pool.front(&q), None);
+    }
+
+    #[test]
+    fn emptied_queue_keeps_its_buffer_resident() {
+        let mut pool = SegmentPool::new();
+        let mut q = SegQueue::new();
+        for round in 0..100 {
+            for i in 0..SEG_CAP {
+                pool.push_back(&mut q, round * SEG_CAP + i);
+            }
+            for _ in 0..SEG_CAP {
+                pool.pop_front(&mut q);
+            }
+        }
+        // One buffer, allocated once, reused every round.
+        assert_eq!(pool.grow_events(), 1);
+        assert_eq!(pool.segments_high_water(), 1);
+    }
+
+    #[test]
+    fn retired_buffers_are_reused_across_queues() {
+        let mut pool = SegmentPool::new();
+        let mut a = SegQueue::new();
+        let mut b = SegQueue::new();
+        for i in 0..SEG_CAP * 4 {
+            pool.push_back(&mut a, i);
+        }
+        let grown = pool.grow_events();
+        pool.release(&mut a);
+        assert!(a.is_empty());
+        // Queue b retraces a's growth entirely out of the free lists.
+        for i in 0..SEG_CAP * 4 {
+            pool.push_back(&mut b, i);
+        }
+        assert_eq!(pool.grow_events(), grown);
+        for i in 0..SEG_CAP * 4 {
+            assert_eq!(pool.pop_front(&mut b), Some(i));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_wraps_the_ring() {
+        let mut pool = SegmentPool::new();
+        let mut q = SegQueue::new();
+        let mut next_in = 0u64;
+        let mut next_out = 0u64;
+        // Keep ~1.5 segments in flight for a long time.
+        for _ in 0..10_000 {
+            pool.push_back(&mut q, next_in);
+            next_in += 1;
+            if q.len() > SEG_CAP + SEG_CAP / 2 {
+                assert_eq!(pool.pop_front(&mut q), Some(next_out));
+                next_out += 1;
+            }
+        }
+        while let Some(v) = pool.pop_front(&mut q) {
+            assert_eq!(v, next_out);
+            next_out += 1;
+        }
+        assert_eq!(next_out, next_in);
+        // Bounded depth ⇒ bounded pool, regardless of throughput.
+        assert!(pool.segments_high_water() <= 4);
+    }
+
+    #[test]
+    fn iter_sees_exactly_the_queued_elements() {
+        let mut pool = SegmentPool::new();
+        let mut q = SegQueue::new();
+        for i in 0..SEG_CAP * 2 + 5 {
+            pool.push_back(&mut q, i);
+        }
+        for _ in 0..7 {
+            pool.pop_front(&mut q);
+        }
+        let seen: Vec<usize> = pool.iter(&q).copied().collect();
+        let want: Vec<usize> = (7..SEG_CAP * 2 + 5).collect();
+        assert_eq!(seen, want);
+    }
+
+    #[test]
+    fn release_of_an_empty_resident_buffer_frees_it() {
+        let mut pool = SegmentPool::new();
+        let mut q = SegQueue::new();
+        pool.push_back(&mut q, 1u32);
+        pool.pop_front(&mut q);
+        assert!(q.is_empty());
+        pool.release(&mut q);
+        assert_eq!(pool.free_segments(), 1);
+        // And the handle is safe to use again.
+        pool.push_back(&mut q, 2u32);
+        assert_eq!(pool.pop_front(&mut q), Some(2));
+        assert_eq!(pool.grow_events(), 1);
+    }
+
+    #[test]
+    fn bytes_reflects_total_allocated_capacity() {
+        let mut pool: SegmentPool<u64> = SegmentPool::new();
+        let mut q = SegQueue::new();
+        assert_eq!(pool.bytes(), 0);
+        pool.push_back(&mut q, 9);
+        assert_eq!(pool.bytes(), (SEG_CAP * std::mem::size_of::<u64>()) as u64);
+    }
+
+    #[test]
+    fn growth_unwraps_a_wrapped_ring_in_order() {
+        let mut pool = SegmentPool::new();
+        let mut q = SegQueue::new();
+        // Wrap the head deep into the first buffer, then force growth.
+        for i in 0..SEG_CAP {
+            pool.push_back(&mut q, i);
+        }
+        for _ in 0..SEG_CAP - 2 {
+            pool.pop_front(&mut q);
+        }
+        for i in SEG_CAP..3 * SEG_CAP {
+            pool.push_back(&mut q, i);
+        }
+        let want: Vec<usize> = (SEG_CAP - 2..3 * SEG_CAP).collect();
+        let mut got = Vec::new();
+        while let Some(v) = pool.pop_front(&mut q) {
+            got.push(v);
+        }
+        assert_eq!(got, want);
+    }
+}

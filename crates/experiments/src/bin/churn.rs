@@ -58,7 +58,11 @@ fn main() {
     let reports = churn::sweep_exec(&paper, &arrival_rates, holding_secs, &exec, observer);
     println!("{}", report::render_churn(&reports));
     if let Some(sink) = &telemetry {
-        cli::emit_telemetry(sink, &collector.summary());
+        // The footprint block (flow-table bytes, queue-pool counters) comes
+        // from one representative churn run probed with run telemetry on —
+        // the same probe the bench snapshot records.
+        let run = churn::telemetry_probe(&paper);
+        cli::emit_telemetry_with_run(sink, &collector.summary(), &run);
     }
     let failures = ispn_scenario::failed_points(&reports);
     if failures > 0 {

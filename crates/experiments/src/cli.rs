@@ -38,7 +38,8 @@
 use std::path::PathBuf;
 
 use ispn_scenario::{
-    DistRunner, HostSpec, SweepExec, SweepRunner, SweepTelemetry, WorkerCommand, WORKER_FLAG,
+    DistRunner, HostSpec, RunTelemetry, SweepExec, SweepRunner, SweepTelemetry, WorkerCommand,
+    WORKER_FLAG,
 };
 
 /// Whether this invocation is a `--sweep-worker` child.
@@ -182,6 +183,35 @@ pub fn emit_telemetry(sink: &TelemetrySink, summary: &SweepTelemetry) {
         TelemetrySink::Stderr => eprintln!("{}", summary.render()),
         TelemetrySink::File(path) => {
             if let Err(e) = std::fs::write(path, format!("{}\n", summary.to_json())) {
+                eprintln!("could not write telemetry to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("sweep telemetry written to {}", path.display());
+        }
+    }
+}
+
+/// Like [`emit_telemetry`], with a representative run's [`RunTelemetry`]
+/// block (engine counters and memory footprint) appended: the JSON gains a
+/// `"run"` key next to the sweep summary's fields, the stderr rendering
+/// one extra line.  Used by bins whose footprint is the interesting part
+/// (churn: bounded flow-table growth under slot reclamation).
+pub fn emit_telemetry_with_run(sink: &TelemetrySink, summary: &SweepTelemetry, run: &RunTelemetry) {
+    let sweep = summary.to_json();
+    // Splice the run block into the summary object: {...,"run":{...}}.
+    let json = format!("{},\"run\":{}}}", &sweep[..sweep.len() - 1], run.to_json());
+    let line = format!(
+        "run telemetry: flow table {} B, reservations {} B, \
+         queue pools {} grows / {} segs peak",
+        run.flow_table_bytes,
+        run.reservation_state_bytes,
+        run.sched_pool_grow_events,
+        run.sched_pool_segments_high_water
+    );
+    match sink {
+        TelemetrySink::Stderr => eprintln!("{}\n{line}", summary.render()),
+        TelemetrySink::File(path) => {
+            if let Err(e) = std::fs::write(path, format!("{json}\n")) {
                 eprintln!("could not write telemetry to {}: {e}", path.display());
                 std::process::exit(1);
             }

@@ -138,6 +138,14 @@ struct FlowState {
     /// inactive until every hop has admitted them, and return to inactive
     /// on release.
     active: bool,
+    /// The flow has been marked for slot reclamation ([`Network::retire_flow`]):
+    /// once its last in-flight packet leaves the network it is reported by
+    /// [`Network::take_drained_flows`].  Cleared if the flow is reactivated.
+    retired: bool,
+    /// Packets of this flow currently inside the network (injected but not
+    /// yet delivered or dropped).  A retired flow's id may only be recycled
+    /// when this reaches zero.
+    in_flight: u32,
     /// Links where reservation state (admission and/or scheduler) has been
     /// installed for this flow and must be released on teardown.
     installed_links: Vec<LinkId>,
@@ -204,6 +212,13 @@ pub struct Network {
     topo: Topology,
     ports: Vec<Port>,
     flows: Vec<FlowState>,
+    /// Flow-id slots freed by [`recycle_flow_slot`](Network::recycle_flow_slot),
+    /// reused by the next [`register_flow`] so long churn runs keep a
+    /// bounded flow table instead of growing one entry per admission ever.
+    free_flow_slots: Vec<FlowId>,
+    /// Retired flows whose last in-flight packet has left the network,
+    /// staged for the driver to snapshot (final reports) and recycle.
+    drained: Vec<FlowId>,
     agents: Vec<Box<dyn Agent>>,
     monitor: Monitor,
     telemetry: NetTelemetry,
@@ -242,6 +257,8 @@ impl Network {
             topo: topology,
             ports,
             flows: Vec::new(),
+            free_flow_slots: Vec::new(),
+            drained: Vec::new(),
             agents: Vec::new(),
             monitor: Monitor::new(0, num_links),
             telemetry: NetTelemetry::new(num_links),
@@ -308,10 +325,12 @@ impl Network {
     }
 
     /// Structural size of the flow table in bytes: the per-flow state
-    /// records plus their route and installed-link storage.  A
-    /// deterministic length-based estimate (element counts × element
-    /// sizes), not an allocator measurement — so two same-seed runs agree
-    /// and growth is attributable to flow count, not allocator policy.
+    /// records plus their route and installed-link storage, plus the
+    /// per-flow state the schedulers hold on every port (lane tables,
+    /// slot maps, pooled queue segments).  A deterministic length-based
+    /// estimate (element counts × element sizes), not an allocator
+    /// measurement — so two same-seed runs agree and growth is
+    /// attributable to flow count, not allocator policy.
     pub fn flow_table_bytes(&self) -> u64 {
         let mut bytes = self.flows.len() * std::mem::size_of::<FlowState>();
         for f in &self.flows {
@@ -319,14 +338,45 @@ impl Network {
             bytes += f.installed_links.len() * std::mem::size_of::<LinkId>();
         }
         bytes as u64
+            + self
+                .ports
+                .iter()
+                .map(|p| p.discipline.state_bytes())
+                .sum::<u64>()
     }
 
-    /// Structural size of the per-link reservation state in bytes (the
-    /// admission-control records installed on ports).  Same estimation
-    /// rules as [`flow_table_bytes`](Network::flow_table_bytes).
+    /// Structural size of the per-link reservation state in bytes: the
+    /// admission-control records installed on ports plus the per-flow
+    /// reservation entries the schedulers keep (guaranteed rate maps, GPS
+    /// clock state).  Same estimation rules as
+    /// [`flow_table_bytes`](Network::flow_table_bytes).
     pub fn reservation_state_bytes(&self) -> u64 {
         (self.ports.iter().filter(|p| p.admission.is_some()).count()
             * std::mem::size_of::<AdmissionState>()) as u64
+            + self
+                .ports
+                .iter()
+                .map(|p| p.discipline.reservation_bytes())
+                .sum::<u64>()
+    }
+
+    /// Total segment-pool growth events across every port's scheduler: how
+    /// many times pooled queue storage had to allocate a fresh segment.
+    /// Flat between two samples ⇒ the interval ran allocation-free.
+    pub fn sched_pool_grow_events(&self) -> u64 {
+        self.ports
+            .iter()
+            .map(|p| p.discipline.pool_grow_events())
+            .sum()
+    }
+
+    /// Total segment-pool high-water mark (in segments) across every port's
+    /// scheduler.
+    pub fn sched_pool_segments_high_water(&self) -> u64 {
+        self.ports
+            .iter()
+            .map(|p| p.discipline.pool_segments_high_water())
+            .sum()
     }
 
     /// Snapshot every engine counter into a named-metric registry (event
@@ -339,6 +389,11 @@ impl Network {
         reg.record("ports.peak_depth", self.peak_port_depth());
         reg.record("flows.table_bytes", self.flow_table_bytes());
         reg.record("reservations.state_bytes", self.reservation_state_bytes());
+        reg.record("sched.pool_grow_events", self.sched_pool_grow_events());
+        reg.record(
+            "sched.pool_segments_high_water",
+            self.sched_pool_segments_high_water(),
+        );
         for (name, value) in self.telemetry.registry(&probes).entries() {
             reg.record(name.clone(), *value);
         }
@@ -422,15 +477,27 @@ impl Network {
             total_propagation += params.propagation;
         }
         let policer = config.edge_policer.map(|(spec, _)| TokenBucket::new(spec));
-        let id = FlowId(self.flows.len() as u32);
-        self.flows.push(FlowState {
+        let state = FlowState {
             config,
             policer,
             secs_per_bit,
             total_propagation,
             active,
+            retired: false,
+            in_flight: 0,
             installed_links: Vec::new(),
-        });
+        };
+        let id = match self.free_flow_slots.pop() {
+            Some(id) => {
+                self.flows[id.index()] = state;
+                id
+            }
+            None => {
+                let id = FlowId(self.flows.len() as u32);
+                self.flows.push(state);
+                id
+            }
+        };
         self.monitor.ensure_flows(self.flows.len());
         id
     }
@@ -510,7 +577,11 @@ impl Network {
 
     /// Activate a flow whose per-hop reservations are in place.
     pub fn activate_flow(&mut self, flow: FlowId) {
-        self.flows[flow.index()].active = true;
+        let f = &mut self.flows[flow.index()];
+        f.active = true;
+        // A retry that revives a flow marked for reclamation wins the race:
+        // the slot stays live.
+        f.retired = false;
     }
 
     /// Deactivate a flow without touching its reservations (used by the
@@ -660,6 +731,68 @@ impl Network {
         self.deactivate_flow(flow);
     }
 
+    // ----- flow-slot reclamation ------------------------------------------
+
+    /// Mark a torn-down flow's id slot for reclamation.  The flow must
+    /// already be inactive with its reservations released; once its last
+    /// in-flight packet leaves the network the flow is reported by
+    /// [`take_drained_flows`](Network::take_drained_flows), after which the
+    /// driver may snapshot its final statistics and call
+    /// [`recycle_flow_slot`](Network::recycle_flow_slot).  Never calling
+    /// these hooks is always safe — the flow table then simply grows
+    /// monotonically, as it did before reclamation existed.
+    pub fn retire_flow(&mut self, flow: FlowId) {
+        self.flows[flow.index()].retired = true;
+        self.note_if_drained(flow);
+    }
+
+    /// Retired flows whose last in-flight packet has left the network since
+    /// the previous call.  Each flow appears exactly once (unless retired
+    /// again after a revival).
+    pub fn take_drained_flows(&mut self) -> Vec<FlowId> {
+        std::mem::take(&mut self.drained)
+    }
+
+    /// Packets of this flow currently inside the network.
+    pub fn flow_in_flight(&self, flow: FlowId) -> u32 {
+        self.flows[flow.index()].in_flight
+    }
+
+    /// Return a drained flow's id slot to the free list for reuse by a
+    /// future [`add_flow`](Network::add_flow) /
+    /// [`request_flow`](Network::request_flow).  The flow's monitor
+    /// statistics are reset, so callers that need its final report must
+    /// snapshot it first.  A no-op if the flow came back to life (active,
+    /// packets in flight, or reservations re-installed) since it drained.
+    pub fn recycle_flow_slot(&mut self, flow: FlowId) {
+        let f = &self.flows[flow.index()];
+        if f.active || f.in_flight > 0 || !f.installed_links.is_empty() {
+            return;
+        }
+        if self.free_flow_slots.contains(&flow) {
+            return; // already recycled (idempotence under double retire)
+        }
+        self.monitor.reset_flow(flow);
+        self.free_flow_slots.push(flow);
+    }
+
+    /// One of `flow`'s packets left the network (delivered or dropped).
+    fn packet_died(&mut self, flow: FlowId) {
+        let f = &mut self.flows[flow.index()];
+        debug_assert!(f.in_flight > 0, "in-flight underflow for {flow}");
+        f.in_flight = f.in_flight.saturating_sub(1);
+        self.note_if_drained(flow);
+    }
+
+    /// Stage `flow` for the driver if it is retired and fully drained.
+    fn note_if_drained(&mut self, flow: FlowId) {
+        let f = &mut self.flows[flow.index()];
+        if f.retired && !f.active && f.in_flight == 0 {
+            f.retired = false;
+            self.drained.push(flow);
+        }
+    }
+
     /// Replace the declared token bucket of a predicted flow (successful
     /// renegotiation): the spec and the edge policer both switch to the new
     /// `(r, b)`.  The caller is responsible for having re-run admission on
@@ -739,6 +872,7 @@ impl Network {
             return;
         }
         self.monitor.record_generated(packet.flow, self.now);
+        self.flows[packet.flow.index()].in_flight += 1;
         debug_assert_eq!(packet.hop, 0, "injected packet already on its way");
         self.forward(packet);
     }
@@ -877,6 +1011,7 @@ impl Network {
                     PoliceAction::Drop => {
                         if !policer.offer(now, packet.size_bits) {
                             self.monitor.record_edge_drop(packet.flow, now);
+                            self.packet_died(packet.flow);
                             return;
                         }
                     }
@@ -902,6 +1037,7 @@ impl Network {
                 .record_buffer_drop(packet.flow, link.index(), self.now);
             self.telemetry
                 .record_link_drop(link.index(), class_bucket(class));
+            self.packet_died(packet.flow);
             return;
         }
         port.discipline
@@ -1036,6 +1172,7 @@ impl Network {
         let queueing_delay = total_delay.saturating_sub(fixed);
         self.monitor
             .record_delivery(packet.flow, queueing_delay, self.now);
+        self.packet_died(packet.flow);
         if let Some(sink) = self.flows[flow_idx].config.sink {
             self.dispatch_delivery(
                 sink,
@@ -1498,6 +1635,107 @@ mod tests {
         // The agent released it inside on_setup.
         assert!(!net.flow_active(flow));
         assert_eq!(net.admission(link).unwrap().reserved_guaranteed_bps(), 0.0);
+    }
+
+    #[test]
+    fn installed_flow_grows_footprint_accounting() {
+        // Satellite regression: flow_table_bytes must include the
+        // schedulers' per-flow state and reservation_state_bytes the
+        // per-flow reservation entries — before the fix both ignored the
+        // ports entirely, so installing a guaranteed flow left
+        // reservation_state_bytes unchanged.
+        let (mut net, link) = two_switch_net();
+        net.set_discipline(link, Wfq::new(MBIT, 100_000.0));
+        let table_before = net.flow_table_bytes();
+        let resv_before = net.reservation_state_bytes();
+        let flow = net
+            .request_flow(FlowConfig::guaranteed(vec![link], 300_000.0))
+            .expect("uncontended link admits");
+        assert!(
+            net.flow_table_bytes() > table_before,
+            "flow table footprint must grow when a flow is installed"
+        );
+        assert!(
+            net.reservation_state_bytes() > resv_before,
+            "reservation footprint must include the scheduler's per-flow entries"
+        );
+        // Releasing returns the scheduler's reservation entry.
+        net.release_flow(flow);
+        assert_eq!(net.reservation_state_bytes(), resv_before);
+    }
+
+    #[test]
+    fn retired_flow_slot_is_recycled() {
+        let (mut net, link) = two_switch_net();
+        let flow = net.add_flow(FlowConfig::datagram(vec![link]));
+        let t = SimTime::from_millis(1);
+        net.add_agent(Box::new(ScheduledSender::new(flow, vec![t, t, t])));
+        net.run_until(SimTime::from_millis(2));
+        // Packets are still on the wire: retiring now must not report the
+        // flow as drained yet.
+        net.release_flow(flow);
+        net.retire_flow(flow);
+        assert!(net.flow_in_flight(flow) > 0);
+        assert!(net.take_drained_flows().is_empty());
+        net.run_until(SimTime::from_millis(50));
+        assert_eq!(net.flow_in_flight(flow), 0);
+        assert_eq!(net.take_drained_flows(), vec![flow]);
+        // Second take is empty (each drain reported once).
+        assert!(net.take_drained_flows().is_empty());
+        net.recycle_flow_slot(flow);
+        // The next registration reuses the freed slot: the table stays flat
+        // and the newcomer starts with clean statistics.
+        let table = net.flow_table_bytes();
+        let reused = net.add_flow(FlowConfig::datagram(vec![link]));
+        assert_eq!(reused, flow);
+        assert_eq!(net.num_flows(), 1);
+        assert_eq!(net.flow_table_bytes(), table);
+        let r = net.monitor_mut().flow_report(reused);
+        assert_eq!(r.generated, 0);
+        assert_eq!(r.delivered, 0);
+    }
+
+    #[test]
+    fn revived_flow_is_not_recycled() {
+        let (mut net, link) = two_switch_net();
+        let flow = net.add_flow(FlowConfig::datagram(vec![link]));
+        net.release_flow(flow);
+        net.retire_flow(flow);
+        // The retire drains immediately (nothing in flight) …
+        assert_eq!(net.take_drained_flows(), vec![flow]);
+        // … but the flow is re-activated before the driver recycles it:
+        // the safety valve keeps the slot live.
+        net.activate_flow(flow);
+        net.recycle_flow_slot(flow);
+        let fresh = net.add_flow(FlowConfig::datagram(vec![link]));
+        assert_ne!(fresh, flow, "live slot must not be handed out again");
+    }
+
+    #[test]
+    fn steady_state_traffic_stops_growing_queue_pools() {
+        // Tentpole regression: after warm-up, a steady workload must not
+        // allocate new queue segments — the pool high-water and grow
+        // counters stay flat over the second half of the run.
+        let (mut net, link) = two_switch_net();
+        net.set_discipline(link, Unified::new(MBIT, 2, Averaging::RunningMean));
+        let flow = net.add_flow(FlowConfig::datagram(vec![link]));
+        // Six identical 40-packet bursts, each fully drained (40 ms of
+        // service at 1 ms/packet) before the next: the first burst sets the
+        // pool high-water, the rest must live off recycled segments.
+        let times: Vec<SimTime> = (0..6)
+            .flat_map(|burst| (0..40).map(move |_| SimTime::from_millis(60 * burst)))
+            .collect();
+        net.add_agent(Box::new(ScheduledSender::new(flow, times)));
+        net.run_until(SimTime::from_millis(130));
+        let grow_mid = net.sched_pool_grow_events();
+        let high_mid = net.sched_pool_segments_high_water();
+        net.run_until(SimTime::from_millis(400));
+        assert_eq!(
+            net.sched_pool_grow_events(),
+            grow_mid,
+            "steady-state traffic must be allocation-free after warm-up"
+        );
+        assert_eq!(net.sched_pool_segments_high_water(), high_mid);
     }
 
     #[test]

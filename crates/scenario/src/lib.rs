@@ -90,7 +90,7 @@ pub use report::{
     json_escape, ClassSummary, DisciplineSummary, FlowSummary, HistogramSpec, HistogramSummary,
     LinkSummary, MeasurementPlan, RunTelemetry, ScenarioReport, SignalingSummary,
 };
-pub use sim::{ChurnFlowRecord, Sim};
+pub use sim::{ChurnFlowRecord, ChurnFlowReport, Sim};
 pub use sweep::dist::{Await, DistRunner, SweepExec, WorkerCommand, WorkerTransport};
 pub use sweep::net::{serve_listener, HostSpec, LISTENING_BANNER};
 pub use sweep::testing::{FaultMode, FaultPlan};

@@ -280,6 +280,13 @@ pub struct RunTelemetry {
     pub flow_table_bytes: u64,
     /// Structural size of the per-link reservation state, in bytes.
     pub reservation_state_bytes: u64,
+    /// Segment allocations made by the schedulers' packet-queue pools,
+    /// summed over every port.  Grows only while some queue reaches a new
+    /// depth — flat after warm-up is the zero-steady-state-allocation
+    /// property.
+    pub sched_pool_grow_events: u64,
+    /// Peak pooled-segment count, summed over every port's scheduler.
+    pub sched_pool_segments_high_water: u64,
     /// Wall-clock seconds spent inside `run_until` (not simulated time).
     pub wall_s: f64,
     /// `events_processed / wall_s` (0 when no wall time was recorded).
@@ -305,6 +312,8 @@ impl RunTelemetry {
             admission_rejected: net.net_telemetry().admission_rejected(),
             flow_table_bytes: net.flow_table_bytes(),
             reservation_state_bytes: net.reservation_state_bytes(),
+            sched_pool_grow_events: net.sched_pool_grow_events(),
+            sched_pool_segments_high_water: net.sched_pool_segments_high_water(),
             wall_s,
             events_per_sec,
         }
@@ -316,7 +325,9 @@ impl RunTelemetry {
             "{{\"events_processed\":{},\"event_queue_high_water\":{},\
              \"peak_queue_depth\":{},\"admission_accepted\":{},\
              \"admission_rejected\":{},\"flow_table_bytes\":{},\
-             \"reservation_state_bytes\":{},\"wall_s\":{},\"events_per_sec\":{}}}",
+             \"reservation_state_bytes\":{},\"sched_pool_grow_events\":{},\
+             \"sched_pool_segments_high_water\":{},\"wall_s\":{},\
+             \"events_per_sec\":{}}}",
             self.events_processed,
             self.event_queue_high_water,
             self.peak_queue_depth,
@@ -324,6 +335,8 @@ impl RunTelemetry {
             self.admission_rejected,
             self.flow_table_bytes,
             self.reservation_state_bytes,
+            self.sched_pool_grow_events,
+            self.sched_pool_segments_high_water,
             json_f64(self.wall_s),
             json_f64(self.events_per_sec),
         )
@@ -838,7 +851,8 @@ impl ScenarioReport {
             out.push_str(&format!(
                 "\ntelemetry: {} events ({:.0}/s wall), event-queue peak {}, \
                  port peak {} pkts, admission {}/{} accept/reject, \
-                 flow table {} B, reservations {} B\n",
+                 flow table {} B, reservations {} B, \
+                 queue pools {} grows / {} segs peak\n",
                 t.events_processed,
                 t.events_per_sec,
                 t.event_queue_high_water,
@@ -847,6 +861,8 @@ impl ScenarioReport {
                 t.admission_rejected,
                 t.flow_table_bytes,
                 t.reservation_state_bytes,
+                t.sched_pool_grow_events,
+                t.sched_pool_segments_high_water,
             ));
         }
         out
@@ -925,6 +941,8 @@ mod tests {
             admission_rejected: 1,
             flow_table_bytes: 2048,
             reservation_state_bytes: 512,
+            sched_pool_grow_events: 7,
+            sched_pool_segments_high_water: 5,
             wall_s: 0.25,
             events_per_sec: 4936.0,
         }
@@ -976,6 +994,7 @@ mod tests {
             "\"telemetry\":{\"events_processed\":1234,\"event_queue_high_water\":17,\
              \"peak_queue_depth\":9,\"admission_accepted\":3,\"admission_rejected\":1,\
              \"flow_table_bytes\":2048,\"reservation_state_bytes\":512,\
+             \"sched_pool_grow_events\":7,\"sched_pool_segments_high_water\":5,\
              \"wall_s\":0.25,\"events_per_sec\":4936.0}"
         ));
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -24,7 +24,7 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use ispn_core::{FlowId, TokenBucketSpec};
-use ispn_net::{FlowConfig, Network};
+use ispn_net::{FlowConfig, FlowReport, Network};
 use ispn_signal::{Lease, LeasedSource, RequestId, SignalEvent, Signaling};
 use ispn_sim::{EventQueue, Pcg64, SimTime};
 use ispn_traffic::{OnOffConfig, OnOffSource};
@@ -42,9 +42,10 @@ type Action = Box<dyn FnOnce(&mut Sim)>;
 /// event time.
 type SignalHandler = Box<dyn FnMut(&SignalEvent, &mut Sim)>;
 
-/// One flow the churn workload has admitted (still holding, or already
-/// departed — records survive teardown so bound-compliance checks can look
-/// flows up after the run).
+/// One flow the churn workload has admitted and not yet reclaimed (still
+/// holding, or departed with the teardown wave still in flight).  Flows
+/// whose id slot was already recycled live on as measurement snapshots in
+/// [`Sim::churn_flow_reports`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChurnFlowRecord {
     /// The admitted flow.
@@ -55,11 +56,40 @@ pub struct ChurnFlowRecord {
     pub hops: usize,
 }
 
+/// The full measurement record of one admitted churn flow: live for flows
+/// still holding, a snapshot taken at reclamation time for flows whose id
+/// slot has since been recycled (and possibly reused by a later arrival).
+#[derive(Debug, Clone)]
+pub struct ChurnFlowReport {
+    /// The flow id the request was admitted under.  **Not unique** across a
+    /// churn run once slots recycle — order in the returned list (admission
+    /// order) is the stable identity.
+    pub flow: FlowId,
+    /// `Some(priority)` for predicted requests, `None` for guaranteed.
+    pub priority: Option<u8>,
+    /// Path length of the request in links.
+    pub hops: usize,
+    /// The flow's end-to-end measurements over its whole lifetime.
+    pub report: FlowReport,
+}
+
 /// Per-flow churn bookkeeping (the lease silences the source on departure).
 struct ChurnEntry {
+    /// Admission index (0, 1, 2, …) — the stable identity of this admission
+    /// even after its flow id is recycled and reused.
+    order: u32,
     priority: Option<u8>,
     hops: usize,
     lease: Option<Lease>,
+}
+
+/// A departed churn flow's measurement snapshot, taken the instant its id
+/// slot was reclaimed (the monitor row is reset on recycle).
+struct CompletedChurnFlow {
+    order: u32,
+    priority: Option<u8>,
+    hops: usize,
+    report: FlowReport,
 }
 
 /// The facade-owned churn driver: one private RNG stream drives arrivals,
@@ -71,6 +101,9 @@ struct ChurnDriver {
     admitted: BTreeMap<FlowId, ChurnEntry>,
     requested: BTreeMap<FlowId, (Option<u8>, usize)>,
     source_seq: u32,
+    /// Snapshots of flows whose id slots were reclaimed, in no particular
+    /// order (sorted by admission index on read-out).
+    completed: Vec<CompletedChurnFlow>,
     /// Set by [`Sim::drain_churn`]: in-flight completions must no longer
     /// spawn sources or departures.
     draining: bool,
@@ -84,11 +117,16 @@ impl ChurnDriver {
     /// draw order (span, span length, mix, inter-arrival gap) is part of
     /// the workload's reproducibility contract — do not reorder.
     fn arrival(handle: ChurnHandle, sim: &mut Sim) {
+        if handle.borrow().draining {
+            return;
+        }
+        // Before admitting more work, reclaim the id slots of flows that
+        // finished since the last arrival — this is what keeps the flow
+        // table bounded by the *concurrent* population instead of growing
+        // with every request ever made.
+        Self::reclaim_finished(&handle, sim);
         let (config, priority, hops, gap) = {
             let mut d = handle.borrow_mut();
-            if d.draining {
-                return;
-            }
             let nlinks = sim.built().forward.len() as u64;
             let first = d.rng.next_below(nlinks) as usize;
             let hops = 1 + d.rng.next_below(nlinks - first as u64) as usize;
@@ -136,6 +174,29 @@ impl ChurnDriver {
         sim.schedule_at(next, move |sim| ChurnDriver::arrival(h, sim));
     }
 
+    /// Reclaim the id slots of flows the network reports drained: rejected
+    /// setups and departed flows whose teardown wave finished and whose
+    /// last in-flight packet left the network.  An admitted flow's
+    /// measurement snapshot is taken here, *before* the recycle resets its
+    /// monitor row, so bound-compliance checks keep the full history even
+    /// after the id is reused by a later arrival.  Recycling changes no RNG
+    /// draw and no packet timing, so the decision sequence is unaffected.
+    fn reclaim_finished(handle: &ChurnHandle, sim: &mut Sim) {
+        for flow in sim.network_mut().take_drained_flows() {
+            let entry = handle.borrow_mut().admitted.remove(&flow);
+            if let Some(entry) = entry {
+                let report = sim.network_mut().monitor_mut().flow_report(flow);
+                handle.borrow_mut().completed.push(CompletedChurnFlow {
+                    order: entry.order,
+                    priority: entry.priority,
+                    hops: entry.hops,
+                    report,
+                });
+            }
+            sim.network_mut().recycle_flow_slot(flow);
+        }
+    }
+
     /// The departure of one admitted flow: revoke its source's lease and
     /// begin the hop-by-hop teardown.
     fn departure(handle: ChurnHandle, flow: FlowId, sim: &mut Sim) {
@@ -167,6 +228,10 @@ impl ChurnDriver {
                     let Some((priority, hops)) = d.requested.remove(flow) else {
                         return;
                     };
+                    // The source-seed index counts admissions, so it doubles
+                    // as the admission index — the stable identity of this
+                    // admission once flow ids start being reused.
+                    let order = d.source_seq;
                     let seed = d.spec.source.seed_for(d.source_seq);
                     let source = OnOffSource::new(
                         *flow,
@@ -179,6 +244,7 @@ impl ChurnDriver {
                     d.admitted.insert(
                         *flow,
                         ChurnEntry {
+                            order,
                             priority,
                             hops,
                             lease: Some(lease),
@@ -277,6 +343,7 @@ impl Sim {
             admitted: BTreeMap::new(),
             requested: BTreeMap::new(),
             source_seq: 0,
+            completed: Vec::new(),
             draining: false,
         }));
         self.churn = Some(driver.clone());
@@ -288,8 +355,11 @@ impl Sim {
         self.churn.is_some()
     }
 
-    /// Every flow the churn workload has admitted so far (departed flows
-    /// included), sorted by flow id.  Empty without a churn workload.
+    /// Every churn-admitted flow not yet reclaimed (still holding, or
+    /// departed with its teardown wave still in flight), sorted by flow
+    /// id.  Empty without a churn workload.  For the full admission
+    /// history — departed-and-recycled flows included — use
+    /// [`churn_flow_reports`](Sim::churn_flow_reports).
     pub fn churn_admitted(&self) -> Vec<ChurnFlowRecord> {
         let Some(churn) = &self.churn else {
             return Vec::new();
@@ -305,6 +375,51 @@ impl Sim {
                 hops: entry.hops,
             })
             .collect()
+    }
+
+    /// The measurement record of **every** flow the churn workload ever
+    /// admitted, in admission order: flows whose id slot was reclaimed
+    /// report the snapshot taken at reclamation time (their measurements
+    /// were final — the slot is only recycled once the last in-flight
+    /// packet left the network), flows still live are queried from the
+    /// monitor now.  Empty without a churn workload.
+    pub fn churn_flow_reports(&mut self) -> Vec<ChurnFlowReport> {
+        let Some(churn) = self.churn.clone() else {
+            return Vec::new();
+        };
+        let mut rows: Vec<(u32, ChurnFlowReport)> = Vec::new();
+        let live: Vec<(u32, FlowId, Option<u8>, usize)> = {
+            let d = churn.borrow();
+            for c in &d.completed {
+                rows.push((
+                    c.order,
+                    ChurnFlowReport {
+                        flow: c.report.flow,
+                        priority: c.priority,
+                        hops: c.hops,
+                        report: c.report.clone(),
+                    },
+                ));
+            }
+            d.admitted
+                .iter()
+                .map(|(&flow, e)| (e.order, flow, e.priority, e.hops))
+                .collect()
+        };
+        for (order, flow, priority, hops) in live {
+            let report = self.net.monitor_mut().flow_report(flow);
+            rows.push((
+                order,
+                ChurnFlowReport {
+                    flow,
+                    priority,
+                    hops,
+                    report,
+                },
+            ));
+        }
+        rows.sort_by_key(|&(order, _)| order);
+        rows.into_iter().map(|(_, r)| r).collect()
     }
 
     /// Drain the churn workload: stop the arrival process (this cancels

@@ -726,6 +726,8 @@ fn decode_telemetry(v: &JsonValue) -> Result<RunTelemetry, WireError> {
         admission_rejected: v.field("admission_rejected")?.as_u64()?,
         flow_table_bytes: v.field("flow_table_bytes")?.as_u64()?,
         reservation_state_bytes: v.field("reservation_state_bytes")?.as_u64()?,
+        sched_pool_grow_events: v.field("sched_pool_grow_events")?.as_u64()?,
+        sched_pool_segments_high_water: v.field("sched_pool_segments_high_water")?.as_u64()?,
         wall_s: v.field("wall_s")?.as_f64_or_nan()?,
         events_per_sec: v.field("events_per_sec")?.as_f64_or_nan()?,
     })
@@ -1184,6 +1186,8 @@ mod tests {
                 admission_rejected: 1,
                 flow_table_bytes: 2048,
                 reservation_state_bytes: 512,
+                sched_pool_grow_events: 7,
+                sched_pool_segments_high_water: 5,
                 wall_s: 0.25,
                 events_per_sec: 4936.0,
             }),

@@ -125,6 +125,42 @@ pub trait QueueDiscipline {
         let _ = (now, flow);
         false
     }
+
+    /// Structural size, in bytes, of the per-flow scheduler state this
+    /// discipline holds: slot tables, dense lane records, and queue
+    /// storage (pooled segments at their full capacity, or heap entries
+    /// by length).  A deterministic length-based estimate — element
+    /// counts × element sizes, never allocator measurements — matching
+    /// the accounting rules of `Network::flow_table_bytes`, which sums
+    /// this over every port.  Stateless disciplines report 0.
+    fn state_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Structural size, in bytes, of the per-flow *reservation* entries
+    /// this discipline holds (clock rates installed through
+    /// [`install_guaranteed`](QueueDiscipline::install_guaranteed) and
+    /// the GPS bookkeeping behind them).  Same estimation rules as
+    /// [`state_bytes`](QueueDiscipline::state_bytes); disciplines with no
+    /// reservation state report 0.
+    fn reservation_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Cumulative count of queue-pool growth events — times the backing
+    /// segment pool allocated a brand-new segment.  Flat between two
+    /// instants means the discipline performed zero queue-storage
+    /// allocations in between; disciplines without pooled storage
+    /// report 0.
+    fn pool_grow_events(&self) -> u64 {
+        0
+    }
+
+    /// High-water segment count of the backing queue pool (0 for
+    /// disciplines without pooled storage).
+    fn pool_segments_high_water(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

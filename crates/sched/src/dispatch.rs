@@ -141,6 +141,22 @@ impl QueueDiscipline for Discipline {
     fn remove_flow(&mut self, now: SimTime, flow: FlowId) -> bool {
         dispatch!(self, d => d.remove_flow(now, flow))
     }
+
+    fn state_bytes(&self) -> u64 {
+        dispatch!(self, d => d.state_bytes())
+    }
+
+    fn reservation_bytes(&self) -> u64 {
+        dispatch!(self, d => d.reservation_bytes())
+    }
+
+    fn pool_grow_events(&self) -> u64 {
+        dispatch!(self, d => d.pool_grow_events())
+    }
+
+    fn pool_segments_high_water(&self) -> u64 {
+        dispatch!(self, d => d.pool_segments_high_water())
+    }
 }
 
 #[cfg(test)]

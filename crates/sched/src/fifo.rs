@@ -9,39 +9,43 @@
 //! called a multiplexing of bursts, the post facto jitter bounds are smaller
 //! than when the sources are isolated from each other as in WFQ."
 
-use std::collections::VecDeque;
-
+use ispn_core::arena::{SegQueue, SegmentPool};
 use ispn_core::Packet;
 use ispn_sim::SimTime;
 
 use crate::disc::{Dequeued, QueueDiscipline, SchedContext};
 
-/// A plain FIFO queue.
+/// A plain FIFO queue, backed by pooled segment storage so steady-state
+/// enqueue/dequeue traffic performs no allocations after warm-up.
 #[derive(Debug, Default)]
 pub struct Fifo {
-    queue: VecDeque<(Packet, SchedContext)>,
+    pool: SegmentPool<(Packet, SchedContext)>,
+    queue: SegQueue<(Packet, SchedContext)>,
 }
 
 impl Fifo {
     /// Create an empty FIFO queue.
     pub fn new() -> Self {
         Fifo {
-            queue: VecDeque::new(),
+            pool: SegmentPool::new(),
+            queue: SegQueue::new(),
         }
     }
 }
 
 impl QueueDiscipline for Fifo {
     fn enqueue(&mut self, _now: SimTime, packet: Packet, ctx: SchedContext) {
-        self.queue.push_back((packet, ctx));
+        self.pool.push_back(&mut self.queue, (packet, ctx));
     }
 
     fn dequeue(&mut self, _now: SimTime) -> Option<Dequeued> {
-        self.queue.pop_front().map(|(packet, ctx)| Dequeued {
-            packet,
-            arrival: ctx.arrival,
-            class: ctx.class,
-        })
+        self.pool
+            .pop_front(&mut self.queue)
+            .map(|(packet, ctx)| Dequeued {
+                packet,
+                arrival: ctx.arrival,
+                class: ctx.class,
+            })
     }
 
     fn len(&self) -> usize {
@@ -50,6 +54,18 @@ impl QueueDiscipline for Fifo {
 
     fn name(&self) -> &'static str {
         "FIFO"
+    }
+
+    fn state_bytes(&self) -> u64 {
+        self.pool.bytes()
+    }
+
+    fn pool_grow_events(&self) -> u64 {
+        self.pool.grow_events()
+    }
+
+    fn pool_segments_high_water(&self) -> u64 {
+        self.pool.segments_high_water()
     }
 }
 

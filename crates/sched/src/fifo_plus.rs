@@ -83,26 +83,29 @@ impl DelayAverage {
     }
 }
 
-#[derive(Debug)]
-struct Entry {
+/// The heap's sift element: just the ordering key and a payload slot.
+/// Keeping the `(Packet, SchedContext)` payload out of the heap means a
+/// sift moves 24-byte keys instead of whole packets.
+#[derive(Debug, Clone, Copy)]
+struct HeapKey {
     expected_arrival: SimTime,
     seq: u64,
-    packet: Packet,
-    ctx: SchedContext,
+    /// Index of the payload in the slab (not part of the ordering).
+    slot: u32,
 }
 
-impl PartialEq for Entry {
+impl PartialEq for HeapKey {
     fn eq(&self, other: &Self) -> bool {
         self.expected_arrival == other.expected_arrival && self.seq == other.seq
     }
 }
-impl Eq for Entry {}
-impl PartialOrd for Entry {
+impl Eq for HeapKey {}
+impl PartialOrd for HeapKey {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Entry {
+impl Ord for HeapKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // BinaryHeap is a max-heap; reverse so the earliest expected arrival
         // (then earliest insertion) is popped first.
@@ -111,9 +114,22 @@ impl Ord for Entry {
 }
 
 /// The FIFO+ discipline for a single class at a single hop.
+///
+/// Storage note: unlike the per-lane FIFO disciplines, FIFO+ keeps a
+/// `BinaryHeap` rather than drawing from the shared segment pool — its
+/// order is a priority order over *all* queued packets, not per-lane
+/// FIFO, so pooled FIFO rings buy nothing here.  The heap sifts compact
+/// [`HeapKey`]s while the packets sit still in a slot slab, and both
+/// backing `Vec`s retain their high-water capacity across pops, which
+/// gives the same zero-steady-state-allocation property the pool
+/// provides elsewhere.
 #[derive(Debug)]
 pub struct FifoPlus {
-    heap: BinaryHeap<Entry>,
+    heap: BinaryHeap<HeapKey>,
+    /// Payload slab, indexed by [`HeapKey::slot`]; never shrinks.
+    payloads: Vec<(Packet, SchedContext)>,
+    /// Recycled payload slots.
+    free_slots: Vec<u32>,
     seq: u64,
     average: DelayAverage,
     /// Whether to write the `delay − average` difference back into the
@@ -134,6 +150,8 @@ impl FifoPlus {
     pub fn new(averaging: Averaging) -> Self {
         FifoPlus {
             heap: BinaryHeap::new(),
+            payloads: Vec::new(),
+            free_slots: Vec::new(),
             seq: 0,
             average: DelayAverage::new(averaging),
             update_offsets: true,
@@ -159,19 +177,29 @@ impl FifoPlus {
 impl QueueDiscipline for FifoPlus {
     fn enqueue(&mut self, _now: SimTime, packet: Packet, ctx: SchedContext) {
         let expected_arrival = packet.expected_arrival(ctx.arrival);
-        self.heap.push(Entry {
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.payloads[s as usize] = (packet, ctx);
+                s
+            }
+            None => {
+                self.payloads.push((packet, ctx));
+                (self.payloads.len() - 1) as u32
+            }
+        };
+        self.heap.push(HeapKey {
             expected_arrival,
             seq: self.seq,
-            packet,
-            ctx,
+            slot,
         });
         self.seq += 1;
     }
 
     fn dequeue(&mut self, now: SimTime) -> Option<Dequeued> {
-        let entry = self.heap.pop()?;
-        let mut packet = entry.packet;
-        let arrival = entry.ctx.arrival;
+        let key = self.heap.pop()?;
+        let (mut packet, ctx) = self.payloads[key.slot as usize];
+        self.free_slots.push(key.slot);
+        let arrival = ctx.arrival;
         // Queueing delay experienced at this hop (waiting time before the
         // link starts transmitting the packet).
         let delay_secs = now.saturating_sub(arrival).as_secs_f64();
@@ -184,7 +212,7 @@ impl QueueDiscipline for FifoPlus {
         Some(Dequeued {
             packet,
             arrival,
-            class: entry.ctx.class,
+            class: ctx.class,
         })
     }
 
@@ -194,6 +222,12 @@ impl QueueDiscipline for FifoPlus {
 
     fn name(&self) -> &'static str {
         "FIFO+"
+    }
+
+    fn state_bytes(&self) -> u64 {
+        (self.heap.len() * std::mem::size_of::<HeapKey>()
+            + self.payloads.len() * std::mem::size_of::<(Packet, SchedContext)>()
+            + self.free_slots.len() * std::mem::size_of::<u32>()) as u64
     }
 }
 

@@ -110,6 +110,18 @@ impl GpsClock {
         self.flows.iter().map(|(_, f)| f.rate_bps).sum()
     }
 
+    /// Number of registered flows (pseudo-flows included).
+    pub fn num_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Structural size of the per-flow clock state in bytes (entry count
+    /// × entry size — the deterministic estimation rule shared by the
+    /// footprint accounting in `ispn-net`).
+    pub fn state_bytes(&self) -> u64 {
+        (self.flows.len() * std::mem::size_of::<(GpsFlowKey, GpsFlow)>()) as u64
+    }
+
     /// The link rate this clock was built for.
     pub fn link_rate_bps(&self) -> f64 {
         self.link_rate_bps

@@ -109,6 +109,34 @@ impl<D: QueueDiscipline> QueueDiscipline for StrictPriority<D> {
     fn name(&self) -> &'static str {
         "Priority"
     }
+
+    fn state_bytes(&self) -> u64 {
+        self.levels.iter().map(|l| l.state_bytes()).sum::<u64>() + self.datagram.state_bytes()
+    }
+
+    fn reservation_bytes(&self) -> u64 {
+        self.levels
+            .iter()
+            .map(|l| l.reservation_bytes())
+            .sum::<u64>()
+            + self.datagram.reservation_bytes()
+    }
+
+    fn pool_grow_events(&self) -> u64 {
+        self.levels
+            .iter()
+            .map(|l| l.pool_grow_events())
+            .sum::<u64>()
+            + self.datagram.pool_grow_events()
+    }
+
+    fn pool_segments_high_water(&self) -> u64 {
+        self.levels
+            .iter()
+            .map(|l| l.pool_segments_high_water())
+            .sum::<u64>()
+            + self.datagram.pool_segments_high_water()
+    }
 }
 
 #[cfg(test)]

@@ -114,6 +114,22 @@ impl<D: QueueDiscipline> QueueDiscipline for Probed<D> {
     fn remove_flow(&mut self, now: SimTime, flow: ispn_core::FlowId) -> bool {
         self.inner.remove_flow(now, flow)
     }
+
+    fn state_bytes(&self) -> u64 {
+        self.inner.state_bytes()
+    }
+
+    fn reservation_bytes(&self) -> u64 {
+        self.inner.reservation_bytes()
+    }
+
+    fn pool_grow_events(&self) -> u64 {
+        self.inner.pool_grow_events()
+    }
+
+    fn pool_segments_high_water(&self) -> u64 {
+        self.inner.pool_segments_high_water()
+    }
 }
 
 #[cfg(test)]

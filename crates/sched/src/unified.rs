@@ -21,6 +21,7 @@
 
 use std::collections::VecDeque;
 
+use ispn_core::arena::{SegQueue, SegmentPool};
 use ispn_core::{FlowId, Packet, ServiceClass};
 use ispn_sim::SimTime;
 
@@ -40,7 +41,12 @@ const NO_SLOT: u32 = u32::MAX;
 #[derive(Debug)]
 struct GuaranteedLane {
     flow: FlowId,
-    queue: VecDeque<(Packet, SchedContext, f64)>,
+    queue: SegQueue<(Packet, SchedContext, f64)>,
+    /// Virtual finish time of the queue's head packet, mirrored out of
+    /// the pool so the per-dequeue scan reads only lane-local data.
+    /// Meaningless (stale) while the queue is empty — refreshed on
+    /// push-to-empty and after every pop.
+    front_finish: f64,
 }
 
 /// The unified scheduler: WFQ isolation around priority + FIFO+ sharing.
@@ -49,6 +55,9 @@ pub struct Unified {
     link_rate_bps: f64,
     /// Sum of guaranteed clock rates; flow 0 gets the remainder.
     guaranteed_rate_sum: f64,
+    /// Shared pooled storage for the guaranteed lanes' packet queues;
+    /// lane teardown returns its segments here.
+    pool: SegmentPool<(Packet, SchedContext, f64)>,
     /// Dense guaranteed-flow lanes (O(1) membership and queue lookup via
     /// `slot_of`; freed lanes are recycled through `free_lanes`).
     lanes: Vec<GuaranteedLane>,
@@ -102,6 +111,30 @@ impl QueueDiscipline for FifoPlusOrFifo {
             FifoPlusOrFifo::Plain(q) => q.name(),
         }
     }
+    fn state_bytes(&self) -> u64 {
+        match self {
+            FifoPlusOrFifo::Plus(q) => q.state_bytes(),
+            FifoPlusOrFifo::Plain(q) => q.state_bytes(),
+        }
+    }
+    fn reservation_bytes(&self) -> u64 {
+        match self {
+            FifoPlusOrFifo::Plus(q) => q.reservation_bytes(),
+            FifoPlusOrFifo::Plain(q) => q.reservation_bytes(),
+        }
+    }
+    fn pool_grow_events(&self) -> u64 {
+        match self {
+            FifoPlusOrFifo::Plus(q) => q.pool_grow_events(),
+            FifoPlusOrFifo::Plain(q) => q.pool_grow_events(),
+        }
+    }
+    fn pool_segments_high_water(&self) -> u64 {
+        match self {
+            FifoPlusOrFifo::Plus(q) => q.pool_segments_high_water(),
+            FifoPlusOrFifo::Plain(q) => q.pool_segments_high_water(),
+        }
+    }
 }
 
 impl Unified {
@@ -121,6 +154,7 @@ impl Unified {
             gps,
             link_rate_bps,
             guaranteed_rate_sum: 0.0,
+            pool: SegmentPool::new(),
             lanes: Vec::new(),
             slot_of: Vec::new(),
             free_lanes: Vec::new(),
@@ -164,7 +198,8 @@ impl Unified {
                 None => {
                     self.lanes.push(GuaranteedLane {
                         flow,
-                        queue: VecDeque::new(),
+                        queue: SegQueue::new(),
+                        front_finish: 0.0,
                     });
                     self.lanes.len() - 1
                 }
@@ -216,7 +251,6 @@ impl Unified {
         };
         self.slot_of[flow.index()] = NO_SLOT;
         self.free_lanes.push(slot as u32);
-        let queue = std::mem::take(&mut self.lanes[slot].queue);
         let rate = self
             .gps
             .remove(flow.0 as u64)
@@ -226,7 +260,7 @@ impl Unified {
             GpsClock::PSEUDO_FLOW,
             self.link_rate_bps - self.guaranteed_rate_sum,
         );
-        for (packet, ctx, _) in queue {
+        while let Some((packet, ctx, _)) = self.pool.pop_front(&mut self.lanes[slot].queue) {
             // Demote to flow 0; the packet keeps its original arrival time
             // but is stamped (and therefore served) like a fresh datagram
             // arrival, matching its now-unreserved status.
@@ -235,6 +269,8 @@ impl Unified {
             let demoted = SchedContext::new(ServiceClass::Datagram, ctx.arrival);
             self.flow0.enqueue(now, packet, demoted);
         }
+        // The drained lane's last resident segment goes back to the pool.
+        self.pool.release(&mut self.lanes[slot].queue);
         true
     }
 
@@ -278,7 +314,11 @@ impl QueueDiscipline for Unified {
         };
         if let Some(slot) = guaranteed_slot {
             let finish = self.gps.stamp(packet.flow.0 as u64, packet.size_bits, now);
-            self.lanes[slot].queue.push_back((packet, ctx, finish));
+            if self.lanes[slot].queue.is_empty() {
+                self.lanes[slot].front_finish = finish;
+            }
+            self.pool
+                .push_back(&mut self.lanes[slot].queue, (packet, ctx, finish));
         } else {
             // Predicted, datagram, and any guaranteed-class packet whose
             // flow was never registered all share pseudo-flow 0.
@@ -299,16 +339,18 @@ impl QueueDiscipline for Unified {
         // old ascending-map scan produced, computed in any lane order).
         let mut best: Option<(f64, FlowId, usize)> = None;
         for (slot, lane) in self.lanes.iter().enumerate() {
-            if let Some(&(_, _, finish)) = lane.queue.front() {
-                let better = match best {
-                    None => true,
-                    Some((best_finish, best_flow, _)) => {
-                        finish < best_finish || (finish == best_finish && lane.flow < best_flow)
-                    }
-                };
-                if better {
-                    best = Some((finish, lane.flow, slot));
+            if lane.queue.is_empty() {
+                continue;
+            }
+            let finish = lane.front_finish;
+            let better = match best {
+                None => true,
+                Some((best_finish, best_flow, _)) => {
+                    finish < best_finish || (finish == best_finish && lane.flow < best_flow)
                 }
+            };
+            if better {
+                best = Some((finish, lane.flow, slot));
             }
         }
         // Compare against the oldest flow-0 stamp (flow 0 is stamped in
@@ -331,10 +373,13 @@ impl QueueDiscipline for Unified {
         self.len -= 1;
         match winner {
             Some(slot) => {
-                let (packet, ctx, _) = self.lanes[slot]
-                    .queue
-                    .pop_front()
+                let (packet, ctx, _) = self
+                    .pool
+                    .pop_front(&mut self.lanes[slot].queue)
                     .expect("winner has a head packet");
+                if let Some(&(_, _, finish)) = self.pool.front(&self.lanes[slot].queue) {
+                    self.lanes[slot].front_finish = finish;
+                }
                 Some(Dequeued {
                     packet,
                     arrival: ctx.arrival,
@@ -376,6 +421,26 @@ impl QueueDiscipline for Unified {
 
     fn remove_flow(&mut self, now: SimTime, flow: FlowId) -> bool {
         self.remove_guaranteed_flow(flow, now)
+    }
+
+    fn state_bytes(&self) -> u64 {
+        (self.slot_of.len() * std::mem::size_of::<u32>()
+            + self.lanes.len() * std::mem::size_of::<GuaranteedLane>()
+            + self.flow0_stamps.len() * std::mem::size_of::<f64>()) as u64
+            + self.pool.bytes()
+            + self.flow0.state_bytes()
+    }
+
+    fn reservation_bytes(&self) -> u64 {
+        self.gps.state_bytes() + self.flow0.reservation_bytes()
+    }
+
+    fn pool_grow_events(&self) -> u64 {
+        self.pool.grow_events() + self.flow0.pool_grow_events()
+    }
+
+    fn pool_segments_high_water(&self) -> u64 {
+        self.pool.segments_high_water() + self.flow0.pool_segments_high_water()
     }
 }
 

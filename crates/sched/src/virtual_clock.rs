@@ -15,8 +15,7 @@
 //! preallocated-rate time-stamp scheme of the era) and to support the
 //! related-work comparison in EXPERIMENTS.md.
 
-use std::collections::VecDeque;
-
+use ispn_core::arena::{SegQueue, SegmentPool};
 use ispn_core::{FlowId, Packet};
 use ispn_sim::SimTime;
 
@@ -31,18 +30,35 @@ struct VcFlow {
     rate_bps: f64,
     /// The auxiliary VirtualClock, in seconds.
     aux_clock: f64,
-    queue: VecDeque<(Packet, SchedContext, f64)>,
+    /// Set by [`remove_flow`](QueueDiscipline::remove_flow) while the lane
+    /// still has a backlog; `dequeue` frees the lane when it drains.
+    retired: bool,
+    queue: SegQueue<(Packet, SchedContext, f64)>,
+    /// Stamp of the queue's head packet, mirrored out of the pool so the
+    /// per-dequeue scan reads only lane-local data.  Meaningless (stale)
+    /// while the queue is empty — refreshed on push-to-empty and after
+    /// every pop.
+    front_stamp: f64,
 }
 
 /// The VirtualClock scheduler.
 #[derive(Debug)]
 pub struct VirtualClock {
     default_rate_bps: f64,
-    /// Dense per-flow lanes (a flow's auxiliary clock must survive idle
-    /// periods, so lanes are never freed once created).
+    /// Shared pooled storage for every lane's packet queue.
+    pool: SegmentPool<(Packet, SchedContext, f64)>,
+    /// Dense per-flow lanes.  A lane of an *active* flow is never freed on
+    /// idle — its auxiliary clock must survive idle periods — but explicit
+    /// reservation teardown ([`remove_flow`](QueueDiscipline::remove_flow))
+    /// recycles the lane (immediately if empty, else once the backlog
+    /// drains), discarding the auxiliary clock: a flow that returns after
+    /// teardown starts from a fresh clock, which is exactly the semantics
+    /// of a new reservation.
     lanes: Vec<VcFlow>,
     /// `slot_of[flow.0]` is the flow's lane index, or `NO_SLOT`.
     slot_of: Vec<u32>,
+    /// Recycled lane slots.
+    free_lanes: Vec<u32>,
     len: usize,
 }
 
@@ -53,33 +69,60 @@ impl VirtualClock {
         assert!(default_rate_bps > 0.0);
         VirtualClock {
             default_rate_bps,
+            pool: SegmentPool::new(),
             lanes: Vec::new(),
             slot_of: Vec::new(),
+            free_lanes: Vec::new(),
             len: 0,
         }
     }
 
-    /// The flow's lane, allocating one at the default rate if needed.
-    fn lane_or_insert(&mut self, flow: FlowId) -> &mut VcFlow {
+    /// The flow's lane slot, allocating one (recycled or fresh) at the
+    /// default rate if needed.
+    fn slot_or_insert(&mut self, flow: FlowId) -> usize {
         if self.slot_of.len() <= flow.index() {
             self.slot_of.resize(flow.index() + 1, NO_SLOT);
         }
         if self.slot_of[flow.index()] == NO_SLOT {
-            self.slot_of[flow.index()] = self.lanes.len() as u32;
-            self.lanes.push(VcFlow {
-                flow,
-                rate_bps: self.default_rate_bps,
-                aux_clock: 0.0,
-                queue: VecDeque::new(),
-            });
+            let slot = match self.free_lanes.pop() {
+                Some(s) => {
+                    let lane = &mut self.lanes[s as usize];
+                    lane.flow = flow;
+                    lane.rate_bps = self.default_rate_bps;
+                    lane.aux_clock = 0.0;
+                    lane.retired = false;
+                    s as usize
+                }
+                None => {
+                    self.lanes.push(VcFlow {
+                        flow,
+                        rate_bps: self.default_rate_bps,
+                        aux_clock: 0.0,
+                        retired: false,
+                        queue: SegQueue::new(),
+                        front_stamp: 0.0,
+                    });
+                    self.lanes.len() - 1
+                }
+            };
+            self.slot_of[flow.index()] = slot as u32;
         }
-        &mut self.lanes[self.slot_of[flow.index()] as usize]
+        self.slot_of[flow.index()] as usize
+    }
+
+    /// Return `slot`'s storage to the pool and recycle the lane.
+    fn free_lane(&mut self, slot: usize) {
+        let flow = self.lanes[slot].flow;
+        self.pool.release(&mut self.lanes[slot].queue);
+        self.slot_of[flow.index()] = NO_SLOT;
+        self.free_lanes.push(slot as u32);
     }
 
     /// Assign a flow its reserved average rate.
     pub fn set_rate(&mut self, flow: FlowId, rate_bps: f64) {
         assert!(rate_bps > 0.0);
-        self.lane_or_insert(flow).rate_bps = rate_bps;
+        let slot = self.slot_or_insert(flow);
+        self.lanes[slot].rate_bps = rate_bps;
     }
 
     /// The rate assigned to a flow, if it has been seen or registered.
@@ -93,12 +136,20 @@ impl VirtualClock {
 
 impl QueueDiscipline for VirtualClock {
     fn enqueue(&mut self, now: SimTime, packet: Packet, ctx: SchedContext) {
-        let flow = self.lane_or_insert(packet.flow);
+        let slot = self.slot_or_insert(packet.flow);
+        let lane = &mut self.lanes[slot];
+        // A retired lane that receives fresh traffic before draining goes
+        // back into service (the flow has evidently returned).
+        lane.retired = false;
         // auxVC = max(now, auxVC) + L / r
-        flow.aux_clock =
-            flow.aux_clock.max(now.as_secs_f64()) + packet.size_bits as f64 / flow.rate_bps;
-        let stamp = flow.aux_clock;
-        flow.queue.push_back((packet, ctx, stamp));
+        lane.aux_clock =
+            lane.aux_clock.max(now.as_secs_f64()) + packet.size_bits as f64 / lane.rate_bps;
+        let stamp = lane.aux_clock;
+        if lane.queue.is_empty() {
+            lane.front_stamp = stamp;
+        }
+        self.pool
+            .push_back(&mut self.lanes[slot].queue, (packet, ctx, stamp));
         self.len += 1;
     }
 
@@ -110,21 +161,28 @@ impl QueueDiscipline for VirtualClock {
         // winner the old ascending-map scan produced).
         let mut best: Option<(f64, FlowId, usize)> = None;
         for (slot, lane) in self.lanes.iter().enumerate() {
-            if let Some(&(_, _, stamp)) = lane.queue.front() {
-                let better = match best {
-                    None => true,
-                    Some((best_stamp, best_flow, _)) => {
-                        stamp < best_stamp || (stamp == best_stamp && lane.flow < best_flow)
-                    }
-                };
-                if better {
-                    best = Some((stamp, lane.flow, slot));
+            if lane.queue.is_empty() {
+                continue;
+            }
+            let stamp = lane.front_stamp;
+            let better = match best {
+                None => true,
+                Some((best_stamp, best_flow, _)) => {
+                    stamp < best_stamp || (stamp == best_stamp && lane.flow < best_flow)
                 }
+            };
+            if better {
+                best = Some((stamp, lane.flow, slot));
             }
         }
         let (_, _, slot) = best?;
-        let (packet, ctx, _) = self.lanes[slot].queue.pop_front()?;
+        let (packet, ctx, _) = self.pool.pop_front(&mut self.lanes[slot].queue)?;
         self.len -= 1;
+        if let Some(&(_, _, stamp)) = self.pool.front(&self.lanes[slot].queue) {
+            self.lanes[slot].front_stamp = stamp;
+        } else if self.lanes[slot].retired {
+            self.free_lane(slot);
+        }
         Some(Dequeued {
             packet,
             arrival: ctx.arrival,
@@ -138,6 +196,42 @@ impl QueueDiscipline for VirtualClock {
 
     fn name(&self) -> &'static str {
         "VirtualClock"
+    }
+
+    fn remove_flow(&mut self, _now: SimTime, flow: FlowId) -> bool {
+        match self.slot_of.get(flow.index()) {
+            Some(&s) if s != NO_SLOT => {
+                let slot = s as usize;
+                if self.lanes[slot].queue.is_empty() {
+                    self.free_lane(slot);
+                } else {
+                    // Queued packets keep their existing stamps; the lane is
+                    // recycled by `dequeue` once the backlog drains.
+                    self.lanes[slot].retired = true;
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn state_bytes(&self) -> u64 {
+        (self.slot_of.len() * std::mem::size_of::<u32>()
+            + self.lanes.len() * std::mem::size_of::<VcFlow>()) as u64
+            + self.pool.bytes()
+    }
+
+    fn reservation_bytes(&self) -> u64 {
+        // Per-flow rate + auxiliary clock live inside the lane table.
+        (self.lanes.len() * std::mem::size_of::<(f64, f64)>()) as u64
+    }
+
+    fn pool_grow_events(&self) -> u64 {
+        self.pool.grow_events()
+    }
+
+    fn pool_segments_high_water(&self) -> u64 {
+        self.pool.segments_high_water()
     }
 }
 
@@ -224,5 +318,36 @@ mod tests {
         assert_eq!(q.rate(FlowId(1)), Some(80_000.0));
         assert_eq!(q.name(), "VirtualClock");
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn remove_flow_recycles_lane_and_resets_clock() {
+        let mut q = VirtualClock::new(100_000.0);
+        q.set_rate(FlowId(1), 400_000.0);
+        assert!(q.remove_flow(SimTime::ZERO, FlowId(1)));
+        assert_eq!(q.rate(FlowId(1)), None);
+        assert!(!q.remove_flow(SimTime::ZERO, FlowId(1)));
+        // The freed lane is reused by the next flow that appears.
+        q.enqueue(SimTime::ZERO, pkt(2, 0), ctx(SimTime::ZERO));
+        assert_eq!(q.rate(FlowId(2)), Some(100_000.0));
+        assert_eq!(q.dequeue(SimTime::ZERO).unwrap().packet.flow, FlowId(2));
+    }
+
+    #[test]
+    fn remove_backlogged_flow_drains_then_frees() {
+        let mut q = VirtualClock::new(100_000.0);
+        let t = SimTime::ZERO;
+        q.enqueue(t, pkt(1, 0), ctx(t));
+        q.enqueue(t, pkt(1, 1), ctx(t));
+        assert!(q.remove_flow(t, FlowId(1)));
+        // Still drains in order at the original stamps…
+        assert_eq!(q.dequeue(t).unwrap().packet.seq, 0);
+        assert_eq!(q.rate(FlowId(1)), Some(100_000.0)); // lane still live
+        assert_eq!(q.dequeue(t).unwrap().packet.seq, 1);
+        // …and the lane is gone once the backlog is served.
+        assert_eq!(q.rate(FlowId(1)), None);
+        // A fresh packet re-registers from a clean auxiliary clock.
+        q.enqueue(t, pkt(1, 2), ctx(t));
+        assert_eq!(q.rate(FlowId(1)), Some(100_000.0));
     }
 }

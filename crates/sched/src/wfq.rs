@@ -15,8 +15,9 @@
 //! time and dequeue picks the smallest stamp among the flows' head packets
 //! (per-flow stamps are non-decreasing so only heads need to be compared).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 
+use ispn_core::arena::{SegQueue, SegmentPool};
 use ispn_core::{FlowId, Packet};
 use ispn_sim::SimTime;
 
@@ -26,11 +27,18 @@ use crate::gps::GpsClock;
 /// The sentinel in `slot_of` for flows with no lane.
 const NO_SLOT: u32 = u32::MAX;
 
-/// One flow's per-link queue, held in a dense lane slot.
+/// One flow's per-link queue, held in a dense lane slot.  The queue is a
+/// handle into the scheduler's shared segment pool, so lanes own no heap
+/// storage of their own.
 #[derive(Debug)]
 struct Lane {
     flow: FlowId,
-    queue: VecDeque<(Packet, SchedContext, f64)>,
+    queue: SegQueue<(Packet, SchedContext, f64)>,
+    /// Virtual finish time of the queue's head packet, mirrored out of
+    /// the pool so the per-dequeue scan reads only lane-local data.
+    /// Meaningless (stale) while the queue is empty — refreshed on
+    /// push-to-empty and after every pop.
+    front_finish: f64,
 }
 
 /// Packetized Weighted Fair Queueing.
@@ -40,12 +48,17 @@ pub struct Wfq {
     link_rate_bps: f64,
     /// Clock rate assigned to flows that were never explicitly registered.
     default_rate_bps: f64,
+    /// Shared queue storage for every lane: fixed-capacity segments with
+    /// a free list, so steady-state enqueue/dequeue traffic and lane
+    /// teardown perform no allocations after warm-up.
+    pool: SegmentPool<(Packet, SchedContext, f64)>,
     /// Dense per-flow lanes, indexed by the slot in `slot_of` — the
     /// data-path table (O(1) lookup on enqueue, linear scan of lane heads
-    /// on dequeue).  Lanes whose queue is empty are skipped by the scan;
-    /// a lane is recycled through `free_lanes` only when its flow's rate is
-    /// removed while the queue is empty (mirroring the old map-entry
-    /// lifetime).
+    /// on dequeue).  Lanes whose queue is empty are skipped by the scan.
+    /// A lane is recycled through `free_lanes` when its flow's rate is
+    /// removed: immediately if the queue is empty, otherwise as soon as
+    /// the backlog drains (the deferred-teardown path in `dequeue`), so
+    /// freed lanes always return their storage to the pool.
     lanes: Vec<Lane>,
     /// `slot_of[flow.0]` is the flow's lane index, or `NO_SLOT`.
     slot_of: Vec<u32>,
@@ -84,6 +97,7 @@ impl Wfq {
             gps: GpsClock::new(link_rate_bps),
             link_rate_bps,
             default_rate_bps,
+            pool: SegmentPool::new(),
             lanes: Vec::new(),
             slot_of: Vec::new(),
             free_lanes: Vec::new(),
@@ -124,11 +138,21 @@ impl Wfq {
         }
         if let Some(slot) = self.slot(flow) {
             if self.lanes[slot].queue.is_empty() {
-                self.slot_of[flow.index()] = NO_SLOT;
-                self.free_lanes.push(slot as u32);
+                self.free_lane(slot);
             }
+            // A backlogged lane keeps serving its queued packets at their
+            // existing stamps; `dequeue` frees it (and returns its
+            // segments to the pool) once the backlog drains.
         }
         self.gps.remove(flow.0 as u64)
+    }
+
+    /// Return `slot`'s storage to the pool and recycle the lane.
+    fn free_lane(&mut self, slot: usize) {
+        let flow = self.lanes[slot].flow;
+        self.pool.release(&mut self.lanes[slot].queue);
+        self.slot_of[flow.index()] = NO_SLOT;
+        self.free_lanes.push(slot as u32);
     }
 
     /// Access the underlying GPS clock (used by tests and by the fluid
@@ -167,7 +191,8 @@ impl Wfq {
             None => {
                 self.lanes.push(Lane {
                     flow,
-                    queue: VecDeque::new(),
+                    queue: SegQueue::new(),
+                    front_finish: 0.0,
                 });
                 self.lanes.len() - 1
             }
@@ -182,7 +207,11 @@ impl QueueDiscipline for Wfq {
         self.ensure_registered(packet.flow);
         let finish = self.gps.stamp(packet.flow.0 as u64, packet.size_bits, now);
         let slot = self.slot_or_insert(packet.flow);
-        self.lanes[slot].queue.push_back((packet, ctx, finish));
+        if self.lanes[slot].queue.is_empty() {
+            self.lanes[slot].front_finish = finish;
+        }
+        self.pool
+            .push_back(&mut self.lanes[slot].queue, (packet, ctx, finish));
         self.len += 1;
         self.stamp_seq += 1;
     }
@@ -198,24 +227,35 @@ impl QueueDiscipline for Wfq {
         // in any lane order.
         let mut best: Option<(f64, FlowId, usize)> = None;
         for (slot, lane) in self.lanes.iter().enumerate() {
-            if let Some(&(_, _, finish)) = lane.queue.front() {
-                let better = match best {
-                    None => true,
-                    Some((best_finish, best_flow, _)) => {
-                        finish < best_finish || (finish == best_finish && lane.flow < best_flow)
-                    }
-                };
-                if better {
-                    best = Some((finish, lane.flow, slot));
+            if lane.queue.is_empty() {
+                continue;
+            }
+            let finish = lane.front_finish;
+            let better = match best {
+                None => true,
+                Some((best_finish, best_flow, _)) => {
+                    finish < best_finish || (finish == best_finish && lane.flow < best_flow)
                 }
+            };
+            if better {
+                best = Some((finish, lane.flow, slot));
             }
         }
-        let (_, _, slot) = best?;
-        let (packet, ctx, _) = self.lanes[slot]
-            .queue
-            .pop_front()
+        let (_, flow, slot) = best?;
+        let (packet, ctx, _) = self
+            .pool
+            .pop_front(&mut self.lanes[slot].queue)
             .expect("selected lane has a head packet");
         self.len -= 1;
+        if let Some(&(_, _, finish)) = self.pool.front(&self.lanes[slot].queue) {
+            self.lanes[slot].front_finish = finish;
+        } else if self.gps.rate(flow.0 as u64).is_none() {
+            // Deferred teardown: a lane whose flow was removed while
+            // backlogged is recycled once its last queued packet leaves
+            // (`ensure_registered` gives every enqueueing flow a rate, so a
+            // rate-less flow here can only mean `remove_flow_rate` ran).
+            self.free_lane(slot);
+        }
         Some(Dequeued {
             packet,
             arrival: ctx.arrival,
@@ -252,6 +292,25 @@ impl QueueDiscipline for Wfq {
 
     fn remove_flow(&mut self, _now: SimTime, flow: FlowId) -> bool {
         self.remove_flow_rate(flow).is_some()
+    }
+
+    fn state_bytes(&self) -> u64 {
+        (self.slot_of.len() * std::mem::size_of::<u32>()
+            + self.lanes.len() * std::mem::size_of::<Lane>()) as u64
+            + self.pool.bytes()
+    }
+
+    fn reservation_bytes(&self) -> u64 {
+        (self.guaranteed.len() * std::mem::size_of::<(FlowId, f64)>()) as u64
+            + self.gps.state_bytes()
+    }
+
+    fn pool_grow_events(&self) -> u64 {
+        self.pool.grow_events()
+    }
+
+    fn pool_segments_high_water(&self) -> u64 {
+        self.pool.segments_high_water()
     }
 }
 

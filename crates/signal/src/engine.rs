@@ -375,6 +375,10 @@ impl Signaling {
                             );
                         } else {
                             self.setups.remove(&req);
+                            // Rejected at the very first hop: nothing was
+                            // installed, so the flow's id slot can be
+                            // reclaimed (a retry would re-activate it).
+                            net.retire_flow(flow);
                         }
                     }
                 }
@@ -393,6 +397,9 @@ impl Signaling {
                     );
                 } else {
                     self.setups.remove(&req);
+                    // The rollback reached the first hop: every installed
+                    // reservation is released, the slot can be reclaimed.
+                    net.retire_flow(flow);
                 }
             }
             ControlEvent::Confirm { req } => {
@@ -425,6 +432,13 @@ impl Signaling {
                     );
                 } else {
                     self.events.push(SignalEvent::TornDown { flow, at });
+                    // Teardown complete on every hop.  This also covers
+                    // setups withdrawn mid-flight (their cancelled Setup /
+                    // Confirm messages release nothing themselves — the
+                    // teardown wave behind them does, and it always ends
+                    // here).  The flow is reported drained once its last
+                    // in-flight packet leaves the network.
+                    net.retire_flow(flow);
                 }
             }
             ControlEvent::Renegotiate { req, hop } => self.reneg_at(net, at, req, hop),

@@ -188,6 +188,86 @@ fn churn_reproduces_the_pre_migration_decision_sequence() {
     assert_eq!(out.residual_reserved_bps, 0.0);
 }
 
+/// The flow-slot reclamation regression: under sustained churn the flow
+/// table (slots × per-flow state, scheduler lane state included) must track
+/// the **concurrent** population, not the total number of requests ever
+/// made — departed and rejected flows hand their id slots back through
+/// `take_drained_flows`/`recycle_flow_slot`, and the driver reuses them.
+#[test]
+fn churn_flow_table_is_bounded_by_concurrent_flows_not_total_requests() {
+    use ispn_scenario::{
+        ChurnSourceSpec, ChurnWorkload, DisciplineMatrix, TopologySpec, WorkloadSpec,
+    };
+    let pt = SimTime::MILLISECOND;
+    let forward: Vec<ispn_net::LinkId> = (0..4).map(ispn_net::LinkId).collect();
+    let workload = ChurnWorkload {
+        arrivals_per_sec: 2.0,
+        mean_holding_secs: 4.0,
+        seed: 0xB10C,
+        guaranteed_fraction: 1.0,
+        guaranteed_rate_bps: 150_000.0,
+        classes: Vec::new(),
+        source: ChurnSourceSpec {
+            avg_rate_pps: 85.0,
+            seed_base: 0x1992,
+        },
+    };
+    let mut sim = ScenarioBuilder::new(TopologySpec::chain_duplex(5))
+        .disciplines(DisciplineMatrix::default().with_links(
+            &forward,
+            DisciplineSpec::Unified {
+                priority_classes: 2,
+                averaging: Averaging::RunningMean,
+            },
+        ))
+        .admission_on(
+            forward,
+            AdmissionSpec {
+                realtime_quota: 0.9,
+                class_targets: vec![pt.mul_f64(30.0), pt.mul_f64(300.0)],
+                measurement_window_secs: 10.0,
+                util_safety_factor: Some(1.6),
+                sample_interval: SimTime::SECOND,
+            },
+        )
+        .workload(WorkloadSpec::Churn(workload))
+        .build()
+        .expect("valid churn scenario");
+    let mut peak_concurrent = 0usize;
+    for s in 1..=90u64 {
+        sim.run_until(SimTime::from_secs(s));
+        peak_concurrent = peak_concurrent.max(sim.churn_admitted().len());
+    }
+    let decisions = sim.signaling().decision_log().len();
+    let accepted = sim
+        .signaling()
+        .decision_log()
+        .iter()
+        .filter(|&&(_, a)| a)
+        .count();
+    let slots = sim.network().num_flows();
+    assert!(
+        decisions >= 100,
+        "90 s at 2/s must offer plenty: {decisions}"
+    );
+    assert!(peak_concurrent >= 2, "{peak_concurrent}");
+    // Reclamation is what keeps slots << requests: without it, every one
+    // of the ~180 requests would hold a slot forever.
+    assert!(
+        slots < decisions / 2,
+        "flow table grew with total requests: {slots} slots for {decisions} requests"
+    );
+    assert!(
+        slots <= 4 * peak_concurrent + 8,
+        "slots ({slots}) not bounded by the concurrent population ({peak_concurrent})"
+    );
+    // The admission history survives reclamation: one measurement record
+    // per accepted request, even though ids were reused.
+    let reports = sim.churn_flow_reports();
+    assert_eq!(reports.len(), accepted);
+    assert!(reports.iter().all(|r| r.hops >= 1 && r.hops <= 4));
+}
+
 #[test]
 fn fig1_topology_built_by_the_preset_matches_the_hand_wired_shape() {
     let cfg = PaperConfig::paper();
